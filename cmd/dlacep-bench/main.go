@@ -1,0 +1,61 @@
+// Command dlacep-bench regenerates the paper's experimental figures.
+//
+// Usage:
+//
+//	dlacep-bench -fig 8           # reproduce Figure 8 at quick scale
+//	dlacep-bench -fig all -csv    # everything, CSV output
+//	dlacep-bench -fig 12 -scale paper
+//
+// See DESIGN.md for the figure-to-module index and EXPERIMENTS.md for
+// recorded quick-scale results against the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dlacep/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 8, 9, 10, 11, 12, 13, 14, ablations, or all")
+	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "quick":
+		sc = harness.Quick()
+	case "paper":
+		sc = harness.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|paper)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = harness.Figures()
+	}
+	for _, f := range figs {
+		start := time.Now()
+		reports, err := harness.Run(f, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		for _, rep := range reports {
+			if *csv {
+				fmt.Print(rep.CSV())
+			} else {
+				fmt.Println(rep.String())
+			}
+		}
+		if !*csv {
+			fmt.Printf("(figure %s took %v at scale %s)\n\n", f, time.Since(start).Round(time.Millisecond), sc.Name)
+		}
+	}
+}

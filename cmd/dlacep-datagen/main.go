@@ -1,0 +1,57 @@
+// Command dlacep-datagen writes a synthetic evaluation stream as CSV, in
+// either the paper's synthetic shape (uniform types, standard-normal
+// attribute — Table 2) or the stock-market shape substituting the NASDAQ
+// dataset (Zipf tickers, log-normal volume walks — Table 1; see DESIGN.md).
+//
+// Usage:
+//
+//	dlacep-datagen -kind stock -n 100000 -out stock.csv
+//	dlacep-datagen -kind synthetic -n 50000 -types 15 -out syn.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+)
+
+func main() {
+	kind := flag.String("kind", "stock", "stock or synthetic")
+	n := flag.Int("n", 100000, "number of events")
+	types := flag.Int("types", 15, "synthetic: number of event types")
+	tickers := flag.Int("tickers", 2500, "stock: number of ticker identifiers")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var st *event.Stream
+	switch *kind {
+	case "stock":
+		cfg := dataset.DefaultStockConfig(*n, *seed)
+		cfg.Tickers = *tickers
+		st = dataset.Stock(cfg)
+	case "synthetic":
+		st = dataset.Synthetic(*n, *types, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q (stock|synthetic)\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := event.WriteCSV(w, st); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command dlacep-inspect analyzes a pattern without running it: it
+// validates and compiles the query, reports its structure (operators,
+// aliases, type and attribute sets), estimates the ECEP cost Φ(W, R, SEL)
+// of Section 3.2 against a sample stream, and prints the ZStream tree plan
+// a cost-based optimizer would choose.
+//
+// Usage:
+//
+//	dlacep-inspect -pattern 'PATTERN SEQ(S1 a, S2 b) WHERE a.vol < b.vol WITHIN 150' -data stream.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlacep/internal/acep"
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+	"dlacep/internal/zstream"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlacep-inspect:", err)
+	os.Exit(1)
+}
+
+func main() {
+	patSrc := flag.String("pattern", "", "pattern in the query language")
+	dataPath := flag.String("data", "", "optional sample stream CSV for statistics")
+	sample := flag.Int("sample", 2000, "Monte-Carlo samples per condition selectivity")
+	flag.Parse()
+	if *patSrc == "" {
+		fmt.Fprintln(os.Stderr, "usage: dlacep-inspect -pattern 'PATTERN ...' [-data stream.csv]")
+		os.Exit(2)
+	}
+	p, err := pattern.Parse(*patSrc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("pattern:", p)
+	fmt.Println("window: ", p.Window.Kind, p.Window.Size)
+	fmt.Println("strategy:", p.Strategy)
+	fmt.Printf("primitives: %d (%d positive, %d negated)\n",
+		len(p.Prims()), len(p.PositivePrims()), len(p.NegPrims()))
+	fmt.Println("event types:", p.TypeSet())
+	fmt.Println("attributes: ", p.AttrSet())
+	fmt.Println("conditions: ", len(p.Where))
+	if p.HasNegation() {
+		fmt.Println("note: negation present — DLACEP may emit false positives; F1 is the quality metric (Section 4.4)")
+	}
+
+	// engine compilation check
+	schemaNames := p.AttrSet()
+	if len(schemaNames) == 0 {
+		schemaNames = []string{"vol"}
+	}
+	schema := event.NewSchema(schemaNames...)
+	if _, err := cep.New(p, schema); err != nil {
+		fatal(fmt.Errorf("engine compilation: %w", err))
+	}
+	fmt.Println("NFA engine: compiles OK")
+
+	if *dataPath == "" {
+		fmt.Println("\n(no -data given: skipping statistics, Φ estimate, and plan)")
+		return
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := event.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsample stream: %d events, %d types\n", st.Len(), len(st.TypeCounts()))
+
+	stats := zstream.EstimateStatistics(p, st, *sample, 1)
+	prims := p.PositivePrims()
+	rates := make([]float64, len(prims))
+	for i, pr := range prims {
+		for _, t := range pr.Types {
+			rates[i] += stats.Rate[t]
+		}
+		fmt.Printf("  rate(%s) = %.5f\n", pr.Alias, rates[i])
+	}
+	for _, c := range p.Where {
+		if sel, ok := stats.Sel[c.String()]; ok {
+			fmt.Printf("  sel(%s) = %.4f\n", c, sel)
+		}
+	}
+
+	model := acep.NewModel(rates)
+	// attach measured pairwise selectivities where conditions link prims
+	idx := map[string]int{}
+	for i, pr := range prims {
+		idx[pr.Alias] = i
+	}
+	for _, c := range p.Where {
+		aliases := c.Aliases()
+		if len(aliases) == 2 {
+			i, ok1 := idx[aliases[0]]
+			j, ok2 := idx[aliases[1]]
+			if ok1 && ok2 {
+				if sel, ok := stats.Sel[c.String()]; ok {
+					model.SetSel(i, j, sel)
+				}
+			}
+		}
+	}
+	w := float64(p.Window.Size)
+	fmt.Printf("\nΦ(W,R,SEL) ≈ %.1f expected partial+full matches per window\n", model.Phi(w))
+	fmt.Printf("C_ECEP per stream event ≈ %.2f instances\n", model.Phi(w)/w)
+
+	// ZStream plan (sequence/conjunction patterns only)
+	if en, err := zstream.New(p, st.Schema, stats); err == nil {
+		for i, plan := range en.Plans() {
+			fmt.Printf("ZStream plan %d: %v (estimated cost %.1f)\n", i, plan.Root, plan.Root.Cost)
+		}
+	} else {
+		fmt.Printf("ZStream plan: n/a (%v)\n", err)
+	}
+}

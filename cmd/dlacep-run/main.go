@@ -1,0 +1,96 @@
+// Command dlacep-run evaluates a stream with a trained DLACEP model and
+// reports matches, throughput, and (optionally) the comparison against
+// exact CEP.
+//
+// Usage:
+//
+//	dlacep-run -model model.json -data stream.csv -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlacep-run:", err)
+	os.Exit(1)
+}
+
+func main() {
+	modelPath := flag.String("model", "model.json", "trained model from dlacep-train")
+	dataPath := flag.String("data", "", "stream CSV to evaluate")
+	compare := flag.Bool("compare", false, "also run exact CEP and report recall / gain")
+	printMatches := flag.Int("print", 5, "print up to this many matches")
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: dlacep-run -model model.json -data stream.csv [-compare]")
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	filter, pats, schema, err := core.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := event.ReadCSV(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if got, want := st.Schema.Names(), schema.Names(); fmt.Sprint(got) != fmt.Sprint(want) {
+		fatal(fmt.Errorf("stream schema %v does not match model schema %v", got, want))
+	}
+
+	w := int(pats[0].Window.Size)
+	var cfg core.Config
+	switch f := filter.(type) {
+	case *core.EventNetwork:
+		cfg = f.Cfg
+	case core.WindowToEvent:
+		cfg = f.F.(*core.WindowNetwork).Cfg
+	default:
+		cfg = core.DefaultConfig(w)
+	}
+	pl, err := core.NewPipeline(schema, pats, cfg, filter)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := pl.Run(st)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("events: %d  relayed: %d (filter ratio %.3f)\n",
+		res.EventsTotal, res.EventsRelayed, res.FilterRatio())
+	fmt.Printf("matches: %d\nthroughput: %.0f events/s (filter %v, cep %v)\n",
+		len(res.Matches), res.Throughput(), res.FilterTime, res.CEPTime)
+	for i, m := range res.Matches {
+		if i >= *printMatches {
+			fmt.Printf("... and %d more\n", len(res.Matches)-i)
+			break
+		}
+		fmt.Printf("  match %d: events %v\n", i+1, m.IDs())
+	}
+
+	if *compare {
+		ecep, err := core.RunECEP(schema, pats, st)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := core.Compare(res, ecep)
+		fmt.Printf("exact CEP: %d matches, %.0f events/s\n", len(ecep.Matches), ecep.Throughput())
+		fmt.Printf("recall %.4f  F1 %.4f  throughput gain %.2fx\n", cmp.Recall, cmp.F1, cmp.Gain)
+	}
+}

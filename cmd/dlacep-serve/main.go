@@ -1,0 +1,130 @@
+// Command dlacep-serve exposes a trained DLACEP model as a TCP match
+// service, or streams a CSV file to such a service as a client.
+//
+// Server:
+//
+//	dlacep-serve -model model.json -listen :7878
+//
+// Client (streams a dataset and prints matches):
+//
+//	dlacep-serve -connect localhost:7878 -data stream.csv
+//
+// Protocol: clients send "TYPE,TS,ATTR1,..." lines; the server answers with
+// JSON lines carrying matches and, after FLUSH or EOF, a summary.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/server"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlacep-serve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	modelPath := flag.String("model", "model.json", "trained model (server mode)")
+	listen := flag.String("listen", "", "address to serve on, e.g. :7878")
+	connect := flag.String("connect", "", "server address to stream to (client mode)")
+	dataPath := flag.String("data", "", "stream CSV to send (client mode)")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runServer(*modelPath, *listen)
+	case *connect != "":
+		runClient(*connect, *dataPath)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dlacep-serve -listen :7878 -model model.json\n   or: dlacep-serve -connect host:7878 -data stream.csv")
+		os.Exit(2)
+	}
+}
+
+func runServer(modelPath, listen string) {
+	raw, err := os.ReadFile(modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	// Peek once for configuration; per-connection filters reload from the
+	// same bytes (trained networks are stateful during inference).
+	probe, pats, schema, err := core.LoadModel(bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	var cfg core.Config
+	switch f := probe.(type) {
+	case *core.EventNetwork:
+		cfg = f.Cfg
+	case core.WindowToEvent:
+		cfg = f.F.(*core.WindowNetwork).Cfg
+	default:
+		cfg = core.DefaultConfig(int(pats[0].Window.Size))
+	}
+	srv, err := server.New(schema, pats, cfg, func() (core.EventFilter, error) {
+		f, _, _, err := core.LoadModel(bytes.NewReader(raw))
+		return f, err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	lis, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving %d pattern(s) on %s\n", len(pats), lis.Addr())
+	if err := srv.Serve(lis); err != nil {
+		fatal(err)
+	}
+}
+
+func runClient(addr, dataPath string) {
+	if dataPath == "" {
+		fatal(fmt.Errorf("client mode needs -data"))
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := event.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	c, err := server.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	for i := range st.Events {
+		if err := c.Send(st.Events[i]); err != nil {
+			fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		fatal(err)
+	}
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case msg.Err != "":
+			fatal(fmt.Errorf("server: %s", msg.Err))
+		case msg.Match != nil:
+			fmt.Printf("match: %v\n", msg.Match.IDs)
+		case msg.Summary != nil:
+			fmt.Printf("summary: %d events, %d matches, filter ratio %.3f, %.0f events/s\n",
+				msg.Summary.Events, msg.Summary.Matches, msg.Summary.FilterRatio, msg.Summary.ThroughputS)
+			return
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command dlacep-train trains a DLACEP filter network on a historical
+// stream and saves the model for later use by dlacep-run.
+//
+// Usage:
+//
+//	dlacep-train -data stock.csv \
+//	  -pattern 'PATTERN SEQ(S1 a, S2 b, S3 c) WHERE 0.5 * a.vol < c.vol WITHIN 150' \
+//	  -net event -epochs 20 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlacep-train:", err)
+	os.Exit(1)
+}
+
+func main() {
+	dataPath := flag.String("data", "", "training stream CSV (from dlacep-datagen or your own)")
+	patSrc := flag.String("pattern", "", "pattern in the PATTERN ... WITHIN ... language")
+	netKind := flag.String("net", "event", "filter variant: event or window")
+	hidden := flag.Int("hidden", 75, "BiLSTM hidden size per direction")
+	layers := flag.Int("layers", 3, "stacked BiLSTM layers (or TCN blocks)")
+	arch := flag.String("arch", "bilstm", "filter body: bilstm or tcn")
+	epochs := flag.Int("epochs", 30, "maximum training epochs")
+	seed := flag.Int64("seed", 1, "initialization/shuffling seed")
+	calibrate := flag.Float64("calibrate", 0, "optional target event/window recall for threshold calibration (0 = argmax decoding)")
+	out := flag.String("out", "model.json", "model output path")
+	flag.Parse()
+
+	if *dataPath == "" || *patSrc == "" {
+		fmt.Fprintln(os.Stderr, "usage: dlacep-train -data stream.csv -pattern 'PATTERN ...' [-net event|window] -out model.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := event.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	p, err := pattern.Parse(*patSrc)
+	if err != nil {
+		fatal(err)
+	}
+	pats := []*pattern.Pattern{p}
+	w := int(p.Window.Size)
+	cfg := core.Config{MarkSize: 2 * w, StepSize: w, Hidden: *hidden, Layers: *layers, Arch: *arch, Seed: *seed}
+	windows := dataset.Windows(st, 2*w)
+	trainWs, testWs := dataset.Split(windows, 0.7, *seed)
+	lab, err := label.New(st.Schema, pats...)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.DefaultTrainOptions()
+	opt.MaxEpochs = *epochs
+	opt.Seed = *seed
+	opt.OnEpoch = func(e int, loss float64) {
+		fmt.Printf("epoch %3d  loss %.6f\n", e+1, loss)
+	}
+
+	outF, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer outF.Close()
+
+	start := time.Now()
+	switch *netKind {
+	case "event":
+		net, err := core.NewEventNetwork(st.Schema, pats, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := net.Fit(trainWs, lab, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *calibrate > 0 {
+			thr, err := net.Calibrate(trainWs, lab, *calibrate)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("calibrated threshold %.4f (target recall %.2f)\n", thr, *calibrate)
+		}
+		c, err := net.Evaluate(testWs, lab)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained %d epochs in %v (converged=%v)\ntest %v\n",
+			res.Epochs, time.Since(start).Round(time.Second), res.Converged, c)
+		if err := net.Save(outF, pats); err != nil {
+			fatal(err)
+		}
+	case "window":
+		net, err := core.NewWindowNetwork(st.Schema, pats, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := net.Fit(trainWs, lab, opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *calibrate > 0 {
+			thr, err := net.Calibrate(trainWs, lab, *calibrate)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("calibrated threshold %.4f (target recall %.2f)\n", thr, *calibrate)
+		}
+		c, err := net.Evaluate(testWs, lab)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained %d epochs in %v (converged=%v)\ntest %v\n",
+			res.Epochs, time.Since(start).Round(time.Second), res.Converged, c)
+		if err := net.Save(outF, pats); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown net %q (event|window)\n", *netKind)
+		os.Exit(2)
+	}
+	fmt.Printf("model written to %s\n", *out)
+}

@@ -1,0 +1,86 @@
+package dlacep
+
+// API-level test: the README quick-start flow through the public facade.
+
+import (
+	"testing"
+
+	"dlacep/internal/dataset"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	p := MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 8")
+	history := dataset.Synthetic(1600, 4, 1)
+	live := dataset.Synthetic(400, 4, 2)
+
+	lab, err := NewLabeler(history.Schema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MarkSize: 16, StepSize: 8, Hidden: 6, Layers: 1, Seed: 1}
+	net, err := NewEventNetwork(history.Schema, []*Pattern{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 3
+	trainWs := SampleWindows(history, 16)
+	if _, err := net.Fit(trainWs, lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Calibrate(trainWs[:30], lab, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(live.Schema, []*Pattern{p}, cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Run(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecep, err := RunECEP(live.Schema, []*Pattern{p}, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(res, ecep)
+	if cmp.Counts.FP != 0 {
+		t.Errorf("public API flow emitted %d false positives", cmp.Counts.FP)
+	}
+	if cmp.Recall < 0.5 {
+		t.Errorf("public API flow recall %.3f suspiciously low", cmp.Recall)
+	}
+
+	// incremental processor via the facade
+	proc, err := pipe.NewProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range live.Events {
+		if _, err := proc.Push(live.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := proc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(proc.Result().Keys) != len(res.Keys) {
+		t.Error("facade processor disagrees with batch run")
+	}
+
+	// exact engine via the facade
+	matches, _, err := RunExact(p, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != len(ecep.Keys) {
+		t.Errorf("RunExact found %d, RunECEP %d", len(matches), len(ecep.Keys))
+	}
+
+	// strategy constants are wired
+	p2 := MustParse("PATTERN SEQ(A a, B b) WITHIN 8")
+	p2.Strategy = SkipTillNextMatch
+	if _, err := NewEngine(p2, live.Schema); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Drift operations: run a deployed DLACEP filter through a regime change,
+// detect the degradation with cheap reservoir audits (Section 4.3's
+// retraining strategy made incremental), and recover by warm-start
+// retraining on recent windows (transfer learning).
+//
+//	go run ./examples/driftops
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+// regimeStream produces synthetic market data whose volume scale shifts by
+// regime — the classical covariate drift that breaks a fitted normalizer.
+func regimeStream(n int, scale float64, seed int64) *event.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	types := []string{"A", "B", "C", "D", "E"}
+	events := make([]event.Event, n)
+	for i := range events {
+		events[i] = event.Event{
+			Type:  types[rng.Intn(len(types))],
+			Attrs: []float64{rng.NormFloat64() * scale},
+		}
+	}
+	return event.NewStream(dataset.VolSchema(), events)
+}
+
+func main() {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE 2 * a.vol < b.vol WITHIN 8")
+	pats := []*pattern.Pattern{p}
+	cfg := core.Config{MarkSize: 16, StepSize: 8, Hidden: 8, Layers: 1, Seed: 1}
+
+	// 1. Train on the old regime.
+	oldData := regimeStream(3000, 1.0, 1)
+	lab, err := label.New(oldData.Schema, pats...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := core.NewEventNetwork(oldData.Schema, pats, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.DefaultTrainOptions()
+	opt.MaxEpochs = 8
+	trainWs := dataset.Windows(oldData, 16)
+	if _, err := net.Fit(trainWs, lab, opt); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := net.Calibrate(trainWs[:50], lab, 0.9); err != nil {
+		log.Fatal(err)
+	}
+	c, _ := net.Evaluate(dataset.Windows(regimeStream(800, 1.0, 9), 16), lab)
+	fmt.Printf("deployed filter, old regime: event F1 %.3f\n", c.F1())
+
+	// 2. Watch live traffic with a drift monitor (audits label only a few
+	// reservoir windows per period).
+	mon, err := core.NewDriftMonitor(net, lab, core.DriftOptions{
+		AuditEvery: 25, Sample: 6, MinF1: 0.5, Alpha: 0.8, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The world shifts: volumes now 10x larger and offset.
+	newRegime := regimeStream(4000, 1.0, 42)
+	for i := range newRegime.Events {
+		newRegime.Events[i].Attrs[0] = newRegime.Events[i].Attrs[0]*9 + 20
+	}
+	liveWs := dataset.Windows(newRegime, 16)
+	driftAt := -1
+	for i, w := range liveWs {
+		audited, drifted, err := mon.Observe(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if audited {
+			fmt.Printf("  audit after window %3d: F1 ema %.3f drifted=%v\n", i+1, mon.F1(), drifted)
+		}
+		if drifted {
+			driftAt = i
+			break
+		}
+	}
+	if driftAt < 0 {
+		fmt.Println("no drift detected (unexpected for this scenario)")
+		return
+	}
+	fmt.Printf("drift detected after %d windows — retraining\n", driftAt+1)
+
+	// 3. Recover: warm-start a fresh network from the old weights and fit
+	// on recent (new-regime) windows.
+	fresh, err := core.NewEventNetwork(oldData.Schema, pats, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copied, err := fresh.TransferFrom(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.MaxEpochs = 6
+	recent := liveWs[:driftAt+1]
+	if _, err := fresh.Fit(recent, lab, opt); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fresh.Calibrate(recent, lab, 0.9); err != nil {
+		log.Fatal(err)
+	}
+	holdout := dataset.Windows(regimeStream(800, 1.0, 77), 16)
+	for i := range holdout {
+		for j := range holdout[i] {
+			holdout[i][j].Attrs[0] = holdout[i][j].Attrs[0]*9 + 20
+		}
+	}
+	before, _ := net.Evaluate(holdout, lab)
+	after, _ := fresh.Evaluate(holdout, lab)
+	fmt.Printf("new-regime F1: stale filter %.3f -> retrained (warm-start, %d tensors) %.3f\n",
+		before.F1(), copied, after.F1())
+	mon.Reset()
+	fmt.Println("monitor reset; deployment continues with the retrained filter")
+}

@@ -1,0 +1,148 @@
+package acep
+
+import (
+	"math"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+)
+
+func TestPhiClosedForm(t *testing.T) {
+	// n=2, r=(0.1, 0.2), sel(1,2)=0.5:
+	// Φ = W·0.1 + W²·0.1·0.2·0.5 (self-selectivities are 1)
+	m := NewModel([]float64{0.1, 0.2})
+	m.SetSel(0, 1, 0.5)
+	got := m.Phi(10)
+	want := 10*0.1 + 100*0.1*0.2*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Phi = %v, want %v", got, want)
+	}
+}
+
+func TestPhiMonotone(t *testing.T) {
+	m := NewModel([]float64{0.2, 0.2, 0.2})
+	if !(m.Phi(10) < m.Phi(20) && m.Phi(20) < m.Phi(100)) {
+		t.Error("Phi not monotone in W")
+	}
+	m2 := NewModel([]float64{0.3, 0.3, 0.3})
+	if m2.Phi(50) <= m.Phi(50) {
+		t.Error("Phi not monotone in rates")
+	}
+	m3 := NewModel([]float64{0.2, 0.2, 0.2})
+	m3.SetSel(0, 1, 0.1)
+	if m3.Phi(50) >= m.Phi(50) {
+		t.Error("Phi not decreasing in selectivity")
+	}
+}
+
+func TestPhiGrowsExponentiallyWithPatternLength(t *testing.T) {
+	w := 100.0
+	r := 0.2
+	prev := 0.0
+	for n := 1; n <= 5; n++ {
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = r
+		}
+		phi := NewModel(rates).Phi(w)
+		if phi <= prev {
+			t.Fatalf("Phi(n=%d)=%v not greater than Phi(n=%d)=%v", n, phi, n-1, prev)
+		}
+		prev = phi
+	}
+	// dominant term ratio between consecutive lengths approaches W·r = 20
+	rates5 := []float64{r, r, r, r, r}
+	rates4 := rates5[:4]
+	ratio := NewModel(rates5).Phi(w) / NewModel(rates4).Phi(w)
+	if ratio < 10 || ratio > 21 {
+		t.Errorf("growth ratio %v, want ≈ W·r = 20", ratio)
+	}
+}
+
+func TestCACEPFiltering(t *testing.T) {
+	m := NewModel([]float64{0.2, 0.2, 0.2})
+	w := 150.0
+	ecep := m.CECEP(w)
+	// 99% filtering with cheap filter: enormous win
+	psi := []float64{0.99, 0.99, 0.99}
+	acep := m.CACEP(w, psi, 1000)
+	if acep >= ecep {
+		t.Errorf("filtered complexity %v not below ECEP %v", acep, ecep)
+	}
+	// no filtering: ACEP strictly worse (pays the filter)
+	acep0 := m.CACEP(w, []float64{0, 0, 0}, 1000)
+	if acep0 <= ecep {
+		t.Errorf("unfiltered ACEP %v should exceed ECEP %v", acep0, ecep)
+	}
+}
+
+func TestCACEPSparseStreamRegime(t *testing.T) {
+	// Section 3.2's first regime: few partial matches make the filter
+	// overhead dominate and ECEP wins.
+	m := NewModel([]float64{0.001, 0.001})
+	w := 50.0
+	cFilter := FilterCost(10000, 50)
+	if m.CACEP(w, []float64{0.9, 0.9}, cFilter) <= m.CECEP(w) {
+		t.Error("ACEP should lose on partial-match-scarce streams")
+	}
+}
+
+func TestCACEPPanicsOnBadPsi(t *testing.T) {
+	m := NewModel([]float64{0.1, 0.1})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched psi accepted")
+		}
+	}()
+	m.CACEP(10, []float64{0.5}, 0)
+}
+
+// TestPhiTracksMeasuredInstances validates the model's *ordering* against
+// engine-measured instance counts: across window sizes and pattern lengths,
+// larger Φ must correspond to more created instances.
+func TestPhiTracksMeasuredInstances(t *testing.T) {
+	st := dataset.Synthetic(4000, 10, 42)
+	rate := 1.0 / 10
+	type cfg struct {
+		n int
+		w int
+	}
+	cfgs := []cfg{{2, 20}, {2, 60}, {3, 20}, {3, 60}}
+	var phis, measured []float64
+	for _, c := range cfgs {
+		var src string
+		if c.n == 2 {
+			src = "PATTERN SEQ(A a, B b) WITHIN 60"
+		} else {
+			src = "PATTERN SEQ(A a, B b, C c) WITHIN 60"
+		}
+		p := pattern.MustParse(src)
+		p.Window = pattern.Count(c.w)
+		_, stats, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates := make([]float64, c.n)
+		for i := range rates {
+			rates[i] = rate
+		}
+		phis = append(phis, NewModel(rates).Phi(float64(c.w)))
+		measured = append(measured, float64(stats.Instances))
+	}
+	for i := range cfgs {
+		for j := range cfgs {
+			if phis[i] < phis[j] && measured[i] >= measured[j]*1.05 {
+				t.Errorf("ordering violated: cfg%v phi=%v measured=%v vs cfg%v phi=%v measured=%v",
+					cfgs[i], phis[i], measured[i], cfgs[j], phis[j], measured[j])
+			}
+		}
+	}
+}
+
+func TestFilterCost(t *testing.T) {
+	if FilterCost(100, 50) != 5000 {
+		t.Error("FilterCost not h·l")
+	}
+}

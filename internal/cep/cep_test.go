@@ -1,0 +1,536 @@
+package cep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+// mkStream builds a stream from "TYPE:vol" specs, assigning sequential IDs.
+func mkStream(specs ...string) *event.Stream {
+	events := make([]event.Event, len(specs))
+	for i, sp := range specs {
+		var typ string
+		var vol float64
+		if _, err := fmt.Sscanf(sp, "%1s:%f", &typ, &vol); err != nil {
+			// allow multi-char types "AB:1"
+			var t string
+			if _, err2 := fmt.Sscanf(sp, "%s", &t); err2 != nil {
+				panic(err)
+			}
+			n, _ := fmt.Sscanf(sp, "%[^:]:%f", &typ, &vol)
+			if n < 1 {
+				panic("bad spec " + sp)
+			}
+		}
+		events[i] = event.Event{Type: typ, Attrs: []float64{vol}}
+	}
+	return event.NewStream(volSchema, events)
+}
+
+func keysOf(ms []*Match) map[string]bool { return Keys(ms) }
+
+func runPat(t *testing.T, p *pattern.Pattern, st *event.Stream) ([]*Match, Stats) {
+	t.Helper()
+	ms, stats, err := Run(p, st)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ms, stats
+}
+
+func TestSeqBasicMatch(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 10")
+	st := mkStream("A:1", "X:0", "B:2", "X:0", "C:3")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+	if got := ms[0].Key(); got != "0,2,4" {
+		t.Errorf("match key = %q, want 0,2,4", got)
+	}
+	if ms[0].Binding["a"].ID != 0 || ms[0].Binding["b"].ID != 2 || ms[0].Binding["c"].ID != 4 {
+		t.Errorf("binding wrong: %v", ms[0].Binding)
+	}
+}
+
+func TestSeqOrderEnforced(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	st := mkStream("B:1", "A:2")
+	if ms, _ := runPat(t, p, st); len(ms) != 0 {
+		t.Errorf("out-of-order events matched: %v", ms)
+	}
+}
+
+func TestSkipTillAnyMatchEnumeratesAll(t *testing.T) {
+	// 2 A's and 2 B's in order -> SEQ(A,B) has 2*2-1=3 matches: a1b1, a1b2, a2b2.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	st := mkStream("A:1", "A:2", "B:3", "B:4")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,2": true, "0,3": true, "1,2": true, "1,3": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestPaperFigure2Example(t *testing.T) {
+	// Example (1): SEQ(A,B,C) where C.price > A.price and C.price > B.price.
+	// Stream mirrors Figure 2: one full match A1,B1,C1.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE c.vol > a.vol AND c.vol > b.vol WITHIN 10")
+	st := mkStream("A:5", "B:9", "C:7", "A:3", "B:4", "C:8")
+	ms, _ := runPat(t, p, st)
+	got := keysOf(ms)
+	// Enumerate by hand: windows of 10 cover all 6 events.
+	// (A0,B1,C2): 7>5 but 7<9 -> no. (A0,B1,C5): 8>5,8<9 -> no.
+	// (A0,B4,C5): 8>5,8>4 -> yes. (A3,B4,C5): 8>3,8>4 -> yes.
+	want := map[string]bool{"0,4,5": true, "3,4,5": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestCountWindowEnforced(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 3")
+	// A at 0; B at 2 is inside (span 3), B at 3 is outside (span 4).
+	st := mkStream("A:1", "X:0", "B:1", "B:1")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,2": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWindowEnforced(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 15 TIME")
+	events := []event.Event{
+		{Type: "A", Ts: 100, Attrs: []float64{0}},
+		{Type: "B", Ts: 115, Attrs: []float64{0}}, // diff 15: inside (<=)
+		{Type: "B", Ts: 116, Attrs: []float64{0}}, // diff 16: outside
+	}
+	st := event.NewStream(volSchema, events)
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,1": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestConditionsPruneEarly(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE b.vol > a.vol WITHIN 10")
+	st := mkStream("A:5", "B:1", "C:1")
+	ms, stats := runPat(t, p, st)
+	if len(ms) != 0 {
+		t.Fatalf("unexpected matches %v", ms)
+	}
+	// Instances: A(1) + B(1); the AB merge fails the condition so no
+	// 2-prefix instance is created, and C creates its prim instance.
+	if stats.Instances != 3 {
+		t.Errorf("instances = %d, want 3 (condition must prune at merge)", stats.Instances)
+	}
+}
+
+func TestConjAnyOrder(t *testing.T) {
+	p := pattern.MustParse("PATTERN CONJ(A a, B b) WITHIN 10")
+	st := mkStream("B:1", "A:2")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 1 || ms[0].Key() != "0,1" {
+		t.Errorf("CONJ failed on reversed order: %v", keysOf(ms))
+	}
+}
+
+func TestConjDistinctEvents(t *testing.T) {
+	// One event may not fill both slots, even when types overlap.
+	p := pattern.MustParse("PATTERN CONJ(A|B x, A|B y) WITHIN 10")
+	st := mkStream("A:1", "B:2")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 1 || ms[0].Key() != "0,1" {
+		t.Errorf("CONJ dup handling: %v", keysOf(ms))
+	}
+}
+
+func TestDisjUnion(t *testing.T) {
+	p := pattern.MustParse("PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 10")
+	st := mkStream("A:1", "C:1", "B:1", "D:1")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,2": true, "1,3": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("DISJ matches = %v, want %v", got, want)
+	}
+}
+
+func TestKleeneSubsets(t *testing.T) {
+	// KC(A) over 3 A events -> every non-empty ordered subset: 7 matches.
+	p := pattern.MustParse("PATTERN KC(A a) WITHIN 10")
+	st := mkStream("A:1", "A:2", "A:3")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 7 {
+		t.Errorf("KC(A) over 3 events: %d matches, want 7 (%v)", len(ms), keysOf(ms))
+	}
+}
+
+func TestKleeneInSeq(t *testing.T) {
+	// SEQ(A, KC(B), C) over A B B C: KC binds {b1},{b2},{b1,b2} -> 3 matches.
+	p := pattern.MustParse("PATTERN SEQ(A a, KC(B b), C c) WITHIN 10")
+	st := mkStream("A:1", "B:1", "B:2", "C:1")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,1,3": true, "0,2,3": true, "0,1,2,3": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestKleeneScopedCondition(t *testing.T) {
+	// Per-iteration condition: each KC iteration must have vol > 5.
+	root := pattern.Seq(
+		pattern.Prim("a", "A"),
+		pattern.KC(pattern.Prim("b", "B").With(pattern.AbsRange{Lo: 5, Y: pattern.Ref{Alias: "b", Attr: "vol"}, Hi: math.Inf(1)})),
+		pattern.Prim("c", "C"),
+	)
+	p := pattern.New("kc-cond", root, pattern.Count(10))
+	st := mkStream("A:1", "B:9", "B:2", "C:1")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,1,3": true} // only b@1 (vol 9) qualifies
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestKleeneBounded(t *testing.T) {
+	root := pattern.KCBounded(pattern.Prim("a", "A"), 2, 2)
+	p := pattern.New("kc22", root, pattern.Count(10))
+	st := mkStream("A:1", "A:2", "A:3")
+	ms, _ := runPat(t, p, st)
+	// exactly-2 subsets of 3 events: 3 matches
+	if len(ms) != 3 {
+		t.Errorf("KC[2,2] matches = %d, want 3", len(ms))
+	}
+}
+
+func TestKleeneOfSeq(t *testing.T) {
+	// KC(SEQ(A,B)): iterations are non-interleaved AB pairs.
+	p := pattern.MustParse("PATTERN KC(SEQ(A a, B b)) WITHIN 10")
+	st := mkStream("A:1", "B:1", "A:2", "B:2")
+	ms, _ := runPat(t, p, st)
+	// iterations: (0,1), (0,3), (2,3); tuples: each alone + ((0,1),(2,3)).
+	want := map[string]bool{"0,1": true, "0,3": true, "2,3": true, "0,1,2,3": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestNegationBlocks(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WITHIN 10")
+	st := mkStream("A:1", "C:1", "B:1", "A:2", "B:2")
+	ms, _ := runPat(t, p, st)
+	// a0..b2 blocked by C@1; a0..b4 blocked (C between); a3..b4 clean.
+	want := map[string]bool{"3,4": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestNegationWithCondition(t *testing.T) {
+	// Only C events with vol greater than a's block the match.
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WHERE c.vol > a.vol WITHIN 10")
+	st := mkStream("A:5", "C:3", "B:1", "A:2", "C:1", "B:9")
+	ms, _ := runPat(t, p, st)
+	// (a0, b2): C@1 vol 3 < 5 -> not blocking. match.
+	// (a0, b5): C@1 (3<5) no, C@4 (1<5) no -> match.
+	// (a3, b5): C@4 vol 1 < 2 -> not blocking -> match.
+	want := map[string]bool{"0,2": true, "0,5": true, "3,5": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+	st2 := mkStream("A:5", "C:8", "B:1")
+	ms2, _ := runPat(t, p, st2)
+	if len(ms2) != 0 {
+		t.Errorf("blocking C ignored: %v", keysOf(ms2))
+	}
+}
+
+func TestNegatedSequenceComponent(t *testing.T) {
+	// Q_A8 shape: SEQ(A, NEG(SEQ(C,D)), B): only a C followed by D blocks.
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(SEQ(C c, D d)), B b) WITHIN 10")
+	clean := mkStream("A:1", "D:1", "C:1", "B:1") // D before C: not a SEQ(C,D)
+	ms, _ := runPat(t, p, clean)
+	if len(ms) != 1 {
+		t.Errorf("D,C order should not block: %v", keysOf(ms))
+	}
+	blocked := mkStream("A:1", "C:1", "D:1", "B:1")
+	ms2, _ := runPat(t, p, blocked)
+	if len(ms2) != 0 {
+		t.Errorf("C,D in gap should block: %v", keysOf(ms2))
+	}
+}
+
+func TestLeadingNegation(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(NEG(C c), A a, B b) WITHIN 3")
+	// C at 0 blocks (a1,b2) (inside window). For (a4,b5) the window
+	// [3..5] contains no C -> match.
+	st := mkStream("C:1", "A:1", "B:1", "X:0", "A:2", "B:2")
+	ms, _ := runPat(t, p, st)
+	got := keysOf(ms)
+	if got["1,2"] || !got["4,5"] {
+		t.Errorf("leading negation matches = %v, want only 4,5 (window-bounded)", got)
+	}
+}
+
+func TestTrailingNegation(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, NEG(C c)) WITHIN 3")
+	// (a0,b1): window is IDs 0..2; C@2 blocks it.
+	// (a3,b4): window 3..5, no C -> match (emitted on flush or closure).
+	st := mkStream("A:1", "B:1", "C:1", "A:2", "B:2", "X:0")
+	ms, _ := runPat(t, p, st)
+	got := keysOf(ms)
+	if got["0,1"] || !got["3,4"] {
+		t.Errorf("trailing negation matches = %v, want only 3,4", got)
+	}
+}
+
+func TestTrailingNegationEmittedOnClosure(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, NEG(C c)) WITHIN 3")
+	en, err := New(p, volSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mkStream("A:1", "B:1", "X:0", "X:0", "X:0")
+	var emitted []*Match
+	for i, e := range st.Events {
+		ms := en.Process(e)
+		if i < 3 && len(ms) > 0 {
+			t.Errorf("match emitted before window closure at event %d", i)
+		}
+		emitted = append(emitted, ms...)
+	}
+	emitted = append(emitted, en.Flush()...)
+	if len(emitted) != 1 || emitted[0].Key() != "0,1" {
+		t.Errorf("trailing neg emission: %v", keysOf(emitted))
+	}
+}
+
+func TestIDGapConstraint(t *testing.T) {
+	// Filtered streams keep original IDs; matches whose IDs span >= W must
+	// be rejected even if the events are adjacent in the filtered stream.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	events := []event.Event{
+		{ID: 10, Ts: 10, Type: "A", Attrs: []float64{1}},
+		{ID: 14, Ts: 14, Type: "B", Attrs: []float64{1}}, // span 5: ok
+		{ID: 30, Ts: 30, Type: "A", Attrs: []float64{1}},
+		{ID: 40, Ts: 40, Type: "B", Attrs: []float64{1}}, // span 11: reject
+	}
+	st := &event.Stream{Schema: volSchema, Events: events}
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"10,14": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestBlankEventsIgnored(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	events := []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		event.Blank(0, 0),
+		{Type: "B", Attrs: []float64{1}},
+	}
+	st := event.NewStream(volSchema, events)
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 1 || ms[0].Key() != "0,2" {
+		t.Errorf("blank handling: %v", keysOf(ms))
+	}
+}
+
+func TestStatsCountInstances(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 10")
+	st := mkStream("A:1", "A:1", "B:1", "C:1")
+	_, stats := runPat(t, p, st)
+	// prim instances: 2 A + 1 B + 1 C = 4; AB prefixes: 2; ABC: 2. total 8.
+	if stats.Instances != 8 {
+		t.Errorf("instances = %d, want 8", stats.Instances)
+	}
+	if stats.Matches != 2 {
+		t.Errorf("matches = %d, want 2", stats.Matches)
+	}
+	if stats.Events != 4 {
+		t.Errorf("events = %d, want 4", stats.Events)
+	}
+}
+
+func TestPartialMatchesPruned(t *testing.T) {
+	// After the window passes, stored prefixes must be discarded; a B far
+	// beyond every A creates no new instances beyond its own.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 2")
+	st := mkStream("A:1", "X:0", "X:0", "X:0", "B:1")
+	ms, stats := runPat(t, p, st)
+	if len(ms) != 0 {
+		t.Errorf("stale prefix matched: %v", keysOf(ms))
+	}
+	if stats.Instances != 2 { // A prim + B prim only
+		t.Errorf("instances = %d, want 2", stats.Instances)
+	}
+}
+
+func TestMultiTypePrim(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A|B x, C y) WITHIN 10")
+	st := mkStream("A:1", "B:1", "C:1")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,2": true, "1,2": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestEngineErrorPaths(t *testing.T) {
+	// Condition mixing Kleene-internal and outer aliases is rejected.
+	root := pattern.Seq(
+		pattern.Prim("a", "A"),
+		pattern.KC(pattern.Prim("b", "B")),
+	)
+	p := &pattern.Pattern{Name: "bad", Root: root, Window: pattern.Count(5),
+		Where: []pattern.Condition{pattern.Cmp{X: pattern.Ref{Alias: "a", Attr: "vol"}, Op: "<", Y: pattern.Ref{Alias: "b", Attr: "vol"}}}}
+	if _, err := New(p, volSchema); err == nil {
+		t.Error("condition across KC boundary accepted")
+	}
+
+	// Leading negation below the root is rejected.
+	nested := pattern.Disj(
+		pattern.Seq(pattern.Neg(pattern.Prim("n", "N")), pattern.Prim("a", "A")),
+		pattern.Seq(pattern.Prim("b", "B"), pattern.Prim("c", "C")),
+	)
+	p2 := &pattern.Pattern{Name: "bad2", Root: nested, Window: pattern.Count(5)}
+	if _, err := New(p2, volSchema); err == nil {
+		t.Error("leading negation in nested SEQ accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-checks against the brute-force reference.
+
+func randStream(rng *rand.Rand, n int, types []string) *event.Stream {
+	events := make([]event.Event, n)
+	for i := range events {
+		events[i] = event.Event{
+			Type:  types[rng.Intn(len(types))],
+			Attrs: []float64{math.Round(rng.NormFloat64()*100) / 100},
+		}
+	}
+	return event.NewStream(volSchema, events)
+}
+
+func crossCheck(t *testing.T, name string, p *pattern.Pattern, rounds, n int, types []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for r := 0; r < rounds; r++ {
+		st := randStream(rng, n, types)
+		ms, _, err := Run(p, st)
+		if err != nil {
+			t.Fatalf("%s round %d: %v", name, r, err)
+		}
+		got := Keys(ms)
+		want := refMatches(p, st)
+		if !reflect.DeepEqual(got, want) {
+			var evs []string
+			for _, e := range st.Events {
+				evs = append(evs, fmt.Sprintf("%s:%g", e.Type, e.Attrs[0]))
+			}
+			t.Fatalf("%s round %d mismatch\nstream: %v\n got: %v\nwant: %v", name, r, evs, got, want)
+		}
+	}
+}
+
+func TestCrossCheckSeq(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 6")
+	crossCheck(t, "seq", p, 40, 14, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckSeqConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < b.vol AND c.vol > b.vol WITHIN 8")
+	crossCheck(t, "seq-cond", p, 40, 14, []string{"A", "B", "C"})
+}
+
+func TestCrossCheckConj(t *testing.T) {
+	p := pattern.MustParse("PATTERN CONJ(A a, B b, C c) WITHIN 5")
+	crossCheck(t, "conj", p, 40, 12, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckDisj(t *testing.T) {
+	p := pattern.MustParse("PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 5")
+	crossCheck(t, "disj", p, 40, 14, []string{"A", "B", "C", "D"})
+}
+
+func TestCrossCheckKleene(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, KC(B b), C c) WITHIN 6")
+	crossCheck(t, "kleene", p, 30, 12, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckKleeneOfSeq(t *testing.T) {
+	p := pattern.MustParse("PATTERN KC(SEQ(A a, B b)) WITHIN 6")
+	crossCheck(t, "kc-seq", p, 30, 10, []string{"A", "B", "X"})
+}
+
+func TestCrossCheckNegMiddle(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WITHIN 6")
+	crossCheck(t, "neg-mid", p, 40, 14, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckNegCondition(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WHERE c.vol > a.vol WITHIN 6")
+	crossCheck(t, "neg-cond", p, 40, 14, []string{"A", "B", "C"})
+}
+
+func TestCrossCheckNegSeqComponent(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(SEQ(C c, D d)), B b) WITHIN 8")
+	crossCheck(t, "neg-seq", p, 30, 14, []string{"A", "B", "C", "D"})
+}
+
+func TestCrossCheckLeadingNeg(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(NEG(C c), A a, B b) WITHIN 4")
+	crossCheck(t, "neg-lead", p, 40, 12, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckTrailingNeg(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, NEG(C c)) WITHIN 4")
+	crossCheck(t, "neg-trail", p, 40, 12, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckDisjOfSeqWithConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WHERE 0.5 * a.vol < b.vol AND d.vol > c.vol WITHIN 5")
+	crossCheck(t, "disj-cond", p, 40, 12, []string{"A", "B", "C", "D"})
+}
+
+func TestCrossCheckTimeWindow(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 3 TIME")
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < 30; r++ {
+		n := 12
+		events := make([]event.Event, n)
+		ts := int64(1)
+		types := []string{"A", "B", "X"}
+		for i := range events {
+			ts += int64(rng.Intn(3))
+			events[i] = event.Event{Type: types[rng.Intn(len(types))], Ts: ts, Attrs: []float64{1}}
+		}
+		st := event.NewStream(volSchema, events)
+		ms, _, err := Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Keys(ms)
+		want := refMatches(p, st)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("time-window round %d mismatch\n got: %v\nwant: %v\nevents: %v", r, got, want, events)
+		}
+	}
+}
+
+func TestCrossCheckArithmeticConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol + b.vol < 2 * c.vol AND abs(a.vol - b.vol) < 1.2 WITHIN 8")
+	crossCheck(t, "expr-cond", p, 30, 14, []string{"A", "B", "C"})
+}

@@ -1,0 +1,188 @@
+// Package cep implements an exact complex event processing (ECEP) engine:
+// a streaming, NFA-style evaluator for the pattern language of
+// internal/pattern under the skip-till-any-match selection strategy.
+//
+// The engine maintains, for every operator of the pattern tree, the set of
+// partial matches (instances) that may still be extended into full matches —
+// exactly the behaviour whose worst-case exponential cost (Section 3.2 of
+// the DLACEP paper) motivates approximate CEP. The number of instances
+// created is surfaced via Stats so that the complexity model Φ(W, R, SEL)
+// can be validated empirically.
+package cep
+
+import (
+	"dlacep/internal/event"
+)
+
+// instance is a partial or complete sub-match of one operator subtree.
+// Instances are immutable once created; extension always allocates a new
+// instance. Events are kept sorted by ID (which is also stream order).
+type instance struct {
+	events []*event.Event
+	// bind maps global alias slots to events. Slots of aliases under a
+	// Kleene operator are cleared once the iteration's scoped conditions
+	// have been checked, so repeated iterations never conflict.
+	bind       []*event.Event
+	boundSlots []int // indices into bind that are non-nil, ascending
+	minID      uint64
+	maxID      uint64
+	minTs      int64
+	maxTs      int64
+	// iters counts completed Kleene iterations when the instance belongs to
+	// a Kleene store; zero elsewhere.
+	iters int
+}
+
+func newPrimInstance(e *event.Event, slot int, nSlots int) *instance {
+	inst := &instance{
+		events: []*event.Event{e},
+		bind:   make([]*event.Event, nSlots),
+		minID:  e.ID, maxID: e.ID,
+		minTs: e.Ts, maxTs: e.Ts,
+	}
+	inst.bind[slot] = e
+	inst.boundSlots = []int{slot}
+	return inst
+}
+
+// bound reports whether every slot in slots is bound.
+func (in *instance) bound(slots []int) bool {
+	for _, s := range slots {
+		if in.bind[s] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns a pattern.Lookup over this instance's binding given the
+// alias→slot table.
+func (in *instance) lookup(slotOf map[string]int) func(string) (*event.Event, bool) {
+	return func(alias string) (*event.Event, bool) {
+		s, ok := slotOf[alias]
+		if !ok {
+			return nil, false
+		}
+		e := in.bind[s]
+		return e, e != nil
+	}
+}
+
+// merge combines two instances with disjoint events into one. ordered
+// requires all events of a to precede all events of b (SEQ/Kleene
+// iteration ordering); otherwise events are interleaved by ID (CONJ).
+// merge returns nil when the instances share an event, which under
+// skip-till-any-match would bind one stream event to two pattern slots.
+func merge(a, b *instance, ordered bool) *instance {
+	if ordered && a.maxID >= b.minID {
+		return nil
+	}
+	out := &instance{
+		bind:  make([]*event.Event, len(a.bind)),
+		minID: min64(a.minID, b.minID), maxID: max64(a.maxID, b.maxID),
+		minTs: minI64(a.minTs, b.minTs), maxTs: maxI64(a.maxTs, b.maxTs),
+	}
+	if ordered {
+		out.events = make([]*event.Event, 0, len(a.events)+len(b.events))
+		out.events = append(out.events, a.events...)
+		out.events = append(out.events, b.events...)
+	} else {
+		out.events = mergeByID(a.events, b.events)
+		if out.events == nil {
+			return nil // duplicate event
+		}
+	}
+	copy(out.bind, a.bind)
+	for _, s := range b.boundSlots {
+		if out.bind[s] != nil {
+			return nil // same alias bound twice: impossible by construction
+		}
+		out.bind[s] = b.bind[s]
+	}
+	out.boundSlots = mergeSlots(a.boundSlots, b.boundSlots)
+	return out
+}
+
+// mergeByID merges two ID-sorted event slices, returning nil on duplicates.
+func mergeByID(a, b []*event.Event) []*event.Event {
+	out := make([]*event.Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			out = append(out, a[i])
+			i++
+		case a[i].ID > b[j].ID:
+			out = append(out, b[j])
+			j++
+		default:
+			return nil
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func mergeSlots(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// stripSlots clears the given slots from the instance binding (used when a
+// Kleene iteration completes). The receiver is freshly allocated by the
+// caller's merge, so in-place mutation is safe.
+func (in *instance) stripSlots(slots map[int]bool) {
+	if len(slots) == 0 {
+		return
+	}
+	kept := in.boundSlots[:0]
+	for _, s := range in.boundSlots {
+		if slots[s] {
+			in.bind[s] = nil
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	in.boundSlots = kept
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

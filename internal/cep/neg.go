@@ -1,0 +1,251 @@
+package cep
+
+import (
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Negation support. A pattern such as SEQ(A a, NEG(C c), B b) forbids an
+// occurrence of the negated component between the bounding positive
+// sub-matches. The engine buffers recent events of the negated types and,
+// when a structurally complete positive match arrives, searches the gap for
+// an embedding of the component that satisfies every condition referencing
+// its aliases. Leading negations are bounded by the match's window start;
+// trailing negations postpone emission until the window closes (Section 4.4
+// discusses why negation is the one operator where DLACEP can emit false
+// positives, making exact gap semantics here load-bearing for the F1
+// comparison).
+
+// bufferNeg appends e to the negation buffer if its type is relevant.
+func (sh *shared) bufferNeg(e *event.Event) {
+	if len(sh.c.negTypes) == 0 || e.IsBlank() || !sh.c.negTypes[e.Type] {
+		return
+	}
+	sh.negBuf = append(sh.negBuf, e)
+}
+
+// pruneNegBuf drops buffered events no longer reachable by any window:
+// neither by new matches at the current frontier nor by pending trailing
+// validations.
+func (sh *shared) pruneNegBuf(e *event.Event) {
+	if len(sh.negBuf) == 0 {
+		return
+	}
+	w := sh.c.pat.Window
+	if w.Kind == pattern.CountWindow {
+		span := uint64(w.Size) - 1
+		var keepFrom uint64
+		if e.ID > span {
+			keepFrom = e.ID - span
+		}
+		for _, pm := range sh.pending {
+			if pm.gapLoID+1 < keepFrom {
+				keepFrom = pm.gapLoID + 1
+			}
+		}
+		i := 0
+		for i < len(sh.negBuf) && sh.negBuf[i].ID < keepFrom {
+			i++
+		}
+		sh.negBuf = sh.negBuf[i:]
+		return
+	}
+	keepFrom := e.Ts - w.Size
+	for _, pm := range sh.pending {
+		// Trailing gaps start after the last positive event; its timestamp
+		// is not tracked, so fall back to the match's minTs (conservative).
+		if pm.inst.minTs < keepFrom {
+			keepFrom = pm.inst.minTs
+		}
+	}
+	i := 0
+	for i < len(sh.negBuf) && sh.negBuf[i].Ts < keepFrom {
+		i++
+	}
+	sh.negBuf = sh.negBuf[i:]
+}
+
+// gapEvents returns buffered events with loID < ID < hiID.
+func (sh *shared) gapEvents(loID, hiID uint64) []*event.Event {
+	var out []*event.Event
+	for _, e := range sh.negBuf {
+		if e.ID > loID && e.ID < hiID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// negOccurs reports whether spec's component occurs strictly between IDs lo
+// and hi, given the positive match posInst.
+func (sh *shared) negOccurs(spec *negSpec, posInst *instance, lo, hi uint64) bool {
+	evs := sh.gapEvents(lo, hi)
+	return sh.componentMatches(spec, posInst, evs)
+}
+
+// negOccursLeading reports whether spec's component occurs before the first
+// positive event (ID < firstStart) but inside the match's window.
+func (sh *shared) negOccursLeading(spec *negSpec, posInst *instance, firstStart uint64) bool {
+	w := sh.c.pat.Window
+	var evs []*event.Event
+	for _, e := range sh.negBuf {
+		if e.ID >= firstStart {
+			break
+		}
+		if w.Kind == pattern.CountWindow {
+			span := uint64(w.Size) - 1
+			if posInst.maxID-e.ID > span {
+				continue
+			}
+		} else if posInst.maxTs-e.Ts > w.Size {
+			continue
+		}
+		evs = append(evs, e)
+	}
+	return sh.componentMatches(spec, posInst, evs)
+}
+
+// negOccursTrailing validates a pending match once its window has closed:
+// the component is forbidden after the last positive event up to the window
+// boundary.
+func (sh *shared) negOccursTrailing(pm pendingMatch) bool {
+	w := sh.c.pat.Window
+	var evs []*event.Event
+	for _, e := range sh.negBuf {
+		if e.ID <= pm.gapLoID {
+			continue
+		}
+		if w.Kind == pattern.CountWindow {
+			if e.ID > pm.closeID {
+				break
+			}
+		} else if e.Ts > pm.closeTs {
+			break
+		}
+		evs = append(evs, e)
+	}
+	return sh.componentMatches(pm.spec, pm.inst, evs)
+}
+
+// componentMatches runs a backtracking search for an embedding of the
+// negated component into evs (sorted by ID) that satisfies the component's
+// conditions under the positive binding pos.
+func (sh *shared) componentMatches(spec *negSpec, pos *instance, evs []*event.Event) bool {
+	if len(evs) == 0 {
+		return false
+	}
+	ns := &negSearch{
+		sh:   sh,
+		spec: spec,
+		pos:  pos,
+		evs:  evs,
+		used: make([]bool, len(evs)),
+		bind: make(map[string]*event.Event, len(spec.prims)),
+	}
+	return ns.match(spec.component, 0, func(int) bool { return true })
+}
+
+type negSearch struct {
+	sh   *shared
+	spec *negSpec
+	pos  *instance
+	evs  []*event.Event
+	used []bool
+	bind map[string]*event.Event
+}
+
+// lookup resolves aliases against the negation binding first, then the
+// positive match.
+func (ns *negSearch) lookup(alias string) (*event.Event, bool) {
+	if e, ok := ns.bind[alias]; ok {
+		return e, true
+	}
+	s, ok := ns.sh.c.slotOf[alias]
+	if !ok {
+		return nil, false
+	}
+	e := ns.pos.bind[s]
+	return e, e != nil
+}
+
+// condsOK evaluates every spec condition that references the just-bound
+// alias and whose aliases are all resolvable. Conditions referencing
+// positive aliases left unbound by the match (possible under disjunction)
+// are skipped: they cannot constrain this component.
+func (ns *negSearch) condsOK(alias string) bool {
+	for _, pc := range ns.spec.conds {
+		refs := pc.cond.Aliases()
+		mentions, allBound := false, true
+		for _, a := range refs {
+			if a == alias {
+				mentions = true
+			}
+			if _, ok := ns.lookup(a); !ok {
+				allBound = false
+			}
+		}
+		if !mentions || !allBound {
+			continue
+		}
+		if !pc.cond.Eval(ns.sh.c.schema, ns.lookup) {
+			return false
+		}
+	}
+	return true
+}
+
+// match embeds node n into ns.evs at positions >= minPos, invoking k with
+// the next admissible start position once n is fully bound. It returns true
+// as soon as any complete embedding is found.
+func (ns *negSearch) match(n *pattern.Node, minPos int, k func(nextMin int) bool) bool {
+	switch n.Kind {
+	case pattern.KindPrim:
+		for pos := minPos; pos < len(ns.evs); pos++ {
+			if ns.used[pos] || !n.AcceptsType(ns.evs[pos].Type) {
+				continue
+			}
+			ns.bind[n.Alias] = ns.evs[pos]
+			ns.used[pos] = true
+			ok := ns.condsOK(n.Alias) && k(pos+1)
+			ns.used[pos] = false
+			delete(ns.bind, n.Alias)
+			if ok {
+				return true
+			}
+		}
+		return false
+	case pattern.KindSeq:
+		var rec func(i, mp int) bool
+		rec = func(i, mp int) bool {
+			if i == len(n.Children) {
+				return k(mp)
+			}
+			return ns.match(n.Children[i], mp, func(nm int) bool { return rec(i+1, nm) })
+		}
+		return rec(0, minPos)
+	case pattern.KindConj:
+		var rec func(i, maxNext int) bool
+		rec = func(i, maxNext int) bool {
+			if i == len(n.Children) {
+				return k(maxNext)
+			}
+			return ns.match(n.Children[i], 0, func(nm int) bool {
+				if nm < maxNext {
+					nm = maxNext
+				}
+				return rec(i+1, nm)
+			})
+		}
+		return rec(0, minPos)
+	case pattern.KindDisj:
+		for _, ch := range n.Children {
+			if ns.match(ch, minPos, k) {
+				return true
+			}
+		}
+		return false
+	default:
+		// KC and NEG inside negation are rejected by pattern validation.
+		panic("cep: unsupported operator inside negation: " + n.Kind.String())
+	}
+}

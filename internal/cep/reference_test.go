@@ -1,0 +1,377 @@
+package cep
+
+// A brute-force reference implementation of skip-till-any-match semantics
+// used to cross-check the streaming engine on small randomized inputs. It
+// enumerates every embedding of the pattern into the stream, checks windows,
+// conditions, and negation gaps, and returns the canonical match-key set.
+// Exponential by design; only run on tiny streams.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+type refInst struct {
+	events []*event.Event // sorted by ID
+	bind   map[string]*event.Event
+}
+
+func (r refInst) minID() uint64 { return r.events[0].ID }
+func (r refInst) maxID() uint64 { return r.events[len(r.events)-1].ID }
+func (r refInst) minTs() int64 {
+	ts := r.events[0].Ts
+	for _, e := range r.events {
+		if e.Ts < ts {
+			ts = e.Ts
+		}
+	}
+	return ts
+}
+func (r refInst) maxTs() int64 {
+	ts := r.events[0].Ts
+	for _, e := range r.events {
+		if e.Ts > ts {
+			ts = e.Ts
+		}
+	}
+	return ts
+}
+
+func refKey(events []*event.Event) string {
+	ids := make([]uint64, len(events))
+	for i, e := range events {
+		ids[i] = e.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatUint(id, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func refLookup(binds ...map[string]*event.Event) pattern.Lookup {
+	return func(alias string) (*event.Event, bool) {
+		for _, b := range binds {
+			if e, ok := b[alias]; ok {
+				return e, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// refCheckConds evaluates every condition in conds whose aliases are all
+// resolvable through look.
+func refCheckConds(s *event.Schema, conds []pattern.Condition, look pattern.Lookup) bool {
+	for _, c := range conds {
+		ok := true
+		for _, a := range c.Aliases() {
+			if _, bound := look(a); !bound {
+				ok = false
+				break
+			}
+		}
+		if ok && !c.Eval(s, look) {
+			return false
+		}
+	}
+	return true
+}
+
+// refEnum enumerates embeddings of node n into evs. checkWhere controls
+// whether subtree-scoped conditions are enforced during enumeration (they
+// are skipped when enumerating negation components, whose conditions are
+// checked jointly with the positive binding).
+func refEnum(s *event.Schema, n *pattern.Node, evs []*event.Event, checkWhere bool) []refInst {
+	var out []refInst
+	emit := func(r refInst) {
+		if checkWhere && !refCheckConds(s, n.Where, refLookup(r.bind)) {
+			return
+		}
+		out = append(out, r)
+	}
+	switch n.Kind {
+	case pattern.KindPrim:
+		for _, e := range evs {
+			if !e.IsBlank() && n.AcceptsType(e.Type) {
+				emit(refInst{events: []*event.Event{e}, bind: map[string]*event.Event{n.Alias: e}})
+			}
+		}
+	case pattern.KindSeq:
+		partials := []refInst{{bind: map[string]*event.Event{}}}
+		for _, ch := range n.Children {
+			if ch.Kind == pattern.KindNeg {
+				continue
+			}
+			chInsts := refEnum(s, ch, evs, checkWhere)
+			var next []refInst
+			for _, p := range partials {
+				for _, ci := range chInsts {
+					if len(p.events) > 0 && p.maxID() >= ci.minID() {
+						continue
+					}
+					next = append(next, refCombine(p, ci))
+				}
+			}
+			partials = next
+		}
+		for _, p := range partials {
+			if len(p.events) > 0 {
+				emit(p)
+			}
+		}
+	case pattern.KindConj:
+		partials := []refInst{{bind: map[string]*event.Event{}}}
+		for _, ch := range n.Children {
+			chInsts := refEnum(s, ch, evs, checkWhere)
+			var next []refInst
+			for _, p := range partials {
+				for _, ci := range chInsts {
+					if refOverlap(p, ci) {
+						continue
+					}
+					next = append(next, refCombine(p, ci))
+				}
+			}
+			partials = next
+		}
+		for _, p := range partials {
+			if len(p.events) > 0 {
+				emit(p)
+			}
+		}
+	case pattern.KindDisj:
+		for _, ch := range n.Children {
+			for _, ci := range refEnum(s, ch, evs, checkWhere) {
+				emit(ci)
+			}
+		}
+	case pattern.KindKleene:
+		iters := refEnum(s, n.Children[0], evs, checkWhere)
+		sort.Slice(iters, func(i, j int) bool { return iters[i].minID() < iters[j].minID() })
+		// Strip child aliases: outer conditions may not reference them.
+		strip := map[string]bool{}
+		for _, pr := range n.Children[0].Prims() {
+			strip[pr.Alias] = true
+		}
+		var grow func(tuple refInst, count int, from int)
+		grow = func(tuple refInst, count int, from int) {
+			if count >= n.KMin {
+				cp := refInst{events: tuple.events, bind: map[string]*event.Event{}}
+				emit(cp)
+			}
+			if n.KMax != 0 && count == n.KMax {
+				return
+			}
+			for i := from; i < len(iters); i++ {
+				if count > 0 && tuple.maxID() >= iters[i].minID() {
+					continue
+				}
+				grow(refCombine(tuple, iters[i]), count+1, i+1)
+			}
+		}
+		grow(refInst{bind: map[string]*event.Event{}}, 0, 0)
+	case pattern.KindNeg:
+		// handled by the caller
+	}
+	return out
+}
+
+func refCombine(a, b refInst) refInst {
+	events := make([]*event.Event, 0, len(a.events)+len(b.events))
+	events = append(events, a.events...)
+	events = append(events, b.events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].ID < events[j].ID })
+	bind := map[string]*event.Event{}
+	for k, v := range a.bind {
+		bind[k] = v
+	}
+	for k, v := range b.bind {
+		bind[k] = v
+	}
+	return refInst{events: events, bind: bind}
+}
+
+func refOverlap(a, b refInst) bool {
+	ids := map[uint64]bool{}
+	for _, e := range a.events {
+		ids[e.ID] = true
+	}
+	for _, e := range b.events {
+		if ids[e.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// refNegConds collects every condition (global or scoped anywhere)
+// referencing at least one alias of the negated component.
+func refNegConds(p *pattern.Pattern, comp *pattern.Node) []pattern.Condition {
+	negAliases := map[string]bool{}
+	for _, pr := range comp.Prims() {
+		negAliases[pr.Alias] = true
+	}
+	var all []pattern.Condition
+	all = append(all, p.Where...)
+	p.Root.Walk(func(n *pattern.Node) { all = append(all, n.Where...) })
+	var out []pattern.Condition
+	for _, c := range all {
+		for _, a := range c.Aliases() {
+			if negAliases[a] {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// refMatches computes the exact match-key set of pattern p over stream st.
+func refMatches(p *pattern.Pattern, st *event.Stream) map[string]bool {
+	evs := make([]*event.Event, len(st.Events))
+	for i := range st.Events {
+		evs[i] = &st.Events[i]
+	}
+	s := st.Schema
+
+	type negRef struct {
+		comp    *pattern.Node
+		prevIdx int // index into root positive children, -1 = leading
+		nextIdx int // len(positives) = trailing
+		conds   []pattern.Condition
+	}
+	var negs []negRef
+	var positives []*pattern.Node
+	if p.Root.Kind == pattern.KindSeq {
+		for _, ch := range p.Root.Children {
+			if ch.Kind == pattern.KindNeg {
+				negs = append(negs, negRef{comp: ch.Children[0], prevIdx: len(positives) - 1, conds: refNegConds(p, ch.Children[0])})
+			} else {
+				positives = append(positives, ch)
+			}
+		}
+		for i := range negs {
+			// nextIdx = first positive after prevIdx
+			negs[i].nextIdx = negs[i].prevIdx + 1
+		}
+	}
+
+	out := map[string]bool{}
+	if p.Root.Kind == pattern.KindSeq && len(negs) > 0 {
+		// Enumerate positive children with per-child extents for gap bounds.
+		type part struct {
+			inst    refInst
+			extents [][2]uint64 // start, end IDs per positive child
+		}
+		parts := []part{{inst: refInst{bind: map[string]*event.Event{}}}}
+		for _, ch := range positives {
+			chInsts := refEnum(s, ch, evs, true)
+			var next []part
+			for _, pp := range parts {
+				for _, ci := range chInsts {
+					if len(pp.inst.events) > 0 && pp.inst.maxID() >= ci.minID() {
+						continue
+					}
+					np := part{inst: refCombine(pp.inst, ci)}
+					np.extents = append(append([][2]uint64(nil), pp.extents...), [2]uint64{ci.minID(), ci.maxID()})
+					next = append(next, np)
+				}
+			}
+			parts = next
+		}
+		for _, pp := range parts {
+			if !refWindowOK(p, pp.inst) {
+				continue
+			}
+			if !refCheckConds(s, p.Where, refLookup(pp.inst.bind)) {
+				continue
+			}
+			blocked := false
+			for _, ng := range negs {
+				if refNegOccurs(p, s, ng.comp, ng.conds, pp.inst, pp.extents, ng.prevIdx, ng.nextIdx, evs) {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				out[refKey(pp.inst.events)] = true
+			}
+		}
+		return out
+	}
+
+	for _, inst := range refEnum(s, p.Root, evs, true) {
+		if !refWindowOK(p, inst) {
+			continue
+		}
+		if !refCheckConds(s, p.Where, refLookup(inst.bind)) {
+			continue
+		}
+		out[refKey(inst.events)] = true
+	}
+	return out
+}
+
+func refWindowOK(p *pattern.Pattern, r refInst) bool {
+	if p.Window.Kind == pattern.CountWindow {
+		return r.maxID()-r.minID() <= uint64(p.Window.Size)-1
+	}
+	return r.maxTs()-r.minTs() <= p.Window.Size
+}
+
+func refNegOccurs(p *pattern.Pattern, s *event.Schema, comp *pattern.Node,
+	conds []pattern.Condition, pos refInst, extents [][2]uint64,
+	prevIdx, nextIdx int, evs []*event.Event) bool {
+
+	count := p.Window.Kind == pattern.CountWindow
+	var gap []*event.Event
+	for _, e := range evs {
+		if e.IsBlank() {
+			continue
+		}
+		switch {
+		case prevIdx == -1: // leading: inside window, before first positive
+			if e.ID >= extents[0][0] {
+				continue
+			}
+			if count {
+				if pos.maxID()-e.ID > uint64(p.Window.Size)-1 {
+					continue
+				}
+			} else if pos.maxTs()-e.Ts > p.Window.Size {
+				continue
+			}
+		case nextIdx == len(extents): // trailing: after last positive, inside window
+			if e.ID <= extents[len(extents)-1][1] {
+				continue
+			}
+			if count {
+				if e.ID-pos.minID() > uint64(p.Window.Size)-1 {
+					continue
+				}
+			} else if e.Ts-pos.minTs() > p.Window.Size {
+				continue
+			}
+		default: // middle
+			if e.ID <= extents[prevIdx][1] || e.ID >= extents[nextIdx][0] {
+				continue
+			}
+		}
+		gap = append(gap, e)
+	}
+	if len(gap) == 0 {
+		return false
+	}
+	for _, emb := range refEnum(s, comp, gap, false) {
+		if refCheckConds(s, conds, refLookup(emb.bind, pos.bind)) {
+			return true
+		}
+	}
+	return false
+}

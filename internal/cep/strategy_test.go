@@ -1,0 +1,155 @@
+package cep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+func withStrategy(src string, s pattern.SelectionStrategy) *pattern.Pattern {
+	p := pattern.MustParse(src)
+	p.Strategy = s
+	return p
+}
+
+func TestSkipTillNextMatchSingleBranch(t *testing.T) {
+	// STNM advances with the first qualifying event: A1 pairs with B1 only,
+	// A2 with B2.
+	p := withStrategy("PATTERN SEQ(A a, B b) WITHIN 10", pattern.SkipTillNextMatch)
+	st := mkStream("A:1", "A:2", "B:1", "B:2")
+	ms, stats := runPat(t, p, st)
+	want := map[string]bool{"0,2": true, "1,2": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("STNM matches = %v, want %v", got, want)
+	}
+	// compare against skip-till-any: 4 matches
+	any := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	msAny, statsAny := runPat(t, any, st)
+	if len(msAny) != 4 {
+		t.Fatalf("sanity: any-match found %d", len(msAny))
+	}
+	if stats.Instances >= statsAny.Instances {
+		t.Errorf("STNM instances %d not fewer than any-match %d", stats.Instances, statsAny.Instances)
+	}
+}
+
+func TestSkipTillNextMatchSkipsFailedPredicates(t *testing.T) {
+	// The first B fails the predicate; STNM must skip it and take the next.
+	p := withStrategy("PATTERN SEQ(A a, B b) WHERE b.vol > a.vol WITHIN 10", pattern.SkipTillNextMatch)
+	st := mkStream("A:5", "B:3", "B:8")
+	ms, _ := runPat(t, p, st)
+	want := map[string]bool{"0,2": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestStrictContiguity(t *testing.T) {
+	p := withStrategy("PATTERN SEQ(A a, B b) WITHIN 10", pattern.StrictContiguity)
+	st := mkStream("A:1", "B:1", "A:2", "X:0", "B:2")
+	ms, _ := runPat(t, p, st)
+	// only the adjacent A,B pair at 0,1 matches; A@2 is broken by X.
+	want := map[string]bool{"0,1": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("strict matches = %v, want %v", got, want)
+	}
+}
+
+func TestStrictContiguityPredicateBreaks(t *testing.T) {
+	// Under strict contiguity an adjacent event failing the predicate
+	// discards the partial rather than being skipped.
+	p := withStrategy("PATTERN SEQ(A a, B b) WHERE b.vol > a.vol WITHIN 10", pattern.StrictContiguity)
+	st := mkStream("A:5", "B:3", "B:8")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 0 {
+		t.Errorf("strict matches = %v, want none", keysOf(ms))
+	}
+}
+
+func TestStrategyThreeStepChain(t *testing.T) {
+	p := withStrategy("PATTERN SEQ(A a, B b, C c) WITHIN 10", pattern.SkipTillNextMatch)
+	st := mkStream("A:1", "X:0", "B:1", "B:9", "C:1")
+	ms, _ := runPat(t, p, st)
+	// A binds first B (skipping X); then first C. The second B starts
+	// nothing (no A-partial left waiting at state 0... A was consumed).
+	want := map[string]bool{"0,2,4": true}
+	if got := keysOf(ms); !reflect.DeepEqual(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+}
+
+func TestStrategySubsetOfAnyMatch(t *testing.T) {
+	// Every STNM / strict match is also a skip-till-any match, and the
+	// instance counts are ordered strict <= next <= any.
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 25; round++ {
+		events := make([]event.Event, 20)
+		types := []string{"A", "B", "C", "X"}
+		for i := range events {
+			events[i] = event.Event{Type: types[rng.Intn(4)], Attrs: []float64{rng.NormFloat64()}}
+		}
+		st := event.NewStream(volSchema, events)
+		src := "PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < c.vol WITHIN 8"
+
+		anyP := pattern.MustParse(src)
+		msAny, statsAny, err := Run(anyP, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anyKeys := Keys(msAny)
+
+		var prevInstances int64 = statsAny.Instances
+		for _, strat := range []pattern.SelectionStrategy{pattern.SkipTillNextMatch, pattern.StrictContiguity} {
+			p := withStrategy(src, strat)
+			ms, stats, err := Run(p, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range Keys(ms) {
+				if !anyKeys[k] {
+					t.Fatalf("round %d: %v emitted %s not found by any-match", round, strat, k)
+				}
+			}
+			if stats.Instances > prevInstances {
+				t.Errorf("round %d: %v instances %d exceed looser strategy's %d",
+					round, strat, stats.Instances, prevInstances)
+			}
+			prevInstances = stats.Instances
+		}
+	}
+}
+
+func TestStrategyWindowEnforced(t *testing.T) {
+	p := withStrategy("PATTERN SEQ(A a, B b) WITHIN 3", pattern.SkipTillNextMatch)
+	st := mkStream("A:1", "X:0", "X:0", "B:1")
+	ms, _ := runPat(t, p, st)
+	if len(ms) != 0 {
+		t.Errorf("window ignored: %v", keysOf(ms))
+	}
+}
+
+func TestStrategyRejectsComplexPatterns(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN KC(A a) WITHIN 5",
+		"PATTERN SEQ(A a, KC(B b)) WITHIN 5",
+		"PATTERN CONJ(A a, B b) WITHIN 5",
+		"PATTERN SEQ(A a, NEG(C c), B b) WITHIN 5",
+	} {
+		p := withStrategy(src, pattern.SkipTillNextMatch)
+		if _, err := New(p, volSchema); err == nil {
+			t.Errorf("STNM accepted %q", src)
+		}
+	}
+}
+
+func TestStrategyStringer(t *testing.T) {
+	if pattern.SkipTillNextMatch.String() != "skip-till-next-match" {
+		t.Error("stringer broken")
+	}
+	if pattern.StrictContiguity.String() != "strict-contiguity" {
+		t.Error("stringer broken")
+	}
+}

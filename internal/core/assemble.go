@@ -1,0 +1,29 @@
+package core
+
+import "dlacep/internal/event"
+
+// Assemble cuts the stream into marking windows of markSize events,
+// advancing stepSize events per step (Section 4.2, Figure 4). The final
+// window is the last markSize events (shorter when the stream itself is),
+// so every event is marked at least once. Windows are views into the
+// stream's backing array.
+func Assemble(st *event.Stream, markSize, stepSize int) [][]event.Event {
+	n := st.Len()
+	if n == 0 {
+		return nil
+	}
+	if n <= markSize {
+		return [][]event.Event{st.Events}
+	}
+	var out [][]event.Event
+	lo := 0
+	for {
+		hi := lo + markSize
+		if hi >= n {
+			out = append(out, st.Events[n-markSize:n])
+			return out
+		}
+		out = append(out, st.Events[lo:hi])
+		lo += stepSize
+	}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+func TestAssembleCoversEveryEvent(t *testing.T) {
+	prop := func(nRaw, markRaw, stepRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		mark := int(markRaw)%20 + 2
+		step := int(stepRaw)%mark + 1
+		st := dataset.Synthetic(n, 3, 1)
+		ws := Assemble(st, mark, step)
+		covered := map[uint64]bool{}
+		for _, w := range ws {
+			if len(w) > mark {
+				return false
+			}
+			for i := range w {
+				covered[w[i].ID] = true
+			}
+		}
+		return len(covered) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleShapes(t *testing.T) {
+	st := dataset.Synthetic(25, 3, 1)
+	ws := Assemble(st, 10, 5)
+	// windows: [0,10) [5,15) [10,20) [15,25) — last window hits the end.
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d, want 4", len(ws))
+	}
+	if ws[3][0].ID != 15 || ws[3][9].ID != 24 {
+		t.Errorf("last window covers %d..%d, want 15..24", ws[3][0].ID, ws[3][9].ID)
+	}
+	// short stream: single window
+	short := dataset.Synthetic(4, 3, 1)
+	if ws := Assemble(short, 10, 5); len(ws) != 1 || len(ws[0]) != 4 {
+		t.Errorf("short stream assembly wrong: %d windows", len(ws))
+	}
+	if ws := Assemble(&event.Stream{Schema: volSchema}, 10, 5); ws != nil {
+		t.Errorf("empty stream produced windows")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	w := 10
+	good := []Config{
+		{MarkSize: 20, StepSize: 10, Hidden: 4, Layers: 1},
+		{MarkSize: 10, StepSize: 1, Hidden: 4, Layers: 1},
+		{MarkSize: 15, StepSize: 5, Hidden: 4, Layers: 1},
+		// StepSize above MarkSize-W is legal per Section 4.2, merely lossy.
+		{MarkSize: 20, StepSize: 11, Hidden: 4, Layers: 1},
+		{MarkSize: 10, StepSize: 10, Hidden: 4, Layers: 1},
+	}
+	for _, c := range good {
+		if err := c.Validate(w); err != nil {
+			t.Errorf("valid config rejected: %+v: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{MarkSize: 5, StepSize: 1, Hidden: 4, Layers: 1},   // MarkSize < W
+		{MarkSize: 20, StepSize: 9, Hidden: 4, Layers: 1},  // step < MarkSize-W
+		{MarkSize: 10, StepSize: 11, Hidden: 4, Layers: 1}, // step > mark
+		{MarkSize: 20, StepSize: 10, Hidden: 0, Layers: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(w); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestTypeFilter(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	f := NewTypeFilter(p)
+	st := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "X", Attrs: []float64{1}},
+		{Type: "B", Attrs: []float64{1}},
+	})
+	got := f.Mark(st.Events)
+	if !reflect.DeepEqual(got, []bool{true, false, true}) {
+		t.Errorf("marks = %v", got)
+	}
+}
+
+func TestOracleFilterMarksParticipants(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	lab, _ := label.New(volSchema, p)
+	f := OracleFilter{lab}
+	st := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "B", Attrs: []float64{1}},
+		{Type: "A", Attrs: []float64{1}}, // no later B
+	})
+	got := f.Mark(st.Events)
+	if !reflect.DeepEqual(got, []bool{true, true, false}) {
+		t.Errorf("oracle marks = %v", got)
+	}
+}
+
+func TestWindowToEventAdapter(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	lab, _ := label.New(volSchema, p)
+	f := WindowToEvent{OracleWindowFilter{lab}}
+	pos := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}}, {Type: "B", Attrs: []float64{1}},
+	})
+	if got := f.Mark(pos.Events); !got[0] || !got[1] {
+		t.Errorf("applicable window not fully relayed: %v", got)
+	}
+	neg := event.NewStream(volSchema, []event.Event{
+		{Type: "B", Attrs: []float64{1}}, {Type: "A", Attrs: []float64{1}},
+	})
+	if got := f.Mark(neg.Events); got[0] || got[1] {
+		t.Errorf("inapplicable window relayed: %v", got)
+	}
+}
+
+func pipelineFor(t *testing.T, p *pattern.Pattern, f EventFilter, cfg Config) *Pipeline {
+	t.Helper()
+	pl, err := NewPipeline(volSchema, []*pattern.Pattern{p}, cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func smallCfg(w int) Config {
+	return Config{MarkSize: 2 * w, StepSize: w, Hidden: 4, Layers: 1, Seed: 1}
+}
+
+func TestOraclePipelineIsExact(t *testing.T) {
+	pats := []string{
+		"PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8",
+		"PATTERN SEQ(A a, KC(B b), C c) WITHIN 6",
+		"PATTERN CONJ(A a, B b) WITHIN 6",
+		"PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 6",
+	}
+	for _, src := range pats {
+		p := pattern.MustParse(src)
+		lab, err := label.New(volSchema, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := dataset.Synthetic(400, 5, 17)
+		pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(int(p.Window.Size)))
+		got, err := pl.Run(st)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		want, err := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Keys, want.Keys) {
+			t.Errorf("%s: oracle pipeline differs from ECEP:\n got %d matches\nwant %d matches",
+				src, len(got.Keys), len(want.Keys))
+		}
+		if got.EventsRelayed > want.EventsTotal {
+			t.Errorf("%s: relayed more events than exist", src)
+		}
+	}
+}
+
+func TestOraclePipelineExactWithNegation(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WITHIN 6")
+	lab, err := label.New(volSchema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.Synthetic(400, 4, 23)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(6))
+	got, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+	if !reflect.DeepEqual(got.Keys, want.Keys) {
+		t.Errorf("neg oracle pipeline: got %d want %d matches", len(got.Keys), len(want.Keys))
+	}
+}
+
+func TestKeepAllPipelineIsExact(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 7")
+	st := dataset.Synthetic(300, 4, 31)
+	pl := pipelineFor(t, p, KeepAllFilter{}, smallCfg(7))
+	got, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+	if !reflect.DeepEqual(got.Keys, want.Keys) {
+		t.Errorf("keep-all pipeline differs from ECEP: %d vs %d", len(got.Keys), len(want.Keys))
+	}
+	if got.FilterRatio() != 0 {
+		t.Errorf("keep-all filter ratio = %v", got.FilterRatio())
+	}
+}
+
+// randomFilter drops events arbitrarily; no matter what, the pipeline must
+// never emit a false positive on negation-free patterns (Section 4.4).
+type randomFilter struct{ rng *rand.Rand }
+
+func (r randomFilter) Mark(w []event.Event) []bool {
+	m := make([]bool, len(w))
+	for i := range m {
+		m[i] = r.rng.Float64() < 0.5
+	}
+	return m
+}
+
+func TestNoFalsePositivesProperty(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8")
+	for seed := int64(0); seed < 10; seed++ {
+		st := dataset.Synthetic(300, 4, 100+seed)
+		pl := pipelineFor(t, p, randomFilter{rand.New(rand.NewSource(seed))}, smallCfg(8))
+		got, err := pl.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+		for k := range got.Keys {
+			if !want.Keys[k] {
+				t.Fatalf("seed %d: false positive match %s", seed, k)
+			}
+		}
+	}
+}
+
+func TestMarkSizeWMissesBoundaryMatches(t *testing.T) {
+	// Figure 5: MarkSize = StepSize = W splits matches across step
+	// boundaries. An oracle filter cannot mark events it never sees
+	// together, so recall drops; MarkSize = 2W recovers them.
+	w := 6
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	lab, _ := label.New(volSchema, p)
+
+	// Build a stream whose only match straddles the first step boundary.
+	events := make([]event.Event, 24)
+	for i := range events {
+		events[i] = event.Event{Type: "X", Attrs: []float64{1}}
+	}
+	events[5] = event.Event{Type: "A", Attrs: []float64{1}}
+	events[6] = event.Event{Type: "B", Attrs: []float64{1}}
+	st := event.NewStream(volSchema, events)
+
+	ecep, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+	if len(ecep.Keys) != 1 {
+		t.Fatalf("setup: ECEP found %d matches, want 1", len(ecep.Keys))
+	}
+
+	narrow := Config{MarkSize: w, StepSize: w, Hidden: 4, Layers: 1}
+	plNarrow := pipelineFor(t, p, OracleFilter{lab}, narrow)
+	gotNarrow, err := plNarrow.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNarrow.Keys) != 0 {
+		t.Errorf("MarkSize=W should miss the boundary match, found %v", gotNarrow.Keys)
+	}
+
+	plWide := pipelineFor(t, p, OracleFilter{lab}, smallCfg(w))
+	gotWide, err := plWide.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotWide.Keys, ecep.Keys) {
+		t.Errorf("MarkSize=2W missed the boundary match")
+	}
+}
+
+func TestPipelineTimeBasedWindows(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	lab, _ := label.New(volSchema, p)
+	st := dataset.Synthetic(200, 4, 3)
+	windows := dataset.TimeWindows(st, 12, 9)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(6))
+	got, err := pl.RunWindows(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventsTotal != 200 {
+		t.Errorf("EventsTotal = %d, want 200 (blanks excluded)", got.EventsTotal)
+	}
+	// every emitted match must be exact
+	want, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+	for k := range got.Keys {
+		if !want.Keys[k] {
+			t.Errorf("false positive %s in time-based run", k)
+		}
+	}
+	if len(got.Keys) == 0 && len(want.Keys) > 0 {
+		t.Error("time-based run found nothing")
+	}
+}
+
+func TestComparison(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	lab, _ := label.New(volSchema, p)
+	st := dataset.Synthetic(300, 4, 5)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(6))
+	acep, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecep, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+	cmp := Compare(acep, ecep)
+	if cmp.Recall != 1 || cmp.Jaccard != 1 {
+		t.Errorf("oracle comparison: recall=%v jaccard=%v, want 1/1", cmp.Recall, cmp.Jaccard)
+	}
+}
+
+func TestMultiPatternPipeline(t *testing.T) {
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	p2 := pattern.MustParse("PATTERN SEQ(C c, D d) WITHIN 6")
+	pats := []*pattern.Pattern{p1, p2}
+	lab, _ := label.New(volSchema, pats...)
+	st := dataset.Synthetic(300, 5, 8)
+	pl, err := NewPipeline(volSchema, pats, smallCfg(6), OracleFilter{lab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RunECEP(volSchema, pats, st)
+	if !reflect.DeepEqual(got.Keys, want.Keys) {
+		t.Errorf("multi-pattern: got %d want %d", len(got.Keys), len(want.Keys))
+	}
+}
+
+func trainTestSplit(t *testing.T, p *pattern.Pattern, n, sampleSize int, seed int64) (trainWs, testWs [][]event.Event, lab *label.Labeler) {
+	t.Helper()
+	st := dataset.Synthetic(n, 5, seed)
+	ws := dataset.Windows(st, sampleSize)
+	trainWs, testWs = dataset.Split(ws, 0.7, seed)
+	lab, err := label.New(volSchema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainWs, testWs, lab
+}
+
+func TestEventNetworkLearns(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	trainWs, testWs, lab := trainTestSplit(t, p, 2400, 12, 11)
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: 3}
+	net, err := NewEventNetwork(volSchema, []*pattern.Pattern{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 12
+	res, err := net.Fit(trainWs, lab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LossHistory) == 0 {
+		t.Fatal("no training happened")
+	}
+	first, last := res.LossHistory[0], res.LossHistory[len(res.LossHistory)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+	c, err := net.Evaluate(testWs, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F1() < 0.6 {
+		t.Errorf("event network F1 = %v (%v), want >= 0.6", c.F1(), c)
+	}
+}
+
+func TestWindowNetworkLearns(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	trainWs, testWs, lab := trainTestSplit(t, p, 2400, 12, 13)
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: 4}
+	net, err := NewWindowNetwork(volSchema, []*pattern.Pattern{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 12
+	if _, err := net.Fit(trainWs, lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Evaluate(testWs, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F1() < 0.6 {
+		t.Errorf("window network F1 = %v (%v), want >= 0.6", c.F1(), c)
+	}
+}
+
+func TestDataFractionSubsampling(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	trainWs, _, _ := trainTestSplit(t, p, 1200, 12, 17)
+	opt := DefaultTrainOptions()
+	opt.DataFraction = 0.25
+	got := opt.subsample(trainWs)
+	want := int(0.25 * float64(len(trainWs)))
+	if len(got) != want {
+		t.Errorf("subsample kept %d of %d, want %d", len(got), len(trainWs), want)
+	}
+	opt.DataFraction = 1
+	if len(opt.subsample(trainWs)) != len(trainWs) {
+		t.Error("fraction 1 must keep everything")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 6")
+	pats := []*pattern.Pattern{p}
+	trainWs, testWs, lab := trainTestSplit(t, p, 600, 12, 19)
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 4, Layers: 1, Seed: 5}
+	net, err := NewEventNetwork(volSchema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 2
+	if _, err := net.Fit(trainWs, lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf, pats); err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedPats, _, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loadedPats) != 1 || loadedPats[0].String() != p.String() {
+		t.Errorf("patterns not preserved: %v", loadedPats)
+	}
+	for _, w := range testWs[:10] {
+		if !reflect.DeepEqual(net.Mark(w), loaded.Mark(w)) {
+			t.Fatal("loaded model marks differently")
+		}
+	}
+
+	// window network round trip
+	wnet, err := NewWindowNetwork(volSchema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wnet.Fit(trainWs, lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := wnet.Save(&buf, pats); err != nil {
+		t.Fatal(err)
+	}
+	wloaded, _, _, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range testWs[:10] {
+		if !reflect.DeepEqual(WindowToEvent{wnet}.Mark(w), wloaded.Mark(w)) {
+			t.Fatal("loaded window model marks differently")
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, _, _, err := LoadModel(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, _, _, err := LoadModel(bytes.NewReader([]byte(`{"kind":"bogus"}`))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestTCNArchitectureTrains(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	trainWs, testWs, lab := trainTestSplit(t, p, 2400, 12, 21)
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 2, Arch: "tcn", Seed: 3}
+	net, err := NewEventNetwork(volSchema, []*pattern.Pattern{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 12
+	res, err := net.Fit(trainWs, lab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first, last := res.LossHistory[0], res.LossHistory[len(res.LossHistory)-1]; last >= first {
+		t.Errorf("TCN loss did not decrease: %v -> %v", first, last)
+	}
+	c, err := net.Evaluate(testWs, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F1() < 0.4 {
+		t.Errorf("TCN event network F1 = %v, implausibly low", c.F1())
+	}
+}
+
+func TestUnknownArchRejected(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Arch: "transformer"}
+	if _, err := NewEventNetwork(volSchema, []*pattern.Pattern{p}, cfg); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/metrics"
+	"dlacep/internal/nn"
+)
+
+// Concept drift handling (Section 4.3 discusses the problem and proposes
+// periodic model retraining as the baseline mitigation). DriftMonitor makes
+// that strategy incremental and cheap: instead of blind periodic retraining,
+// it audits the deployed filter on a small reservoir sample of recent
+// windows — labeling only those few windows with exact CEP — and tracks an
+// exponential moving average of the filter's event-level F1. When the
+// average degrades below a threshold, the monitor reports drift and the
+// caller retrains (optionally warm-started, see TransferFrom).
+
+// DriftOptions configures a monitor.
+type DriftOptions struct {
+	// AuditEvery audits once per this many observed windows (default 64).
+	AuditEvery int
+	// Sample is the number of reservoir windows labeled per audit
+	// (default 8) — the only windows that pay for exact CEP.
+	Sample int
+	// MinF1 is the drift threshold on the F1 moving average (default 0.5).
+	MinF1 float64
+	// Alpha is the EMA smoothing factor (default 0.3).
+	Alpha float64
+	// Seed drives reservoir sampling.
+	Seed int64
+}
+
+func (o DriftOptions) withDefaults() DriftOptions {
+	if o.AuditEvery <= 0 {
+		o.AuditEvery = 64
+	}
+	if o.Sample <= 0 {
+		o.Sample = 8
+	}
+	if o.MinF1 == 0 {
+		o.MinF1 = 0.5
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.3
+	}
+	return o
+}
+
+// DriftMonitor watches a deployed filter for accuracy degradation.
+type DriftMonitor struct {
+	filter EventFilter
+	lab    *label.Labeler
+	opts   DriftOptions
+
+	rng       *rand.Rand
+	reservoir [][]event.Event
+	seen      int
+	sinceLast int
+
+	emaF1   float64
+	audits  int
+	drifted bool
+}
+
+// NewDriftMonitor builds a monitor for the given filter. The labeler must
+// monitor the same patterns the filter was trained for.
+func NewDriftMonitor(filter EventFilter, lab *label.Labeler, opts DriftOptions) (*DriftMonitor, error) {
+	if filter == nil || lab == nil {
+		return nil, fmt.Errorf("core: drift monitor needs a filter and a labeler")
+	}
+	opts = opts.withDefaults()
+	return &DriftMonitor{
+		filter: filter,
+		lab:    lab,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}, nil
+}
+
+// Observe records a processed window, reservoir-samples it, and runs an
+// audit when due. It returns whether an audit ran and the current drift
+// verdict.
+func (m *DriftMonitor) Observe(window []event.Event) (audited bool, drifted bool, err error) {
+	m.seen++
+	m.sinceLast++
+	// reservoir sampling over the windows since the last audit
+	if len(m.reservoir) < m.opts.Sample {
+		m.reservoir = append(m.reservoir, window)
+	} else if j := m.rng.Intn(m.sinceLast); j < m.opts.Sample {
+		m.reservoir[j] = window
+	}
+	if m.sinceLast < m.opts.AuditEvery {
+		return false, m.drifted, nil
+	}
+	if err := m.audit(); err != nil {
+		return false, m.drifted, err
+	}
+	m.sinceLast = 0
+	m.reservoir = m.reservoir[:0]
+	return true, m.drifted, nil
+}
+
+func (m *DriftMonitor) audit() error {
+	var c metrics.Counts
+	for _, w := range m.reservoir {
+		gold, err := m.lab.EventLabels(w)
+		if err != nil {
+			return err
+		}
+		marks := m.filter.Mark(w)
+		for i := range marks {
+			pred := 0
+			if marks[i] {
+				pred = 1
+			}
+			c.Add(pred, gold[i])
+		}
+	}
+	f1 := c.F1()
+	if m.audits == 0 {
+		m.emaF1 = f1
+	} else {
+		m.emaF1 = m.opts.Alpha*f1 + (1-m.opts.Alpha)*m.emaF1
+	}
+	m.audits++
+	m.drifted = m.emaF1 < m.opts.MinF1
+	return nil
+}
+
+// F1 returns the current moving-average audit F1 (0 before any audit).
+func (m *DriftMonitor) F1() float64 { return m.emaF1 }
+
+// Audits returns the number of audits performed.
+func (m *DriftMonitor) Audits() int { return m.audits }
+
+// Drifted reports whether the last audit put the moving average below the
+// threshold.
+func (m *DriftMonitor) Drifted() bool { return m.drifted }
+
+// Reset clears the drift verdict and statistics, typically after the filter
+// was retrained.
+func (m *DriftMonitor) Reset() {
+	m.emaF1 = 0
+	m.audits = 0
+	m.drifted = false
+	m.sinceLast = 0
+	m.reservoir = m.reservoir[:0]
+}
+
+// TransferFrom warm-starts this network from an already trained one by
+// copying every parameter tensor whose shape matches — the transfer-
+// learning mitigation Section 4.3 suggests "when multiple patterns with
+// only slight differences are detected or the changes in the training data
+// are minor". Returns the number of tensors copied.
+func (n *EventNetwork) TransferFrom(old *EventNetwork) (int, error) {
+	return transferParams(n.Params(), old.Params())
+}
+
+// TransferFrom warm-starts a window-network; see EventNetwork.TransferFrom.
+func (n *WindowNetwork) TransferFrom(old *WindowNetwork) (int, error) {
+	return transferParams(n.Params(), old.Params())
+}
+
+func transferParams(dst, src []*nn.Param) (int, error) {
+	if len(dst) != len(src) {
+		return 0, fmt.Errorf("core: transfer between networks with %d vs %d tensors (different depth?)", len(dst), len(src))
+	}
+	copied := 0
+	for i, d := range dst {
+		s := src[i]
+		if d.Rows == s.Rows && d.Cols == s.Cols {
+			copy(d.Data, s.Data)
+			copied++
+		}
+	}
+	if copied == 0 {
+		return 0, fmt.Errorf("core: no tensor shapes matched; transfer is useless")
+	}
+	return copied, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+func trainSmallNet(t *testing.T, p *pattern.Pattern, st *event.Stream, seed int64) (*EventNetwork, *label.Labeler) {
+	t.Helper()
+	pats := []*pattern.Pattern{p}
+	lab, err := label.New(st.Schema, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: seed}
+	net, err := NewEventNetwork(st.Schema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultTrainOptions()
+	opt.MaxEpochs = 8
+	opt.Seed = seed
+	if _, err := net.Fit(dataset.Windows(st, 12), lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Calibrate(dataset.Windows(st, 12)[:40], lab, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	return net, lab
+}
+
+func TestDriftMonitorStableOnSameDistribution(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	train := dataset.Synthetic(2400, 5, 31)
+	net, lab := trainSmallNet(t, p, train, 1)
+
+	mon, err := NewDriftMonitor(net, lab, DriftOptions{AuditEvery: 20, Sample: 6, MinF1: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := dataset.Synthetic(1200, 5, 77) // same distribution, new data
+	audits := 0
+	for _, w := range dataset.Windows(live, 12) {
+		audited, drifted, err := mon.Observe(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if audited {
+			audits++
+		}
+		if drifted {
+			t.Fatalf("false drift alarm at audit %d (F1 ema %.3f)", audits, mon.F1())
+		}
+	}
+	if audits == 0 {
+		t.Fatal("no audits ran")
+	}
+	if mon.F1() < 0.5 {
+		t.Errorf("audit F1 ema %.3f suspiciously low on in-distribution data", mon.F1())
+	}
+}
+
+func TestDriftMonitorDetectsShift(t *testing.T) {
+	// The condition makes the filter rely on learned value features, which
+	// a distribution shift then invalidates.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE 2 * a.vol < b.vol WITHIN 6")
+	train := dataset.Synthetic(2400, 5, 31)
+	net, lab := trainSmallNet(t, p, train, 1)
+
+	mon, err := NewDriftMonitor(net, lab, DriftOptions{AuditEvery: 20, Sample: 6, MinF1: 0.5, Alpha: 0.9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drifted world: the attribute scale and sign move far outside the
+	// fitted standardization, so the learned value features are garbage
+	// (labels are recomputed on the new values and stay correct).
+	live := dataset.Synthetic(1600, 5, 99)
+	for i := range live.Events {
+		live.Events[i].Attrs[0] = -8*live.Events[i].Attrs[0] + 25
+	}
+	sawDrift := false
+	for _, w := range dataset.Windows(live, 12) {
+		_, drifted, err := mon.Observe(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drifted {
+			sawDrift = true
+			break
+		}
+	}
+	if !sawDrift {
+		t.Errorf("drift not detected; final F1 ema %.3f after %d audits", mon.F1(), mon.Audits())
+	}
+	mon.Reset()
+	if mon.Drifted() || mon.Audits() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestTransferFrom(t *testing.T) {
+	// Two patterns over the same alphabet: transfer the trained weights and
+	// verify the warm start beats a cold start after a single epoch.
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	p2 := pattern.MustParse("PATTERN SEQ(A a, C c) WITHIN 6")
+	st := dataset.Synthetic(2400, 5, 31)
+	old, _ := trainSmallNet(t, p1, st, 1)
+
+	pats2 := []*pattern.Pattern{p2}
+	lab2, err := label.New(st.Schema, pats2...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: 9}
+	oneEpoch := func(warm bool) float64 {
+		net, err := NewEventNetwork(st.Schema, pats2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			copied, err := net.TransferFrom(old)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if copied == 0 {
+				t.Fatal("nothing transferred")
+			}
+		}
+		opt := DefaultTrainOptions()
+		opt.MaxEpochs = 1
+		opt.NoConvergence = true
+		res, err := net.Fit(dataset.Windows(st, 12), lab2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LossHistory[0]
+	}
+	cold := oneEpoch(false)
+	warm := oneEpoch(true)
+	if warm >= cold {
+		t.Errorf("warm-start epoch-1 loss %.4f not better than cold %.4f", warm, cold)
+	}
+}
+
+func TestTransferShapeMismatch(t *testing.T) {
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(600, 5, 31)
+	pats := []*pattern.Pattern{p1}
+	a, err := NewEventNetwork(st.Schema, pats, Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEventNetwork(st.Schema, pats, Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TransferFrom(a); err == nil {
+		t.Error("depth mismatch accepted")
+	}
+}
+
+func TestDriftMonitorValidation(t *testing.T) {
+	if _, err := NewDriftMonitor(nil, nil, DriftOptions{}); err == nil {
+		t.Error("nil args accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+// EventFilter marks, for one assembled window, which events should be
+// relayed to the CEP extractor. Implementations: the trained event-network,
+// the window-network adapter, and the oracle/type ablation filters.
+type EventFilter interface {
+	Mark(window []event.Event) []bool
+}
+
+// WindowFilter classifies whole windows as applicable (containing at least
+// one full match) or not — the coarse-grained variant of Section 4.3.
+type WindowFilter interface {
+	Applicable(window []event.Event) bool
+}
+
+// WindowToEvent adapts a WindowFilter to the EventFilter interface: every
+// event of an applicable window is relayed, none of an inapplicable one
+// (Figure 4's "whole windows" filtering scheme).
+type WindowToEvent struct {
+	F WindowFilter
+}
+
+// Mark relays all or nothing.
+func (w WindowToEvent) Mark(window []event.Event) []bool {
+	marks := make([]bool, len(window))
+	if w.F.Applicable(window) {
+		for i := range marks {
+			marks[i] = true
+		}
+	}
+	return marks
+}
+
+// OracleFilter marks exactly the ground-truth labels computed by exact CEP.
+// It is the ablation upper bound on filter quality: pipeline results with
+// the oracle isolate assembler/extractor overhead from network accuracy.
+type OracleFilter struct {
+	L *label.Labeler
+}
+
+// Mark returns the ground-truth event labels.
+func (o OracleFilter) Mark(window []event.Event) []bool {
+	labels, err := o.L.EventLabels(window)
+	if err != nil {
+		panic("core: oracle labeling failed: " + err.Error())
+	}
+	marks := make([]bool, len(window))
+	for i, l := range labels {
+		marks[i] = l == 1
+	}
+	return marks
+}
+
+// OracleWindowFilter is the window-level oracle.
+type OracleWindowFilter struct {
+	L *label.Labeler
+}
+
+// Applicable returns the ground-truth window label.
+func (o OracleWindowFilter) Applicable(window []event.Event) bool {
+	wl, err := o.L.WindowLabel(window)
+	if err != nil {
+		panic("core: oracle labeling failed: " + err.Error())
+	}
+	return wl == 1
+}
+
+// TypeFilter keeps only events whose type is mentioned by some monitored
+// pattern — the trivial static baseline a deep filter must beat.
+type TypeFilter struct {
+	types map[string]bool
+}
+
+// NewTypeFilter builds the filter from the patterns' type sets.
+func NewTypeFilter(pats ...*pattern.Pattern) TypeFilter {
+	t := TypeFilter{types: map[string]bool{}}
+	for _, p := range pats {
+		for _, typ := range p.TypeSet() {
+			t.types[typ] = true
+		}
+	}
+	return t
+}
+
+// Mark keeps pattern-relevant types.
+func (t TypeFilter) Mark(window []event.Event) []bool {
+	marks := make([]bool, len(window))
+	for i := range window {
+		marks[i] = !window[i].IsBlank() && t.types[window[i].Type]
+	}
+	return marks
+}
+
+// KeepAllFilter relays everything; the pipeline then degenerates to ECEP
+// plus assembler overhead (useful in tests and ablations).
+type KeepAllFilter struct{}
+
+// Mark keeps every non-blank event.
+func (KeepAllFilter) Mark(window []event.Event) []bool {
+	marks := make([]bool, len(window))
+	for i := range window {
+		marks[i] = !window[i].IsBlank()
+	}
+	return marks
+}

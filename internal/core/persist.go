@@ -1,0 +1,143 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dlacep/internal/embed"
+	"dlacep/internal/event"
+	"dlacep/internal/nn"
+	"dlacep/internal/pattern"
+)
+
+// Model persistence: trained filters are serialized as JSON — the pipeline
+// configuration, the monitored patterns (in the parseable text language),
+// the stream schema, the embedder's normalization state, and every
+// parameter tensor. Loading reconstructs the network deterministically from
+// the config and overwrites its parameters, so the format stays stable as
+// long as layer construction order is.
+
+type savedParam struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+type savedModel struct {
+	Kind      string       `json:"kind"` // "event" or "window"
+	Config    Config       `json:"config"`
+	Patterns  []string     `json:"patterns"`
+	Schema    []string     `json:"schema"`
+	Embedder  embed.State  `json:"embedder"`
+	Threshold float64      `json:"threshold"`
+	Params    []savedParam `json:"params"`
+}
+
+func saveParams(params []*nn.Param) []savedParam {
+	out := make([]savedParam, len(params))
+	for i, p := range params {
+		out[i] = savedParam{Name: p.Name, Rows: p.Rows, Cols: p.Cols,
+			Data: append([]float64(nil), p.Data...)}
+	}
+	return out
+}
+
+func restoreParams(params []*nn.Param, saved []savedParam) error {
+	if len(params) != len(saved) {
+		return fmt.Errorf("core: model has %d parameters, file has %d", len(params), len(saved))
+	}
+	for i, p := range params {
+		s := saved[i]
+		if p.Rows != s.Rows || p.Cols != s.Cols {
+			return fmt.Errorf("core: parameter %d (%s) shape %dx%d, file has %dx%d",
+				i, p.Name, p.Rows, p.Cols, s.Rows, s.Cols)
+		}
+		copy(p.Data, s.Data)
+	}
+	return nil
+}
+
+func renderPatterns(pats []*pattern.Pattern) []string {
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// Save serializes the trained event-network.
+func (n *EventNetwork) Save(w io.Writer, pats []*pattern.Pattern) error {
+	m := savedModel{
+		Kind:      "event",
+		Config:    n.Cfg,
+		Patterns:  renderPatterns(pats),
+		Schema:    n.schema.Names(),
+		Embedder:  n.Emb.State(),
+		Threshold: n.Threshold,
+		Params:    saveParams(n.Params()),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&m)
+}
+
+// Save serializes the trained window-network.
+func (n *WindowNetwork) Save(w io.Writer, pats []*pattern.Pattern) error {
+	m := savedModel{
+		Kind:      "window",
+		Config:    n.Cfg,
+		Patterns:  renderPatterns(pats),
+		Schema:    n.schema.Names(),
+		Embedder:  n.Emb.State(),
+		Threshold: n.Threshold,
+		Params:    saveParams(n.Params()),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&m)
+}
+
+// LoadModel deserializes a filter saved by Save. It returns the rebuilt
+// filter (an *EventNetwork or *WindowNetwork), the monitored patterns, and
+// the schema.
+func LoadModel(r io.Reader) (EventFilter, []*pattern.Pattern, *event.Schema, error) {
+	var m savedModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, nil, nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	schema := event.NewSchema(m.Schema...)
+	pats := make([]*pattern.Pattern, len(m.Patterns))
+	for i, src := range m.Patterns {
+		p, err := pattern.Parse(src)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: pattern %d in model: %w", i, err)
+		}
+		pats[i] = p
+	}
+	switch m.Kind {
+	case "event":
+		n, err := NewEventNetwork(schema, pats, m.Config)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := restoreParams(n.Params(), m.Params); err != nil {
+			return nil, nil, nil, err
+		}
+		n.Emb.SetState(m.Embedder)
+		n.Threshold = m.Threshold
+		return n, pats, schema, nil
+	case "window":
+		n, err := NewWindowNetwork(schema, pats, m.Config)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := restoreParams(n.Params(), m.Params); err != nil {
+			return nil, nil, nil, err
+		}
+		n.Emb.SetState(m.Embedder)
+		n.Threshold = m.Threshold
+		return WindowToEvent{n}, pats, schema, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("core: unknown model kind %q", m.Kind)
+	}
+}

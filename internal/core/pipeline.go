@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/metrics"
+	"dlacep/internal/pattern"
+)
+
+// Result captures one DLACEP run: the emitted match set and the cost
+// decomposition between filtration and CEP extraction.
+type Result struct {
+	Matches []*cep.Match
+	Keys    map[string]bool
+
+	EventsTotal   int
+	EventsRelayed int
+
+	FilterTime time.Duration
+	CEPTime    time.Duration
+
+	CEPStats []cep.Stats // one per monitored pattern
+}
+
+// Elapsed is the total processing time.
+func (r *Result) Elapsed() time.Duration { return r.FilterTime + r.CEPTime }
+
+// Throughput is events processed per second over the whole pipeline.
+func (r *Result) Throughput() float64 {
+	return metrics.Throughput(r.EventsTotal, r.Elapsed())
+}
+
+// FilterRatio is the fraction of events removed by the filter (the Ψ of
+// Section 3.2, aggregated over types).
+func (r *Result) FilterRatio() float64 {
+	if r.EventsTotal == 0 {
+		return 0
+	}
+	return 1 - float64(r.EventsRelayed)/float64(r.EventsTotal)
+}
+
+// Pipeline wires the assembler, one event filter, and per-pattern CEP
+// extractors (Figure 4).
+type Pipeline struct {
+	Cfg    Config
+	Filter EventFilter
+	pats   []*pattern.Pattern
+	schema *event.Schema
+}
+
+// NewPipeline assembles a DLACEP pipeline. Filter is typically a trained
+// *EventNetwork, or WindowToEvent{*WindowNetwork}; the oracle and type
+// filters support ablations.
+func NewPipeline(schema *event.Schema, pats []*pattern.Pattern, cfg Config, filter EventFilter) (*Pipeline, error) {
+	w, err := windowSize(pats)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(w); err != nil {
+		return nil, err
+	}
+	if filter == nil {
+		return nil, fmt.Errorf("core: nil filter")
+	}
+	return &Pipeline{Cfg: cfg, Filter: filter, pats: pats, schema: schema}, nil
+}
+
+// Run evaluates a count-windowed stream: the assembler cuts it into marking
+// windows, the filter marks events, duplicates are erased, and the relayed
+// events feed one streaming CEP engine per pattern. Because relayed events
+// keep their original IDs and the engines enforce the ID-distance
+// constraint of Section 4.4, every emitted match is also an exact match
+// (for negation-free patterns). Run is the batch convenience over
+// NewProcessor's incremental interface.
+func (pl *Pipeline) Run(st *event.Stream) (*Result, error) {
+	p, err := pl.NewProcessor()
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.Events {
+		if _, err := p.Push(st.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.Flush(); err != nil {
+		return nil, err
+	}
+	return p.Result(), nil
+}
+
+// RunWindows evaluates pre-cut (possibly blank-padded) windows, the entry
+// point for simulated time-based evaluation (Figure 14). Windows must be
+// ID-ordered and may overlap.
+func (pl *Pipeline) RunWindows(windows [][]event.Event) (*Result, error) {
+	total := 0
+	seen := map[uint64]bool{}
+	for _, w := range windows {
+		for i := range w {
+			if !w[i].IsBlank() && !seen[w[i].ID] {
+				seen[w[i].ID] = true
+				total++
+			}
+		}
+	}
+	return pl.run(windows, total)
+}
+
+func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, error) {
+	engines := make([]*cep.Engine, len(pl.pats))
+	for i, p := range pl.pats {
+		en, err := cep.New(p, pl.schema)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = en
+	}
+	res := &Result{Keys: map[string]bool{}, EventsTotal: totalEvents}
+
+	// pending holds marked events not yet safe to relay: a later window may
+	// still mark events with smaller IDs than this window's largest, so
+	// events are flushed once every remaining window starts beyond them.
+	var pending []event.Event
+	relayed := map[uint64]bool{}
+
+	flush := func(upTo uint64, all bool) {
+		i := 0
+		for i < len(pending) && (all || pending[i].ID < upTo) {
+			i++
+		}
+		if i == 0 {
+			return
+		}
+		batch := pending[:i]
+		pending = pending[i:]
+		start := time.Now()
+		for _, ev := range batch {
+			res.EventsRelayed++
+			for _, en := range engines {
+				for _, m := range en.Process(ev) {
+					if k := m.Key(); !res.Keys[k] {
+						res.Keys[k] = true
+						res.Matches = append(res.Matches, m)
+					}
+				}
+			}
+		}
+		res.CEPTime += time.Since(start)
+	}
+
+	for wi, w := range windows {
+		start := time.Now()
+		marks := pl.Filter.Mark(w)
+		res.FilterTime += time.Since(start)
+		if len(marks) != len(w) {
+			return nil, fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(w))
+		}
+		for i, m := range marks {
+			if !m || w[i].IsBlank() || relayed[w[i].ID] {
+				continue
+			}
+			relayed[w[i].ID] = true
+			// insertion sort into pending (overlap regions are small)
+			pending = append(pending, w[i])
+			for j := len(pending) - 1; j > 0 && pending[j-1].ID > pending[j].ID; j-- {
+				pending[j-1], pending[j] = pending[j], pending[j-1]
+			}
+		}
+		if wi+1 < len(windows) {
+			flush(windows[wi+1][0].ID, false)
+		}
+	}
+	flush(0, true)
+	start := time.Now()
+	for _, en := range engines {
+		for _, m := range en.Flush() {
+			if k := m.Key(); !res.Keys[k] {
+				res.Keys[k] = true
+				res.Matches = append(res.Matches, m)
+			}
+		}
+		res.CEPStats = append(res.CEPStats, en.Stats())
+	}
+	res.CEPTime += time.Since(start)
+	return res, nil
+}
+
+// RunECEP evaluates the same patterns exactly (no filtering) and measures
+// throughput, producing the baseline side of every "gain over ECEP"
+// comparison.
+func RunECEP(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream) (*Result, error) {
+	res := &Result{Keys: map[string]bool{}, EventsTotal: st.Len(), EventsRelayed: st.Len()}
+	start := time.Now()
+	for _, p := range pats {
+		matches, stats, err := cep.Run(p, st)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			if k := m.Key(); !res.Keys[k] {
+				res.Keys[k] = true
+				res.Matches = append(res.Matches, m)
+			}
+		}
+		res.CEPStats = append(res.CEPStats, stats)
+	}
+	res.CEPTime = time.Since(start)
+	return res, nil
+}
+
+// Compare scores an ACEP result against the exact baseline: recall (or F1
+// for negation patterns), throughput gain, and the Section 3.1 objective.
+type Comparison struct {
+	Counts  metrics.Counts
+	Recall  float64
+	F1      float64
+	Gain    float64
+	Jaccard float64
+}
+
+// Compare computes the standard evaluation bundle.
+func Compare(acep, ecep *Result) Comparison {
+	c := metrics.MatchSets(acep.Keys, ecep.Keys)
+	return Comparison{
+		Counts:  c,
+		Recall:  c.Recall(),
+		F1:      c.F1(),
+		Gain:    metrics.Gain(acep.Throughput(), ecep.Throughput()),
+		Jaccard: metrics.Jaccard(acep.Keys, ecep.Keys),
+	}
+}

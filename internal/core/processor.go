@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+)
+
+// Processor is the incremental form of the pipeline: events are pushed one
+// at a time, marking windows are assembled on the fly, and matches stream
+// out as soon as their window geometry allows. It is what a deployed DLACEP
+// instance runs; Pipeline.Run is a convenience wrapper over it.
+//
+// Events must arrive in strictly increasing ID order. Not safe for
+// concurrent use.
+type Processor struct {
+	pl      *Pipeline
+	engines []*cep.Engine
+	res     *Result
+
+	buf     []event.Event // events awaiting their marking window
+	pending []event.Event // marked events not yet safely relayable
+	relayed map[uint64]bool
+	seen    map[string]bool
+	flushed bool
+}
+
+// NewProcessor creates an incremental processor for the pipeline.
+func (pl *Pipeline) NewProcessor() (*Processor, error) {
+	p := &Processor{
+		pl:      pl,
+		res:     &Result{Keys: map[string]bool{}},
+		relayed: map[uint64]bool{},
+		seen:    map[string]bool{},
+	}
+	for _, pat := range pl.pats {
+		en, err := cep.New(pat, pl.schema)
+		if err != nil {
+			return nil, err
+		}
+		p.engines = append(p.engines, en)
+	}
+	return p, nil
+}
+
+// Push feeds the next event and returns any matches completed by it.
+func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
+	if p.flushed {
+		return nil, fmt.Errorf("core: Push after Flush")
+	}
+	if !ev.IsBlank() {
+		p.res.EventsTotal++
+	}
+	p.buf = append(p.buf, ev)
+	if len(p.buf) < p.pl.Cfg.MarkSize {
+		return nil, nil
+	}
+	out := p.markWindow(p.buf)
+	// Advance by StepSize, retaining the overlap for the next window.
+	keep := len(p.buf) - p.pl.Cfg.StepSize
+	copy(p.buf, p.buf[p.pl.Cfg.StepSize:])
+	p.buf = p.buf[:keep]
+	// Everything below the next window's first event can now be relayed:
+	// no future marking window will cover smaller IDs.
+	var upTo uint64
+	if len(p.buf) > 0 {
+		upTo = p.buf[0].ID
+	} else {
+		upTo = ev.ID + 1
+	}
+	return p.relayBelow(out, upTo), nil
+}
+
+// Flush marks the trailing partial window, drains everything, and closes
+// the engines. Call once at end of stream.
+func (p *Processor) Flush() ([]*cep.Match, error) {
+	if p.flushed {
+		return nil, fmt.Errorf("core: double Flush")
+	}
+	p.flushed = true
+	var out []*cep.Match
+	if len(p.buf) > 0 {
+		out = p.markWindow(p.buf)
+		p.buf = nil
+	}
+	// relay everything left
+	start := time.Now()
+	for _, ev := range p.pending {
+		p.res.EventsRelayed++
+		for _, en := range p.engines {
+			out = p.collect(out, en.Process(ev))
+		}
+	}
+	p.pending = nil
+	for _, en := range p.engines {
+		out = p.collect(out, en.Flush())
+		p.res.CEPStats = append(p.res.CEPStats, en.Stats())
+	}
+	p.res.CEPTime += time.Since(start)
+	return out, nil
+}
+
+// Result returns the accumulated statistics; valid after Flush.
+func (p *Processor) Result() *Result { return p.res }
+
+// markWindow runs the filter over one marking window and queues the marked
+// events in ID order.
+func (p *Processor) markWindow(window []event.Event) []*cep.Match {
+	start := time.Now()
+	marks := p.pl.Filter.Mark(window)
+	p.res.FilterTime += time.Since(start)
+	if len(marks) != len(window) {
+		panic(fmt.Sprintf("core: filter returned %d marks for %d events", len(marks), len(window)))
+	}
+	for i, m := range marks {
+		if !m || window[i].IsBlank() || p.relayed[window[i].ID] {
+			continue
+		}
+		p.relayed[window[i].ID] = true
+		p.pending = append(p.pending, window[i])
+		for j := len(p.pending) - 1; j > 0 && p.pending[j-1].ID > p.pending[j].ID; j-- {
+			p.pending[j-1], p.pending[j] = p.pending[j], p.pending[j-1]
+		}
+	}
+	return nil
+}
+
+func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
+	i := 0
+	for i < len(p.pending) && p.pending[i].ID < upTo {
+		i++
+	}
+	if i == 0 {
+		return out
+	}
+	batch := p.pending[:i]
+	p.pending = p.pending[i:]
+	start := time.Now()
+	for _, ev := range batch {
+		p.res.EventsRelayed++
+		delete(p.relayed, ev.ID) // no future window can re-mark below upTo
+		for _, en := range p.engines {
+			out = p.collect(out, en.Process(ev))
+		}
+	}
+	p.res.CEPTime += time.Since(start)
+	return out
+}
+
+func (p *Processor) collect(out []*cep.Match, ms []*cep.Match) []*cep.Match {
+	for _, m := range ms {
+		if k := m.Key(); !p.seen[k] {
+			p.seen[k] = true
+			p.res.Keys[k] = true
+			p.res.Matches = append(p.res.Matches, m)
+			out = append(out, m)
+		}
+	}
+	return out
+}

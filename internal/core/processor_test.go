@@ -1,0 +1,133 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+func TestProcessorMatchesBatchRun(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8")
+	lab, _ := label.New(volSchema, p)
+	st := dataset.Synthetic(500, 4, 77)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(8))
+
+	batch, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := pl.NewProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*cep.Match
+	for i := range st.Events {
+		ms, err := proc.Push(st.Events[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, ms...)
+	}
+	ms, err := proc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed = append(streamed, ms...)
+
+	if got, want := cep.Keys(streamed), batch.Keys; !reflect.DeepEqual(got, want) {
+		t.Errorf("incremental (%d) and batch (%d) match sets differ", len(got), len(want))
+	}
+	if proc.Result().EventsTotal != st.Len() {
+		t.Errorf("EventsTotal = %d", proc.Result().EventsTotal)
+	}
+}
+
+func TestProcessorOracleIsExactOnTail(t *testing.T) {
+	// The streaming tail window differs from batch assembly; exactness
+	// against ECEP must hold regardless, including for stream lengths that
+	// leave partial windows of every phase.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	lab, _ := label.New(volSchema, p)
+	for n := 1; n <= 40; n++ {
+		st := dataset.Synthetic(n, 3, int64(300+n))
+		pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(5))
+		got, err := pl.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := RunECEP(volSchema, []*pattern.Pattern{p}, st)
+		if !reflect.DeepEqual(got.Keys, want.Keys) {
+			t.Fatalf("n=%d: streaming oracle %v != ECEP %v", n, got.Keys, want.Keys)
+		}
+	}
+}
+
+func TestProcessorIncrementalEmission(t *testing.T) {
+	// With MarkSize=4, StepSize=2, a match in the first window must be
+	// emitted before the stream ends.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 2")
+	lab, _ := label.New(volSchema, p)
+	pl := pipelineFor(t, p, OracleFilter{lab}, Config{MarkSize: 4, StepSize: 2, Hidden: 4, Layers: 1})
+	st := dataset.Synthetic(20, 3, 1)
+	st.Events[0].Type, st.Events[1].Type = "A", "B"
+
+	proc, err := pl.NewProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emittedAt := -1
+	for i := range st.Events {
+		ms, err := proc.Push(st.Events[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) > 0 && emittedAt == -1 {
+			emittedAt = i
+		}
+	}
+	if _, err := proc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if emittedAt == -1 || emittedAt > 8 {
+		t.Errorf("early match emitted at event %d, want promptly (<=8)", emittedAt)
+	}
+}
+
+func TestProcessorLifecycleErrors(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	lab, _ := label.New(volSchema, p)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(5))
+	proc, err := pl.NewProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Flush(); err == nil {
+		t.Error("double Flush accepted")
+	}
+	if _, err := proc.Push(dataset.Synthetic(1, 2, 1).Events[0]); err == nil {
+		t.Error("Push after Flush accepted")
+	}
+}
+
+func TestProcessorDedupAcrossOverlap(t *testing.T) {
+	// An event marked in two overlapping windows must be relayed once.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 4")
+	lab, _ := label.New(volSchema, p)
+	pl := pipelineFor(t, p, KeepAllFilter{}, smallCfg(4))
+	st := dataset.Synthetic(40, 3, 2)
+	res, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsRelayed != st.Len() {
+		t.Errorf("relayed %d of %d: overlap dedup broken", res.EventsRelayed, st.Len())
+	}
+	_ = lab
+}

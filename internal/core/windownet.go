@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/embed"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/metrics"
+	"dlacep/internal/nn"
+	"dlacep/internal/pattern"
+	"dlacep/internal/train"
+)
+
+// WindowNetwork is the coarse-grained filter of Section 4.3: the same
+// stacked-BiLSTM body with a pooled linear classification head that labels
+// the entire input window as applicable (contains at least one full match)
+// or not. It trains with binary cross-entropy, which is why its training is
+// markedly faster than the event-network's (Section 5.2, "Network
+// training").
+type WindowNetwork struct {
+	Cfg Config
+	Emb *embed.Embedder
+	Net *nn.Network
+	// Threshold is the logit above which a window is deemed applicable;
+	// 0 corresponds to probability 0.5. Calibrate tunes it.
+	Threshold float64
+	schema    *event.Schema
+}
+
+// NewWindowNetwork builds an untrained window-network.
+func NewWindowNetwork(schema *event.Schema, pats []*pattern.Pattern, cfg Config) (*WindowNetwork, error) {
+	w, err := windowSize(pats)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(w); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	emb := embed.New(schema, pats...)
+	net := cfg.body(emb.Dim(), rng)
+	net.Layers = append(net.Layers,
+		nn.NewMeanPool(net.OutDim()),
+		nn.NewLinear(net.OutDim(), 1, rng),
+	)
+	return &WindowNetwork{Cfg: cfg, Emb: emb, Net: net, schema: schema}, nil
+}
+
+// Params returns the learnable parameters.
+func (n *WindowNetwork) Params() []*nn.Param { return n.Net.Params() }
+
+// Logit returns the raw applicability score of a window.
+func (n *WindowNetwork) Logit(window []event.Event) float64 {
+	out := n.Net.Forward(n.Emb.EmbedWindow(window), false)
+	return out[0][0]
+}
+
+// Applicable reports whether the window is classified as containing a match.
+func (n *WindowNetwork) Applicable(window []event.Event) bool {
+	return n.Logit(window) > n.Threshold
+}
+
+// Calibrate tunes Threshold to the largest logit cutoff whose window-level
+// recall over the given windows meets targetRecall. It returns the chosen
+// threshold.
+func (n *WindowNetwork) Calibrate(windows [][]event.Event, lab *label.Labeler, targetRecall float64) (float64, error) {
+	type scored struct {
+		z    float64
+		gold int
+	}
+	var all []scored
+	positives := 0
+	for _, w := range windows {
+		gold, err := lab.WindowLabel(w)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, scored{n.Logit(w), gold})
+		positives += gold
+	}
+	if positives == 0 {
+		return n.Threshold, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].z > all[j].z })
+	need := int(math.Ceil(targetRecall * float64(positives)))
+	got := 0
+	for _, s := range all {
+		if s.gold == 1 {
+			got++
+			if got >= need {
+				n.Threshold = s.z - 1e-9
+				return n.Threshold, nil
+			}
+		}
+	}
+	n.Threshold = all[len(all)-1].z - 1e-9
+	return n.Threshold, nil
+}
+
+// Fit trains on window labels with binary cross-entropy.
+func (n *WindowNetwork) Fit(windows [][]event.Event, lab *label.Labeler, opt TrainOptions) (train.Result, error) {
+	windows = opt.subsample(windows)
+	if len(windows) == 0 {
+		return train.Result{}, fmt.Errorf("core: no training windows")
+	}
+	n.Emb.Fit(dataset.Concat(n.schema, windows))
+	xs := make([][][]float64, len(windows))
+	ys := make([]float64, len(windows))
+	for i, w := range windows {
+		y, err := lab.WindowLabel(w)
+		if err != nil {
+			return train.Result{}, err
+		}
+		xs[i] = n.Emb.EmbedWindow(w)
+		ys[i] = float64(y)
+	}
+	params := n.Params()
+	res := opt.loop(len(windows), params, func(i int) float64 {
+		out := n.Net.Forward(xs[i], true)
+		loss, dz := train.BCEWithLogits(out[0][0], ys[i])
+		n.Net.Backward([][]float64{{dz}})
+		return loss
+	})
+	return res, nil
+}
+
+// Evaluate computes window-level confusion counts over held-out windows.
+func (n *WindowNetwork) Evaluate(windows [][]event.Event, lab *label.Labeler) (metrics.Counts, error) {
+	var c metrics.Counts
+	for _, w := range windows {
+		gold, err := lab.WindowLabel(w)
+		if err != nil {
+			return c, err
+		}
+		pred := 0
+		if n.Applicable(w) {
+			pred = 1
+		}
+		c.Add(pred, gold)
+	}
+	return c, nil
+}
+
+var _ WindowFilter = (*WindowNetwork)(nil)
+var _ EventFilter = (*EventNetwork)(nil)
+var _ EventFilter = WindowToEvent{}
+var _ EventFilter = OracleFilter{}
+var _ EventFilter = TypeFilter{}
+var _ EventFilter = KeepAllFilter{}
+var _ WindowFilter = OracleWindowFilter{}

@@ -1,0 +1,104 @@
+package crf
+
+import (
+	"math/rand"
+
+	"dlacep/internal/nn"
+)
+
+// BiCRF is the bidirectional CRF of Panchendrarajan & Amaresan [58]: one
+// chain reads the sequence left-to-right, the other right-to-left, sharing
+// the same emissions but owning separate transition scores. The training
+// loss is the sum of both chains' negative log-likelihoods ("maximizes the
+// likelihood probability sums of correct sequences ... for both forward and
+// backward CRF layers", Section 5.1); decoding combines the two chains'
+// per-position marginals.
+type BiCRF struct {
+	Fwd *CRF
+	Bwd *CRF
+}
+
+// NewBi builds a bidirectional CRF over the given label count.
+func NewBi(labels int, rng *rand.Rand) *BiCRF {
+	return &BiCRF{Fwd: New(labels, rng), Bwd: New(labels, rng)}
+}
+
+// Params returns both chains' parameters.
+func (b *BiCRF) Params() []*nn.Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+func reverseEm(em [][]float64) [][]float64 {
+	T := len(em)
+	out := make([][]float64, T)
+	for t := range em {
+		out[t] = em[T-1-t]
+	}
+	return out
+}
+
+func reverseLabels(y []int) []int {
+	T := len(y)
+	out := make([]int, T)
+	for t := range y {
+		out[t] = y[T-1-t]
+	}
+	return out
+}
+
+// Loss sums the two chains' NLLs; the returned emission gradient is the sum
+// of both chains' contributions, re-aligned to the input order.
+func (b *BiCRF) Loss(em [][]float64, y []int) (float64, [][]float64) {
+	lossF, dF := b.Fwd.Loss(em, y)
+	lossB, dBrev := b.Bwd.Loss(reverseEm(em), reverseLabels(y))
+	dB := reverseEm(dBrev)
+	dEm := make([][]float64, len(em))
+	for t := range em {
+		row := make([]float64, len(em[t]))
+		for j := range row {
+			row[j] = dF[t][j] + dB[t][j]
+		}
+		dEm[t] = row
+	}
+	return lossF + lossB, dEm
+}
+
+// Marginals returns the per-position product of the two chains' marginals,
+// renormalized. Positions where both directions agree get sharp
+// probabilities.
+func (b *BiCRF) Marginals(em [][]float64) [][]float64 {
+	mf := b.Fwd.Marginals(em)
+	mb := reverseEm(b.Bwd.Marginals(reverseEm(em)))
+	out := make([][]float64, len(em))
+	for t := range em {
+		row := make([]float64, b.Fwd.L)
+		sum := 0.0
+		for j := range row {
+			row[j] = mf[t][j] * mb[t][j]
+			sum += row[j]
+		}
+		if sum > 0 {
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// Decode labels each position by the argmax of the combined marginals.
+func (b *BiCRF) Decode(em [][]float64) []int {
+	m := b.Marginals(em)
+	out := make([]int, len(em))
+	for t, row := range m {
+		arg, best := 0, row[0]
+		for j, v := range row[1:] {
+			if v > best {
+				best, arg = v, j+1
+			}
+		}
+		out[t] = arg
+	}
+	return out
+}

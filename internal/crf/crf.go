@@ -1,0 +1,196 @@
+// Package crf implements a linear-chain conditional random field [43, 79]
+// over emission scores produced by an upstream network, plus the
+// bidirectional BI-CRF variant [58] used by DLACEP's event-network filter.
+// Training uses exact negative log-likelihood gradients computed by the
+// forward-backward algorithm in log space; decoding uses Viterbi or
+// combined marginals.
+package crf
+
+import (
+	"math"
+	"math/rand"
+
+	"dlacep/internal/nn"
+)
+
+// CRF is a linear-chain CRF with L labels. Emissions (T × L) come from the
+// upstream network; the CRF owns transition, start, and end scores.
+type CRF struct {
+	L     int
+	Trans *nn.Param // L × L: Trans[i][j] scores i -> j
+	Start *nn.Param // L × 1
+	End   *nn.Param // L × 1
+}
+
+// New builds a CRF with small random transition scores.
+func New(labels int, rng *rand.Rand) *CRF {
+	c := &CRF{
+		L:     labels,
+		Trans: nn.NewParam("crf.trans", labels, labels),
+		Start: nn.NewParam("crf.start", labels, 1),
+		End:   nn.NewParam("crf.end", labels, 1),
+	}
+	for i := range c.Trans.Data {
+		c.Trans.Data[i] = (rng.Float64()*2 - 1) * 0.1
+	}
+	return c
+}
+
+// Params returns the CRF parameters.
+func (c *CRF) Params() []*nn.Param { return []*nn.Param{c.Trans, c.Start, c.End} }
+
+func logSumExp(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// forwardBackward returns alpha, beta (T × L, log space) and logZ.
+func (c *CRF) forwardBackward(em [][]float64) (alpha, beta [][]float64, logZ float64) {
+	T, L := len(em), c.L
+	alpha = make([][]float64, T)
+	beta = make([][]float64, T)
+	alpha[0] = make([]float64, L)
+	for j := 0; j < L; j++ {
+		alpha[0][j] = c.Start.Data[j] + em[0][j]
+	}
+	tmp := make([]float64, L)
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, L)
+		for j := 0; j < L; j++ {
+			for i := 0; i < L; i++ {
+				tmp[i] = alpha[t-1][i] + c.Trans.At(i, j)
+			}
+			alpha[t][j] = logSumExp(tmp) + em[t][j]
+		}
+	}
+	beta[T-1] = make([]float64, L)
+	copy(beta[T-1], c.End.Data)
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, L)
+		for i := 0; i < L; i++ {
+			for j := 0; j < L; j++ {
+				tmp[j] = c.Trans.At(i, j) + em[t+1][j] + beta[t+1][j]
+			}
+			beta[t][i] = logSumExp(tmp)
+		}
+	}
+	final := make([]float64, L)
+	for j := 0; j < L; j++ {
+		final[j] = alpha[T-1][j] + c.End.Data[j]
+	}
+	logZ = logSumExp(final)
+	return alpha, beta, logZ
+}
+
+// Marginals returns per-position label probabilities P(y_t = j | x).
+func (c *CRF) Marginals(em [][]float64) [][]float64 {
+	alpha, beta, logZ := c.forwardBackward(em)
+	out := make([][]float64, len(em))
+	for t := range em {
+		row := make([]float64, c.L)
+		for j := 0; j < c.L; j++ {
+			row[j] = math.Exp(alpha[t][j] + beta[t][j] - logZ)
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// Loss computes the negative log-likelihood of the gold labels y and its
+// exact gradient: parameter gradients are accumulated into the CRF params
+// and the emission gradient is returned (same shape as em).
+func (c *CRF) Loss(em [][]float64, y []int) (float64, [][]float64) {
+	T, L := len(em), c.L
+	if T == 0 {
+		return 0, nil
+	}
+	alpha, beta, logZ := c.forwardBackward(em)
+
+	// gold score
+	score := c.Start.Data[y[0]] + em[0][y[0]]
+	for t := 1; t < T; t++ {
+		score += c.Trans.At(y[t-1], y[t]) + em[t][y[t]]
+	}
+	score += c.End.Data[y[T-1]]
+	loss := logZ - score
+
+	dEm := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		dEm[t] = make([]float64, L)
+		for j := 0; j < L; j++ {
+			dEm[t][j] = math.Exp(alpha[t][j] + beta[t][j] - logZ)
+		}
+		dEm[t][y[t]] -= 1
+	}
+	// start/end gradients
+	for j := 0; j < L; j++ {
+		c.Start.Grad[j] += math.Exp(alpha[0][j] + beta[0][j] - logZ)
+		c.End.Grad[j] += math.Exp(alpha[T-1][j] + beta[T-1][j] - logZ)
+	}
+	c.Start.Grad[y[0]] -= 1
+	c.End.Grad[y[T-1]] -= 1
+	// transition gradients: pairwise marginals minus gold counts
+	for t := 0; t+1 < T; t++ {
+		for i := 0; i < L; i++ {
+			for j := 0; j < L; j++ {
+				p := math.Exp(alpha[t][i] + c.Trans.At(i, j) + em[t+1][j] + beta[t+1][j] - logZ)
+				c.Trans.Grad[i*L+j] += p
+			}
+		}
+		c.Trans.Grad[y[t]*L+y[t+1]] -= 1
+	}
+	return loss, dEm
+}
+
+// Decode returns the Viterbi-optimal label sequence.
+func (c *CRF) Decode(em [][]float64) []int {
+	T, L := len(em), c.L
+	if T == 0 {
+		return nil
+	}
+	score := make([][]float64, T)
+	back := make([][]int, T)
+	score[0] = make([]float64, L)
+	for j := 0; j < L; j++ {
+		score[0][j] = c.Start.Data[j] + em[0][j]
+	}
+	for t := 1; t < T; t++ {
+		score[t] = make([]float64, L)
+		back[t] = make([]int, L)
+		for j := 0; j < L; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < L; i++ {
+				s := score[t-1][i] + c.Trans.At(i, j)
+				if s > best {
+					best, arg = s, i
+				}
+			}
+			score[t][j] = best + em[t][j]
+			back[t][j] = arg
+		}
+	}
+	bestJ, best := 0, math.Inf(-1)
+	for j := 0; j < L; j++ {
+		if s := score[T-1][j] + c.End.Data[j]; s > best {
+			best, bestJ = s, j
+		}
+	}
+	out := make([]int, T)
+	out[T-1] = bestJ
+	for t := T - 1; t > 0; t-- {
+		out[t-1] = back[t][out[t]]
+	}
+	return out
+}

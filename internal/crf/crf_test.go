@@ -1,0 +1,310 @@
+package crf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlacep/internal/nn"
+)
+
+// bruteScores enumerates all label sequences and returns their path scores.
+func bruteScores(c *CRF, em [][]float64) map[string]float64 {
+	T, L := len(em), c.L
+	out := map[string]float64{}
+	seq := make([]int, T)
+	var rec func(t int)
+	rec = func(t int) {
+		if t == T {
+			s := c.Start.Data[seq[0]] + em[0][seq[0]]
+			for i := 1; i < T; i++ {
+				s += c.Trans.At(seq[i-1], seq[i]) + em[i][seq[i]]
+			}
+			s += c.End.Data[seq[T-1]]
+			key := ""
+			for _, l := range seq {
+				key += string(rune('0' + l))
+			}
+			out[key] = s
+			return
+		}
+		for l := 0; l < L; l++ {
+			seq[t] = l
+			rec(t + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func randEm(rng *rand.Rand, T, L int) [][]float64 {
+	em := make([][]float64, T)
+	for t := range em {
+		em[t] = make([]float64, L)
+		for j := range em[t] {
+			em[t][j] = rng.NormFloat64()
+		}
+	}
+	return em
+}
+
+func TestLogZMatchesBruteForce(t *testing.T) {
+	for _, L := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(L)))
+		c := New(L, rng)
+		em := randEm(rng, 5, L)
+		_, _, logZ := c.forwardBackward(em)
+		scores := bruteScores(c, em)
+		s := 0.0
+		for _, v := range scores {
+			s += math.Exp(v)
+		}
+		if math.Abs(logZ-math.Log(s)) > 1e-9 {
+			t.Errorf("L=%d: logZ = %v, brute force = %v", L, logZ, math.Log(s))
+		}
+	}
+}
+
+func TestMarginalsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(2, rng)
+	em := randEm(rng, 8, 2)
+	for tt, row := range c.Marginals(em) {
+		s := row[0] + row[1]
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("marginals at %d sum to %v", tt, s)
+		}
+	}
+}
+
+func TestMarginalsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(2, rng)
+	em := randEm(rng, 4, 2)
+	m := c.Marginals(em)
+	scores := bruteScores(c, em)
+	Z := 0.0
+	for _, v := range scores {
+		Z += math.Exp(v)
+	}
+	for tt := 0; tt < 4; tt++ {
+		p1 := 0.0
+		for key, v := range scores {
+			if key[tt] == '1' {
+				p1 += math.Exp(v)
+			}
+		}
+		p1 /= Z
+		if math.Abs(m[tt][1]-p1) > 1e-9 {
+			t.Errorf("marginal[%d][1] = %v, brute force %v", tt, m[tt][1], p1)
+		}
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for round := 0; round < 20; round++ {
+		c := New(2, rng)
+		em := randEm(rng, 6, 2)
+		got := c.Decode(em)
+		scores := bruteScores(c, em)
+		bestKey, best := "", math.Inf(-1)
+		for k, v := range scores {
+			if v > best {
+				best, bestKey = v, k
+			}
+		}
+		gotKey := ""
+		for _, l := range got {
+			gotKey += string(rune('0' + l))
+		}
+		if gotKey != bestKey {
+			t.Errorf("round %d: viterbi %s, brute force %s", round, gotKey, bestKey)
+		}
+	}
+}
+
+func TestLossMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := New(2, rng)
+	em := randEm(rng, 5, 2)
+	y := []int{0, 1, 1, 0, 1}
+	loss, _ := c.Loss(em, y)
+	scores := bruteScores(c, em)
+	Z := 0.0
+	for _, v := range scores {
+		Z += math.Exp(v)
+	}
+	want := math.Log(Z) - scores["01101"]
+	if math.Abs(loss-want) > 1e-9 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	if loss < 0 {
+		t.Errorf("NLL negative: %v", loss)
+	}
+}
+
+// gradient check for CRF parameters and emissions.
+func TestLossGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := New(2, rng)
+	em := randEm(rng, 6, 2)
+	y := []int{0, 0, 1, 1, 0, 1}
+
+	nn.ZeroGrads(c.Params())
+	_, dEm := c.Loss(em, y)
+	analytic := map[string][]float64{}
+	for _, p := range c.Params() {
+		analytic[p.Name] = append([]float64(nil), p.Grad...)
+	}
+
+	const eps = 1e-6
+	const tol = 1e-6
+	f := func() float64 {
+		l, _ := c.Loss(em, y) // grad accumulation is irrelevant here
+		return l
+	}
+	for _, p := range c.Params() {
+		for i := range p.Data {
+			old := p.Data[i]
+			p.Data[i] = old + eps
+			l1 := f()
+			p.Data[i] = old - eps
+			l2 := f()
+			p.Data[i] = old
+			num := (l1 - l2) / (2 * eps)
+			if got := analytic[p.Name][i]; math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Errorf("%s[%d]: analytic %.9f numeric %.9f", p.Name, i, got, num)
+			}
+		}
+	}
+	for tt := range em {
+		for j := range em[tt] {
+			old := em[tt][j]
+			em[tt][j] = old + eps
+			l1, _ := c.Loss(em, y)
+			em[tt][j] = old - eps
+			l2, _ := c.Loss(em, y)
+			em[tt][j] = old
+			num := (l1 - l2) / (2 * eps)
+			if math.Abs(num-dEm[tt][j]) > tol*(1+math.Abs(num)) {
+				t.Errorf("dEm[%d][%d]: analytic %.9f numeric %.9f", tt, j, dEm[tt][j], num)
+			}
+		}
+	}
+}
+
+func TestBiCRFLossGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBi(2, rng)
+	em := randEm(rng, 5, 2)
+	y := []int{1, 0, 1, 1, 0}
+
+	nn.ZeroGrads(b.Params())
+	_, dEm := b.Loss(em, y)
+
+	const eps = 1e-6
+	const tol = 1e-6
+	for tt := range em {
+		for j := range em[tt] {
+			old := em[tt][j]
+			em[tt][j] = old + eps
+			l1, _ := b.Loss(em, y)
+			em[tt][j] = old - eps
+			l2, _ := b.Loss(em, y)
+			em[tt][j] = old
+			num := (l1 - l2) / (2 * eps)
+			if math.Abs(num-dEm[tt][j]) > tol*(1+math.Abs(num)) {
+				t.Errorf("bicrf dEm[%d][%d]: analytic %.9f numeric %.9f", tt, j, dEm[tt][j], num)
+			}
+		}
+	}
+}
+
+func TestBiCRFDecodeFollowsEmissions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := NewBi(2, rng)
+	em := [][]float64{{5, -5}, {-5, 5}, {5, -5}, {-5, 5}}
+	got := b.Decode(em)
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decode = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBiCRFMarginalsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBi(2, rng)
+	em := randEm(rng, 7, 2)
+	for tt, row := range b.Marginals(em) {
+		if s := row[0] + row[1]; math.Abs(s-1) > 1e-9 {
+			t.Errorf("bicrf marginals at %d sum to %v", tt, s)
+		}
+	}
+}
+
+func TestCRFTrainsOnToyTask(t *testing.T) {
+	// Task: label = 1 iff emission feature favors it, with strong learned
+	// transition away from 1->1. The CRF must learn transitions from data
+	// generated with forbidden 1->1 pairs.
+	rng := rand.New(rand.NewSource(10))
+	c := New(2, rng)
+	type sample struct {
+		em [][]float64
+		y  []int
+	}
+	var data []sample
+	for k := 0; k < 200; k++ {
+		T := 6
+		em := make([][]float64, T)
+		y := make([]int, T)
+		prev := 0
+		for t2 := 0; t2 < T; t2++ {
+			lab := rng.Intn(2)
+			if prev == 1 {
+				lab = 0 // never two 1s in a row
+			}
+			y[t2] = lab
+			// weak noisy emission signal
+			em[t2] = []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+			em[t2][lab] += 1.0
+			prev = lab
+		}
+		data = append(data, sample{em, y})
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		for _, s := range data {
+			nn.ZeroGrads(c.Params())
+			c.Loss(s.em, s.y)
+			for _, p := range c.Params() {
+				for i := range p.Data {
+					p.Data[i] -= 0.05 * p.Grad[i]
+				}
+			}
+		}
+	}
+	// The learned 1->1 transition should be far below 1->0.
+	if c.Trans.At(1, 1) > c.Trans.At(1, 0)-1 {
+		t.Errorf("transition 1->1 (%v) not suppressed vs 1->0 (%v)", c.Trans.At(1, 1), c.Trans.At(1, 0))
+	}
+	// Decoding should respect the constraint even with ambiguous emissions.
+	dec := c.Decode([][]float64{{0, 0.4}, {0, 0.4}, {0, 0.4}})
+	for i := 1; i < len(dec); i++ {
+		if dec[i-1] == 1 && dec[i] == 1 {
+			t.Errorf("decode produced adjacent 1s: %v", dec)
+		}
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New(2, rng)
+	if dec := c.Decode(nil); dec != nil {
+		t.Errorf("Decode(nil) = %v", dec)
+	}
+	if loss, dEm := c.Loss(nil, nil); loss != 0 || dEm != nil {
+		t.Errorf("Loss(nil) = %v, %v", loss, dEm)
+	}
+}

@@ -1,0 +1,197 @@
+// Package dataset generates the evaluation streams of Section 5.1 and
+// slices them into the window samples the filters train on.
+//
+// Two generators are provided:
+//
+//   - Synthetic: the paper's synthetic datasets (Table 2 experiments) —
+//     event types drawn uniformly from a small alphabet, a single numeric
+//     attribute sampled from the standard normal distribution.
+//
+//   - Stock: a synthetic substitute for the purchased NASDAQ historical
+//     dataset (Table 1 experiments). The original data cannot be
+//     redistributed; this generator reproduces the statistical properties
+//     the experiments depend on: ~2500 ticker identifiers with Zipf-like
+//     prevalence (so the paper's T_k "top-k most prevalent identifiers"
+//     sets are meaningful), a per-ticker log-normal volume random walk
+//     (volume correlations drive predicate selectivity), and monotone
+//     timestamps. See DESIGN.md for the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlacep/internal/event"
+)
+
+// VolSchema is the single-attribute schema shared by both generators; the
+// attribute mirrors the paper's retained stock "volume" field.
+func VolSchema() *event.Schema { return event.NewSchema("vol") }
+
+// Synthetic generates n events over nTypes uniformly sampled types named
+// "A", "B", ... with a standard-normal vol attribute. The paper uses 15
+// possibilities.
+func Synthetic(n, nTypes int, seed int64) *event.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	types := TypeNames(nTypes)
+	events := make([]event.Event, n)
+	for i := range events {
+		events[i] = event.Event{
+			Type:  types[rng.Intn(nTypes)],
+			Attrs: []float64{rng.NormFloat64()},
+		}
+	}
+	return event.NewStream(VolSchema(), events)
+}
+
+// TypeNames returns n synthetic type names: A, B, ..., Z, T26, T27, ...
+func TypeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i < 26 {
+			out[i] = string(rune('A' + i))
+		} else {
+			out[i] = fmt.Sprintf("T%d", i)
+		}
+	}
+	return out
+}
+
+// StockConfig parameterizes the stock-market generator.
+type StockConfig struct {
+	Events  int
+	Tickers int     // number of distinct stock identifiers (paper: >2500)
+	ZipfS   float64 // Zipf skew of ticker prevalence (>1)
+	Sigma   float64 // volatility of the per-ticker log-volume random walk
+	Seed    int64
+}
+
+// DefaultStockConfig mirrors the paper's dataset shape at configurable size.
+func DefaultStockConfig(n int, seed int64) StockConfig {
+	return StockConfig{Events: n, Tickers: 2500, ZipfS: 1.2, Sigma: 0.25, Seed: seed}
+}
+
+// Stock generates the synthetic stock stream. Ticker i is named "S<i>" with
+// S1 the most prevalent; TopTickers returns prevalence order, so the
+// paper's T_k template argument is TopTickers(k).
+func Stock(cfg StockConfig) *event.Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Tickers-1))
+	logVol := make([]float64, cfg.Tickers)
+	for i := range logVol {
+		// distinct base volumes per ticker, spread over ~2 decades
+		logVol[i] = rng.NormFloat64() * 1.0
+	}
+	events := make([]event.Event, cfg.Events)
+	ts := int64(0)
+	for i := range events {
+		tick := int(zipf.Uint64())
+		logVol[tick] += rng.NormFloat64() * cfg.Sigma
+		// keep the walk from drifting away
+		logVol[tick] *= 0.995
+		ts += 1
+		events[i] = event.Event{
+			Type:  TickerName(tick),
+			Ts:    ts,
+			Attrs: []float64{math.Exp(logVol[tick])},
+		}
+	}
+	st := &event.Stream{Schema: VolSchema(), Events: events}
+	st.AssignIDs(0)
+	return st
+}
+
+// TickerName returns the name of prevalence-ranked ticker i (0 = most
+// prevalent).
+func TickerName(i int) string { return fmt.Sprintf("S%d", i+1) }
+
+// TopTickersBand returns ticker names ranked lo+1..hi by prevalence — the
+// paper's T_hi / T_lo set difference.
+func TopTickersBand(lo, hi int) []string {
+	out := make([]string, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, TickerName(i))
+	}
+	return out
+}
+
+// TopTickers returns the k most prevalent ticker names — the paper's T_k.
+func TopTickers(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = TickerName(i)
+	}
+	return out
+}
+
+// Windows slices the stream into consecutive non-overlapping samples of the
+// given size, dropping a short tail. Event IDs are preserved, so window
+// semantics inside a sample match the global stream.
+func Windows(st *event.Stream, size int) [][]event.Event {
+	var out [][]event.Event
+	for lo := 0; lo+size <= st.Len(); lo += size {
+		out = append(out, st.Events[lo:lo+size])
+	}
+	return out
+}
+
+// Split shuffles sample indices with the given seed and splits them into
+// train and test portions (the paper uses 70/30).
+func Split(samples [][]event.Event, trainFrac float64, seed int64) (train, test [][]event.Event) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(samples))
+	cut := int(trainFrac * float64(len(samples)))
+	for i, j := range idx {
+		if i < cut {
+			train = append(train, samples[j])
+		} else {
+			test = append(test, samples[j])
+		}
+	}
+	return train, test
+}
+
+// Concat re-joins samples into one stream (events keep their IDs), used to
+// build evaluation streams out of held-out samples.
+func Concat(schema *event.Schema, samples [][]event.Event) *event.Stream {
+	var events []event.Event
+	for _, s := range samples {
+		events = append(events, s...)
+	}
+	return &event.Stream{Schema: schema, Events: events}
+}
+
+// TimeWindows simulates time-based windows (Figure 14): the stream is cut
+// into windows of random sizes up to maxWindow, and every window is padded
+// with blank events to exactly maxWindow, as done during DLACEP training on
+// time-based patterns. Padding events reuse the ID/timestamp of the last
+// real event so they never extend any window.
+func TimeWindows(st *event.Stream, maxWindow int, seed int64) [][]event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]event.Event
+	lo := 0
+	for lo < st.Len() {
+		size := 1 + rng.Intn(maxWindow)
+		hi := lo + size
+		if hi > st.Len() {
+			hi = st.Len()
+		}
+		out = append(out, PadWindow(st.Events[lo:hi], maxWindow))
+		lo = hi
+	}
+	return out
+}
+
+// PadWindow pads a window with blank events up to size.
+func PadWindow(events []event.Event, size int) []event.Event {
+	if len(events) >= size {
+		return events[:size]
+	}
+	out := append([]event.Event(nil), events...)
+	last := events[len(events)-1]
+	for len(out) < size {
+		out = append(out, event.Blank(last.ID, last.Ts))
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/event"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	st := Synthetic(3000, 15, 1)
+	if st.Len() != 3000 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	counts := st.TypeCounts()
+	if len(counts) != 15 {
+		t.Fatalf("types = %d, want 15", len(counts))
+	}
+	// roughly uniform: every type within 3x of expected
+	for typ, c := range counts {
+		if c < 100 || c > 600 {
+			t.Errorf("type %s count %d far from uniform expectation 200", typ, c)
+		}
+	}
+	// attribute approximately standard normal
+	sum, sumSq := 0.0, 0.0
+	for i := range st.Events {
+		v := st.Events[i].Attrs[0]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / 3000
+	variance := sumSq/3000 - mean*mean
+	if math.Abs(mean) > 0.1 || math.Abs(variance-1) > 0.15 {
+		t.Errorf("attr mean/var = %v/%v, want ~0/1", mean, variance)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(50, 5, 7)
+	b := Synthetic(50, 5, 7)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("same seed produced different streams")
+	}
+	c := Synthetic(50, 5, 8)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	names := TypeNames(28)
+	if names[0] != "A" || names[25] != "Z" || names[26] != "T26" {
+		t.Errorf("TypeNames = %v...", names[:3])
+	}
+}
+
+func TestStockPrevalenceOrder(t *testing.T) {
+	st := Stock(StockConfig{Events: 30000, Tickers: 100, ZipfS: 1.3, Sigma: 0.2, Seed: 2})
+	counts := st.TypeCounts()
+	// S1 must dominate S50
+	if counts[TickerName(0)] <= counts[TickerName(49)] {
+		t.Errorf("prevalence order broken: S1=%d S50=%d", counts[TickerName(0)], counts[TickerName(49)])
+	}
+	// volumes positive
+	for i := range st.Events {
+		if st.Events[i].Attrs[0] <= 0 {
+			t.Fatalf("non-positive volume at %d", i)
+		}
+	}
+	// timestamps strictly increasing
+	for i := 1; i < st.Len(); i++ {
+		if st.Events[i].Ts <= st.Events[i-1].Ts {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+}
+
+func TestTopTickers(t *testing.T) {
+	got := TopTickers(3)
+	if !reflect.DeepEqual(got, []string{"S1", "S2", "S3"}) {
+		t.Errorf("TopTickers = %v", got)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	st := Synthetic(105, 3, 1)
+	ws := Windows(st, 20)
+	if len(ws) != 5 {
+		t.Fatalf("windows = %d, want 5 (tail dropped)", len(ws))
+	}
+	if ws[1][0].ID != 20 {
+		t.Errorf("second window starts at ID %d, want 20", ws[1][0].ID)
+	}
+}
+
+func TestSplitFractionsAndDisjoint(t *testing.T) {
+	st := Synthetic(1000, 3, 1)
+	ws := Windows(st, 10)
+	train, test := Split(ws, 0.7, 3)
+	if len(train) != 70 || len(test) != 30 {
+		t.Fatalf("split = %d/%d, want 70/30", len(train), len(test))
+	}
+	seen := map[uint64]bool{}
+	for _, w := range train {
+		seen[w[0].ID] = true
+	}
+	for _, w := range test {
+		if seen[w[0].ID] {
+			t.Fatal("train and test share a window")
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	st := Synthetic(40, 3, 1)
+	ws := Windows(st, 10)
+	joined := Concat(st.Schema, ws[:2])
+	if joined.Len() != 20 || joined.Events[10].ID != 10 {
+		t.Errorf("concat broken: len=%d", joined.Len())
+	}
+}
+
+func TestTimeWindowsPadding(t *testing.T) {
+	st := Synthetic(100, 3, 1)
+	ws := TimeWindows(st, 12, 5)
+	total := 0
+	for _, w := range ws {
+		if len(w) != 12 {
+			t.Fatalf("window size %d, want 12 (padded)", len(w))
+		}
+		real := 0
+		for i := range w {
+			if !w[i].IsBlank() {
+				real++
+			}
+		}
+		if real == 0 {
+			t.Fatal("window with no real events")
+		}
+		total += real
+	}
+	if total != 100 {
+		t.Errorf("real events across windows = %d, want 100", total)
+	}
+}
+
+func TestPadWindowTruncates(t *testing.T) {
+	st := Synthetic(10, 3, 1)
+	w := PadWindow(st.Events, 4)
+	if len(w) != 4 || w[3].ID != 3 {
+		t.Errorf("PadWindow truncation broken: %v", w)
+	}
+}
+
+func TestPadWindowBlanksDoNotExtendWindow(t *testing.T) {
+	st := Synthetic(3, 3, 1)
+	w := PadWindow(st.Events, 6)
+	for _, e := range w[3:] {
+		if !e.IsBlank() || e.ID != 2 {
+			t.Errorf("padding event %+v should be blank with last real ID", e)
+		}
+	}
+	_ = event.Blank(0, 0)
+}

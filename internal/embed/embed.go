@@ -1,0 +1,205 @@
+// Package embed turns primitive events into the fixed-size float vectors
+// consumed by the filter networks (Section 4.3 of the paper): a compact
+// pattern-aware one-hot encoding of the event type, standardized numeric
+// attributes, and a padding indicator for blank events used in simulated
+// time-based windows.
+package embed
+
+import (
+	"math"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Embedder maps events to vectors. The type vocabulary is compacted to the
+// types mentioned by the monitored pattern(s) plus a single "other" bucket —
+// the paper's example: with 500 stream types but one pattern type, the
+// one-hot can be of size 2.
+type Embedder struct {
+	schema  *event.Schema
+	typeIdx map[string]int // pattern type -> one-hot position
+	nTypes  int            // len(typeIdx) + 1 (other)
+	attrIdx []int          // schema positions of embedded attributes
+	mean    []float64
+	std     []float64
+	// log-feature statistics: many CEP conditions are ratio predicates
+	// (α·x < y < β·x, Table 1), which are linear in log space; exposing a
+	// standardized log(v) alongside the standardized raw value makes them
+	// learnable by small networks. Enabled per attribute when the fitted
+	// data is strictly positive.
+	logOK   []bool
+	logMean []float64
+	logStd  []float64
+	fitted  bool
+}
+
+// New builds an embedder for the union of the patterns' type and attribute
+// sets. Call Fit on (training) data before embedding so attributes are
+// standardized; unfitted embedders pass attributes through unscaled.
+func New(schema *event.Schema, pats ...*pattern.Pattern) *Embedder {
+	e := &Embedder{schema: schema, typeIdx: map[string]int{}}
+	attrSet := map[string]bool{}
+	for _, p := range pats {
+		for _, t := range p.TypeSet() {
+			if _, ok := e.typeIdx[t]; !ok {
+				e.typeIdx[t] = len(e.typeIdx)
+			}
+		}
+		for _, a := range p.AttrSet() {
+			attrSet[a] = true
+		}
+	}
+	// Patterns with no conditions still benefit from attribute context:
+	// fall back to the whole schema.
+	if len(attrSet) == 0 {
+		for _, a := range schema.Names() {
+			attrSet[a] = true
+		}
+	}
+	for _, a := range schema.Names() {
+		if attrSet[a] {
+			e.attrIdx = append(e.attrIdx, schema.MustIndex(a))
+		}
+	}
+	e.nTypes = len(e.typeIdx) + 1
+	e.mean = make([]float64, len(e.attrIdx))
+	e.std = make([]float64, len(e.attrIdx))
+	e.logOK = make([]bool, len(e.attrIdx))
+	e.logMean = make([]float64, len(e.attrIdx))
+	e.logStd = make([]float64, len(e.attrIdx))
+	for i := range e.std {
+		e.std[i] = 1
+		e.logStd[i] = 1
+	}
+	return e
+}
+
+// Dim returns the embedding size: type one-hot + blank flag + raw and
+// log-transformed attributes.
+func (e *Embedder) Dim() int { return e.nTypes + 1 + 2*len(e.attrIdx) }
+
+// Fit estimates attribute means and standard deviations from a stream
+// (the paper standardizes the stock volume attribute the same way).
+func (e *Embedder) Fit(st *event.Stream) {
+	n := 0
+	k := len(e.attrIdx)
+	sum := make([]float64, k)
+	sumSq := make([]float64, k)
+	logSum := make([]float64, k)
+	logSumSq := make([]float64, k)
+	allPos := make([]bool, k)
+	for j := range allPos {
+		allPos[j] = true
+	}
+	for i := range st.Events {
+		ev := &st.Events[i]
+		if ev.IsBlank() {
+			continue
+		}
+		n++
+		for j, ai := range e.attrIdx {
+			v := ev.Attrs[ai]
+			sum[j] += v
+			sumSq[j] += v * v
+			if v <= 0 {
+				allPos[j] = false
+			} else {
+				lv := math.Log(v)
+				logSum[j] += lv
+				logSumSq[j] += lv * lv
+			}
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for j := range e.attrIdx {
+		e.mean[j] = sum[j] / float64(n)
+		variance := sumSq[j]/float64(n) - e.mean[j]*e.mean[j]
+		if variance < 1e-12 {
+			e.std[j] = 1
+		} else {
+			e.std[j] = math.Sqrt(variance)
+		}
+		e.logOK[j] = allPos[j]
+		if allPos[j] {
+			e.logMean[j] = logSum[j] / float64(n)
+			lv := logSumSq[j]/float64(n) - e.logMean[j]*e.logMean[j]
+			if lv < 1e-12 {
+				e.logStd[j] = 1
+			} else {
+				e.logStd[j] = math.Sqrt(lv)
+			}
+		}
+	}
+	e.fitted = true
+}
+
+// Fitted reports whether attribute statistics have been estimated.
+func (e *Embedder) Fitted() bool { return e.fitted }
+
+// State is the fitted normalization state, the only part of an Embedder not
+// derivable from its patterns and schema; it is what model persistence
+// stores.
+type State struct {
+	Mean    []float64
+	Std     []float64
+	LogOK   []bool
+	LogMean []float64
+	LogStd  []float64
+	Fitted  bool
+}
+
+// State snapshots the normalization statistics.
+func (e *Embedder) State() State {
+	return State{
+		Mean:    append([]float64(nil), e.mean...),
+		Std:     append([]float64(nil), e.std...),
+		LogOK:   append([]bool(nil), e.logOK...),
+		LogMean: append([]float64(nil), e.logMean...),
+		LogStd:  append([]float64(nil), e.logStd...),
+		Fitted:  e.fitted,
+	}
+}
+
+// SetState restores previously fitted statistics.
+func (e *Embedder) SetState(s State) {
+	copy(e.mean, s.Mean)
+	copy(e.std, s.Std)
+	copy(e.logOK, s.LogOK)
+	copy(e.logMean, s.LogMean)
+	copy(e.logStd, s.LogStd)
+	e.fitted = s.Fitted
+}
+
+// Embed returns the vector for one event.
+func (e *Embedder) Embed(ev *event.Event) []float64 {
+	v := make([]float64, e.Dim())
+	if ev.IsBlank() {
+		v[e.nTypes] = 1 // blank flag; type one-hot all zero
+		return v
+	}
+	if idx, ok := e.typeIdx[ev.Type]; ok {
+		v[idx] = 1
+	} else {
+		v[e.nTypes-1] = 1 // "other" bucket
+	}
+	for j, ai := range e.attrIdx {
+		val := ev.Attrs[ai]
+		v[e.nTypes+1+2*j] = (val - e.mean[j]) / e.std[j]
+		if e.logOK[j] && val > 0 {
+			v[e.nTypes+1+2*j+1] = (math.Log(val) - e.logMean[j]) / e.logStd[j]
+		}
+	}
+	return v
+}
+
+// EmbedWindow vectorizes a window sample into the network's input sequence.
+func (e *Embedder) EmbedWindow(events []event.Event) [][]float64 {
+	out := make([][]float64, len(events))
+	for i := range events {
+		out[i] = e.Embed(&events[i])
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+func TestCompactOneHot(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(GOOG a, AAPL b) WHERE a.vol < b.vol WITHIN 10")
+	e := New(schema, p)
+	// 2 pattern types + other + blank flag + raw and log attribute = 6
+	if e.Dim() != 6 {
+		t.Fatalf("Dim = %d, want 6", e.Dim())
+	}
+	goog := &event.Event{Type: "GOOG", Attrs: []float64{1}}
+	msft := &event.Event{Type: "MSFT", Attrs: []float64{1}}
+	vg, vm := e.Embed(goog), e.Embed(msft)
+	// one-hot portions must differ and each have exactly one 1 in the type
+	// block (positions 0..2)
+	sum := func(v []float64) float64 { return v[0] + v[1] + v[2] }
+	if sum(vg) != 1 || sum(vm) != 1 {
+		t.Errorf("type one-hot not exactly one: %v %v", vg, vm)
+	}
+	if vm[2] != 1 {
+		t.Errorf("unknown type must land in the other bucket: %v", vm)
+	}
+	if vg[2] != 0 {
+		t.Errorf("pattern type leaked to other bucket: %v", vg)
+	}
+}
+
+func TestBlankFlag(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	e := New(schema, p)
+	b := event.Blank(3, 3)
+	v := e.Embed(&b)
+	if v[e.nTypes] != 1 {
+		t.Errorf("blank flag not set: %v", v)
+	}
+	for i := 0; i < e.nTypes; i++ {
+		if v[i] != 0 {
+			t.Errorf("blank event has type activation: %v", v)
+		}
+	}
+}
+
+func TestStandardization(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	e := New(schema, p)
+	st := event.NewStream(schema, []event.Event{
+		{Type: "A", Attrs: []float64{10}},
+		{Type: "A", Attrs: []float64{20}},
+		{Type: "B", Attrs: []float64{30}},
+		{Type: "B", Attrs: []float64{40}},
+	})
+	e.Fit(st)
+	if !e.Fitted() {
+		t.Fatal("not fitted")
+	}
+	// mean 25, std sqrt(125)
+	v := e.Embed(&st.Events[0])
+	attr := v[e.Dim()-2] // raw feature (the last slot is the log feature)
+	want := (10.0 - 25.0) / math.Sqrt(125)
+	if math.Abs(attr-want) > 1e-9 {
+		t.Errorf("standardized attr = %v, want %v", attr, want)
+	}
+	// standardized embedding of the whole stream has ~zero mean, unit std
+	sum, sumSq := 0.0, 0.0
+	for i := range st.Events {
+		x := e.Embed(&st.Events[i])[e.Dim()-2]
+		sum += x
+		sumSq += x * x
+	}
+	if math.Abs(sum/4) > 1e-9 || math.Abs(sumSq/4-1) > 1e-9 {
+		t.Errorf("post-fit mean/var = %v/%v, want 0/1", sum/4, sumSq/4)
+	}
+}
+
+func TestFitConstantAttribute(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	e := New(schema, p)
+	st := event.NewStream(schema, []event.Event{
+		{Type: "A", Attrs: []float64{5}},
+		{Type: "A", Attrs: []float64{5}},
+	})
+	e.Fit(st)
+	v := e.Embed(&st.Events[0])
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("constant attribute produced %v", v)
+		}
+	}
+}
+
+func TestEmbedWindow(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	e := New(schema, p)
+	st := dataset.Synthetic(8, 3, 1)
+	x := e.EmbedWindow(st.Events)
+	if len(x) != 8 {
+		t.Fatalf("window length %d", len(x))
+	}
+	for _, row := range x {
+		if len(row) != e.Dim() {
+			t.Fatalf("row dim %d, want %d", len(row), e.Dim())
+		}
+	}
+}
+
+func TestMultiPatternUnion(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	p2 := pattern.MustParse("PATTERN SEQ(C c, D d) WITHIN 10")
+	e := New(schema, p1, p2)
+	// 4 types + other + blank + raw/log vol (fallback to schema attrs)
+	if e.Dim() != 8 {
+		t.Errorf("Dim = %d, want 8", e.Dim())
+	}
+}
+
+func TestNoConditionFallsBackToSchemaAttrs(t *testing.T) {
+	schema := event.NewSchema("vol", "price")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	e := New(schema, p)
+	// 2 types + other + blank + 2 schema attrs x (raw+log)
+	if e.Dim() != 8 {
+		t.Errorf("Dim = %d, want 8", e.Dim())
+	}
+}

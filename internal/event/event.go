@@ -1,0 +1,156 @@
+// Package event defines the primitive event model shared by every component
+// of the DLACEP stack: the CEP engines, the neural filters, the dataset
+// generators, and the benchmark harness.
+//
+// Following the paper (Section 2.1), a primitive event is a tuple (N, F, t)
+// where N is the event type, F is a fixed-size attribute set, and t is the
+// occurrence timestamp. Attributes are resolved by name through a Schema so
+// that hot evaluation paths work with plain slice indexing.
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlankType is the reserved event type used for padding variable-length
+// (time-based) windows up to a fixed size before neural evaluation
+// (Section 5.2, "Time-based window evaluation"). Blank events never match
+// any pattern component.
+const BlankType = "__blank__"
+
+// Schema maps attribute names to positions inside Event.Attrs. A single
+// Schema instance is shared by a whole stream; events do not carry attribute
+// names themselves.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from an ordered attribute name list.
+// Duplicate names panic: schemas are static program configuration and a
+// duplicate is always a programming error.
+func NewSchema(names ...string) *Schema {
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if _, dup := s.index[n]; dup {
+			panic(fmt.Sprintf("event: duplicate attribute %q in schema", n))
+		}
+		s.index[n] = i
+	}
+	return s
+}
+
+// Index returns the slice position of the named attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex is Index that panics on unknown names. It is used at
+// pattern-compile time, where an unknown attribute is a query error that
+// must not be silently ignored.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("event: unknown attribute %q", name))
+	}
+	return i
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns a copy of the attribute names in schema order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Event is a single primitive event. ID is a unique, strictly increasing
+// sequence number attached on arrival (Section 4.4); it doubles as the
+// position used by count-based windows. Ts is the logical timestamp used by
+// time-based windows.
+type Event struct {
+	ID    uint64
+	Type  string
+	Ts    int64
+	Attrs []float64
+}
+
+// Attr returns the value of the named attribute under schema s.
+func (e *Event) Attr(s *Schema, name string) float64 {
+	return e.Attrs[s.MustIndex(name)]
+}
+
+// IsBlank reports whether the event is a padding event.
+func (e *Event) IsBlank() bool { return e.Type == BlankType }
+
+// Blank returns a padding event carrying the given ID and timestamp.
+func Blank(id uint64, ts int64) Event {
+	return Event{ID: id, Type: BlankType, Ts: ts}
+}
+
+// Stream couples a schema with an ordered event sequence. Streams in this
+// repository are finite slices; the evaluation engines themselves are
+// incremental and can be fed one event at a time.
+type Stream struct {
+	Schema *Schema
+	Events []Event
+}
+
+// NewStream builds a stream over schema s, assigning sequential IDs
+// (starting at 0) and, when timestamps are all zero, sequential timestamps.
+func NewStream(s *Schema, events []Event) *Stream {
+	st := &Stream{Schema: s, Events: events}
+	st.AssignIDs(0)
+	return st
+}
+
+// AssignIDs (re)assigns strictly increasing IDs starting at first. Events
+// with zero timestamps also receive their ID as timestamp, implementing the
+// constant-sampling-rate assumption of Section 4 (count ≡ time windows).
+func (st *Stream) AssignIDs(first uint64) {
+	for i := range st.Events {
+		st.Events[i].ID = first + uint64(i)
+		if st.Events[i].Ts == 0 {
+			st.Events[i].Ts = int64(st.Events[i].ID)
+		}
+	}
+}
+
+// Len returns the number of events in the stream.
+func (st *Stream) Len() int { return len(st.Events) }
+
+// Slice returns a sub-stream view sharing the schema and the backing array.
+func (st *Stream) Slice(lo, hi int) *Stream {
+	return &Stream{Schema: st.Schema, Events: st.Events[lo:hi]}
+}
+
+// TypeCounts returns the number of events per type, useful for rate
+// estimation (Section 3.2) and lazy-evaluation frequency ordering.
+func (st *Stream) TypeCounts() map[string]int {
+	c := make(map[string]int)
+	for i := range st.Events {
+		c[st.Events[i].Type]++
+	}
+	return c
+}
+
+// TypesByFrequency returns event types ordered from least to most frequent,
+// breaking ties lexicographically for determinism. This is the evaluation
+// order used by the lazy ECEP baseline [41].
+func (st *Stream) TypesByFrequency() []string {
+	counts := st.TypeCounts()
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if counts[types[i]] != counts[types[j]] {
+			return counts[types[i]] < counts[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	return types
+}

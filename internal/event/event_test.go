@@ -1,0 +1,191 @@
+package event
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaIndex(t *testing.T) {
+	s := NewSchema("vol", "price")
+	if got := s.MustIndex("vol"); got != 0 {
+		t.Errorf("MustIndex(vol) = %d, want 0", got)
+	}
+	if got := s.MustIndex("price"); got != 1 {
+		t.Errorf("MustIndex(price) = %d, want 1", got)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) reported ok")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if got := s.Names(); !reflect.DeepEqual(got, []string{"vol", "price"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSchema with duplicate attr did not panic")
+		}
+	}()
+	NewSchema("a", "a")
+}
+
+func TestSchemaMustIndexUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex(unknown) did not panic")
+		}
+	}()
+	NewSchema("a").MustIndex("b")
+}
+
+func TestEventAttr(t *testing.T) {
+	s := NewSchema("vol", "price")
+	e := Event{Type: "GOOG", Attrs: []float64{3.5, 7.25}}
+	if got := e.Attr(s, "price"); got != 7.25 {
+		t.Errorf("Attr(price) = %v, want 7.25", got)
+	}
+}
+
+func TestBlankEvent(t *testing.T) {
+	b := Blank(7, 11)
+	if !b.IsBlank() {
+		t.Error("Blank event not IsBlank")
+	}
+	if b.ID != 7 || b.Ts != 11 {
+		t.Errorf("Blank carries ID=%d Ts=%d", b.ID, b.Ts)
+	}
+	e := Event{Type: "A"}
+	if e.IsBlank() {
+		t.Error("typed event reported blank")
+	}
+}
+
+func TestAssignIDs(t *testing.T) {
+	s := NewSchema("x")
+	st := NewStream(s, []Event{{Type: "A"}, {Type: "B"}, {Type: "C", Ts: 99}})
+	for i, e := range st.Events {
+		if e.ID != uint64(i) {
+			t.Errorf("event %d has ID %d", i, e.ID)
+		}
+	}
+	if st.Events[0].Ts != 0 || st.Events[1].Ts != 1 {
+		t.Errorf("zero timestamps not defaulted to IDs: %v %v", st.Events[0].Ts, st.Events[1].Ts)
+	}
+	if st.Events[2].Ts != 99 {
+		t.Errorf("explicit timestamp overwritten: %v", st.Events[2].Ts)
+	}
+	st.AssignIDs(100)
+	if st.Events[0].ID != 100 || st.Events[2].ID != 102 {
+		t.Errorf("re-assignment from 100 failed: %v", st.Events)
+	}
+}
+
+func TestTypeCountsAndFrequencyOrder(t *testing.T) {
+	s := NewSchema()
+	st := NewStream(s, []Event{
+		{Type: "A"}, {Type: "B"}, {Type: "A"}, {Type: "C"}, {Type: "A"}, {Type: "B"},
+	})
+	counts := st.TypeCounts()
+	if counts["A"] != 3 || counts["B"] != 2 || counts["C"] != 1 {
+		t.Errorf("TypeCounts = %v", counts)
+	}
+	order := st.TypesByFrequency()
+	if !reflect.DeepEqual(order, []string{"C", "B", "A"}) {
+		t.Errorf("TypesByFrequency = %v, want [C B A]", order)
+	}
+}
+
+func TestStreamSlice(t *testing.T) {
+	s := NewSchema()
+	st := NewStream(s, make([]Event, 10))
+	sub := st.Slice(3, 7)
+	if sub.Len() != 4 || sub.Events[0].ID != 3 {
+		t.Errorf("Slice(3,7): len=%d first ID=%d", sub.Len(), sub.Events[0].ID)
+	}
+	if sub.Schema != st.Schema {
+		t.Error("Slice does not share schema")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := NewSchema("vol", "price")
+	st := NewStream(s, []Event{
+		{Type: "GOOG", Attrs: []float64{1.5, -2.25}},
+		{Type: "AAPL", Attrs: []float64{0, 1e-9}},
+		{Type: BlankType, Attrs: []float64{0, 0}},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, st); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got.Schema.Names(), st.Schema.Names()) {
+		t.Errorf("schema mismatch: %v vs %v", got.Schema.Names(), st.Schema.Names())
+	}
+	if !reflect.DeepEqual(got.Events, st.Events) {
+		t.Errorf("events mismatch:\n got %v\nwant %v", got.Events, st.Events)
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	s := NewSchema("a", "b")
+	f := func(vals [][2]float64) bool {
+		events := make([]Event, len(vals))
+		for i, v := range vals {
+			a, b := v[0], v[1]
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				a = 0
+			}
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				b = 0
+			}
+			events[i] = Event{Type: "T", Attrs: []float64{a, b}}
+		}
+		st := NewStream(s, events)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, st); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Events) != len(st.Events) {
+			return false
+		}
+		for i := range got.Events {
+			if !reflect.DeepEqual(got.Events[i], st.Events[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"foo,bar,baz\n",
+		"id,type,ts,a\nxx,T,0,1\n",
+		"id,type,ts,a\n0,T,zz,1\n",
+		"id,type,ts,a\n0,T,0,zz\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", src)
+		}
+	}
+}

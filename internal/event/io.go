@@ -1,0 +1,83 @@
+package event
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the stream as CSV with the header
+// id,type,ts,<attr1>,<attr2>,... so generated datasets can be inspected and
+// replayed by the cmd tools.
+func WriteCSV(w io.Writer, st *Stream) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	header := append([]string{"id", "type", "ts"}, st.Schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := range st.Events {
+		e := &st.Events[i]
+		row[0] = strconv.FormatUint(e.ID, 10)
+		row[1] = e.Type
+		row[2] = strconv.FormatInt(e.Ts, 10)
+		for j, v := range e.Attrs {
+			row[3+j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a stream previously written by WriteCSV. The schema is
+// reconstructed from the header.
+func ReadCSV(r io.Reader) (*Stream, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("event: reading CSV header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "id" || header[1] != "type" || header[2] != "ts" {
+		return nil, fmt.Errorf("event: malformed CSV header %v", header)
+	}
+	schema := NewSchema(append([]string(nil), header[3:]...)...)
+	st := &Stream{Schema: schema}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("event: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("event: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		var e Event
+		if e.ID, err = strconv.ParseUint(rec[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("event: CSV line %d id: %w", line, err)
+		}
+		e.Type = rec[1]
+		if e.Ts, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("event: CSV line %d ts: %w", line, err)
+		}
+		e.Attrs = make([]float64, len(rec)-3)
+		for j, f := range rec[3:] {
+			if e.Attrs[j], err = strconv.ParseFloat(f, 64); err != nil {
+				return nil, fmt.Errorf("event: CSV line %d attr %d: %w", line, j, err)
+			}
+		}
+		st.Events = append(st.Events, e)
+	}
+	return st, nil
+}

@@ -1,0 +1,51 @@
+package harness
+
+import "fmt"
+
+// Figures maps figure selectors (as accepted by cmd/dlacep-bench -fig) to
+// their runners.
+func Figures() []string {
+	return []string{"8", "9", "10", "11", "12", "13", "14", "headline", "ablations"}
+}
+
+// Run dispatches one figure selector at the given scale.
+func Run(fig string, sc Scale) ([]*Report, error) {
+	switch fig {
+	case "8":
+		return Figure8(sc)
+	case "9":
+		return Figure9(sc)
+	case "10":
+		rep, err := Figure10(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Report{rep}, nil
+	case "11":
+		return Figure11(sc)
+	case "12":
+		rep, err := Figure12(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Report{rep}, nil
+	case "13":
+		return Figure13(sc)
+	case "14":
+		rep, err := Figure14(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Report{rep}, nil
+	case "headline":
+		rep, err := Headline(sc)
+		if err != nil {
+			return nil, err
+		}
+		return []*Report{rep}, nil
+	case "ablations":
+		return Ablations(sc)
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q (have %v)", fig, Figures())
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+)
+
+// Figure11 reproduces the training-budget study: throughput gain and FN%
+// (missed matches percentage) as functions of (a,b) the number of training
+// epochs and (c,d) the fraction of training data, on Q^A_9. The paper's
+// takeaway — FN% stabilizes quickly, so heavy training budgets are not
+// required — is what the sweep demonstrates.
+func Figure11(sc Scale) ([]*Report, error) {
+	st := dataset.Stock(*sc.StockStream(11))
+	pat := queries.QA9(sc.W, 4, 0.75, 1.3, 0.7, 1.35, sc.Base)
+	pats := []*pattern.Pattern{pat}
+
+	epochsRep := &Report{ID: "fig11ab", Title: "gain and FN% vs training epochs, QA9"}
+	epochSweep := []int{1, 2, 4, sc.MaxEpochs}
+	for _, e := range epochSweep {
+		e := e
+		res, err := RunCase(sc, pats, st, []FilterKind{EventNet}, &CaseOptions{
+			NetEval: 30,
+			TrainMod: func(o *core.TrainOptions) {
+				o.MaxEpochs = e
+				o.NoConvergence = true
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 epochs=%d: %w", e, err)
+		}
+		for _, r := range res {
+			epochsRep.Add(r.row(fmt.Sprintf("epochs=%d", e)))
+		}
+	}
+
+	dataRep := &Report{ID: "fig11cd", Title: "gain and FN% vs training data fraction, QA9"}
+	for _, frac := range []float64{0.1, 0.25, 0.5, 1.0} {
+		frac := frac
+		res, err := RunCase(sc, pats, st, []FilterKind{EventNet}, &CaseOptions{
+			NetEval: 30,
+			TrainMod: func(o *core.TrainOptions) {
+				o.DataFraction = frac
+				o.NoConvergence = true
+				o.MaxEpochs = sc.MaxEpochs / 2
+				if o.MaxEpochs < 1 {
+					o.MaxEpochs = 1
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 data=%g: %w", frac, err)
+		}
+		for _, r := range res {
+			dataRep.Add(r.row(fmt.Sprintf("data=%.0f%%", frac*100)))
+		}
+	}
+	return []*Report{epochsRep, dataRep}, nil
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+)
+
+// Figure14 reproduces the simulated time-based window evaluation: the
+// stream is partitioned into windows of random sizes up to MW, padded with
+// blank events to MW for the fixed-size LSTM input, and the pipeline is
+// compared against count-based ECEP. Q^A_5(j=2) is used, as Kleene closure
+// patterns are most sensitive to window-size fluctuation.
+func Figure14(sc Scale) (*Report, error) {
+	st := dataset.Stock(*sc.StockStream(14))
+	// QA5 carries 5 positive primitives plus Kleene bands; it needs the
+	// roomier operator-scale window (as in Figure 9).
+	w14 := 2 * sc.W
+	pat := queries.QA5(w14, 2, 0.75, 1.3, sc.Base, sc.BandStep)
+	rep := &Report{ID: "fig14", Title: "time-based window simulation: gain vs max window (MW), QA5(j=2)"}
+
+	// count-based reference point (same pattern, regular pipeline); the
+	// oracle rows isolate the padding mechanism from network quality
+	kinds := []FilterKind{EventNet, Oracle}
+	ref, err := RunCase(sc, []*pattern.Pattern{pat}, st, kinds, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 count baseline: %w", err)
+	}
+	for _, r := range ref {
+		rep.Add(r.row("count-based"))
+	}
+
+	// paper MW values are 250/300/350 around the count window 300 (=2W)
+	for _, mw := range []int{w14 * 2 * 5 / 6, w14 * 2, w14 * 2 * 7 / 6} {
+		res, err := RunCase(sc, []*pattern.Pattern{pat}, st, kinds,
+			&CaseOptions{MaxWindow: mw})
+		if err != nil {
+			return nil, fmt.Errorf("fig14 MW=%d: %w", mw, err)
+		}
+		for _, r := range res {
+			rep.Add(r.row(fmt.Sprintf("MW=%d", mw)))
+		}
+	}
+	return rep, nil
+}

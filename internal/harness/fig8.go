@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+)
+
+// Figure8 reproduces Figure 8: the impact of the amount of partial matches
+// (a), the ratio of partial to full matches (b), and the amount of full
+// matches (c) on throughput gain over ECEP, on stock-data patterns
+// instantiated from Table 1.
+func Figure8(sc Scale) ([]*Report, error) {
+	st := dataset.Stock(*sc.StockStream(8))
+	kinds := []FilterKind{EventNet, WindowNet}
+
+	a := &Report{ID: "fig8a", Title: "throughput gain vs amount of partial matches"}
+	// Q^A_1(k=small): few partial matches (rare types).
+	// Q^A_2: many partials, nearly all completed to full matches.
+	// Q^A_3: many partials, few completed.
+	// Q^A_1(k=large): massive amounts of partial matches.
+	casesA := []struct {
+		name string
+		pat  *pattern.Pattern
+	}{
+		{"QA1(k=small)", queries.QA1(sc.W, 4, sc.KSmall, []int{1, 2, 3}, 0.75, 1.3)},
+		{"QA2", queries.QA2(sc.W, sc.KLarge)},
+		{"QA3", queries.QA3(sc.W, 4, sc.KLarge, 4, []int{1, 2}, 1, 3, 0.8, 1.2, 1.0)},
+		{"QA1(k=large)", queries.QA1(sc.W, 4, sc.KLarge, []int{1, 2, 3}, 0.8, 1.2)},
+	}
+	for _, c := range casesA {
+		res, err := RunCase(sc, []*pattern.Pattern{c.pat}, st, kinds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig8a %s: %w", c.name, err)
+		}
+		for _, r := range res {
+			row := r.row(c.name)
+			row.Extra["ecep_instances"] = instances(r.ECEP)
+			row.Extra["acep_instances"] = instances(r.ACEP)
+			a.Add(row)
+		}
+	}
+
+	b := &Report{ID: "fig8b", Title: "throughput gain vs ratio of partial to full matches"}
+	casesB := []struct {
+		name string
+		pat  *pattern.Pattern
+	}{
+		{"QA3(a=0.75)", queries.QA3(sc.W, 4, sc.KLarge, 4, []int{1, 2}, 1, 3, 0.75, 1.35, 1.0)},
+		{"QA3(a=0.81)", queries.QA3(sc.W, 4, sc.KLarge, 4, []int{1, 2}, 1, 3, 0.81, 1.25, 1.0)},
+		{"QA4", queries.QA4(sc.W, 4, sc.KLarge, []int{1, 2}, 1, 3, 0.85, 1.15, 0.9, 1.1)},
+	}
+	for _, c := range casesB {
+		res, err := RunCase(sc, []*pattern.Pattern{c.pat}, st, kinds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig8b %s: %w", c.name, err)
+		}
+		for _, r := range res {
+			b.Add(r.row(c.name))
+		}
+	}
+
+	c := &Report{ID: "fig8c", Title: "throughput gain vs amount of full matches (alpha sweep on QA1)"}
+	// same partial-match volume, different full-match counts: widen/narrow
+	// the ratio band around 1.
+	alphas := []struct {
+		a, b float64
+	}{
+		{0.24, 1.76}, {0.4, 1.6}, {0.6, 1.4}, {0.76, 1.24},
+	}
+	for _, ab := range alphas {
+		pat := queries.QA1(sc.W, 4, sc.KLarge, []int{1, 2, 3}, ab.a, ab.b)
+		res, err := RunCase(sc, []*pattern.Pattern{pat}, st, []FilterKind{EventNet}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig8c a=%g: %w", ab.a, err)
+		}
+		for _, r := range res {
+			row := r.row(fmt.Sprintf("a=%.2f", ab.a))
+			row.Extra["full_matches"] = float64(len(r.ECEP.Keys))
+			c.Add(row)
+		}
+	}
+	return []*Report{a, b, c}, nil
+}

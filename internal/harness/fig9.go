@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+)
+
+// Figure9 reproduces Figure 9: throughput gain per pattern operator —
+// Kleene closure (non-nested and nested), negation (non-nested and nested),
+// disjunction (two shapes), and the separate-vs-combined disjunction
+// comparison. All runs use the event-network, as in the paper.
+func Figure9(sc Scale) ([]*Report, error) {
+	st := dataset.Stock(*sc.StockStream(9))
+	kinds := []FilterKind{EventNet}
+	alpha, beta := 0.75, 1.3
+	// The operator templates carry 5-8 primitives; they need a roomier
+	// window than the base scale to exhibit matches at all.
+	w := 2 * sc.W
+
+	sweep := func(id, title string, pats func(j int) *pattern.Pattern, js []int) (*Report, error) {
+		rep := &Report{ID: id, Title: title}
+		for _, j := range js {
+			p := pats(j)
+			res, err := RunCase(sc, []*pattern.Pattern{p}, st, kinds, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s j=%d: %w", id, j, err)
+			}
+			for _, r := range res {
+				rep.Add(r.row(fmt.Sprintf("j=%d", j)))
+			}
+		}
+		return rep, nil
+	}
+
+	a, err := sweep("fig9a", "KC non-nested: QA5, #KC operators sweep",
+		func(j int) *pattern.Pattern { return queries.QA5(w, j, alpha, beta, sc.Base, sc.BandStep) },
+		[]int{1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	b, err := sweep("fig9b", "KC nested: QA6, nested sequence length sweep",
+		func(j int) *pattern.Pattern { return queries.QA6(w, j, alpha, beta, sc.Base) },
+		[]int{2, 3, 4})
+	if err != nil {
+		return nil, err
+	}
+	c, err := sweep("fig9c", "NEG non-nested: QA7, #NEG operators sweep",
+		func(j int) *pattern.Pattern { return queries.QA7(w, j, alpha, beta, sc.Base, sc.BandStep) },
+		[]int{1, 2, 3})
+	if err != nil {
+		return nil, err
+	}
+	d, err := sweep("fig9d", "NEG nested: QA8, negated sequence length sweep",
+		func(j int) *pattern.Pattern { return queries.QA8(w, j, alpha, beta, sc.Base, sc.BandStep) },
+		[]int{2, 3})
+	if err != nil {
+		return nil, err
+	}
+	e, err := sweep("fig9e", "DISJ of 2 SEQs: QA9, sequence length sweep",
+		func(j int) *pattern.Pattern { return queries.QA9(w, j, alpha, beta, 0.7, 1.35, sc.Base) },
+		[]int{2, 3, 4})
+	if err != nil {
+		return nil, err
+	}
+	f, err := sweep("fig9f", "DISJ of j SEQ4s: QA10, #sequences sweep",
+		func(j int) *pattern.Pattern { return queries.QA10(w, j, alpha, beta, sc.BandSize) },
+		[]int{2, 3, 4})
+	if err != nil {
+		return nil, err
+	}
+
+	// Figure 9(g): separate vs combined evaluation. Evaluate QA9(j=4) and
+	// QA5(j=1) individually, then their disjunction.
+	g := &Report{ID: "fig9g", Title: "separate vs combined (DISJ) evaluation"}
+	p1 := queries.QA9(w, 4, alpha, beta, 0.7, 1.35, sc.Base)
+	p2 := queries.QA5(w, 1, alpha, beta, sc.Base, sc.BandStep)
+	for _, cse := range []struct {
+		name string
+		pat  *pattern.Pattern
+	}{
+		{"QA9(j=4)", p1},
+		{"QA5(j=1)", p2},
+		{"DISJ(QA9,QA5)", pattern.Combine("DISJ(QA9,QA5)", p1, p2)},
+	} {
+		res, err := RunCase(sc, []*pattern.Pattern{cse.pat}, st, kinds, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig9g %s: %w", cse.name, err)
+		}
+		for _, r := range res {
+			g.Add(r.row(cse.name))
+		}
+	}
+
+	return []*Report{a, b, c, d, e, f, g}, nil
+}

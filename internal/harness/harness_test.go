@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+)
+
+// micro returns a scale small enough for unit tests: every runner finishes
+// in seconds and exercises the full code path (data generation, labeling,
+// training, calibration, pipeline, comparison).
+func micro() Scale {
+	return Scale{
+		Name:            "micro",
+		W:               8,
+		StockEvents:     4000,
+		SyntheticEvents: 4000,
+		Hidden:          4,
+		Layers:          1,
+		MaxEpochs:       2,
+		EvalWindows:     25,
+		TargetRecall:    0.8,
+		Tickers:         30,
+		ZipfS:           1.2,
+		Sigma:           0.3,
+		KSmall:          2,
+		KLarge:          6,
+		Base:            5,
+		BandStep:        2,
+		BandSize:        3,
+		Seed:            1,
+	}
+}
+
+func TestRunCaseAllFilterKinds(t *testing.T) {
+	sc := micro()
+	st := dataset.Stock(*sc.StockStream(1))
+	pats := []*pattern.Pattern{queries.QA1(sc.W, 3, sc.KLarge, []int{1, 2}, 0.7, 1.4)}
+	res, err := RunCase(sc, pats, st, []FilterKind{EventNet, WindowNet, Oracle, TypeOnly}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, r := range res {
+		if r.ECEP == nil || r.ACEP == nil {
+			t.Fatalf("%s: missing results", r.Kind)
+		}
+		if r.Quality < 0 || r.Quality > 1 {
+			t.Errorf("%s: quality %v out of range", r.Kind, r.Quality)
+		}
+		// no false positives on a negation-free pattern, any filter
+		if r.Cmp.Counts.FP != 0 {
+			t.Errorf("%s: %d false positives", r.Kind, r.Cmp.Counts.FP)
+		}
+	}
+	// oracle must have perfect recall
+	for _, r := range res {
+		if r.Kind == Oracle && r.Quality != 1 {
+			t.Errorf("oracle recall = %v", r.Quality)
+		}
+		if r.Kind == TypeOnly && r.Quality != 1 {
+			t.Errorf("type-only recall = %v (type filtering cannot lose matches)", r.Quality)
+		}
+	}
+}
+
+func TestRunCaseUnknownKind(t *testing.T) {
+	sc := micro()
+	st := dataset.Stock(*sc.StockStream(1))
+	pats := []*pattern.Pattern{queries.QA2(sc.W, 3)}
+	if _, err := RunCase(sc, pats, st, []FilterKind{"bogus"}, nil); err == nil {
+		t.Error("unknown filter kind accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{ID: "figX", Title: "test"}
+	rep.Add(Row{Series: "a", X: "p=1", Gain: 2.5, Quality: 0.9, QName: "recall",
+		Extra: map[string]float64{"k": 1}})
+	rep.Add(Row{Series: "b", X: "p=2", Gain: 0.5, Quality: 0.8, QName: "F1", FNPct: 12.5})
+	rep.Note("hello %d", 42)
+	s := rep.String()
+	for _, want := range []string{"figX", "gain", "2.50", "recall=0.9000", "F1=0.8000", "12.50", "hello 42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "figX,a,p=1,2.5") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestFiguresDispatch(t *testing.T) {
+	if _, err := Run("nope", micro()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	figs := Figures()
+	if len(figs) != 9 {
+		t.Errorf("Figures() = %v", figs)
+	}
+}
+
+func TestFigure10Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	rep, err := Figure10(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig10" {
+		t.Errorf("id = %s", rep.ID)
+	}
+}
+
+func TestFigure12Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	rep, err := Figure12(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, r := range rep.Rows {
+		series[r.Series] = true
+		if r.Series == "zstream" || r.Series == "lazy" {
+			if r.Quality != 1 {
+				t.Errorf("%s is exact but recall = %v", r.Series, r.Quality)
+			}
+		}
+	}
+	for _, want := range []string{"event-net", "zstream", "lazy"} {
+		if !series[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+}
+
+func TestFigure14Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	rep, err := Figure14(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 4 {
+		t.Errorf("fig14 rows = %d", len(rep.Rows))
+	}
+}
+
+func TestAblationsMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	reps, err := Ablations(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 6 {
+		t.Fatalf("ablation reports = %d", len(reps))
+	}
+	// the lossy geometry must not beat the paper default on recall
+	var lossy, dflt float64
+	for _, r := range reps[0].Rows {
+		if strings.Contains(r.X, "Figure 5") {
+			lossy = r.Quality
+		}
+		if strings.Contains(r.X, "paper default") {
+			dflt = r.Quality
+		}
+	}
+	if lossy > dflt {
+		t.Errorf("lossy geometry recall %v > default %v", lossy, dflt)
+	}
+	// negation-aware labeling should not have more false positives than naive
+	var aware, naive float64
+	for _, r := range reps[2].Rows {
+		if r.Series == "neg-aware" {
+			aware = r.Extra["false_pos"]
+		}
+		if r.Series == "naive" {
+			naive = r.Extra["false_pos"]
+		}
+	}
+	if aware > naive {
+		t.Errorf("neg-aware labeling has more false positives (%v) than naive (%v)", aware, naive)
+	}
+	// DLACEP's per-event filtering must beat shedding at equal drop ratio
+	var dlacepRecall, randomRecall float64
+	for _, r := range reps[3].Rows {
+		switch r.Series {
+		case "dlacep(oracle)":
+			dlacepRecall = r.Quality
+		case "random-shedding":
+			randomRecall = r.Quality
+		}
+	}
+	if dlacepRecall < randomRecall {
+		t.Errorf("dlacep recall %v below random shedding %v", dlacepRecall, randomRecall)
+	}
+	// the ID constraint must eliminate false positives
+	for _, r := range reps[4].Rows {
+		if r.Series == "original-ids" && r.Extra["false_pos"] != 0 {
+			t.Errorf("ID constraint failed: %v false positives", r.Extra["false_pos"])
+		}
+	}
+}
+
+func TestFigure8Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	reps, err := Figure8(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("fig8 reports = %d", len(reps))
+	}
+	for _, rep := range reps {
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s has no rows", rep.ID)
+		}
+		for _, r := range rep.Rows {
+			if r.Quality < 0 || r.Quality > 1 {
+				t.Errorf("%s %s: quality %v", rep.ID, r.X, r.Quality)
+			}
+		}
+	}
+}
+
+func TestFigure11Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	reps, err := Figure11(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("fig11 reports = %d", len(reps))
+	}
+	// four sweep points each
+	if len(reps[0].Rows) != 4 || len(reps[1].Rows) != 4 {
+		t.Errorf("sweep lengths = %d/%d", len(reps[0].Rows), len(reps[1].Rows))
+	}
+}
+
+func TestFigure13Micro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	reps, err := Figure13(micro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("fig13 reports = %d", len(reps))
+	}
+	// 3 lengths x 3 windows, and 3 layer settings
+	if len(reps[0].Rows) != 9 || len(reps[1].Rows) != 3 {
+		t.Errorf("row counts = %d/%d", len(reps[0].Rows), len(reps[1].Rows))
+	}
+	// ECEP instance counts must grow with W within each pattern length
+	byLen := map[string][]float64{}
+	for _, r := range reps[0].Rows {
+		byLen[r.Series] = append(byLen[r.Series], r.Extra["ecep_instances"])
+	}
+	for series, xs := range byLen {
+		for i := 1; i < len(xs); i++ {
+			if xs[i] <= xs[i-1] {
+				t.Errorf("%s: ecep_instances not increasing with W: %v", series, xs)
+			}
+		}
+	}
+}
+
+func TestFigure9SweepMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness runner")
+	}
+	// run only the cheapest sub-sweep (nested KC) at micro scale through
+	// the same helper Figure9 uses end to end
+	sc := micro()
+	st := dataset.Stock(*sc.StockStream(9))
+	p := queries.QA6(2*sc.W, 2, 0.6, 1.5, sc.Base)
+	res, err := RunCase(sc, []*pattern.Pattern{p}, st, []FilterKind{EventNet}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ACEP == nil {
+		t.Fatal("sweep case did not run")
+	}
+}

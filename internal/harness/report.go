@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one data point of a figure: a series (system / network variant), a
+// swept parameter value, and the measured metrics.
+type Row struct {
+	Series  string
+	X       string
+	Gain    float64 // throughput gain over ECEP
+	Quality float64 // recall, or F1 for negation patterns
+	QName   string  // "recall" or "F1"
+	FNPct   float64 // Figure 11 only
+	Extra   map[string]float64
+}
+
+// Report is one reproduced figure (or sub-figure).
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Add appends a row.
+func (r *Report) Add(row Row) { r.Rows = append(r.Rows, row) }
+
+// Note appends a free-form note printed under the table.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	extraKeys := map[string]bool{}
+	hasFN := false
+	for _, row := range r.Rows {
+		for k := range row.Extra {
+			extraKeys[k] = true
+		}
+		if row.FNPct != 0 {
+			hasFN = true
+		}
+	}
+	keys := make([]string, 0, len(extraKeys))
+	for k := range extraKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	header := []string{"series", "x", "gain", "quality"}
+	if hasFN {
+		header = append(header, "FN%")
+	}
+	header = append(header, keys...)
+	rows := [][]string{header}
+	for _, row := range r.Rows {
+		quality := "-"
+		if row.QName != "" {
+			quality = fmt.Sprintf("%s=%.4f", row.QName, row.Quality)
+		}
+		cells := []string{row.Series, row.X, fmt.Sprintf("%.2f", row.Gain), quality}
+		if hasFN {
+			cells = append(cells, fmt.Sprintf("%.2f", row.FNPct))
+		}
+		for _, k := range keys {
+			if v, ok := row.Extra[k]; ok {
+				cells = append(cells, fmt.Sprintf("%.4g", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		rows = append(rows, cells)
+	}
+	widths := make([]int, len(header))
+	for _, cells := range rows {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, cells := range rows {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w))
+				b.WriteString("  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report rows as CSV (series,x,gain,quality,fnpct,extras...).
+func (r *Report) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,series,x,gain,quality_name,quality,fn_pct\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%.6g,%s,%.6g,%.6g\n",
+			r.ID, row.Series, row.X, row.Gain, row.QName, row.Quality, row.FNPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package label produces the ground-truth training labels of Section 4.3:
+// for each window sample of 2W events, an exact CEP run marks the events
+// participating in full matches (event labels) and whether the sample
+// contains any match (window label). For negation patterns the labeler can
+// additionally mark events residing under a negation operator, the
+// adaptation of Section 4.4 that suppressed false positives.
+//
+// Multiple monitored patterns are unified semantically (Section 4.3): an
+// event is positive if it participates in a match of any pattern.
+package label
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Labeler computes ground-truth labels for window samples. Results are
+// memoized per window (keyed by first event ID and length): labeling runs
+// exact CEP, which on heavy patterns dwarfs network training, and training,
+// calibration, and evaluation all consult the same windows.
+type Labeler struct {
+	pats   []*pattern.Pattern
+	schema *event.Schema
+	// NegAware marks events accepted by negated components in addition to
+	// match participants (Section 4.4). Enabled by default for patterns
+	// containing negation. Set it before the first labeling call: results
+	// are memoized.
+	NegAware bool
+
+	mu          sync.Mutex
+	eventCache  map[cacheKey][]int
+	windowCache map[cacheKey]int
+	matchCache  map[cacheKey]map[string]bool
+}
+
+// cacheKey is a content hash of the window (IDs, timestamps, types, and
+// attribute values), so windows from unrelated streams never collide.
+type cacheKey struct {
+	hash uint64
+	n    int
+}
+
+func keyOf(window []event.Event) cacheKey {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for i := range window {
+		e := &window[i]
+		writeU64(e.ID)
+		writeU64(uint64(e.Ts))
+		h.Write([]byte(e.Type))
+		for _, a := range e.Attrs {
+			writeU64(math.Float64bits(a))
+		}
+	}
+	return cacheKey{hash: h.Sum64(), n: len(window)}
+}
+
+// New builds a labeler over one or more monitored patterns.
+func New(schema *event.Schema, pats ...*pattern.Pattern) (*Labeler, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("label: no patterns")
+	}
+	l := &Labeler{
+		pats:        pats,
+		schema:      schema,
+		eventCache:  map[cacheKey][]int{},
+		windowCache: map[cacheKey]int{},
+		matchCache:  map[cacheKey]map[string]bool{},
+	}
+	for _, p := range pats {
+		if p.HasNegation() {
+			l.NegAware = true
+		}
+	}
+	return l, nil
+}
+
+// EventLabels returns a 0/1 label per event of the window sample: 1 when
+// the event participates in a full match of any monitored pattern within
+// the sample (window semantics are enforced by the engine through event IDs
+// and timestamps), or — for negation patterns with NegAware — when the
+// event could instantiate a negated component.
+func (l *Labeler) EventLabels(window []event.Event) ([]int, error) {
+	key := keyOf(window)
+	l.mu.Lock()
+	cached, ok := l.eventCache[key]
+	l.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	labels := make([]int, len(window))
+	st := &event.Stream{Schema: l.schema, Events: window}
+	// Blank padding events reuse the last real event's ID; skip them so the
+	// label lands on the real event.
+	idPos := make(map[uint64]int, len(window))
+	for i := range window {
+		if !window[i].IsBlank() {
+			idPos[window[i].ID] = i
+		}
+	}
+	for _, p := range l.pats {
+		matches, _, err := cep.Run(p, st)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			for _, e := range m.Events {
+				if pos, ok := idPos[e.ID]; ok {
+					labels[pos] = 1
+				}
+			}
+		}
+		if l.NegAware {
+			markNegated(p, l.schema, window, labels)
+		}
+	}
+	l.mu.Lock()
+	l.eventCache[key] = labels
+	l.mu.Unlock()
+	return labels, nil
+}
+
+// markNegated labels events accepted by any negated primitive (and passing
+// its single-alias conditions) so the network learns to keep them in the
+// filtered stream, letting the inner CEP engine re-validate negations.
+func markNegated(p *pattern.Pattern, schema *event.Schema, window []event.Event, labels []int) {
+	negPrims := p.NegPrims()
+	if len(negPrims) == 0 {
+		return
+	}
+	var conds []pattern.Condition
+	conds = append(conds, p.Where...)
+	p.Root.Walk(func(n *pattern.Node) { conds = append(conds, n.Where...) })
+	for i := range window {
+		ev := &window[i]
+		if ev.IsBlank() || labels[i] == 1 {
+			continue
+		}
+		for _, pr := range negPrims {
+			if !pr.AcceptsType(ev.Type) {
+				continue
+			}
+			ok := true
+			for _, c := range conds {
+				aliases := c.Aliases()
+				if len(aliases) == 1 && aliases[0] == pr.Alias {
+					if !c.Eval(schema, func(string) (*event.Event, bool) { return ev, true }) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				labels[i] = 1
+				break
+			}
+		}
+	}
+}
+
+// WindowLabel returns 1 when the sample contains at least one full match of
+// any monitored pattern.
+func (l *Labeler) WindowLabel(window []event.Event) (int, error) {
+	key := keyOf(window)
+	l.mu.Lock()
+	cached, ok := l.windowCache[key]
+	l.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	st := &event.Stream{Schema: l.schema, Events: window}
+	out := 0
+	for _, p := range l.pats {
+		matches, _, err := cep.Run(p, st)
+		if err != nil {
+			return 0, err
+		}
+		if len(matches) > 0 {
+			out = 1
+			break
+		}
+	}
+	l.mu.Lock()
+	l.windowCache[key] = out
+	l.mu.Unlock()
+	return out, nil
+}
+
+// Matches returns the union match-key set of all monitored patterns over
+// the sample, used by evaluation metrics.
+func (l *Labeler) Matches(window []event.Event) (map[string]bool, error) {
+	key := keyOf(window)
+	l.mu.Lock()
+	cached, ok := l.matchCache[key]
+	l.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	st := &event.Stream{Schema: l.schema, Events: window}
+	out := map[string]bool{}
+	for _, p := range l.pats {
+		matches, _, err := cep.Run(p, st)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			out[m.Key()] = true
+		}
+	}
+	l.mu.Lock()
+	l.matchCache[key] = out
+	l.mu.Unlock()
+	return out, nil
+}

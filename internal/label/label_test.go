@@ -1,0 +1,148 @@
+package label
+
+import (
+	"reflect"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+func window(specs ...event.Event) []event.Event {
+	st := event.NewStream(volSchema, specs)
+	return st.Events
+}
+
+func ev(typ string, vol float64) event.Event {
+	return event.Event{Type: typ, Attrs: []float64{vol}}
+}
+
+func TestEventLabels(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	l, err := New(volSchema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := window(ev("A", 5), ev("X", 0), ev("B", 9), ev("A", 7), ev("B", 2))
+	got, err := l.EventLabels(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// matches: (A0,B2) since 5<9. A3 has no later bigger B; B4: 5<2 no, 7<2 no.
+	want := []int{1, 0, 1, 0, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("labels = %v, want %v", got, want)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	l, _ := New(volSchema, p)
+	pos := window(ev("A", 1), ev("B", 1))
+	neg := window(ev("B", 1), ev("A", 1))
+	if got, _ := l.WindowLabel(pos); got != 1 {
+		t.Error("positive window labeled 0")
+	}
+	if got, _ := l.WindowLabel(neg); got != 0 {
+		t.Error("negative window labeled 1")
+	}
+}
+
+func TestWindowSemanticsRespectIDs(t *testing.T) {
+	// events inside a sample that are further apart than W must not match.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 3")
+	l, _ := New(volSchema, p)
+	w := window(ev("A", 1), ev("X", 0), ev("X", 0), ev("X", 0), ev("B", 1))
+	got, _ := l.EventLabels(w)
+	if !reflect.DeepEqual(got, []int{0, 0, 0, 0, 0}) {
+		t.Errorf("labels = %v, want all zero (span exceeds W)", got)
+	}
+}
+
+func TestNegAwareLabels(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WITHIN 10")
+	l, err := New(volSchema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.NegAware {
+		t.Fatal("negation pattern did not enable NegAware")
+	}
+	// C blocks the only candidate, so no match exists — yet the C event
+	// must still be labeled so the extractor can re-validate negation.
+	w := window(ev("A", 1), ev("C", 1), ev("B", 1))
+	got, _ := l.EventLabels(w)
+	if !reflect.DeepEqual(got, []int{0, 1, 0}) {
+		t.Errorf("neg-aware labels = %v, want [0 1 0]", got)
+	}
+	// without blocking C, match participants get labeled and the unrelated
+	// D does not; the C outside a gap is still labeled (type-based rule).
+	w2 := window(ev("A", 1), ev("B", 1), ev("C", 1), ev("D", 1))
+	got2, _ := l.EventLabels(w2)
+	if !reflect.DeepEqual(got2, []int{1, 1, 1, 0}) {
+		t.Errorf("neg-aware labels = %v, want [1 1 1 0]", got2)
+	}
+}
+
+func TestNegAwareRespectsSingleAliasConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, NEG(C c), B b) WHERE c.vol > 5 WITHIN 10")
+	l, _ := New(volSchema, p)
+	w := window(ev("C", 3), ev("C", 9))
+	got, _ := l.EventLabels(w)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("labels = %v, want [0 1] (only C with vol>5 can block)", got)
+	}
+}
+
+func TestMultiPatternUnionLabels(t *testing.T) {
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	p2 := pattern.MustParse("PATTERN SEQ(C c, D d) WITHIN 10")
+	l, _ := New(volSchema, p1, p2)
+	w := window(ev("A", 1), ev("C", 1), ev("B", 1), ev("D", 1), ev("X", 1))
+	got, _ := l.EventLabels(w)
+	if !reflect.DeepEqual(got, []int{1, 1, 1, 1, 0}) {
+		t.Errorf("union labels = %v", got)
+	}
+	if wl, _ := l.WindowLabel(w); wl != 1 {
+		t.Error("union window label = 0")
+	}
+	// only p2 matches
+	w2 := window(ev("B", 1), ev("C", 1), ev("A", 1), ev("D", 1))
+	got2, _ := l.EventLabels(w2)
+	if !reflect.DeepEqual(got2, []int{0, 1, 0, 1}) {
+		t.Errorf("union labels = %v, want [0 1 0 1]", got2)
+	}
+}
+
+func TestMatchesKeySet(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	l, _ := New(volSchema, p)
+	w := window(ev("A", 1), ev("B", 1), ev("B", 1))
+	ms, err := l.Matches(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"0,1": true, "0,2": true}
+	if !reflect.DeepEqual(ms, want) {
+		t.Errorf("matches = %v, want %v", ms, want)
+	}
+}
+
+func TestBlankEventsNeverLabeled(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	l, _ := New(volSchema, p)
+	w := window(ev("A", 1), ev("B", 1))
+	w = append(w, event.Blank(1, 1))
+	got, _ := l.EventLabels(w)
+	if got[2] != 0 {
+		t.Errorf("blank event labeled: %v", got)
+	}
+}
+
+func TestNewRequiresPatterns(t *testing.T) {
+	if _, err := New(volSchema); err == nil {
+		t.Error("New with no patterns succeeded")
+	}
+}

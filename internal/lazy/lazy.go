@@ -1,0 +1,397 @@
+// Package lazy implements the lazy-evaluation ECEP optimization baseline
+// (Kolchinsky, Sharfman & Schuster, DEBS 2015 [41]): events are evaluated in
+// ascending order of their type frequency rather than arrival order, so
+// partial matches are only instantiated once a rare event has been seen.
+// This typically stores far fewer partial matches than arrival-order NFA
+// evaluation, at the cost of buffering frequent events.
+//
+// Supported patterns mirror the Figure 12 comparison: SEQ or CONJ over
+// primitives, or DISJ over such sub-patterns.
+package lazy
+
+import (
+	"fmt"
+	"sort"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Stats counts the lazy engine's work; Instances is the number of partial
+// matches created, directly comparable to cep.Stats.Instances.
+type Stats struct {
+	Events    int
+	Instances int64
+	Matches   int64
+	Buffered  int64
+}
+
+// Engine is a lazy-order evaluator over one pattern.
+type Engine struct {
+	schema *event.Schema
+	window pattern.Window
+	chains []*chain
+	stats  Stats
+	// buffers hold recent events per type for lazily binding frequent
+	// steps that arrived before the rare trigger.
+	buffers  map[string][]*event.Event
+	bufTypes map[string]bool
+}
+
+// chain is the reordered evaluation plan of one SEQ/CONJ sub-pattern:
+// steps[0] is the least frequent primitive.
+type chain struct {
+	ordered bool            // SEQ semantics between original positions
+	prims   []*pattern.Node // original order
+	order   []int           // evaluation order: chain step -> original position
+	stepOf  []int           // original position -> chain step
+	// condsAt[k] holds conditions checkable once steps 0..k are bound.
+	condsAt [][]pattern.Condition
+	// partials[k] holds bindings of steps 0..k.
+	partials [][]*partial
+}
+
+type partial struct {
+	// bound[pos] is the event bound to original position pos (nil if the
+	// position's chain step is beyond this partial's depth).
+	bound []*event.Event
+	minID uint64
+	maxID uint64
+	minTs int64
+	maxTs int64
+}
+
+// New compiles the pattern. Frequencies drive the evaluation order and are
+// taken from freq (events per type, e.g. a historical sample's TypeCounts).
+func New(p *pattern.Pattern, schema *event.Schema, freq map[string]int) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var subs []*pattern.Node
+	switch p.Root.Kind {
+	case pattern.KindDisj:
+		subs = p.Root.Children
+	default:
+		subs = []*pattern.Node{p.Root}
+	}
+	en := &Engine{
+		schema:   schema,
+		window:   p.Window,
+		buffers:  map[string][]*event.Event{},
+		bufTypes: map[string]bool{},
+	}
+	for _, sub := range subs {
+		ch, err := buildChain(p, sub, freq)
+		if err != nil {
+			return nil, err
+		}
+		en.chains = append(en.chains, ch)
+		for _, pr := range ch.prims {
+			for _, t := range pr.Types {
+				en.bufTypes[t] = true
+			}
+		}
+	}
+	return en, nil
+}
+
+func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int) (*chain, error) {
+	if sub.Kind != pattern.KindSeq && sub.Kind != pattern.KindConj {
+		return nil, fmt.Errorf("lazy: unsupported operator %v (want SEQ or CONJ of primitives)", sub.Kind)
+	}
+	ch := &chain{ordered: sub.Kind == pattern.KindSeq}
+	for i, c := range sub.Children {
+		if c.Kind != pattern.KindPrim {
+			return nil, fmt.Errorf("lazy: child %d is %v, only primitives are supported", i, c.Kind)
+		}
+		ch.prims = append(ch.prims, c)
+	}
+	n := len(ch.prims)
+	ch.order = make([]int, n)
+	for i := range ch.order {
+		ch.order[i] = i
+	}
+	primFreq := func(pos int) int {
+		f := 0
+		for _, t := range ch.prims[pos].Types {
+			f += freq[t]
+		}
+		return f
+	}
+	sort.SliceStable(ch.order, func(a, b int) bool {
+		return primFreq(ch.order[a]) < primFreq(ch.order[b])
+	})
+	ch.stepOf = make([]int, n)
+	for step, pos := range ch.order {
+		ch.stepOf[pos] = step
+	}
+
+	// Assign each relevant condition to the chain depth at which all its
+	// aliases are bound.
+	idxOf := map[string]int{}
+	for i, pr := range ch.prims {
+		idxOf[pr.Alias] = i
+	}
+	conds := append(append([]pattern.Condition(nil), p.Where...), sub.Where...)
+	ch.condsAt = make([][]pattern.Condition, n)
+	for _, c := range conds {
+		depth, ok := 0, true
+		for _, a := range c.Aliases() {
+			pos, in := idxOf[a]
+			if !in {
+				ok = false
+				break
+			}
+			if s := ch.stepOf[pos]; s > depth {
+				depth = s
+			}
+		}
+		if ok {
+			ch.condsAt[depth] = append(ch.condsAt[depth], c)
+		}
+	}
+	ch.partials = make([][]*partial, n)
+	return ch, nil
+}
+
+// Process feeds one event in arrival order.
+func (en *Engine) Process(ev event.Event) []*cep.Match {
+	en.stats.Events++
+	if ev.IsBlank() {
+		return nil
+	}
+	e := new(event.Event)
+	*e = ev
+	en.pruneBuffers(e)
+	var out []*cep.Match
+	for _, ch := range en.chains {
+		out = en.processChain(ch, e, out)
+	}
+	if en.bufTypes[e.Type] {
+		en.buffers[e.Type] = append(en.buffers[e.Type], e)
+		en.stats.Buffered++
+	}
+	return out
+}
+
+func (en *Engine) processChain(ch *chain, e *event.Event, out []*cep.Match) []*cep.Match {
+	en.pruneChain(ch, e)
+	n := len(ch.prims)
+	// The event can bind any chain step whose primitive accepts it — but a
+	// step k > 0 only extends existing partials at depth k-1, and step 0
+	// creates a fresh partial. After a bind at depth k, buffered events may
+	// immediately complete deeper steps (they arrived before e).
+	for step := n - 1; step >= 0; step-- {
+		pos := ch.order[step]
+		if !ch.prims[pos].AcceptsType(e.Type) {
+			continue
+		}
+		if step == 0 {
+			if p := en.bindStep(ch, nil, 0, e); p != nil {
+				out = en.advance(ch, p, 0, e, out)
+			}
+			continue
+		}
+		for _, prev := range ch.partials[step-1] {
+			if p := en.bindStep(ch, prev, step, e); p != nil {
+				out = en.advance(ch, p, step, e, out)
+			}
+		}
+	}
+	return out
+}
+
+// advance stores the new partial (or emits it) and chases buffered events
+// for the next steps.
+func (en *Engine) advance(ch *chain, p *partial, depth int, trigger *event.Event, out []*cep.Match) []*cep.Match {
+	n := len(ch.prims)
+	if depth == n-1 {
+		en.stats.Matches++
+		return append(out, en.toMatch(ch, p))
+	}
+	ch.partials[depth] = append(ch.partials[depth], p)
+	nextPos := ch.order[depth+1]
+	for _, t := range ch.prims[nextPos].Types {
+		for _, be := range en.buffers[t] {
+			if be.ID == trigger.ID {
+				continue
+			}
+			if np := en.bindStep(ch, p, depth+1, be); np != nil {
+				out = en.advance(ch, np, depth+1, trigger, out)
+			}
+		}
+	}
+	return out
+}
+
+// bindStep tries to bind event e to chain step `step` extending prev
+// (nil for step 0), enforcing distinctness, sequence order, window bounds,
+// and the conditions that become checkable at this depth.
+func (en *Engine) bindStep(ch *chain, prev *partial, step int, e *event.Event) *partial {
+	n := len(ch.prims)
+	pos := ch.order[step]
+	var p *partial
+	if prev == nil {
+		p = &partial{bound: make([]*event.Event, n), minID: e.ID, maxID: e.ID, minTs: e.Ts, maxTs: e.Ts}
+	} else {
+		// distinctness
+		for _, b := range prev.bound {
+			if b != nil && b.ID == e.ID {
+				return nil
+			}
+		}
+		p = &partial{
+			bound: append([]*event.Event(nil), prev.bound...),
+			minID: min64(prev.minID, e.ID), maxID: max64(prev.maxID, e.ID),
+			minTs: minI64(prev.minTs, e.Ts), maxTs: maxI64(prev.maxTs, e.Ts),
+		}
+	}
+	if en.window.Kind == pattern.CountWindow {
+		if p.maxID-p.minID > uint64(en.window.Size)-1 {
+			return nil
+		}
+	} else if p.maxTs-p.minTs > en.window.Size {
+		return nil
+	}
+	p.bound[pos] = e
+	if ch.ordered {
+		// Sequence order between bound original positions.
+		for q, b := range p.bound {
+			if b == nil || q == pos {
+				continue
+			}
+			if q < pos && b.ID >= e.ID {
+				return nil
+			}
+			if q > pos && b.ID <= e.ID {
+				return nil
+			}
+		}
+	}
+	look := func(a string) (*event.Event, bool) {
+		for q, pr := range ch.prims {
+			if pr.Alias == a {
+				b := p.bound[q]
+				return b, b != nil
+			}
+		}
+		return nil, false
+	}
+	for _, c := range ch.condsAt[step] {
+		if !c.Eval(en.schema, look) {
+			return nil
+		}
+	}
+	en.stats.Instances++
+	return p
+}
+
+func (en *Engine) toMatch(ch *chain, p *partial) *cep.Match {
+	m := &cep.Match{Binding: map[string]*event.Event{}}
+	for q, b := range p.bound {
+		m.Events = append(m.Events, b)
+		m.Binding[ch.prims[q].Alias] = b
+	}
+	sort.Slice(m.Events, func(i, j int) bool { return m.Events[i].ID < m.Events[j].ID })
+	return m
+}
+
+func (en *Engine) pruneBuffers(e *event.Event) {
+	for t, buf := range en.buffers {
+		i := 0
+		if en.window.Kind == pattern.CountWindow {
+			for i < len(buf) && e.ID-buf[i].ID > uint64(en.window.Size)-1 {
+				i++
+			}
+		} else {
+			for i < len(buf) && e.Ts-buf[i].Ts > en.window.Size {
+				i++
+			}
+		}
+		if i > 0 {
+			en.buffers[t] = buf[i:]
+		}
+	}
+}
+
+func (en *Engine) pruneChain(ch *chain, e *event.Event) {
+	for d, ps := range ch.partials {
+		kept := ps[:0]
+		for _, p := range ps {
+			live := false
+			if en.window.Kind == pattern.CountWindow {
+				live = e.ID-p.minID <= uint64(en.window.Size)-1
+			} else {
+				live = e.Ts-p.minTs <= en.window.Size
+			}
+			if live {
+				kept = append(kept, p)
+			}
+		}
+		ch.partials[d] = kept
+	}
+}
+
+// Stats returns accumulated counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// EvaluationOrder returns, per sub-pattern, the original positions in
+// evaluation order (for inspection and tests).
+func (en *Engine) EvaluationOrder() [][]int {
+	var out [][]int
+	for _, ch := range en.chains {
+		out = append(out, append([]int(nil), ch.order...))
+	}
+	return out
+}
+
+// Run evaluates the whole stream, deduplicating matches by key. Frequencies
+// are measured from the stream itself, as a deployed system would do from
+// recent history.
+func Run(p *pattern.Pattern, st *event.Stream) ([]*cep.Match, Stats, error) {
+	en, err := New(p, st.Schema, st.TypeCounts())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var matches []*cep.Match
+	seen := map[string]bool{}
+	for i := range st.Events {
+		for _, m := range en.Process(st.Events[i]) {
+			if k := m.Key(); !seen[k] {
+				seen[k] = true
+				matches = append(matches, m)
+			}
+		}
+	}
+	return matches, en.Stats(), nil
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d instances=%d matches=%d buffered=%d", s.Events, s.Instances, s.Matches, s.Buffered)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

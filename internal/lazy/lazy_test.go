@@ -1,0 +1,154 @@
+package lazy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+func skewedStream(rng *rand.Rand, n int, types []string, weights []float64) *event.Stream {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	events := make([]event.Event, n)
+	for i := range events {
+		r := rng.Float64() * total
+		idx := 0
+		for r > weights[idx] {
+			r -= weights[idx]
+			idx++
+		}
+		events[i] = event.Event{Type: types[idx], Attrs: []float64{rng.NormFloat64()}}
+	}
+	return event.NewStream(volSchema, events)
+}
+
+func crossCheck(t *testing.T, name string, p *pattern.Pattern, rounds, n int, types []string, weights []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	for r := 0; r < rounds; r++ {
+		st := skewedStream(rng, n, types, weights)
+		got, _, err := Run(p, st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, _, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := cep.Keys(got), cep.Keys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s round %d: lazy=%v nfa=%v", name, r, g, w)
+		}
+	}
+}
+
+func TestCrossCheckSeq(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 8")
+	crossCheck(t, "seq", p, 30, 20, []string{"A", "B", "C", "X"}, []float64{3, 1, 2, 2})
+}
+
+func TestCrossCheckSeqConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < c.vol AND b.vol < c.vol WITHIN 8")
+	crossCheck(t, "seq-cond", p, 30, 20, []string{"A", "B", "C"}, []float64{5, 1, 2})
+}
+
+func TestCrossCheckConj(t *testing.T) {
+	p := pattern.MustParse("PATTERN CONJ(A a, B b, C c) WITHIN 6")
+	crossCheck(t, "conj", p, 30, 16, []string{"A", "B", "C", "X"}, []float64{3, 1, 1, 1})
+}
+
+func TestCrossCheckDisj(t *testing.T) {
+	p := pattern.MustParse("PATTERN DISJ(SEQ(A a, B b), CONJ(C c, D d)) WITHIN 6")
+	crossCheck(t, "disj", p, 30, 18, []string{"A", "B", "C", "D"}, []float64{4, 1, 1, 2})
+}
+
+func TestCrossCheckTimeWindow(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 4 TIME")
+	rng := rand.New(rand.NewSource(4))
+	for r := 0; r < 20; r++ {
+		events := make([]event.Event, 16)
+		ts := int64(0)
+		types := []string{"A", "B", "X"}
+		for i := range events {
+			ts += int64(rng.Intn(3))
+			events[i] = event.Event{Type: types[rng.Intn(3)], Ts: ts, Attrs: []float64{1}}
+		}
+		st := event.NewStream(volSchema, events)
+		got, _, err := Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := cep.Run(p, st)
+		if g, w := cep.Keys(got), cep.Keys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("time round %d: lazy=%v nfa=%v", r, g, w)
+		}
+	}
+}
+
+func TestEvaluationOrderRarestFirst(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 10")
+	freq := map[string]int{"A": 100, "B": 1, "C": 10}
+	en, err := New(p, volSchema, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := en.EvaluationOrder()[0]
+	if !reflect.DeepEqual(order, []int{1, 2, 0}) {
+		t.Errorf("evaluation order = %v, want [1 2 0] (B, C, A)", order)
+	}
+}
+
+func TestLazyStoresFewerPartials(t *testing.T) {
+	// Rare last element: arrival-order NFA stores many A,B prefixes that
+	// never complete; lazy waits for the rare C.
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 20")
+	rng := rand.New(rand.NewSource(99))
+	st := skewedStream(rng, 400, []string{"A", "B", "C"}, []float64{10, 10, 0.3})
+	_, lazyStats, err := Run(p, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, nfaStats, err := cep.Run(p, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazyStats.Instances >= nfaStats.Instances {
+		t.Errorf("lazy instances %d not fewer than NFA %d on skewed stream",
+			lazyStats.Instances, nfaStats.Instances)
+	}
+}
+
+func TestRejectsUnsupportedOperators(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN KC(A a) WITHIN 5",
+		"PATTERN SEQ(A a, NEG(C c), B b) WITHIN 5",
+	} {
+		p := pattern.MustParse(src)
+		if _, err := New(p, volSchema, map[string]int{}); err == nil {
+			t.Errorf("New(%q) accepted unsupported pattern", src)
+		}
+	}
+}
+
+func TestBufferedCounter(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	st := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "X", Attrs: []float64{1}},
+		{Type: "B", Attrs: []float64{1}},
+	})
+	_, stats, err := Run(p, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Buffered != 2 { // A and B buffered, X is not a pattern type
+		t.Errorf("buffered = %d, want 2", stats.Buffered)
+	}
+}

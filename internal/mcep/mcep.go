@@ -1,0 +1,382 @@
+// Package mcep implements shared multi-pattern CEP evaluation in the spirit
+// of "Real-Time Multi-Pattern Detection over Event Streams" [40], one of
+// the state-of-the-art algorithms the paper's OpenCEP substrate
+// incorporates: when several monitored sequence patterns share a prefix
+// (same event-type sets and the same prefix-checkable conditions), their
+// partial matches are materialized once in a shared prefix trie instead of
+// once per pattern.
+//
+// Supported patterns: SEQ over primitives with count or time windows (the
+// classical multi-pattern setting). Matches are identical to evaluating
+// each pattern separately with internal/cep; the win is the partial-match
+// count, reported via Stats.
+package mcep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Stats counts shared-evaluation work.
+type Stats struct {
+	Events    int
+	Instances int64 // partial+full instances created across the shared trie
+	Matches   int64
+}
+
+// Engine evaluates several sequence patterns over one shared prefix trie.
+type Engine struct {
+	schema *event.Schema
+	pats   []*pattern.Pattern
+	root   *node
+	maxW   int64 // loosest count window among patterns (for shared pruning)
+	maxT   int64 // loosest time window among patterns
+	stats  Stats
+}
+
+// node is one trie state: a shared prefix of one or more patterns.
+type node struct {
+	depth    int
+	children []*child
+	// emit lists pattern indices whose full length equals this depth.
+	emit  []int
+	store []*inst
+}
+
+type child struct {
+	key   string
+	prim  *pattern.Node // representative primitive (type set)
+	conds []condAt      // conditions newly checkable at this step
+	node  *node
+}
+
+type condAt struct {
+	cond pattern.Condition
+	// positional indices (0-based) of the aliases, resolved per pattern; all
+	// patterns sharing the step agree on them by construction of the key.
+	positions map[string]int // canonical alias p<i> -> position
+}
+
+type inst struct {
+	events []*event.Event // one per step, in order
+	minTs  int64
+	maxTs  int64
+}
+
+// New builds a shared engine. Every pattern must be a SEQ of primitives
+// under skip-till-any-match.
+func New(schema *event.Schema, pats []*pattern.Pattern) (*Engine, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("mcep: no patterns")
+	}
+	en := &Engine{schema: schema, pats: pats, root: &node{}}
+	for pi, p := range pats {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Strategy != pattern.SkipTillAnyMatch {
+			return nil, fmt.Errorf("mcep: pattern %d uses %v; only skip-till-any-match is shared", pi, p.Strategy)
+		}
+		if p.Root.Kind != pattern.KindSeq {
+			return nil, fmt.Errorf("mcep: pattern %d is %v; only SEQ of primitives is supported", pi, p.Root.Kind)
+		}
+		prims := make([]*pattern.Node, len(p.Root.Children))
+		for i, ch := range p.Root.Children {
+			if ch.Kind != pattern.KindPrim {
+				return nil, fmt.Errorf("mcep: pattern %d child %d is %v; only primitives are supported", pi, i, ch.Kind)
+			}
+			prims[i] = ch
+		}
+		if p.Window.Kind == pattern.CountWindow {
+			if p.Window.Size > en.maxW {
+				en.maxW = p.Window.Size
+			}
+		} else if p.Window.Size > en.maxT {
+			en.maxT = p.Window.Size
+		}
+		if err := en.insert(pi, p, prims); err != nil {
+			return nil, err
+		}
+	}
+	return en, nil
+}
+
+// canonical positional alias for step i.
+func pos(i int) string { return fmt.Sprintf("p%d", i) }
+
+// insert threads pattern pi through the trie, creating nodes as needed.
+func (en *Engine) insert(pi int, p *pattern.Pattern, prims []*pattern.Node) error {
+	aliasPos := map[string]int{}
+	for i, pr := range prims {
+		aliasPos[pr.Alias] = i
+	}
+	// conditions newly checkable at each step, canonically renamed
+	stepConds := make([][]condAt, len(prims))
+	for _, c := range append(append([]pattern.Condition(nil), p.Where...), p.Root.Where...) {
+		maxPos, positions := 0, map[string]int{}
+		renames := map[string]string{}
+		ok := true
+		for _, a := range c.Aliases() {
+			idx, in := aliasPos[a]
+			if !in {
+				ok = false
+				break
+			}
+			renames[a] = pos(idx)
+			positions[pos(idx)] = idx
+			if idx > maxPos {
+				maxPos = idx
+			}
+		}
+		if !ok {
+			return fmt.Errorf("mcep: condition %v references alias outside pattern %d", c, pi)
+		}
+		renamed := renameCond(c, renames)
+		stepConds[maxPos] = append(stepConds[maxPos], condAt{cond: renamed, positions: positions})
+	}
+	cur := en.root
+	for i, pr := range prims {
+		key := stepKey(pr, stepConds[i], p.Window)
+		var nxt *child
+		for _, ch := range cur.children {
+			if ch.key == key {
+				nxt = ch
+				break
+			}
+		}
+		if nxt == nil {
+			nxt = &child{key: key, prim: pr, conds: stepConds[i], node: &node{depth: i + 1}}
+			cur.children = append(cur.children, nxt)
+		}
+		cur = nxt.node
+	}
+	cur.emit = append(cur.emit, pi)
+	return nil
+}
+
+// stepKey canonically identifies a trie step: accepted types, newly
+// checkable conditions, and the window (differing windows must not share
+// pruning-sensitive state... they may share the trie shape but matches are
+// window-checked per pattern at emission, so only types+conditions matter).
+func stepKey(pr *pattern.Node, conds []condAt, _ pattern.Window) string {
+	parts := append([]string(nil), pr.Types...)
+	var cs []string
+	for _, c := range conds {
+		cs = append(cs, c.cond.String())
+	}
+	sort.Strings(cs)
+	return strings.Join(parts, "|") + "#" + strings.Join(cs, "&")
+}
+
+func renameCond(c pattern.Condition, renames map[string]string) pattern.Condition {
+	// Reuse the pattern package's alias rewriting by wrapping rename map.
+	switch c := c.(type) {
+	case pattern.RatioRange:
+		return pattern.RatioRange{Lo: c.Lo, X: ren(c.X, renames), Y: ren(c.Y, renames), Hi: c.Hi}
+	case pattern.AbsRange:
+		return pattern.AbsRange{Lo: c.Lo, Y: ren(c.Y, renames), Hi: c.Hi}
+	case pattern.Cmp:
+		return pattern.Cmp{X: ren(c.X, renames), Op: c.Op, Y: ren(c.Y, renames)}
+	case pattern.Fn:
+		return pattern.Fn{X: ren(c.X, renames), Y: ren(c.Y, renames), Pred: c.Pred, Desc: c.Desc, Sel: c.Sel}
+	case pattern.ExprCond:
+		return pattern.RenameExprCond(c, renames)
+	default:
+		panic(fmt.Sprintf("mcep: cannot canonicalize condition type %T", c))
+	}
+}
+
+func ren(r pattern.Ref, m map[string]string) pattern.Ref {
+	return pattern.Ref{Alias: m[r.Alias], Attr: r.Attr}
+}
+
+// Process feeds one event; returned matches are tagged with their pattern.
+type Match struct {
+	Pattern int
+	Match   *cep.Match
+}
+
+// Process advances the shared trie with event e.
+func (en *Engine) Process(ev event.Event) []Match {
+	en.stats.Events++
+	if ev.IsBlank() {
+		return nil
+	}
+	e := new(event.Event)
+	*e = ev
+	var out []Match
+	// walk nodes breadth-first from deepest insertion risk: since each
+	// extension consumes exactly one event and events are processed one at
+	// a time, iterating children of every live node against the *pre-event*
+	// stores is safe if we collect extensions first.
+	type ext struct {
+		child *child
+		inst  *inst
+	}
+	var exts []ext
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, ch := range n.children {
+			if ch.prim.AcceptsType(e.Type) {
+				if n.depth == 0 {
+					if ni := en.extend(nil, ch, e); ni != nil {
+						exts = append(exts, ext{ch, ni})
+					}
+				} else {
+					for _, in := range n.store {
+						if !en.canExtend(in, e) {
+							continue
+						}
+						if ni := en.extend(in, ch, e); ni != nil {
+							exts = append(exts, ext{ch, ni})
+						}
+					}
+				}
+			}
+			walk(ch.node)
+		}
+	}
+	walk(en.root)
+	for _, x := range exts {
+		x.child.node.store = append(x.child.node.store, x.inst)
+		for _, pi := range x.child.node.emit {
+			if m := en.finish(pi, x.inst); m != nil {
+				out = append(out, Match{Pattern: pi, Match: m})
+			}
+		}
+	}
+	en.prune(e)
+	return out
+}
+
+// extend attempts to append e to in (nil = start) through child ch.
+func (en *Engine) extend(in *inst, ch *child, e *event.Event) *inst {
+	var events []*event.Event
+	minTs, maxTs := e.Ts, e.Ts
+	if in != nil {
+		last := in.events[len(in.events)-1]
+		if last.ID >= e.ID {
+			return nil
+		}
+		// shared pruning uses the loosest window of each kind; per-pattern
+		// windows are re-checked at emission
+		if !en.withinShared(in.events[0], e, in.minTs) {
+			return nil
+		}
+		events = append(append([]*event.Event(nil), in.events...), e)
+		minTs, maxTs = minI64(in.minTs, e.Ts), maxI64(in.maxTs, e.Ts)
+	} else {
+		events = []*event.Event{e}
+	}
+	cand := &inst{events: events, minTs: minTs, maxTs: maxTs}
+	// aliases are canonical positions p<idx> by construction
+	look := func(alias string) (*event.Event, bool) {
+		var idx int
+		if _, err := fmt.Sscanf(alias, "p%d", &idx); err == nil && idx < len(events) {
+			return events[idx], true
+		}
+		return nil, false
+	}
+	for _, c := range ch.conds {
+		if !c.cond.Eval(en.schema, look) {
+			return nil
+		}
+	}
+	en.stats.Instances++
+	return cand
+}
+
+// finish validates a completed instance against pattern pi's own window.
+func (en *Engine) finish(pi int, in *inst) *cep.Match {
+	p := en.pats[pi]
+	first, last := in.events[0], in.events[len(in.events)-1]
+	if p.Window.Kind == pattern.CountWindow {
+		if last.ID-first.ID > uint64(p.Window.Size)-1 {
+			return nil
+		}
+	} else if in.maxTs-in.minTs > p.Window.Size {
+		return nil
+	}
+	en.stats.Matches++
+	m := &cep.Match{Events: append([]*event.Event(nil), in.events...),
+		Binding: map[string]*event.Event{}}
+	for i, ch := range p.Root.Children {
+		m.Binding[ch.Alias] = in.events[i]
+	}
+	return m
+}
+
+func (en *Engine) canExtend(in *inst, e *event.Event) bool {
+	return en.withinShared(in.events[0], e, in.minTs)
+}
+
+// withinShared reports whether an instance anchored at first (earliest
+// timestamp minTs) could still serve some pattern when extended by e: the
+// union of the loosest count and time windows admits it.
+func (en *Engine) withinShared(first, e *event.Event, minTs int64) bool {
+	if en.maxW > 0 && e.ID-first.ID <= uint64(en.maxW)-1 {
+		return true
+	}
+	if en.maxT > 0 && e.Ts-minTs <= en.maxT {
+		return true
+	}
+	return false
+}
+
+// prune drops expired partials everywhere.
+func (en *Engine) prune(e *event.Event) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		kept := n.store[:0]
+		for _, in := range n.store {
+			if en.canExtend(in, e) {
+				kept = append(kept, in)
+			}
+		}
+		n.store = kept
+		for _, ch := range n.children {
+			walk(ch.node)
+		}
+	}
+	walk(en.root)
+}
+
+// Stats returns accumulated counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// Run evaluates the whole stream, returning per-pattern deduplicated match
+// key sets and statistics.
+func Run(pats []*pattern.Pattern, st *event.Stream) ([]map[string]bool, Stats, error) {
+	en, err := New(st.Schema, pats)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]map[string]bool, len(pats))
+	for i := range out {
+		out[i] = map[string]bool{}
+	}
+	for i := range st.Events {
+		for _, m := range en.Process(st.Events[i]) {
+			out[m.Pattern][m.Match.Key()] = true
+		}
+	}
+	return out, en.Stats(), nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package mcep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+func crossCheck(t *testing.T, name string, pats []*pattern.Pattern, st *event.Stream) Stats {
+	t.Helper()
+	got, stats, err := Run(pats, st)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for pi, p := range pats {
+		want, _, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := cep.Keys(want); !reflect.DeepEqual(got[pi], w) {
+			t.Fatalf("%s pattern %d: shared=%v separate=%v", name, pi, got[pi], w)
+		}
+	}
+	return stats
+}
+
+func TestSharedMatchesSeparate(t *testing.T) {
+	pats := []*pattern.Pattern{
+		pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8"),
+		pattern.MustParse("PATTERN SEQ(A a, B b, D d) WHERE a.vol < d.vol WITHIN 8"),
+		pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 8"),
+	}
+	st := dataset.Synthetic(600, 5, 3)
+	crossCheck(t, "shared-prefix", pats, st)
+}
+
+func TestSharedPrefixSavesInstances(t *testing.T) {
+	// Two patterns sharing a 3-step prefix: the shared trie materializes
+	// the prefix once, so total instances drop below the separate sum.
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b, C c, D d) WITHIN 10")
+	p2 := pattern.MustParse("PATTERN SEQ(A a, B b, C c, E e) WITHIN 10")
+	st := dataset.Synthetic(2000, 6, 5)
+	shared := crossCheck(t, "savings", []*pattern.Pattern{p1, p2}, st)
+
+	var separate int64
+	for _, p := range []*pattern.Pattern{p1, p2} {
+		_, s, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate += s.Instances
+	}
+	if shared.Instances >= separate {
+		t.Errorf("shared instances %d not below separate sum %d", shared.Instances, separate)
+	}
+}
+
+func TestNoFalseSharingAcrossConditions(t *testing.T) {
+	// Same types but different prefix-checkable conditions must NOT share
+	// state: a partial valid for one pattern may be invalid for the other.
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < b.vol WITHIN 8")
+	p2 := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol > b.vol WITHIN 8")
+	st := dataset.Synthetic(800, 4, 7)
+	crossCheck(t, "cond-split", []*pattern.Pattern{p1, p2}, st)
+}
+
+func TestDifferentWindowsShareTrie(t *testing.T) {
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 4")
+	p2 := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 12")
+	st := dataset.Synthetic(600, 4, 9)
+	crossCheck(t, "windows", []*pattern.Pattern{p1, p2}, st)
+}
+
+func TestConditionsAnchoredMidPrefix(t *testing.T) {
+	p1 := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < b.vol WITHIN 8")
+	p2 := pattern.MustParse("PATTERN SEQ(A a, B b, D d) WHERE 0.5 * a.vol < b.vol AND b.vol < d.vol WITHIN 8")
+	st := dataset.Synthetic(800, 5, 11)
+	stats := crossCheck(t, "mid-conds", []*pattern.Pattern{p1, p2}, st)
+	if stats.Instances == 0 {
+		t.Fatal("nothing evaluated")
+	}
+}
+
+func TestTimeWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	events := make([]event.Event, 400)
+	types := []string{"A", "B", "C"}
+	ts := int64(0)
+	for i := range events {
+		ts += int64(rng.Intn(3))
+		events[i] = event.Event{Type: types[rng.Intn(3)], Ts: ts, Attrs: []float64{rng.NormFloat64()}}
+	}
+	st := event.NewStream(volSchema, events)
+	pats := []*pattern.Pattern{
+		pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5 TIME"),
+		pattern.MustParse("PATTERN SEQ(A a, C c) WITHIN 9 TIME"),
+	}
+	crossCheck(t, "time", pats, st)
+}
+
+func TestRejectsUnsupported(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN KC(A a) WITHIN 5",
+		"PATTERN SEQ(A a, NEG(C c), B b) WITHIN 5",
+		"PATTERN CONJ(A a, B b) WITHIN 5",
+	} {
+		pats := []*pattern.Pattern{pattern.MustParse(src)}
+		if _, err := New(volSchema, pats); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	stnm := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	stnm.Strategy = pattern.SkipTillNextMatch
+	if _, err := New(volSchema, []*pattern.Pattern{stnm}); err == nil {
+		t.Error("accepted non-any-match strategy")
+	}
+	if _, err := New(volSchema, nil); err == nil {
+		t.Error("accepted empty pattern set")
+	}
+}
+
+func TestBindingsPreserved(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A first, B second) WITHIN 5")
+	st := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "B", Attrs: []float64{2}},
+	})
+	en, err := New(volSchema, []*pattern.Pattern{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []Match
+	for i := range st.Events {
+		ms = append(ms, en.Process(st.Events[i])...)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d", len(ms))
+	}
+	m := ms[0].Match
+	if m.Binding["first"].ID != 0 || m.Binding["second"].ID != 1 {
+		t.Errorf("binding = %v", m.Binding)
+	}
+}
+
+func TestRandomizedManyPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	types := []string{"A", "B", "C", "D"}
+	for round := 0; round < 10; round++ {
+		var pats []*pattern.Pattern
+		for k := 0; k < 3; k++ {
+			ln := 2 + rng.Intn(3)
+			prims := make([]*pattern.Node, ln)
+			for i := range prims {
+				prims[i] = pattern.Prim(alias(k, i), types[rng.Intn(len(types))])
+			}
+			var conds []pattern.Condition
+			if ln >= 2 && rng.Float64() < 0.7 {
+				conds = append(conds, pattern.Cmp{
+					X: pattern.Ref{Alias: prims[0].Alias, Attr: "vol"}, Op: "<",
+					Y: pattern.Ref{Alias: prims[ln-1].Alias, Attr: "vol"}})
+			}
+			pats = append(pats, pattern.New("r", pattern.Seq(prims...), pattern.Count(4+rng.Intn(6)), conds...))
+		}
+		st := dataset.Synthetic(200, 4, int64(400+round))
+		crossCheck(t, "randomized", pats, st)
+	}
+}
+
+func alias(k, i int) string { return string(rune('a'+k)) + string(rune('0'+i)) }

@@ -1,0 +1,144 @@
+// Package metrics implements the evaluation measures of the paper:
+// precision / recall / F1 over labels or match sets (Section 4.3), the
+// false-negative percentage of Figure 11, throughput and throughput gain
+// (Section 5.1), and the ACEP objective function F_{M(s),T} of Section 3.1.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counts accumulates a binary confusion matrix.
+type Counts struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (predicted, gold) pair of binary labels.
+func (c *Counts) Add(pred, gold int) {
+	switch {
+	case pred == 1 && gold == 1:
+		c.TP++
+	case pred == 1 && gold == 0:
+		c.FP++
+	case pred == 0 && gold == 1:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// AddLabels records two aligned label slices.
+func (c *Counts) AddLabels(pred, gold []int) {
+	for i := range pred {
+		c.Add(pred[i], gold[i])
+	}
+}
+
+// Precision returns TP/(TP+FP); 1 when nothing was predicted positive.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN); 1 when there are no gold positives.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FNPct returns the percentage of gold positives that were missed —
+// Figure 11's FN% metric.
+func (c Counts) FNPct() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return 100 * float64(c.FN) / float64(c.TP+c.FN)
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("tp=%d fp=%d fn=%d tn=%d P=%.4f R=%.4f F1=%.4f",
+		c.TP, c.FP, c.FN, c.TN, c.Precision(), c.Recall(), c.F1())
+}
+
+// MatchSets compares an emitted match-key set against the exact one.
+func MatchSets(got, want map[string]bool) Counts {
+	var c Counts
+	for k := range got {
+		if want[k] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Jaccard returns |got ∩ want| / |got ∪ want|, the match-set similarity of
+// the Section 3.1 objective; 1 when both sets are empty.
+func Jaccard(got, want map[string]bool) float64 {
+	inter, union := 0, 0
+	for k := range got {
+		union++
+		if want[k] {
+			inter++
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Throughput is events per second over a measured run.
+func Throughput(events int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(events) / elapsed.Seconds()
+}
+
+// Gain is the throughput ratio t'/t of a mechanism X' over baseline X —
+// the paper's headline "throughput gain over ECEP".
+func Gain(ours, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return ours / baseline
+}
+
+// ACEPObjective is the example objective of Section 3.1:
+//
+//	F = -w1·Jaccard(M, M') - w2·(t'/t)
+//
+// (lower is better). w1+w2 must be 1; the function panics otherwise because
+// the weights are static experiment configuration.
+func ACEPObjective(w1, w2, jaccard, gain float64) float64 {
+	if w1 < 0 || w2 < 0 || w1+w2 < 0.999 || w1+w2 > 1.001 {
+		panic(fmt.Sprintf("metrics: invalid objective weights %v, %v", w1, w2))
+	}
+	return -w1*jaccard - w2*gain
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCountsBasic(t *testing.T) {
+	var c Counts
+	c.AddLabels([]int{1, 1, 0, 0, 1}, []int{1, 0, 1, 0, 1})
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if p := c.Precision(); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := c.F1(); math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", f)
+	}
+	if fn := c.FNPct(); math.Abs(fn-100.0/3) > 1e-9 {
+		t.Errorf("FN%% = %v", fn)
+	}
+}
+
+func TestCountsEdgeCases(t *testing.T) {
+	var c Counts
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty counts should give perfect P/R")
+	}
+	if c.FNPct() != 0 {
+		t.Error("empty counts FN% != 0")
+	}
+	c = Counts{FP: 3}
+	if c.Precision() != 0 {
+		t.Error("all-FP precision != 0")
+	}
+	if c.F1() != 0 {
+		t.Error("degenerate F1 != 0")
+	}
+}
+
+func TestF1Property(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Counts{TP: int(tp), FP: int(fp), FN: int(fn)}
+		f1 := c.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		// F1 lies between min and max of precision and recall
+		p, r := c.Precision(), c.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchSets(t *testing.T) {
+	got := map[string]bool{"a": true, "b": true, "c": true}
+	want := map[string]bool{"b": true, "c": true, "d": true}
+	c := MatchSets(got, want)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 {
+		t.Errorf("match set counts = %+v", c)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if j := Jaccard(a, b); math.Abs(j-1.0/3) > 1e-12 {
+		t.Errorf("jaccard = %v, want 1/3", j)
+	}
+	if j := Jaccard(nil, nil); j != 1 {
+		t.Errorf("jaccard of empties = %v, want 1", j)
+	}
+	if j := Jaccard(a, a); j != 1 {
+		t.Errorf("self jaccard = %v", j)
+	}
+	if j := Jaccard(a, map[string]bool{}); j != 0 {
+		t.Errorf("disjoint jaccard = %v", j)
+	}
+}
+
+func TestThroughputAndGain(t *testing.T) {
+	tp := Throughput(1000, 2*time.Second)
+	if tp != 500 {
+		t.Errorf("throughput = %v", tp)
+	}
+	if g := Gain(5000, 500); g != 10 {
+		t.Errorf("gain = %v", g)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+	if Gain(10, 0) != 0 {
+		t.Error("zero baseline should give 0")
+	}
+}
+
+func TestACEPObjective(t *testing.T) {
+	// perfect similarity and gain 1 with equal weights: -0.5 - 0.5 = -1
+	if f := ACEPObjective(0.5, 0.5, 1, 1); math.Abs(f+1) > 1e-12 {
+		t.Errorf("objective = %v, want -1", f)
+	}
+	// better gain lowers (improves) the objective
+	if ACEPObjective(0.5, 0.5, 1, 10) >= ACEPObjective(0.5, 0.5, 1, 1) {
+		t.Error("objective not improved by higher gain")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid weights accepted")
+		}
+	}()
+	ACEPObjective(0.7, 0.7, 1, 1)
+}

@@ -1,0 +1,81 @@
+package nn
+
+import "math/rand"
+
+// BiLSTM runs a forward and a backward LSTM over the sequence and
+// concatenates their hidden vectors per timestep (output size 2H), giving
+// every position both past and future context — the property Section 2.2
+// singles out as essential for CEP, where an event's relevance often depends
+// on later events.
+type BiLSTM struct {
+	Fwd *LSTM
+	Bwd *LSTM
+}
+
+// NewBiLSTM builds a bidirectional layer with per-direction hidden size
+// hidden.
+func NewBiLSTM(in, hidden int, rng *rand.Rand) *BiLSTM {
+	return &BiLSTM{
+		Fwd: NewLSTM(in, hidden, false, rng),
+		Bwd: NewLSTM(in, hidden, true, rng),
+	}
+}
+
+// Forward returns the concatenated hidden sequence (T × 2H).
+func (b *BiLSTM) Forward(x [][]float64, train bool) [][]float64 {
+	hf := b.Fwd.Forward(x, train)
+	hb := b.Bwd.Forward(x, train)
+	H := b.Fwd.hidden
+	out := make([][]float64, len(x))
+	for t := range out {
+		row := make([]float64, 2*H)
+		copy(row[:H], hf[t])
+		copy(row[H:], hb[t])
+		out[t] = row
+	}
+	return out
+}
+
+// Backward splits the upstream gradient between the two directions and sums
+// their input gradients.
+func (b *BiLSTM) Backward(dY [][]float64) [][]float64 {
+	H := b.Fwd.hidden
+	df := make([][]float64, len(dY))
+	db := make([][]float64, len(dY))
+	for t, row := range dY {
+		df[t] = row[:H]
+		db[t] = row[H:]
+	}
+	dxF := b.Fwd.Backward(df)
+	dxB := b.Bwd.Backward(db)
+	for t := range dxF {
+		for i := range dxF[t] {
+			dxF[t][i] += dxB[t][i]
+		}
+	}
+	return dxF
+}
+
+// Params returns both directions' parameters.
+func (b *BiLSTM) Params() []*Param {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}
+
+// InDim returns the input feature size.
+func (b *BiLSTM) InDim() int { return b.Fwd.in }
+
+// OutDim returns 2× the per-direction hidden size.
+func (b *BiLSTM) OutDim() int { return 2 * b.Fwd.hidden }
+
+// NewStackedBiLSTM builds layers stacked BiLSTMs (the paper's default is 3
+// layers of hidden size 75), each consuming the previous layer's 2H output.
+func NewStackedBiLSTM(in, hidden, layers int, rng *rand.Rand) *Network {
+	n := &Network{}
+	dim := in
+	for i := 0; i < layers; i++ {
+		b := NewBiLSTM(dim, hidden, rng)
+		n.Layers = append(n.Layers, b)
+		dim = b.OutDim()
+	}
+	return n
+}

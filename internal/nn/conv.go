@@ -1,0 +1,260 @@
+package nn
+
+import "math/rand"
+
+// Conv1D is a same-length one-dimensional convolution over the time axis
+// with symmetric (acausal) zero padding and optional dilation. DLACEP's
+// filters see the whole marking window at once, so — unlike streaming
+// TCNs — the convolution may look both backward and forward, mirroring
+// BiLSTM's bidirectional context.
+type Conv1D struct {
+	W *Param // out × (in·kernel)
+	B *Param // out × 1
+
+	in, out  int
+	kernel   int
+	dilation int
+
+	x [][]float64 // cache
+}
+
+// NewConv1D builds a Glorot-initialized convolution. kernel must be odd so
+// the receptive field is centered.
+func NewConv1D(in, out, kernel, dilation int, rng *rand.Rand) *Conv1D {
+	if kernel%2 == 0 {
+		panic("nn: Conv1D kernel must be odd")
+	}
+	if dilation < 1 {
+		panic("nn: Conv1D dilation must be >= 1")
+	}
+	c := &Conv1D{
+		W:        NewParam("conv.W", out, in*kernel),
+		B:        NewParam("conv.b", out, 1),
+		in:       in,
+		out:      out,
+		kernel:   kernel,
+		dilation: dilation,
+	}
+	c.W.XavierInit(rng)
+	return c
+}
+
+// Forward computes the padded convolution; output has the input's length.
+func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
+	checkDims("conv1d", x, c.in)
+	c.x = x
+	T := len(x)
+	half := c.kernel / 2
+	y := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		row := make([]float64, c.out)
+		copy(row, c.B.Data)
+		for k := 0; k < c.kernel; k++ {
+			src := t + (k-half)*c.dilation
+			if src < 0 || src >= T {
+				continue
+			}
+			xs := x[src]
+			for o := 0; o < c.out; o++ {
+				w := c.W.Data[o*c.in*c.kernel+k*c.in : o*c.in*c.kernel+(k+1)*c.in]
+				s := 0.0
+				for i, xi := range xs {
+					s += w[i] * xi
+				}
+				row[o] += s
+			}
+		}
+		y[t] = row
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns dX.
+func (c *Conv1D) Backward(dY [][]float64) [][]float64 {
+	T := len(dY)
+	half := c.kernel / 2
+	dX := make([][]float64, T)
+	for t := range dX {
+		dX[t] = make([]float64, c.in)
+	}
+	for t := 0; t < T; t++ {
+		dyt := dY[t]
+		for o := 0; o < c.out; o++ {
+			g := dyt[o]
+			if g == 0 {
+				continue
+			}
+			c.B.Grad[o] += g
+			for k := 0; k < c.kernel; k++ {
+				src := t + (k-half)*c.dilation
+				if src < 0 || src >= T {
+					continue
+				}
+				base := o*c.in*c.kernel + k*c.in
+				xs := c.x[src]
+				for i, xi := range xs {
+					c.W.Grad[base+i] += g * xi
+					dX[src][i] += g * c.W.Data[base+i]
+				}
+			}
+		}
+	}
+	return dX
+}
+
+// Params returns W and b.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// InDim returns the input feature size.
+func (c *Conv1D) InDim() int { return c.in }
+
+// OutDim returns the number of output channels.
+func (c *Conv1D) OutDim() int { return c.out }
+
+// ReLU is an elementwise rectifier.
+type ReLU struct {
+	dim  int
+	mask [][]bool
+}
+
+// NewReLU builds a rectifier over feature size dim.
+func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
+
+// Forward rectifies.
+func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
+	checkDims("relu", x, r.dim)
+	y := make([][]float64, len(x))
+	r.mask = make([][]bool, len(x))
+	for t, row := range x {
+		yr := make([]float64, len(row))
+		mr := make([]bool, len(row))
+		for i, v := range row {
+			if v > 0 {
+				yr[i] = v
+				mr[i] = true
+			}
+		}
+		y[t] = yr
+		r.mask[t] = mr
+	}
+	return y
+}
+
+// Backward gates the gradient.
+func (r *ReLU) Backward(dY [][]float64) [][]float64 {
+	dX := make([][]float64, len(dY))
+	for t, row := range dY {
+		dr := make([]float64, len(row))
+		for i, v := range row {
+			if r.mask[t][i] {
+				dr[i] = v
+			}
+		}
+		dX[t] = dr
+	}
+	return dX
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// InDim returns the feature size.
+func (r *ReLU) InDim() int { return r.dim }
+
+// OutDim returns the feature size.
+func (r *ReLU) OutDim() int { return r.dim }
+
+// Residual wraps a body network with an identity (or projected) skip
+// connection: y = body(x) + proj(x). TCN blocks rely on it for depth.
+type Residual struct {
+	Body *Network
+	Proj *Linear // nil when dimensions already agree
+}
+
+// NewResidual builds a residual block; a projection is added when the body
+// changes the feature size.
+func NewResidual(body *Network, rng *rand.Rand) *Residual {
+	r := &Residual{Body: body}
+	if body.InDim() != body.OutDim() {
+		r.Proj = NewLinear(body.InDim(), body.OutDim(), rng)
+	}
+	return r
+}
+
+// Forward computes body(x) + skip(x).
+func (r *Residual) Forward(x [][]float64, train bool) [][]float64 {
+	y := r.Body.Forward(x, train)
+	var skip [][]float64
+	if r.Proj != nil {
+		skip = r.Proj.Forward(x, train)
+	} else {
+		skip = x
+	}
+	out := make([][]float64, len(y))
+	for t := range y {
+		row := make([]float64, len(y[t]))
+		for i := range row {
+			row[i] = y[t][i] + skip[t][i]
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// Backward splits the gradient between body and skip paths.
+func (r *Residual) Backward(dY [][]float64) [][]float64 {
+	dBody := r.Body.Backward(dY)
+	var dSkip [][]float64
+	if r.Proj != nil {
+		dSkip = r.Proj.Backward(dY)
+	} else {
+		dSkip = dY
+	}
+	dX := make([][]float64, len(dBody))
+	for t := range dBody {
+		row := make([]float64, len(dBody[t]))
+		for i := range row {
+			row[i] = dBody[t][i] + dSkip[t][i]
+		}
+		dX[t] = row
+	}
+	return dX
+}
+
+// Params returns body and projection parameters.
+func (r *Residual) Params() []*Param {
+	out := r.Body.Params()
+	if r.Proj != nil {
+		out = append(out, r.Proj.Params()...)
+	}
+	return out
+}
+
+// InDim returns the block input size.
+func (r *Residual) InDim() int { return r.Body.InDim() }
+
+// OutDim returns the block output size.
+func (r *Residual) OutDim() int { return r.Body.OutDim() }
+
+// NewTCN builds an acausal temporal convolutional network [45]: residual
+// blocks of dilated convolutions with exponentially growing dilation
+// (1, 2, 4, ...), each block two conv+ReLU pairs wide. The paper's
+// preliminary experiments found stacked BiLSTM superior to TCN for event
+// filtering; this constructor exists to reproduce that comparison.
+func NewTCN(in, hidden, blocks, kernel int, rng *rand.Rand) *Network {
+	n := &Network{}
+	dim := in
+	dilation := 1
+	for b := 0; b < blocks; b++ {
+		body := &Network{Layers: []Layer{
+			NewConv1D(dim, hidden, kernel, dilation, rng),
+			NewReLU(hidden),
+			NewConv1D(hidden, hidden, kernel, dilation, rng),
+			NewReLU(hidden),
+		}}
+		n.Layers = append(n.Layers, NewResidual(body, rng))
+		dim = hidden
+		dilation *= 2
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := &Network{Layers: []Layer{NewConv1D(3, 4, 3, 1, rng)}}
+	gradCheck(t, "conv1d", net, 6)
+}
+
+func TestConv1DDilatedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net := &Network{Layers: []Layer{NewConv1D(3, 3, 3, 2, rng)}}
+	gradCheck(t, "conv1d-dilated", net, 8)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net := &Network{Layers: []Layer{NewLinear(3, 4, rng), NewReLU(4)}}
+	gradCheck(t, "relu", net, 5)
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	body := &Network{Layers: []Layer{NewConv1D(3, 5, 3, 1, rng), NewReLU(5)}}
+	net := &Network{Layers: []Layer{NewResidual(body, rng)}}
+	gradCheck(t, "residual-proj", net, 5)
+
+	body2 := &Network{Layers: []Layer{NewConv1D(4, 4, 3, 1, rng)}}
+	net2 := &Network{Layers: []Layer{NewResidual(body2, rng)}}
+	if net2.Layers[0].(*Residual).Proj != nil {
+		t.Error("identity residual got a projection")
+	}
+	gradCheck(t, "residual-id", net2, 5)
+}
+
+func TestTCNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	net := NewTCN(3, 4, 2, 3, rng)
+	gradCheck(t, "tcn", net, 7)
+}
+
+func TestTCNShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	net := NewTCN(5, 8, 3, 3, rng)
+	if net.InDim() != 5 || net.OutDim() != 8 {
+		t.Errorf("dims %d/%d", net.InDim(), net.OutDim())
+	}
+	y := net.Forward(randSeq(rng, 11, 5), false)
+	if len(y) != 11 || len(y[0]) != 8 {
+		t.Errorf("output %dx%d, want 11x8", len(y), len(y[0]))
+	}
+}
+
+func TestConv1DPaddingIsZero(t *testing.T) {
+	// With a single centered tap of an identity-ish kernel, boundary
+	// outputs must not read out of range.
+	rng := rand.New(rand.NewSource(27))
+	c := NewConv1D(1, 1, 3, 1, rng)
+	for i := range c.W.Data {
+		c.W.Data[i] = 0
+	}
+	// kernel layout: [k0 k1 k2] over in=1; set k0 (left neighbor) to 1
+	c.W.Data[0] = 1
+	x := [][]float64{{10}, {20}, {30}}
+	y := c.Forward(x, false)
+	// y[t] = x[t-1]; y[0] sees zero padding
+	if y[0][0] != 0 || y[1][0] != 10 || y[2][0] != 20 {
+		t.Errorf("padding semantics wrong: %v", y)
+	}
+}
+
+func TestConv1DValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("even kernel", func() { NewConv1D(2, 2, 4, 1, rng) })
+	mustPanic("zero dilation", func() { NewConv1D(2, 2, 3, 0, rng) })
+}

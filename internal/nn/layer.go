@@ -1,0 +1,50 @@
+package nn
+
+// Layer is one differentiable sequence-to-sequence block. Forward caches
+// whatever Backward needs; Backward consumes the upstream gradient dY
+// (same shape as Forward's output) and returns the gradient with respect to
+// the input, accumulating parameter gradients into Params().
+type Layer interface {
+	Forward(x [][]float64, train bool) [][]float64
+	Backward(dY [][]float64) [][]float64
+	Params() []*Param
+	// InDim and OutDim report the per-timestep feature sizes.
+	InDim() int
+	OutDim() int
+}
+
+// Network is a simple sequential container.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the layers in order.
+func (n *Network) Forward(x [][]float64, train bool) [][]float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse order.
+func (n *Network) Backward(dY [][]float64) [][]float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dY = n.Layers[i].Backward(dY)
+	}
+	return dY
+}
+
+// Params returns all learnable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// InDim returns the first layer's input size.
+func (n *Network) InDim() int { return n.Layers[0].InDim() }
+
+// OutDim returns the last layer's output size.
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].OutDim() }

@@ -1,0 +1,77 @@
+package nn
+
+import "math/rand"
+
+// Linear applies y_t = W·x_t + b independently at every timestep.
+type Linear struct {
+	W *Param // out × in
+	B *Param // out × 1
+
+	in, out int
+	x       [][]float64 // cache
+}
+
+// NewLinear builds a Glorot-initialized dense layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W:   NewParam("linear.W", out, in),
+		B:   NewParam("linear.b", out, 1),
+		in:  in,
+		out: out,
+	}
+	l.W.XavierInit(rng)
+	return l
+}
+
+// Forward computes the per-step affine map.
+func (l *Linear) Forward(x [][]float64, train bool) [][]float64 {
+	checkDims("linear", x, l.in)
+	l.x = x
+	y := make([][]float64, len(x))
+	for t, xt := range x {
+		yt := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			s := l.B.Data[o]
+			row := l.W.Data[o*l.in : (o+1)*l.in]
+			for i, xi := range xt {
+				s += row[i] * xi
+			}
+			yt[o] = s
+		}
+		y[t] = yt
+	}
+	return y
+}
+
+// Backward accumulates dW, db and returns dX.
+func (l *Linear) Backward(dY [][]float64) [][]float64 {
+	dX := make([][]float64, len(dY))
+	for t, dyt := range dY {
+		xt := l.x[t]
+		dxt := make([]float64, l.in)
+		for o := 0; o < l.out; o++ {
+			g := dyt[o]
+			if g == 0 {
+				continue
+			}
+			l.B.Grad[o] += g
+			wRow := l.W.Data[o*l.in : (o+1)*l.in]
+			gRow := l.W.Grad[o*l.in : (o+1)*l.in]
+			for i, xi := range xt {
+				gRow[i] += g * xi
+				dxt[i] += g * wRow[i]
+			}
+		}
+		dX[t] = dxt
+	}
+	return dX
+}
+
+// Params returns W and b.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// InDim returns the input feature size.
+func (l *Linear) InDim() int { return l.in }
+
+// OutDim returns the output feature size.
+func (l *Linear) OutDim() int { return l.out }

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-direction long short-term memory layer [31] with full
+// backpropagation through time. Gate pre-activations are stored per
+// timestep so Backward can run without recomputation. When reverse is true
+// the sequence is processed right-to-left (outputs stay aligned with input
+// positions), which is how BiLSTM builds its backward half.
+type LSTM struct {
+	Wx *Param // 4H × In  (gates stacked i,f,g,o)
+	Wh *Param // 4H × H
+	B  *Param // 4H × 1
+
+	in, hidden int
+	reverse    bool
+
+	// caches from the last Forward
+	x     [][]float64
+	gates [][]float64 // per step: 4H activated gate values (i,f,g,o)
+	cells [][]float64 // c_t
+	tanhC [][]float64
+	hs    [][]float64 // h_t, aligned to input positions
+}
+
+// NewLSTM builds an initialized LSTM layer. The forget-gate bias starts at
+// 1.0, the standard trick for stable long-range training.
+func NewLSTM(in, hidden int, reverse bool, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		Wx:      NewParam("lstm.Wx", 4*hidden, in),
+		Wh:      NewParam("lstm.Wh", 4*hidden, hidden),
+		B:       NewParam("lstm.b", 4*hidden, 1),
+		in:      in,
+		hidden:  hidden,
+		reverse: reverse,
+	}
+	l.Wx.XavierInit(rng)
+	l.Wh.XavierInit(rng)
+	for h := 0; h < hidden; h++ {
+		l.B.Data[hidden+h] = 1 // forget gate bias
+	}
+	return l
+}
+
+// order returns the timestep visit order.
+func (l *LSTM) order(T int) []int {
+	idx := make([]int, T)
+	for i := range idx {
+		if l.reverse {
+			idx[i] = T - 1 - i
+		} else {
+			idx[i] = i
+		}
+	}
+	return idx
+}
+
+// Forward runs the recurrence and returns the hidden sequence (T × H).
+func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
+	checkDims("lstm", x, l.in)
+	T, H := len(x), l.hidden
+	l.x = x
+	l.gates = make([][]float64, T)
+	l.cells = make([][]float64, T)
+	l.tanhC = make([][]float64, T)
+	l.hs = make([][]float64, T)
+
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	for _, t := range l.order(T) {
+		xt := x[t]
+		z := make([]float64, 4*H)
+		for r := 0; r < 4*H; r++ {
+			s := l.B.Data[r]
+			wx := l.Wx.Data[r*l.in : (r+1)*l.in]
+			for i, xi := range xt {
+				s += wx[i] * xi
+			}
+			wh := l.Wh.Data[r*H : (r+1)*H]
+			for j, hj := range hPrev {
+				s += wh[j] * hj
+			}
+			z[r] = s
+		}
+		c := make([]float64, H)
+		tc := make([]float64, H)
+		h := make([]float64, H)
+		for j := 0; j < H; j++ {
+			i := sigmoid(z[j])
+			f := sigmoid(z[H+j])
+			g := math.Tanh(z[2*H+j])
+			o := sigmoid(z[3*H+j])
+			z[j], z[H+j], z[2*H+j], z[3*H+j] = i, f, g, o
+			c[j] = f*cPrev[j] + i*g
+			tc[j] = math.Tanh(c[j])
+			h[j] = o * tc[j]
+		}
+		l.gates[t] = z
+		l.cells[t] = c
+		l.tanhC[t] = tc
+		l.hs[t] = h
+		hPrev, cPrev = h, c
+	}
+	return l.hs
+}
+
+// Backward propagates dY (T × H) through time, accumulating parameter
+// gradients, and returns dX (T × In).
+func (l *LSTM) Backward(dY [][]float64) [][]float64 {
+	T, H := len(dY), l.hidden
+	dX := make([][]float64, T)
+	for t := range dX {
+		dX[t] = make([]float64, l.in)
+	}
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	order := l.order(T)
+	// walk in reverse of the forward visit order
+	for k := T - 1; k >= 0; k-- {
+		t := order[k]
+		var cPrev, hPrev []float64
+		if k > 0 {
+			cPrev = l.cells[order[k-1]]
+			hPrev = l.hs[order[k-1]]
+		} else {
+			cPrev = make([]float64, H)
+			hPrev = make([]float64, H)
+		}
+		z := l.gates[t]
+		dz := make([]float64, 4*H)
+		for j := 0; j < H; j++ {
+			dh := dY[t][j] + dhNext[j]
+			i, f, g, o := z[j], z[H+j], z[2*H+j], z[3*H+j]
+			tc := l.tanhC[t][j]
+			dc := dh*o*(1-tc*tc) + dcNext[j]
+			dz[j] = dc * g * i * (1 - i)
+			dz[H+j] = dc * cPrev[j] * f * (1 - f)
+			dz[2*H+j] = dc * i * (1 - g*g)
+			dz[3*H+j] = dh * tc * o * (1 - o)
+			dcNext[j] = dc * f
+		}
+		for j := range dhNext {
+			dhNext[j] = 0
+		}
+		xt := l.x[t]
+		for r := 0; r < 4*H; r++ {
+			g := dz[r]
+			if g == 0 {
+				continue
+			}
+			l.B.Grad[r] += g
+			wxRow := l.Wx.Data[r*l.in : (r+1)*l.in]
+			gxRow := l.Wx.Grad[r*l.in : (r+1)*l.in]
+			for i, xi := range xt {
+				gxRow[i] += g * xi
+				dX[t][i] += g * wxRow[i]
+			}
+			whRow := l.Wh.Data[r*H : (r+1)*H]
+			ghRow := l.Wh.Grad[r*H : (r+1)*H]
+			for j, hj := range hPrev {
+				ghRow[j] += g * hj
+				dhNext[j] += g * whRow[j]
+			}
+		}
+	}
+	return dX
+}
+
+// Params returns Wx, Wh and b.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// InDim returns the input feature size.
+func (l *LSTM) InDim() int { return l.in }
+
+// OutDim returns the hidden size.
+func (l *LSTM) OutDim() int { return l.hidden }

@@ -1,0 +1,258 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lossFor runs the network on x and reduces the output with fixed random
+// weights, giving a scalar objective with a known output gradient.
+func lossFor(net *Network, x [][]float64, w [][]float64) float64 {
+	y := net.Forward(x, true)
+	s := 0.0
+	for t := range y {
+		for i := range y[t] {
+			s += w[t][i] * y[t][i]
+		}
+	}
+	return s
+}
+
+func randSeq(rng *rand.Rand, T, dim int) [][]float64 {
+	x := make([][]float64, T)
+	for t := range x {
+		x[t] = make([]float64, dim)
+		for i := range x[t] {
+			x[t][i] = rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// gradCheck verifies analytic parameter and input gradients against central
+// finite differences.
+func gradCheck(t *testing.T, name string, net *Network, T int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	x := randSeq(rng, T, net.InDim())
+	outT := T
+	if _, isPool := net.Layers[len(net.Layers)-1].(*MeanPool); isPool {
+		outT = 1
+	}
+	w := randSeq(rng, outT, net.OutDim())
+
+	params := net.Params()
+	ZeroGrads(params)
+	y := net.Forward(x, true)
+	dY := make([][]float64, len(y))
+	for i := range dY {
+		dY[i] = w[i]
+	}
+	dX := net.Backward(dY)
+
+	const eps = 1e-6
+	const tol = 1e-4
+	f := func() float64 { return lossFor(net, x, w) }
+	for _, p := range params {
+		// spot-check a handful of indices per parameter
+		idxs := []int{0, len(p.Data) / 2, len(p.Data) - 1}
+		for _, i := range idxs {
+			old := p.Data[i]
+			p.Data[i] = old + eps
+			l1 := f()
+			p.Data[i] = old - eps
+			l2 := f()
+			p.Data[i] = old
+			num := (l1 - l2) / (2 * eps)
+			if math.Abs(num-p.Grad[i]) > tol*(1+math.Abs(num)) {
+				t.Errorf("%s: %s[%d]: analytic %.8f vs numeric %.8f", name, p.Name, i, p.Grad[i], num)
+			}
+		}
+	}
+	for _, ti := range []int{0, T / 2, T - 1} {
+		for i := range x[ti] {
+			old := x[ti][i]
+			x[ti][i] = old + eps
+			l1 := f()
+			x[ti][i] = old - eps
+			l2 := f()
+			x[ti][i] = old
+			num := (l1 - l2) / (2 * eps)
+			if math.Abs(num-dX[ti][i]) > tol*(1+math.Abs(num)) {
+				t.Errorf("%s: dX[%d][%d]: analytic %.8f vs numeric %.8f", name, ti, i, dX[ti][i], num)
+			}
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := &Network{Layers: []Layer{NewLinear(4, 3, rng)}}
+	gradCheck(t, "linear", net, 6)
+}
+
+func TestLSTMGradientsForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := &Network{Layers: []Layer{NewLSTM(3, 4, false, rng)}}
+	gradCheck(t, "lstm-fwd", net, 7)
+}
+
+func TestLSTMGradientsReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := &Network{Layers: []Layer{NewLSTM(3, 4, true, rng)}}
+	gradCheck(t, "lstm-rev", net, 7)
+}
+
+func TestBiLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := &Network{Layers: []Layer{NewBiLSTM(3, 3, rng)}}
+	gradCheck(t, "bilstm", net, 6)
+}
+
+func TestStackedBiLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewStackedBiLSTM(3, 2, 3, rng)
+	gradCheck(t, "stack3", net, 5)
+}
+
+func TestStackWithHeadGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewStackedBiLSTM(3, 2, 2, rng)
+	net.Layers = append(net.Layers, NewLinear(net.OutDim(), 2, rng))
+	gradCheck(t, "stack+linear", net, 5)
+}
+
+func TestMeanPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := &Network{Layers: []Layer{
+		NewBiLSTM(3, 3, rng),
+		NewMeanPool(6),
+		NewLinear(6, 1, rng),
+	}}
+	gradCheck(t, "window-net-shape", net, 6)
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewStackedBiLSTM(4, 5, 2, rng)
+	x := randSeq(rand.New(rand.NewSource(9)), 10, 4)
+	y1 := net.Forward(x, false)
+	y2 := net.Forward(x, false)
+	for tt := range y1 {
+		for i := range y1[tt] {
+			if y1[tt][i] != y2[tt][i] {
+				t.Fatalf("forward not deterministic at [%d][%d]", tt, i)
+			}
+		}
+	}
+}
+
+func TestShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := NewStackedBiLSTM(7, 5, 3, rng)
+	if net.InDim() != 7 || net.OutDim() != 10 {
+		t.Errorf("dims = %d/%d, want 7/10", net.InDim(), net.OutDim())
+	}
+	y := net.Forward(randSeq(rng, 13, 7), false)
+	if len(y) != 13 || len(y[0]) != 10 {
+		t.Errorf("output shape %dx%d, want 13x10", len(y), len(y[0]))
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLinear(3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	l.Forward([][]float64{{1, 2}}, false)
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	u := func() float64 { return rng.Float64() }
+	d := NewDropout(4, 0.5, u)
+	x := [][]float64{{1, 1, 1, 1}, {2, 2, 2, 2}}
+	yTrain := d.Forward(x, true)
+	zeros, doubled := 0, 0
+	for t2 := range yTrain {
+		for i := range yTrain[t2] {
+			switch yTrain[t2][i] {
+			case 0:
+				zeros++
+			case x[t2][i] * 2:
+				doubled++
+			default:
+				t.Errorf("dropout produced %v from %v", yTrain[t2][i], x[t2][i])
+			}
+		}
+	}
+	if zeros == 0 || doubled == 0 {
+		t.Errorf("dropout mask degenerate: zeros=%d kept=%d", zeros, doubled)
+	}
+	yEval := d.Forward(x, false)
+	for t2 := range yEval {
+		for i := range yEval[t2] {
+			if yEval[t2][i] != x[t2][i] {
+				t.Error("dropout not identity at inference")
+			}
+		}
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := NewParam("p", 1, 3)
+	copy(p.Grad, []float64{3, 4, 0})
+	ClipGrads([]*Param{p}, 1)
+	if n := GradNorm([]*Param{p}); math.Abs(n-1) > 1e-12 {
+		t.Errorf("norm after clip = %v, want 1", n)
+	}
+	copy(p.Grad, []float64{0.1, 0.1, 0})
+	ClipGrads([]*Param{p}, 1)
+	if p.Grad[0] != 0.1 {
+		t.Error("clip modified gradients under the threshold")
+	}
+}
+
+func TestCountParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// LSTM(in=3,H=4): Wx 16x3 + Wh 16x4 + b 16 = 48+64+16 = 128; BiLSTM = 256.
+	b := NewBiLSTM(3, 4, rng)
+	if got := CountParams(b.Params()); got != 256 {
+		t.Errorf("CountParams = %d, want 256", got)
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if v := sigmoid(1000); v != 1 {
+		t.Errorf("sigmoid(1000) = %v", v)
+	}
+	if v := sigmoid(-1000); v != 0 {
+		t.Errorf("sigmoid(-1000) = %v", v)
+	}
+	if v := sigmoid(0); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", v)
+	}
+}
+
+func TestXavierInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := NewParam("p", 10, 10)
+	p.XavierInit(rng)
+	limit := math.Sqrt(6.0 / 20.0)
+	nonzero := 0
+	for _, v := range p.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("init value %v outside ±%v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 90 {
+		t.Errorf("suspiciously many zeros after init: %d/100 nonzero", nonzero)
+	}
+}

@@ -1,0 +1,128 @@
+// Package nn is a from-scratch, CPU, float64 neural network substrate:
+// dense layers, LSTM and bidirectional LSTM with full backpropagation
+// through time, sequence pooling, and parameter initialization. It exists
+// because DLACEP's filters are stacked-BiLSTM networks (Section 4.3) and
+// this repository is stdlib-only; the layer set is exactly what the paper's
+// two filter architectures require.
+//
+// All layers operate on sequences represented as [][]float64 (time-major:
+// T rows of feature vectors). Layers cache activations from the most recent
+// Forward call and are therefore not safe for concurrent use; training is
+// single-goroutine per network, matching the paper's single-core inference
+// setup.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient accumulator. Optimizers
+// update Data in place from Grad.
+type Param struct {
+	Name string
+	Rows int
+	Cols int
+	Data []float64
+	Grad []float64
+}
+
+// NewParam allocates a zero-initialized parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Rows: rows,
+		Cols: cols,
+		Data: make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+	}
+}
+
+// At returns the element at row r, column c.
+func (p *Param) At(r, c int) float64 { return p.Data[r*p.Cols+c] }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// XavierInit fills the parameter with Glorot-uniform values.
+func (p *Param) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(p.Rows+p.Cols))
+	for i := range p.Data {
+		p.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// GradNorm returns the L2 norm of the gradients across params.
+func GradNorm(params []*Param) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads rescales all gradients so their global L2 norm is at most max.
+// LSTM training is unstable without it.
+func ClipGrads(params []*Param, max float64) {
+	n := GradNorm(params)
+	if n <= max || n == 0 {
+		return
+	}
+	scale := max / n
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+}
+
+// ScaleGrads multiplies every gradient by s (used to average over a batch).
+func ScaleGrads(params []*Param, s float64) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= s
+		}
+	}
+}
+
+// ZeroGrads clears every gradient.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// CountParams returns the total number of scalar parameters, the h of the
+// paper's O(h·l) filtration complexity bound.
+func CountParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Data)
+	}
+	return n
+}
+
+func sigmoid(x float64) float64 {
+	// Numerically stable in both tails.
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+func checkDims(name string, x [][]float64, want int) {
+	for t, row := range x {
+		if len(row) != want {
+			panic(fmt.Sprintf("nn: %s: input step %d has dim %d, want %d", name, t, len(row), want))
+		}
+	}
+}

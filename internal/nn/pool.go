@@ -1,0 +1,123 @@
+package nn
+
+// MeanPool collapses a sequence (T × D) into a single vector (1 × D) by
+// averaging over time. The window-network uses it to reduce the BiLSTM
+// hidden sequence to one window representation before its classification
+// layer.
+type MeanPool struct {
+	dim int
+	T   int
+}
+
+// NewMeanPool builds a pooling layer over feature size dim.
+func NewMeanPool(dim int) *MeanPool { return &MeanPool{dim: dim} }
+
+// Forward averages the sequence.
+func (m *MeanPool) Forward(x [][]float64, train bool) [][]float64 {
+	checkDims("meanpool", x, m.dim)
+	m.T = len(x)
+	out := make([]float64, m.dim)
+	for _, row := range x {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	inv := 1.0 / float64(m.T)
+	for i := range out {
+		out[i] *= inv
+	}
+	return [][]float64{out}
+}
+
+// Backward spreads the gradient uniformly over the timesteps.
+func (m *MeanPool) Backward(dY [][]float64) [][]float64 {
+	inv := 1.0 / float64(m.T)
+	dX := make([][]float64, m.T)
+	for t := range dX {
+		row := make([]float64, m.dim)
+		for i := range row {
+			row[i] = dY[0][i] * inv
+		}
+		dX[t] = row
+	}
+	return dX
+}
+
+// Params returns nil: pooling has no parameters.
+func (m *MeanPool) Params() []*Param { return nil }
+
+// InDim returns the feature size.
+func (m *MeanPool) InDim() int { return m.dim }
+
+// OutDim returns the feature size.
+func (m *MeanPool) OutDim() int { return m.dim }
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1-P) (inverted dropout); it is the identity at
+// inference time.
+type Dropout struct {
+	P   float64
+	dim int
+	rng func() float64
+	// mask from the last training Forward
+	mask [][]bool
+	off  bool
+}
+
+// NewDropout builds a dropout layer; rng must return uniform [0,1) samples.
+func NewDropout(dim int, p float64, rng func() float64) *Dropout {
+	return &Dropout{P: p, dim: dim, rng: rng}
+}
+
+// Forward applies the mask when train is true.
+func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
+	d.off = !train || d.P == 0
+	if d.off {
+		return x
+	}
+	scale := 1.0 / (1.0 - d.P)
+	out := make([][]float64, len(x))
+	d.mask = make([][]bool, len(x))
+	for t, row := range x {
+		or := make([]float64, len(row))
+		mr := make([]bool, len(row))
+		for i, v := range row {
+			if d.rng() < d.P {
+				mr[i] = true
+			} else {
+				or[i] = v * scale
+			}
+		}
+		out[t] = or
+		d.mask[t] = mr
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(dY [][]float64) [][]float64 {
+	if d.off {
+		return dY
+	}
+	scale := 1.0 / (1.0 - d.P)
+	dX := make([][]float64, len(dY))
+	for t, row := range dY {
+		dr := make([]float64, len(row))
+		for i, v := range row {
+			if !d.mask[t][i] {
+				dr[i] = v * scale
+			}
+		}
+		dX[t] = dr
+	}
+	return dX
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// InDim returns the feature size.
+func (d *Dropout) InDim() int { return d.dim }
+
+// OutDim returns the feature size.
+func (d *Dropout) OutDim() int { return d.dim }

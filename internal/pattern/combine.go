@@ -1,0 +1,84 @@
+package pattern
+
+import "fmt"
+
+// RenameAliases returns a deep copy of the pattern with every alias
+// prefixed, conditions rewritten accordingly. It enables combining
+// independently authored patterns (whose aliases may collide) into one
+// composite pattern.
+func RenameAliases(p *Pattern, prefix string) *Pattern {
+	ren := func(a string) string { return prefix + a }
+	out := &Pattern{
+		Name:     p.Name,
+		Root:     renameNode(p.Root, ren),
+		Where:    renameConds(p.Where, ren),
+		Window:   p.Window,
+		Strategy: p.Strategy,
+	}
+	return out
+}
+
+func renameNode(n *Node, ren func(string) string) *Node {
+	cp := &Node{
+		Kind:  n.Kind,
+		Types: append([]string(nil), n.Types...),
+		Where: renameConds(n.Where, ren),
+		KMin:  n.KMin,
+		KMax:  n.KMax,
+	}
+	if n.Alias != "" {
+		cp.Alias = ren(n.Alias)
+	}
+	for _, c := range n.Children {
+		cp.Children = append(cp.Children, renameNode(c, ren))
+	}
+	return cp
+}
+
+func renameConds(conds []Condition, ren func(string) string) []Condition {
+	out := make([]Condition, len(conds))
+	for i, c := range conds {
+		out[i] = renameCond(c, ren)
+	}
+	return out
+}
+
+func renameCond(c Condition, ren func(string) string) Condition {
+	r := func(ref Ref) Ref { return Ref{Alias: ren(ref.Alias), Attr: ref.Attr} }
+	switch c := c.(type) {
+	case RatioRange:
+		return RatioRange{Lo: c.Lo, X: r(c.X), Y: r(c.Y), Hi: c.Hi}
+	case AbsRange:
+		return AbsRange{Lo: c.Lo, Y: r(c.Y), Hi: c.Hi}
+	case Cmp:
+		return Cmp{X: r(c.X), Op: c.Op, Y: r(c.Y)}
+	case Fn:
+		return Fn{X: r(c.X), Y: r(c.Y), Pred: c.Pred, Desc: c.Desc, Sel: c.Sel}
+	case ExprCond:
+		return ExprCond{L: c.L.renameExpr(ren), Op: c.Op, R: c.R.renameExpr(ren)}
+	default:
+		panic(fmt.Sprintf("pattern: cannot rename aliases of condition type %T", c))
+	}
+}
+
+// Combine builds the disjunction of several patterns — the paper's
+// "separate vs combined" experiment (Figure 9(g)) evaluates individual
+// patterns against exactly this composition. Aliases are prefixed with
+// "p<i>_" to stay unique; all patterns must share the window.
+func Combine(name string, pats ...*Pattern) *Pattern {
+	if len(pats) == 0 {
+		panic("pattern: Combine of nothing")
+	}
+	w := pats[0].Window
+	var branches []*Node
+	var where []Condition
+	for i, p := range pats {
+		if p.Window != w {
+			panic(fmt.Sprintf("pattern: Combine with differing windows %v vs %v", w, p.Window))
+		}
+		rp := RenameAliases(p, fmt.Sprintf("p%d_", i))
+		branches = append(branches, rp.Root)
+		where = append(where, rp.Where...)
+	}
+	return New(name, Disj(branches...), w, where...)
+}

@@ -1,0 +1,57 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenameAliases(t *testing.T) {
+	p := MustParse("PATTERN SEQ(A a, NEG(C c), KC(B b)) WHERE a.vol > 1 WITHIN 10")
+	p.Root.Children[2].Children[0].With(Cmp{X: Ref{"b", "vol"}, Op: "<", Y: Ref{"b", "price"}})
+	r := RenameAliases(p, "x_")
+	if err := r.Validate(); err != nil {
+		t.Fatalf("renamed pattern invalid: %v", err)
+	}
+	aliases := map[string]bool{}
+	for _, pr := range r.Prims() {
+		aliases[pr.Alias] = true
+	}
+	for _, want := range []string{"x_a", "x_b", "x_c"} {
+		if !aliases[want] {
+			t.Errorf("missing alias %s: %v", want, aliases)
+		}
+	}
+	if got := r.Where[0].String(); !strings.Contains(got, "x_a.vol") {
+		t.Errorf("condition not renamed: %s", got)
+	}
+	// original untouched
+	if p.Prims()[0].Alias != "a" {
+		t.Error("rename mutated the original")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	p1 := MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	p2 := MustParse("PATTERN SEQ(C a, D b) WHERE a.vol < b.vol WITHIN 10")
+	c := Combine("both", p1, p2)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("combined pattern invalid: %v", err)
+	}
+	if c.Root.Kind != KindDisj || len(c.Root.Children) != 2 {
+		t.Fatalf("combined root = %v", c.Root.Kind)
+	}
+	if len(c.Where) != 2 {
+		t.Errorf("combined conditions = %d, want 2", len(c.Where))
+	}
+}
+
+func TestCombineWindowMismatchPanics(t *testing.T) {
+	p1 := MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	p2 := MustParse("PATTERN SEQ(C c, D d) WITHIN 20")
+	defer func() {
+		if recover() == nil {
+			t.Error("window mismatch accepted")
+		}
+	}()
+	Combine("bad", p1, p2)
+}

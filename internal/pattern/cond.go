@@ -1,0 +1,184 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dlacep/internal/event"
+)
+
+// Ref names one attribute of one pattern alias, e.g. a.vol.
+type Ref struct {
+	Alias string
+	Attr  string
+}
+
+func (r Ref) String() string { return r.Alias + "." + r.Attr }
+
+// Lookup resolves an alias to its currently bound event. It returns false
+// while the alias is unbound; condition evaluation is only attempted once
+// every referenced alias is bound (incremental predicate checking).
+type Lookup func(alias string) (*event.Event, bool)
+
+// Condition is a boolean predicate over bound pattern aliases — one entry of
+// the WHERE clause. Implementations must be pure.
+type Condition interface {
+	// Aliases returns the aliases the condition references, sorted and
+	// deduplicated. Engines use this to decide when the condition becomes
+	// checkable.
+	Aliases() []string
+	// Eval evaluates the condition. All referenced aliases must be bound.
+	Eval(s *event.Schema, look Lookup) bool
+	// String renders the condition in the WHERE-clause syntax.
+	String() string
+}
+
+func sortedUnique(as ...string) []string {
+	sort.Strings(as)
+	out := as[:0]
+	for i, a := range as {
+		if i == 0 || a != as[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func mustBound(look Lookup, alias string) *event.Event {
+	e, ok := look(alias)
+	if !ok {
+		panic(fmt.Sprintf("pattern: condition evaluated with unbound alias %q", alias))
+	}
+	return e
+}
+
+// RatioRange is the paper's canonical stock condition
+// Lo·X.attr < Y.attr < Hi·X.attr (Table 1). Either bound may be infinite:
+// Lo = -Inf or Hi = +Inf yield one-sided conditions such as γ·l.vol < m.vol.
+type RatioRange struct {
+	Lo float64
+	X  Ref
+	Y  Ref
+	Hi float64
+}
+
+// Ratio returns the condition lo·x < y < hi·x over the given attribute refs.
+func Ratio(lo float64, x Ref, y Ref, hi float64) RatioRange {
+	return RatioRange{Lo: lo, X: x, Y: y, Hi: hi}
+}
+
+func (c RatioRange) Aliases() []string { return sortedUnique(c.X.Alias, c.Y.Alias) }
+
+func (c RatioRange) Eval(s *event.Schema, look Lookup) bool {
+	x := mustBound(look, c.X.Alias).Attr(s, c.X.Attr)
+	y := mustBound(look, c.Y.Alias).Attr(s, c.Y.Attr)
+	if !math.IsInf(c.Lo, -1) && !(c.Lo*x < y) {
+		return false
+	}
+	if !math.IsInf(c.Hi, 1) && !(y < c.Hi*x) {
+		return false
+	}
+	return true
+}
+
+func (c RatioRange) String() string {
+	switch {
+	case math.IsInf(c.Lo, -1) && math.IsInf(c.Hi, 1):
+		return "true"
+	case math.IsInf(c.Lo, -1):
+		return fmt.Sprintf("%v < %g * %v", c.Y, c.Hi, c.X)
+	case math.IsInf(c.Hi, 1):
+		return fmt.Sprintf("%g * %v < %v", c.Lo, c.X, c.Y)
+	default:
+		return fmt.Sprintf("%g * %v < %v < %g * %v", c.Lo, c.X, c.Y, c.Hi, c.X)
+	}
+}
+
+// AbsRange bounds a single attribute by constants: Lo < Y.attr < Hi.
+type AbsRange struct {
+	Lo float64
+	Y  Ref
+	Hi float64
+}
+
+func (c AbsRange) Aliases() []string { return []string{c.Y.Alias} }
+
+func (c AbsRange) Eval(s *event.Schema, look Lookup) bool {
+	y := mustBound(look, c.Y.Alias).Attr(s, c.Y.Attr)
+	if !math.IsInf(c.Lo, -1) && !(c.Lo < y) {
+		return false
+	}
+	if !math.IsInf(c.Hi, 1) && !(y < c.Hi) {
+		return false
+	}
+	return true
+}
+
+func (c AbsRange) String() string {
+	switch {
+	case math.IsInf(c.Lo, -1):
+		return fmt.Sprintf("%v < %g", c.Y, c.Hi)
+	case math.IsInf(c.Hi, 1):
+		return fmt.Sprintf("%v > %g", c.Y, c.Lo)
+	default:
+		return fmt.Sprintf("%g < %v < %g", c.Lo, c.Y, c.Hi)
+	}
+}
+
+// Cmp compares two attribute references with one of <, <=, >, >=, ==, !=.
+type Cmp struct {
+	X  Ref
+	Op string
+	Y  Ref
+}
+
+func (c Cmp) Aliases() []string { return sortedUnique(c.X.Alias, c.Y.Alias) }
+
+func (c Cmp) Eval(s *event.Schema, look Lookup) bool {
+	x := mustBound(look, c.X.Alias).Attr(s, c.X.Attr)
+	y := mustBound(look, c.Y.Alias).Attr(s, c.Y.Attr)
+	switch c.Op {
+	case "<":
+		return x < y
+	case "<=":
+		return x <= y
+	case ">":
+		return x > y
+	case ">=":
+		return x >= y
+	case "==":
+		return x == y
+	case "!=":
+		return x != y
+	default:
+		panic(fmt.Sprintf("pattern: unknown comparison operator %q", c.Op))
+	}
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("%v %s %v", c.X, c.Op, c.Y) }
+
+// Fn is an escape hatch for arbitrary binary predicates; Desc documents the
+// predicate for String(). Sel, when non-zero, is the predicate's selectivity
+// hint used by the ZStream cost model when statistics are unavailable.
+type Fn struct {
+	X, Y Ref
+	Pred func(x, y float64) bool
+	Desc string
+	Sel  float64
+}
+
+func (c Fn) Aliases() []string { return sortedUnique(c.X.Alias, c.Y.Alias) }
+
+func (c Fn) Eval(s *event.Schema, look Lookup) bool {
+	x := mustBound(look, c.X.Alias).Attr(s, c.X.Attr)
+	y := mustBound(look, c.Y.Alias).Attr(s, c.Y.Attr)
+	return c.Pred(x, y)
+}
+
+func (c Fn) String() string {
+	if c.Desc != "" {
+		return c.Desc
+	}
+	return fmt.Sprintf("fn(%v, %v)", c.X, c.Y)
+}

@@ -1,0 +1,206 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+
+	"dlacep/internal/event"
+)
+
+// Expr is an arithmetic expression over event attributes and constants,
+// enabling WHERE clauses beyond the classical scaled-ratio shape, e.g.
+// a.vol + b.vol < 2 * c.vol or abs(a.vol - b.vol) < 0.5.
+type Expr interface {
+	// EvalExpr computes the value; ok is false if a referenced alias is
+	// unbound.
+	EvalExpr(s *event.Schema, look Lookup) (v float64, ok bool)
+	// ExprAliases lists referenced aliases (with duplicates).
+	ExprAliases() []string
+	// String renders the expression in the query language.
+	String() string
+	// renameExpr rewrites alias references.
+	renameExpr(ren func(string) string) Expr
+}
+
+// ConstExpr is a numeric literal.
+type ConstExpr float64
+
+// EvalExpr returns the constant.
+func (c ConstExpr) EvalExpr(*event.Schema, Lookup) (float64, bool) { return float64(c), true }
+
+// ExprAliases returns nil.
+func (c ConstExpr) ExprAliases() []string { return nil }
+
+func (c ConstExpr) String() string                      { return fmt.Sprintf("%g", float64(c)) }
+func (c ConstExpr) renameExpr(func(string) string) Expr { return c }
+
+// AttrExpr references one attribute of one alias.
+type AttrExpr struct{ Ref Ref }
+
+// EvalExpr resolves the attribute.
+func (a AttrExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
+	e, ok := look(a.Ref.Alias)
+	if !ok {
+		return 0, false
+	}
+	return e.Attr(s, a.Ref.Attr), true
+}
+
+// ExprAliases returns the single alias.
+func (a AttrExpr) ExprAliases() []string { return []string{a.Ref.Alias} }
+
+func (a AttrExpr) String() string { return a.Ref.String() }
+func (a AttrExpr) renameExpr(ren func(string) string) Expr {
+	return AttrExpr{Ref: Ref{Alias: ren(a.Ref.Alias), Attr: a.Ref.Attr}}
+}
+
+// BinExpr combines two expressions with +, -, *, or /.
+type BinExpr struct {
+	L  Expr
+	Op byte
+	R  Expr
+}
+
+// EvalExpr applies the operator; division by zero yields ±Inf like Go.
+func (b BinExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
+	l, ok := b.L.EvalExpr(s, look)
+	if !ok {
+		return 0, false
+	}
+	r, ok := b.R.EvalExpr(s, look)
+	if !ok {
+		return 0, false
+	}
+	switch b.Op {
+	case '+':
+		return l + r, true
+	case '-':
+		return l - r, true
+	case '*':
+		return l * r, true
+	case '/':
+		return l / r, true
+	default:
+		panic(fmt.Sprintf("pattern: unknown arithmetic operator %q", b.Op))
+	}
+}
+
+// ExprAliases concatenates both sides' aliases.
+func (b BinExpr) ExprAliases() []string {
+	return append(b.L.ExprAliases(), b.R.ExprAliases()...)
+}
+
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}
+
+func (b BinExpr) renameExpr(ren func(string) string) Expr {
+	return BinExpr{L: b.L.renameExpr(ren), Op: b.Op, R: b.R.renameExpr(ren)}
+}
+
+// FuncExpr applies a built-in unary function: abs, log, exp, sqrt, or neg.
+type FuncExpr struct {
+	Name string
+	Arg  Expr
+}
+
+var exprFuncs = map[string]func(float64) float64{
+	"abs":  math.Abs,
+	"log":  math.Log,
+	"exp":  math.Exp,
+	"sqrt": math.Sqrt,
+	"neg":  func(x float64) float64 { return -x },
+}
+
+// EvalExpr applies the function.
+func (f FuncExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
+	fn, ok := exprFuncs[f.Name]
+	if !ok {
+		panic(fmt.Sprintf("pattern: unknown function %q", f.Name))
+	}
+	v, ok := f.Arg.EvalExpr(s, look)
+	if !ok {
+		return 0, false
+	}
+	return fn(v), true
+}
+
+// ExprAliases delegates to the argument.
+func (f FuncExpr) ExprAliases() []string { return f.Arg.ExprAliases() }
+
+func (f FuncExpr) String() string { return fmt.Sprintf("%s(%s)", f.Name, f.Arg) }
+func (f FuncExpr) renameExpr(ren func(string) string) Expr {
+	return FuncExpr{Name: f.Name, Arg: f.Arg.renameExpr(ren)}
+}
+
+// ExprCond compares two arithmetic expressions — the general form of a
+// WHERE predicate. Simple shapes (scaled ratios, absolute bounds) should
+// prefer RatioRange/AbsRange/Cmp, which cost models understand natively.
+type ExprCond struct {
+	L  Expr
+	Op string // < <= > >= == !=
+	R  Expr
+}
+
+// Aliases returns the sorted unique alias set.
+func (c ExprCond) Aliases() []string {
+	return sortedUnique(append(c.L.ExprAliases(), c.R.ExprAliases()...)...)
+}
+
+// Eval compares the two sides. All aliases must be bound.
+func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
+	l, ok := c.L.EvalExpr(s, look)
+	if !ok {
+		panic("pattern: ExprCond evaluated with unbound alias")
+	}
+	r, ok := c.R.EvalExpr(s, look)
+	if !ok {
+		panic("pattern: ExprCond evaluated with unbound alias")
+	}
+	switch c.Op {
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	default:
+		panic(fmt.Sprintf("pattern: unknown comparison %q", c.Op))
+	}
+}
+
+func (c ExprCond) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// exprAttrSet collects attribute names referenced by an expression.
+func exprAttrSet(e Expr, set map[string]bool) {
+	switch e := e.(type) {
+	case AttrExpr:
+		set[e.Ref.Attr] = true
+	case BinExpr:
+		exprAttrSet(e.L, set)
+		exprAttrSet(e.R, set)
+	case FuncExpr:
+		exprAttrSet(e.Arg, set)
+	}
+}
+
+// RenameExprCond rewrites an ExprCond's alias references through the given
+// map (identity for missing entries). Exported for engines that
+// canonicalize conditions, e.g. the shared multi-pattern trie.
+func RenameExprCond(c ExprCond, renames map[string]string) ExprCond {
+	ren := func(a string) string {
+		if r, ok := renames[a]; ok {
+			return r
+		}
+		return a
+	}
+	return ExprCond{L: c.L.renameExpr(ren), Op: c.Op, R: c.R.renameExpr(ren)}
+}

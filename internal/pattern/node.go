@@ -1,0 +1,164 @@
+// Package pattern defines the CEP pattern model used throughout the
+// repository: the operator tree (SEQ, CONJ, DISJ, Kleene closure, negation,
+// primitive events), predicate conditions of the WHERE clause, and window
+// specifications. It covers all operators supported by DLACEP (Section 2.1
+// of the paper) under the skip-till-any-match selection strategy.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates operator node kinds.
+type Kind int
+
+const (
+	// KindPrim is a primitive event slot with an alias and a type set.
+	KindPrim Kind = iota
+	// KindSeq requires its children to match in stream order.
+	KindSeq
+	// KindConj requires its children to match in any order.
+	KindConj
+	// KindDisj matches if any single child matches.
+	KindDisj
+	// KindKleene matches one or more repetitions of its child (KC operator).
+	KindKleene
+	// KindNeg forbids its child from matching within the enclosing scope.
+	// Negation may only appear as a direct child of a SEQ node.
+	KindNeg
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPrim:
+		return "PRIM"
+	case KindSeq:
+		return "SEQ"
+	case KindConj:
+		return "CONJ"
+	case KindDisj:
+		return "DISJ"
+	case KindKleene:
+		return "KC"
+	case KindNeg:
+		return "NEG"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is one operator in the pattern tree. A single concrete type (rather
+// than an interface hierarchy) keeps the evaluation engines simple: they
+// switch on Kind.
+type Node struct {
+	Kind     Kind
+	Alias    string   // KindPrim: binding name, unique across the pattern
+	Types    []string // KindPrim: acceptable event types (sorted, non-empty)
+	Children []*Node
+
+	// Where holds conditions scoped to aliases inside this subtree. They are
+	// evaluated whenever an instance of the subtree completes; for a Kleene
+	// node they are evaluated once per iteration. Top-level conditions
+	// belong on Pattern.Where.
+	Where []Condition
+
+	// KMin and KMax bound Kleene repetitions; KMax == 0 means unbounded.
+	// The paper's KC operator is KMin=1, KMax=0.
+	KMin, KMax int
+}
+
+// Prim constructs a primitive event slot accepting the given event types.
+func Prim(alias string, types ...string) *Node {
+	ts := append([]string(nil), types...)
+	sort.Strings(ts)
+	return &Node{Kind: KindPrim, Alias: alias, Types: ts}
+}
+
+// Seq constructs an ordered sequence over children.
+func Seq(children ...*Node) *Node { return &Node{Kind: KindSeq, Children: children} }
+
+// Conj constructs an unordered conjunction over children.
+func Conj(children ...*Node) *Node { return &Node{Kind: KindConj, Children: children} }
+
+// Disj constructs a disjunction over children.
+func Disj(children ...*Node) *Node { return &Node{Kind: KindDisj, Children: children} }
+
+// KC constructs a one-or-more Kleene closure over child.
+func KC(child *Node) *Node {
+	return &Node{Kind: KindKleene, Children: []*Node{child}, KMin: 1}
+}
+
+// KCBounded constructs a Kleene closure with explicit repetition bounds.
+func KCBounded(child *Node, min, max int) *Node {
+	return &Node{Kind: KindKleene, Children: []*Node{child}, KMin: min, KMax: max}
+}
+
+// Neg constructs a negation of child.
+func Neg(child *Node) *Node { return &Node{Kind: KindNeg, Children: []*Node{child}} }
+
+// With attaches subtree-scoped conditions and returns the node for chaining.
+func (n *Node) With(conds ...Condition) *Node {
+	n.Where = append(n.Where, conds...)
+	return n
+}
+
+// AcceptsType reports whether a primitive node accepts the given event type.
+func (n *Node) AcceptsType(t string) bool {
+	i := sort.SearchStrings(n.Types, t)
+	return i < len(n.Types) && n.Types[i] == t
+}
+
+// Walk calls fn for every node in the subtree in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Prims returns all primitive nodes in the subtree in left-to-right order.
+func (n *Node) Prims() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) {
+		if m.Kind == KindPrim {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// String renders the subtree in the pattern language accepted by Parse.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.format(&b)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder) {
+	switch n.Kind {
+	case KindPrim:
+		b.WriteString(strings.Join(n.Types, "|"))
+		b.WriteByte(' ')
+		b.WriteString(n.Alias)
+	case KindKleene:
+		b.WriteString("KC(")
+		n.Children[0].format(b)
+		b.WriteByte(')')
+	case KindNeg:
+		b.WriteString("NEG(")
+		n.Children[0].format(b)
+		b.WriteByte(')')
+	default:
+		b.WriteString(n.Kind.String())
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.format(b)
+		}
+		b.WriteByte(')')
+	}
+}

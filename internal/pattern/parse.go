@@ -1,0 +1,475 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse compiles a textual pattern specification, e.g.
+//
+//	PATTERN SEQ(GOOG a, AAPL b, MSFT c, INTC d, AMZN e)
+//	WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * c.vol AND 3 * e.vol < d.vol
+//	WITHIN 60
+//
+// The operator grammar supports arbitrary nesting of SEQ, CONJ, DISJ, KC and
+// NEG; primitives are written "TYPE alias" or "TYPE1|TYPE2 alias". WHERE
+// accepts AND-separated comparison chains over optionally scaled attribute
+// references and constants. WITHIN takes a count window size; append TIME
+// for a time-based window. Subtree-scoped conditions (per-iteration Kleene
+// predicates) are only expressible through the programmatic API.
+func Parse(src string) (*Pattern, error) {
+	p := &parser{lex: newLexer(src)}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("pattern: parsing %q: %w", src, err)
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error, for static pattern literals.
+func MustParse(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // ( ) , . * |
+	tokOp    // < <= > >= == !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	i    int
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.tokenize()
+	return l
+}
+
+func (l *lexer) tokenize() {
+	s := l.src
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '|':
+			l.toks = append(l.toks, token{tokPunct, string(c), i})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			l.toks = append(l.toks, token{tokOp, s[i:j], i})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i + 1
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				(s[j] == '-' || s[j] == '+') && (s[j-1] == 'e' || s[j-1] == 'E')) {
+				j++
+			}
+			// A trailing '.' belongs to an attribute access, not the number.
+			if s[j-1] == '.' {
+				j--
+			}
+			l.toks = append(l.toks, token{tokNumber, s[i:j], i})
+			i = j
+		case c == '_' || unicode.IsLetter(rune(c)):
+			j := i + 1
+			for j < len(s) && (s[j] == '_' || unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j]))) {
+				j++
+			}
+			l.toks = append(l.toks, token{tokIdent, s[i:j], i})
+			i = j
+		default:
+			l.toks = append(l.toks, token{tokPunct, string(c), i})
+			i++
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(s)})
+}
+
+func (l *lexer) peek() token { return l.toks[l.i] }
+func (l *lexer) next() token {
+	t := l.toks[l.i]
+	if t.kind != tokEOF {
+		l.i++
+	}
+	return t
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", t.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.lex.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, word) {
+		return p.errf(t, "expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(ch string) error {
+	t := p.lex.next()
+	if t.kind != tokPunct || t.text != ch {
+		return p.errf(t, "expected %q, got %q", ch, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parsePattern() (*Pattern, error) {
+	if err := p.expectIdent("PATTERN"); err != nil {
+		return nil, err
+	}
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	pat := &Pattern{Root: root}
+	if t := p.lex.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "WHERE") {
+		p.lex.next()
+		if pat.Where, err = p.parseWhere(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectIdent("WITHIN"); err != nil {
+		return nil, err
+	}
+	t := p.lex.next()
+	if t.kind != tokNumber {
+		return nil, p.errf(t, "expected window size, got %q", t.text)
+	}
+	size, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return nil, p.errf(t, "invalid window size %q", t.text)
+	}
+	pat.Window = Window{Kind: CountWindow, Size: size}
+	if t := p.lex.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "TIME") {
+		p.lex.next()
+		pat.Window.Kind = TimeWindow
+	}
+	if t := p.lex.next(); t.kind != tokEOF {
+		return nil, p.errf(t, "trailing input %q", t.text)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseNode() (*Node, error) {
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected operator or event type, got %q", t.text)
+	}
+	upper := strings.ToUpper(t.text)
+	if op, ok := map[string]Kind{"SEQ": KindSeq, "CONJ": KindConj, "DISJ": KindDisj, "KC": KindKleene, "NEG": KindNeg}[upper]; ok && p.lex.peek().text == "(" {
+		p.lex.next() // consume '('
+		var children []*Node
+		for {
+			c, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+			nt := p.lex.next()
+			if nt.text == ")" {
+				break
+			}
+			if nt.text != "," {
+				return nil, p.errf(nt, "expected ',' or ')', got %q", nt.text)
+			}
+		}
+		n := &Node{Kind: op, Children: children}
+		if op == KindKleene {
+			n.KMin = 1
+		}
+		return n, nil
+	}
+	// Primitive: TYPE[|TYPE...] alias
+	types := []string{t.text}
+	for p.lex.peek().text == "|" {
+		p.lex.next()
+		tt := p.lex.next()
+		if tt.kind != tokIdent {
+			return nil, p.errf(tt, "expected event type after '|', got %q", tt.text)
+		}
+		types = append(types, tt.text)
+	}
+	at := p.lex.next()
+	if at.kind != tokIdent {
+		return nil, p.errf(at, "expected alias after type %q, got %q", t.text, at.text)
+	}
+	return Prim(at.text, types...), nil
+}
+
+// term is one side of a comparison: either a constant, or scale·alias.attr.
+// The parser reduces simple expressions to terms so classical conditions
+// (RatioRange/AbsRange/Cmp) are produced where cost models understand them;
+// anything richer becomes a general ExprCond.
+type term struct {
+	isConst bool
+	val     float64 // constant value, or scale factor
+	ref     Ref
+}
+
+// parseExpr parses additive arithmetic: mul (('+'|'-') mul)*.
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.lex.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{L: l, Op: t.text[0], R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+// parseMul parses factor (('*'|'/') factor)*.
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.peek()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/") {
+			p.lex.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = BinExpr{L: l, Op: t.text[0], R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+// parseFactor parses a number, attribute reference, function call, unary
+// minus, or a parenthesized expression.
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.lex.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(t, "invalid number %q", t.text)
+		}
+		return ConstExpr(v), nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "-":
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return FuncExpr{Name: "neg", Arg: e}, nil
+	case t.kind == tokIdent:
+		if _, isFn := exprFuncs[t.text]; isFn && p.lex.peek().text == "(" {
+			p.lex.next()
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return FuncExpr{Name: t.text, Arg: arg}, nil
+		}
+		ref, err := p.parseRefTail(t)
+		if err != nil {
+			return nil, err
+		}
+		return AttrExpr{Ref: ref}, nil
+	default:
+		return nil, p.errf(t, "expected expression, got %q", t.text)
+	}
+}
+
+// reduceTerm recognizes const, ref, const*ref and ref*const shapes.
+func reduceTerm(e Expr) (term, bool) {
+	switch e := e.(type) {
+	case ConstExpr:
+		return term{isConst: true, val: float64(e)}, true
+	case AttrExpr:
+		return term{val: 1, ref: e.Ref}, true
+	case BinExpr:
+		if e.Op != '*' {
+			return term{}, false
+		}
+		if c, ok := e.L.(ConstExpr); ok {
+			if a, ok := e.R.(AttrExpr); ok {
+				return term{val: float64(c), ref: a.Ref}, true
+			}
+		}
+		if c, ok := e.R.(ConstExpr); ok {
+			if a, ok := e.L.(AttrExpr); ok {
+				return term{val: float64(c), ref: a.Ref}, true
+			}
+		}
+	}
+	return term{}, false
+}
+
+func (p *parser) parseRefTail(aliasTok token) (Ref, error) {
+	if err := p.expectPunct("."); err != nil {
+		return Ref{}, err
+	}
+	at := p.lex.next()
+	if at.kind != tokIdent {
+		return Ref{}, p.errf(at, "expected attribute name, got %q", at.text)
+	}
+	return Ref{Alias: aliasTok.text, Attr: at.text}, nil
+}
+
+func (p *parser) parseWhere() ([]Condition, error) {
+	var conds []Condition
+	for {
+		chain, err := p.parseChain()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, chain...)
+		if t := p.lex.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "AND") {
+			p.lex.next()
+			continue
+		}
+		return conds, nil
+	}
+}
+
+// parseChain parses e1 OP e2 [OP e3 ...], emitting one condition per
+// adjacent pair. Pairs whose sides are simple (const / scaled-ref) reduce
+// to the classical condition types; richer arithmetic yields ExprCond.
+func (p *parser) parseChain() ([]Condition, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var conds []Condition
+	for first := true; ; first = false {
+		t := p.lex.peek()
+		if t.kind != tokOp {
+			if first {
+				return nil, p.errf(t, "expected comparison operator, got %q", t.text)
+			}
+			return conds, nil
+		}
+		p.lex.next()
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var c Condition
+		lt, lok := reduceTerm(left)
+		rt, rok := reduceTerm(right)
+		if lok && rok {
+			c, err = makeCondition(lt, t.text, rt)
+			if err != nil {
+				return nil, p.errf(t, "%v", err)
+			}
+		} else {
+			c = ExprCond{L: left, Op: t.text, R: right}
+			if len(c.Aliases()) == 0 {
+				return nil, p.errf(t, "comparison references no event attributes")
+			}
+		}
+		conds = append(conds, c)
+		left = right
+	}
+}
+
+func makeCondition(l term, op string, r term) (Condition, error) {
+	inf := math.Inf(1)
+	switch {
+	case l.isConst && r.isConst:
+		return nil, fmt.Errorf("comparison between two constants")
+	case l.isConst: // const OP scale·ref  ->  bound on ref
+		if r.val == 0 {
+			return nil, fmt.Errorf("zero scale factor")
+		}
+		v := l.val / r.val
+		switch op {
+		case "<", "<=":
+			return AbsRange{Lo: v, Y: r.ref, Hi: inf}, nil
+		case ">", ">=":
+			return AbsRange{Lo: -inf, Y: r.ref, Hi: v}, nil
+		}
+		return nil, fmt.Errorf("operator %q not supported with constants", op)
+	case r.isConst:
+		if l.val == 0 {
+			return nil, fmt.Errorf("zero scale factor")
+		}
+		v := r.val / l.val
+		switch op {
+		case "<", "<=":
+			return AbsRange{Lo: -inf, Y: l.ref, Hi: v}, nil
+		case ">", ">=":
+			return AbsRange{Lo: v, Y: l.ref, Hi: inf}, nil
+		}
+		return nil, fmt.Errorf("operator %q not supported with constants", op)
+	default: // scale·ref OP scale·ref
+		switch op {
+		case "<", "<=": // l.val·X < r.val·Y  ->  (l.val/r.val)·X < Y
+			if r.val <= 0 {
+				return nil, fmt.Errorf("scale factors must be positive")
+			}
+			return Ratio(l.val/r.val, l.ref, r.ref, inf), nil
+		case ">", ">=":
+			if l.val <= 0 {
+				return nil, fmt.Errorf("scale factors must be positive")
+			}
+			return Ratio(r.val/l.val, r.ref, l.ref, inf), nil
+		case "==", "!=":
+			if l.val != 1 || r.val != 1 {
+				return nil, fmt.Errorf("scaled equality not supported")
+			}
+			return Cmp{X: l.ref, Op: op, Y: r.ref}, nil
+		}
+		return nil, fmt.Errorf("unknown operator %q", op)
+	}
+}

@@ -1,0 +1,312 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WindowKind distinguishes count-based from time-based windows (Figure 3).
+type WindowKind int
+
+const (
+	// CountWindow contexts contain exactly W consecutive events.
+	CountWindow WindowKind = iota
+	// TimeWindow contexts contain all events within W time units.
+	TimeWindow
+)
+
+func (k WindowKind) String() string {
+	if k == TimeWindow {
+		return "TIME"
+	}
+	return "COUNT"
+}
+
+// Window is the WITHIN clause: the maximal extent of a match.
+type Window struct {
+	Kind WindowKind
+	Size int64
+}
+
+// Count returns a count-based window of w events.
+func Count(w int) Window { return Window{Kind: CountWindow, Size: int64(w)} }
+
+// Time returns a time-based window of d time units.
+func Time(d int64) Window { return Window{Kind: TimeWindow, Size: d} }
+
+// SelectionStrategy documents how events are selected and consumed. The
+// paper exclusively uses skip-till-any-match, the most permissive and
+// computationally hardest strategy [3]; the engine additionally implements
+// the two cheaper classical policies for sequence-of-primitives patterns so
+// the cost gap DLACEP attacks can be measured directly.
+type SelectionStrategy int
+
+const (
+	// SkipTillAnyMatch poses no restrictions on event inclusion: every
+	// qualifying combination is a match (worst-case exponential).
+	SkipTillAnyMatch SelectionStrategy = iota
+	// SkipTillNextMatch advances each partial match with the first
+	// qualifying event only; irrelevant events are skipped.
+	SkipTillNextMatch
+	// StrictContiguity requires pattern events to be adjacent in the
+	// stream; any intervening event discards the partial match.
+	StrictContiguity
+)
+
+func (s SelectionStrategy) String() string {
+	switch s {
+	case SkipTillAnyMatch:
+		return "skip-till-any-match"
+	case SkipTillNextMatch:
+		return "skip-till-next-match"
+	case StrictContiguity:
+		return "strict-contiguity"
+	default:
+		return fmt.Sprintf("SelectionStrategy(%d)", int(s))
+	}
+}
+
+// Pattern is a complete monitored pattern: operator tree, global WHERE
+// conditions, and window.
+type Pattern struct {
+	Name     string
+	Root     *Node
+	Where    []Condition
+	Window   Window
+	Strategy SelectionStrategy
+}
+
+// New assembles a pattern and validates it, panicking on structural errors.
+// Patterns are static configuration; constructing an invalid one is a
+// programming error, mirroring regexp.MustCompile.
+func New(name string, root *Node, window Window, where ...Condition) *Pattern {
+	p := &Pattern{Name: name, Root: root, Where: where, Window: window}
+	if err := p.Validate(); err != nil {
+		panic("pattern: " + err.Error())
+	}
+	return p
+}
+
+// Validate checks the structural invariants evaluation engines rely on.
+func (p *Pattern) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("pattern %q: nil root", p.Name)
+	}
+	if p.Window.Size <= 0 {
+		return fmt.Errorf("pattern %q: window size must be positive, got %d", p.Name, p.Window.Size)
+	}
+	if p.Root.Kind == KindNeg {
+		return fmt.Errorf("pattern %q: negation cannot be the top-level operator", p.Name)
+	}
+	seen := map[string]bool{}
+	var err error
+	p.Root.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		switch n.Kind {
+		case KindPrim:
+			if n.Alias == "" {
+				err = fmt.Errorf("pattern %q: primitive with empty alias", p.Name)
+			} else if seen[n.Alias] {
+				err = fmt.Errorf("pattern %q: duplicate alias %q", p.Name, n.Alias)
+			} else if len(n.Types) == 0 {
+				err = fmt.Errorf("pattern %q: primitive %q accepts no event types", p.Name, n.Alias)
+			}
+			seen[n.Alias] = true
+			if len(n.Children) != 0 {
+				err = fmt.Errorf("pattern %q: primitive %q has children", p.Name, n.Alias)
+			}
+		case KindSeq, KindConj, KindDisj:
+			if len(n.Children) == 0 {
+				err = fmt.Errorf("pattern %q: %v operator with no children", p.Name, n.Kind)
+			}
+		case KindKleene:
+			if len(n.Children) != 1 {
+				err = fmt.Errorf("pattern %q: KC must have exactly one child", p.Name)
+			} else if n.KMin < 1 {
+				err = fmt.Errorf("pattern %q: KC minimum repetitions %d < 1", p.Name, n.KMin)
+			} else if n.KMax != 0 && n.KMax < n.KMin {
+				err = fmt.Errorf("pattern %q: KC bounds [%d,%d] invalid", p.Name, n.KMin, n.KMax)
+			}
+		case KindNeg:
+			if len(n.Children) != 1 {
+				err = fmt.Errorf("pattern %q: NEG must have exactly one child", p.Name)
+			}
+		}
+		if n.Kind != KindSeq {
+			for _, c := range n.Children {
+				if c.Kind == KindNeg {
+					err = fmt.Errorf("pattern %q: NEG may only appear directly under SEQ, found under %v", p.Name, n.Kind)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Negated subtrees must not themselves contain negation or Kleene:
+	// engines validate negative components by searching for one occurrence,
+	// which is only well-defined for positive, finite sub-patterns.
+	p.Root.Walk(func(n *Node) {
+		if err != nil || n.Kind != KindNeg {
+			return
+		}
+		n.Children[0].Walk(func(m *Node) {
+			if m.Kind == KindNeg {
+				err = fmt.Errorf("pattern %q: nested negation is not supported", p.Name)
+			}
+			if m.Kind == KindKleene {
+				err = fmt.Errorf("pattern %q: Kleene closure under negation is not supported", p.Name)
+			}
+		})
+	})
+	if err != nil {
+		return err
+	}
+	// Every alias referenced by a condition must exist; subtree-scoped
+	// conditions must only reference aliases of their subtree.
+	check := func(scope *Node, conds []Condition, where string) {
+		inScope := map[string]bool{}
+		for _, pr := range scope.Prims() {
+			inScope[pr.Alias] = true
+		}
+		for _, c := range conds {
+			for _, a := range c.Aliases() {
+				if err != nil {
+					return
+				}
+				if !inScope[a] {
+					err = fmt.Errorf("pattern %q: condition %v references alias %q outside %s", p.Name, c, a, where)
+				}
+			}
+		}
+	}
+	check(p.Root, p.Where, "the pattern")
+	p.Root.Walk(func(n *Node) {
+		if len(n.Where) > 0 {
+			check(n, n.Where, fmt.Sprintf("subtree %v", n.Kind))
+		}
+	})
+	return err
+}
+
+// Prims returns all primitive nodes in left-to-right order, including those
+// under negation and Kleene operators.
+func (p *Pattern) Prims() []*Node { return p.Root.Prims() }
+
+// PositivePrims returns primitives not under a negation operator.
+func (p *Pattern) PositivePrims() []*Node {
+	var out []*Node
+	var walk func(n *Node, neg bool)
+	walk = func(n *Node, neg bool) {
+		if n.Kind == KindNeg {
+			neg = true
+		}
+		if n.Kind == KindPrim && !neg {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c, neg)
+		}
+	}
+	walk(p.Root, false)
+	return out
+}
+
+// NegPrims returns primitives under a negation operator.
+func (p *Pattern) NegPrims() []*Node {
+	var out []*Node
+	var walk func(n *Node, neg bool)
+	walk = func(n *Node, neg bool) {
+		if n.Kind == KindNeg {
+			neg = true
+		}
+		if n.Kind == KindPrim && neg {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c, neg)
+		}
+	}
+	walk(p.Root, false)
+	return out
+}
+
+// HasNegation reports whether the pattern contains a NEG operator. Negation
+// patterns are the only ones on which DLACEP may emit false positives
+// (Section 4.4), so they are scored with F1 instead of recall.
+func (p *Pattern) HasNegation() bool { return len(p.NegPrims()) > 0 }
+
+// TypeSet returns every event type mentioned anywhere in the pattern,
+// sorted. This drives the compact one-hot embedding (Section 4.3) and the
+// type prefilter ablation.
+func (p *Pattern) TypeSet() []string {
+	set := map[string]bool{}
+	for _, pr := range p.Prims() {
+		for _, t := range pr.Types {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrSet returns every attribute name referenced by any condition, sorted.
+func (p *Pattern) AttrSet() []string {
+	set := map[string]bool{}
+	add := func(conds []Condition) {
+		for _, c := range conds {
+			switch c := c.(type) {
+			case RatioRange:
+				set[c.X.Attr] = true
+				set[c.Y.Attr] = true
+			case AbsRange:
+				set[c.Y.Attr] = true
+			case Cmp:
+				set[c.X.Attr] = true
+				set[c.Y.Attr] = true
+			case Fn:
+				set[c.X.Attr] = true
+				set[c.Y.Attr] = true
+			case ExprCond:
+				exprAttrSet(c.L, set)
+				exprAttrSet(c.R, set)
+			}
+		}
+	}
+	add(p.Where)
+	p.Root.Walk(func(n *Node) { add(n.Where) })
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the pattern in the language accepted by Parse.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("PATTERN ")
+	b.WriteString(p.Root.String())
+	if len(p.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range p.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	fmt.Fprintf(&b, " WITHIN %d", p.Window.Size)
+	if p.Window.Kind == TimeWindow {
+		b.WriteString(" TIME")
+	}
+	return b.String()
+}

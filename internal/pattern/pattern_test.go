@@ -1,0 +1,288 @@
+package pattern
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlacep/internal/event"
+)
+
+func lookupFrom(s *event.Schema, m map[string][]float64) Lookup {
+	events := map[string]*event.Event{}
+	for alias, attrs := range m {
+		events[alias] = &event.Event{Type: "T", Attrs: attrs}
+	}
+	return func(alias string) (*event.Event, bool) {
+		e, ok := events[alias]
+		return e, ok
+	}
+}
+
+func TestRatioRange(t *testing.T) {
+	s := event.NewSchema("vol")
+	c := Ratio(0.5, Ref{"a", "vol"}, Ref{"b", "vol"}, 1.5)
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{10, 9, true},
+		{10, 5.01, true},
+		{10, 5, false}, // strict
+		{10, 15, false},
+		{10, 14.99, true},
+		{10, 4, false},
+		{10, 16, false},
+	}
+	for _, tc := range cases {
+		look := lookupFrom(s, map[string][]float64{"a": {tc.a}, "b": {tc.b}})
+		if got := c.Eval(s, look); got != tc.want {
+			t.Errorf("Ratio(0.5,1.5) a=%v b=%v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRatioRangeOneSided(t *testing.T) {
+	s := event.NewSchema("vol")
+	c := Ratio(3, Ref{"e", "vol"}, Ref{"d", "vol"}, math.Inf(1))
+	look := lookupFrom(s, map[string][]float64{"e": {2}, "d": {7}})
+	if !c.Eval(s, look) {
+		t.Error("3*2 < 7 should hold")
+	}
+	look = lookupFrom(s, map[string][]float64{"e": {3}, "d": {7}})
+	if c.Eval(s, look) {
+		t.Error("3*3 < 7 should fail")
+	}
+}
+
+func TestAbsRange(t *testing.T) {
+	s := event.NewSchema("vol")
+	c := AbsRange{Lo: 1, Y: Ref{"a", "vol"}, Hi: 2}
+	if !c.Eval(s, lookupFrom(s, map[string][]float64{"a": {1.5}})) {
+		t.Error("1 < 1.5 < 2 should hold")
+	}
+	if c.Eval(s, lookupFrom(s, map[string][]float64{"a": {2}})) {
+		t.Error("upper bound should be strict")
+	}
+	if c.Eval(s, lookupFrom(s, map[string][]float64{"a": {1}})) {
+		t.Error("lower bound should be strict")
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	s := event.NewSchema("v")
+	mk := func(op string) Cmp { return Cmp{X: Ref{"x", "v"}, Op: op, Y: Ref{"y", "v"}} }
+	look := lookupFrom(s, map[string][]float64{"x": {1}, "y": {2}})
+	for op, want := range map[string]bool{"<": true, "<=": true, ">": false, ">=": false, "==": false, "!=": true} {
+		if got := mk(op).Eval(s, look); got != want {
+			t.Errorf("1 %s 2 = %v, want %v", op, got, want)
+		}
+	}
+	eq := lookupFrom(s, map[string][]float64{"x": {2}, "y": {2}})
+	for op, want := range map[string]bool{"<": false, "<=": true, ">": false, ">=": true, "==": true, "!=": false} {
+		if got := mk(op).Eval(s, eq); got != want {
+			t.Errorf("2 %s 2 = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestConditionAliases(t *testing.T) {
+	c := Ratio(1, Ref{"b", "vol"}, Ref{"a", "vol"}, 2)
+	if got := c.Aliases(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Aliases = %v, want [a b]", got)
+	}
+	self := Ratio(1, Ref{"a", "vol"}, Ref{"a", "price"}, 2)
+	if got := self.Aliases(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("self Aliases = %v, want [a]", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	w := Count(10)
+	cases := []struct {
+		name string
+		p    *Pattern
+	}{
+		{"nil root", &Pattern{Window: w}},
+		{"bad window", &Pattern{Root: Prim("a", "A"), Window: Count(0)}},
+		{"neg root", &Pattern{Root: Neg(Prim("a", "A")), Window: w}},
+		{"dup alias", &Pattern{Root: Seq(Prim("a", "A"), Prim("a", "B")), Window: w}},
+		{"no types", &Pattern{Root: &Node{Kind: KindPrim, Alias: "a"}, Window: w}},
+		{"empty seq", &Pattern{Root: Seq(), Window: w}},
+		{"neg under conj", &Pattern{Root: Conj(Prim("a", "A"), Neg(Prim("b", "B"))), Window: w}},
+		{"nested neg", &Pattern{Root: Seq(Prim("a", "A"), Neg(Seq(Prim("b", "B"), Neg(Prim("c", "C")))), Prim("d", "D")), Window: w}},
+		{"kc under neg", &Pattern{Root: Seq(Prim("a", "A"), Neg(KC(Prim("b", "B"))), Prim("d", "D")), Window: w}},
+		{"kc min", &Pattern{Root: KCBounded(Prim("a", "A"), 0, 3), Window: w}},
+		{"kc bounds", &Pattern{Root: KCBounded(Prim("a", "A"), 3, 2), Window: w}},
+		{"cond unknown alias", &Pattern{Root: Prim("a", "A"), Window: w,
+			Where: []Condition{Ratio(1, Ref{"z", "v"}, Ref{"a", "v"}, 2)}}},
+		{"scoped cond out of scope", &Pattern{Root: Seq(Prim("a", "A"),
+			KC(Prim("b", "B")).With(Ratio(1, Ref{"a", "v"}, Ref{"b", "v"}, 2))), Window: w}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid pattern", tc.name)
+		}
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := &Pattern{
+		Root: Seq(
+			Prim("a", "A"),
+			Neg(Seq(Prim("n1", "C"), Prim("n2", "D"))),
+			KC(Seq(Prim("k1", "X"), Prim("k2", "Y")).With(Cmp{X: Ref{"k1", "v"}, Op: "<", Y: Ref{"k2", "v"}})),
+			Disj(Prim("d1", "E"), Prim("d2", "F")),
+			Conj(Prim("c1", "G"), Prim("c2", "H")),
+		),
+		Where:  []Condition{Ratio(0.5, Ref{"a", "v"}, Ref{"c1", "v"}, 1.5)},
+		Window: Count(20),
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate rejected valid pattern: %v", err)
+	}
+}
+
+func TestPrimHelpers(t *testing.T) {
+	p := New("t", Seq(
+		Prim("a", "A"),
+		Neg(Prim("n", "C")),
+		Prim("b", "B", "A"),
+	), Count(10))
+	aliases := func(ns []*Node) []string {
+		var out []string
+		for _, n := range ns {
+			out = append(out, n.Alias)
+		}
+		return out
+	}
+	if got := aliases(p.Prims()); !reflect.DeepEqual(got, []string{"a", "n", "b"}) {
+		t.Errorf("Prims = %v", got)
+	}
+	if got := aliases(p.PositivePrims()); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("PositivePrims = %v", got)
+	}
+	if got := aliases(p.NegPrims()); !reflect.DeepEqual(got, []string{"n"}) {
+		t.Errorf("NegPrims = %v", got)
+	}
+	if !p.HasNegation() {
+		t.Error("HasNegation = false")
+	}
+	if got := p.TypeSet(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Errorf("TypeSet = %v", got)
+	}
+}
+
+func TestAcceptsType(t *testing.T) {
+	n := Prim("a", "B", "A", "C")
+	for _, typ := range []string{"A", "B", "C"} {
+		if !n.AcceptsType(typ) {
+			t.Errorf("AcceptsType(%s) = false", typ)
+		}
+	}
+	if n.AcceptsType("D") {
+		t.Error("AcceptsType(D) = true")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"PATTERN SEQ(GOOG a, AAPL b, MSFT c) WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * c.vol WITHIN 60",
+		"PATTERN SEQ(A a, NEG(C c), B b) WITHIN 10",
+		"PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WITHIN 30",
+		"PATTERN KC(SEQ(A a, B b)) WITHIN 30",
+		"PATTERN CONJ(A a, B b, C c) WITHIN 15",
+		"PATTERN SEQ(A|B x, C y) WITHIN 5 TIME",
+		"PATTERN SEQ(A a, B b) WHERE a.vol > 3 AND b.vol < 2 WITHIN 9",
+		"PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < b.vol < 1.5 * a.vol WITHIN 9",
+	}
+	for _, src := range srcs {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("reparse of %q (rendered %q): %v", src, p.String(), err)
+			continue
+		}
+		if p.String() != again.String() {
+			t.Errorf("round trip unstable:\n first %q\nsecond %q", p.String(), again.String())
+		}
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	p := MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * c.vol AND 3 * c.vol < a.vol WITHIN 60")
+	if p.Window != Count(60) {
+		t.Errorf("window = %v", p.Window)
+	}
+	if len(p.Where) != 3 {
+		t.Fatalf("got %d conditions, want 3", len(p.Where))
+	}
+	s := event.NewSchema("vol")
+	look := lookupFrom(s, map[string][]float64{"a": {10}, "b": {7}, "c": {5}})
+	want := []bool{true, true, false} // 5.5<7; 7<7.25; 15<10 fails
+	for i, c := range p.Where {
+		if got := c.Eval(s, look); got != want[i] {
+			t.Errorf("condition %d (%v) = %v, want %v", i, c, got, want[i])
+		}
+	}
+}
+
+func TestParseChainSharedMiddle(t *testing.T) {
+	p := MustParse("PATTERN SEQ(A a, B b) WHERE 0.5 * a.vol < b.vol < 1.5 * a.vol WITHIN 9")
+	if len(p.Where) != 2 {
+		t.Fatalf("chain produced %d conditions, want 2", len(p.Where))
+	}
+	s := event.NewSchema("vol")
+	ok := lookupFrom(s, map[string][]float64{"a": {10}, "b": {10}})
+	for _, c := range p.Where {
+		if !c.Eval(s, ok) {
+			t.Errorf("condition %v should hold for a=10 b=10", c)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	srcs := []string{
+		"",
+		"SEQ(A a) WITHIN 5",
+		"PATTERN SEQ(A a WITHIN 5",
+		"PATTERN SEQ(A a) WHERE WITHIN 5",
+		"PATTERN SEQ(A a) WHERE 1 < 2 WITHIN 5",
+		"PATTERN SEQ(A a) WITHIN",
+		"PATTERN SEQ(A a) WITHIN x",
+		"PATTERN SEQ(A a, A b) WITHIN 5 trailing",
+		"PATTERN SEQ(A a, B a) WITHIN 5",
+		"PATTERN NEG(A a) WITHIN 5",
+		"PATTERN SEQ(A a) WHERE a.vol == 2 WITHIN 5",
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := New("q", Seq(Prim("a", "A"), KC(Prim("k", "K")), Neg(Prim("n", "N")), Prim("b", "B")),
+		Count(25), Ratio(0.5, Ref{"a", "vol"}, Ref{"b", "vol"}, math.Inf(1)))
+	s := p.String()
+	for _, want := range []string{"SEQ(", "KC(", "NEG(", "WHERE", "WITHIN 25", "0.5 * a.vol < b.vol"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid pattern did not panic")
+		}
+	}()
+	New("bad", Neg(Prim("a", "A")), Count(5))
+}

@@ -1,0 +1,283 @@
+// Package queries instantiates the pattern templates of the paper's
+// evaluation: Table 1 (real-world stock templates Q^A_1..Q^A_12, used with
+// the stock dataset of internal/dataset) and Table 2 (synthetic templates
+// Q^B_1..Q^B_3). Template arguments (sequence length j, ticker-set size k,
+// condition bounds α, β, γ, δ) are explicit function parameters so the
+// harness can sweep them exactly as the experiments do.
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+)
+
+func ref(alias string) pattern.Ref { return pattern.Ref{Alias: alias, Attr: "vol"} }
+
+// topK returns the paper's T_k: the k most prevalent ticker identifiers.
+func topK(k int) []string { return dataset.TopTickers(k) }
+
+// band returns T_hi / T_lo: tickers ranked lo+1 .. hi by prevalence.
+func band(lo, hi int) []string {
+	out := make([]string, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, dataset.TickerName(i))
+	}
+	return out
+}
+
+func seqPrims(n int, types []string, prefix string) []*pattern.Node {
+	out := make([]*pattern.Node, n)
+	for i := range out {
+		out[i] = pattern.Prim(fmt.Sprintf("%s%d", prefix, i+1), types...)
+	}
+	return out
+}
+
+func alias(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+// ratioTo builds ∀i∈p: α·S_i.vol < S_r.vol < β·S_i.vol.
+func ratioTo(p []int, r int, prefix string, a, b float64) []pattern.Condition {
+	var out []pattern.Condition
+	for _, i := range p {
+		out = append(out, pattern.Ratio(a, ref(alias(prefix, i)), ref(alias(prefix, r)), b))
+	}
+	return out
+}
+
+// QA1 is SEQ(S1..Sj) over T_k with ∀i∈p: α·S_i.vol < S_j.vol < β·S_i.vol.
+func QA1(w, j, k int, p []int, a, b float64) *pattern.Pattern {
+	root := pattern.Seq(seqPrims(j, topK(k), "s")...)
+	return pattern.New(fmt.Sprintf("QA1(j=%d,k=%d,a=%g)", j, k, a),
+		root, pattern.Count(w), ratioTo(p, j, "s", a, b)...)
+}
+
+// QA2 is the condition-free SEQ of 5 over T_k: nearly every prefix extends,
+// so partial matches almost all complete to full matches.
+func QA2(w, k int) *pattern.Pattern {
+	root := pattern.Seq(seqPrims(5, topK(k), "s")...)
+	return pattern.New(fmt.Sprintf("QA2(k=%d)", k), root, pattern.Count(w))
+}
+
+// QA3 adds a one-sided condition γ·S_l.vol < S_m.vol to QA1's ratio set
+// anchored at position r.
+func QA3(w, j, k, r int, p []int, l, m int, a, b, g float64) *pattern.Pattern {
+	root := pattern.Seq(seqPrims(j, topK(k), "s")...)
+	conds := ratioTo(p, r, "s", a, b)
+	conds = append(conds, pattern.Ratio(g, ref(alias("s", l)), ref(alias("s", m)), math.Inf(1)))
+	return pattern.New(fmt.Sprintf("QA3(j=%d,k=%d,a=%g)", j, k, a),
+		root, pattern.Count(w), conds...)
+}
+
+// QA4 adds a two-sided condition γ·S_l.vol < S_m.vol < δ·S_l.vol to QA1.
+func QA4(w, j, k int, p []int, l, m int, a, b, g, d float64) *pattern.Pattern {
+	root := pattern.Seq(seqPrims(j, topK(k), "s")...)
+	conds := ratioTo(p, j, "s", a, b)
+	conds = append(conds, pattern.Ratio(g, ref(alias("s", l)), ref(alias("s", m)), d))
+	return pattern.New(fmt.Sprintf("QA4(j=%d,k=%d)", j, k),
+		root, pattern.Count(w), conds...)
+}
+
+// kcBands returns the Kleene/negation band primitives S'_l ∈
+// T_{base+l·step} / T_{base+(l-1)·step}.
+func kcBands(j, base, step int, prefix string) []*pattern.Node {
+	out := make([]*pattern.Node, j)
+	for l := 1; l <= j; l++ {
+		out[l-1] = pattern.Prim(fmt.Sprintf("%s%d", prefix, l), band(base+(l-1)*step, base+l*step)...)
+	}
+	return out
+}
+
+// QA5 is SEQ(S1..S5, KC(S'1), .., KC(S'j)): five T_base events followed by
+// j Kleene closures over disjoint ticker bands, with ratio conditions
+// anchored at S5. The paper's base is T_100 with bands of 10.
+func QA5(w, j int, a, b float64, base, bandStep int) *pattern.Pattern {
+	children := seqPrims(5, topK(base), "s")
+	for _, kc := range kcBands(j, base, bandStep, "k") {
+		children = append(children, pattern.KC(kc))
+	}
+	root := pattern.Seq(children...)
+	conds := ratioTo([]int{1, 2, 3, 4}, 5, "s", a, b)
+	return pattern.New(fmt.Sprintf("QA5(j=%d)", j), root, pattern.Count(w), conds...)
+}
+
+// QA6 is KC(SEQ(S1..Sj)) over T_base with per-iteration ratio conditions
+// (scoped to the Kleene child).
+func QA6(w, j int, a, b float64, base int) *pattern.Pattern {
+	inner := pattern.Seq(seqPrims(j, topK(base), "s")...)
+	var conds []pattern.Condition
+	for i := 1; i < j; i++ {
+		conds = append(conds, pattern.Ratio(a, ref(alias("s", i)), ref(alias("s", j)), b))
+	}
+	inner.With(conds...)
+	root := pattern.KC(inner)
+	return pattern.New(fmt.Sprintf("QA6(j=%d)", j), root, pattern.Count(w))
+}
+
+// QA7 is SEQ(S1..S4, NEG(S'1), .., NEG(S'j), S5): j negated primitives over
+// disjoint bands sit between the fourth and fifth positive events.
+func QA7(w, j int, a, b float64, base, bandStep int) *pattern.Pattern {
+	children := seqPrims(4, topK(base), "s")
+	for _, ng := range kcBands(j, base, bandStep, "n") {
+		children = append(children, pattern.Neg(ng))
+	}
+	children = append(children, pattern.Prim("s5", topK(base)...))
+	root := pattern.Seq(children...)
+	conds := ratioTo([]int{1, 2, 3, 4}, 5, "s", a, b)
+	return pattern.New(fmt.Sprintf("QA7(j=%d)", j), root, pattern.Count(w), conds...)
+}
+
+// QA8 is SEQ(S1..S4, NEG(SEQ(S'1..S'j)), S5): a negated sub-sequence.
+func QA8(w, j int, a, b float64, base, bandStep int) *pattern.Pattern {
+	children := seqPrims(4, topK(base), "s")
+	children = append(children, pattern.Neg(pattern.Seq(kcBands(j, base, bandStep, "n")...)))
+	children = append(children, pattern.Prim("s5", topK(base)...))
+	root := pattern.Seq(children...)
+	conds := ratioTo([]int{1, 2, 3, 4}, 5, "s", a, b)
+	return pattern.New(fmt.Sprintf("QA8(j=%d)", j), root, pattern.Count(w), conds...)
+}
+
+// QA9 is DISJ(SEQ1(S1..Sj) over T_base, SEQ2(S'1..S'j) over the next band),
+// each sequence carrying its own ratio conditions.
+func QA9(w, j int, a, b, g, d float64, base int) *pattern.Pattern {
+	s1 := seqPrims(j, topK(base), "s")
+	s2 := kcBandsUniform(j, base, 2*base, "t")
+	var conds []pattern.Condition
+	for i := 1; i < j; i++ {
+		conds = append(conds, pattern.Ratio(a, ref(alias("s", i)), ref(alias("s", j)), b))
+		conds = append(conds, pattern.Ratio(g, ref(alias("t", i)), ref(alias("t", j)), d))
+	}
+	root := pattern.Disj(pattern.Seq(s1...), pattern.Seq(s2...))
+	return pattern.New(fmt.Sprintf("QA9(j=%d)", j), root, pattern.Count(w), conds...)
+}
+
+// kcBandsUniform builds j primitives all over the same band (lo, hi].
+func kcBandsUniform(j, lo, hi int, prefix string) []*pattern.Node {
+	types := band(lo, hi)
+	out := make([]*pattern.Node, j)
+	for l := 1; l <= j; l++ {
+		out[l-1] = pattern.Prim(fmt.Sprintf("%s%d", prefix, l), types...)
+	}
+	return out
+}
+
+// QA10 is DISJ(SEQ_1(4), .., SEQ_j(4)): j four-long sequences over disjoint
+// ticker bands, each with ratio conditions anchored at its fourth event.
+func QA10(w, j int, a1, a2 float64, bandSize int) *pattern.Pattern {
+	var branches []*pattern.Node
+	var conds []pattern.Condition
+	for l := 1; l <= j; l++ {
+		prefix := fmt.Sprintf("b%d_", l)
+		prims := kcBandsUniform(4, (l-1)*bandSize, l*bandSize, prefix)
+		branches = append(branches, pattern.Seq(prims...))
+		for p := 1; p <= 3; p++ {
+			conds = append(conds, pattern.Ratio(a1, ref(fmt.Sprintf("%s%d", prefix, p)), ref(fmt.Sprintf("%s%d", prefix, 4)), a2))
+		}
+	}
+	root := pattern.Disj(branches...)
+	return pattern.New(fmt.Sprintf("QA10(j=%d)", j), root, pattern.Count(w), conds...)
+}
+
+// QA11 is CONJ or SEQ over 5 primitives drawn from disjoint bands of
+// bandSize, with ratio conditions anchored at S5 (Figure 12's SEQ/CONJ
+// comparison patterns).
+func QA11(w int, conj bool, a, b float64, bandSize int) *pattern.Pattern {
+	prims := make([]*pattern.Node, 5)
+	for t := 1; t <= 5; t++ {
+		prims[t-1] = pattern.Prim(alias("s", t), band((t-1)*bandSize, t*bandSize)...)
+	}
+	var root *pattern.Node
+	name := "QA11(SEQ)"
+	if conj {
+		root = pattern.Conj(prims...)
+		name = "QA11(CONJ)"
+	} else {
+		root = pattern.Seq(prims...)
+	}
+	conds := ratioTo([]int{1, 2, 3, 4}, 5, "s", a, b)
+	return pattern.New(name, root, pattern.Count(w), conds...)
+}
+
+// QA12 is DISJ(SEQ1(5), SEQ2(5)) over banded types with per-branch ratio
+// conditions (Figure 12's disjunction pattern).
+func QA12(w int, a, b, g, d float64, bandSize int) *pattern.Pattern {
+	p1 := make([]*pattern.Node, 5)
+	p2 := make([]*pattern.Node, 5)
+	for t := 1; t <= 5; t++ {
+		types := band((t-1)*bandSize, t*bandSize)
+		p1[t-1] = pattern.Prim(alias("s", t), types...)
+		p2[t-1] = pattern.Prim(alias("t", t), types...)
+	}
+	var conds []pattern.Condition
+	for i := 1; i <= 4; i++ {
+		conds = append(conds, pattern.Ratio(a, ref(alias("s", i)), ref(alias("s", 5)), b))
+		conds = append(conds, pattern.Ratio(g, ref(alias("t", i)), ref(alias("t", 5)), d))
+	}
+	root := pattern.Disj(pattern.Seq(p1...), pattern.Seq(p2...))
+	return pattern.New("QA12", root, pattern.Count(w), conds...)
+}
+
+// --- Table 2: synthetic templates -----------------------------------------
+
+// QB1 is SEQ(A,B,C,D,E,F) with the Table 2 conditions — the longest
+// synthetic pattern, exhibiting the largest amount of partial matches.
+func QB1(w int) *pattern.Pattern { return QB1Band(w, 0.85, 1.15) }
+
+// QB1Band is QB1 with a configurable ratio band: the paper's 0.85..1.15 on
+// standard-normal attributes yields full matches only at W >= ~100 with
+// millions of events, so scaled-down experiments widen the band (a
+// selectivity change documented in EXPERIMENTS.md).
+func QB1Band(w int, lo, hi float64) *pattern.Pattern {
+	return pattern.MustParse(fmt.Sprintf(
+		"PATTERN SEQ(A a, B b, C c, D d, E e, F f) "+
+			"WHERE %g * c.vol < f.vol < %g * c.vol "+
+			"AND %g * d.vol < f.vol < %g * d.vol "+
+			"AND %g * a.vol < e.vol < %g * a.vol "+
+			"AND %g * d.vol < e.vol < %g * d.vol "+
+			"AND 0.4 * c.vol < f.vol WITHIN %d", lo, hi, lo, hi, lo, hi, lo, hi, w))
+}
+
+// QB2 is SEQ(A,B,C,D,E) with the Table 2 conditions.
+func QB2(w int) *pattern.Pattern { return QB2Band(w, 0.85, 1.15) }
+
+// QB2Band is QB2 with a configurable ratio band (see QB1Band).
+func QB2Band(w int, lo, hi float64) *pattern.Pattern {
+	return pattern.MustParse(fmt.Sprintf(
+		"PATTERN SEQ(A a, B b, C c, D d, E e) "+
+			"WHERE %g * a.vol < d.vol < %g * a.vol "+
+			"AND %g * b.vol < d.vol < %g * b.vol "+
+			"AND %g * b.vol < e.vol < %g * b.vol "+
+			"AND %g * c.vol < e.vol < %g * c.vol WITHIN %d", lo, hi, lo, hi, lo, hi, lo, hi, w))
+}
+
+// QB3 is SEQ(A,B,C,D) with the Table 2 conditions.
+func QB3(w int) *pattern.Pattern { return QB3Band(w, 0.85, 1.15) }
+
+// QB3Band is QB3 with a configurable ratio band (see QB1Band).
+func QB3Band(w int, lo, hi float64) *pattern.Pattern {
+	return pattern.MustParse(fmt.Sprintf(
+		"PATTERN SEQ(A a, B b, C c, D d) "+
+			"WHERE %g * a.vol < d.vol < %g * a.vol "+
+			"AND %g * b.vol < d.vol < %g * b.vol "+
+			"AND %g * c.vol < d.vol < %g * c.vol WITHIN %d", lo, hi, lo, hi, lo, hi, w))
+}
+
+// ByLength returns the Table 2 pattern of the given sequence length
+// (4, 5, or 6), used by the Figure 13 sweep.
+func ByLength(length, w int) *pattern.Pattern { return ByLengthBand(length, w, 0.85, 1.15) }
+
+// ByLengthBand is ByLength with a configurable ratio band (see QB1Band).
+func ByLengthBand(length, w int, lo, hi float64) *pattern.Pattern {
+	switch length {
+	case 4:
+		return QB3Band(w, lo, hi)
+	case 5:
+		return QB2Band(w, lo, hi)
+	case 6:
+		return QB1Band(w, lo, hi)
+	default:
+		panic(fmt.Sprintf("queries: no Table 2 template of length %d", length))
+	}
+}

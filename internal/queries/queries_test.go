@@ -1,0 +1,123 @@
+package queries
+
+import (
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/pattern"
+)
+
+// every template must validate and compile into the NFA engine.
+func allPatterns(w int) []*pattern.Pattern {
+	return []*pattern.Pattern{
+		QA1(w, 5, 7, []int{1, 2, 3, 4}, 0.5, 1.5),
+		QA1(w, 5, 100, []int{1, 2}, 0.24, 1.5),
+		QA2(w, 10),
+		QA3(w, 5, 20, 4, []int{1, 2}, 1, 3, 0.75, 1.3, 0.5),
+		QA4(w, 5, 20, []int{1, 2}, 1, 3, 0.8, 1.2, 0.9, 1.1),
+		QA5(w, 2, 0.5, 1.5, 20, 5),
+		QA6(w, 3, 0.5, 1.5, 20),
+		QA7(w, 2, 0.5, 1.5, 20, 5),
+		QA8(w, 2, 0.5, 1.5, 20, 5),
+		QA9(w, 4, 0.5, 1.5, 0.6, 1.4, 20),
+		QA10(w, 3, 0.5, 1.5, 10),
+		QA11(w, false, 0.5, 1.5, 8),
+		QA11(w, true, 0.5, 1.5, 8),
+		QA12(w, 0.5, 1.5, 0.6, 1.4, 8),
+		QB1(w), QB2(w), QB3(w),
+	}
+}
+
+func TestAllTemplatesCompile(t *testing.T) {
+	schema := dataset.VolSchema()
+	for _, p := range allPatterns(30) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if _, err := cep.New(p, schema); err != nil {
+			t.Errorf("%s: engine compile: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTemplatesFindMatchesOnStockData(t *testing.T) {
+	st := dataset.Stock(dataset.StockConfig{Events: 6000, Tickers: 60, ZipfS: 1.2, Sigma: 0.3, Seed: 7})
+	// A permissive short template must produce matches on realistic data.
+	p := QA1(40, 3, 10, []int{1, 2}, 0.1, 10)
+	ms, stats, err := cep.Run(p, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Error("QA1 found no matches on stock data")
+	}
+	if stats.Instances == 0 {
+		t.Error("no partial matches counted")
+	}
+}
+
+func TestConditionBoundsShapeMatchCounts(t *testing.T) {
+	// Larger β-α admits more full matches (Table 1's note).
+	st := dataset.Stock(dataset.StockConfig{Events: 6000, Tickers: 60, ZipfS: 1.2, Sigma: 0.3, Seed: 8})
+	narrow := QA1(40, 3, 10, []int{1, 2}, 0.95, 1.05)
+	wide := QA1(40, 3, 10, []int{1, 2}, 0.5, 2.0)
+	mn, _, _ := cep.Run(narrow, st)
+	mw, _, _ := cep.Run(wide, st)
+	if len(mn) > len(mw) {
+		t.Errorf("narrow bounds found %d matches, wide %d", len(mn), len(mw))
+	}
+}
+
+func TestQA6ScopedConditionsPerIteration(t *testing.T) {
+	p := QA6(30, 2, 0.5, 1.5, 5)
+	// conditions must live on the Kleene child, not globally
+	if len(p.Where) != 0 {
+		t.Errorf("QA6 has %d global conditions, want 0 (scoped)", len(p.Where))
+	}
+	inner := p.Root.Children[0]
+	if len(inner.Where) != 1 {
+		t.Errorf("QA6 inner conditions = %d, want 1", len(inner.Where))
+	}
+}
+
+func TestQA7HasNegation(t *testing.T) {
+	p := QA7(30, 2, 0.5, 1.5, 10, 5)
+	if !p.HasNegation() {
+		t.Error("QA7 lost its negation")
+	}
+	if got := len(p.NegPrims()); got != 2 {
+		t.Errorf("QA7 neg prims = %d, want 2", got)
+	}
+}
+
+func TestByLength(t *testing.T) {
+	for _, l := range []int{4, 5, 6} {
+		p := ByLength(l, 25)
+		if got := len(p.Prims()); got != l {
+			t.Errorf("ByLength(%d) has %d prims", l, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ByLength(7) did not panic")
+		}
+	}()
+	ByLength(7, 25)
+}
+
+func TestBandsDisjoint(t *testing.T) {
+	p := QA10(30, 3, 0.5, 1.5, 10)
+	seen := map[string]int{}
+	for bi, br := range p.Root.Children {
+		for _, pr := range br.Prims() {
+			for _, typ := range pr.Types {
+				if prev, ok := seen[typ]; ok && prev != bi {
+					t.Fatalf("type %s appears in branches %d and %d", typ, prev, bi)
+				}
+				seen[typ] = bi
+			}
+		}
+	}
+}

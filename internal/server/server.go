@@ -1,0 +1,266 @@
+// Package server exposes a trained DLACEP pipeline over TCP with a
+// line-oriented protocol, turning the library into a deployable match
+// service (the "evaluation engine" box of the paper's Figure 1).
+//
+// Protocol (newline-delimited, UTF-8):
+//
+//	client -> server   TYPE,TS,ATTR1[,ATTR2...]      one event per line
+//	server -> client   {"match":{"ids":[...],"binding":{...}}}
+//	server -> client   {"summary":{...}}             once, when the client
+//	                                                 half-closes or sends "FLUSH"
+//
+// Each connection runs its own incremental Processor; event IDs are
+// assigned per connection in arrival order.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Server evaluates client streams with one shared (immutable) model.
+type Server struct {
+	schema *event.Schema
+	pats   []*pattern.Pattern
+	cfg    core.Config
+	// NewFilter returns a filter for one connection. Trained networks cache
+	// forward activations and are not goroutine-safe, so each connection
+	// needs its own instance; the constructor typically reloads a saved
+	// model or wraps shared immutable state.
+	NewFilter func() (core.EventFilter, error)
+	// Log receives per-connection diagnostics; defaults to log.Printf.
+	Log func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server for the given monitored patterns.
+func New(schema *event.Schema, pats []*pattern.Pattern, cfg core.Config,
+	newFilter func() (core.EventFilter, error)) (*Server, error) {
+	if newFilter == nil {
+		return nil, fmt.Errorf("server: nil filter constructor")
+	}
+	if _, err := core.NewPipeline(schema, pats, cfg, core.KeepAllFilter{}); err != nil {
+		return nil, err
+	}
+	return &Server{
+		schema:    schema,
+		pats:      pats,
+		cfg:       cfg,
+		NewFilter: newFilter,
+		Log:       log.Printf,
+		conns:     map[net.Conn]bool{},
+	}, nil
+}
+
+// Serve accepts connections on l until Close is called. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Log("server: connection %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// Close stops accepting and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		return lis.Close()
+	}
+	return nil
+}
+
+// matchMsg and summaryMsg are the server->client wire messages.
+type matchMsg struct {
+	IDs     []uint64          `json:"ids"`
+	Binding map[string]uint64 `json:"binding,omitempty"`
+}
+
+type summaryMsg struct {
+	Events      int     `json:"events"`
+	Relayed     int     `json:"relayed"`
+	Matches     int     `json:"matches"`
+	FilterRatio float64 `json:"filter_ratio"`
+	ThroughputS float64 `json:"events_per_sec"`
+}
+
+type wireOut struct {
+	Match   *matchMsg   `json:"match,omitempty"`
+	Summary *summaryMsg `json:"summary,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	filter, err := s.NewFilter()
+	if err != nil {
+		return err
+	}
+	pl, err := core.NewPipeline(s.schema, s.pats, s.cfg, filter)
+	if err != nil {
+		return err
+	}
+	proc, err := pl.NewProcessor()
+	if err != nil {
+		return err
+	}
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+
+	writeErr := func(err error) error {
+		_ = enc.Encode(wireOut{Error: err.Error()})
+		return w.Flush()
+	}
+	var nextID uint64
+	flushed := false
+	finish := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
+		ms, err := proc.Flush()
+		if err != nil {
+			return writeErr(err)
+		}
+		for _, m := range ms {
+			if err := s.writeMatch(enc, m); err != nil {
+				return err
+			}
+		}
+		res := proc.Result()
+		_ = enc.Encode(wireOut{Summary: &summaryMsg{
+			Events:      res.EventsTotal,
+			Relayed:     res.EventsRelayed,
+			Matches:     len(res.Matches),
+			FilterRatio: res.FilterRatio(),
+			ThroughputS: res.Throughput(),
+		}})
+		return w.Flush()
+	}
+
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if line == "FLUSH" {
+			if err := finish(); err != nil {
+				return err
+			}
+			continue
+		}
+		ev, err := s.parseEvent(line, nextID)
+		if err != nil {
+			return writeErr(err)
+		}
+		nextID++
+		ms, err := proc.Push(ev)
+		if err != nil {
+			return writeErr(err)
+		}
+		for _, m := range ms {
+			if err := s.writeMatch(enc, m); err != nil {
+				return err
+			}
+		}
+		if len(ms) > 0 {
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return finish()
+}
+
+func (s *Server) writeMatch(enc *json.Encoder, m *cep.Match) error {
+	msg := &matchMsg{IDs: m.IDs()}
+	if len(m.Binding) > 0 {
+		msg.Binding = make(map[string]uint64, len(m.Binding))
+		for alias, e := range m.Binding {
+			msg.Binding[alias] = e.ID
+		}
+	}
+	return enc.Encode(wireOut{Match: msg})
+}
+
+// parseEvent parses "TYPE,TS,ATTR1[,ATTR2...]".
+func (s *Server) parseEvent(line string, id uint64) (event.Event, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) < 2+0 {
+		return event.Event{}, fmt.Errorf("malformed event %q (want TYPE,TS,ATTRS...)", line)
+	}
+	if len(parts)-2 != s.schema.Len() {
+		return event.Event{}, fmt.Errorf("event %q has %d attributes, schema wants %d", line, len(parts)-2, s.schema.Len())
+	}
+	ts, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return event.Event{}, fmt.Errorf("bad timestamp in %q: %v", line, err)
+	}
+	ev := event.Event{ID: id, Type: parts[0], Ts: ts, Attrs: make([]float64, s.schema.Len())}
+	for i, f := range parts[2:] {
+		if ev.Attrs[i], err = strconv.ParseFloat(f, 64); err != nil {
+			return event.Event{}, fmt.Errorf("bad attribute %d in %q: %v", i, line, err)
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+func startServer(t *testing.T, pats []*pattern.Pattern, schema *event.Schema, cfg core.Config,
+	newFilter func() (core.EventFilter, error)) (*Server, string) {
+	t.Helper()
+	srv, err := New(schema, pats, cfg, newFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Log = t.Logf
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(lis)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	return srv, lis.Addr().String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, err := label.New(schema, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	_, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	events := []event.Event{
+		{Type: "A", Ts: 1, Attrs: []float64{1}},
+		{Type: "X", Ts: 2, Attrs: []float64{0}},
+		{Type: "B", Ts: 3, Attrs: []float64{2}},
+		{Type: "B", Ts: 4, Attrs: []float64{0.5}},
+	}
+	for _, ev := range events {
+		if err := c.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var matches [][]uint64
+	var summary *summaryMsg
+	for summary == nil {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Err != "" {
+			t.Fatalf("server error: %s", msg.Err)
+		}
+		if ids := msg.MatchIDs(); ids != nil {
+			matches = append(matches, ids)
+		}
+		summary = msg.Summary
+	}
+	if len(matches) != 1 || matches[0][0] != 0 || matches[0][1] != 2 {
+		t.Errorf("matches = %v, want [[0 2]] (a.vol < b.vol)", matches)
+	}
+	if summary.Events != 4 || summary.Matches != 1 {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+func TestServerMatchesPipeline(t *testing.T) {
+	schema := dataset.VolSchema()
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 6")
+	pats := []*pattern.Pattern{p}
+	lab, err := label.New(schema, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MarkSize: 12, StepSize: 6, Hidden: 4, Layers: 1}
+	_, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	})
+	st := dataset.Synthetic(300, 4, 5)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := range st.Events {
+		if err := c.Send(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Err != "" {
+			t.Fatal(msg.Err)
+		}
+		if ids := msg.MatchIDs(); ids != nil {
+			var parts []string
+			for _, id := range ids {
+				parts = append(parts, string(rune('0'+id/100)), string(rune('0'+id%100/10)), string(rune('0'+id%10)), ",")
+			}
+			got[strings.Join(parts, "")] = true
+		}
+		if msg.Summary != nil {
+			break
+		}
+	}
+	pl, err := core.NewPipeline(schema, pats, cfg, core.OracleFilter{L: lab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Keys) {
+		t.Errorf("server found %d matches, pipeline %d", len(got), len(res.Keys))
+	}
+}
+
+func TestServerMalformedInput(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, _ := label.New(schema, pats...)
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	_, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	})
+
+	for _, bad := range []string{"A", "A,xx,1", "A,1,zz", "A,1,1,2"} {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.w.WriteString(bad + "\n")
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatalf("input %q: %v", bad, err)
+		}
+		if msg.Err == "" {
+			t.Errorf("input %q: no error reported", bad)
+		}
+		c.Close()
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, _ := label.New(schema, pats...)
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	_, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	})
+
+	errs := make(chan error, 4)
+	for k := 0; k < 4; k++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			c.Send(event.Event{Type: "A", Ts: 1, Attrs: []float64{1}})
+			c.Send(event.Event{Type: "B", Ts: 2, Attrs: []float64{1}})
+			c.Flush()
+			for {
+				msg, err := c.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if msg.Summary != nil {
+					if msg.Summary.Matches != 1 {
+						errs <- fmt.Errorf("matches = %d", msg.Summary.Matches)
+						return
+					}
+					errs <- nil
+					return
+				}
+			}
+		}()
+	}
+	for k := 0; k < 4; k++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	if _, err := New(schema, []*pattern.Pattern{p}, core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}, nil); err == nil {
+		t.Error("nil filter constructor accepted")
+	}
+	if _, err := New(schema, nil, core.Config{}, func() (core.EventFilter, error) { return nil, nil }); err == nil {
+		t.Error("empty patterns accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Package shed implements input load shedding, the classical alternative to
+// DLACEP for overloaded CEP systems (Section 6, "Load shedding" [29, 75,
+// 76, 95]): when the system cannot sustain the arrival rate, it drops a
+// fraction of input events before evaluation, trying to minimize result
+// degradation.
+//
+// Two shedders are provided. RandomShedder drops uniformly. UtilityShedder
+// drops lowest-utility event types first, where a type's utility is the
+// empirical probability that an event of the type participates in a match
+// (measured from a labeled sample — the same signal DLACEP learns, but
+// aggregated per type instead of per event). Comparing either against the
+// DLACEP pipeline at the same drop ratio quantifies the value of per-event,
+// content-aware filtering.
+package shed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+// Shedder decides, per event, whether to keep it.
+type Shedder interface {
+	Keep(e *event.Event) bool
+}
+
+// RandomShedder keeps events with probability 1-Ratio.
+type RandomShedder struct {
+	Ratio float64
+	rng   *rand.Rand
+}
+
+// NewRandom builds a uniform shedder dropping the given event fraction.
+func NewRandom(ratio float64, seed int64) *RandomShedder {
+	return &RandomShedder{Ratio: ratio, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Keep decides one event.
+func (s *RandomShedder) Keep(*event.Event) bool { return s.rng.Float64() >= s.Ratio }
+
+// UtilityShedder drops whole low-utility types first, with a probabilistic
+// drop on the boundary type so the target overall ratio is met.
+type UtilityShedder struct {
+	dropAll  map[string]bool
+	boundary string
+	boundP   float64 // drop probability for the boundary type
+	rng      *rand.Rand
+}
+
+// TypeUtility estimates, from sample windows, the probability that an event
+// of each type participates in a full match.
+func TypeUtility(lab *label.Labeler, windows [][]event.Event) (map[string]float64, map[string]float64, error) {
+	part := map[string]int{}
+	total := map[string]int{}
+	for _, w := range windows {
+		labels, err := lab.EventLabels(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range w {
+			if w[i].IsBlank() {
+				continue
+			}
+			total[w[i].Type]++
+			part[w[i].Type] += labels[i]
+		}
+	}
+	util := map[string]float64{}
+	rate := map[string]float64{}
+	n := 0
+	for _, c := range total {
+		n += c
+	}
+	for t, c := range total {
+		util[t] = float64(part[t]) / float64(c)
+		rate[t] = float64(c) / float64(n)
+	}
+	return util, rate, nil
+}
+
+// NewUtility builds a shedder dropping the target event fraction, lowest
+// utility types first. util and rate come from TypeUtility.
+func NewUtility(ratio float64, util, rate map[string]float64, seed int64) (*UtilityShedder, error) {
+	if ratio < 0 || ratio >= 1 {
+		return nil, fmt.Errorf("shed: ratio %v out of [0,1)", ratio)
+	}
+	types := make([]string, 0, len(util))
+	for t := range util {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if util[types[i]] != util[types[j]] {
+			return util[types[i]] < util[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	s := &UtilityShedder{dropAll: map[string]bool{}, rng: rand.New(rand.NewSource(seed))}
+	remaining := ratio
+	for _, t := range types {
+		if remaining <= 0 {
+			break
+		}
+		r := rate[t]
+		if r <= remaining {
+			s.dropAll[t] = true
+			remaining -= r
+		} else {
+			s.boundary = t
+			s.boundP = remaining / r
+			remaining = 0
+		}
+	}
+	return s, nil
+}
+
+// Keep decides one event.
+func (s *UtilityShedder) Keep(e *event.Event) bool {
+	if s.dropAll[e.Type] {
+		return false
+	}
+	if e.Type == s.boundary {
+		return s.rng.Float64() >= s.boundP
+	}
+	return true
+}
+
+// Result summarizes a shedding run.
+type Result struct {
+	Matches map[string]bool
+	Kept    int
+	Total   int
+	Stats   cep.Stats
+}
+
+// DropRatio is the realized fraction of dropped events.
+func (r *Result) DropRatio() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 1 - float64(r.Kept)/float64(r.Total)
+}
+
+// Run evaluates the stream exactly on the kept events. Kept events keep
+// their IDs, so window semantics match the unshedded evaluation.
+func Run(p *pattern.Pattern, st *event.Stream, s Shedder) (*Result, error) {
+	en, err := cep.New(p, st.Schema)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Matches: map[string]bool{}, Total: st.Len()}
+	for i := range st.Events {
+		e := &st.Events[i]
+		if !s.Keep(e) {
+			continue
+		}
+		res.Kept++
+		for _, m := range en.Process(*e) {
+			res.Matches[m.Key()] = true
+		}
+	}
+	for _, m := range en.Flush() {
+		res.Matches[m.Key()] = true
+	}
+	res.Stats = en.Stats()
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package shed
+
+import (
+	"math"
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/label"
+	"dlacep/internal/metrics"
+	"dlacep/internal/pattern"
+)
+
+func TestRandomShedderRatio(t *testing.T) {
+	st := dataset.Synthetic(10000, 5, 1)
+	s := NewRandom(0.3, 7)
+	kept := 0
+	for i := range st.Events {
+		if s.Keep(&st.Events[i]) {
+			kept++
+		}
+	}
+	got := 1 - float64(kept)/float64(st.Len())
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("drop ratio = %v, want ~0.3", got)
+	}
+}
+
+func TestUtilityShedderPreservesUsefulTypes(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(6000, 5, 3)
+	lab, err := label.New(st.Schema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, rate, err := TypeUtility(lab, dataset.Windows(st, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A and B participate; C/D/E never do.
+	if util["A"] <= util["C"] || util["B"] <= util["D"] {
+		t.Fatalf("utilities wrong: %v", util)
+	}
+	s, err := NewUtility(0.5, util, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pattern types must be kept at a 50% drop target (3/5 of events are
+	// droppable zero-utility types)
+	for i := range st.Events {
+		e := &st.Events[i]
+		if (e.Type == "A" || e.Type == "B") && !s.Keep(e) {
+			t.Fatalf("useful type %s shed", e.Type)
+		}
+	}
+}
+
+func TestUtilityBeatsRandomShedding(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 8")
+	st := dataset.Synthetic(8000, 6, 5)
+	lab, err := label.New(st.Schema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(p, st, NewRandom(0, 1)) // no shedding = exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, rate, err := TypeUtility(lab, dataset.Windows(st, 16)[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ratio = 0.4
+	us, err := NewUtility(ratio, util, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilRes, err := Run(p, st, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randRes, err := Run(p, st, NewRandom(ratio, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uRecall := metrics.MatchSets(utilRes.Matches, exact.Matches).Recall()
+	rRecall := metrics.MatchSets(randRes.Matches, exact.Matches).Recall()
+	if uRecall <= rRecall {
+		t.Errorf("utility shedding recall %.3f not above random %.3f at ratio %.1f",
+			uRecall, rRecall, ratio)
+	}
+	if math.Abs(utilRes.DropRatio()-ratio) > 0.05 {
+		t.Errorf("utility shedder realized ratio %.3f, want ~%.1f", utilRes.DropRatio(), ratio)
+	}
+	// random shedding necessarily reduces engine work (it drops pattern
+	// events); utility shedding may not, since it drops useless types first
+	if randRes.Stats.Instances >= exact.Stats.Instances {
+		t.Error("random shedding did not reduce partial matches")
+	}
+}
+
+func TestSheddingNeverAddsMatches(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(3000, 4, 9)
+	exact, err := Run(p, st, NewRandom(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ratio := range []float64{0.2, 0.5, 0.8} {
+		res, err := Run(p, st, NewRandom(ratio, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range res.Matches {
+			if !exact.Matches[k] {
+				t.Fatalf("ratio %v: shedding invented match %s", ratio, k)
+			}
+		}
+	}
+}
+
+func TestNewUtilityValidation(t *testing.T) {
+	if _, err := NewUtility(1.0, nil, nil, 1); err == nil {
+		t.Error("ratio 1.0 accepted")
+	}
+	if _, err := NewUtility(-0.1, nil, nil, 1); err == nil {
+		t.Error("negative ratio accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package train provides the optimization machinery for DLACEP's filter
+// networks: SGD and Adam optimizers, the paper's dynamic learning-rate /
+// batch-size schedule (Section 5.1: batch 512→256, learning rate
+// 1e-3→1e-4), binary cross-entropy with logits, and an epoch loop with the
+// paper's convergence rule (loss stable within a 0.01 threshold for 5
+// consecutive epochs).
+package train
+
+import (
+	"math"
+	"math/rand"
+
+	"dlacep/internal/nn"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*nn.Param)
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*nn.Param][]float64
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*nn.Param][]float64{}}
+}
+
+// SetLR updates the learning rate.
+func (s *SGD) SetLR(lr float64) { s.LR = lr }
+
+// Step applies one update.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i, g := range p.Grad {
+				p.Data[i] -= s.LR * g
+			}
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			s.vel[p] = v
+		}
+		for i, g := range p.Grad {
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+	m     map[*nn.Param][]float64
+	v     map[*nn.Param][]float64
+}
+
+// NewAdam builds an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*nn.Param][]float64{}, v: map[*nn.Param][]float64{},
+	}
+}
+
+// SetLR updates the learning rate.
+func (a *Adam) SetLR(lr float64) { a.LR = lr }
+
+// Step applies one update.
+func (a *Adam) Step(params []*nn.Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.Data))
+		}
+		v := a.v[p]
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// Schedule is the paper's dynamic learning-rate and batch-size plan: the
+// initial values are used until SwitchEpoch, the final values afterwards.
+type Schedule struct {
+	InitialLR    float64
+	FinalLR      float64
+	InitialBatch int
+	FinalBatch   int
+	SwitchEpoch  int
+}
+
+// PaperSchedule returns the hyperparameters reported in Section 5.1.
+func PaperSchedule() Schedule {
+	return Schedule{InitialLR: 1e-3, FinalLR: 1e-4, InitialBatch: 512, FinalBatch: 256, SwitchEpoch: 20}
+}
+
+// At returns the learning rate and batch size for an epoch (0-based).
+func (s Schedule) At(epoch int) (lr float64, batch int) {
+	if epoch < s.SwitchEpoch {
+		return s.InitialLR, s.InitialBatch
+	}
+	return s.FinalLR, s.FinalBatch
+}
+
+// BCEWithLogits returns the binary cross-entropy between label y ∈ {0,1}
+// and logit z, plus dLoss/dz, in a numerically stable form.
+func BCEWithLogits(z float64, y float64) (loss, dz float64) {
+	// loss = max(z,0) - z*y + log(1+exp(-|z|))
+	if z > 0 {
+		loss = z - z*y + math.Log1p(math.Exp(-z))
+	} else {
+		loss = -z*y + math.Log1p(math.Exp(z))
+	}
+	dz = sigmoid(z) - y
+	return loss, dz
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Convergence implements the stopping rule of Section 5.1: training stops
+// at the first epoch where the loss has stayed within Threshold of the
+// running reference for Patience consecutive epochs.
+type Convergence struct {
+	Threshold float64
+	Patience  int
+
+	ref    float64
+	stable int
+	seen   bool
+}
+
+// NewConvergence returns the paper's rule (threshold 0.01, 5 epochs).
+func NewConvergence() *Convergence {
+	return &Convergence{Threshold: 0.01, Patience: 5}
+}
+
+// Observe records an epoch loss and reports whether training has converged.
+func (c *Convergence) Observe(loss float64) bool {
+	if !c.seen || math.Abs(loss-c.ref) > c.Threshold {
+		c.ref = loss
+		c.stable = 0
+		c.seen = true
+		return false
+	}
+	c.stable++
+	return c.stable >= c.Patience
+}
+
+// Config controls an epoch loop.
+type Config struct {
+	Schedule  Schedule
+	MaxEpochs int
+	ClipNorm  float64 // 0 disables clipping
+	Seed      int64
+	// Converge, when nil, defaults to the paper's rule.
+	Converge *Convergence
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Epochs      int
+	LossHistory []float64
+	Converged   bool
+}
+
+// Loop runs mini-batch epochs over n samples. step(i) must run
+// forward+backward for sample i, accumulating gradients into params, and
+// return the sample loss. onEpoch, if non-nil, is called after each epoch
+// and may stop training early by returning false.
+func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
+	step func(i int) float64, onEpoch func(epoch int, loss float64) bool) Result {
+
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 100
+	}
+	conv := cfg.Converge
+	if conv == nil {
+		conv = NewConvergence()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(n)
+	var res Result
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		lr, batch := cfg.Schedule.At(epoch)
+		opt.SetLR(lr)
+		if batch <= 0 {
+			batch = 32
+		}
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			nn.ZeroGrads(params)
+			for _, i := range order[lo:hi] {
+				total += step(i)
+			}
+			nn.ScaleGrads(params, 1/float64(hi-lo))
+			if cfg.ClipNorm > 0 {
+				nn.ClipGrads(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		avg := total / float64(n)
+		res.LossHistory = append(res.LossHistory, avg)
+		res.Epochs = epoch + 1
+		if onEpoch != nil && !onEpoch(epoch, avg) {
+			return res
+		}
+		if conv.Observe(avg) {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

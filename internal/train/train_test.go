@@ -1,0 +1,205 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dlacep/internal/nn"
+)
+
+func TestBCEWithLogits(t *testing.T) {
+	cases := []struct{ z, y float64 }{
+		{0, 0}, {0, 1}, {3, 1}, {3, 0}, {-3, 1}, {-40, 0}, {40, 1}, {40, 0},
+	}
+	for _, c := range cases {
+		loss, dz := BCEWithLogits(c.z, c.y)
+		p := 1 / (1 + math.Exp(-c.z))
+		var want float64
+		switch {
+		case c.y == 1:
+			want = -math.Log(p)
+		default:
+			want = -math.Log(1 - p)
+		}
+		if math.IsInf(want, 0) {
+			// extreme logits: reference formula overflows, ours must not
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				t.Errorf("BCE(%v,%v) = %v, not finite", c.z, c.y, loss)
+			}
+			continue
+		}
+		if math.Abs(loss-want) > 1e-9 {
+			t.Errorf("BCE(%v,%v) = %v, want %v", c.z, c.y, loss, want)
+		}
+		if math.Abs(dz-(p-c.y)) > 1e-9 {
+			t.Errorf("dBCE(%v,%v) = %v, want %v", c.z, c.y, dz, p-c.y)
+		}
+	}
+}
+
+// quadratic objective: loss = 0.5*sum((w-target)^2)
+func quadStep(p *nn.Param, target []float64) float64 {
+	loss := 0.0
+	for i := range p.Data {
+		d := p.Data[i] - target[i]
+		p.Grad[i] += d
+		loss += 0.5 * d * d
+	}
+	return loss
+}
+
+func TestSGDConverges(t *testing.T) {
+	p := nn.NewParam("w", 1, 3)
+	target := []float64{1, -2, 3}
+	opt := NewSGD(0.3, 0)
+	for i := 0; i < 200; i++ {
+		nn.ZeroGrads([]*nn.Param{p})
+		quadStep(p, target)
+		opt.Step([]*nn.Param{p})
+	}
+	for i, v := range p.Data {
+		if math.Abs(v-target[i]) > 1e-6 {
+			t.Errorf("SGD w[%d] = %v, want %v", i, v, target[i])
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := nn.NewParam("w", 1, 3)
+	target := []float64{1, -2, 3}
+	opt := NewSGD(0.1, 0.9)
+	for i := 0; i < 300; i++ {
+		nn.ZeroGrads([]*nn.Param{p})
+		quadStep(p, target)
+		opt.Step([]*nn.Param{p})
+	}
+	for i, v := range p.Data {
+		if math.Abs(v-target[i]) > 1e-4 {
+			t.Errorf("momentum w[%d] = %v, want %v", i, v, target[i])
+		}
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	p := nn.NewParam("w", 1, 3)
+	target := []float64{1, -2, 3}
+	opt := NewAdam(0.05)
+	for i := 0; i < 2000; i++ {
+		nn.ZeroGrads([]*nn.Param{p})
+		quadStep(p, target)
+		opt.Step([]*nn.Param{p})
+	}
+	for i, v := range p.Data {
+		if math.Abs(v-target[i]) > 1e-3 {
+			t.Errorf("adam w[%d] = %v, want %v", i, v, target[i])
+		}
+	}
+}
+
+func TestScheduleSwitch(t *testing.T) {
+	s := PaperSchedule()
+	lr, b := s.At(0)
+	if lr != 1e-3 || b != 512 {
+		t.Errorf("epoch 0: lr=%v batch=%d", lr, b)
+	}
+	lr, b = s.At(19)
+	if lr != 1e-3 || b != 512 {
+		t.Errorf("epoch 19: lr=%v batch=%d", lr, b)
+	}
+	lr, b = s.At(20)
+	if lr != 1e-4 || b != 256 {
+		t.Errorf("epoch 20: lr=%v batch=%d", lr, b)
+	}
+}
+
+func TestConvergenceRule(t *testing.T) {
+	c := NewConvergence()
+	losses := []float64{1.0, 0.8, 0.5, 0.499, 0.498, 0.502, 0.501, 0.5005}
+	var converged []bool
+	for _, l := range losses {
+		converged = append(converged, c.Observe(l))
+	}
+	// reference resets at 1.0, 0.8, 0.5; then 5 stable epochs follow.
+	want := []bool{false, false, false, false, false, false, false, true}
+	for i := range want {
+		if converged[i] != want[i] {
+			t.Errorf("Observe step %d = %v, want %v (losses %v)", i, converged[i], want[i], losses)
+		}
+	}
+	// a jump resets the counter
+	c2 := NewConvergence()
+	for _, l := range []float64{0.5, 0.5, 0.5, 0.9} {
+		if c2.Observe(l) {
+			t.Error("converged despite jump")
+		}
+	}
+}
+
+func TestLoopTrainsLinearModel(t *testing.T) {
+	// Fit y = 2*x1 - x2 with a single linear neuron via the Loop driver.
+	rng := rand.New(rand.NewSource(1))
+	lin := nn.NewLinear(2, 1, rng)
+	type sample struct {
+		x []float64
+		y float64
+	}
+	var data []sample
+	for i := 0; i < 256; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		data = append(data, sample{x, 2*x[0] - x[1]})
+	}
+	opt := NewAdam(0.05)
+	cfg := Config{
+		Schedule:  Schedule{InitialLR: 0.05, FinalLR: 0.01, InitialBatch: 32, FinalBatch: 32, SwitchEpoch: 50},
+		MaxEpochs: 200,
+		ClipNorm:  5,
+		Seed:      7,
+	}
+	res := Loop(cfg, len(data), lin.Params(), opt, func(i int) float64 {
+		out := lin.Forward([][]float64{data[i].x}, true)
+		d := out[0][0] - data[i].y
+		lin.Backward([][]float64{{d}})
+		return 0.5 * d * d
+	}, nil)
+	final := res.LossHistory[len(res.LossHistory)-1]
+	if final > 1e-3 {
+		t.Errorf("final loss %v after %d epochs, want < 1e-3", final, res.Epochs)
+	}
+	if !res.Converged && res.Epochs == cfg.MaxEpochs {
+		t.Logf("did not formally converge; final loss %v", final)
+	}
+	if math.Abs(lin.W.Data[0]-2) > 0.05 || math.Abs(lin.W.Data[1]+1) > 0.05 {
+		t.Errorf("weights = %v, want ~[2,-1]", lin.W.Data)
+	}
+}
+
+func TestLoopEarlyStop(t *testing.T) {
+	p := nn.NewParam("w", 1, 1)
+	opt := NewSGD(0.1, 0)
+	epochs := 0
+	res := Loop(Config{MaxEpochs: 50, Seed: 1, Schedule: Schedule{InitialLR: 0.1, InitialBatch: 4}},
+		8, []*nn.Param{p}, opt,
+		func(i int) float64 { return 1 },
+		func(epoch int, loss float64) bool {
+			epochs++
+			return epoch < 2 // stop after 3 epochs
+		})
+	if res.Epochs != 3 || epochs != 3 {
+		t.Errorf("epochs = %d (callback %d), want 3", res.Epochs, epochs)
+	}
+}
+
+func TestLoopConvergenceStops(t *testing.T) {
+	p := nn.NewParam("w", 1, 1)
+	opt := NewSGD(0, 0)
+	res := Loop(Config{MaxEpochs: 100, Seed: 1, Schedule: Schedule{InitialLR: 0, InitialBatch: 4}},
+		8, []*nn.Param{p}, opt,
+		func(i int) float64 { return 0.5 }, nil)
+	if !res.Converged {
+		t.Error("constant loss did not trigger convergence")
+	}
+	if res.Epochs != 6 { // first epoch sets reference, then 5 stable
+		t.Errorf("converged after %d epochs, want 6", res.Epochs)
+	}
+}

@@ -1,0 +1,329 @@
+package zstream
+
+import (
+	"fmt"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Stats mirrors cep.Stats: Instances counts intermediate join results, the
+// tree-plan analogue of partial matches.
+type Stats struct {
+	Events    int
+	Instances int64
+	Matches   int64
+}
+
+// Engine evaluates a SEQ/CONJ/DISJ pattern using tree plans.
+type Engine struct {
+	schema *event.Schema
+	window pattern.Window
+	trees  []*tree
+	stats  Stats
+}
+
+type tree struct {
+	plan   *Plan
+	root   *rnode
+	leaves []*rnode
+}
+
+// rnode is the runtime mirror of a PlanNode with its result store.
+type rnode struct {
+	pn          *PlanNode
+	left, right *rnode
+	parent      *rnode
+	prim        *pattern.Node // leaves only
+	store       []*res
+}
+
+type res struct {
+	events []*event.Event // sorted by ID
+	bind   map[string]*event.Event
+	minID  uint64
+	maxID  uint64
+	minTs  int64
+	maxTs  int64
+}
+
+// New compiles the pattern into tree plans, one per disjunct.
+func New(p *pattern.Pattern, schema *event.Schema, stats Statistics) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var subs []*pattern.Node
+	var subWhere [][]pattern.Condition
+	switch p.Root.Kind {
+	case pattern.KindDisj:
+		for _, ch := range p.Root.Children {
+			subs = append(subs, ch)
+			subWhere = append(subWhere, filterConds(p.Where, ch))
+		}
+	default:
+		subs = append(subs, p.Root)
+		subWhere = append(subWhere, p.Where)
+	}
+	en := &Engine{schema: schema, window: p.Window}
+	for i, sub := range subs {
+		plan, err := planFor(sub, subWhere[i], p.Window, stats)
+		if err != nil {
+			return nil, err
+		}
+		en.trees = append(en.trees, buildTree(plan))
+	}
+	return en, nil
+}
+
+// filterConds keeps the conditions whose aliases all belong to sub.
+func filterConds(conds []pattern.Condition, sub *pattern.Node) []pattern.Condition {
+	in := map[string]bool{}
+	for _, pr := range sub.Prims() {
+		in[pr.Alias] = true
+	}
+	var out []pattern.Condition
+	for _, c := range conds {
+		ok := true
+		for _, a := range c.Aliases() {
+			if !in[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func buildTree(plan *Plan) *tree {
+	t := &tree{plan: plan, leaves: make([]*rnode, len(plan.prims))}
+	var build func(pn *PlanNode, parent *rnode) *rnode
+	build = func(pn *PlanNode, parent *rnode) *rnode {
+		rn := &rnode{pn: pn, parent: parent}
+		if pn.IsLeaf() {
+			rn.prim = plan.prims[pn.Lo]
+			t.leaves[pn.Lo] = rn
+			return rn
+		}
+		rn.left = build(pn.Left, rn)
+		rn.right = build(pn.Right, rn)
+		return rn
+	}
+	t.root = build(plan.Root, nil)
+	return t
+}
+
+// Process feeds one event and returns completed matches.
+func (en *Engine) Process(ev event.Event) []*cep.Match {
+	en.stats.Events++
+	if ev.IsBlank() {
+		return nil
+	}
+	e := new(event.Event)
+	*e = ev
+	var out []*cep.Match
+	for _, t := range en.trees {
+		en.pruneTree(t, e)
+		for _, leaf := range t.leaves {
+			if !leaf.prim.AcceptsType(e.Type) {
+				continue
+			}
+			r := &res{
+				events: []*event.Event{e},
+				bind:   map[string]*event.Event{leaf.prim.Alias: e},
+				minID:  e.ID, maxID: e.ID, minTs: e.Ts, maxTs: e.Ts,
+			}
+			if !en.checkConds(leaf.pn.conds, r) {
+				continue
+			}
+			en.stats.Instances++
+			out = en.propagate(t, leaf, r, out)
+		}
+	}
+	return out
+}
+
+// propagate inserts r into node's store and joins it up the tree.
+func (en *Engine) propagate(t *tree, node *rnode, r *res, out []*cep.Match) []*cep.Match {
+	if node.parent == nil {
+		en.stats.Matches++
+		return append(out, &cep.Match{Events: r.events, Binding: r.bind})
+	}
+	node.store = append(node.store, r)
+	parent := node.parent
+	sib := parent.left
+	rIsLeft := false
+	if sib == node {
+		sib = parent.right
+		rIsLeft = true
+	}
+	for _, s := range sib.store {
+		var joined *res
+		if rIsLeft {
+			joined = en.join(t, parent, r, s)
+		} else {
+			joined = en.join(t, parent, s, r)
+		}
+		if joined == nil {
+			continue
+		}
+		en.stats.Instances++
+		out = en.propagate(t, parent, joined, out)
+	}
+	return out
+}
+
+// join combines a left and right child result under parent semantics.
+func (en *Engine) join(t *tree, parent *rnode, l, r *res) *res {
+	if t.plan.ordered {
+		// SEQ: every left event precedes every right event.
+		if l.maxID >= r.minID {
+			return nil
+		}
+	}
+	minID, maxID := min64(l.minID, r.minID), max64(l.maxID, r.maxID)
+	minTs, maxTs := minI64(l.minTs, r.minTs), maxI64(l.maxTs, r.maxTs)
+	if en.window.Kind == pattern.CountWindow {
+		if maxID-minID > uint64(en.window.Size)-1 {
+			return nil
+		}
+	} else if maxTs-minTs > en.window.Size {
+		return nil
+	}
+	events := mergeByID(l.events, r.events)
+	if events == nil {
+		return nil
+	}
+	bind := make(map[string]*event.Event, len(l.bind)+len(r.bind))
+	for k, v := range l.bind {
+		bind[k] = v
+	}
+	for k, v := range r.bind {
+		bind[k] = v
+	}
+	joined := &res{events: events, bind: bind, minID: minID, maxID: maxID, minTs: minTs, maxTs: maxTs}
+	if !en.checkConds(parent.pn.conds, joined) {
+		return nil
+	}
+	return joined
+}
+
+func (en *Engine) checkConds(conds []pattern.Condition, r *res) bool {
+	look := func(a string) (*event.Event, bool) {
+		e, ok := r.bind[a]
+		return e, ok
+	}
+	for _, c := range conds {
+		if !c.Eval(en.schema, look) {
+			return false
+		}
+	}
+	return true
+}
+
+func (en *Engine) pruneTree(t *tree, e *event.Event) {
+	var prune func(n *rnode)
+	prune = func(n *rnode) {
+		kept := n.store[:0]
+		for _, r := range n.store {
+			live := false
+			if en.window.Kind == pattern.CountWindow {
+				live = e.ID-r.minID <= uint64(en.window.Size)-1
+			} else {
+				live = e.Ts-r.minTs <= en.window.Size
+			}
+			if live {
+				kept = append(kept, r)
+			}
+		}
+		n.store = kept
+		if n.left != nil {
+			prune(n.left)
+			prune(n.right)
+		}
+	}
+	prune(t.root)
+}
+
+// Stats returns accumulated counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// Plans returns the chosen plan per disjunct, for inspection and tests.
+func (en *Engine) Plans() []*Plan {
+	out := make([]*Plan, len(en.trees))
+	for i, t := range en.trees {
+		out[i] = t.plan
+	}
+	return out
+}
+
+// Run evaluates the whole stream, deduplicating matches by key.
+func Run(p *pattern.Pattern, st *event.Stream, stats Statistics) ([]*cep.Match, Stats, error) {
+	en, err := New(p, st.Schema, stats)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var matches []*cep.Match
+	seen := map[string]bool{}
+	for i := range st.Events {
+		for _, m := range en.Process(st.Events[i]) {
+			if k := m.Key(); !seen[k] {
+				seen[k] = true
+				matches = append(matches, m)
+			}
+		}
+	}
+	return matches, en.Stats(), nil
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d instances=%d matches=%d", s.Events, s.Instances, s.Matches)
+}
+
+func mergeByID(a, b []*event.Event) []*event.Event {
+	out := make([]*event.Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ID < b[j].ID:
+			out = append(out, a[i])
+			i++
+		case a[i].ID > b[j].ID:
+			out = append(out, b[j])
+			j++
+		default:
+			return nil
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

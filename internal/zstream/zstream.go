@@ -1,0 +1,270 @@
+// Package zstream implements the ZStream ECEP optimization baseline
+// (Mei & Madden, SIGMOD 2009 [54]): tree-based evaluation plans for
+// sequence/conjunction patterns, chosen by a dynamic-programming search over
+// a CPU cost model driven by measured arrival rates and predicate
+// selectivities.
+//
+// DLACEP's Figure 12 compares against this baseline on SEQ, CONJ, and
+// DISJ-of-SEQ patterns; accordingly the package supports patterns whose
+// root is SEQ or CONJ over primitives, or DISJ over such sub-patterns.
+// Kleene closure and negation are out of scope here (they are exercised by
+// the NFA engine in internal/cep).
+package zstream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Statistics holds the stream statistics consumed by the cost model.
+type Statistics struct {
+	// Rate maps an event type to its arrival probability (fraction of
+	// stream events of this type).
+	Rate map[string]float64
+	// Sel maps a condition (by its String rendering) to its estimated
+	// selectivity in [0, 1].
+	Sel map[string]float64
+}
+
+// DefaultSelectivity is assumed for conditions with no measured estimate.
+const DefaultSelectivity = 0.5
+
+// EstimateStatistics measures rates and Monte-Carlo condition selectivities
+// from a sample stream. sampleSize bounds the number of random event pairs
+// drawn per condition.
+func EstimateStatistics(p *pattern.Pattern, st *event.Stream, sampleSize int, seed int64) Statistics {
+	stats := Statistics{Rate: map[string]float64{}, Sel: map[string]float64{}}
+	if st.Len() == 0 {
+		return stats
+	}
+	for t, c := range st.TypeCounts() {
+		stats.Rate[t] = float64(c) / float64(st.Len())
+	}
+	byType := map[string][]*event.Event{}
+	for i := range st.Events {
+		e := &st.Events[i]
+		byType[e.Type] = append(byType[e.Type], e)
+	}
+	aliasTypes := map[string][]string{}
+	for _, pr := range p.Prims() {
+		aliasTypes[pr.Alias] = pr.Types
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(alias string) *event.Event {
+		types := aliasTypes[alias]
+		var pool []*event.Event
+		for _, t := range types {
+			pool = append(pool, byType[t]...)
+		}
+		if len(pool) == 0 {
+			return nil
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	for _, c := range p.Where {
+		aliases := c.Aliases()
+		hit, n := 0, 0
+		for i := 0; i < sampleSize; i++ {
+			bind := map[string]*event.Event{}
+			ok := true
+			for _, a := range aliases {
+				e := draw(a)
+				if e == nil {
+					ok = false
+					break
+				}
+				bind[a] = e
+			}
+			if !ok {
+				continue
+			}
+			n++
+			if c.Eval(st.Schema, func(a string) (*event.Event, bool) { e, ok := bind[a]; return e, ok }) {
+				hit++
+			}
+		}
+		if n > 0 {
+			stats.Sel[c.String()] = float64(hit) / float64(n)
+		}
+	}
+	return stats
+}
+
+func (s Statistics) selectivity(c pattern.Condition) float64 {
+	if v, ok := s.Sel[c.String()]; ok {
+		return v
+	}
+	if fn, ok := c.(pattern.Fn); ok && fn.Sel > 0 {
+		return fn.Sel
+	}
+	return DefaultSelectivity
+}
+
+// PlanNode is one node of a binary evaluation tree over the leaf span
+// [Lo, Hi] (inclusive leaf indices).
+type PlanNode struct {
+	Lo, Hi      int
+	Left, Right *PlanNode // nil for leaves
+	// Cost is the estimated number of intermediate results produced in one
+	// window by this subtree (the ZStream CPU cost proxy).
+	Cost float64
+	// conds are evaluated when this node joins its children.
+	conds []pattern.Condition
+}
+
+// IsLeaf reports whether the node covers a single primitive.
+func (n *PlanNode) IsLeaf() bool { return n.Left == nil }
+
+// String renders the join structure, e.g. "((0 1) (2 3))".
+func (n *PlanNode) String() string {
+	if n.IsLeaf() {
+		return fmt.Sprintf("%d", n.Lo)
+	}
+	return fmt.Sprintf("(%v %v)", n.Left, n.Right)
+}
+
+// Plan is a complete evaluation plan for one SEQ/CONJ sub-pattern.
+type Plan struct {
+	Root    *PlanNode
+	ordered bool // SEQ: join requires left events before right events
+	prims   []*pattern.Node
+	conds   []pattern.Condition
+}
+
+// planFor runs the ZStream dynamic program: among all binary trees over
+// contiguous leaf spans, pick the one minimizing the total number of
+// intermediate results, estimated from rates and selectivities over a
+// window of W events.
+func planFor(root *pattern.Node, where []pattern.Condition, w pattern.Window, stats Statistics) (*Plan, error) {
+	if root.Kind != pattern.KindSeq && root.Kind != pattern.KindConj {
+		return nil, fmt.Errorf("zstream: unsupported operator %v (want SEQ or CONJ of primitives)", root.Kind)
+	}
+	prims := make([]*pattern.Node, len(root.Children))
+	for i, ch := range root.Children {
+		if ch.Kind != pattern.KindPrim {
+			return nil, fmt.Errorf("zstream: child %d is %v, only primitives are supported", i, ch.Kind)
+		}
+		prims[i] = ch
+	}
+	conds := append(append([]pattern.Condition(nil), where...), root.Where...)
+	idxOf := map[string]int{}
+	for i, pr := range prims {
+		idxOf[pr.Alias] = i
+	}
+
+	n := len(prims)
+	wsize := float64(w.Size)
+	leafCard := make([]float64, n)
+	for i, pr := range prims {
+		rate := 0.0
+		for _, t := range pr.Types {
+			rate += stats.Rate[t]
+		}
+		leafCard[i] = wsize * rate
+	}
+
+	// span selectivity: product of selectivities of conditions fully inside
+	// [i..j]; for SEQ the expected fraction of event combinations in the
+	// right order is 1/(j-i+1)!.
+	condSpan := make([][2]int, len(conds))
+	for ci, c := range conds {
+		lo, hi := n, -1
+		for _, a := range c.Aliases() {
+			idx, ok := idxOf[a]
+			if !ok {
+				return nil, fmt.Errorf("zstream: condition %v references alias %q outside the pattern", c, a)
+			}
+			if idx < lo {
+				lo = idx
+			}
+			if idx > hi {
+				hi = idx
+			}
+		}
+		condSpan[ci] = [2]int{lo, hi}
+	}
+	card := func(lo, hi int) float64 {
+		c := 1.0
+		for i := lo; i <= hi; i++ {
+			c *= leafCard[i]
+		}
+		for ci, sp := range condSpan {
+			if sp[0] >= lo && sp[1] <= hi {
+				c *= stats.selectivity(conds[ci])
+			}
+		}
+		if root.Kind == pattern.KindSeq {
+			c /= fact(hi - lo + 1)
+		}
+		return c
+	}
+
+	type cell struct {
+		cost  float64
+		split int
+	}
+	dp := make([][]cell, n)
+	for i := range dp {
+		dp[i] = make([]cell, n)
+		dp[i][i] = cell{cost: 0, split: -1}
+	}
+	for span := 2; span <= n; span++ {
+		for lo := 0; lo+span-1 < n; lo++ {
+			hi := lo + span - 1
+			best := cell{cost: math.Inf(1)}
+			for k := lo; k < hi; k++ {
+				c := dp[lo][k].cost + dp[k+1][hi].cost + card(lo, hi)
+				if c < best.cost {
+					best = cell{cost: c, split: k}
+				}
+			}
+			dp[lo][hi] = best
+		}
+	}
+
+	var build func(lo, hi int) *PlanNode
+	build = func(lo, hi int) *PlanNode {
+		node := &PlanNode{Lo: lo, Hi: hi, Cost: dp[lo][hi].cost}
+		if lo == hi {
+			node.Cost = card(lo, lo)
+			return node
+		}
+		k := dp[lo][hi].split
+		node.Left = build(lo, k)
+		node.Right = build(k+1, hi)
+		return node
+	}
+	plan := &Plan{Root: build(0, n-1), ordered: root.Kind == pattern.KindSeq, prims: prims, conds: conds}
+
+	// Attach each condition to the lowest plan node covering its span.
+	var attach func(node *PlanNode)
+	attach = func(node *PlanNode) {
+		for ci, sp := range condSpan {
+			if sp[0] < node.Lo || sp[1] > node.Hi {
+				continue
+			}
+			if !node.IsLeaf() && (sp[1] <= node.Left.Hi || sp[0] >= node.Right.Lo) {
+				continue // fits in a child; attached deeper
+			}
+			node.conds = append(node.conds, conds[ci])
+		}
+		if !node.IsLeaf() {
+			attach(node.Left)
+			attach(node.Right)
+		}
+	}
+	attach(plan.Root)
+	return plan, nil
+}
+
+func fact(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,195 @@
+package zstream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var volSchema = event.NewSchema("vol")
+
+func randStream(rng *rand.Rand, n int, types []string, weights []float64) *event.Stream {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	events := make([]event.Event, n)
+	for i := range events {
+		r := rng.Float64() * total
+		idx := 0
+		for r > weights[idx] {
+			r -= weights[idx]
+			idx++
+		}
+		events[i] = event.Event{Type: types[idx], Attrs: []float64{rng.NormFloat64()}}
+	}
+	return event.NewStream(volSchema, events)
+}
+
+func uniform(types []string) []float64 {
+	w := make([]float64, len(types))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func crossCheck(t *testing.T, name string, p *pattern.Pattern, rounds, n int, types []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	for r := 0; r < rounds; r++ {
+		st := randStream(rng, n, types, uniform(types))
+		stats := EstimateStatistics(p, st, 200, 5)
+		got, _, err := Run(p, st, stats)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, _, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := cep.Keys(got), cep.Keys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s round %d: zstream=%v nfa=%v", name, r, g, w)
+		}
+	}
+}
+
+func TestCrossCheckSeq(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c, D d) WITHIN 8")
+	crossCheck(t, "seq4", p, 25, 24, []string{"A", "B", "C", "D", "X"})
+}
+
+func TestCrossCheckSeqConditions(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.5 * a.vol < c.vol AND b.vol < c.vol WITHIN 8")
+	crossCheck(t, "seq-cond", p, 25, 20, []string{"A", "B", "C"})
+}
+
+func TestCrossCheckConj(t *testing.T) {
+	p := pattern.MustParse("PATTERN CONJ(A a, B b, C c) WITHIN 6")
+	crossCheck(t, "conj", p, 25, 18, []string{"A", "B", "C", "X"})
+}
+
+func TestCrossCheckDisj(t *testing.T) {
+	p := pattern.MustParse("PATTERN DISJ(SEQ(A a, B b), SEQ(C c, D d)) WHERE a.vol < b.vol WITHIN 6")
+	crossCheck(t, "disj", p, 25, 20, []string{"A", "B", "C", "D"})
+}
+
+func TestCrossCheckTimeWindow(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 4 TIME")
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 20; r++ {
+		events := make([]event.Event, 16)
+		ts := int64(0)
+		types := []string{"A", "B", "X"}
+		for i := range events {
+			ts += int64(rng.Intn(3))
+			events[i] = event.Event{Type: types[rng.Intn(3)], Ts: ts, Attrs: []float64{1}}
+		}
+		st := event.NewStream(volSchema, events)
+		got, _, err := Run(p, st, Statistics{Rate: map[string]float64{}, Sel: map[string]float64{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := cep.Run(p, st)
+		if g, w := cep.Keys(got), cep.Keys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("time round %d: zstream=%v nfa=%v", r, g, w)
+		}
+	}
+}
+
+func TestPlanPrefersSelectiveJoinFirst(t *testing.T) {
+	// Leaves: A is rare, B and C are common; a selective condition links
+	// B and C. The DP should join (B C) first rather than (A B).
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE 0.9 * b.vol < c.vol < 1.1 * b.vol WITHIN 100")
+	stats := Statistics{
+		Rate: map[string]float64{"A": 0.01, "B": 0.4, "C": 0.4},
+		Sel:  map[string]float64{p.Where[0].String(): 0.01, p.Where[1].String(): 0.01},
+	}
+	en, err := New(p, volSchema, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := en.Plans()[0]
+	if got := plan.Root.String(); got != "(0 (1 2))" {
+		t.Errorf("plan = %s, want (0 (1 2))", got)
+	}
+}
+
+func TestPlanCostMonotonicInWindow(t *testing.T) {
+	stats := Statistics{Rate: map[string]float64{"A": 0.3, "B": 0.3, "C": 0.3}, Sel: map[string]float64{}}
+	mk := func(w int) float64 {
+		p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 10")
+		p.Window = pattern.Count(w)
+		plan, err := planFor(p.Root, p.Where, p.Window, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Root.Cost
+	}
+	if !(mk(10) < mk(50) && mk(50) < mk(200)) {
+		t.Errorf("plan cost not monotone in window: %v %v %v", mk(10), mk(50), mk(200))
+	}
+}
+
+func TestEstimateStatistics(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	events := make([]event.Event, 400)
+	rng := rand.New(rand.NewSource(1))
+	for i := range events {
+		typ := "A"
+		if i%2 == 1 {
+			typ = "B"
+		}
+		events[i] = event.Event{Type: typ, Attrs: []float64{rng.NormFloat64()}}
+	}
+	st := event.NewStream(volSchema, events)
+	stats := EstimateStatistics(p, st, 2000, 9)
+	if math.Abs(stats.Rate["A"]-0.5) > 0.01 || math.Abs(stats.Rate["B"]-0.5) > 0.01 {
+		t.Errorf("rates = %v, want ~0.5 each", stats.Rate)
+	}
+	sel := stats.Sel[p.Where[0].String()]
+	if math.Abs(sel-0.5) > 0.1 {
+		t.Errorf("selectivity of a.vol<b.vol = %v, want ~0.5", sel)
+	}
+}
+
+func TestRejectsUnsupportedOperators(t *testing.T) {
+	for _, src := range []string{
+		"PATTERN KC(A a) WITHIN 5",
+		"PATTERN SEQ(A a, KC(B b)) WITHIN 5",
+		"PATTERN SEQ(A a, NEG(C c), B b) WITHIN 5",
+	} {
+		p := pattern.MustParse(src)
+		if _, err := New(p, volSchema, Statistics{Rate: map[string]float64{}}); err == nil {
+			t.Errorf("New(%q) accepted unsupported pattern", src)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 10")
+	st := event.NewStream(volSchema, []event.Event{
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "A", Attrs: []float64{1}},
+		{Type: "B", Attrs: []float64{1}},
+	})
+	_, stats, err := Run(p, st, Statistics{Rate: map[string]float64{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 3 {
+		t.Errorf("events = %d", stats.Events)
+	}
+	// leaf results: 2 A + 1 B; joins: 2 matches. total 5.
+	if stats.Instances != 5 {
+		t.Errorf("instances = %d, want 5", stats.Instances)
+	}
+	if stats.Matches != 2 {
+		t.Errorf("matches = %d, want 2", stats.Matches)
+	}
+}
