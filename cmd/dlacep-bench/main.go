@@ -23,6 +23,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 8, 9, 10, 11, 12, 13, 14, ablations, or all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	parallel := flag.Int("parallel", 0, "pipeline worker bound for every experiment; 0 or 1 keeps the paper's single-core semantics")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -35,6 +36,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|paper)\n", *scaleName)
 		os.Exit(2)
 	}
+	sc.Parallelism = *parallel
 
 	figs := []string{*fig}
 	if *fig == "all" {

@@ -26,6 +26,7 @@ func main() {
 	dataPath := flag.String("data", "", "stream CSV to evaluate")
 	compare := flag.Bool("compare", false, "also run exact CEP and report recall / gain")
 	printMatches := flag.Int("print", 5, "print up to this many matches")
+	parallel := flag.Int("parallel", 0, "pipeline worker bound: 0 or 1 sequential, N>1 marks windows and runs pattern engines concurrently")
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: dlacep-run -model model.json -data stream.csv [-compare]")
@@ -64,6 +65,7 @@ func main() {
 	default:
 		cfg = core.DefaultConfig(w)
 	}
+	cfg.Parallelism = *parallel
 	pl, err := core.NewPipeline(schema, pats, cfg, filter)
 	if err != nil {
 		fatal(err)
@@ -85,7 +87,7 @@ func main() {
 	}
 
 	if *compare {
-		ecep, err := core.RunECEP(schema, pats, st)
+		ecep, err := core.RunECEPParallel(schema, pats, st, cfg.Workers())
 		if err != nil {
 			fatal(err)
 		}

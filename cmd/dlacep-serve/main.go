@@ -35,11 +35,12 @@ func main() {
 	listen := flag.String("listen", "", "address to serve on, e.g. :7878")
 	connect := flag.String("connect", "", "server address to stream to (client mode)")
 	dataPath := flag.String("data", "", "stream CSV to send (client mode)")
+	parallel := flag.Int("parallel", 0, "per-connection pipeline worker bound (server mode); 0 or 1 sequential")
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		runServer(*modelPath, *listen)
+		runServer(*modelPath, *listen, *parallel)
 	case *connect != "":
 		runClient(*connect, *dataPath)
 	default:
@@ -48,7 +49,7 @@ func main() {
 	}
 }
 
-func runServer(modelPath, listen string) {
+func runServer(modelPath, listen string, parallel int) {
 	raw, err := os.ReadFile(modelPath)
 	if err != nil {
 		fatal(err)
@@ -68,6 +69,7 @@ func runServer(modelPath, listen string) {
 	default:
 		cfg = core.DefaultConfig(int(pats[0].Window.Size))
 	}
+	cfg.Parallelism = parallel
 	srv, err := server.New(schema, pats, cfg, func() (core.EventFilter, error) {
 		f, _, _, err := core.LoadModel(bytes.NewReader(raw))
 		return f, err

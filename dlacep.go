@@ -132,8 +132,10 @@ var (
 	NewWindowNetwork = core.NewWindowNetwork
 	// NewPipeline wires a filter into the DLACEP pipeline.
 	NewPipeline = core.NewPipeline
-	// RunECEP measures the exact baseline on a stream.
-	RunECEP = core.RunECEP
+	// RunECEP measures the exact baseline on a stream; RunECEPParallel
+	// fans the patterns out over a bounded worker pool.
+	RunECEP         = core.RunECEP
+	RunECEPParallel = core.RunECEPParallel
 	// Compare computes recall/F1/gain of an approximate run vs exact.
 	Compare = core.Compare
 	// DefaultTrainOptions returns a CPU-scale training schedule.

@@ -138,6 +138,15 @@ func (n *EventNetwork) Marginals(window []event.Event) []float64 {
 	return out
 }
 
+// CloneFilter returns an inference copy for concurrent marking: the BiLSTM
+// body is cloned (forward passes carry scratch state), while the embedder,
+// CRF chains, threshold, and schema are shared — all read-only at inference.
+func (n *EventNetwork) CloneFilter() EventFilter {
+	c := *n
+	c.Net = n.Net.Clone()
+	return &c
+}
+
 // Mark keeps the events whose participation marginal clears Threshold.
 func (n *EventNetwork) Mark(window []event.Event) []bool {
 	probs := n.Marginals(window)

@@ -37,12 +37,25 @@ func (w WindowToEvent) Mark(window []event.Event) []bool {
 	return marks
 }
 
+// CloneFilter clones through the adapter when the inner window filter is
+// cloneable, and returns nil (marking stays sequential) otherwise.
+func (w WindowToEvent) CloneFilter() EventFilter {
+	if cf, ok := w.F.(CloneableWindowFilter); ok {
+		return WindowToEvent{F: cf.CloneWindowFilter()}
+	}
+	return nil
+}
+
 // OracleFilter marks exactly the ground-truth labels computed by exact CEP.
 // It is the ablation upper bound on filter quality: pipeline results with
 // the oracle isolate assembler/extractor overhead from network accuracy.
 type OracleFilter struct {
 	L *label.Labeler
 }
+
+// CloneFilter returns the filter itself: the labeler is mutex-protected and
+// safe for concurrent use.
+func (o OracleFilter) CloneFilter() EventFilter { return o }
 
 // Mark returns the ground-truth event labels.
 func (o OracleFilter) Mark(window []event.Event) []bool {
@@ -61,6 +74,9 @@ func (o OracleFilter) Mark(window []event.Event) []bool {
 type OracleWindowFilter struct {
 	L *label.Labeler
 }
+
+// CloneWindowFilter returns the filter itself (the labeler is mutex-protected).
+func (o OracleWindowFilter) CloneWindowFilter() WindowFilter { return o }
 
 // Applicable returns the ground-truth window label.
 func (o OracleWindowFilter) Applicable(window []event.Event) bool {
@@ -88,6 +104,10 @@ func NewTypeFilter(pats ...*pattern.Pattern) TypeFilter {
 	return t
 }
 
+// CloneFilter returns the filter itself: the type set is read-only after
+// construction.
+func (t TypeFilter) CloneFilter() EventFilter { return t }
+
 // Mark keeps pattern-relevant types.
 func (t TypeFilter) Mark(window []event.Event) []bool {
 	marks := make([]bool, len(window))
@@ -100,6 +120,9 @@ func (t TypeFilter) Mark(window []event.Event) []bool {
 // KeepAllFilter relays everything; the pipeline then degenerates to ECEP
 // plus assembler overhead (useful in tests and ablations).
 type KeepAllFilter struct{}
+
+// CloneFilter returns the filter itself (stateless).
+func (f KeepAllFilter) CloneFilter() EventFilter { return f }
 
 // Mark keeps every non-blank event.
 func (KeepAllFilter) Mark(window []event.Event) []bool {

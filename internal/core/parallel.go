@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+)
+
+// Parallel execution layer. The DLACEP pipeline decomposes into independent
+// units along two axes: marking windows are filtered independently (the
+// filter is a pure function of one window), and each monitored pattern has
+// its own CEP engine consuming the same relayed stream. Both axes
+// parallelize without changing the emitted match-key set:
+//
+//   - window marking fans out over a bounded worker pool where each worker
+//     owns a filter clone (BiLSTM forward passes carry scratch state, so
+//     workers cannot share one network); marks are written back into
+//     window-indexed slots, keeping the downstream dedup/relay scan in
+//     window order and therefore deterministic;
+//   - relayed batches fan out one goroutine per engine; every engine still
+//     sees events in strictly increasing ID order, and the per-batch merge
+//     dedups under the pipeline's Keys set in engine index order, then
+//     sorts the batch's new matches by match key so output ordering is
+//     reproducible regardless of goroutine scheduling.
+//
+// Config.Parallelism bounds the worker pool; 0 or 1 selects the original
+// sequential paths.
+
+// CloneableFilter is an EventFilter that can produce independent clones for
+// concurrent marking. Clones share read-only trained state (weights,
+// normalization statistics) but own any per-inference scratch buffers.
+// Filters that are already safe for concurrent use return themselves.
+// CloneFilter may return nil when cloning is unavailable (e.g. an adapter
+// over a non-cloneable inner filter); marking then stays sequential.
+type CloneableFilter interface {
+	EventFilter
+	CloneFilter() EventFilter
+}
+
+// CloneableWindowFilter is the WindowFilter analogue, used by WindowToEvent
+// to clone through the adapter.
+type CloneableWindowFilter interface {
+	WindowFilter
+	CloneWindowFilter() WindowFilter
+}
+
+// markWindows runs the filter over every window and returns the marks in
+// window order. With workers > 1 and a cloneable filter, windows are marked
+// concurrently by a bounded pool of filter clones; otherwise marking is
+// sequential. Empty windows get nil marks without touching the filter (a
+// BiLSTM or CRF forward pass over zero timesteps is undefined).
+func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]bool {
+	marks := make([][]bool, len(windows))
+	if workers > 1 && len(windows) > 1 {
+		if cf, ok := filter.(CloneableFilter); ok {
+			if workers > len(windows) {
+				workers = len(windows)
+			}
+			// Worker 0 reuses the pipeline's own filter; the rest clone. A
+			// nil clone means the filter cannot actually be cloned (adapter
+			// over a non-cloneable inner filter) — fall through to sequential.
+			filters := []EventFilter{filter}
+			for len(filters) < workers {
+				c := cf.CloneFilter()
+				if c == nil {
+					break
+				}
+				filters = append(filters, c)
+			}
+			if len(filters) > 1 {
+				jobs := make(chan int)
+				var wg sync.WaitGroup
+				var panicOnce sync.Once
+				var panicked any
+				for _, f := range filters {
+					wg.Add(1)
+					go func(f EventFilter) {
+						defer wg.Done()
+						defer func() {
+							if r := recover(); r != nil {
+								panicOnce.Do(func() { panicked = r })
+								for range jobs { // drain so the feeder never blocks
+								}
+							}
+						}()
+						for i := range jobs {
+							if len(windows[i]) > 0 {
+								marks[i] = f.Mark(windows[i])
+							}
+						}
+					}(f)
+				}
+				for i := range windows {
+					jobs <- i
+				}
+				close(jobs)
+				wg.Wait()
+				if panicked != nil {
+					panic(panicked)
+				}
+				return marks
+			}
+		}
+	}
+	for i, w := range windows {
+		if len(w) > 0 {
+			marks[i] = filter.Mark(w)
+		}
+	}
+	return marks
+}
+
+// engineSet wraps the pipeline's per-pattern CEP engines with a batch
+// dispatcher that optionally fans out one goroutine per engine.
+type engineSet struct {
+	engines []*cep.Engine
+	par     bool
+}
+
+func newEngineSet(engines []*cep.Engine, workers int) *engineSet {
+	return &engineSet{engines: engines, par: workers > 1 && len(engines) > 1}
+}
+
+// Process feeds the batch (ID-ordered) to every engine and returns the
+// matches not yet present in seen, in deterministic order: deduped by
+// engine index, then sorted by match key. seen is updated in place.
+func (es *engineSet) Process(batch []event.Event, seen map[string]bool) []*cep.Match {
+	perEngine := make([][]*cep.Match, len(es.engines))
+	if es.par {
+		var wg sync.WaitGroup
+		for i, en := range es.engines {
+			wg.Add(1)
+			go func(i int, en *cep.Engine) {
+				defer wg.Done()
+				perEngine[i] = runBatch(en, batch)
+			}(i, en)
+		}
+		wg.Wait()
+	} else {
+		for i, en := range es.engines {
+			perEngine[i] = runBatch(en, batch)
+		}
+	}
+	return mergeMatches(perEngine, seen)
+}
+
+// Flush closes every engine and returns the remaining new matches in the
+// same deterministic order as Process.
+func (es *engineSet) Flush(seen map[string]bool) []*cep.Match {
+	perEngine := make([][]*cep.Match, len(es.engines))
+	if es.par {
+		var wg sync.WaitGroup
+		for i, en := range es.engines {
+			wg.Add(1)
+			go func(i int, en *cep.Engine) {
+				defer wg.Done()
+				perEngine[i] = en.Flush()
+			}(i, en)
+		}
+		wg.Wait()
+	} else {
+		for i, en := range es.engines {
+			perEngine[i] = en.Flush()
+		}
+	}
+	return mergeMatches(perEngine, seen)
+}
+
+// Stats returns the per-engine cost counters in pattern order.
+func (es *engineSet) Stats() []cep.Stats {
+	out := make([]cep.Stats, len(es.engines))
+	for i, en := range es.engines {
+		out[i] = en.Stats()
+	}
+	return out
+}
+
+func runBatch(en *cep.Engine, batch []event.Event) []*cep.Match {
+	var out []*cep.Match
+	for _, ev := range batch {
+		out = append(out, en.Process(ev)...)
+	}
+	return out
+}
+
+// mergeMatches dedups the per-engine match lists against seen (updating it)
+// and returns the new matches sorted by key.
+func mergeMatches(perEngine [][]*cep.Match, seen map[string]bool) []*cep.Match {
+	var out []*cep.Match
+	for _, ms := range perEngine {
+		for _, m := range ms {
+			if k := m.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// assembleStreaming cuts a stream into exactly the marking windows the
+// incremental Processor produces: full MarkSize windows at StepSize stride,
+// plus the trailing partial buffer (the events after the last stride). This
+// differs from Assemble's tail handling — Assemble re-cuts the last full
+// MarkSize events — and matters for parallel batch runs: Pipeline.Run must
+// present identical windows to the filter at every parallelism level, or a
+// context-sensitive filter could mark tail events differently.
+func assembleStreaming(events []event.Event, markSize, stepSize int) [][]event.Event {
+	n := len(events)
+	var out [][]event.Event
+	lo := 0
+	for lo+markSize <= n {
+		out = append(out, events[lo:lo+markSize])
+		lo += stepSize
+	}
+	if lo < n {
+		out = append(out, events[lo:n])
+	}
+	return out
+}

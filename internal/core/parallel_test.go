@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+// hashFilter marks events by a pure function of their IDs: deterministic,
+// stateless, and trivially cloneable, so it exercises the parallel marking
+// pool with marks that vary per salt but never per schedule.
+type hashFilter struct{ salt uint64 }
+
+func (h hashFilter) Mark(w []event.Event) []bool {
+	marks := make([]bool, len(w))
+	for i := range w {
+		marks[i] = !w[i].IsBlank() && (w[i].ID*2654435761+h.salt)%3 != 0
+	}
+	return marks
+}
+
+func (h hashFilter) CloneFilter() EventFilter { return h }
+
+var parallelPats = []string{
+	"PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8",
+	"PATTERN SEQ(B b, KC(C c), D d) WITHIN 8",
+	"PATTERN CONJ(A a, D d) WITHIN 8",
+}
+
+func parallelPipeline(t *testing.T, filter EventFilter, par int) *Pipeline {
+	t.Helper()
+	pats := make([]*pattern.Pattern, len(parallelPats))
+	for i, src := range parallelPats {
+		pats[i] = pattern.MustParse(src)
+	}
+	cfg := smallCfg(8)
+	cfg.Parallelism = par
+	pl, err := NewPipeline(volSchema, pats, cfg, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestParallelRunEquivalence is the differential-equivalence property: over
+// many randomized streams, Pipeline.Run at Parallelism 1, 2, and 8 produces
+// identical match keys, relay counts, and totals.
+func TestParallelRunEquivalence(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		st := dataset.Synthetic(120+seed%40, 4, int64(1000+seed))
+		var base *Result
+		for _, par := range []int{1, 2, 8} {
+			pl := parallelPipeline(t, hashFilter{salt: uint64(seed)}, par)
+			res, err := pl.Run(st)
+			if err != nil {
+				t.Fatalf("seed %d P=%d: %v", seed, par, err)
+			}
+			if par == 1 {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Keys, base.Keys) {
+				t.Fatalf("seed %d: keys differ P=%d (%d) vs P=1 (%d)",
+					seed, par, len(res.Keys), len(base.Keys))
+			}
+			if res.EventsRelayed != base.EventsRelayed {
+				t.Fatalf("seed %d P=%d: EventsRelayed %d != %d",
+					seed, par, res.EventsRelayed, base.EventsRelayed)
+			}
+			if res.EventsTotal != base.EventsTotal {
+				t.Fatalf("seed %d P=%d: EventsTotal %d != %d",
+					seed, par, res.EventsTotal, base.EventsTotal)
+			}
+		}
+	}
+}
+
+// TestParallelMatchOrderDeterministic reruns the same parallel configuration
+// and requires bitwise-identical match key sequences: the engine fan-out
+// merge must not leak goroutine scheduling into output order.
+func TestParallelMatchOrderDeterministic(t *testing.T) {
+	st := dataset.Synthetic(200, 4, 42)
+	keys := func() string {
+		pl := parallelPipeline(t, hashFilter{salt: 7}, 8)
+		res, err := pl.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ks []string
+		for _, m := range res.Matches {
+			ks = append(ks, m.Key())
+		}
+		return strings.Join(ks, "|")
+	}
+	first := keys()
+	for i := 0; i < 5; i++ {
+		if got := keys(); got != first {
+			t.Fatalf("run %d produced different match order", i)
+		}
+	}
+}
+
+// TestParallelNetworkFilterEquivalence runs a real (untrained but
+// deterministic) BiLSTM event-network through the clone-based marking pool:
+// the clones must mark exactly like the original at every parallelism level.
+func TestParallelNetworkFilterEquivalence(t *testing.T) {
+	pats := make([]*pattern.Pattern, len(parallelPats))
+	for i, src := range parallelPats {
+		pats[i] = pattern.MustParse(src)
+	}
+	cfg := smallCfg(8)
+	net, err := NewEventNetwork(volSchema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.Synthetic(150, 4, 9)
+	net.Emb.Fit(st)
+	net.Threshold = 0.45 // below 0.5 so the untrained net relays something
+
+	var base *Result
+	for _, par := range []int{1, 2, 8} {
+		net.Cfg.Parallelism = par
+		pl, err := NewPipeline(volSchema, pats, net.Cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pl.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par == 1 {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Keys, base.Keys) {
+			t.Fatalf("P=%d keys (%d) differ from P=1 (%d)", par, len(res.Keys), len(base.Keys))
+		}
+		if res.EventsRelayed != base.EventsRelayed {
+			t.Fatalf("P=%d relayed %d != %d", par, res.EventsRelayed, base.EventsRelayed)
+		}
+	}
+	if base.EventsRelayed == 0 {
+		t.Fatal("degenerate test: nothing relayed at any level")
+	}
+}
+
+// TestParallelProcessorMatchesRun checks that the incremental Processor and
+// the batch Run agree at every parallelism level, including the parallel
+// batch path's streaming window geometry.
+func TestParallelProcessorMatchesRun(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		for _, n := range []int{1, 15, 16, 17, 100, 201} {
+			st := dataset.Synthetic(n, 4, int64(50+n))
+			pl := parallelPipeline(t, hashFilter{salt: uint64(n)}, par)
+			batch, err := pl.Run(st)
+			if err != nil {
+				t.Fatalf("P=%d n=%d: %v", par, n, err)
+			}
+			proc, err := pl.NewProcessor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamed []*cep.Match
+			for i := range st.Events {
+				ms, err := proc.Push(st.Events[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamed = append(streamed, ms...)
+			}
+			ms, err := proc.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed = append(streamed, ms...)
+			if got, want := cep.Keys(streamed), batch.Keys; !reflect.DeepEqual(got, want) {
+				t.Fatalf("P=%d n=%d: incremental (%d) and batch (%d) match sets differ",
+					par, n, len(got), len(want))
+			}
+			pr := proc.Result()
+			if pr.EventsTotal != batch.EventsTotal || pr.EventsRelayed != batch.EventsRelayed {
+				t.Fatalf("P=%d n=%d: counts differ: total %d/%d relayed %d/%d",
+					par, n, pr.EventsTotal, batch.EventsTotal, pr.EventsRelayed, batch.EventsRelayed)
+			}
+		}
+	}
+}
+
+// TestParallelECEPEquivalence checks RunECEPParallel against RunECEP.
+func TestParallelECEPEquivalence(t *testing.T) {
+	pats := make([]*pattern.Pattern, len(parallelPats))
+	for i, src := range parallelPats {
+		pats[i] = pattern.MustParse(src)
+	}
+	st := dataset.Synthetic(300, 4, 13)
+	want, err := RunECEP(volSchema, pats, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := RunECEPParallel(volSchema, pats, st, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Keys, want.Keys) {
+			t.Fatalf("workers=%d: keys differ", workers)
+		}
+		if len(got.CEPStats) != len(pats) {
+			t.Fatalf("workers=%d: %d CEPStats for %d patterns", workers, len(got.CEPStats), len(pats))
+		}
+		for i := range got.CEPStats {
+			if got.CEPStats[i] != want.CEPStats[i] {
+				t.Fatalf("workers=%d: CEPStats[%d] = %+v, want %+v", workers, i, got.CEPStats[i], want.CEPStats[i])
+			}
+		}
+	}
+}
+
+// TestRunWindowsEmptyWindows is the regression test for the flush-boundary
+// panic: an empty window used to be indexed for its first event ID.
+func TestRunWindowsEmptyWindows(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	lab, _ := label.New(volSchema, p)
+	pl := pipelineFor(t, p, OracleFilter{lab}, smallCfg(5))
+
+	ev := func(id uint64, typ string, vol float64) event.Event {
+		return event.Event{ID: id, Type: typ, Attrs: []float64{vol}}
+	}
+	cases := [][][]event.Event{
+		{{ev(1, "A", 1), ev(2, "B", 2)}, {}},                               // trailing empty
+		{{}, {ev(1, "A", 1), ev(2, "B", 2)}},                               // leading empty
+		{{ev(1, "A", 1)}, {}, {}, {ev(2, "B", 2), ev(3, "A", 3)}},          // interior run of empties
+		{{}, {}},                                                           // all empty
+		{{ev(1, "A", 1), ev(2, "B", 2)}, {}, {ev(3, "A", 3), ev(4, "B", 4)}}, // sandwiched
+	}
+	for i, windows := range cases {
+		res, err := pl.RunWindows(windows)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if res == nil {
+			t.Fatalf("case %d: nil result", i)
+		}
+	}
+	// The first case must still find the A→B match.
+	res, err := pl.RunWindows(cases[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 1 {
+		t.Fatalf("expected 1 match, got %d", len(res.Keys))
+	}
+}
+
+// nonCloneableWindow is a WindowFilter without CloneWindowFilter, forcing
+// WindowToEvent.CloneFilter to return nil.
+type nonCloneableWindow struct{ rng *rand.Rand }
+
+func (n nonCloneableWindow) Applicable(w []event.Event) bool { return n.rng.Intn(2) == 0 }
+
+// TestParallelFallbackNonCloneable checks that a parallel pipeline over a
+// filter that cannot be cloned degrades to sequential marking and still
+// matches the fully sequential run (the stateful rng sees windows in the
+// same order either way).
+func TestParallelFallbackNonCloneable(t *testing.T) {
+	st := dataset.Synthetic(120, 4, 5)
+	runWith := func(par int) *Result {
+		f := WindowToEvent{F: nonCloneableWindow{rng: rand.New(rand.NewSource(99))}}
+		if f.CloneFilter() != nil {
+			t.Fatal("expected nil clone for non-cloneable inner filter")
+		}
+		pl := parallelPipeline(t, f, par)
+		res, err := pl.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := runWith(1), runWith(8)
+	if !reflect.DeepEqual(par.Keys, seq.Keys) || par.EventsRelayed != seq.EventsRelayed {
+		t.Fatalf("fallback run diverged: relayed %d vs %d", par.EventsRelayed, seq.EventsRelayed)
+	}
+}
+
+// panicFilter panics on a specific window's first event ID.
+type panicFilter struct{ at uint64 }
+
+func (p panicFilter) Mark(w []event.Event) []bool {
+	if len(w) > 0 && w[0].ID == p.at {
+		panic(fmt.Sprintf("boom at %d", p.at))
+	}
+	return make([]bool, len(w))
+}
+
+func (p panicFilter) CloneFilter() EventFilter { return p }
+
+// TestMarkWindowsPanicPropagates checks that a panic inside a marking worker
+// surfaces to the caller instead of deadlocking the pool.
+func TestMarkWindowsPanicPropagates(t *testing.T) {
+	st := dataset.Synthetic(200, 4, 3)
+	pl := parallelPipeline(t, panicFilter{at: st.Events[32].ID}, 4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	pl.Run(st)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dlacep/internal/cep"
@@ -74,8 +75,19 @@ func NewPipeline(schema *event.Schema, pats []*pattern.Pattern, cfg Config, filt
 // keep their original IDs and the engines enforce the ID-distance
 // constraint of Section 4.4, every emitted match is also an exact match
 // (for negation-free patterns). Run is the batch convenience over
-// NewProcessor's incremental interface.
+// NewProcessor's incremental interface; with Cfg.Parallelism > 1 it instead
+// pre-cuts the stream into the Processor's window geometry and marks the
+// windows concurrently, producing the same match-key set.
 func (pl *Pipeline) Run(st *event.Stream) (*Result, error) {
+	if pl.Cfg.Workers() > 1 {
+		total := 0
+		for i := range st.Events {
+			if !st.Events[i].IsBlank() {
+				total++
+			}
+		}
+		return pl.run(assembleStreaming(st.Events, pl.Cfg.MarkSize, pl.Cfg.StepSize), total)
+	}
 	p, err := pl.NewProcessor()
 	if err != nil {
 		return nil, err
@@ -109,6 +121,7 @@ func (pl *Pipeline) RunWindows(windows [][]event.Event) (*Result, error) {
 }
 
 func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, error) {
+	workers := pl.Cfg.Workers()
 	engines := make([]*cep.Engine, len(pl.pats))
 	for i, p := range pl.pats {
 		en, err := cep.New(p, pl.schema)
@@ -117,7 +130,20 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		}
 		engines[i] = en
 	}
+	es := newEngineSet(engines, workers)
 	res := &Result{Keys: map[string]bool{}, EventsTotal: totalEvents}
+
+	// Marking phase: every window's marks are independent of the relay, so
+	// they are computed up front — concurrently when Parallelism allows —
+	// and consumed by the sequential relay scan below in window order.
+	start := time.Now()
+	marks := markWindows(pl.Filter, windows, workers)
+	res.FilterTime = time.Since(start)
+	for i := range windows {
+		if len(marks[i]) != len(windows[i]) {
+			return nil, fmt.Errorf("core: filter returned %d marks for %d events", len(marks[i]), len(windows[i]))
+		}
+	}
 
 	// pending holds marked events not yet safe to relay: a later window may
 	// still mark events with smaller IDs than this window's largest, so
@@ -136,28 +162,13 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		batch := pending[:i]
 		pending = pending[i:]
 		start := time.Now()
-		for _, ev := range batch {
-			res.EventsRelayed++
-			for _, en := range engines {
-				for _, m := range en.Process(ev) {
-					if k := m.Key(); !res.Keys[k] {
-						res.Keys[k] = true
-						res.Matches = append(res.Matches, m)
-					}
-				}
-			}
-		}
+		res.EventsRelayed += len(batch)
+		res.Matches = append(res.Matches, es.Process(batch, res.Keys)...)
 		res.CEPTime += time.Since(start)
 	}
 
 	for wi, w := range windows {
-		start := time.Now()
-		marks := pl.Filter.Mark(w)
-		res.FilterTime += time.Since(start)
-		if len(marks) != len(w) {
-			return nil, fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(w))
-		}
-		for i, m := range marks {
+		for i, m := range marks[wi] {
 			if !m || w[i].IsBlank() || relayed[w[i].ID] {
 				continue
 			}
@@ -168,43 +179,76 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 				pending[j-1], pending[j] = pending[j], pending[j-1]
 			}
 		}
-		if wi+1 < len(windows) {
-			flush(windows[wi+1][0].ID, false)
+		// Everything below the next non-empty window's first event is now
+		// safe: no remaining window can mark smaller IDs. Empty windows
+		// impose no bound (and have no first event to index — skipping them
+		// also fixes the RunWindows panic on blank/empty window lists).
+		next := wi + 1
+		for next < len(windows) && len(windows[next]) == 0 {
+			next++
+		}
+		if next < len(windows) {
+			flush(windows[next][0].ID, false)
 		}
 	}
 	flush(0, true)
-	start := time.Now()
-	for _, en := range engines {
-		for _, m := range en.Flush() {
-			if k := m.Key(); !res.Keys[k] {
-				res.Keys[k] = true
-				res.Matches = append(res.Matches, m)
-			}
-		}
-		res.CEPStats = append(res.CEPStats, en.Stats())
-	}
+	start = time.Now()
+	res.Matches = append(res.Matches, es.Flush(res.Keys)...)
+	res.CEPStats = es.Stats()
 	res.CEPTime += time.Since(start)
 	return res, nil
 }
 
 // RunECEP evaluates the same patterns exactly (no filtering) and measures
 // throughput, producing the baseline side of every "gain over ECEP"
-// comparison.
+// comparison. It runs single-threaded so measured baselines keep the
+// paper's single-core semantics; see RunECEPParallel.
 func RunECEP(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream) (*Result, error) {
+	return RunECEPParallel(schema, pats, st, 1)
+}
+
+// RunECEPParallel is RunECEP with per-pattern fan-out: up to workers
+// patterns are evaluated concurrently, each on its own engine, and the
+// match sets are merged in pattern order under the usual Keys dedup. The
+// resulting Keys set and per-pattern CEPStats are identical to RunECEP's.
+func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream, workers int) (*Result, error) {
 	res := &Result{Keys: map[string]bool{}, EventsTotal: st.Len(), EventsRelayed: st.Len()}
+	type patternRun struct {
+		matches []*cep.Match
+		stats   cep.Stats
+		err     error
+	}
+	runs := make([]patternRun, len(pats))
 	start := time.Now()
-	for _, p := range pats {
-		matches, stats, err := cep.Run(p, st)
-		if err != nil {
-			return nil, err
+	if workers > 1 && len(pats) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, p := range pats {
+			wg.Add(1)
+			go func(i int, p *pattern.Pattern) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runs[i].matches, runs[i].stats, runs[i].err = cep.Run(p, st)
+			}(i, p)
 		}
-		for _, m := range matches {
+		wg.Wait()
+	} else {
+		for i, p := range pats {
+			runs[i].matches, runs[i].stats, runs[i].err = cep.Run(p, st)
+		}
+	}
+	for _, r := range runs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, m := range r.matches {
 			if k := m.Key(); !res.Keys[k] {
 				res.Keys[k] = true
 				res.Matches = append(res.Matches, m)
 			}
 		}
-		res.CEPStats = append(res.CEPStats, stats)
+		res.CEPStats = append(res.CEPStats, r.stats)
 	}
 	res.CEPTime = time.Since(start)
 	return res, nil

@@ -16,9 +16,9 @@ import (
 // Events must arrive in strictly increasing ID order. Not safe for
 // concurrent use.
 type Processor struct {
-	pl      *Pipeline
-	engines []*cep.Engine
-	res     *Result
+	pl  *Pipeline
+	es  *engineSet
+	res *Result
 
 	buf     []event.Event // events awaiting their marking window
 	pending []event.Event // marked events not yet safely relayable
@@ -35,13 +35,15 @@ func (pl *Pipeline) NewProcessor() (*Processor, error) {
 		relayed: map[uint64]bool{},
 		seen:    map[string]bool{},
 	}
-	for _, pat := range pl.pats {
+	engines := make([]*cep.Engine, len(pl.pats))
+	for i, pat := range pl.pats {
 		en, err := cep.New(pat, pl.schema)
 		if err != nil {
 			return nil, err
 		}
-		p.engines = append(p.engines, en)
+		engines[i] = en
 	}
+	p.es = newEngineSet(engines, pl.Cfg.Workers())
 	return p, nil
 }
 
@@ -87,17 +89,13 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 	}
 	// relay everything left
 	start := time.Now()
-	for _, ev := range p.pending {
-		p.res.EventsRelayed++
-		for _, en := range p.engines {
-			out = p.collect(out, en.Process(ev))
-		}
+	if len(p.pending) > 0 {
+		p.res.EventsRelayed += len(p.pending)
+		out = p.collect(out, p.es.Process(p.pending, p.seen))
 	}
 	p.pending = nil
-	for _, en := range p.engines {
-		out = p.collect(out, en.Flush())
-		p.res.CEPStats = append(p.res.CEPStats, en.Stats())
-	}
+	out = p.collect(out, p.es.Flush(p.seen))
+	p.res.CEPStats = p.es.Stats()
 	p.res.CEPTime += time.Since(start)
 	return out, nil
 }
@@ -138,25 +136,22 @@ func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
 	batch := p.pending[:i]
 	p.pending = p.pending[i:]
 	start := time.Now()
+	p.res.EventsRelayed += len(batch)
 	for _, ev := range batch {
-		p.res.EventsRelayed++
 		delete(p.relayed, ev.ID) // no future window can re-mark below upTo
-		for _, en := range p.engines {
-			out = p.collect(out, en.Process(ev))
-		}
 	}
+	out = p.collect(out, p.es.Process(batch, p.seen))
 	p.res.CEPTime += time.Since(start)
 	return out
 }
 
+// collect records engineSet output (already deduped against p.seen) in the
+// accumulated result and the caller's return slice.
 func (p *Processor) collect(out []*cep.Match, ms []*cep.Match) []*cep.Match {
 	for _, m := range ms {
-		if k := m.Key(); !p.seen[k] {
-			p.seen[k] = true
-			p.res.Keys[k] = true
-			p.res.Matches = append(p.res.Matches, m)
-			out = append(out, m)
-		}
+		p.res.Keys[m.Key()] = true
+		p.res.Matches = append(p.res.Matches, m)
+		out = append(out, m)
 	}
 	return out
 }

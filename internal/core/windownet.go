@@ -65,6 +65,14 @@ func (n *WindowNetwork) Applicable(window []event.Event) bool {
 	return n.Logit(window) > n.Threshold
 }
 
+// CloneWindowFilter returns an inference copy for concurrent classification:
+// the network body is cloned, the embedder and threshold are shared.
+func (n *WindowNetwork) CloneWindowFilter() WindowFilter {
+	c := *n
+	c.Net = n.Net.Clone()
+	return &c
+}
+
 // Calibrate tunes Threshold to the largest logit cutoff whose window-level
 // recall over the given windows meets targetRecall. It returns the chosen
 // threshold.
@@ -153,3 +161,11 @@ var _ EventFilter = OracleFilter{}
 var _ EventFilter = TypeFilter{}
 var _ EventFilter = KeepAllFilter{}
 var _ WindowFilter = OracleWindowFilter{}
+
+var _ CloneableFilter = (*EventNetwork)(nil)
+var _ CloneableFilter = WindowToEvent{}
+var _ CloneableFilter = OracleFilter{}
+var _ CloneableFilter = TypeFilter{}
+var _ CloneableFilter = KeepAllFilter{}
+var _ CloneableWindowFilter = (*WindowNetwork)(nil)
+var _ CloneableWindowFilter = OracleWindowFilter{}

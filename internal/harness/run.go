@@ -62,7 +62,7 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{MarkSize: 2 * w, StepSize: w, Hidden: sc.Hidden, Layers: sc.Layers, Arch: opts.Arch, Seed: sc.Seed}
+	cfg := core.Config{MarkSize: 2 * w, StepSize: w, Hidden: sc.Hidden, Layers: sc.Layers, Arch: opts.Arch, Seed: sc.Seed, Parallelism: sc.Parallelism}
 
 	var windows [][]event.Event
 	if opts.MaxWindow > 0 {

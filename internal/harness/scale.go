@@ -37,6 +37,11 @@ type Scale struct {
 	// convergence instead, reaching recall 0.95+ without calibration).
 	TargetRecall float64
 
+	// Parallelism is the pipeline worker bound (core.Config.Parallelism);
+	// 0 keeps the single-threaded semantics the paper measures. Matches
+	// are identical at every level, only throughput changes.
+	Parallelism int
+
 	// Stock generator shape.
 	Tickers int
 	ZipfS   float64

@@ -1,0 +1,77 @@
+package nn
+
+import "fmt"
+
+// Inference cloning. Layers cache activations from the most recent Forward
+// call, so a single network instance is not safe for concurrent use even at
+// inference time. Clone produces a structurally identical network whose
+// layers share the original's parameter tensors (weights are only read
+// during Forward) but own fresh scratch caches, so each clone may run
+// Forward concurrently with the original and with other clones.
+//
+// Clones share Grad accumulators too: training (Backward) on a clone races
+// with training on the original. Clones are inference-only by contract.
+
+// Cloneable is implemented by layers that support inference cloning.
+type Cloneable interface {
+	// CloneLayer returns a copy sharing parameters but not scratch state.
+	CloneLayer() Layer
+}
+
+// Clone returns an inference copy of the network: same layer structure,
+// shared parameters, independent per-layer caches. It panics if a layer
+// does not implement Cloneable (all layers in this package do).
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c, ok := l.(Cloneable)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %T does not support cloning", l))
+		}
+		out.Layers[i] = c.CloneLayer()
+	}
+	return out
+}
+
+// CloneLayer returns an inference copy sharing Wx, Wh, and B.
+func (l *LSTM) CloneLayer() Layer {
+	return &LSTM{Wx: l.Wx, Wh: l.Wh, B: l.B, in: l.in, hidden: l.hidden, reverse: l.reverse}
+}
+
+// CloneLayer clones both directions.
+func (b *BiLSTM) CloneLayer() Layer {
+	return &BiLSTM{
+		Fwd: b.Fwd.CloneLayer().(*LSTM),
+		Bwd: b.Bwd.CloneLayer().(*LSTM),
+	}
+}
+
+// CloneLayer returns an inference copy sharing W and B.
+func (l *Linear) CloneLayer() Layer {
+	return &Linear{W: l.W, B: l.B, in: l.in, out: l.out}
+}
+
+// CloneLayer returns a fresh pooling layer (no parameters).
+func (m *MeanPool) CloneLayer() Layer { return &MeanPool{dim: m.dim} }
+
+// CloneLayer returns a fresh dropout layer sharing P and the sampler. The
+// sampler is only consulted when train is true, which inference clones never
+// pass.
+func (d *Dropout) CloneLayer() Layer { return &Dropout{P: d.P, dim: d.dim, rng: d.rng} }
+
+// CloneLayer returns an inference copy sharing W and B.
+func (c *Conv1D) CloneLayer() Layer {
+	return &Conv1D{W: c.W, B: c.B, in: c.in, out: c.out, kernel: c.kernel, dilation: c.dilation}
+}
+
+// CloneLayer returns a fresh rectifier (no parameters).
+func (r *ReLU) CloneLayer() Layer { return &ReLU{dim: r.dim} }
+
+// CloneLayer clones the body and the projection.
+func (r *Residual) CloneLayer() Layer {
+	out := &Residual{Body: r.Body.Clone()}
+	if r.Proj != nil {
+		out.Proj = r.Proj.CloneLayer().(*Linear)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func randInput(rng *rand.Rand, t, dim int) [][]float64 {
+	x := make([][]float64, t)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func cloneTestNets(rng *rand.Rand) map[string]*Network {
+	bilstm := NewStackedBiLSTM(4, 6, 2, rng)
+	bilstm.Layers = append(bilstm.Layers, NewLinear(bilstm.OutDim(), 2, rng))
+	tcn := NewTCN(4, 6, 2, 3, rng)
+	pooled := NewStackedBiLSTM(4, 5, 1, rng)
+	pooled.Layers = append(pooled.Layers, NewMeanPool(pooled.OutDim()), NewLinear(pooled.OutDim(), 1, rng))
+	return map[string]*Network{"bilstm": bilstm, "tcn": tcn, "pooled": pooled}
+}
+
+// TestCloneForwardMatches checks that a clone computes exactly the original's
+// forward pass for every layer combination the pipeline builds.
+func TestCloneForwardMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, net := range cloneTestNets(rng) {
+		x := randInput(rng, 12, 4)
+		want := net.Forward(x, false)
+		got := net.Clone().Forward(x, false)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: clone forward differs from original", name)
+		}
+	}
+}
+
+// TestCloneConcurrentForward runs the original and many clones concurrently
+// on different inputs and checks each against a sequential reference. Run
+// under -race this also proves clones share no scratch state.
+func TestCloneConcurrentForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for name, net := range cloneTestNets(rng) {
+		const n = 8
+		inputs := make([][][]float64, n)
+		want := make([][][]float64, n)
+		for i := range inputs {
+			inputs[i] = randInput(rng, 10+i, 4)
+			want[i] = net.Forward(inputs[i], false)
+		}
+		got := make([][][]float64, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			f := net
+			if i > 0 {
+				f = net.Clone()
+			}
+			wg.Add(1)
+			go func(i int, f *Network) {
+				defer wg.Done()
+				got[i] = f.Forward(inputs[i], false)
+			}(i, f)
+		}
+		wg.Wait()
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%s: concurrent forward %d differs from sequential reference", name, i)
+			}
+		}
+	}
+}
+
+// TestCloneSharesParams checks the memory contract: parameter tensors are
+// shared (a weight update on the original is visible to the clone), while
+// scratch state is not.
+func TestCloneSharesParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewStackedBiLSTM(3, 4, 1, rng)
+	clone := net.Clone()
+	orig, cp := net.Params(), clone.Params()
+	if len(orig) != len(cp) {
+		t.Fatalf("param count differs: %d vs %d", len(orig), len(cp))
+	}
+	for i := range orig {
+		if orig[i] != cp[i] {
+			t.Fatalf("param %d not shared", i)
+		}
+	}
+	x := randInput(rng, 5, 3)
+	before := net.Forward(x, false)
+	orig[0].Data[0] += 0.5
+	after := clone.Forward(x, false)
+	if reflect.DeepEqual(before, after) {
+		t.Fatal("weight update on original not visible through clone")
+	}
+}
