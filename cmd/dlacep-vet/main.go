@@ -1,0 +1,170 @@
+// Command dlacep-vet runs the DLACEP invariant analyzers (package
+// internal/analysis) over the module: determinism (globalrand, maporder),
+// numerics (floatcmp), and concurrency/robustness (rawgoroutine,
+// libpanic) checks that go vet does not perform but the paper's
+// reproducibility claims depend on.
+//
+// Usage:
+//
+//	dlacep-vet [flags] [packages]
+//
+// Packages are module-relative patterns: "./..." (default) analyzes the
+// whole module, "./internal/core" one package, "./internal/..." a
+// subtree. Exit status is 0 when clean, 1 when findings were reported,
+// and 2 on usage or load errors.
+//
+// Findings are suppressed line-by-line with
+//
+//	//dlacep:ignore <analyzer> <one-line reason>
+//
+// on the offending line or the line above it; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dlacep/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dlacep-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	dir := fs.String("C", "", "change to this directory before locating the module")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		sel, unknown := analysis.ByName(strings.Split(*only, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(stderr, "dlacep-vet: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			return 2
+		}
+		analyzers = sel
+	}
+
+	start := *dir
+	if start == "" {
+		var err error
+		if start, err = os.Getwd(); err != nil {
+			fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
+			return 2
+		}
+	}
+	root, err := analysis.FindModuleRoot(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep, err := packageFilter(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
+		return 2
+	}
+	filtered := *mod
+	filtered.Pkgs = nil
+	for _, p := range mod.Pkgs {
+		if keep(p.Rel) {
+			filtered.Pkgs = append(filtered.Pkgs, p)
+		}
+	}
+
+	diags := analysis.Run(&filtered, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, shorten(d, root))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dlacep-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// packageFilter turns ./-style patterns into a predicate over
+// module-relative package dirs.
+func packageFilter(patterns []string) (func(rel string) bool, error) {
+	type pat struct {
+		prefix string
+		tree   bool
+	}
+	var pats []pat
+	for _, raw := range patterns {
+		p := filepath.ToSlash(raw)
+		p = strings.TrimPrefix(p, "./")
+		tree := false
+		if strings.HasSuffix(p, "...") {
+			tree = true
+			p = strings.TrimSuffix(p, "...")
+			p = strings.TrimSuffix(p, "/")
+		}
+		if strings.HasPrefix(p, "/") || strings.HasPrefix(p, "..") {
+			return nil, fmt.Errorf("package pattern %q must be module-relative (./pkg or ./pkg/...)", raw)
+		}
+		if p == "." {
+			p = ""
+		}
+		pats = append(pats, pat{prefix: p, tree: tree})
+	}
+	return func(rel string) bool {
+		for _, p := range pats {
+			if p.tree {
+				if p.prefix == "" || rel == p.prefix || strings.HasPrefix(rel, p.prefix+"/") {
+					return true
+				}
+			} else if rel == p.prefix {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// shorten renders a diagnostic with the filename relative to the module
+// root, keeping output stable across checkouts.
+func shorten(d analysis.Diagnostic, root string) string {
+	s := d.String()
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s: %s", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return s
+}

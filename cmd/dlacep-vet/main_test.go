@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("dlacep-vet ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+func TestRunFindsFixtureViolations(t *testing.T) {
+	root := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module dlacep\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "math/rand"
+
+func draw() int { return rand.Intn(6) }
+
+func boom() { panic("no") }
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-C", root, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"globalrand", "libpanic", "rand.Intn"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Scoping: restricting to a clean subtree must exit 0.
+	out.Reset()
+	errOut.Reset()
+	write("internal/shed/ok.go", "package shed\n\nfunc ok() {}\n")
+	if code := run([]string{"-C", root, "./internal/shed"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean subtree: exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+func TestRunFlagHandling(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, name := range []string{"floatcmp", "globalrand", "maporder", "rawgoroutine", "libpanic"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("-only nosuch: exit %d, want 2", code)
+	}
+	if code := run([]string{"../escape"}, &out, &errOut); code != 2 {
+		t.Fatalf("escaping pattern: exit %d, want 2", code)
+	}
+}
+
+func TestPackageFilter(t *testing.T) {
+	keep, err := packageFilter([]string{"./internal/...", "./cmd/dlacep-vet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rel, want := range map[string]bool{
+		"internal/core":     true,
+		"internal/nn":       true,
+		"cmd/dlacep-vet":    true,
+		"cmd/dlacep-run":    false,
+		"examples/security": false,
+		"":                  false,
+	} {
+		if keep(rel) != want {
+			t.Errorf("keep(%q) = %v, want %v", rel, keep(rel), want)
+		}
+	}
+	all, err := packageFilter([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all("") || !all("internal/deep/nested") {
+		t.Error("./... must match everything")
+	}
+}

@@ -76,6 +76,7 @@ func (m *Model) CECEP(w float64) float64 { return m.Phi(w) }
 // conditional on attribute values and are assumed unchanged by filtering.
 func (m *Model) CACEP(w float64, psi []float64, cFilter float64) float64 {
 	if len(psi) != len(m.Rates) {
+		//dlacep:ignore libpanic caller bug: psi length is static experiment configuration, not runtime input
 		panic(fmt.Sprintf("acep: got %d filtering ratios for %d primitives", len(psi), len(m.Rates)))
 	}
 	filtered := &Model{Rates: make([]float64, len(m.Rates)), Sel: m.Sel}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp reports == and != between floating-point operands in the
+// numeric packages. Figure regeneration depends on bit-reproducible
+// training runs, and exact float equality is the classic way those break
+// silently: a refactor that reorders a sum flips a comparison outcome and
+// the drift is invisible until the curves disagree. Comparisons inside
+// designated epsilon helpers (function names containing "approx",
+// "almost", or "eps") are the sanctioned pattern and are exempt.
+var FloatCmp = &Analyzer{
+	Name:      "floatcmp",
+	Doc:       "== / != on floating-point operands outside epsilon helpers",
+	AppliesTo: inScope("internal/nn", "internal/crf", "internal/metrics"),
+	Run:       runFloatCmp,
+}
+
+func epsilonHelper(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "approx") || strings.Contains(l, "almost") || strings.Contains(l, "eps")
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) && !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			if _, name := enclosingFunc(stack); epsilonHelper(name) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon helper (math.Abs(a-b) <= eps) or compare with <=/>=", be.Op)
+			return true
+		})
+	}
+}

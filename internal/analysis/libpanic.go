@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPanic reports panic calls in library packages outside designated
+// mustX invariant helpers. A panic that escapes the library kills a whole
+// serving process at scale; recoverable conditions must surface as
+// errors. Functions whose declared name starts with "must"/"Must" are the
+// sanctioned place for crash-on-violated-invariant semantics (closures
+// inside them inherit the exemption).
+var LibPanic = &Analyzer{
+	Name:      "libpanic",
+	Doc:       "panic in library code outside mustX helpers",
+	AppliesTo: libraryPackage,
+	Run:       runLibPanic,
+}
+
+func mustHelper(name string) bool {
+	return strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+func runLibPanic(p *Pass) {
+	for _, f := range p.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			if _, name := enclosingFunc(stack); mustHelper(name) {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic in library code; return an error or move the invariant into a mustX helper")
+			return true
+		})
+	}
+}

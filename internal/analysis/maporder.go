@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder reports range-over-map loops that append to a slice declared
+// outside the loop in the match-emitting packages. Go randomizes map
+// iteration order, so such a loop makes the emitted sequence differ run
+// to run — exactly the nondeterminism the differential-equivalence suite
+// (PR 1) exists to rule out. The sanctioned idiom — collect keys, sort,
+// then iterate — is recognized: a loop whose target slice is passed to a
+// sort/slices ordering call later in the same function is not reported.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "range over map feeding an escaping slice (nondeterministic order)",
+	AppliesTo: inScope("internal/core", "internal/cep", "internal/zstream", "internal/lazy"),
+	Run:       runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			fn, _ := enclosingFunc(stack)
+			for _, app := range escapingAppends(p, rng) {
+				if fn != nil && sortedAfter(p, fn, app.target, rng.End()) {
+					continue
+				}
+				p.Reportf(app.pos, "append to %s inside range over map: iteration order is nondeterministic; sort after the loop or iterate sorted keys", app.name)
+			}
+			return true
+		})
+	}
+}
+
+type appendSite struct {
+	pos    token.Pos
+	name   string
+	target types.Object
+}
+
+// escapingAppends finds append calls in the range body whose destination
+// slice is declared outside the loop (a local declared inside the body
+// cannot leak iteration order).
+func escapingAppends(p *Pass, rng *ast.RangeStmt) []appendSite {
+	var sites []appendSite
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			return true
+		}
+		if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		obj, name := referencedObject(p, call.Args[0])
+		if obj == nil {
+			return true
+		}
+		// Struct fields always count as escaping; plain variables escape
+		// when declared before the range statement.
+		if _, isVar := obj.(*types.Var); isVar {
+			if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+				return true
+			}
+			sites = append(sites, appendSite{pos: call.Pos(), name: name, target: obj})
+		}
+		return true
+	})
+	return sites
+}
+
+// referencedObject resolves the variable or field an append destination
+// names: `s`, `r.field`, or `m[k]` style expressions.
+func referencedObject(p *Pass, e ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[e], e.Name
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel], exprString(e)
+	case *ast.IndexExpr:
+		return referencedObject(p, e.X)
+	}
+	return nil, ""
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "<expr>"
+}
+
+// sortedAfter reports whether fn's body contains, after pos, a call to a
+// sort.* or slices.Sort* function that references target.
+func sortedAfter(p *Pass, fn ast.Node, target types.Object, pos token.Pos) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if pkg := obj.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == target {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

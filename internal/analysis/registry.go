@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full dlacep-vet analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MapOrder, RawGoroutine}
+}
+
+// ByName resolves a comma-separated analyzer selection against the
+// registry; unknown names are returned in the second value.
+func ByName(names []string) (sel []*Analyzer, unknown []string) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			sel = append(sel, a)
+		} else {
+			unknown = append(unknown, n)
+		}
+	}
+	return sel, unknown
+}

@@ -1,0 +1,7 @@
+// Negative fixture: float equality outside floatcmp's package scope is
+// not reported.
+package harness
+
+func compareOutOfScope(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,25 @@
+// Negative fixture: only sanctioned comparisons in a floatcmp-scoped
+// package — epsilon helpers, ordered comparisons, and integer equality.
+package metrics
+
+import "math"
+
+func approxEqual(a, b, eps float64) bool {
+	return a == b || math.Abs(a-b) <= eps
+}
+
+func almostSame(a, b float64) bool {
+	return a == b
+}
+
+func withinEps(a, b float64) bool {
+	return a == b
+}
+
+func ordered(a, b float64) bool { return a <= b }
+
+func intEqual(a, b int) bool { return a == b }
+
+func useAll(a, b float64) bool {
+	return approxEqual(a, b, 1e-9) && almostSame(a, b) && withinEps(a, b) && ordered(a, b) && intEqual(1, 2)
+}

@@ -1,0 +1,22 @@
+// Positive fixture: float equality in a floatcmp-scoped package.
+package nn
+
+func badCompare(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func badNotEqual(a float32, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func badZeroCheck(x float64) bool {
+	if x == 0 { // want "floating-point == comparison"
+		return true
+	}
+	return false
+}
+
+func suppressedCompare(a, b float64) bool {
+	//dlacep:ignore floatcmp fixture: intentional bit-exact comparison
+	return a == b
+}

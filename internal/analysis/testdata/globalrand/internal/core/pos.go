@@ -1,0 +1,33 @@
+// Positive fixture: global randomness and wall-clock reads in a
+// deterministic package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalDraw() int {
+	return rand.Intn(10) // want `call to global rand\.Intn`
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64() // want `call to global rand\.Float64`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to global rand\.Shuffle`
+}
+
+func badClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func badSince(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in deterministic package`
+}
+
+func suppressedClock() time.Time {
+	//dlacep:ignore globalrand fixture: timing is display-only here
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+// Negative fixture: the sanctioned determinism idioms — a generator
+// constructed from an explicit seed, draws through injected *rand.Rand
+// methods, and time used only as a value type.
+package dataset
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Gen draws from an injected, seeded source: deterministic per seed.
+func Gen(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, 100)
+	out := make([]float64, 8)
+	for i := range out {
+		out[i] = rng.Float64() + float64(zipf.Uint64())
+	}
+	return out
+}
+
+// Shuffle uses the injected generator's method, not the global one.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Span manipulates durations without reading the wall clock.
+func Span(d time.Duration) time.Duration { return 2 * d }

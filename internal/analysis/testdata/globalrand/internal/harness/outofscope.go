@@ -1,0 +1,12 @@
+// Negative fixture: the harness layer owns wall-clock measurement, so
+// time.Now and even global rand are out of globalrand's scope here.
+package harness
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() (time.Time, int) {
+	return time.Now(), rand.Intn(3)
+}

@@ -1,0 +1,11 @@
+// Negative fixture: a cmd binary may panic; libpanic scopes to library
+// packages only.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 99 {
+		panic("too many args")
+	}
+}

@@ -1,0 +1,26 @@
+// Positive fixture: panics in library code outside mustX helpers.
+package core
+
+import "fmt"
+
+func badValidate(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in library code"
+	}
+}
+
+func badSwitch(op string) int {
+	switch op {
+	case "+":
+		return 1
+	default:
+		panic(fmt.Sprintf("unknown op %q", op)) // want "panic in library code"
+	}
+}
+
+func suppressedPanic(err error) {
+	if err != nil {
+		//dlacep:ignore libpanic fixture: unrecoverable invariant breach
+		panic(err)
+	}
+}

@@ -1,0 +1,31 @@
+// Negative fixture: panics confined to mustX invariant helpers (and
+// closures inside them), plus error returns for recoverable failures.
+package pattern
+
+import "errors"
+
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic("not positive")
+	}
+	return n
+}
+
+// MustParse mirrors regexp.MustCompile; the closure inherits the
+// exemption from the declared function's name.
+func MustParse(s string) string {
+	check := func() {
+		if s == "" {
+			panic("empty pattern")
+		}
+	}
+	check()
+	return s
+}
+
+func parse(s string) (string, error) {
+	if s == "" {
+		return "", errors.New("empty pattern")
+	}
+	return s, nil
+}

@@ -1,0 +1,49 @@
+// Negative fixture: the sanctioned patterns — collect-then-sort, local
+// accumulation inside the loop body, and slice-free map iteration.
+package cep
+
+import "sort"
+
+// Keys collects then sorts: deterministic despite map iteration order.
+func Keys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedSums appends inside the loop but orders with slices of pairs via
+// sort.Slice before anything escapes.
+func SortedSums(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count only aggregates commutatively; no slice is built.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// LocalOnly appends to a slice declared inside the loop body; nothing
+// order-dependent escapes.
+func LocalOnly(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+// Positive fixture: map iteration feeding escaping slices without a
+// subsequent sort.
+package core
+
+type result struct {
+	Matches []string
+}
+
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+func badFieldAppend(m map[string]int, r *result) {
+	for k, v := range m {
+		if v > 0 {
+			r.Matches = append(r.Matches, k) // want `append to r\.Matches inside range over map`
+		}
+	}
+}
+
+func suppressedCollect(m map[string]int, sink chan<- string) {
+	var out []string
+	for k := range m {
+		//dlacep:ignore maporder fixture: consumer re-sorts downstream
+		out = append(out, k)
+	}
+	for _, k := range out {
+		sink <- k
+	}
+}

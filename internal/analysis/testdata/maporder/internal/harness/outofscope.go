@@ -1,0 +1,11 @@
+// Negative fixture: map-order appends outside maporder's package scope
+// are not reported.
+package harness
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

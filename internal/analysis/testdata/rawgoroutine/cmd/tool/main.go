@@ -1,0 +1,11 @@
+// Negative fixture: cmd binaries own their process lifetime; detached
+// goroutines there are out of rawgoroutine's scope.
+package main
+
+func spawnDetached(work func()) {
+	go work()
+}
+
+func main() {
+	spawnDetached(func() {})
+}

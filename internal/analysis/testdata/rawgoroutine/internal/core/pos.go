@@ -1,0 +1,18 @@
+// Positive fixture: goroutines spawned in library code with no visible
+// join in the spawning function.
+package core
+
+func badFireAndForget(work func()) {
+	go work() // want "goroutine has no visible join"
+}
+
+func badLoopSpawn(jobs []func()) {
+	for _, j := range jobs {
+		go j() // want "goroutine has no visible join"
+	}
+}
+
+func suppressedSpawn(logLine func()) {
+	//dlacep:ignore rawgoroutine fixture: detached best-effort logger by design
+	go logLine()
+}

@@ -1,0 +1,49 @@
+// Negative fixture: every sanctioned join shape — WaitGroup.Wait,
+// result-channel receive, range over a channel, and select.
+package zstream
+
+import "sync"
+
+func joinedByWaitGroup(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j func()) {
+			defer wg.Done()
+			j()
+		}(j)
+	}
+	wg.Wait()
+}
+
+func joinedByReceive(work func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+func joinedByRange(n int) int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+func joinedBySelect(work func() int, cancel chan struct{}) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work() }()
+	select {
+	case v := <-ch:
+		return v
+	case <-cancel:
+		return 0
+	}
+}

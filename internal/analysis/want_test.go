@@ -1,0 +1,121 @@
+package analysis
+
+// Fixture test harness: fixture trees under testdata/<analyzer>/ mirror
+// the real module layout (module path "dlacep") and annotate expected
+// findings with trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// runFixture loads a tree, runs one analyzer, and asserts an exact
+// bidirectional match between reported diagnostics and want comments:
+// every diagnostic must be expected and every expectation must fire.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, m *Module) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					match := wantRE.FindStringSubmatch(c.Text)
+					if match == nil {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					args := wantArgRE.FindAllStringSubmatch(match[1], -1)
+					if len(args) == 0 {
+						t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
+					}
+					for _, a := range args {
+						pat := a[1]
+						if pat == "" {
+							pat = a[2] // backquoted form
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs one analyzer over testdata/<dir> and diffs findings
+// against the tree's want comments.
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	m, err := LoadTree(root, "dlacep")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(m.Pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", dir)
+	}
+	diags := Run(m, []*Analyzer{a})
+	wants := collectWants(t, m)
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", rel(t, d.String()))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("expected diagnostic did not fire: %s:%d: want %q", rel(t, w.file), w.line, w.re)
+		}
+	}
+}
+
+func rel(t *testing.T, path string) string {
+	t.Helper()
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+// sanity-check the harness's own regexp plumbing
+func TestWantParsing(t *testing.T) {
+	m := wantRE.FindStringSubmatch(`// want "foo" "bar baz"`)
+	if m == nil {
+		t.Fatal("wantRE did not match")
+	}
+	args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+	if len(args) != 2 || args[0][1] != "foo" || args[1][1] != "bar baz" {
+		t.Fatalf("parsed %v", args)
+	}
+}

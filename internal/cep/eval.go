@@ -306,6 +306,7 @@ func (s *seqEval) finish(out []*instance, entry seqEntry) []*instance {
 	}
 	if s.trailing != nil {
 		if !s.root {
+			//dlacep:ignore libpanic unreachable: compile validates negation placement before evaluation
 			panic("cep: trailing negation outside root")
 		}
 		w := s.sh.c.pat.Window

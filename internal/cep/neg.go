@@ -246,6 +246,7 @@ func (ns *negSearch) match(n *pattern.Node, minPos int, k func(nextMin int) bool
 		return false
 	default:
 		// KC and NEG inside negation are rejected by pattern validation.
+		//dlacep:ignore libpanic unreachable: compile rejects unsupported operators under negation
 		panic("cep: unsupported operator inside negation: " + n.Kind.String())
 	}
 }

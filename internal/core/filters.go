@@ -61,6 +61,7 @@ func (o OracleFilter) CloneFilter() EventFilter { return o }
 func (o OracleFilter) Mark(window []event.Event) []bool {
 	labels, err := o.L.EventLabels(window)
 	if err != nil {
+		//dlacep:ignore libpanic oracle filter is experiment-only; the Mark/Applicable interfaces have no error path and a labeling failure must abort the run
 		panic("core: oracle labeling failed: " + err.Error())
 	}
 	marks := make([]bool, len(window))
@@ -82,6 +83,7 @@ func (o OracleWindowFilter) CloneWindowFilter() WindowFilter { return o }
 func (o OracleWindowFilter) Applicable(window []event.Event) bool {
 	wl, err := o.L.WindowLabel(window)
 	if err != nil {
+		//dlacep:ignore libpanic oracle filter is experiment-only; the Mark/Applicable interfaces have no error path and a labeling failure must abort the run
 		panic("core: oracle labeling failed: " + err.Error())
 	}
 	return wl == 1

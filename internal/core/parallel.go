@@ -98,6 +98,7 @@ func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]b
 				close(jobs)
 				wg.Wait()
 				if panicked != nil {
+					//dlacep:ignore libpanic re-raises a worker goroutine's panic on the caller; not a new failure mode
 					panic(panicked)
 				}
 				return marks

@@ -239,10 +239,10 @@ func TestRunWindowsEmptyWindows(t *testing.T) {
 		return event.Event{ID: id, Type: typ, Attrs: []float64{vol}}
 	}
 	cases := [][][]event.Event{
-		{{ev(1, "A", 1), ev(2, "B", 2)}, {}},                               // trailing empty
-		{{}, {ev(1, "A", 1), ev(2, "B", 2)}},                               // leading empty
-		{{ev(1, "A", 1)}, {}, {}, {ev(2, "B", 2), ev(3, "A", 3)}},          // interior run of empties
-		{{}, {}},                                                           // all empty
+		{{ev(1, "A", 1), ev(2, "B", 2)}, {}},                      // trailing empty
+		{{}, {ev(1, "A", 1), ev(2, "B", 2)}},                      // leading empty
+		{{ev(1, "A", 1)}, {}, {}, {ev(2, "B", 2), ev(3, "A", 3)}}, // interior run of empties
+		{{}, {}}, // all empty
 		{{ev(1, "A", 1), ev(2, "B", 2)}, {}, {ev(3, "A", 3), ev(4, "B", 4)}}, // sandwiched
 	}
 	for i, windows := range cases {

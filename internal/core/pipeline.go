@@ -136,9 +136,9 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 	// Marking phase: every window's marks are independent of the relay, so
 	// they are computed up front — concurrently when Parallelism allows —
 	// and consumed by the sequential relay scan below in window order.
-	start := time.Now()
+	sw := metrics.StartStopwatch()
 	marks := markWindows(pl.Filter, windows, workers)
-	res.FilterTime = time.Since(start)
+	res.FilterTime = sw.Elapsed()
 	for i := range windows {
 		if len(marks[i]) != len(windows[i]) {
 			return nil, fmt.Errorf("core: filter returned %d marks for %d events", len(marks[i]), len(windows[i]))
@@ -161,10 +161,10 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		}
 		batch := pending[:i]
 		pending = pending[i:]
-		start := time.Now()
+		sw := metrics.StartStopwatch()
 		res.EventsRelayed += len(batch)
 		res.Matches = append(res.Matches, es.Process(batch, res.Keys)...)
-		res.CEPTime += time.Since(start)
+		res.CEPTime += sw.Elapsed()
 	}
 
 	for wi, w := range windows {
@@ -192,10 +192,10 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		}
 	}
 	flush(0, true)
-	start = time.Now()
+	sw = metrics.StartStopwatch()
 	res.Matches = append(res.Matches, es.Flush(res.Keys)...)
 	res.CEPStats = es.Stats()
-	res.CEPTime += time.Since(start)
+	res.CEPTime += sw.Elapsed()
 	return res, nil
 }
 
@@ -219,7 +219,7 @@ func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 		err     error
 	}
 	runs := make([]patternRun, len(pats))
-	start := time.Now()
+	sw := metrics.StartStopwatch()
 	if workers > 1 && len(pats) > 1 {
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
@@ -250,7 +250,7 @@ func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 		}
 		res.CEPStats = append(res.CEPStats, r.stats)
 	}
-	res.CEPTime = time.Since(start)
+	res.CEPTime = sw.Elapsed()
 	return res, nil
 }
 

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
+	"dlacep/internal/metrics"
 )
 
 // Processor is the incremental form of the pipeline: events are pushed one
@@ -59,7 +59,9 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	if len(p.buf) < p.pl.Cfg.MarkSize {
 		return nil, nil
 	}
-	out := p.markWindow(p.buf)
+	if err := p.markWindow(p.buf); err != nil {
+		return nil, err
+	}
 	// Advance by StepSize, retaining the overlap for the next window.
 	keep := len(p.buf) - p.pl.Cfg.StepSize
 	copy(p.buf, p.buf[p.pl.Cfg.StepSize:])
@@ -72,7 +74,7 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	} else {
 		upTo = ev.ID + 1
 	}
-	return p.relayBelow(out, upTo), nil
+	return p.relayBelow(nil, upTo), nil
 }
 
 // Flush marks the trailing partial window, drains everything, and closes
@@ -84,11 +86,13 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 	p.flushed = true
 	var out []*cep.Match
 	if len(p.buf) > 0 {
-		out = p.markWindow(p.buf)
+		if err := p.markWindow(p.buf); err != nil {
+			return nil, err
+		}
 		p.buf = nil
 	}
 	// relay everything left
-	start := time.Now()
+	sw := metrics.StartStopwatch()
 	if len(p.pending) > 0 {
 		p.res.EventsRelayed += len(p.pending)
 		out = p.collect(out, p.es.Process(p.pending, p.seen))
@@ -96,7 +100,7 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 	p.pending = nil
 	out = p.collect(out, p.es.Flush(p.seen))
 	p.res.CEPStats = p.es.Stats()
-	p.res.CEPTime += time.Since(start)
+	p.res.CEPTime += sw.Elapsed()
 	return out, nil
 }
 
@@ -104,13 +108,14 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 func (p *Processor) Result() *Result { return p.res }
 
 // markWindow runs the filter over one marking window and queues the marked
-// events in ID order.
-func (p *Processor) markWindow(window []event.Event) []*cep.Match {
-	start := time.Now()
+// events in ID order. A filter violating the one-mark-per-event contract is
+// reported as an error (user-pluggable filters make this reachable).
+func (p *Processor) markWindow(window []event.Event) error {
+	sw := metrics.StartStopwatch()
 	marks := p.pl.Filter.Mark(window)
-	p.res.FilterTime += time.Since(start)
+	p.res.FilterTime += sw.Elapsed()
 	if len(marks) != len(window) {
-		panic(fmt.Sprintf("core: filter returned %d marks for %d events", len(marks), len(window)))
+		return fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(window))
 	}
 	for i, m := range marks {
 		if !m || window[i].IsBlank() || p.relayed[window[i].ID] {
@@ -135,13 +140,13 @@ func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
 	}
 	batch := p.pending[:i]
 	p.pending = p.pending[i:]
-	start := time.Now()
+	sw := metrics.StartStopwatch()
 	p.res.EventsRelayed += len(batch)
 	for _, ev := range batch {
 		delete(p.relayed, ev.ID) // no future window can re-mark below upTo
 	}
 	out = p.collect(out, p.es.Process(batch, p.seen))
-	p.res.CEPTime += time.Since(start)
+	p.res.CEPTime += sw.Elapsed()
 	return out
 }
 

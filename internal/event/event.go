@@ -37,6 +37,7 @@ func NewSchema(names ...string) *Schema {
 	}
 	for i, n := range names {
 		if _, dup := s.index[n]; dup {
+			//dlacep:ignore libpanic documented MustCompile-style contract: schemas are static configuration
 			panic(fmt.Sprintf("event: duplicate attribute %q in schema", n))
 		}
 		s.index[n] = i

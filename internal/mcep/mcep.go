@@ -187,6 +187,7 @@ func renameCond(c pattern.Condition, renames map[string]string) pattern.Conditio
 	case pattern.ExprCond:
 		return pattern.RenameExprCond(c, renames)
 	default:
+		//dlacep:ignore libpanic unreachable: the switch covers every condition type the pattern package produces
 		panic(fmt.Sprintf("mcep: cannot canonicalize condition type %T", c))
 	}
 }

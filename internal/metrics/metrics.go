@@ -54,7 +54,7 @@ func (c Counts) Recall() float64 {
 // F1 returns the harmonic mean of precision and recall.
 func (c Counts) F1() float64 {
 	p, r := c.Precision(), c.Recall()
-	if p+r == 0 {
+	if p+r <= 0 {
 		return 0
 	}
 	return 2 * p * r / (p + r)
@@ -124,7 +124,7 @@ func Throughput(events int, elapsed time.Duration) float64 {
 // Gain is the throughput ratio t'/t of a mechanism X' over baseline X —
 // the paper's headline "throughput gain over ECEP".
 func Gain(ours, baseline float64) float64 {
-	if baseline == 0 {
+	if baseline <= 0 {
 		return 0
 	}
 	return ours / baseline
@@ -138,7 +138,22 @@ func Gain(ours, baseline float64) float64 {
 // the weights are static experiment configuration.
 func ACEPObjective(w1, w2, jaccard, gain float64) float64 {
 	if w1 < 0 || w2 < 0 || w1+w2 < 0.999 || w1+w2 > 1.001 {
+		//dlacep:ignore libpanic documented contract: objective weights are static experiment configuration
 		panic(fmt.Sprintf("metrics: invalid objective weights %v, %v", w1, w2))
 	}
 	return -w1*jaccard - w2*gain
 }
+
+// Stopwatch measures one wall-clock interval of the pipeline's cost
+// decomposition (filter time vs CEP time). It lives here rather than in
+// internal/core because the deterministic packages are forbidden — and
+// vetted, see cmd/dlacep-vet's globalrand analyzer — from reading the
+// wall clock directly: timing is a measurement concern of the
+// metrics/harness layer, never an input to match extraction.
+type Stopwatch struct{ start time.Time }
+
+// StartStopwatch begins timing an interval.
+func StartStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall-clock time since StartStopwatch.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

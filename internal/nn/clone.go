@@ -26,6 +26,7 @@ func (n *Network) Clone() *Network {
 	for i, l := range n.Layers {
 		c, ok := l.(Cloneable)
 		if !ok {
+			//dlacep:ignore libpanic documented contract: every layer shipped in this package implements Cloneable
 			panic(fmt.Sprintf("nn: layer %T does not support cloning", l))
 		}
 		out.Layers[i] = c.CloneLayer()

@@ -22,9 +22,11 @@ type Conv1D struct {
 // the receptive field is centered.
 func NewConv1D(in, out, kernel, dilation int, rng *rand.Rand) *Conv1D {
 	if kernel%2 == 0 {
+		//dlacep:ignore libpanic documented MustCompile-style constructor contract: model architecture is static
 		panic("nn: Conv1D kernel must be odd")
 	}
 	if dilation < 1 {
+		//dlacep:ignore libpanic documented MustCompile-style constructor contract: model architecture is static
 		panic("nn: Conv1D dilation must be >= 1")
 	}
 	c := &Conv1D{
@@ -41,7 +43,7 @@ func NewConv1D(in, out, kernel, dilation int, rng *rand.Rand) *Conv1D {
 
 // Forward computes the padded convolution; output has the input's length.
 func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
-	checkDims("conv1d", x, c.in)
+	mustDims("conv1d", x, c.in)
 	c.x = x
 	T := len(x)
 	half := c.kernel / 2
@@ -81,6 +83,7 @@ func (c *Conv1D) Backward(dY [][]float64) [][]float64 {
 		dyt := dY[t]
 		for o := 0; o < c.out; o++ {
 			g := dyt[o]
+			//dlacep:ignore floatcmp bit-exact zero-gradient skip; an epsilon would alter training numerics
 			if g == 0 {
 				continue
 			}
@@ -122,7 +125,7 @@ func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
 
 // Forward rectifies.
 func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
-	checkDims("relu", x, r.dim)
+	mustDims("relu", x, r.dim)
 	y := make([][]float64, len(x))
 	r.mask = make([][]bool, len(x))
 	for t, row := range x {

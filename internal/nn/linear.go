@@ -25,7 +25,7 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 
 // Forward computes the per-step affine map.
 func (l *Linear) Forward(x [][]float64, train bool) [][]float64 {
-	checkDims("linear", x, l.in)
+	mustDims("linear", x, l.in)
 	l.x = x
 	y := make([][]float64, len(x))
 	for t, xt := range x {
@@ -51,6 +51,7 @@ func (l *Linear) Backward(dY [][]float64) [][]float64 {
 		dxt := make([]float64, l.in)
 		for o := 0; o < l.out; o++ {
 			g := dyt[o]
+			//dlacep:ignore floatcmp bit-exact zero-gradient skip; an epsilon would alter training numerics
 			if g == 0 {
 				continue
 			}

@@ -60,7 +60,7 @@ func (l *LSTM) order(T int) []int {
 
 // Forward runs the recurrence and returns the hidden sequence (T × H).
 func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
-	checkDims("lstm", x, l.in)
+	mustDims("lstm", x, l.in)
 	T, H := len(x), l.hidden
 	l.x = x
 	l.gates = make([][]float64, T)
@@ -148,6 +148,7 @@ func (l *LSTM) Backward(dY [][]float64) [][]float64 {
 		xt := l.x[t]
 		for r := 0; r < 4*H; r++ {
 			g := dz[r]
+			//dlacep:ignore floatcmp bit-exact zero-gradient skip; an epsilon would alter training numerics
 			if g == 0 {
 				continue
 			}

@@ -72,7 +72,7 @@ func GradNorm(params []*Param) float64 {
 // LSTM training is unstable without it.
 func ClipGrads(params []*Param, max float64) {
 	n := GradNorm(params)
-	if n <= max || n == 0 {
+	if n <= max || n <= 0 {
 		return
 	}
 	scale := max / n
@@ -119,7 +119,7 @@ func sigmoid(x float64) float64 {
 	return z / (1 + z)
 }
 
-func checkDims(name string, x [][]float64, want int) {
+func mustDims(name string, x [][]float64, want int) {
 	for t, row := range x {
 		if len(row) != want {
 			panic(fmt.Sprintf("nn: %s: input step %d has dim %d, want %d", name, t, len(row), want))

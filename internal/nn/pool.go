@@ -14,7 +14,7 @@ func NewMeanPool(dim int) *MeanPool { return &MeanPool{dim: dim} }
 
 // Forward averages the sequence.
 func (m *MeanPool) Forward(x [][]float64, train bool) [][]float64 {
-	checkDims("meanpool", x, m.dim)
+	mustDims("meanpool", x, m.dim)
 	m.T = len(x)
 	out := make([]float64, m.dim)
 	for _, row := range x {
@@ -71,7 +71,7 @@ func NewDropout(dim int, p float64, rng func() float64) *Dropout {
 
 // Forward applies the mask when train is true.
 func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
-	d.off = !train || d.P == 0
+	d.off = !train || d.P <= 0
 	if d.off {
 		return x
 	}

@@ -57,6 +57,7 @@ func renameCond(c Condition, ren func(string) string) Condition {
 	case ExprCond:
 		return ExprCond{L: c.L.renameExpr(ren), Op: c.Op, R: c.R.renameExpr(ren)}
 	default:
+		//dlacep:ignore libpanic unreachable: every shipped condition type supports alias renaming
 		panic(fmt.Sprintf("pattern: cannot rename aliases of condition type %T", c))
 	}
 }
@@ -67,6 +68,7 @@ func renameCond(c Condition, ren func(string) string) Condition {
 // "p<i>_" to stay unique; all patterns must share the window.
 func Combine(name string, pats ...*Pattern) *Pattern {
 	if len(pats) == 0 {
+		//dlacep:ignore libpanic documented contract: Combine requires at least one pattern
 		panic("pattern: Combine of nothing")
 	}
 	w := pats[0].Window
@@ -74,6 +76,7 @@ func Combine(name string, pats ...*Pattern) *Pattern {
 	var where []Condition
 	for i, p := range pats {
 		if p.Window != w {
+			//dlacep:ignore libpanic documented contract: combined patterns must share one window
 			panic(fmt.Sprintf("pattern: Combine with differing windows %v vs %v", w, p.Window))
 		}
 		rp := RenameAliases(p, fmt.Sprintf("p%d_", i))

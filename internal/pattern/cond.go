@@ -152,6 +152,7 @@ func (c Cmp) Eval(s *event.Schema, look Lookup) bool {
 	case "!=":
 		return x != y
 	default:
+		//dlacep:ignore libpanic unreachable: parse validates comparison operators
 		panic(fmt.Sprintf("pattern: unknown comparison operator %q", c.Op))
 	}
 }

@@ -81,6 +81,7 @@ func (b BinExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
 	case '/':
 		return l / r, true
 	default:
+		//dlacep:ignore libpanic unreachable: parse validates arithmetic operators
 		panic(fmt.Sprintf("pattern: unknown arithmetic operator %q", b.Op))
 	}
 }
@@ -116,6 +117,7 @@ var exprFuncs = map[string]func(float64) float64{
 func (f FuncExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
 	fn, ok := exprFuncs[f.Name]
 	if !ok {
+		//dlacep:ignore libpanic unreachable: parse validates function names
 		panic(fmt.Sprintf("pattern: unknown function %q", f.Name))
 	}
 	v, ok := f.Arg.EvalExpr(s, look)
@@ -151,10 +153,12 @@ func (c ExprCond) Aliases() []string {
 func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
 	l, ok := c.L.EvalExpr(s, look)
 	if !ok {
+		//dlacep:ignore libpanic invariant: engines bind every alias before evaluating conditions
 		panic("pattern: ExprCond evaluated with unbound alias")
 	}
 	r, ok := c.R.EvalExpr(s, look)
 	if !ok {
+		//dlacep:ignore libpanic invariant: engines bind every alias before evaluating conditions
 		panic("pattern: ExprCond evaluated with unbound alias")
 	}
 	switch c.Op {
@@ -171,6 +175,7 @@ func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
 	case "!=":
 		return l != r
 	default:
+		//dlacep:ignore libpanic unreachable: parse validates comparison operators
 		panic(fmt.Sprintf("pattern: unknown comparison %q", c.Op))
 	}
 }

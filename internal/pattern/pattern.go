@@ -83,6 +83,7 @@ type Pattern struct {
 func New(name string, root *Node, window Window, where ...Condition) *Pattern {
 	p := &Pattern{Name: name, Root: root, Where: where, Window: window}
 	if err := p.Validate(); err != nil {
+		//dlacep:ignore libpanic documented MustCompile-style contract: patterns are static configuration
 		panic("pattern: " + err.Error())
 	}
 	return p

@@ -278,6 +278,7 @@ func ByLengthBand(length, w int, lo, hi float64) *pattern.Pattern {
 	case 6:
 		return QB1Band(w, lo, hi)
 	default:
+		//dlacep:ignore libpanic documented contract: Table 2 templates exist for lengths 2-6 only
 		panic(fmt.Sprintf("queries: no Table 2 template of length %d", length))
 	}
 }
