@@ -11,32 +11,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"dlacep/internal/harness"
+	"dlacep/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 8, 9, 10, 11, 12, 13, 14, ablations, or all")
-	scaleName := flag.String("scale", "quick", "experiment scale: quick or paper")
+	scaleName := flag.String("scale", "quick", "experiment scale: smoke, quick, or paper")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	parallel := flag.Int("parallel", 0, "pipeline worker bound for every experiment; 0 or 1 keeps the paper's single-core semantics")
+	metricsOut := flag.String("metrics-out", "", "write the cumulative JSON telemetry snapshot to this file after all figures")
 	flag.Parse()
 
 	var sc harness.Scale
 	switch *scaleName {
+	case "smoke":
+		sc = harness.Smoke()
 	case "quick":
 		sc = harness.Quick()
 	case "paper":
 		sc = harness.Paper()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|paper)\n", *scaleName)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (smoke|quick|paper)\n", *scaleName)
 		os.Exit(2)
 	}
 	sc.Parallelism = *parallel
+	if *metricsOut != "" {
+		sc.Obs = obs.NewRegistry()
+	}
 
 	figs := []string{*fig}
 	if *fig == "all" {
@@ -59,5 +67,17 @@ func main() {
 		if !*csv {
 			fmt.Printf("(figure %s took %v at scale %s)\n\n", f, time.Since(start).Round(time.Millisecond), sc.Name)
 		}
+	}
+	if sc.Obs != nil {
+		raw, err := json.MarshalIndent(sc.Obs.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlacep-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dlacep-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 }

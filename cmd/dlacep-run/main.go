@@ -8,12 +8,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/obs"
 )
 
 func fatal(err error) {
@@ -27,6 +29,7 @@ func main() {
 	compare := flag.Bool("compare", false, "also run exact CEP and report recall / gain")
 	printMatches := flag.Int("print", 5, "print up to this many matches")
 	parallel := flag.Int("parallel", 0, "pipeline worker bound: 0 or 1 sequential, N>1 marks windows and runs pattern engines concurrently")
+	metricsOut := flag.String("metrics-out", "", "write a JSON telemetry snapshot (stage timings, relay/drop counters) to this file")
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: dlacep-run -model model.json -data stream.csv [-compare]")
@@ -70,6 +73,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		pl.Obs = reg
+	}
 	res, err := pl.Run(st)
 	if err != nil {
 		fatal(err)
@@ -87,12 +95,22 @@ func main() {
 	}
 
 	if *compare {
-		ecep, err := core.RunECEPParallel(schema, pats, st, cfg.Workers())
+		ecep, err := core.RunECEPObserved(schema, pats, st, cfg.Workers(), reg)
 		if err != nil {
 			fatal(err)
 		}
 		cmp := core.Compare(res, ecep)
 		fmt.Printf("exact CEP: %d matches, %.0f events/s\n", len(ecep.Matches), ecep.Throughput())
 		fmt.Printf("recall %.4f  F1 %.4f  throughput gain %.2fx\n", cmp.Recall, cmp.F1, cmp.Gain)
+	}
+	if reg != nil {
+		raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 }

@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/obs"
 	"dlacep/internal/server"
 )
 
@@ -36,11 +38,13 @@ func main() {
 	connect := flag.String("connect", "", "server address to stream to (client mode)")
 	dataPath := flag.String("data", "", "stream CSV to send (client mode)")
 	parallel := flag.Int("parallel", 0, "per-connection pipeline worker bound (server mode); 0 or 1 sequential")
+	admin := flag.String("admin", "", "admin HTTP address for /metrics and /healthz, e.g. 127.0.0.1:7879 (server mode)")
+	pprofOn := flag.Bool("pprof", false, "also expose /debug/pprof/ on the admin address")
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		runServer(*modelPath, *listen, *parallel)
+		runServer(*modelPath, *listen, *parallel, *admin, *pprofOn)
 	case *connect != "":
 		runClient(*connect, *dataPath)
 	default:
@@ -49,7 +53,7 @@ func main() {
 	}
 }
 
-func runServer(modelPath, listen string, parallel int) {
+func runServer(modelPath, listen string, parallel int, admin string, pprofOn bool) {
 	raw, err := os.ReadFile(modelPath)
 	if err != nil {
 		fatal(err)
@@ -76,6 +80,23 @@ func runServer(modelPath, listen string, parallel int) {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if pprofOn && admin == "" {
+		fatal(fmt.Errorf("-pprof needs -admin"))
+	}
+	if admin != "" {
+		srv.Obs = obs.NewRegistry()
+		alis, err := net.Listen("tcp", admin)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("admin endpoints (/metrics, /healthz%s) on %s\n",
+			map[bool]string{true: ", /debug/pprof/"}[pprofOn], alis.Addr())
+		go func() {
+			if err := http.Serve(alis, srv.AdminHandler(pprofOn)); err != nil {
+				fmt.Fprintln(os.Stderr, "dlacep-serve: admin:", err)
+			}
+		}()
 	}
 	lis, err := net.Listen("tcp", listen)
 	if err != nil {

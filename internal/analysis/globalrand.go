@@ -12,7 +12,11 @@ import (
 // (which draws from the shared global source) or time.Now-derived value
 // on the data path breaks that bit-reproducibility. Randomness must be
 // injected as *rand.Rand (method calls are fine); wall-clock timing
-// belongs to the metrics/harness layer.
+// belongs to the sanctioned timing layers — internal/metrics (stopwatches),
+// internal/obs (spans/histograms), and the harness — which the scope list
+// deliberately excludes. Deterministic code times itself by delegating to
+// those layers (metrics.StartStopwatch, obs.Start), never by calling
+// time.Now directly.
 var GlobalRand = &Analyzer{
 	Name: "globalrand",
 	Doc:  "global math/rand or time.Now in deterministic packages",
@@ -54,7 +58,7 @@ func runGlobalRand(p *Pass) {
 			case "time":
 				switch fn.Name() {
 				case "Now", "Since", "Until":
-					p.Reportf(call.Pos(), "time.%s in deterministic package; route timing through the metrics/harness layer", fn.Name())
+					p.Reportf(call.Pos(), "time.%s in deterministic package; route timing through the metrics or obs layer", fn.Name())
 				}
 			}
 			return true

@@ -1,0 +1,18 @@
+// Negative fixture: a deterministic package may time its stages by
+// delegating to the obs layer — spans encapsulate the clock reads, so no
+// direct time.Now/Since appears here and nothing is reported.
+package core
+
+import (
+	"time"
+
+	"dlacep/internal/obs"
+)
+
+func timedStage() time.Duration {
+	sp := obs.Start()
+	work()
+	return sp.End()
+}
+
+func work() {}

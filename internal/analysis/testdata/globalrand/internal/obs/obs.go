@@ -1,0 +1,15 @@
+// Negative fixture: internal/obs is a sanctioned timing layer — like
+// internal/metrics it owns the wall-clock reads the deterministic packages
+// must route through, so globalrand does not apply here at all.
+package obs
+
+import "time"
+
+// Span is a minimal stand-in for the real obs.Span.
+type Span struct{ start time.Time }
+
+// Start reads the clock; allowed because obs IS the timing layer.
+func Start() Span { return Span{start: time.Now()} }
+
+// End reads the clock again and returns the elapsed duration.
+func (s Span) End() time.Duration { return time.Since(s.start) }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dlacep/internal/event"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 )
 
@@ -153,6 +154,13 @@ func (en *Engine) toMatch(inst *instance) *Match {
 // Stats returns the accumulated cost counters.
 func (en *Engine) Stats() Stats { return en.sh.stats }
 
+// Publish exports the engine's current cost counters as gauges; see
+// Stats.Publish. Call it from the goroutine that owns the engine (the
+// registry is concurrency-safe, the engine is not).
+func (en *Engine) Publish(reg *obs.Registry, prefix string) {
+	en.sh.stats.Publish(reg, prefix)
+}
+
 // Run evaluates the whole stream and returns the deduplicated match set
 // (by Key) plus engine statistics. It is the ECEP reference evaluation used
 // by the labeler, the harness, and tests.
@@ -190,4 +198,19 @@ func Keys(ms []*Match) map[string]bool {
 
 func (s Stats) String() string {
 	return fmt.Sprintf("events=%d instances=%d matches=%d", s.Events, s.Instances, s.Matches)
+}
+
+// Publish exports the counters as gauges under prefix (prefix.events,
+// prefix.instances, prefix.matches). Instances is the paper's C_ECEP cost
+// measure — the partial-match load "Foundations of Complex Event
+// Processing" identifies as the primary driver of engine cost — published
+// live so an overloaded pattern is visible before its batch result exists.
+// A nil registry is a no-op.
+func (s Stats) Publish(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix + ".events").Set(float64(s.Events))
+	reg.Gauge(prefix + ".instances").Set(float64(s.Instances))
+	reg.Gauge(prefix + ".matches").Set(float64(s.Matches))
 }

@@ -8,6 +8,7 @@ import (
 	"dlacep/internal/label"
 	"dlacep/internal/metrics"
 	"dlacep/internal/nn"
+	"dlacep/internal/obs"
 )
 
 // Concept drift handling (Section 4.3 discusses the problem and proposes
@@ -32,6 +33,11 @@ type DriftOptions struct {
 	Alpha float64
 	// Seed drives reservoir sampling.
 	Seed int64
+	// Obs, when non-nil, receives drift telemetry: gauges drift.audit_f1
+	// (last audit's raw F1), drift.ema_f1, drift.drifted (0/1), counter
+	// drift.audits, and histogram drift.audit_ns timing each audit's
+	// label-and-score pass.
+	Obs *obs.Registry
 }
 
 func (o DriftOptions) withDefaults() DriftOptions {
@@ -105,6 +111,8 @@ func (m *DriftMonitor) Observe(window []event.Event) (audited bool, drifted bool
 }
 
 func (m *DriftMonitor) audit() error {
+	sp := obs.Start(m.opts.Obs, "drift.audit_ns")
+	defer sp.End()
 	var c metrics.Counts
 	for _, w := range m.reservoir {
 		gold, err := m.lab.EventLabels(w)
@@ -128,6 +136,16 @@ func (m *DriftMonitor) audit() error {
 	}
 	m.audits++
 	m.drifted = m.emaF1 < m.opts.MinF1
+	if reg := m.opts.Obs; reg != nil {
+		reg.Gauge("drift.audit_f1").Set(f1)
+		reg.Gauge("drift.ema_f1").Set(m.emaF1)
+		var d float64
+		if m.drifted {
+			d = 1
+		}
+		reg.Gauge("drift.drifted").Set(d)
+		reg.Counter("drift.audits").Inc()
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"dlacep/internal/label"
 	"dlacep/internal/metrics"
 	"dlacep/internal/nn"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 	"dlacep/internal/train"
 )
@@ -31,6 +32,9 @@ type TrainOptions struct {
 	NoConvergence bool
 	// OnEpoch, if set, observes per-epoch training loss.
 	OnEpoch func(epoch int, loss float64)
+	// Obs, when non-nil, receives per-epoch training telemetry
+	// (train.loss/train.lr/train.grad_norm series; see train.Config.Obs).
+	Obs *obs.Registry
 }
 
 // DefaultTrainOptions returns a schedule sized for this repository's
@@ -51,6 +55,7 @@ func (o TrainOptions) loop(n int, params []*nn.Param, step func(i int) float64) 
 		MaxEpochs: o.MaxEpochs,
 		ClipNorm:  o.ClipNorm,
 		Seed:      o.Seed,
+		Obs:       o.Obs,
 	}
 	if o.NoConvergence {
 		// a convergence detector that never fires

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
+	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
 )
 
 // Parallel execution layer. The DLACEP pipeline decomposes into independent
@@ -51,8 +54,25 @@ type CloneableWindowFilter interface {
 // concurrently by a bounded pool of filter clones; otherwise marking is
 // sequential. Empty windows get nil marks without touching the filter (a
 // BiLSTM or CRF forward pass over zero timesteps is undefined).
-func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]bool {
+//
+// With a non-nil reg each marked window's latency is recorded twice: into
+// the shared pipeline.filter.window_ns histogram and into the marking
+// worker's own pipeline.worker.N.mark_ns histogram, so a straggling or
+// cache-unlucky clone is distinguishable from uniform load.
+func markWindows(filter EventFilter, windows [][]event.Event, workers int, reg *obs.Registry) [][]bool {
 	marks := make([][]bool, len(windows))
+	windowH := reg.Histogram(metricFilterWindow) // nil (no-op) on a nil registry
+	markOne := func(f EventFilter, i int, workerH *obs.Histogram) {
+		if windowH == nil {
+			marks[i] = f.Mark(windows[i])
+			return
+		}
+		sw := metrics.StartStopwatch()
+		marks[i] = f.Mark(windows[i])
+		d := sw.Elapsed()
+		windowH.Observe(d)
+		workerH.Observe(d)
+	}
 	if workers > 1 && len(windows) > 1 {
 		if cf, ok := filter.(CloneableFilter); ok {
 			if workers > len(windows) {
@@ -74,9 +94,10 @@ func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]b
 				var wg sync.WaitGroup
 				var panicOnce sync.Once
 				var panicked any
-				for _, f := range filters {
+				for wi, f := range filters {
 					wg.Add(1)
-					go func(f EventFilter) {
+					workerH := workerHistogram(reg, wi)
+					go func(f EventFilter, workerH *obs.Histogram) {
 						defer wg.Done()
 						defer func() {
 							if r := recover(); r != nil {
@@ -87,10 +108,10 @@ func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]b
 						}()
 						for i := range jobs {
 							if len(windows[i]) > 0 {
-								marks[i] = f.Mark(windows[i])
+								markOne(f, i, workerH)
 							}
 						}
-					}(f)
+					}(f, workerH)
 				}
 				for i := range windows {
 					jobs <- i
@@ -105,23 +126,59 @@ func markWindows(filter EventFilter, windows [][]event.Event, workers int) [][]b
 			}
 		}
 	}
+	workerH := workerHistogram(reg, 0)
 	for i, w := range windows {
 		if len(w) > 0 {
-			marks[i] = filter.Mark(w)
+			markOne(filter, i, workerH)
 		}
 	}
 	return marks
 }
 
+// workerHistogram resolves one marking worker's timing histogram (nil —
+// and therefore no-op — on a nil registry).
+func workerHistogram(reg *obs.Registry, worker int) *obs.Histogram {
+	if reg == nil {
+		return nil
+	}
+	return reg.Histogram(fmt.Sprintf("pipeline.worker.%d.mark_ns", worker))
+}
+
 // engineSet wraps the pipeline's per-pattern CEP engines with a batch
-// dispatcher that optionally fans out one goroutine per engine.
+// dispatcher that optionally fans out one goroutine per engine. With a
+// non-nil registry every batch is timed per pattern (cep.pattern.N.batch_ns)
+// and each engine's cost counters are re-published as cep.pattern.N.*
+// gauges after the batch, so per-pattern load is visible mid-stream.
 type engineSet struct {
 	engines []*cep.Engine
 	par     bool
+	reg     *obs.Registry
+	prefix  []string // "cep.pattern.N", resolved once; nil when reg is nil
 }
 
-func newEngineSet(engines []*cep.Engine, workers int) *engineSet {
-	return &engineSet{engines: engines, par: workers > 1 && len(engines) > 1}
+func newEngineSet(engines []*cep.Engine, workers int, reg *obs.Registry) *engineSet {
+	es := &engineSet{engines: engines, par: workers > 1 && len(engines) > 1, reg: reg}
+	if reg != nil {
+		es.prefix = make([]string, len(engines))
+		for i := range engines {
+			es.prefix[i] = fmt.Sprintf("cep.pattern.%d", i)
+		}
+	}
+	return es
+}
+
+// runOne feeds fn's output for engine i, timed and published when the set
+// is observed. Called from whichever goroutine owns engine i.
+func (es *engineSet) runOne(i int, fn func(*cep.Engine) []*cep.Match) []*cep.Match {
+	en := es.engines[i]
+	if es.reg == nil {
+		return fn(en)
+	}
+	sp := obs.Start(es.reg, es.prefix[i]+".batch_ns")
+	out := fn(en)
+	sp.End()
+	en.Publish(es.reg, es.prefix[i])
+	return out
 }
 
 // Process feeds the batch (ID-ordered) to every engine and returns the
@@ -129,19 +186,20 @@ func newEngineSet(engines []*cep.Engine, workers int) *engineSet {
 // engine index, then sorted by match key. seen is updated in place.
 func (es *engineSet) Process(batch []event.Event, seen map[string]bool) []*cep.Match {
 	perEngine := make([][]*cep.Match, len(es.engines))
+	run := func(en *cep.Engine) []*cep.Match { return runBatch(en, batch) }
 	if es.par {
 		var wg sync.WaitGroup
-		for i, en := range es.engines {
+		for i := range es.engines {
 			wg.Add(1)
-			go func(i int, en *cep.Engine) {
+			go func(i int) {
 				defer wg.Done()
-				perEngine[i] = runBatch(en, batch)
-			}(i, en)
+				perEngine[i] = es.runOne(i, run)
+			}(i)
 		}
 		wg.Wait()
 	} else {
-		for i, en := range es.engines {
-			perEngine[i] = runBatch(en, batch)
+		for i := range es.engines {
+			perEngine[i] = es.runOne(i, run)
 		}
 	}
 	return mergeMatches(perEngine, seen)
@@ -151,19 +209,20 @@ func (es *engineSet) Process(batch []event.Event, seen map[string]bool) []*cep.M
 // same deterministic order as Process.
 func (es *engineSet) Flush(seen map[string]bool) []*cep.Match {
 	perEngine := make([][]*cep.Match, len(es.engines))
+	run := func(en *cep.Engine) []*cep.Match { return en.Flush() }
 	if es.par {
 		var wg sync.WaitGroup
-		for i, en := range es.engines {
+		for i := range es.engines {
 			wg.Add(1)
-			go func(i int, en *cep.Engine) {
+			go func(i int) {
 				defer wg.Done()
-				perEngine[i] = en.Flush()
-			}(i, en)
+				perEngine[i] = es.runOne(i, run)
+			}(i)
 		}
 		wg.Wait()
 	} else {
-		for i, en := range es.engines {
-			perEngine[i] = en.Flush()
+		for i := range es.engines {
+			perEngine[i] = es.runOne(i, run)
 		}
 	}
 	return mergeMatches(perEngine, seen)

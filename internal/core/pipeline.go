@@ -8,6 +8,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 )
 
@@ -22,12 +23,27 @@ type Result struct {
 
 	FilterTime time.Duration
 	CEPTime    time.Duration
+	// WallTime is the run's total wall-clock time as recorded by the
+	// pipeline around the whole evaluation. FilterTime+CEPTime used to
+	// stand in for it, but that sum misses assembly, dedup/relay
+	// bookkeeping, and the parallel merge — work that grows with
+	// Config.Parallelism — so throughput computed from it over-reported on
+	// parallel runs. Zero when the run went through the incremental
+	// Processor (which cannot see the time between Push calls); Elapsed
+	// then falls back to the stage sum.
+	WallTime time.Duration
 
 	CEPStats []cep.Stats // one per monitored pattern
 }
 
-// Elapsed is the total processing time.
-func (r *Result) Elapsed() time.Duration { return r.FilterTime + r.CEPTime }
+// Elapsed is the total processing time: the pipeline-recorded wall clock
+// when available, else the FilterTime+CEPTime decomposition.
+func (r *Result) Elapsed() time.Duration {
+	if r.WallTime > 0 {
+		return r.WallTime
+	}
+	return r.FilterTime + r.CEPTime
+}
 
 // Throughput is events processed per second over the whole pipeline.
 func (r *Result) Throughput() float64 {
@@ -43,11 +59,27 @@ func (r *Result) FilterRatio() float64 {
 	return 1 - float64(r.EventsRelayed)/float64(r.EventsTotal)
 }
 
+// Stage-level metric names published into a Pipeline's obs.Registry; the
+// full naming scheme is documented in DESIGN.md §7.
+const (
+	metricFilterWindow = "pipeline.filter.window_ns" // histogram: per-window filter latency
+	metricCEPBatch     = "pipeline.cep.batch_ns"     // histogram: per-relay-batch CEP latency
+	metricEventsIn     = "pipeline.events.in"        // counter: non-blank events entering
+	metricEventsRelay  = "pipeline.events.relayed"   // counter: events relayed to the engines
+	metricEventsDrop   = "pipeline.events.dropped"   // counter: events definitively filtered out
+	metricPendingDepth = "pipeline.pending.depth"    // gauge: marked events awaiting safe relay
+)
+
 // Pipeline wires the assembler, one event filter, and per-pattern CEP
 // extractors (Figure 4).
 type Pipeline struct {
 	Cfg    Config
 	Filter EventFilter
+	// Obs, when non-nil, receives stage-level telemetry: the pipeline.*
+	// metrics above, per-worker mark timings, and per-pattern cep.* spans
+	// and instance gauges. Set it between NewPipeline and the first run;
+	// nil (the default) keeps the hot path uninstrumented at zero cost.
+	Obs    *obs.Registry
 	pats   []*pattern.Pattern
 	schema *event.Schema
 }
@@ -88,6 +120,7 @@ func (pl *Pipeline) Run(st *event.Stream) (*Result, error) {
 		}
 		return pl.run(assembleStreaming(st.Events, pl.Cfg.MarkSize, pl.Cfg.StepSize), total)
 	}
+	wall := metrics.StartStopwatch()
 	p, err := pl.NewProcessor()
 	if err != nil {
 		return nil, err
@@ -100,7 +133,9 @@ func (pl *Pipeline) Run(st *event.Stream) (*Result, error) {
 	if _, err := p.Flush(); err != nil {
 		return nil, err
 	}
-	return p.Result(), nil
+	res := p.Result()
+	res.WallTime = wall.Elapsed()
+	return res, nil
 }
 
 // RunWindows evaluates pre-cut (possibly blank-padded) windows, the entry
@@ -121,6 +156,7 @@ func (pl *Pipeline) RunWindows(windows [][]event.Event) (*Result, error) {
 }
 
 func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, error) {
+	wall := metrics.StartStopwatch()
 	workers := pl.Cfg.Workers()
 	engines := make([]*cep.Engine, len(pl.pats))
 	for i, p := range pl.pats {
@@ -130,14 +166,19 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		}
 		engines[i] = en
 	}
-	es := newEngineSet(engines, workers)
+	es := newEngineSet(engines, workers, pl.Obs)
 	res := &Result{Keys: map[string]bool{}, EventsTotal: totalEvents}
+	// Handles resolved once; on a nil registry they are nil and every
+	// update below is a pointer-compare no-op.
+	pl.Obs.Counter(metricEventsIn).Add(int64(totalEvents))
+	relayedC := pl.Obs.Counter(metricEventsRelay)
+	pendingG := pl.Obs.Gauge(metricPendingDepth)
 
 	// Marking phase: every window's marks are independent of the relay, so
 	// they are computed up front — concurrently when Parallelism allows —
 	// and consumed by the sequential relay scan below in window order.
 	sw := metrics.StartStopwatch()
-	marks := markWindows(pl.Filter, windows, workers)
+	marks := markWindows(pl.Filter, windows, workers, pl.Obs)
 	res.FilterTime = sw.Elapsed()
 	for i := range windows {
 		if len(marks[i]) != len(windows[i]) {
@@ -163,8 +204,12 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		pending = pending[i:]
 		sw := metrics.StartStopwatch()
 		res.EventsRelayed += len(batch)
+		relayedC.Add(int64(len(batch)))
+		sp := obs.Start(pl.Obs, metricCEPBatch)
 		res.Matches = append(res.Matches, es.Process(batch, res.Keys)...)
+		sp.End()
 		res.CEPTime += sw.Elapsed()
+		pendingG.Set(float64(len(pending)))
 	}
 
 	for wi, w := range windows {
@@ -196,6 +241,8 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 	res.Matches = append(res.Matches, es.Flush(res.Keys)...)
 	res.CEPStats = es.Stats()
 	res.CEPTime += sw.Elapsed()
+	pl.Obs.Counter(metricEventsDrop).Add(int64(totalEvents - res.EventsRelayed))
+	res.WallTime = wall.Elapsed()
 	return res, nil
 }
 
@@ -212,6 +259,14 @@ func RunECEP(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream) (*
 // match sets are merged in pattern order under the usual Keys dedup. The
 // resulting Keys set and per-pattern CEPStats are identical to RunECEP's.
 func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream, workers int) (*Result, error) {
+	return RunECEPObserved(schema, pats, st, workers, nil)
+}
+
+// RunECEPObserved is RunECEPParallel publishing per-pattern telemetry into
+// reg: one ecep.pattern.N.run_ns span per engine plus instance/match count
+// gauges (the engine-internal cost statistics of Section 3.2). A nil reg
+// disables publishing.
+func RunECEPObserved(schema *event.Schema, pats []*pattern.Pattern, st *event.Stream, workers int, reg *obs.Registry) (*Result, error) {
 	res := &Result{Keys: map[string]bool{}, EventsTotal: st.Len(), EventsRelayed: st.Len()}
 	type patternRun struct {
 		matches []*cep.Match
@@ -219,6 +274,20 @@ func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 		err     error
 	}
 	runs := make([]patternRun, len(pats))
+	spanName := make([]string, len(pats))
+	if reg != nil {
+		for i := range pats {
+			spanName[i] = fmt.Sprintf("ecep.pattern.%d.run_ns", i)
+		}
+	}
+	runOne := func(i int, p *pattern.Pattern) {
+		var sp obs.Span
+		if reg != nil {
+			sp = obs.Start(reg, spanName[i])
+		}
+		runs[i].matches, runs[i].stats, runs[i].err = cep.Run(p, st)
+		sp.End()
+	}
 	sw := metrics.StartStopwatch()
 	if workers > 1 && len(pats) > 1 {
 		sem := make(chan struct{}, workers)
@@ -229,16 +298,16 @@ func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				runs[i].matches, runs[i].stats, runs[i].err = cep.Run(p, st)
+				runOne(i, p)
 			}(i, p)
 		}
 		wg.Wait()
 	} else {
 		for i, p := range pats {
-			runs[i].matches, runs[i].stats, runs[i].err = cep.Run(p, st)
+			runOne(i, p)
 		}
 	}
-	for _, r := range runs {
+	for i, r := range runs {
 		if r.err != nil {
 			return nil, r.err
 		}
@@ -249,8 +318,12 @@ func RunECEPParallel(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 			}
 		}
 		res.CEPStats = append(res.CEPStats, r.stats)
+		if reg != nil {
+			r.stats.Publish(reg, fmt.Sprintf("ecep.pattern.%d", i))
+		}
 	}
 	res.CEPTime = sw.Elapsed()
+	res.WallTime = res.CEPTime
 	return res, nil
 }
 

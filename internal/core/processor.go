@@ -6,6 +6,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
 )
 
 // Processor is the incremental form of the pipeline: events are pushed one
@@ -25,15 +26,26 @@ type Processor struct {
 	relayed map[uint64]bool
 	seen    map[string]bool
 	flushed bool
+
+	// Telemetry handles resolved once from pl.Obs; nil (no-op) when the
+	// pipeline is unobserved, so the per-event path stays uninstrumented.
+	inC      *obs.Counter
+	relayedC *obs.Counter
+	droppedC *obs.Counter
+	pendingG *obs.Gauge
 }
 
 // NewProcessor creates an incremental processor for the pipeline.
 func (pl *Pipeline) NewProcessor() (*Processor, error) {
 	p := &Processor{
-		pl:      pl,
-		res:     &Result{Keys: map[string]bool{}},
-		relayed: map[uint64]bool{},
-		seen:    map[string]bool{},
+		pl:       pl,
+		res:      &Result{Keys: map[string]bool{}},
+		relayed:  map[uint64]bool{},
+		seen:     map[string]bool{},
+		inC:      pl.Obs.Counter(metricEventsIn),
+		relayedC: pl.Obs.Counter(metricEventsRelay),
+		droppedC: pl.Obs.Counter(metricEventsDrop),
+		pendingG: pl.Obs.Gauge(metricPendingDepth),
 	}
 	engines := make([]*cep.Engine, len(pl.pats))
 	for i, pat := range pl.pats {
@@ -43,7 +55,7 @@ func (pl *Pipeline) NewProcessor() (*Processor, error) {
 		}
 		engines[i] = en
 	}
-	p.es = newEngineSet(engines, pl.Cfg.Workers())
+	p.es = newEngineSet(engines, pl.Cfg.Workers(), pl.Obs)
 	return p, nil
 }
 
@@ -54,6 +66,7 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	}
 	if !ev.IsBlank() {
 		p.res.EventsTotal++
+		p.inC.Inc()
 	}
 	p.buf = append(p.buf, ev)
 	if len(p.buf) < p.pl.Cfg.MarkSize {
@@ -61,6 +74,18 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	}
 	if err := p.markWindow(p.buf); err != nil {
 		return nil, err
+	}
+	// The StepSize events about to leave the buffer have now been seen by
+	// every marking window that will ever cover them; any of them still
+	// unmarked is definitively dropped. (Marked ones still carry their
+	// relayed entry: deletion happens only below the relay watermark,
+	// which trails the buffer head.)
+	if p.droppedC != nil {
+		for _, old := range p.buf[:p.pl.Cfg.StepSize] {
+			if !old.IsBlank() && !p.relayed[old.ID] {
+				p.droppedC.Inc()
+			}
+		}
 	}
 	// Advance by StepSize, retaining the overlap for the next window.
 	keep := len(p.buf) - p.pl.Cfg.StepSize
@@ -89,15 +114,25 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 		if err := p.markWindow(p.buf); err != nil {
 			return nil, err
 		}
-		p.buf = nil
 	}
+	// End of stream: whatever the trailing buffer left unmarked is dropped.
+	if p.droppedC != nil {
+		for _, old := range p.buf {
+			if !old.IsBlank() && !p.relayed[old.ID] {
+				p.droppedC.Inc()
+			}
+		}
+	}
+	p.buf = nil
 	// relay everything left
 	sw := metrics.StartStopwatch()
 	if len(p.pending) > 0 {
 		p.res.EventsRelayed += len(p.pending)
+		p.relayedC.Add(int64(len(p.pending)))
 		out = p.collect(out, p.es.Process(p.pending, p.seen))
 	}
 	p.pending = nil
+	p.pendingG.Set(0)
 	out = p.collect(out, p.es.Flush(p.seen))
 	p.res.CEPStats = p.es.Stats()
 	p.res.CEPTime += sw.Elapsed()
@@ -113,7 +148,9 @@ func (p *Processor) Result() *Result { return p.res }
 func (p *Processor) markWindow(window []event.Event) error {
 	sw := metrics.StartStopwatch()
 	marks := p.pl.Filter.Mark(window)
-	p.res.FilterTime += sw.Elapsed()
+	elapsed := sw.Elapsed()
+	p.res.FilterTime += elapsed
+	p.pl.Obs.Histogram(metricFilterWindow).Observe(elapsed)
 	if len(marks) != len(window) {
 		return fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(window))
 	}
@@ -127,6 +164,7 @@ func (p *Processor) markWindow(window []event.Event) error {
 			p.pending[j-1], p.pending[j] = p.pending[j], p.pending[j-1]
 		}
 	}
+	p.pendingG.Set(float64(len(p.pending)))
 	return nil
 }
 
@@ -142,11 +180,15 @@ func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
 	p.pending = p.pending[i:]
 	sw := metrics.StartStopwatch()
 	p.res.EventsRelayed += len(batch)
+	p.relayedC.Add(int64(len(batch)))
 	for _, ev := range batch {
 		delete(p.relayed, ev.ID) // no future window can re-mark below upTo
 	}
+	sp := obs.Start(p.pl.Obs, metricCEPBatch)
 	out = p.collect(out, p.es.Process(batch, p.seen))
+	sp.End()
 	p.res.CEPTime += sw.Elapsed()
+	p.pendingG.Set(float64(len(p.pending)))
 	return out
 }
 

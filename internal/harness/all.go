@@ -1,6 +1,9 @@
 package harness
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Figures maps figure selectors (as accepted by cmd/dlacep-bench -fig) to
 // their runners.
@@ -8,8 +11,31 @@ func Figures() []string {
 	return []string{"8", "9", "10", "11", "12", "13", "14", "headline", "ablations"}
 }
 
-// Run dispatches one figure selector at the given scale.
+// Run dispatches one figure selector at the given scale. With sc.Obs set,
+// every report gets the registry's post-run snapshot attached plus a
+// one-line telemetry note (filter-latency quantiles, relay/drop counts).
 func Run(fig string, sc Scale) ([]*Report, error) {
+	reports, err := run(fig, sc)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Obs != nil {
+		snap := sc.Obs.Snapshot()
+		for _, rep := range reports {
+			rep.Obs = snap
+			if h, ok := snap.Histograms["pipeline.filter.window_ns"]; ok {
+				rep.Note("telemetry: filter window p50=%v p99=%v (%d windows); events in=%d relayed=%d dropped=%d",
+					time.Duration(h.P50NS), time.Duration(h.P99NS), h.Count,
+					snap.Counters["pipeline.events.in"],
+					snap.Counters["pipeline.events.relayed"],
+					snap.Counters["pipeline.events.dropped"])
+			}
+		}
+	}
+	return reports, nil
+}
+
+func run(fig string, sc Scale) ([]*Report, error) {
 	switch fig {
 	case "8":
 		return Figure8(sc)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dlacep/internal/obs"
 )
 
 // Row is one data point of a figure: a series (system / network variant), a
@@ -24,6 +26,10 @@ type Report struct {
 	Title string
 	Rows  []Row
 	Notes []string
+	// Obs is the telemetry snapshot taken after the figure ran (only with
+	// Scale.Obs set). Figures produced by one dlacep-bench invocation share
+	// a registry, so the snapshot is cumulative across earlier figures.
+	Obs *obs.Snapshot `json:",omitempty"`
 }
 
 // Add appends a row.

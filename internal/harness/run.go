@@ -128,6 +128,7 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 		topt := core.DefaultTrainOptions()
 		topt.MaxEpochs = sc.MaxEpochs
 		topt.Seed = sc.Seed
+		topt.Obs = sc.Obs
 		if opts.TrainMod != nil {
 			opts.TrainMod(&topt)
 		}
@@ -205,6 +206,13 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 		var acep *core.Result
 		for pass := 0; pass < 2; pass++ {
 			runtime.GC()
+			// Only the measurement pass is observed: the warm-up pass would
+			// otherwise double every counter and skew the latency histograms
+			// with cold-allocator samples.
+			pl.Obs = nil
+			if pass == 1 {
+				pl.Obs = sc.Obs
+			}
 			if opts.MaxWindow > 0 {
 				acep, err = pl.RunWindows(testWs)
 			} else {

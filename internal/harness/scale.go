@@ -11,7 +11,10 @@
 // restores the published parameters for users with the budget.
 package harness
 
-import "dlacep/internal/dataset"
+import (
+	"dlacep/internal/dataset"
+	"dlacep/internal/obs"
+)
 
 // Scale bundles every size knob of the experiment suite.
 type Scale struct {
@@ -56,6 +59,11 @@ type Scale struct {
 	BandSize int // paper 100 (QA10) / 40 (QA11, QA12)
 
 	Seed int64
+
+	// Obs, when non-nil, collects stage telemetry from every measurement
+	// pass (warm-up passes stay unobserved so they cannot pollute the
+	// histograms). Run attaches its snapshot to every produced Report.
+	Obs *obs.Registry
 }
 
 // Quick is the default scale: the whole suite runs in minutes.
@@ -80,6 +88,22 @@ func Quick() Scale {
 		BandSize:        5,
 		Seed:            1,
 	}
+}
+
+// Smoke is a CI-sized scale: one figure finishes in seconds. It exists to
+// exercise the full train-evaluate-report path (plus telemetry export),
+// not to produce meaningful accuracy or gain numbers.
+func Smoke() Scale {
+	sc := Quick()
+	sc.Name = "smoke"
+	sc.W = 10
+	sc.StockEvents = 4000
+	sc.SyntheticEvents = 3000
+	sc.Hidden = 6
+	sc.MaxEpochs = 1
+	sc.EvalWindows = 20
+	sc.Tickers = 60
+	return sc
 }
 
 // Paper restores the published experiment parameters. Running it requires

@@ -1,0 +1,355 @@
+// Package obs is the in-process telemetry layer of the DLACEP stack: a
+// concurrency-safe Registry of named counters, gauges, fixed-bucket
+// duration histograms, and bounded numeric series, plus a lightweight span
+// API for timing pipeline stages. The paper's whole evaluation rests on
+// cost decomposition (filter time vs CEP time, events relayed vs dropped,
+// per-pattern engine load — Figures 8–14); this package makes the same
+// decomposition available live, from a running pipeline, instead of only
+// as batch-result fields.
+//
+// Two design rules shape the API:
+//
+//   - Everything is nil-safe. A nil *Registry hands out nil metric handles,
+//     and every method on a nil handle (or zero Span) is a no-op that never
+//     reads the clock, so an uninstrumented hot path pays a single pointer
+//     comparison and nothing else.
+//
+//   - All wall-clock reads live here (and in metrics.Stopwatch). The
+//     deterministic packages are forbidden — and vetted, see cmd/dlacep-vet's
+//     globalrand analyzer — from calling time.Now directly; they time stages
+//     by calling into obs, which keeps measurement strictly an output of a
+//     run, never an input to match extraction.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric (queue depths, rates, scores).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (lock-free read-modify-write).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// defaultBounds is the fixed bucket ladder shared by every histogram: a
+// 1-2-5 progression from 1µs to 10s. Stage latencies in this repository
+// span roughly 10µs (one CEP batch) to seconds (a full figure run), so the
+// ladder brackets everything with ≤ 2.5x relative bucket error.
+var defaultBounds = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+// Histogram accumulates durations into fixed buckets. counts[i] holds the
+// observations d with bounds[i-1] < d <= bounds[i]; the final slot is the
+// overflow bucket. Exact min/max are tracked so quantile estimates can be
+// clamped to the observed range.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []time.Duration
+	counts []uint64
+	count  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{bounds: defaultBounds, counts: make([]uint64, len(defaultBounds)+1)}
+}
+
+// Observe records one duration. No-op on a nil handle.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank, clamped to the exact observed
+// [min, max]. It returns 0 when the histogram is empty or nil.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		// The target rank falls inside bucket i: interpolate between the
+		// bucket's bounds by the rank's position within it.
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max // overflow bucket has no upper bound; clamp at max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo < h.min {
+			lo = h.min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - cum) / float64(c)
+		est := lo + time.Duration(frac*float64(hi-lo))
+		return est
+	}
+	return h.max
+}
+
+// seriesCap bounds the memory of one Series; older samples are discarded
+// first. Per-epoch training series stay far below it.
+const seriesCap = 4096
+
+// Series is a bounded append-only sequence of float samples (per-epoch
+// loss, gradient norms, learning rates). When more than seriesCap samples
+// are appended, the oldest are dropped; Total still counts all of them.
+type Series struct {
+	mu    sync.Mutex
+	vals  []float64
+	total uint64
+}
+
+// Append records one sample. No-op on a nil handle.
+func (s *Series) Append(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.vals) >= seriesCap {
+		s.vals = s.vals[1:]
+	}
+	s.vals = append(s.vals, v)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Values returns a copy of the retained samples (nil on a nil handle).
+func (s *Series) Values() []float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.vals...)
+}
+
+// Registry is a concurrency-safe namespace of metrics. Handles are created
+// on first use and live for the registry's lifetime, so callers may resolve
+// them once and update lock-free afterwards. Metric names are dotted
+// lowercase paths, "layer.object.measure" (histograms of durations end in
+// "_ns"): pipeline.events.relayed, cep.pattern.0.instances,
+// pipeline.filter.window_ns, train.loss, ...
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		series:     map[string]*Series{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it on first
+// use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series returns the named series, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Span is one in-flight stage timing. The zero Span (from Start with a nil
+// registry) is inert: End neither reads the clock nor records anything.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing a stage; the duration is recorded into the
+// registry's histogram of that name when End is called. With a nil
+// registry it returns the inert zero Span without touching the clock.
+func Start(r *Registry, stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(stage), start: time.Now()}
+}
+
+// End stops the span, records the elapsed duration, and returns it.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d)
+	return d
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries checks that observations land in the
+// bucket whose upper bound is the first >= the value (boundaries are
+// inclusive on the upper side), including the underflow-to-first-bucket
+// and overflow cases.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		d      time.Duration
+		wantLE int64 // expected bucket upper bound in ns; -1 = overflow
+	}{
+		{"zero", 0, 1000},
+		{"below first bound", 500 * time.Nanosecond, 1000},
+		{"exactly first bound", 1 * time.Microsecond, 1000},
+		{"just above first bound", 1001 * time.Nanosecond, 2000},
+		{"mid ladder", 30 * time.Microsecond, 50_000},
+		{"exactly mid bound", 50 * time.Microsecond, 50_000},
+		{"one ms", time.Millisecond, 1_000_000},
+		{"exactly last bound", 10 * time.Second, 10_000_000_000},
+		{"overflow", 11 * time.Second, -1},
+		{"negative clamps to zero", -5 * time.Millisecond, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram()
+			h.Observe(tc.d)
+			st := h.stats()
+			if st.Count != 1 {
+				t.Fatalf("count = %d, want 1", st.Count)
+			}
+			if len(st.Buckets) != 1 {
+				t.Fatalf("buckets = %+v, want exactly one", st.Buckets)
+			}
+			if st.Buckets[0].LeNS != tc.wantLE || st.Buckets[0].N != 1 {
+				t.Errorf("observation %v fell in bucket le=%d, want le=%d",
+					tc.d, st.Buckets[0].LeNS, tc.wantLE)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	ms := func(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		lo, hi  time.Duration // acceptance interval for the estimate
+	}{
+		{"empty", nil, 0.5, 0, 0},
+		{"single sample p50", []time.Duration{ms(3)}, 0.5, ms(2), ms(5)},
+		{"single sample p0 is min", []time.Duration{ms(3)}, 0, ms(3), ms(3)},
+		{"single sample p100 is max", []time.Duration{ms(3)}, 1, ms(3), ms(3)},
+		{"two far samples p99 in top bucket", []time.Duration{ms(1), ms(100)}, 0.99, ms(50), ms(100)},
+		{"uniform 1..100ms p50", uniformMS(1, 100), 0.5, ms(20), ms(80)},
+		{"uniform 1..100ms p90", uniformMS(1, 100), 0.9, ms(50), ms(100)},
+		{"all identical", []time.Duration{ms(7), ms(7), ms(7), ms(7)}, 0.5, ms(5), ms(10)},
+		{"overflow bucket clamps at max", []time.Duration{15 * time.Second}, 0.99, 15 * time.Second, 15 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram()
+			for _, d := range tc.samples {
+				h.Observe(d)
+			}
+			got := h.Quantile(tc.q)
+			if got < tc.lo || got > tc.hi {
+				t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func uniformMS(lo, hi int) []time.Duration {
+	var out []time.Duration
+	for i := lo; i <= hi; i++ {
+		out = append(out, time.Duration(i)*time.Millisecond)
+	}
+	return out
+}
+
+// TestQuantileMonotonic asserts estimates never decrease in q and never
+// leave the observed range.
+func TestQuantileMonotonic(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 37 * time.Microsecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		if got < 37*time.Microsecond || got > 37000*time.Microsecond {
+			t.Fatalf("Quantile(%v) = %v outside observed range", q, got)
+		}
+		prev = got
+	}
+}
+
+func TestNilRegistryAndHandlesAreInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Gauge("b").Add(2)
+	r.Histogram("c").Observe(time.Second)
+	r.Series("d").Append(1)
+	sp := Start(r, "e")
+	if d := sp.End(); d != 0 {
+		t.Errorf("zero span End = %v, want 0", d)
+	}
+	if !sp.start.IsZero() {
+		t.Error("Start(nil, ...) read the clock")
+	}
+	if v := r.Counter("a").Value(); v != 0 {
+		t.Errorf("nil counter = %d", v)
+	}
+	snap := r.Snapshot()
+	if snap == nil || len(snap.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	r := NewRegistry()
+	sp := Start(r, "stage_ns")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if c := r.Histogram("stage_ns").Count(); c != 1 {
+		t.Fatalf("histogram count = %d, want 1", c)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events.relayed").Add(41)
+	r.Counter("events.relayed").Inc()
+	r.Gauge("depth").Set(2.5)
+	r.Gauge("rate").Set(math.NaN()) // must not poison the JSON
+	r.Histogram("stage_ns").Observe(3 * time.Millisecond)
+	r.Series("loss").Append(0.9)
+	r.Series("loss").Append(0.4)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["events.relayed"] != 42 {
+		t.Errorf("counter round-trip = %d", back.Counters["events.relayed"])
+	}
+	if back.Gauges["depth"] != 2.5 || back.Gauges["rate"] != 0 {
+		t.Errorf("gauges round-trip = %v", back.Gauges)
+	}
+	h := back.Histograms["stage_ns"]
+	if h.Count != 1 || h.SumNS != (3*time.Millisecond).Nanoseconds() {
+		t.Errorf("histogram round-trip = %+v", h)
+	}
+	if len(back.Series["loss"]) != 2 || back.Series["loss"][1] != 0.4 {
+		t.Errorf("series round-trip = %v", back.Series["loss"])
+	}
+}
+
+func TestSeriesBounded(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < seriesCap+10; i++ {
+		s.Append(float64(i))
+	}
+	vals := s.Values()
+	if len(vals) != seriesCap {
+		t.Fatalf("len = %d, want %d", len(vals), seriesCap)
+	}
+	if vals[0] != 10 || vals[len(vals)-1] != float64(seriesCap+9) {
+		t.Errorf("kept window [%v, %v], want oldest dropped", vals[0], vals[len(vals)-1])
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — metric
+// creation, updates, spans, and snapshots all interleaved — and checks the
+// final counts. Run under -race this is the concurrency-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.count").Inc()
+				r.Gauge("shared.gauge").Add(1)
+				r.Histogram("shared.hist_ns").Observe(time.Duration(i) * time.Microsecond)
+				r.Series("shared.series").Append(float64(i))
+				sp := Start(r, "shared.span_ns")
+				sp.End()
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	const want = workers * perWorker
+	if got := r.Counter("shared.count").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != want {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+	if got := r.Histogram("shared.hist_ns").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := r.Histogram("shared.span_ns").Count(); got != want {
+		t.Errorf("span histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events.relayed").Add(7)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["pipeline.events.relayed"] != 7 {
+		t.Errorf("snapshot %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status %d, want 405", rec.Code)
+	}
+}

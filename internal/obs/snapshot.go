@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Snapshot is a point-in-time, JSON-serializable copy of a registry. It is
+// what /metrics serves, what -metrics-out writes, and what the harness
+// attaches to figure reports. encoding/json renders map keys sorted, so a
+// marshaled snapshot is byte-deterministic given deterministic values.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Series     map[string][]float64      `json:"series,omitempty"`
+}
+
+// HistogramStats summarizes one duration histogram: exact count/sum/range,
+// estimated quantiles, and the non-empty buckets of the fixed ladder
+// (LeNS = bucket upper bound in nanoseconds; the overflow bucket reports
+// LeNS = -1).
+type HistogramStats struct {
+	Count   uint64   `json:"count"`
+	SumNS   int64    `json:"sum_ns"`
+	MinNS   int64    `json:"min_ns"`
+	MaxNS   int64    `json:"max_ns"`
+	P50NS   int64    `json:"p50_ns"`
+	P90NS   int64    `json:"p90_ns"`
+	P99NS   int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	LeNS int64  `json:"le_ns"`
+	N    uint64 `json:"n"`
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (h HistogramStats) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumNS) / float64(h.Count)
+}
+
+// stats summarizes the histogram under its lock.
+func (h *Histogram) stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistogramStats{
+		Count: h.count,
+		SumNS: h.sum.Nanoseconds(),
+		MinNS: h.min.Nanoseconds(),
+		MaxNS: h.max.Nanoseconds(),
+		P50NS: h.quantileLocked(0.50).Nanoseconds(),
+		P90NS: h.quantileLocked(0.90).Nanoseconds(),
+		P99NS: h.quantileLocked(0.99).Nanoseconds(),
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i].Nanoseconds()
+		}
+		out.Buckets = append(out.Buckets, Bucket{LeNS: le, N: c})
+	}
+	return out
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (but non-nil-map) snapshot so callers can serve it unconditionally.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+		Series:     map[string][]float64{},
+	}
+	if r == nil {
+		return snap
+	}
+	// Copy the handle maps under the registry lock, then read each metric
+	// through its own synchronization; metric reads must not nest inside
+	// the registry lock or a concurrent Observe would contend with every
+	// scrape.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	series := make(map[string]*Series, len(r.series))
+	for k, v := range r.series {
+		series[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		v := g.Value()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // JSON has no NaN/Inf; a poisoned gauge must not break /metrics
+		}
+		snap.Gauges[k] = v
+	}
+	for k, h := range histograms {
+		snap.Histograms[k] = h.stats()
+	}
+	for k, s := range series {
+		snap.Series[k] = s.Values()
+	}
+	return snap
+}
+
+// MarshalJSON renders a nil *Snapshot as an empty object for convenience.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("{}"), nil
+	}
+	type alias Snapshot // drop the method to avoid recursion
+	return json.Marshal((*alias)(s))
+}
+
+// DurationStats is a convenience accessor: the named histogram's stats, or
+// the zero value when absent.
+func (s *Snapshot) DurationStats(name string) HistogramStats {
+	if s == nil {
+		return HistogramStats{}
+	}
+	return s.Histograms[name]
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"dlacep/internal/obs"
+)
+
+// Health is the /healthz payload: engine liveness plus the headline event
+// counters, so a probe can tell a wedged server from an idle one.
+type Health struct {
+	Status      string `json:"status"` // "ok", or "closing" once Close ran
+	Patterns    int    `json:"patterns"`
+	ActiveConns int    `json:"active_connections"`
+	TotalConns  int64  `json:"total_connections"`
+	EventsTotal int64  `json:"events_total"`
+}
+
+// Health reports the server's current liveness snapshot.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	closed := s.closed
+	active := len(s.conns)
+	s.mu.Unlock()
+	h := Health{
+		Status:      "ok",
+		Patterns:    len(s.pats),
+		ActiveConns: active,
+		TotalConns:  s.Obs.Counter("server.connections.total").Value(),
+		EventsTotal: s.Obs.Counter("server.events.total").Value(),
+	}
+	if closed {
+		h.Status = "closing"
+	}
+	return h
+}
+
+// AdminHandler returns the introspection mux served on the admin listener
+// (separate from the TCP event port): GET /metrics is the registry snapshot
+// (see obs.Handler), GET /healthz the liveness payload, and — only when
+// enablePprof is set — the standard net/http/pprof endpoints under
+// /debug/pprof/. Pprof is opt-in because profile endpoints are a DoS and
+// information-leak surface on anything reachable beyond localhost.
+func (s *Server) AdminHandler(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(s.Obs))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

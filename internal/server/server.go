@@ -28,6 +28,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 )
 
@@ -43,6 +44,10 @@ type Server struct {
 	NewFilter func() (core.EventFilter, error)
 	// Log receives per-connection diagnostics; defaults to log.Printf.
 	Log func(format string, args ...any)
+	// Obs, when non-nil, is shared by every connection's pipeline and also
+	// receives server-level counters (server.connections.total/active,
+	// server.events.total). Expose it via AdminHandler.
+	Obs *obs.Registry
 
 	mu     sync.Mutex
 	closed bool
@@ -147,6 +152,11 @@ type wireOut struct {
 }
 
 func (s *Server) handle(conn net.Conn) error {
+	s.Obs.Counter("server.connections.total").Inc()
+	activeG := s.Obs.Gauge("server.connections.active")
+	activeG.Add(1)
+	defer activeG.Add(-1)
+	eventsC := s.Obs.Counter("server.events.total")
 	filter, err := s.NewFilter()
 	if err != nil {
 		return err
@@ -155,6 +165,7 @@ func (s *Server) handle(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
+	pl.Obs = s.Obs
 	proc, err := pl.NewProcessor()
 	if err != nil {
 		return err
@@ -211,6 +222,7 @@ func (s *Server) handle(conn net.Conn) error {
 			return writeErr(err)
 		}
 		nextID++
+		eventsC.Inc()
 		ms, err := proc.Push(ev)
 		if err != nil {
 			return writeErr(err)

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,17 +14,21 @@ import (
 	"dlacep/internal/dataset"
 	"dlacep/internal/event"
 	"dlacep/internal/label"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 )
 
 func startServer(t *testing.T, pats []*pattern.Pattern, schema *event.Schema, cfg core.Config,
-	newFilter func() (core.EventFilter, error)) (*Server, string) {
+	newFilter func() (core.EventFilter, error), configure ...func(*Server)) (*Server, string) {
 	t.Helper()
 	srv, err := New(schema, pats, cfg, newFilter)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv.Log = t.Logf
+	for _, f := range configure {
+		f(srv)
+	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -227,6 +234,168 @@ func TestServerConcurrentClients(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestAdminHealthz checks the liveness payload before and after Close, and
+// that pprof stays unregistered unless opted in.
+func TestAdminHealthz(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, _ := label.New(schema, pats...)
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	srv, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	}, func(s *Server) { s.Obs = obs.NewRegistry() })
+	admin := srv.AdminHandler(false)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(event.Event{Type: "A", Ts: 1, Attrs: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the connection handler has registered itself.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Health().ActiveConns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz status %d: %s", rec.Code, rec.Body)
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Patterns != 1 || h.ActiveConns != 1 || h.TotalConns != 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	rec = httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 404 {
+		t.Errorf("pprof without opt-in: status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.AdminHandler(true).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("pprof with opt-in: status %d, want 200", rec.Code)
+	}
+
+	srv.Close()
+	rec = httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("healthz after Close: status %d, want 503", rec.Code)
+	}
+}
+
+// TestMetricsScrapeDuringStreaming hammers /metrics from several goroutines
+// while clients actively stream events: scrapes must never fail, and the
+// final snapshot must account for every event sent. Under -race this is the
+// registry-vs-pipeline concurrency check at the service boundary.
+func TestMetricsScrapeDuringStreaming(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, _ := label.New(schema, pats...)
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	srv, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.OracleFilter{L: lab}, nil
+	}, func(s *Server) { s.Obs = obs.NewRegistry() })
+	admin := srv.AdminHandler(false)
+
+	const clients = 3
+	const perClient = 40
+	done := make(chan error, clients)
+	for k := 0; k < clients; k++ {
+		go func(k int) {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				typ := "A"
+				if i%2 == 1 {
+					typ = "B"
+				}
+				if err := c.Send(event.Event{Type: typ, Ts: int64(i), Attrs: []float64{float64(i)}}); err != nil {
+					done <- err
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				done <- err
+				return
+			}
+			for {
+				msg, err := c.Recv()
+				if err != nil {
+					done <- err
+					return
+				}
+				if msg.Summary != nil {
+					done <- nil
+					return
+				}
+			}
+		}(k)
+	}
+
+	scrapeStop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-scrapeStop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				admin.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					t.Errorf("scrape status %d", rec.Code)
+					return
+				}
+				var snap obs.Snapshot
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Errorf("scrape body: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for k := 0; k < clients; k++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+	close(scrapeStop)
+	scrapes.Wait()
+
+	snap := srv.Obs.Snapshot()
+	if got := snap.Counters["server.events.total"]; got != clients*perClient {
+		t.Errorf("server.events.total = %d, want %d", got, clients*perClient)
+	}
+	if got := snap.Counters["pipeline.events.in"]; got != clients*perClient {
+		t.Errorf("pipeline.events.in = %d, want %d", got, clients*perClient)
+	}
+	if snap.Histograms["pipeline.filter.window_ns"].Count == 0 {
+		t.Error("no filter timings recorded during streaming")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
 	"dlacep/internal/label"
+	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
 )
 
@@ -148,17 +149,31 @@ func (r *Result) DropRatio() float64 {
 // Run evaluates the stream exactly on the kept events. Kept events keep
 // their IDs, so window semantics match the unshedded evaluation.
 func Run(p *pattern.Pattern, st *event.Stream, s Shedder) (*Result, error) {
+	return RunObserved(p, st, s, nil)
+}
+
+// RunObserved is Run with live telemetry: counters shed.events.kept and
+// shed.events.dropped track the shedding decision per event, the gauge
+// shed.drop_ratio tracks the realized drop fraction, and the engine's cost
+// counters are published under shed.cep.*. A nil registry makes it
+// identical to Run.
+func RunObserved(p *pattern.Pattern, st *event.Stream, s Shedder, reg *obs.Registry) (*Result, error) {
 	en, err := cep.New(p, st.Schema)
 	if err != nil {
 		return nil, err
 	}
+	keptC := reg.Counter("shed.events.kept")
+	droppedC := reg.Counter("shed.events.dropped")
+	ratioG := reg.Gauge("shed.drop_ratio")
 	res := &Result{Matches: map[string]bool{}, Total: st.Len()}
 	for i := range st.Events {
 		e := &st.Events[i]
 		if !s.Keep(e) {
+			droppedC.Inc()
 			continue
 		}
 		res.Kept++
+		keptC.Inc()
 		for _, m := range en.Process(*e) {
 			res.Matches[m.Key()] = true
 		}
@@ -167,5 +182,7 @@ func Run(p *pattern.Pattern, st *event.Stream, s Shedder) (*Result, error) {
 		res.Matches[m.Key()] = true
 	}
 	res.Stats = en.Stats()
+	ratioG.Set(res.DropRatio())
+	en.Publish(reg, "shed.cep")
 	return res, nil
 }

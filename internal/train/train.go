@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"dlacep/internal/nn"
+	"dlacep/internal/obs"
 )
 
 // Optimizer updates parameters in place from their accumulated gradients.
@@ -182,6 +183,10 @@ type Config struct {
 	Seed      int64
 	// Converge, when nil, defaults to the paper's rule.
 	Converge *Convergence
+	// Obs, when non-nil, receives per-epoch training series: train.loss,
+	// train.lr, and train.grad_norm (mean post-scaling pre-clipping batch
+	// gradient norm — the extra norm computation only runs when observed).
+	Obs *obs.Registry
 }
 
 // Result summarizes a training run.
@@ -207,6 +212,10 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	order := rng.Perm(n)
+	lossS := cfg.Obs.Series("train.loss")
+	lrS := cfg.Obs.Series("train.lr")
+	gradS := cfg.Obs.Series("train.grad_norm")
+	epochsG := cfg.Obs.Gauge("train.epochs")
 	var res Result
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		lr, batch := cfg.Schedule.At(epoch)
@@ -216,6 +225,7 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 		}
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		total := 0.0
+		gradSum, batches := 0.0, 0
 		for lo := 0; lo < n; lo += batch {
 			hi := lo + batch
 			if hi > n {
@@ -226,6 +236,12 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 				total += step(i)
 			}
 			nn.ScaleGrads(params, 1/float64(hi-lo))
+			if cfg.Obs != nil {
+				// Extra O(|params|) pass, paid only when observed; taken
+				// before clipping so exploding gradients stay visible.
+				gradSum += nn.GradNorm(params)
+				batches++
+			}
 			if cfg.ClipNorm > 0 {
 				nn.ClipGrads(params, cfg.ClipNorm)
 			}
@@ -234,6 +250,12 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 		avg := total / float64(n)
 		res.LossHistory = append(res.LossHistory, avg)
 		res.Epochs = epoch + 1
+		lossS.Append(avg)
+		lrS.Append(lr)
+		if batches > 0 {
+			gradS.Append(gradSum / float64(batches))
+		}
+		epochsG.Set(float64(res.Epochs))
 		if onEpoch != nil && !onEpoch(epoch, avg) {
 			return res
 		}
