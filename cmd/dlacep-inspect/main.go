@@ -2,11 +2,14 @@
 // validates and compiles the query, reports its structure (operators,
 // aliases, type and attribute sets), estimates the ECEP cost Φ(W, R, SEL)
 // of Section 3.2 against a sample stream, and prints the ZStream tree plan
-// a cost-based optimizer would choose.
+// a cost-based optimizer would choose. With -model it instead inspects a
+// saved model file: kind, format version, checksum, patterns, and the
+// parameter inventory — verifying integrity in the process.
 //
 // Usage:
 //
 //	dlacep-inspect -pattern 'PATTERN SEQ(S1 a, S2 b) WHERE a.vol < b.vol WITHIN 150' -data stream.csv
+//	dlacep-inspect -model model.json
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"dlacep/internal/acep"
 	"dlacep/internal/cep"
+	"dlacep/internal/core"
 	"dlacep/internal/event"
 	"dlacep/internal/pattern"
 	"dlacep/internal/zstream"
@@ -30,9 +34,14 @@ func main() {
 	patSrc := flag.String("pattern", "", "pattern in the query language")
 	dataPath := flag.String("data", "", "optional sample stream CSV for statistics")
 	sample := flag.Int("sample", 2000, "Monte-Carlo samples per condition selectivity")
+	modelPath := flag.String("model", "", "saved model to inspect instead of a pattern")
 	flag.Parse()
+	if *modelPath != "" {
+		inspectModel(*modelPath)
+		return
+	}
 	if *patSrc == "" {
-		fmt.Fprintln(os.Stderr, "usage: dlacep-inspect -pattern 'PATTERN ...' [-data stream.csv]")
+		fmt.Fprintln(os.Stderr, "usage: dlacep-inspect -pattern 'PATTERN ...' [-data stream.csv]\n   or: dlacep-inspect -model model.json")
 		os.Exit(2)
 	}
 	p, err := pattern.Parse(*patSrc)
@@ -123,4 +132,47 @@ func main() {
 	} else {
 		fmt.Printf("ZStream plan: n/a (%v)\n", err)
 	}
+}
+
+// inspectModel prints a saved model's identity, integrity, and parameter
+// inventory (see core.InspectModel). A tampered or future-format file fails
+// here with the loader's error, making this the quickest integrity check.
+func inspectModel(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	info, err := core.InspectModel(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("kind:     ", info.Kind)
+	if info.Format == 0 {
+		fmt.Println("format:    v1 (legacy, no checksum)")
+	} else {
+		fmt.Printf("format:    v%d\n", info.Format)
+	}
+	if info.Checksum != "" {
+		fmt.Println("sha256:   ", info.Checksum, "(verified)")
+	}
+	fmt.Println("schema:   ", info.Schema)
+	for _, p := range info.Patterns {
+		fmt.Println("pattern:  ", p)
+	}
+	fmt.Printf("threshold: %g\n", info.Threshold)
+	fmt.Printf("arch:      %s, hidden %d, layers %d, mark %d, step %d\n",
+		archName(info.Config), info.Config.Hidden, info.Config.Layers,
+		info.Config.MarkSize, info.Config.StepSize)
+	fmt.Printf("params:    %d tensors, %d scalars\n", len(info.Params), info.ParamCount)
+	for _, p := range info.Params {
+		fmt.Printf("  %-40s %5d x %-5d = %d\n", p.Name, p.Rows, p.Cols, p.Rows*p.Cols)
+	}
+}
+
+func archName(cfg core.Config) string {
+	if cfg.Arch == "" {
+		return "bilstm"
+	}
+	return cfg.Arch
 }

@@ -1,9 +1,16 @@
 // Command dlacep-serve exposes a trained DLACEP model as a TCP match
 // service, or streams a CSV file to such a service as a client.
 //
-// Server:
+// Server, from a single model file:
 //
 //	dlacep-serve -model model.json -listen :7878
+//
+// Server, from a model registry with drift-triggered hot swapping (the
+// active version is served; a lifecycle controller audits it, retrains on
+// drift, and swaps in validated candidates without dropping connections):
+//
+//	dlacep-serve -registry ./registry -family stock -listen :7878 \
+//	  -admin 127.0.0.1:7879
 //
 // Client (streams a dataset and prints matches):
 //
@@ -23,6 +30,7 @@ import (
 
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/lifecycle"
 	"dlacep/internal/obs"
 	"dlacep/internal/server"
 )
@@ -32,37 +40,115 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// serveOpts collects the server-mode flags.
+type serveOpts struct {
+	modelPath string
+	listen    string
+	parallel  int
+	admin     string
+	pprofOn   bool
+
+	registry        string
+	family          string
+	swapEpsilon     float64
+	retrainEpochs   int
+	minWindows      int
+	checkpointEvery int
+	auditEvery      int
+}
+
 func main() {
-	modelPath := flag.String("model", "model.json", "trained model (server mode)")
-	listen := flag.String("listen", "", "address to serve on, e.g. :7878")
+	var o serveOpts
+	flag.StringVar(&o.modelPath, "model", "model.json", "trained model (server mode, ignored with -registry)")
+	flag.StringVar(&o.listen, "listen", "", "address to serve on, e.g. :7878")
 	connect := flag.String("connect", "", "server address to stream to (client mode)")
 	dataPath := flag.String("data", "", "stream CSV to send (client mode)")
-	parallel := flag.Int("parallel", 0, "per-connection pipeline worker bound (server mode); 0 or 1 sequential")
-	admin := flag.String("admin", "", "admin HTTP address for /metrics and /healthz, e.g. 127.0.0.1:7879 (server mode)")
-	pprofOn := flag.Bool("pprof", false, "also expose /debug/pprof/ on the admin address")
+	flag.IntVar(&o.parallel, "parallel", 0, "per-connection pipeline worker bound (server mode); 0 or 1 sequential")
+	flag.StringVar(&o.admin, "admin", "", "admin HTTP address for /metrics and /healthz, e.g. 127.0.0.1:7879 (server mode)")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "also expose /debug/pprof/ on the admin address")
+	flag.StringVar(&o.registry, "registry", "", "model registry directory; serves the family's active version with hot swapping")
+	flag.StringVar(&o.family, "family", "default", "model family within -registry")
+	flag.Float64Var(&o.swapEpsilon, "swap-epsilon", 0.02, "promotion slack: candidate F1 may lag live F1 by this much")
+	flag.IntVar(&o.retrainEpochs, "retrain-epochs", 10, "epoch bound for drift-triggered retraining")
+	flag.IntVar(&o.minWindows, "min-windows", 8, "buffered windows required before a retrain cycle runs")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "checkpoint retraining runs into the registry every N epochs (0 off)")
+	flag.IntVar(&o.auditEvery, "audit-every", 0, "drift-audit the live model once per N served windows (0 = library default)")
 	flag.Parse()
 
 	switch {
-	case *listen != "":
-		runServer(*modelPath, *listen, *parallel, *admin, *pprofOn)
+	case o.listen != "":
+		runServer(o)
 	case *connect != "":
 		runClient(*connect, *dataPath)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dlacep-serve -listen :7878 -model model.json\n   or: dlacep-serve -connect host:7878 -data stream.csv")
+		fmt.Fprintln(os.Stderr, "usage: dlacep-serve -listen :7878 -model model.json\n   or: dlacep-serve -listen :7878 -registry dir -family name\n   or: dlacep-serve -connect host:7878 -data stream.csv")
 		os.Exit(2)
 	}
 }
 
-func runServer(modelPath, listen string, parallel int, admin string, pprofOn bool) {
-	raw, err := os.ReadFile(modelPath)
+func runServer(o serveOpts) {
+	if o.pprofOn && o.admin == "" {
+		fatal(fmt.Errorf("-pprof needs -admin"))
+	}
+	var (
+		srv *server.Server
+		ctl *lifecycle.Controller
+		err error
+	)
+	if o.registry != "" {
+		srv, ctl, err = registryServer(o)
+	} else {
+		srv, err = fileServer(o)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if o.admin != "" {
+		alis, err := net.Listen("tcp", o.admin)
+		if err != nil {
+			fatal(err)
+		}
+		endpoints := "/metrics, /healthz"
+		var extra []server.AdminRoute
+		if ctl != nil {
+			extra = ctl.AdminRoutes()
+			endpoints += ", /models, /swap, /rollback"
+		}
+		if o.pprofOn {
+			endpoints += ", /debug/pprof/"
+		}
+		fmt.Printf("admin endpoints (%s) on %s\n", endpoints, alis.Addr())
+		go func() {
+			if err := http.Serve(alis, srv.AdminHandler(o.pprofOn, extra...)); err != nil {
+				fmt.Fprintln(os.Stderr, "dlacep-serve: admin:", err)
+			}
+		}()
+	}
+	if ctl != nil {
+		ctl.Start()
+		defer ctl.Stop()
+	}
+	lis, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving on %s\n", lis.Addr())
+	if err := srv.Serve(lis); err != nil {
+		fatal(err)
+	}
+}
+
+// fileServer serves one frozen model file, the pre-registry mode.
+func fileServer(o serveOpts) (*server.Server, error) {
+	raw, err := os.ReadFile(o.modelPath)
+	if err != nil {
+		return nil, err
 	}
 	// Peek once for configuration; per-connection filters reload from the
 	// same bytes (trained networks are stateful during inference).
 	probe, pats, schema, err := core.LoadModel(bytes.NewReader(raw))
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	var cfg core.Config
 	switch f := probe.(type) {
@@ -73,39 +159,87 @@ func runServer(modelPath, listen string, parallel int, admin string, pprofOn boo
 	default:
 		cfg = core.DefaultConfig(int(pats[0].Window.Size))
 	}
-	cfg.Parallelism = parallel
+	cfg.Parallelism = o.parallel
 	srv, err := server.New(schema, pats, cfg, func() (core.EventFilter, error) {
 		f, _, _, err := core.LoadModel(bytes.NewReader(raw))
 		return f, err
 	})
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	if pprofOn && admin == "" {
-		fatal(fmt.Errorf("-pprof needs -admin"))
-	}
-	if admin != "" {
+	if o.admin != "" {
 		srv.Obs = obs.NewRegistry()
-		alis, err := net.Listen("tcp", admin)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("admin endpoints (/metrics, /healthz%s) on %s\n",
-			map[bool]string{true: ", /debug/pprof/"}[pprofOn], alis.Addr())
-		go func() {
-			if err := http.Serve(alis, srv.AdminHandler(pprofOn)); err != nil {
-				fmt.Fprintln(os.Stderr, "dlacep-serve: admin:", err)
-			}
-		}()
 	}
-	lis, err := net.Listen("tcp", listen)
+	fmt.Printf("model %s: %d pattern(s)\n", o.modelPath, len(pats))
+	return srv, nil
+}
+
+// registryServer serves a family's active registry version under a
+// lifecycle controller: drift audits, retraining, shadow validation, and
+// atomic hot swaps.
+func registryServer(o serveOpts) (*server.Server, *lifecycle.Controller, error) {
+	reg, err := lifecycle.Open(o.registry)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
-	fmt.Printf("serving %d pattern(s) on %s\n", len(pats), lis.Addr())
-	if err := srv.Serve(lis); err != nil {
-		fatal(err)
+	version, err := reg.Active(o.family)
+	if err != nil {
+		return nil, nil, err
 	}
+	if version == 0 {
+		latest, err := reg.Latest(o.family)
+		if err != nil {
+			return nil, nil, err
+		}
+		version = latest.Version
+		fmt.Printf("family %q has no promoted version; serving latest v%d\n", o.family, version)
+	}
+	filter, pats, schema, err := reg.LoadFilter(o.family, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	live, ok := filter.(*core.EventNetwork)
+	if !ok {
+		return nil, nil, fmt.Errorf("registry serving needs an event-network model, %s v%d is %T", o.family, version, filter)
+	}
+	cfg := live.Cfg
+	cfg.Parallelism = o.parallel
+	srv, err := server.New(schema, pats, cfg, func() (core.EventFilter, error) {
+		return live.CloneFilter(), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Obs = obs.NewRegistry()
+	// Stamp the registry version on the generation counter so /healthz and
+	// /models agree from the first connection on.
+	if _, err := srv.SwapFilter(version, func() (core.EventFilter, error) {
+		return live.CloneFilter(), nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	ctl, err := lifecycle.NewController(lifecycle.ControllerConfig{
+		Registry:        reg,
+		Family:          o.family,
+		Schema:          schema,
+		Patterns:        pats,
+		Core:            live.Cfg, // retraining builds sequential candidates
+		Live:            live,
+		LiveVersion:     version,
+		Swap:            srv.SwapFilter,
+		Epsilon:         o.swapEpsilon,
+		RetrainEpochs:   o.retrainEpochs,
+		MinWindows:      o.minWindows,
+		CheckpointEvery: o.checkpointEvery,
+		Drift:           core.DriftOptions{AuditEvery: o.auditEvery, Obs: srv.Obs},
+		Obs:             srv.Obs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.OnEvent = ctl.ObserveEvent
+	fmt.Printf("registry %s family %q: serving v%d, %d pattern(s)\n", o.registry, o.family, version, len(pats))
+	return srv, ctl, nil
 }
 
 func runClient(addr, dataPath string) {

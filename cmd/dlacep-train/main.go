@@ -1,14 +1,24 @@
 // Command dlacep-train trains a DLACEP filter network on a historical
-// stream and saves the model for later use by dlacep-run.
+// stream and saves the model for later use by dlacep-serve.
 //
 // Usage:
 //
 //	dlacep-train -data stock.csv \
 //	  -pattern 'PATTERN SEQ(S1 a, S2 b, S3 c) WHERE 0.5 * a.vol < c.vol WITHIN 150' \
 //	  -net event -epochs 20 -out model.json
+//
+// With -registry the trained model is also registered (and promoted) as a
+// new version in a lifecycle registry; -checkpoint-every N persists
+// mid-training checkpoints so an interrupted run can continue with -resume,
+// bit-identical to an uninterrupted one:
+//
+//	dlacep-train -data stock.csv -pattern '...' \
+//	  -registry ./registry -family stock -checkpoint-every 5 [-resume]
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +28,7 @@ import (
 	"dlacep/internal/dataset"
 	"dlacep/internal/event"
 	"dlacep/internal/label"
+	"dlacep/internal/lifecycle"
 	"dlacep/internal/pattern"
 )
 
@@ -37,11 +48,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "initialization/shuffling seed")
 	calibrate := flag.Float64("calibrate", 0, "optional target event/window recall for threshold calibration (0 = argmax decoding)")
 	out := flag.String("out", "model.json", "model output path")
+	registry := flag.String("registry", "", "lifecycle registry directory to register the model in")
+	family := flag.String("family", "default", "model family within -registry")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint into -registry every N epochs (0 off, event nets only)")
+	resume := flag.Bool("resume", false, "continue from the family's latest checkpoint in -registry")
 	flag.Parse()
 
 	if *dataPath == "" || *patSrc == "" {
 		fmt.Fprintln(os.Stderr, "usage: dlacep-train -data stream.csv -pattern 'PATTERN ...' [-net event|window] -out model.json")
 		os.Exit(2)
+	}
+	if (*checkpointEvery > 0 || *resume) && *registry == "" {
+		fatal(fmt.Errorf("-checkpoint-every and -resume need -registry"))
+	}
+	if (*checkpointEvery > 0 || *resume) && *netKind != "event" {
+		fatal(fmt.Errorf("checkpointed training supports -net event only"))
+	}
+	var reg *lifecycle.Registry
+	if *registry != "" {
+		var err error
+		if reg, err = lifecycle.Open(*registry); err != nil {
+			fatal(err)
+		}
 	}
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -72,18 +100,48 @@ func main() {
 		fmt.Printf("epoch %3d  loss %.6f\n", e+1, loss)
 	}
 
-	outF, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	defer outF.Close()
+	// trainConfig is recorded in the registry manifest so a version can be
+	// traced back to the run that produced it.
+	trainConfig, _ := json.Marshal(map[string]any{
+		"data": *dataPath, "pattern": *patSrc, "net": *netKind,
+		"hidden": *hidden, "layers": *layers, "arch": *arch,
+		"epochs": *epochs, "seed": *seed, "calibrate": *calibrate,
+	})
 
 	start := time.Now()
+	var payload bytes.Buffer
 	switch *netKind {
 	case "event":
 		net, err := core.NewEventNetwork(st.Schema, pats, cfg)
 		if err != nil {
 			fatal(err)
+		}
+		parent := 0
+		if *resume {
+			man, ckpt, ok, err := reg.LatestCheckpoint(*family)
+			if err != nil {
+				fatal(err)
+			}
+			if ok {
+				filter, _, _, err := reg.LoadFilter(*family, man.Version)
+				if err != nil {
+					fatal(err)
+				}
+				resumed, isEvent := filter.(*core.EventNetwork)
+				if !isEvent {
+					fatal(fmt.Errorf("checkpoint v%d is not an event network", man.Version))
+				}
+				net = resumed
+				parent = man.Parent
+				lifecycle.Resume(ckpt, net, &opt)
+				fmt.Printf("resuming from checkpoint v%d (epoch %d of %d)\n", man.Version, ckpt.Epoch, *epochs)
+			} else {
+				fmt.Println("no checkpoint found; training from scratch")
+			}
+		}
+		if *checkpointEvery > 0 {
+			opt.CheckpointEvery = *checkpointEvery
+			lifecycle.AttachCheckpoints(reg, *family, net, pats, parent, &opt)
 		}
 		res, err := net.Fit(trainWs, lab, opt)
 		if err != nil {
@@ -102,7 +160,7 @@ func main() {
 		}
 		fmt.Printf("trained %d epochs in %v (converged=%v)\ntest %v\n",
 			res.Epochs, time.Since(start).Round(time.Second), res.Converged, c)
-		if err := net.Save(outF, pats); err != nil {
+		if err := net.Save(&payload, pats); err != nil {
 			fatal(err)
 		}
 	case "window":
@@ -127,12 +185,26 @@ func main() {
 		}
 		fmt.Printf("trained %d epochs in %v (converged=%v)\ntest %v\n",
 			res.Epochs, time.Since(start).Round(time.Second), res.Converged, c)
-		if err := net.Save(outF, pats); err != nil {
+		if err := net.Save(&payload, pats); err != nil {
 			fatal(err)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown net %q (event|window)\n", *netKind)
 		os.Exit(2)
 	}
+	if err := os.WriteFile(*out, payload.Bytes(), 0o644); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("model written to %s\n", *out)
+	if reg != nil {
+		man, err := reg.Put(*family, bytes.NewReader(payload.Bytes()),
+			lifecycle.PutMeta{Note: "dlacep-train", TrainConfig: trainConfig})
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Promote(*family, man.Version); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered and promoted %s v%d (sha256 %.12s…)\n", *family, man.Version, man.SHA256)
+	}
 }

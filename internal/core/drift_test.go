@@ -168,3 +168,109 @@ func TestDriftMonitorValidation(t *testing.T) {
 		t.Error("nil args accepted")
 	}
 }
+
+// TestDriftMonitorResetCadence verifies that Reset restarts the audit
+// schedule from scratch: the next audit fires exactly AuditEvery windows
+// later, and the EMA restarts from the first post-reset audit instead of
+// blending with pre-reset history.
+func TestDriftMonitorResetCadence(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(2400, 5, 31)
+	net, lab := trainSmallNet(t, p, st, 1)
+	mon, err := NewDriftMonitor(net, lab, DriftOptions{AuditEvery: 10, Sample: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := dataset.Windows(dataset.Synthetic(1200, 5, 77), 12)
+	// Drive past the first audit, partway into the next cycle.
+	for i := 0; i < 15; i++ {
+		if _, _, err := mon.Observe(ws[i%len(ws)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Audits() != 1 {
+		t.Fatalf("audits = %d after 15 windows with AuditEvery=10, want 1", mon.Audits())
+	}
+	mon.Reset()
+	if mon.F1() != 0 || mon.Audits() != 0 || mon.Drifted() {
+		t.Fatal("Reset did not clear statistics")
+	}
+	// Post-reset the cadence restarts: windows 1..9 must not audit, the
+	// 10th must.
+	for i := 0; i < 9; i++ {
+		audited, _, err := mon.Observe(ws[i%len(ws)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if audited {
+			t.Fatalf("audit fired %d windows after Reset, want 10", i+1)
+		}
+	}
+	audited, _, err := mon.Observe(ws[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audited || mon.Audits() != 1 {
+		t.Errorf("10th post-reset window: audited=%v audits=%d, want audit to fire", audited, mon.Audits())
+	}
+}
+
+// TestTransferSelf pins the degenerate warm start: transferring a network
+// onto itself copies every tensor and leaves the weights bit-identical.
+func TestTransferSelf(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(600, 5, 31)
+	net, err := NewEventNetwork(st.Schema, []*pattern.Pattern{p}, Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]float64, len(net.Params()))
+	for i, pr := range net.Params() {
+		before[i] = append([]float64(nil), pr.Data...)
+	}
+	copied, err := net.TransferFrom(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied != len(net.Params()) {
+		t.Errorf("self-transfer copied %d of %d tensors", copied, len(net.Params()))
+	}
+	for i, pr := range net.Params() {
+		for j := range pr.Data {
+			if pr.Data[j] != before[i][j] {
+				t.Fatalf("self-transfer changed tensor %q", pr.Name)
+			}
+		}
+	}
+}
+
+// TestTransferHiddenMismatch checks the shape-mismatched-source case at
+// equal depth: same tensor count, different hidden size. Only the tensors
+// whose shapes coincide (the CRF chains and any width-independent ones)
+// transfer; the BiLSTM body is skipped rather than corrupted.
+func TestTransferHiddenMismatch(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(600, 5, 31)
+	pats := []*pattern.Pattern{p}
+	src, err := NewEventNetwork(st.Schema, pats, Config{MarkSize: 12, StepSize: 6, Hidden: 8, Layers: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewEventNetwork(st.Schema, pats, Config{MarkSize: 12, StepSize: 6, Hidden: 4, Layers: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := dst.TransferFrom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied == 0 || copied >= len(dst.Params()) {
+		t.Errorf("hidden-size mismatch copied %d of %d tensors, want partial transfer", copied, len(dst.Params()))
+	}
+	// The mismatched body tensors must be untouched: verify dst still
+	// produces finite marks (no shape corruption).
+	w := dataset.Windows(st, 12)[0]
+	if marks := dst.Mark(w); len(marks) != len(w) {
+		t.Errorf("post-transfer Mark returned %d marks for %d events", len(marks), len(w))
+	}
+}

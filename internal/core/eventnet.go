@@ -35,6 +35,18 @@ type TrainOptions struct {
 	// Obs, when non-nil, receives per-epoch training telemetry
 	// (train.loss/train.lr/train.grad_norm series; see train.Config.Obs).
 	Obs *obs.Registry
+
+	// Checkpoint/resume plumbing (see the train.Config fields of the same
+	// names). StartEpoch skips already-trained epochs while replaying the
+	// shuffle RNG; ResumeHistory seeds the convergence detector; Checkpoint
+	// fires after every CheckpointEvery-th epoch; RestoreOpt, when set, is
+	// applied to the freshly built optimizer before the loop (restore a
+	// captured train.OptState here).
+	StartEpoch      int
+	ResumeHistory   []float64
+	CheckpointEvery int
+	Checkpoint      func(epoch int, res train.Result, opt train.Optimizer) error
+	RestoreOpt      func(opt train.Optimizer) error
 }
 
 // DefaultTrainOptions returns a schedule sized for this repository's
@@ -49,24 +61,37 @@ func DefaultTrainOptions() TrainOptions {
 	}
 }
 
-func (o TrainOptions) loop(n int, params []*nn.Param, step func(i int) float64) train.Result {
+func (o TrainOptions) loop(n int, params []*nn.Param, step func(i int) float64) (train.Result, error) {
 	cfg := train.Config{
-		Schedule:  o.Schedule,
-		MaxEpochs: o.MaxEpochs,
-		ClipNorm:  o.ClipNorm,
-		Seed:      o.Seed,
-		Obs:       o.Obs,
+		Schedule:        o.Schedule,
+		MaxEpochs:       o.MaxEpochs,
+		ClipNorm:        o.ClipNorm,
+		Seed:            o.Seed,
+		Obs:             o.Obs,
+		StartEpoch:      o.StartEpoch,
+		ResumeHistory:   o.ResumeHistory,
+		CheckpointEvery: o.CheckpointEvery,
+		Checkpoint:      o.Checkpoint,
 	}
 	if o.NoConvergence {
 		// a convergence detector that never fires
 		cfg.Converge = &train.Convergence{Threshold: -1, Patience: 1 << 30}
 	}
 	opt := train.NewAdam(o.Schedule.InitialLR)
+	if o.RestoreOpt != nil {
+		if err := o.RestoreOpt(opt); err != nil {
+			return train.Result{}, fmt.Errorf("core: restoring optimizer state: %w", err)
+		}
+	}
 	var onEpoch func(int, float64) bool
 	if o.OnEpoch != nil {
 		onEpoch = func(e int, l float64) bool { o.OnEpoch(e, l); return true }
 	}
-	return train.Loop(cfg, n, params, opt, step, onEpoch)
+	res := train.Loop(cfg, n, params, opt, step, onEpoch)
+	if res.CheckpointErr != nil {
+		return res, fmt.Errorf("core: training checkpoint failed: %w", res.CheckpointErr)
+	}
+	return res, nil
 }
 
 // subsample applies DataFraction.
@@ -224,13 +249,12 @@ func (n *EventNetwork) Fit(windows [][]event.Event, lab *label.Labeler, opt Trai
 		ys[i] = y
 	}
 	params := n.Params()
-	res := opt.loop(len(windows), params, func(i int) float64 {
+	return opt.loop(len(windows), params, func(i int) float64 {
 		em := n.Net.Forward(xs[i], true)
 		loss, dEm := n.CRF.Loss(em, ys[i])
 		n.Net.Backward(dEm)
 		return loss / float64(len(ys[i]))
 	})
-	return res, nil
 }
 
 // Evaluate computes the event-level confusion counts (precision / recall /

@@ -128,13 +128,12 @@ func (n *WindowNetwork) Fit(windows [][]event.Event, lab *label.Labeler, opt Tra
 		ys[i] = float64(y)
 	}
 	params := n.Params()
-	res := opt.loop(len(windows), params, func(i int) float64 {
+	return opt.loop(len(windows), params, func(i int) float64 {
 		out := n.Net.Forward(xs[i], true)
 		loss, dz := train.BCEWithLogits(out[0][0], ys[i])
 		n.Net.Backward([][]float64{{dz}})
 		return loss
 	})
-	return res, nil
 }
 
 // Evaluate computes window-level confusion counts over held-out windows.

@@ -1,0 +1,97 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dlacep/internal/server"
+)
+
+// modelsPayload is the GET /models response.
+type modelsPayload struct {
+	Family  string     `json:"family"`
+	Active  int        `json:"active"`
+	Serving int        `json:"serving"` // the controller's live version
+	Models  []Manifest `json:"models"`
+}
+
+// AdminRoutes exposes the controller on a server's admin listener:
+//
+//	GET  /models         registry inventory + active/serving versions
+//	POST /swap           trigger a retrain cycle; ?wait=1 runs it
+//	                     synchronously and returns the Report
+//	POST /rollback       revert to the previously active version
+//
+// Mount via server.AdminHandler(pprof, ctl.AdminRoutes()...).
+func (c *Controller) AdminRoutes() []server.AdminRoute {
+	return []server.AdminRoute{
+		{Pattern: "/models", Handler: http.HandlerFunc(c.handleModels)},
+		{Pattern: "/swap", Handler: http.HandlerFunc(c.handleSwap)},
+		{Pattern: "/rollback", Handler: http.HandlerFunc(c.handleRollback)},
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Controller) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	mans, err := c.cfg.Registry.List(c.cfg.Family)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	act, err := c.cfg.Registry.Active(c.cfg.Family)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelsPayload{
+		Family:  c.cfg.Family,
+		Active:  act,
+		Serving: c.LiveVersion(),
+		Models:  mans,
+	})
+}
+
+func (c *Controller) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		select {
+		case c.trigger <- "admin trigger":
+			writeJSON(w, http.StatusAccepted, map[string]string{"status": "retrain scheduled"})
+		default:
+			writeJSON(w, http.StatusConflict, map[string]string{"status": "a retrain is already pending"})
+		}
+		return
+	}
+	rep, err := c.RunCycle("admin trigger")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Controller) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := c.Rollback("admin trigger"); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "rolled back", "serving": c.LiveVersion()})
+}

@@ -1,0 +1,106 @@
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlacep/internal/core"
+	"dlacep/internal/pattern"
+	"dlacep/internal/train"
+)
+
+// CheckpointState is the training-progress snapshot stored next to a
+// checkpointed model (optstate.json): together with the model parameters it
+// makes a resumed run bit-identical to an uninterrupted one (see
+// train.Config's StartEpoch/ResumeHistory contract).
+type CheckpointState struct {
+	Epoch   int            `json:"epoch"`   // completed epochs
+	History []float64      `json:"history"` // per-epoch losses so far
+	Opt     train.OptState `json:"opt"`     // optimizer moment buffers
+}
+
+// AttachCheckpoints wires opts.Checkpoint to persist net (with its optimizer
+// state) into reg as an unpromoted checkpoint version every
+// opts.CheckpointEvery epochs. parent records the version the training run
+// warm-started from (0 for cold starts). Call before Fit.
+func AttachCheckpoints(reg *Registry, family string, net *core.EventNetwork,
+	pats []*pattern.Pattern, parent int, opts *core.TrainOptions) {
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 1
+	}
+	opts.Checkpoint = func(epoch int, res train.Result, opt train.Optimizer) error {
+		st, err := train.CaptureOptState(opt, net.Params())
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf, pats); err != nil {
+			return err
+		}
+		_, err = reg.Put(family, &buf, PutMeta{
+			Parent: parent,
+			Note:   fmt.Sprintf("checkpoint after epoch %d", epoch+1),
+			Checkpoint: &CheckpointState{
+				Epoch:   epoch + 1,
+				History: append([]float64(nil), res.LossHistory...),
+				Opt:     st,
+			},
+		})
+		return err
+	}
+}
+
+// CheckpointStateOf reads the optimizer snapshot of a checkpoint version.
+func (r *Registry) CheckpointStateOf(family string, version int) (CheckpointState, error) {
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return CheckpointState{}, err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, versionDir(version), "optstate.json"))
+	if err != nil {
+		return CheckpointState{}, fmt.Errorf("lifecycle: %s %s has no optimizer state: %w",
+			family, versionDir(version), err)
+	}
+	var st CheckpointState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return CheckpointState{}, fmt.Errorf("lifecycle: optimizer state of %s %s: %w",
+			family, versionDir(version), err)
+	}
+	return st, nil
+}
+
+// LatestCheckpoint finds the newest checkpoint version of family. ok is
+// false when the family has no checkpoints.
+func (r *Registry) LatestCheckpoint(family string) (man Manifest, st CheckpointState, ok bool, err error) {
+	mans, err := r.List(family)
+	if err != nil {
+		return Manifest{}, CheckpointState{}, false, err
+	}
+	for i := len(mans) - 1; i >= 0; i-- {
+		if mans[i].Ckpt {
+			st, err := r.CheckpointStateOf(family, mans[i].Version)
+			if err != nil {
+				return Manifest{}, CheckpointState{}, false, err
+			}
+			return mans[i], st, true, nil
+		}
+	}
+	return Manifest{}, CheckpointState{}, false, nil
+}
+
+// Resume configures opts to continue training net from a checkpoint state:
+// the already-trained epochs are skipped (with the shuffle RNG replayed so
+// example order matches), the loss history seeds the convergence detector,
+// and the optimizer's moment buffers are restored on entry to the loop. The
+// caller must have loaded the checkpoint's parameters into net already
+// (LoadFilter on the checkpoint version).
+func Resume(st CheckpointState, net *core.EventNetwork, opts *core.TrainOptions) {
+	opts.StartEpoch = st.Epoch
+	opts.ResumeHistory = append([]float64(nil), st.History...)
+	opts.RestoreOpt = func(opt train.Optimizer) error {
+		return train.RestoreOptState(opt, net.Params(), st.Opt)
+	}
+}

@@ -1,0 +1,117 @@
+package lifecycle
+
+import (
+	"testing"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/label"
+	"dlacep/internal/pattern"
+)
+
+// TestCheckpointResumeBitExact is the subsystem-level resume guarantee: a
+// training run checkpointed into the registry and resumed in a fresh network
+// must end bit-identical to an uninterrupted run — parameters, optimizer
+// trajectory, and loss history all restored.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	schema := dataset.VolSchema()
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, err := label.New(schema, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1, Seed: 3}
+	windows := dataset.Windows(dataset.Synthetic(200, 4, 11), 10)
+
+	opts := func() core.TrainOptions {
+		o := core.DefaultTrainOptions()
+		o.MaxEpochs = 6
+		o.NoConvergence = true
+		o.Seed = 9
+		return o
+	}
+
+	// Reference: 6 uninterrupted epochs.
+	ref, err := core.NewEventNetwork(schema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Fit(windows, lab, opts()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: checkpoints into the registry every 2 epochs, killed
+	// after epoch 4 (MaxEpochs=4 stands in for the kill).
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := core.NewEventNetwork(schema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := opts()
+	o1.MaxEpochs = 4
+	o1.CheckpointEvery = 2
+	AttachCheckpoints(reg, "fam", first, pats, 0, &o1)
+	if _, err := first.Fit(windows, lab, o1); err != nil {
+		t.Fatal(err)
+	}
+
+	man, st, ok, err := reg.LatestCheckpoint("fam")
+	if err != nil || !ok {
+		t.Fatalf("LatestCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if !man.Ckpt || st.Epoch != 4 || len(st.History) != 4 {
+		t.Fatalf("checkpoint manifest %+v state epoch=%d history=%d", man, st.Epoch, len(st.History))
+	}
+
+	// Resume in a brand-new process: rebuild the network from the stored
+	// model, restore optimizer state, finish epochs 5-6.
+	filter, _, _, err := reg.LoadFilter("fam", man.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, ok := filter.(*core.EventNetwork)
+	if !ok {
+		t.Fatalf("checkpoint reloaded as %T", filter)
+	}
+	o2 := opts()
+	Resume(st, resumed, &o2)
+	res, err := resumed.Fit(windows, lab, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 6 || len(res.LossHistory) != 6 {
+		t.Fatalf("resumed run: epochs=%d history=%d, want 6", res.Epochs, len(res.LossHistory))
+	}
+
+	rp, pp := ref.Params(), resumed.Params()
+	if len(rp) != len(pp) {
+		t.Fatalf("param count diverged: %d vs %d", len(rp), len(pp))
+	}
+	for i := range rp {
+		for j := range rp[i].Data {
+			if rp[i].Data[j] != pp[i].Data[j] {
+				t.Fatalf("tensor %q value %d: reference %v, resumed %v",
+					rp[i].Name, j, rp[i].Data[j], pp[i].Data[j])
+			}
+		}
+	}
+
+	// Checkpoints must be unpromoted candidates, invisible to Active.
+	if v, err := reg.Active("fam"); err != nil || v != 0 {
+		t.Errorf("checkpoints changed the active version: %d, %v", v, err)
+	}
+}
+
+func TestLatestCheckpointEmpty(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := reg.LatestCheckpoint("nope"); ok || err != nil {
+		t.Fatalf("LatestCheckpoint on empty family: ok=%v err=%v", ok, err)
+	}
+}

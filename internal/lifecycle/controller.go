@@ -1,0 +1,475 @@
+package lifecycle
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/obs"
+	"dlacep/internal/pattern"
+)
+
+// ControllerConfig configures a swap Controller.
+type ControllerConfig struct {
+	Registry *Registry
+	Family   string
+
+	Schema   *event.Schema
+	Patterns []*pattern.Pattern
+	Core     core.Config
+
+	// Live is the currently served model and LiveVersion its registry
+	// version; Swap is the serving-side hook that installs a new filter
+	// factory (wire server.SwapFilter here). The controller never calls
+	// Swap with a constructor that can fail.
+	Live        *core.EventNetwork
+	LiveVersion int
+	Swap        func(version int, newFilter func() (core.EventFilter, error)) (prev int, err error)
+
+	// Epsilon is the promotion slack: a candidate is promoted iff its
+	// shadow F1 is at least the live model's F1 minus Epsilon. Zero means
+	// the candidate must match the live model; negative means it must
+	// strictly improve by |Epsilon|.
+	Epsilon float64
+	// RetrainEpochs bounds each retraining run (default 10).
+	RetrainEpochs int
+	// CheckpointEvery, when positive, checkpoints retraining runs into the
+	// registry every N epochs.
+	CheckpointEvery int
+	// MinWindows is the smallest buffered-window count a retrain will run
+	// with (default 8); MaxWindows bounds the ring buffer (default 256).
+	MinWindows int
+	MaxWindows int
+	// HoldoutEvery holds out every k-th buffered window for shadow
+	// validation instead of training (default 4).
+	HoldoutEvery int
+	// TargetRecall calibrates the candidate's threshold (default 0.9).
+	TargetRecall float64
+	// RollbackAudits arms automatic rollback: if the drift monitor declares
+	// drift within this many audits after a swap, the swap is rolled back
+	// instead of triggering another retrain (default 2; negative disables).
+	RollbackAudits int
+
+	// Drift configures the audit monitor watching the live model.
+	Drift core.DriftOptions
+
+	Obs *obs.Registry
+	Log func(format string, args ...any)
+	// PostTrain, when set, observes the candidate between training and
+	// shadow validation — a test seam for injecting known-bad candidates.
+	PostTrain func(cand *core.EventNetwork)
+}
+
+func (c *ControllerConfig) withDefaults() error {
+	if c.Registry == nil || c.Family == "" {
+		return fmt.Errorf("lifecycle: controller needs a registry and a family")
+	}
+	if c.Schema == nil || len(c.Patterns) == 0 {
+		return fmt.Errorf("lifecycle: controller needs the schema and patterns")
+	}
+	if c.Live == nil || c.Swap == nil {
+		return fmt.Errorf("lifecycle: controller needs the live model and a swap hook")
+	}
+	if c.RetrainEpochs <= 0 {
+		c.RetrainEpochs = 10
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = 8
+	}
+	if c.MaxWindows <= 0 {
+		c.MaxWindows = 256
+	}
+	if c.HoldoutEvery <= 1 {
+		c.HoldoutEvery = 4
+	}
+	if c.TargetRecall <= 0 || c.TargetRecall > 1 {
+		c.TargetRecall = 0.9
+	}
+	if c.RollbackAudits == 0 {
+		c.RollbackAudits = 2
+	}
+	if c.Log == nil {
+		c.Log = log.Printf
+	}
+	return nil
+}
+
+// Report summarizes one retrain-validate-swap cycle.
+type Report struct {
+	Reason           string  `json:"reason"`
+	Windows          int     `json:"windows"`
+	Holdout          int     `json:"holdout"`
+	Epochs           int     `json:"epochs"`
+	LiveVersion      int     `json:"live_version"`
+	CandidateVersion int     `json:"candidate_version"`
+	LiveF1           float64 `json:"live_f1"`
+	CandidateF1      float64 `json:"candidate_f1"`
+	Promoted         bool    `json:"promoted"`
+}
+
+// Controller ties the pieces together at serving time: it taps the event
+// stream (wire ObserveEvent to server.Server.OnEvent), buffers recent
+// windows, audits the live model through a DriftMonitor, and — on drift or
+// an explicit trigger — retrains a warm-started candidate, shadow-validates
+// it against the live model on held-out windows, and hot-swaps the serving
+// filter only if the candidate holds up. A freshly swapped model that
+// immediately drifts is rolled back automatically.
+type Controller struct {
+	cfg ControllerConfig
+	lab *label.Labeler
+
+	mu              sync.Mutex
+	partial         []event.Event   // window under assembly
+	nextID          uint64          // monotonic re-numbering across connections
+	ring            [][]event.Event // most recent MaxWindows windows
+	ringStart       int             // index of oldest window in ring
+	live            *core.EventNetwork
+	liveVersion     int
+	drift           *core.DriftMonitor
+	cycling         bool // a retrain cycle is in flight
+	auditsSinceSwap int
+
+	trigger chan string
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewController validates the configuration and builds a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	lab, err := label.New(cfg.Schema, cfg.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:             cfg,
+		lab:             lab,
+		live:            cfg.Live,
+		liveVersion:     cfg.LiveVersion,
+		auditsSinceSwap: 1 << 30, // pre-swap drift retrains, never rolls back
+		trigger:         make(chan string, 1),
+		stop:            make(chan struct{}),
+	}
+	if err := c.resetDrift(); err != nil {
+		return nil, err
+	}
+	c.cfg.Obs.Gauge("lifecycle.model_version").Set(float64(c.liveVersion))
+	return c, nil
+}
+
+// resetDrift points the audit monitor at the current live model. Callers
+// hold c.mu (or are the constructor).
+func (c *Controller) resetDrift() error {
+	d, err := core.NewDriftMonitor(c.live.CloneFilter(), c.lab, c.cfg.Drift)
+	if err != nil {
+		return err
+	}
+	c.drift = d
+	return nil
+}
+
+// LiveVersion reports the registry version the controller is serving.
+func (c *Controller) LiveVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveVersion
+}
+
+// driftAction is ObserveEvent's verdict on one ingested event.
+type driftAction int
+
+const (
+	actNone driftAction = iota
+	actRetrain
+	actRollback
+)
+
+// ObserveEvent ingests one served event (wire to server.Server.OnEvent). It
+// renumbers events monotonically across connections — per-connection IDs
+// restart at zero, the labeler's CEP needs strictly increasing IDs —
+// assembles tumbling MarkSize windows, feeds the drift monitor, and fires
+// the retrain trigger (or automatic rollback) on a drift verdict. Safe for
+// concurrent use.
+func (c *Controller) ObserveEvent(ev event.Event) {
+	switch c.observe(ev) {
+	case actRollback:
+		if err := c.Rollback("drift within post-swap probation"); err != nil {
+			c.cfg.Log("lifecycle: automatic rollback: %v", err)
+		}
+	case actRetrain:
+		select {
+		case c.trigger <- "drift detected":
+		default: // a trigger is already pending
+		}
+	}
+}
+
+func (c *Controller) observe(ev event.Event) driftAction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev.ID = c.nextID
+	c.nextID++
+	c.partial = append(c.partial, ev)
+	if len(c.partial) < c.cfg.Core.MarkSize {
+		return actNone
+	}
+	window := c.partial
+	c.partial = nil
+	c.pushWindow(window)
+
+	audited, drifted, err := c.drift.Observe(window)
+	if err != nil {
+		c.cfg.Log("lifecycle: drift audit: %v", err)
+		return actNone
+	}
+	if audited {
+		c.auditsSinceSwap++
+	}
+	if !drifted || c.cycling {
+		return actNone
+	}
+	if c.cfg.RollbackAudits > 0 && c.auditsSinceSwap <= c.cfg.RollbackAudits {
+		return actRollback
+	}
+	if c.started {
+		return actRetrain
+	}
+	return actNone
+}
+
+func (c *Controller) pushWindow(w []event.Event) {
+	if len(c.ring) < c.cfg.MaxWindows {
+		c.ring = append(c.ring, w)
+		return
+	}
+	c.ring[c.ringStart] = w
+	c.ringStart = (c.ringStart + 1) % len(c.ring)
+}
+
+// snapshotWindows copies the buffered windows in arrival order.
+func (c *Controller) snapshotWindows() [][]event.Event {
+	out := make([][]event.Event, 0, len(c.ring))
+	for i := 0; i < len(c.ring); i++ {
+		out = append(out, c.ring[(c.ringStart+i)%len(c.ring)])
+	}
+	return out
+}
+
+// Start launches the background watcher that serves drift triggers; pair
+// with Stop.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.watch() //dlacep:ignore rawgoroutine joined by Stop via wg.Wait
+}
+
+// Stop terminates the background watcher and waits for any in-flight cycle.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+func (c *Controller) watch() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case reason := <-c.trigger:
+			if rep, err := c.RunCycle(reason); err != nil {
+				c.cfg.Log("lifecycle: retrain cycle: %v", err)
+			} else {
+				c.cfg.Log("lifecycle: cycle done: candidate v%d F1 %.3f vs live v%d F1 %.3f, promoted=%v",
+					rep.CandidateVersion, rep.CandidateF1, rep.LiveVersion, rep.LiveF1, rep.Promoted)
+			}
+		}
+	}
+}
+
+// RunCycle executes one full retrain-validate-swap cycle synchronously and
+// reports what happened. The candidate is always registered (promoted or
+// not) so rejected models remain inspectable.
+func (c *Controller) RunCycle(reason string) (Report, error) {
+	c.mu.Lock()
+	if c.cycling {
+		c.mu.Unlock()
+		return Report{}, fmt.Errorf("lifecycle: a retrain cycle is already running")
+	}
+	c.cycling = true
+	windows := c.snapshotWindows()
+	live := c.live
+	liveVersion := c.liveVersion
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.cycling = false
+		c.mu.Unlock()
+	}()
+
+	rep := Report{Reason: reason, Windows: len(windows), LiveVersion: liveVersion}
+	if len(windows) < c.cfg.MinWindows {
+		return rep, fmt.Errorf("lifecycle: only %d windows buffered, need %d", len(windows), c.cfg.MinWindows)
+	}
+	var trainW, holdout [][]event.Event
+	for i, w := range windows {
+		if (i+1)%c.cfg.HoldoutEvery == 0 {
+			holdout = append(holdout, w)
+		} else {
+			trainW = append(trainW, w)
+		}
+	}
+	rep.Holdout = len(holdout)
+	if len(holdout) == 0 || len(trainW) == 0 {
+		return rep, fmt.Errorf("lifecycle: window split degenerate (%d train / %d holdout)", len(trainW), len(holdout))
+	}
+
+	// Warm-start a candidate from the live model (Section 4.3's transfer
+	// mitigation): same architecture, parameters copied, then fine-tuned on
+	// the buffered windows.
+	candCfg := c.cfg.Core
+	candCfg.Seed += int64(liveVersion) // new init for any non-transferred tensor
+	cand, err := core.NewEventNetwork(c.cfg.Schema, c.cfg.Patterns, candCfg)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := cand.TransferFrom(live); err != nil {
+		return rep, fmt.Errorf("lifecycle: warm start: %w", err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.MaxEpochs = c.cfg.RetrainEpochs
+	opts.Seed = candCfg.Seed
+	opts.Obs = c.cfg.Obs
+	if c.cfg.CheckpointEvery > 0 {
+		opts.CheckpointEvery = c.cfg.CheckpointEvery
+		AttachCheckpoints(c.cfg.Registry, c.cfg.Family, cand, c.cfg.Patterns, liveVersion, &opts)
+	}
+	res, err := cand.Fit(trainW, c.lab, opts)
+	if err != nil {
+		return rep, fmt.Errorf("lifecycle: retraining: %w", err)
+	}
+	rep.Epochs = res.Epochs
+	if _, err := cand.Calibrate(trainW, c.lab, c.cfg.TargetRecall); err != nil {
+		return rep, fmt.Errorf("lifecycle: calibrating candidate: %w", err)
+	}
+	if c.cfg.PostTrain != nil {
+		c.cfg.PostTrain(cand)
+	}
+
+	// Shadow validation: candidate vs live on windows neither trained on.
+	candC, err := cand.Evaluate(holdout, c.lab)
+	if err != nil {
+		return rep, err
+	}
+	liveC, err := live.Evaluate(holdout, c.lab)
+	if err != nil {
+		return rep, err
+	}
+	rep.CandidateF1, rep.LiveF1 = candC.F1(), liveC.F1()
+	c.cfg.Obs.Gauge("lifecycle.shadow_f1").Set(rep.CandidateF1)
+
+	var buf bytes.Buffer
+	if err := cand.Save(&buf, c.cfg.Patterns); err != nil {
+		return rep, err
+	}
+	man, err := c.cfg.Registry.Put(c.cfg.Family, &buf, PutMeta{
+		Parent: liveVersion,
+		Note:   fmt.Sprintf("retrain (%s): shadow F1 %.3f vs live %.3f", reason, rep.CandidateF1, rep.LiveF1),
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.CandidateVersion = man.Version
+
+	if rep.CandidateF1 < rep.LiveF1-c.cfg.Epsilon {
+		c.cfg.Log("lifecycle: candidate v%d rejected: shadow F1 %.3f < live %.3f - %.3f",
+			man.Version, rep.CandidateF1, rep.LiveF1, c.cfg.Epsilon)
+		return rep, nil
+	}
+
+	if err := c.cfg.Registry.Promote(c.cfg.Family, man.Version); err != nil {
+		return rep, err
+	}
+	if err := c.install(cand, man.Version, false); err != nil {
+		return rep, err
+	}
+	rep.Promoted = true
+	return rep, nil
+}
+
+// install swaps the serving filter to net/version and refreshes controller
+// state; rollback distinguishes the two swap directions for telemetry.
+func (c *Controller) install(net *core.EventNetwork, version int, rollback bool) error {
+	if _, err := c.cfg.Swap(version, func() (core.EventFilter, error) {
+		return net.CloneFilter(), nil
+	}); err != nil {
+		return fmt.Errorf("lifecycle: swapping serving filter: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live = net
+	c.liveVersion = version
+	if err := c.resetDrift(); err != nil {
+		return err
+	}
+	if rollback {
+		c.auditsSinceSwap = 1 << 30 // don't rollback a rollback
+		c.cfg.Obs.Counter("lifecycle.rollbacks").Inc()
+	} else {
+		c.auditsSinceSwap = 0 // arm post-swap probation
+		c.cfg.Obs.Counter("lifecycle.swaps").Inc()
+	}
+	c.cfg.Obs.Gauge("lifecycle.model_version").Set(float64(version))
+	return nil
+}
+
+// Rollback reverts serving to the previously active registry version,
+// loading its model back from the registry. Like RunCycle it is
+// single-flight: concurrent cycles and rollbacks exclude each other.
+func (c *Controller) Rollback(reason string) error {
+	c.mu.Lock()
+	if c.cycling {
+		c.mu.Unlock()
+		return fmt.Errorf("lifecycle: a retrain cycle is already running")
+	}
+	c.cycling = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.cycling = false
+		c.mu.Unlock()
+	}()
+	prev, err := c.cfg.Registry.Rollback(c.cfg.Family)
+	if err != nil {
+		return err
+	}
+	filter, _, _, err := c.cfg.Registry.LoadFilter(c.cfg.Family, prev)
+	if err != nil {
+		return err
+	}
+	net, ok := filter.(*core.EventNetwork)
+	if !ok {
+		return fmt.Errorf("lifecycle: rollback target v%d is a %T, controller serves event networks", prev, filter)
+	}
+	c.cfg.Log("lifecycle: rolling back to v%d (%s)", prev, reason)
+	return c.install(net, prev, true)
+}

@@ -1,0 +1,406 @@
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/label"
+	"dlacep/internal/obs"
+	"dlacep/internal/pattern"
+	"dlacep/internal/server"
+)
+
+func decodeJSON(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+}
+
+func decodeReport(t *testing.T, b []byte) Report {
+	t.Helper()
+	var rep Report
+	decodeJSON(t, b, &rep)
+	return rep
+}
+
+// liveFixture is the shared test rig: a quickly trained live model already
+// registered and promoted as v1.
+type liveFixture struct {
+	schema *event.Schema
+	pats   []*pattern.Pattern
+	cfg    core.Config
+	lab    *label.Labeler
+	live   *core.EventNetwork
+	reg    *Registry
+}
+
+func newLiveFixture(t *testing.T) *liveFixture {
+	t.Helper()
+	schema := dataset.VolSchema()
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	lab, err := label.New(schema, pats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1, Seed: 3}
+	live, err := core.NewEventNetwork(schema, pats, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultTrainOptions()
+	opt.MaxEpochs = 3
+	if _, err := live.Fit(dataset.Windows(dataset.Synthetic(300, 4, 5), 10), lab, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Calibrate(dataset.Windows(dataset.Synthetic(200, 4, 6), 10), lab, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := live.Save(&buf, pats); err != nil {
+		t.Fatal(err)
+	}
+	man, err := reg.Put("fam", &buf, PutMeta{Note: "initial"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote("fam", man.Version); err != nil {
+		t.Fatal(err)
+	}
+	return &liveFixture{schema: schema, pats: pats, cfg: cfg, lab: lab, live: live, reg: reg}
+}
+
+func (f *liveFixture) controllerConfig(t *testing.T, swap func(int, func() (core.EventFilter, error)) (int, error)) ControllerConfig {
+	t.Helper()
+	return ControllerConfig{
+		Registry:      f.reg,
+		Family:        "fam",
+		Schema:        f.schema,
+		Patterns:      f.pats,
+		Core:          f.cfg,
+		Live:          f.live,
+		LiveVersion:   1,
+		Swap:          swap,
+		Epsilon:       1, // F1 ∈ [0,1], so by default every candidate promotes
+		RetrainEpochs: 2,
+		MinWindows:    8,
+		MaxWindows:    32,
+		Obs:           obs.NewRegistry(),
+		Log:           t.Logf,
+		Drift:         core.DriftOptions{AuditEvery: 1 << 20}, // audits off unless a test opts in
+	}
+}
+
+// feed streams synthetic events through the controller's tap until the
+// predicate holds or the deadline passes.
+func feed(t *testing.T, ctl *Controller, seed int64, until func() bool) {
+	t.Helper()
+	events := dataset.Synthetic(4000, 4, seed).Events
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; !until(); i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached after streaming events")
+		}
+		ctl.ObserveEvent(events[i%len(events)])
+		if i%100 == 99 {
+			time.Sleep(time.Millisecond) // let the watcher goroutine run
+		}
+	}
+}
+
+// TestControllerSwapEndToEnd drives the full serving loop: a real TCP
+// server feeds the controller through OnEvent, an admin /swap?wait=1 request
+// retrains and shadow-validates a candidate, and the promotion atomically
+// swaps the serving filter — the in-flight connection finishes on the old
+// model, new connections get the new version, nothing is dropped.
+func TestControllerSwapEndToEnd(t *testing.T) {
+	f := newLiveFixture(t)
+	srv, err := server.New(f.schema, f.pats, f.cfg, func() (core.EventFilter, error) {
+		return f.live.CloneFilter(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Log = t.Logf
+	srv.Obs = obs.NewRegistry()
+	ctl, err := NewController(f.controllerConfig(t, srv.SwapFilter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.OnEvent = ctl.ObserveEvent
+	admin := srv.AdminHandler(false, ctl.AdminRoutes()...)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(lis) }()
+	defer func() { srv.Close(); <-done }()
+
+	// An in-flight connection streams half its events before the swap.
+	events := dataset.Synthetic(240, 4, 21).Events
+	cl, err := server.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, ev := range events[:120] {
+		if err := cl.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the controller has buffered enough windows for a retrain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctl.mu.Lock()
+		n := len(ctl.ring)
+		ctl.mu.Unlock()
+		if n >= 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("controller never buffered enough windows")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("POST", "/swap?wait=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("POST /swap?wait=1: status %d: %s", rec.Code, rec.Body)
+	}
+	rep := decodeReport(t, rec.Body.Bytes())
+	if !rep.Promoted || rep.CandidateVersion != 2 {
+		t.Fatalf("swap report = %+v, want promoted v2", rep)
+	}
+	if v := srv.FilterVersion(); v != 2 {
+		t.Errorf("server FilterVersion = %d, want 2", v)
+	}
+	if v, _ := f.reg.Active("fam"); v != 2 {
+		t.Errorf("registry active = %d, want 2", v)
+	}
+	if got := ctl.cfg.Obs.Counter("lifecycle.swaps").Value(); got != 1 {
+		t.Errorf("lifecycle.swaps = %d, want 1", got)
+	}
+	if got := ctl.cfg.Obs.Gauge("lifecycle.model_version").Value(); got != 2 {
+		t.Errorf("lifecycle.model_version = %v, want 2", got)
+	}
+
+	// The pre-swap connection still completes its stream on the old model.
+	for _, ev := range events[120:] {
+		if err := cl.Send(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, err := cl.Recv()
+		if err != nil {
+			t.Fatalf("in-flight connection dropped: %v", err)
+		}
+		if msg.Err != "" {
+			t.Fatal(msg.Err)
+		}
+		if msg.Summary != nil {
+			if msg.Summary.Events != 240 {
+				t.Errorf("in-flight summary events = %d, want 240", msg.Summary.Events)
+			}
+			break
+		}
+	}
+
+	// GET /models reflects the new state.
+	rec = httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("GET", "/models", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /models: %d", rec.Code)
+	}
+	var models modelsPayload
+	decodeJSON(t, rec.Body.Bytes(), &models)
+	if models.Active != 2 || models.Serving != 2 || len(models.Models) != 2 {
+		t.Errorf("models payload = %+v", models)
+	}
+
+	// POST /rollback reverts both registry and serving filter.
+	rec = httptest.NewRecorder()
+	admin.ServeHTTP(rec, httptest.NewRequest("POST", "/rollback", nil))
+	if rec.Code != 200 {
+		t.Fatalf("POST /rollback: %d: %s", rec.Code, rec.Body)
+	}
+	if v := srv.FilterVersion(); v != 1 {
+		t.Errorf("FilterVersion after rollback = %d, want 1", v)
+	}
+	if got := ctl.cfg.Obs.Counter("lifecycle.rollbacks").Value(); got != 1 {
+		t.Errorf("lifecycle.rollbacks = %d, want 1", got)
+	}
+}
+
+// TestControllerRejectsBadCandidate sabotages the retrained candidate and
+// requires strict improvement: the swap must not happen, but the rejected
+// candidate stays registered (unpromoted) for inspection.
+func TestControllerRejectsBadCandidate(t *testing.T) {
+	f := newLiveFixture(t)
+	var mu sync.Mutex
+	swaps := 0
+	cfg := f.controllerConfig(t, func(v int, fn func() (core.EventFilter, error)) (int, error) {
+		mu.Lock()
+		swaps++
+		mu.Unlock()
+		return 0, nil
+	})
+	cfg.Epsilon = -0.01 // candidate must strictly beat the live model
+	cfg.PostTrain = func(cand *core.EventNetwork) {
+		cand.Threshold = 1.1 // marginals never exceed 1: the filter drops everything
+	}
+	ctl, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range dataset.Synthetic(120, 4, 33).Events {
+		ctl.ObserveEvent(ev)
+	}
+	rep, err := ctl.RunCycle("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Promoted {
+		t.Fatalf("sabotaged candidate promoted: %+v", rep)
+	}
+	if rep.CandidateF1 != 0 {
+		t.Errorf("sabotaged candidate F1 = %v, want 0", rep.CandidateF1)
+	}
+	mu.Lock()
+	if swaps != 0 {
+		t.Errorf("Swap called %d times for a rejected candidate", swaps)
+	}
+	mu.Unlock()
+	if v := ctl.LiveVersion(); v != 1 {
+		t.Errorf("LiveVersion = %d, want 1", v)
+	}
+	if v, _ := f.reg.Active("fam"); v != 1 {
+		t.Errorf("registry active = %d, want 1", v)
+	}
+	man, err := f.reg.Manifest("fam", rep.CandidateVersion)
+	if err != nil {
+		t.Fatalf("rejected candidate not registered: %v", err)
+	}
+	if man.Promoted || man.Parent != 1 {
+		t.Errorf("rejected candidate manifest = %+v", man)
+	}
+}
+
+// TestControllerAutoRollback force-promotes a broken candidate (huge
+// epsilon), then keeps streaming: the drift monitor audits the new model,
+// flags it inside the post-swap probation window, and the controller rolls
+// back to the previous version on its own.
+func TestControllerAutoRollback(t *testing.T) {
+	f := newLiveFixture(t)
+	var mu sync.Mutex
+	version := 1
+	cfg := f.controllerConfig(t, func(v int, fn func() (core.EventFilter, error)) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		prev := version
+		version = v
+		return prev, nil
+	})
+	cfg.Epsilon = 2 // accept anything, even the sabotaged candidate
+	cfg.PostTrain = func(cand *core.EventNetwork) { cand.Threshold = 1.1 }
+	cfg.Drift = core.DriftOptions{AuditEvery: 4, Sample: 4, MinF1: 0.3}
+	cfg.RollbackAudits = 2
+	ctl, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range dataset.Synthetic(120, 4, 33).Events {
+		ctl.ObserveEvent(ev)
+	}
+	rep, err := ctl.RunCycle("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Promoted || ctl.LiveVersion() != 2 {
+		t.Fatalf("forced promotion failed: %+v, live v%d", rep, ctl.LiveVersion())
+	}
+
+	// Stream on: the first audit of the broken model triggers the rollback.
+	for i, ev := range dataset.Synthetic(400, 4, 44).Events {
+		ctl.ObserveEvent(ev)
+		if ctl.LiveVersion() == 1 {
+			break
+		}
+		if i == 399 {
+			t.Fatal("automatic rollback never happened")
+		}
+	}
+	if v := ctl.LiveVersion(); v != 1 {
+		t.Fatalf("LiveVersion = %d, want 1 after rollback", v)
+	}
+	if v, _ := f.reg.Active("fam"); v != 1 {
+		t.Errorf("registry active = %d, want 1", v)
+	}
+	if got := ctl.cfg.Obs.Counter("lifecycle.rollbacks").Value(); got != 1 {
+		t.Errorf("lifecycle.rollbacks = %d, want 1", got)
+	}
+	mu.Lock()
+	if version != 1 {
+		t.Errorf("serving version = %d, want 1 (rollback must re-swap)", version)
+	}
+	mu.Unlock()
+}
+
+// TestControllerDriftTriggeredSwap breaks the live model, starts the
+// background watcher, and streams events: drift audits must flag the
+// degradation and the controller must retrain and promote a replacement
+// without any explicit trigger.
+func TestControllerDriftTriggeredSwap(t *testing.T) {
+	f := newLiveFixture(t)
+	f.live.Threshold = 1.1 // the deployed model drops everything: F1 0
+	var mu sync.Mutex
+	version := 1
+	cfg := f.controllerConfig(t, func(v int, fn func() (core.EventFilter, error)) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		prev := version
+		version = v
+		return prev, nil
+	})
+	cfg.Epsilon = 1
+	cfg.Drift = core.DriftOptions{AuditEvery: 4, Sample: 4, MinF1: 0.3}
+	cfg.PostTrain = func(cand *core.EventNetwork) {
+		cand.Threshold = 0.5 // undo the live sabotage the transfer copied over
+	}
+	ctl, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	defer ctl.Stop()
+
+	feed(t, ctl, 55, func() bool { return ctl.LiveVersion() > 1 })
+	if v, _ := f.reg.Active("fam"); v < 2 {
+		t.Errorf("registry active = %d, want the retrained version", v)
+	}
+	if got := ctl.cfg.Obs.Counter("lifecycle.swaps").Value(); got < 1 {
+		t.Error("lifecycle.swaps not incremented")
+	}
+}

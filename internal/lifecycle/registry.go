@@ -1,0 +1,523 @@
+// Package lifecycle manages trained DLACEP models after training: a
+// versioned on-disk registry, checkpointed/resumable training, and a swap
+// controller that retrains on drift and hot-swaps the serving filter
+// (Section 4.3's concept-drift mitigation turned into an operational loop).
+//
+// Registry layout, one directory per model family:
+//
+//	<root>/<family>/
+//	    v0001/
+//	        model.json      — core.Save output (self-checksummed, see core)
+//	        manifest.json   — lifecycle metadata for the version
+//	        optstate.json   — optimizer snapshot (training checkpoints only)
+//	    v0002/...
+//	    ACTIVE              — {"version":N,"previous":M}, the promoted model
+//
+// Every mutation is a write into a fresh temp directory (or temp file)
+// followed by an atomic rename, so a crash mid-operation leaves either the
+// old state or the new state, never a torn entry; readers skip temp and
+// hidden directories, and GC sweeps abandoned temps.
+package lifecycle
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Manifest is the registry's metadata record for one model version.
+type Manifest struct {
+	Family    string `json:"family"`
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"`   // "event" or "window"
+	Format    int    `json:"format"` // model file format (core.ModelFormatVersion)
+	SHA256    string `json:"sha256"` // checksum of model.json's payload
+	Parent    int    `json:"parent,omitempty"`
+	Promoted  bool   `json:"promoted"`
+	Ckpt      bool   `json:"checkpoint,omitempty"` // mid-training snapshot
+	Note      string `json:"note,omitempty"`
+	CreatedAt string `json:"created_at,omitempty"` // RFC3339
+
+	// TrainConfig optionally records the training configuration that
+	// produced the version, verbatim.
+	TrainConfig json.RawMessage `json:"train_config,omitempty"`
+}
+
+// PutMeta carries caller-supplied metadata for Registry.Put; identity fields
+// (kind, format, checksum) are derived from the model payload itself.
+type PutMeta struct {
+	Parent      int
+	Note        string
+	TrainConfig json.RawMessage
+	// Checkpoint, when non-nil, stores the optimizer snapshot alongside the
+	// model and marks the version as a mid-training checkpoint.
+	Checkpoint *CheckpointState
+}
+
+// active is the ACTIVE file payload; Previous enables one-step rollback.
+type active struct {
+	Version  int `json:"version"`
+	Previous int `json:"previous,omitempty"`
+}
+
+// Registry is a versioned on-disk model store. All methods are safe for
+// concurrent use within one process; cross-process writers are not
+// coordinated beyond the atomic-rename guarantees.
+type Registry struct {
+	root string
+	mu   sync.Mutex
+}
+
+// Open creates (if needed) and opens a registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lifecycle: empty registry path")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lifecycle: opening registry: %w", err)
+	}
+	return &Registry{root: dir}, nil
+}
+
+// Root returns the registry's base directory.
+func (r *Registry) Root() string { return r.root }
+
+const versionDigits = 4
+
+func versionDir(v int) string { return fmt.Sprintf("v%0*d", versionDigits, v) }
+
+// parseVersionDir inverts versionDir; ok is false for temp, hidden, and
+// foreign directory names.
+func parseVersionDir(name string) (int, bool) {
+	if !strings.HasPrefix(name, "v") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func (r *Registry) familyDir(family string) (string, error) {
+	if family == "" || strings.ContainsAny(family, "/\\") || strings.HasPrefix(family, ".") {
+		return "", fmt.Errorf("lifecycle: invalid family name %q", family)
+	}
+	return filepath.Join(r.root, family), nil
+}
+
+// versions lists the committed version numbers of a family, ascending. A
+// missing family directory is an empty family, not an error.
+func (r *Registry) versions(family string) ([]int, error) {
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: listing family %q: %w", family, err)
+	}
+	var out []int
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if v, ok := parseVersionDir(e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Families lists the family names present in the registry, sorted.
+func (r *Registry) Families() ([]string, error) {
+	ents, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: listing registry: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Put registers a new model version under family and returns its manifest.
+// The payload is verified (format version + checksum) before admission, the
+// version number is the next unused one, and the entry directory appears
+// atomically: a crash mid-Put leaves only an abandoned temp directory that
+// readers ignore and GC removes.
+func (r *Registry) Put(family string, model io.Reader, meta PutMeta) (Manifest, error) {
+	payload, err := io.ReadAll(model)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: reading model payload: %w", err)
+	}
+	info, err := core.InspectModel(bytes.NewReader(payload))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: rejecting model for %q: %w", family, err)
+	}
+	if info.Kind != "event" && info.Kind != "window" {
+		return Manifest{}, fmt.Errorf("lifecycle: rejecting model for %q: unknown kind %q", family, info.Kind)
+	}
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return Manifest{}, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: creating family %q: %w", family, err)
+	}
+	vs, err := r.versions(family)
+	if err != nil {
+		return Manifest{}, err
+	}
+	next := 1
+	if len(vs) > 0 {
+		next = vs[len(vs)-1] + 1
+	}
+	man := Manifest{
+		Family:      family,
+		Version:     next,
+		Kind:        info.Kind,
+		Format:      info.Format,
+		SHA256:      info.Checksum,
+		Parent:      meta.Parent,
+		Ckpt:        meta.Checkpoint != nil,
+		Note:        meta.Note,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		TrainConfig: meta.TrainConfig,
+	}
+
+	tmp, err := os.MkdirTemp(dir, ".tmp-put-")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: staging version: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after the rename succeeds
+	if err := writeFileSync(filepath.Join(tmp, "model.json"), payload); err != nil {
+		return Manifest{}, err
+	}
+	if meta.Checkpoint != nil {
+		cb, err := json.Marshal(meta.Checkpoint)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("lifecycle: encoding checkpoint state: %w", err)
+		}
+		if err := writeFileSync(filepath.Join(tmp, "optstate.json"), cb); err != nil {
+			return Manifest{}, err
+		}
+	}
+	mb, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: encoding manifest: %w", err)
+	}
+	if err := writeFileSync(filepath.Join(tmp, "manifest.json"), mb); err != nil {
+		return Manifest{}, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, versionDir(next))); err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: committing version %d: %w", next, err)
+	}
+	syncDir(dir)
+	return man, nil
+}
+
+// writeFileSync writes data and fsyncs the file, so the subsequent directory
+// rename cannot commit an entry whose contents are still in flight.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lifecycle: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lifecycle: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lifecycle: syncing %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable; best-effort
+// (some filesystems refuse directory fsync) because the rename's atomicity —
+// the property correctness relies on — holds regardless.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Manifest reads one version's manifest.
+func (r *Registry) Manifest(family string, version int) (Manifest, error) {
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return Manifest{}, err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, versionDir(version), "manifest.json"))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: %s %s: %w", family, versionDir(version), err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Manifest{}, fmt.Errorf("lifecycle: manifest of %s %s: %w", family, versionDir(version), err)
+	}
+	return m, nil
+}
+
+// List returns the manifests of a family in version order.
+func (r *Registry) List(family string) ([]Manifest, error) {
+	vs, err := r.versions(family)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Manifest, 0, len(vs))
+	for _, v := range vs {
+		m, err := r.Manifest(family, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Latest returns the manifest of the newest version of family.
+func (r *Registry) Latest(family string) (Manifest, error) {
+	vs, err := r.versions(family)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(vs) == 0 {
+		return Manifest{}, fmt.Errorf("lifecycle: family %q has no versions", family)
+	}
+	return r.Manifest(family, vs[len(vs)-1])
+}
+
+// Get returns the manifest and verified model payload of one version: the
+// payload's embedded checksum is re-verified and cross-checked against the
+// manifest, so silent on-disk corruption surfaces here rather than at an
+// unpredictable point downstream.
+func (r *Registry) Get(family string, version int) (Manifest, []byte, error) {
+	man, err := r.Manifest(family, version)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	payload, err := os.ReadFile(filepath.Join(dir, versionDir(version), "model.json"))
+	if err != nil {
+		return Manifest{}, nil, fmt.Errorf("lifecycle: %s %s: %w", family, versionDir(version), err)
+	}
+	info, err := core.InspectModel(bytes.NewReader(payload))
+	if err != nil {
+		return Manifest{}, nil, fmt.Errorf("lifecycle: %s %s: %w", family, versionDir(version), err)
+	}
+	if man.SHA256 != "" && info.Checksum != man.SHA256 {
+		return Manifest{}, nil, fmt.Errorf("lifecycle: %s %s: model checksum %s does not match manifest's %s",
+			family, versionDir(version), info.Checksum, man.SHA256)
+	}
+	return man, payload, nil
+}
+
+// LoadFilter reconstructs the stored model of one version as a servable
+// filter (see core.LoadModel).
+func (r *Registry) LoadFilter(family string, version int) (core.EventFilter, []*pattern.Pattern, *event.Schema, error) {
+	_, payload, err := r.Get(family, version)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return core.LoadModel(bytes.NewReader(payload))
+}
+
+// Active returns the promoted version of family (0 when none is promoted).
+func (r *Registry) Active(family string) (int, error) {
+	a, err := r.readActive(family)
+	if err != nil {
+		return 0, err
+	}
+	return a.Version, nil
+}
+
+func (r *Registry) readActive(family string) (active, error) {
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return active{}, err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "ACTIVE"))
+	if os.IsNotExist(err) {
+		return active{}, nil
+	}
+	if err != nil {
+		return active{}, fmt.Errorf("lifecycle: reading ACTIVE of %q: %w", family, err)
+	}
+	var a active
+	if err := json.Unmarshal(b, &a); err != nil {
+		return active{}, fmt.Errorf("lifecycle: ACTIVE of %q: %w", family, err)
+	}
+	return a, nil
+}
+
+func (r *Registry) writeActive(family string, a active) error {
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(&a)
+	if err != nil {
+		return fmt.Errorf("lifecycle: encoding ACTIVE: %w", err)
+	}
+	tmp := filepath.Join(dir, ".tmp-active")
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "ACTIVE")); err != nil {
+		return fmt.Errorf("lifecycle: committing ACTIVE of %q: %w", family, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// Promote marks a version as the family's active model after re-verifying
+// its payload, recording the previously active version for Rollback. The
+// manifest's promoted flag is rewritten atomically.
+func (r *Registry) Promote(family string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	man, _, err := r.Get(family, version) // includes integrity verification
+	if err != nil {
+		return err
+	}
+	cur, err := r.readActive(family)
+	if err != nil {
+		return err
+	}
+	if cur.Version == version {
+		return nil // already active
+	}
+	if err := r.writeActive(family, active{Version: version, Previous: cur.Version}); err != nil {
+		return err
+	}
+	man.Promoted = true
+	return r.rewriteManifest(man)
+}
+
+// Rollback re-activates the version that was live before the last Promote
+// and returns it.
+func (r *Registry) Rollback(family string) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, err := r.readActive(family)
+	if err != nil {
+		return 0, err
+	}
+	if cur.Version == 0 {
+		return 0, fmt.Errorf("lifecycle: family %q has no active version to roll back", family)
+	}
+	if cur.Previous == 0 {
+		return 0, fmt.Errorf("lifecycle: family %q has no previous version to roll back to", family)
+	}
+	if _, _, err := r.Get(family, cur.Previous); err != nil {
+		return 0, fmt.Errorf("lifecycle: rollback target: %w", err)
+	}
+	// The rolled-back-from version stays recorded as Previous so the swap
+	// history remains inspectable; repeated Rollback calls just ping-pong.
+	if err := r.writeActive(family, active{Version: cur.Previous, Previous: cur.Version}); err != nil {
+		return 0, err
+	}
+	return cur.Previous, nil
+}
+
+func (r *Registry) rewriteManifest(man Manifest) error {
+	dir, err := r.familyDir(man.Family)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lifecycle: encoding manifest: %w", err)
+	}
+	vdir := filepath.Join(dir, versionDir(man.Version))
+	tmp := filepath.Join(vdir, ".tmp-manifest")
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(vdir, "manifest.json")); err != nil {
+		return fmt.Errorf("lifecycle: committing manifest of %s %s: %w", man.Family, versionDir(man.Version), err)
+	}
+	return nil
+}
+
+// GC removes abandoned temp directories and prunes unpromoted, inactive
+// versions down to the keepCandidates newest ones (the active version and
+// anything ever promoted are always kept). It returns the pruned versions.
+func (r *Registry) GC(family string, keepCandidates int) ([]int, error) {
+	if keepCandidates < 0 {
+		keepCandidates = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dir, err := r.familyDir(family)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: listing family %q: %w", family, err)
+	}
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), ".tmp-") {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("lifecycle: sweeping %s: %w", e.Name(), err)
+			}
+		}
+	}
+	act, err := r.readActive(family)
+	if err != nil {
+		return nil, err
+	}
+	mans, err := r.List(family)
+	if err != nil {
+		return nil, err
+	}
+	var candidates []Manifest // unpromoted, not active, oldest first
+	for _, m := range mans {
+		if !m.Promoted && m.Version != act.Version && m.Version != act.Previous {
+			candidates = append(candidates, m)
+		}
+	}
+	var pruned []int
+	for i := 0; i < len(candidates)-keepCandidates; i++ {
+		v := candidates[i].Version
+		if err := os.RemoveAll(filepath.Join(dir, versionDir(v))); err != nil {
+			return pruned, fmt.Errorf("lifecycle: pruning %s: %w", versionDir(v), err)
+		}
+		pruned = append(pruned, v)
+	}
+	return pruned, nil
+}

@@ -1,0 +1,220 @@
+package lifecycle
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// tinyModel returns the serialized form of a small untrained event-network —
+// enough for registry tests, which care about storage, not accuracy.
+func tinyModel(t *testing.T, seed int64) []byte {
+	t.Helper()
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1, Seed: seed}
+	net, err := core.NewEventNetwork(schema, []*pattern.Pattern{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf, []*pattern.Pattern{p}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRegistryPutGetPromote(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := reg.Put("fam", bytes.NewReader(tinyModel(t, 1)), PutMeta{Note: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 1 || m1.Kind != "event" || m1.SHA256 == "" || m1.Format != core.ModelFormatVersion {
+		t.Fatalf("first manifest = %+v", m1)
+	}
+	m2, err := reg.Put("fam", bytes.NewReader(tinyModel(t, 2)), PutMeta{Parent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 2 || m2.Parent != 1 {
+		t.Fatalf("second manifest = %+v", m2)
+	}
+
+	latest, err := reg.Latest("fam")
+	if err != nil || latest.Version != 2 {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+	fams, err := reg.Families()
+	if err != nil || len(fams) != 1 || fams[0] != "fam" {
+		t.Fatalf("Families = %v, %v", fams, err)
+	}
+	got, payload, err := reg.Get("fam", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA256 != m1.SHA256 || !bytes.Equal(payload, tinyModel(t, 1)) {
+		t.Error("Get returned a different payload than Put stored")
+	}
+	if _, _, _, err := reg.LoadFilter("fam", 2); err != nil {
+		t.Fatalf("LoadFilter: %v", err)
+	}
+
+	// Promotion and rollback walk the ACTIVE pointer.
+	if v, err := reg.Active("fam"); err != nil || v != 0 {
+		t.Fatalf("Active before promote = %d, %v", v, err)
+	}
+	if err := reg.Promote("fam", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote("fam", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reg.Active("fam"); v != 2 {
+		t.Fatalf("Active = %d, want 2", v)
+	}
+	man, err := reg.Manifest("fam", 2)
+	if err != nil || !man.Promoted {
+		t.Fatalf("manifest after promote = %+v, %v", man, err)
+	}
+	back, err := reg.Rollback("fam")
+	if err != nil || back != 1 {
+		t.Fatalf("Rollback = %d, %v", back, err)
+	}
+	if v, _ := reg.Active("fam"); v != 1 {
+		t.Fatalf("Active after rollback = %d, want 1", v)
+	}
+
+	if err := reg.Promote("fam", 99); err == nil {
+		t.Error("promoting a missing version succeeded")
+	}
+	if _, err := reg.Put("fam", strings.NewReader("{}"), PutMeta{}); err == nil {
+		t.Error("Put accepted an invalid model payload")
+	}
+	if _, err := reg.Put("../escape", bytes.NewReader(tinyModel(t, 1)), PutMeta{}); err == nil {
+		t.Error("Put accepted a path-traversal family name")
+	}
+}
+
+// TestRegistryCrashMidPut simulates a process killed between staging and
+// rename: the abandoned temp directory must be invisible to readers, must
+// not disturb version numbering, and must be swept by GC.
+func TestRegistryCrashMidPut(t *testing.T) {
+	root := t.TempDir()
+	reg, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("fam", bytes.NewReader(tinyModel(t, 1)), PutMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn Put: partial payload staged, never renamed.
+	torn := filepath.Join(root, "fam", ".tmp-put-dead")
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, "model.json"), []byte(`{"kind":"ev`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := Open(root) // a fresh process opening the same registry
+	if err != nil {
+		t.Fatal(err)
+	}
+	mans, err := reg2.List("fam")
+	if err != nil {
+		t.Fatalf("List with torn temp dir: %v", err)
+	}
+	if len(mans) != 1 || mans[0].Version != 1 {
+		t.Fatalf("List = %+v, want just v1", mans)
+	}
+	m2, err := reg2.Put("fam", bytes.NewReader(tinyModel(t, 2)), PutMeta{})
+	if err != nil || m2.Version != 2 {
+		t.Fatalf("Put after crash = %+v, %v", m2, err)
+	}
+	if _, err := reg2.GC("fam", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("GC left the abandoned temp directory behind")
+	}
+}
+
+func TestRegistryDetectsCorruption(t *testing.T) {
+	root := t.TempDir()
+	reg, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("fam", bytes.NewReader(tinyModel(t, 1)), PutMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "fam", "v0001", "model.json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Replace(b, []byte(`"threshold":0.5`), []byte(`"threshold":0.1`), 1)
+	if bytes.Equal(mutated, b) {
+		t.Fatal("test mutation did not apply")
+	}
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Get("fam", 1); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("Get on tampered payload: %v, want checksum error", err)
+	}
+	if err := reg.Promote("fam", 1); err == nil {
+		t.Error("Promote verified nothing: tampered model promoted")
+	}
+}
+
+func TestRegistryGC(t *testing.T) {
+	reg, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if _, err := reg.Put("fam", bytes.NewReader(tinyModel(t, i)), PutMeta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Promote("fam", 2); err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := reg.GC("fam", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unpromoted, inactive: 1, 3, 4, 5; keep the newest one (5) → prune 1, 3, 4.
+	if len(pruned) != 3 || pruned[0] != 1 || pruned[1] != 3 || pruned[2] != 4 {
+		t.Fatalf("pruned = %v, want [1 3 4]", pruned)
+	}
+	mans, err := reg.List("fam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []int
+	for _, m := range mans {
+		left = append(left, m.Version)
+	}
+	if len(left) != 2 || left[0] != 2 || left[1] != 5 {
+		t.Fatalf("versions after GC = %v, want [2 5]", left)
+	}
+}
+
+// driftedStream is shared by the controller tests: dataset windows whose
+// labels the labeler computes exactly.
+func testWindows(n int, seed int64, size int) [][]event.Event {
+	return dataset.Windows(dataset.Synthetic(n, 4, seed), size)
+}

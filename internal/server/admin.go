@@ -11,11 +11,12 @@ import (
 // Health is the /healthz payload: engine liveness plus the headline event
 // counters, so a probe can tell a wedged server from an idle one.
 type Health struct {
-	Status      string `json:"status"` // "ok", or "closing" once Close ran
-	Patterns    int    `json:"patterns"`
-	ActiveConns int    `json:"active_connections"`
-	TotalConns  int64  `json:"total_connections"`
-	EventsTotal int64  `json:"events_total"`
+	Status       string `json:"status"` // "ok", or "closing" once Close ran
+	Patterns     int    `json:"patterns"`
+	ModelVersion int    `json:"model_version"` // filter generation new connections get
+	ActiveConns  int    `json:"active_connections"`
+	TotalConns   int64  `json:"total_connections"`
+	EventsTotal  int64  `json:"events_total"`
 }
 
 // Health reports the server's current liveness snapshot.
@@ -25,11 +26,12 @@ func (s *Server) Health() Health {
 	active := len(s.conns)
 	s.mu.Unlock()
 	h := Health{
-		Status:      "ok",
-		Patterns:    len(s.pats),
-		ActiveConns: active,
-		TotalConns:  s.Obs.Counter("server.connections.total").Value(),
-		EventsTotal: s.Obs.Counter("server.events.total").Value(),
+		Status:       "ok",
+		Patterns:     len(s.pats),
+		ModelVersion: s.FilterVersion(),
+		ActiveConns:  active,
+		TotalConns:   s.Obs.Counter("server.connections.total").Value(),
+		EventsTotal:  s.Obs.Counter("server.events.total").Value(),
 	}
 	if closed {
 		h.Status = "closing"
@@ -37,14 +39,26 @@ func (s *Server) Health() Health {
 	return h
 }
 
+// AdminRoute mounts an extra handler on the admin mux — the hook a
+// lifecycle controller uses to expose /models and /swap without this
+// package importing it.
+type AdminRoute struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // AdminHandler returns the introspection mux served on the admin listener
 // (separate from the TCP event port): GET /metrics is the registry snapshot
 // (see obs.Handler), GET /healthz the liveness payload, and — only when
 // enablePprof is set — the standard net/http/pprof endpoints under
 // /debug/pprof/. Pprof is opt-in because profile endpoints are a DoS and
-// information-leak surface on anything reachable beyond localhost.
-func (s *Server) AdminHandler(enablePprof bool) http.Handler {
+// information-leak surface on anything reachable beyond localhost. Extra
+// routes are mounted verbatim.
+func (s *Server) AdminHandler(enablePprof bool, extra ...AdminRoute) http.Handler {
 	mux := http.NewServeMux()
+	for _, r := range extra {
+		mux.Handle(r.Pattern, r.Handler)
+	}
 	mux.Handle("/metrics", obs.Handler(s.Obs))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {

@@ -40,6 +40,13 @@ func (c *Client) Send(ev event.Event) error {
 	return c.w.WriteByte('\n')
 }
 
+// Sync pushes buffered events to the server without ending the stream —
+// what a long-lived streaming client calls between bursts (Send only
+// buffers; Flush also asks for the summary).
+func (c *Client) Sync() error {
+	return c.w.Flush()
+}
+
 // Flush asks the server to close the stream logically and emit the summary.
 func (c *Client) Flush() error {
 	if _, err := c.w.WriteString("FLUSH\n"); err != nil {

@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dlacep/internal/cep"
 	"dlacep/internal/core"
@@ -32,22 +33,39 @@ import (
 	"dlacep/internal/pattern"
 )
 
-// Server evaluates client streams with one shared (immutable) model.
+// filterFactory is one immutable generation of the per-connection filter
+// constructor; swaps install a new generation atomically.
+type filterFactory struct {
+	version int
+	fn      func() (core.EventFilter, error)
+}
+
+// Server evaluates client streams with a shared model. The model is
+// resolved per connection through an atomically swappable filter factory
+// (see SwapFilter), so a lifecycle controller can hot-swap the served
+// model: new connections pick up the new version, in-flight connections
+// finish on the instance they started with.
 type Server struct {
 	schema *event.Schema
 	pats   []*pattern.Pattern
 	cfg    core.Config
-	// NewFilter returns a filter for one connection. Trained networks cache
+	// factory holds the current filter constructor. Trained networks cache
 	// forward activations and are not goroutine-safe, so each connection
-	// needs its own instance; the constructor typically reloads a saved
+	// gets its own instance; the constructor typically reloads a saved
 	// model or wraps shared immutable state.
-	NewFilter func() (core.EventFilter, error)
+	factory atomic.Pointer[filterFactory]
 	// Log receives per-connection diagnostics; defaults to log.Printf.
 	Log func(format string, args ...any)
 	// Obs, when non-nil, is shared by every connection's pipeline and also
 	// receives server-level counters (server.connections.total/active,
 	// server.events.total). Expose it via AdminHandler.
 	Obs *obs.Registry
+	// OnEvent, when non-nil, observes every successfully parsed event from
+	// every connection (after per-connection ID assignment, before
+	// processing) — the tap a lifecycle controller uses for drift auditing
+	// and retraining buffers. It is called from connection goroutines
+	// concurrently and must be goroutine-safe and fast. Set before Serve.
+	OnEvent func(ev event.Event)
 
 	mu     sync.Mutex
 	closed bool
@@ -65,15 +83,32 @@ func New(schema *event.Schema, pats []*pattern.Pattern, cfg core.Config,
 	if _, err := core.NewPipeline(schema, pats, cfg, core.KeepAllFilter{}); err != nil {
 		return nil, err
 	}
-	return &Server{
-		schema:    schema,
-		pats:      pats,
-		cfg:       cfg,
-		NewFilter: newFilter,
-		Log:       log.Printf,
-		conns:     map[net.Conn]bool{},
-	}, nil
+	s := &Server{
+		schema: schema,
+		pats:   pats,
+		cfg:    cfg,
+		Log:    log.Printf,
+		conns:  map[net.Conn]bool{},
+	}
+	s.factory.Store(&filterFactory{version: 1, fn: newFilter})
+	return s, nil
 }
+
+// SwapFilter atomically replaces the per-connection filter constructor:
+// connections accepted afterwards are built with newFilter, in-flight
+// connections keep the filter they started with (no connection is dropped).
+// version labels the new generation (Health.ModelVersion reports it). It
+// returns the previous generation's version.
+func (s *Server) SwapFilter(version int, newFilter func() (core.EventFilter, error)) (prev int, err error) {
+	if newFilter == nil {
+		return 0, fmt.Errorf("server: nil filter constructor")
+	}
+	old := s.factory.Swap(&filterFactory{version: version, fn: newFilter})
+	return old.version, nil
+}
+
+// FilterVersion reports the generation new connections are served with.
+func (s *Server) FilterVersion() int { return s.factory.Load().version }
 
 // Serve accepts connections on l until Close is called. It always returns a
 // non-nil error; after Close the error is net.ErrClosed.
@@ -157,7 +192,8 @@ func (s *Server) handle(conn net.Conn) error {
 	activeG.Add(1)
 	defer activeG.Add(-1)
 	eventsC := s.Obs.Counter("server.events.total")
-	filter, err := s.NewFilter()
+	// One factory load per connection: the generation this stream runs on.
+	filter, err := s.factory.Load().fn()
 	if err != nil {
 		return err
 	}
@@ -223,6 +259,9 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		nextID++
 		eventsC.Inc()
+		if s.OnEvent != nil {
+			s.OnEvent(ev)
+		}
 		ms, err := proc.Push(ev)
 		if err != nil {
 			return writeErr(err)

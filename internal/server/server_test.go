@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -407,5 +408,120 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(schema, nil, core.Config{}, func() (core.EventFilter, error) { return nil, nil }); err == nil {
 		t.Error("empty patterns accepted")
+	}
+}
+
+// dropAllFilter relays nothing — the observable opposite of KeepAllFilter,
+// used to make a hot swap visible at the protocol level.
+type dropAllFilter struct{}
+
+func (dropAllFilter) Mark(w []event.Event) []bool { return make([]bool, len(w)) }
+
+// TestSwapFilter hot-swaps the filter factory while a connection is
+// in-flight: the old connection finishes on the generation it started with,
+// new connections pick up the replacement, and nothing is dropped.
+func TestSwapFilter(t *testing.T) {
+	schema := event.NewSchema("vol")
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	pats := []*pattern.Pattern{p}
+	cfg := core.Config{MarkSize: 10, StepSize: 5, Hidden: 4, Layers: 1}
+	var tapped int64
+	srv, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.KeepAllFilter{}, nil
+	}, func(s *Server) {
+		s.Obs = obs.NewRegistry()
+		s.OnEvent = func(event.Event) { atomic.AddInt64(&tapped, 1) }
+	})
+	if v := srv.FilterVersion(); v != 1 {
+		t.Fatalf("initial FilterVersion = %d, want 1", v)
+	}
+
+	// Client A connects under generation 1 (keep-all) and stays open.
+	a, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(event.Event{Type: "A", Ts: 1, Attrs: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until A's handler has built its filter (registered connection).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Health().ActiveConns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Swap in generation 2 (drop-all) while A is in flight.
+	if _, err := srv.SwapFilter(2, nil); err == nil {
+		t.Error("SwapFilter accepted a nil constructor")
+	}
+	prev, err := srv.SwapFilter(2, func() (core.EventFilter, error) {
+		return dropAllFilter{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != 1 || srv.FilterVersion() != 2 {
+		t.Errorf("swap: prev = %d, version = %d, want 1 and 2", prev, srv.FilterVersion())
+	}
+	if got := srv.Health().ModelVersion; got != 2 {
+		t.Errorf("Health.ModelVersion = %d, want 2", got)
+	}
+
+	// Client B, accepted after the swap, must see drop-all: zero matches.
+	b, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Send(event.Event{Type: "A", Ts: 1, Attrs: []float64{1}})
+	b.Send(event.Event{Type: "B", Ts: 2, Attrs: []float64{1}})
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Err != "" {
+			t.Fatal(msg.Err)
+		}
+		if msg.Summary != nil {
+			if msg.Summary.Matches != 0 || msg.Summary.Relayed != 0 {
+				t.Errorf("post-swap client summary = %+v, want no relayed events", msg.Summary)
+			}
+			break
+		}
+	}
+
+	// Client A still runs generation 1: its stream completes with the match.
+	if err := a.Send(event.Event{Type: "B", Ts: 2, Attrs: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, err := a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Err != "" {
+			t.Fatal(msg.Err)
+		}
+		if msg.Summary != nil {
+			if msg.Summary.Matches != 1 {
+				t.Errorf("in-flight client summary = %+v, want 1 match on old filter", msg.Summary)
+			}
+			break
+		}
+	}
+
+	if got := atomic.LoadInt64(&tapped); got != 4 {
+		t.Errorf("OnEvent tap saw %d events, want 4", got)
 	}
 }

@@ -7,6 +7,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -101,6 +102,81 @@ func (a *Adam) Step(params []*nn.Param) {
 	}
 }
 
+// OptState is the serializable state of an Optimizer: moment buffers keyed
+// tensor-by-tensor in the order of the params slice it was captured
+// against. Restoring it against the same parameter order reproduces the
+// optimizer bit-for-bit, which is what makes checkpointed training resume
+// to the exact trajectory of an uninterrupted run.
+type OptState struct {
+	Kind string      `json:"kind"`        // "sgd" or "adam"
+	T    int         `json:"t,omitempty"` // adam bias-correction step count
+	M    [][]float64 `json:"m,omitempty"` // sgd velocity / adam first moment
+	V    [][]float64 `json:"v,omitempty"` // adam second moment
+}
+
+// CaptureOptState snapshots opt's moment buffers in params order. Tensors
+// the optimizer has not touched yet are captured as zeros.
+func CaptureOptState(opt Optimizer, params []*nn.Param) (OptState, error) {
+	grab := func(m map[*nn.Param][]float64) [][]float64 {
+		out := make([][]float64, len(params))
+		for i, p := range params {
+			if v, ok := m[p]; ok {
+				out[i] = append([]float64(nil), v...)
+			} else {
+				out[i] = make([]float64, len(p.Data))
+			}
+		}
+		return out
+	}
+	switch o := opt.(type) {
+	case *SGD:
+		return OptState{Kind: "sgd", M: grab(o.vel)}, nil
+	case *Adam:
+		return OptState{Kind: "adam", T: o.t, M: grab(o.m), V: grab(o.v)}, nil
+	default:
+		return OptState{}, fmt.Errorf("train: cannot capture state of optimizer %T", opt)
+	}
+}
+
+// RestoreOptState loads a captured state into opt against the same
+// parameter order it was captured with.
+func RestoreOptState(opt Optimizer, params []*nn.Param, st OptState) error {
+	put := func(dst map[*nn.Param][]float64, src [][]float64, what string) error {
+		if len(src) != len(params) {
+			return fmt.Errorf("train: optimizer state has %s for %d tensors, model has %d", what, len(src), len(params))
+		}
+		for i, p := range params {
+			if len(src[i]) != len(p.Data) {
+				return fmt.Errorf("train: optimizer %s for tensor %d (%s) has %d values, tensor has %d",
+					what, i, p.Name, len(src[i]), len(p.Data))
+			}
+			dst[p] = append([]float64(nil), src[i]...)
+		}
+		return nil
+	}
+	switch o := opt.(type) {
+	case *SGD:
+		if st.Kind != "sgd" {
+			return fmt.Errorf("train: restoring %q state into SGD", st.Kind)
+		}
+		return put(o.vel, st.M, "velocity")
+	case *Adam:
+		if st.Kind != "adam" {
+			return fmt.Errorf("train: restoring %q state into Adam", st.Kind)
+		}
+		if err := put(o.m, st.M, "first moment"); err != nil {
+			return err
+		}
+		if err := put(o.v, st.V, "second moment"); err != nil {
+			return err
+		}
+		o.t = st.T
+		return nil
+	default:
+		return fmt.Errorf("train: cannot restore state into optimizer %T", opt)
+	}
+}
+
 // Schedule is the paper's dynamic learning-rate and batch-size plan: the
 // initial values are used until SwitchEpoch, the final values afterwards.
 type Schedule struct {
@@ -187,6 +263,25 @@ type Config struct {
 	// train.lr, and train.grad_norm (mean post-scaling pre-clipping batch
 	// gradient norm — the extra norm computation only runs when observed).
 	Obs *obs.Registry
+
+	// StartEpoch resumes a checkpointed run: epochs before it are replayed
+	// through the shuffle RNG — so the example order from StartEpoch onward
+	// matches an uninterrupted run bit-for-bit — but are not trained.
+	// Callers restore parameters and optimizer state separately
+	// (RestoreOptState) before the loop.
+	StartEpoch int
+	// ResumeHistory carries the per-epoch losses of the already-trained
+	// epochs on a resume; it seeds the convergence detector and
+	// Result.LossHistory so the resumed run reports the full trajectory.
+	ResumeHistory []float64
+	// CheckpointEvery invokes Checkpoint after every Nth completed epoch;
+	// 0 disables checkpointing. A Checkpoint error aborts training (the
+	// partial Result stays valid, with the error in CheckpointErr).
+	CheckpointEvery int
+	// Checkpoint persists training state; epoch is 0-based and just
+	// completed, res is the progress so far, opt the live optimizer
+	// (capture it with CaptureOptState).
+	Checkpoint func(epoch int, res Result, opt Optimizer) error
 }
 
 // Result summarizes a training run.
@@ -194,6 +289,8 @@ type Result struct {
 	Epochs      int
 	LossHistory []float64
 	Converged   bool
+	// CheckpointErr is set when a Checkpoint hook failure aborted training.
+	CheckpointErr error
 }
 
 // Loop runs mini-batch epochs over n samples. step(i) must run
@@ -217,6 +314,16 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 	gradS := cfg.Obs.Series("train.grad_norm")
 	epochsG := cfg.Obs.Gauge("train.epochs")
 	var res Result
+	if cfg.StartEpoch > 0 {
+		res.LossHistory = append(res.LossHistory, cfg.ResumeHistory...)
+		res.Epochs = cfg.StartEpoch
+		for _, l := range cfg.ResumeHistory {
+			if conv.Observe(l) {
+				res.Converged = true
+				return res
+			}
+		}
+	}
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		lr, batch := cfg.Schedule.At(epoch)
 		opt.SetLR(lr)
@@ -224,6 +331,9 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 			batch = 32
 		}
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if epoch < cfg.StartEpoch {
+			continue // replayed only to keep the RNG stream aligned
+		}
 		total := 0.0
 		gradSum, batches := 0.0, 0
 		for lo := 0; lo < n; lo += batch {
@@ -256,6 +366,12 @@ func Loop(cfg Config, n int, params []*nn.Param, opt Optimizer,
 			gradS.Append(gradSum / float64(batches))
 		}
 		epochsG.Set(float64(res.Epochs))
+		if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
+			if err := cfg.Checkpoint(epoch, res, opt); err != nil {
+				res.CheckpointErr = err
+				return res
+			}
+		}
 		if onEpoch != nil && !onEpoch(epoch, avg) {
 			return res
 		}

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -201,5 +202,183 @@ func TestLoopConvergenceStops(t *testing.T) {
 	}
 	if res.Epochs != 6 { // first epoch sets reference, then 5 stable
 		t.Errorf("converged after %d epochs, want 6", res.Epochs)
+	}
+}
+
+// linearProblem builds a small linear regression the resume tests reuse:
+// deterministic data, a fresh linear layer, and a step closure.
+func linearProblem(seed int64) (*nn.Linear, func(i int) float64, int) {
+	rng := rand.New(rand.NewSource(seed))
+	lin := nn.NewLinear(2, 1, rng)
+	type sample struct {
+		x []float64
+		y float64
+	}
+	data := make([]sample, 64)
+	for i := range data {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		data[i] = sample{x, 2*x[0] - x[1]}
+	}
+	step := func(i int) float64 {
+		out := lin.Forward([][]float64{data[i].x}, true)
+		d := out[0][0] - data[i].y
+		lin.Backward([][]float64{{d}})
+		return 0.5 * d * d
+	}
+	return lin, step, len(data)
+}
+
+func TestOptStateRoundTrip(t *testing.T) {
+	for _, kind := range []string{"sgd", "adam"} {
+		mk := func() Optimizer {
+			if kind == "sgd" {
+				return NewSGD(0.05, 0.9)
+			}
+			return NewAdam(0.05)
+		}
+		linA, stepA, _ := linearProblem(3)
+		optA := mk()
+		// Warm the optimizer: a few update steps populate its moments.
+		for it := 0; it < 5; it++ {
+			nn.ZeroGrads(linA.Params())
+			stepA(it)
+			optA.Step(linA.Params())
+		}
+		st, err := CaptureOptState(optA, linA.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Kind != kind {
+			t.Fatalf("captured kind %q, want %q", st.Kind, kind)
+		}
+
+		// Clone the parameters into a second problem instance and restore.
+		linB, stepB, _ := linearProblem(3)
+		for i, p := range linA.Params() {
+			copy(linB.Params()[i].Data, p.Data)
+		}
+		optB := mk()
+		if err := RestoreOptState(optB, linB.Params(), st); err != nil {
+			t.Fatal(err)
+		}
+		// Both must now evolve identically.
+		for it := 5; it < 10; it++ {
+			nn.ZeroGrads(linA.Params())
+			stepA(it)
+			optA.Step(linA.Params())
+			nn.ZeroGrads(linB.Params())
+			stepB(it)
+			optB.Step(linB.Params())
+		}
+		for i, p := range linA.Params() {
+			q := linB.Params()[i]
+			for j := range p.Data {
+				if p.Data[j] != q.Data[j] {
+					t.Fatalf("%s: param %d diverged after restore: %v vs %v", kind, i, p.Data[j], q.Data[j])
+				}
+			}
+		}
+	}
+}
+
+func TestOptStateErrors(t *testing.T) {
+	lin, _, _ := linearProblem(1)
+	st, err := CaptureOptState(NewAdam(0.1), lin.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreOptState(NewSGD(0.1, 0), lin.Params(), st); err == nil {
+		t.Error("adam state restored into SGD")
+	}
+	st.M = st.M[:1]
+	if err := RestoreOptState(NewAdam(0.1), lin.Params(), st); err == nil {
+		t.Error("truncated state accepted")
+	}
+}
+
+// TestLoopResumeBitExact is the checkpointed-training contract: a run
+// interrupted at epoch k and resumed with StartEpoch=k (params + optimizer
+// state restored) lands on bit-identical parameters to an uninterrupted run.
+func TestLoopResumeBitExact(t *testing.T) {
+	const total, interrupt = 8, 3
+	never := &Convergence{Threshold: -1, Patience: 1 << 30}
+	sched := Schedule{InitialLR: 0.05, FinalLR: 0.01, InitialBatch: 8, FinalBatch: 8, SwitchEpoch: 5}
+
+	// Uninterrupted reference run.
+	linRef, stepRef, n := linearProblem(9)
+	Loop(Config{Schedule: sched, MaxEpochs: total, Seed: 11, Converge: never},
+		n, linRef.Params(), NewAdam(sched.InitialLR), stepRef, nil)
+
+	// Interrupted run: checkpoint at epoch `interrupt`, stop right after.
+	linA, stepA, _ := linearProblem(9)
+	var ckParams [][]float64
+	var ckState OptState
+	var ckHistory []float64
+	resA := Loop(Config{
+		Schedule: sched, MaxEpochs: total, Seed: 11, Converge: never,
+		CheckpointEvery: interrupt,
+		Checkpoint: func(epoch int, res Result, opt Optimizer) error {
+			if epoch+1 != interrupt {
+				return nil
+			}
+			for _, p := range linA.Params() {
+				ckParams = append(ckParams, append([]float64(nil), p.Data...))
+			}
+			var err error
+			ckState, err = CaptureOptState(opt, linA.Params())
+			ckHistory = append([]float64(nil), res.LossHistory...)
+			return err
+		},
+	}, n, linA.Params(), NewAdam(sched.InitialLR), stepA, func(epoch int, loss float64) bool {
+		return epoch+1 < interrupt // simulate the crash after the checkpoint
+	})
+	if resA.Epochs != interrupt || ckParams == nil {
+		t.Fatalf("interrupted run: epochs=%d, checkpoint captured=%v", resA.Epochs, ckParams != nil)
+	}
+
+	// Resumed run: fresh problem, restore params + optimizer, skip ahead.
+	linB, stepB, _ := linearProblem(9)
+	for i, p := range linB.Params() {
+		copy(p.Data, ckParams[i])
+	}
+	optB := NewAdam(sched.InitialLR)
+	if err := RestoreOptState(optB, linB.Params(), ckState); err != nil {
+		t.Fatal(err)
+	}
+	never2 := &Convergence{Threshold: -1, Patience: 1 << 30}
+	resB := Loop(Config{
+		Schedule: sched, MaxEpochs: total, Seed: 11, Converge: never2,
+		StartEpoch: interrupt, ResumeHistory: ckHistory,
+	}, n, linB.Params(), optB, stepB, nil)
+	if resB.Epochs != total {
+		t.Fatalf("resumed run epochs = %d, want %d", resB.Epochs, total)
+	}
+	if len(resB.LossHistory) != total {
+		t.Fatalf("resumed loss history has %d entries, want %d", len(resB.LossHistory), total)
+	}
+	for i, p := range linRef.Params() {
+		q := linB.Params()[i]
+		for j := range p.Data {
+			if p.Data[j] != q.Data[j] {
+				t.Fatalf("param %d[%d]: resumed %v != uninterrupted %v", i, j, q.Data[j], p.Data[j])
+			}
+		}
+	}
+}
+
+// TestLoopCheckpointErrorAborts verifies a failing hook stops training and
+// surfaces through Result.CheckpointErr.
+func TestLoopCheckpointErrorAborts(t *testing.T) {
+	lin, step, n := linearProblem(2)
+	res := Loop(Config{
+		Schedule: Schedule{InitialLR: 0.05, InitialBatch: 8}, MaxEpochs: 10, Seed: 1,
+		Converge:        &Convergence{Threshold: -1, Patience: 1 << 30},
+		CheckpointEvery: 2,
+		Checkpoint: func(epoch int, res Result, opt Optimizer) error {
+			return fmt.Errorf("disk full")
+		},
+	}, n, lin.Params(), NewAdam(0.05), step, nil)
+	if res.CheckpointErr == nil || res.Epochs != 2 {
+		t.Errorf("epochs=%d err=%v, want abort at epoch 2 with error", res.Epochs, res.CheckpointErr)
 	}
 }
