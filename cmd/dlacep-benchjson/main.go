@@ -1,0 +1,90 @@
+// Command dlacep-benchjson converts `go test -bench` output into the
+// repository's benchmark-baseline JSON (BENCH_nn.json). It groups
+// naive/fast benchmark variants, aggregates repeated -count runs by
+// median, computes the fast-path speedup for every pair, and can gate CI:
+//
+//   - -fail-on-allocs <regexp> errors if the fast variant of any matching
+//     benchmark allocates. Network.Infer promises zero steady-state
+//     allocations per window, so CI points this at the nn-level
+//     benchmarks; the core-level Mark benchmark is excluded because its
+//     fast path legitimately allocates the returned marks and the CRF
+//     tables;
+//   - -min-speedup (with -require) errors if a named pair's naive/fast
+//     ratio falls below a floor — used when refreshing the committed
+//     baseline, not in CI smoke runs, whose -benchtime=1x timings are
+//     meaningless.
+//
+// Usage:
+//
+//	go test ./internal/nn/ ./internal/core/ -run '^$' -bench 'Infer|FilterWindow' | dlacep-benchjson -out BENCH_nn.json
+//	dlacep-benchjson -in bench.txt -out BENCH_nn.json -fail-on-allocs 'Infer'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlacep-benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	failOnAllocs := flag.String("fail-on-allocs", "", "regexp of benchmarks whose fast variant must not allocate")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum naive/fast ratio for the -require pair")
+	require := flag.String("require", "", "benchmark name the -min-speedup floor applies to")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	data, err := report.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+	} else if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	if *failOnAllocs != "" {
+		re, err := regexp.Compile(*failOnAllocs)
+		if err != nil {
+			fatal(fmt.Errorf("bad -fail-on-allocs pattern: %w", err))
+		}
+		if bad := report.AllocatingFast(re); len(bad) > 0 {
+			fatal(fmt.Errorf("fast-path benchmarks allocate in steady state: %v", bad))
+		}
+	}
+	if *minSpeedup > 0 {
+		if *require == "" {
+			fatal(fmt.Errorf("-min-speedup needs -require <benchmark name>"))
+		}
+		b, ok := report.Benchmarks[*require]
+		if !ok || b.Speedup == 0 {
+			fatal(fmt.Errorf("benchmark %q has no naive/fast pair in input", *require))
+		}
+		if b.Speedup < *minSpeedup {
+			fatal(fmt.Errorf("%s speedup %.2fx below required %.2fx", *require, b.Speedup, *minSpeedup))
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `
+goos: linux
+goarch: amd64
+pkg: dlacep/internal/nn
+BenchmarkLSTMInfer/naive-4         	    1640	   1903891 ns/op	  303872 B/op	     263 allocs/op
+BenchmarkLSTMInfer/naive-4         	    1420	   1591495 ns/op	  303872 B/op	     263 allocs/op
+BenchmarkLSTMInfer/naive-4         	    1500	   1700000 ns/op	  303872 B/op	     263 allocs/op
+BenchmarkLSTMInfer/fast-4          	    2602	    918242 ns/op	     147 B/op	       0 allocs/op
+BenchmarkLSTMInfer/fast-4          	    2670	   1008399 ns/op	     144 B/op	       0 allocs/op
+BenchmarkLSTMInfer/fast-4          	    2670	    850000 ns/op	     144 B/op	       0 allocs/op
+BenchmarkFilterWindow/naive-4      	     574	   4202644 ns/op	  530004 B/op	     637 allocs/op
+BenchmarkFilterWindow/fast-4       	    1279	   1908395 ns/op	    6864 B/op	     144 allocs/op
+BenchmarkPlain-4                   	   10000	      1234 ns/op
+PASS
+ok  	dlacep/internal/nn	35.029s
+`
+
+func parseFixture(t *testing.T) *Report {
+	t.Helper()
+	r, err := Parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseAggregatesByMedian(t *testing.T) {
+	r := parseFixture(t)
+	b := r.Benchmarks["BenchmarkLSTMInfer"]
+	if b == nil || b.Naive == nil || b.Fast == nil {
+		t.Fatalf("BenchmarkLSTMInfer pair missing: %+v", b)
+	}
+	if b.Naive.NsPerOp != 1700000 { // median of {1591495, 1700000, 1903891}
+		t.Errorf("naive median = %v, want 1700000", b.Naive.NsPerOp)
+	}
+	if b.Fast.NsPerOp != 918242 { // median of {850000, 918242, 1008399}
+		t.Errorf("fast median = %v, want 918242", b.Fast.NsPerOp)
+	}
+	if b.Naive.Runs != 3 || b.Fast.Runs != 3 {
+		t.Errorf("runs = %d/%d, want 3/3", b.Naive.Runs, b.Fast.Runs)
+	}
+	want := 1.85 // 1700000 / 918242 rounded to 2 places
+	if b.Speedup != want {
+		t.Errorf("speedup = %v, want %v", b.Speedup, want)
+	}
+}
+
+func TestParseSingleRunPair(t *testing.T) {
+	r := parseFixture(t)
+	b := r.Benchmarks["BenchmarkFilterWindow"]
+	if b == nil || b.Naive == nil || b.Fast == nil {
+		t.Fatalf("BenchmarkFilterWindow pair missing: %+v", b)
+	}
+	if b.Speedup != 2.2 { // 4202644 / 1908395 = 2.202...
+		t.Errorf("speedup = %v, want 2.2", b.Speedup)
+	}
+	if b.Fast.AllocsPerOp != 144 || b.Fast.BytesPerOp != 6864 {
+		t.Errorf("fast alloc stats = %v B / %v allocs, want 6864/144",
+			b.Fast.BytesPerOp, b.Fast.AllocsPerOp)
+	}
+}
+
+func TestParsePlainBenchmark(t *testing.T) {
+	r := parseFixture(t)
+	b := r.Benchmarks["BenchmarkPlain"]
+	if b == nil || b.Fast == nil {
+		t.Fatalf("plain benchmark missing: %+v", b)
+	}
+	if b.Fast.NsPerOp != 1234 || b.Speedup != 0 {
+		t.Errorf("plain = %v ns/op speedup %v, want 1234 ns/op speedup 0", b.Fast.NsPerOp, b.Speedup)
+	}
+}
+
+func TestAllocatingFastScopedByPattern(t *testing.T) {
+	r := parseFixture(t)
+	// The Infer benchmarks are allocation-free, so the CI gate passes…
+	if bad := r.AllocatingFast(regexp.MustCompile("Infer")); len(bad) != 0 {
+		t.Errorf("Infer gate flagged %v, want none", bad)
+	}
+	// …while a pattern covering the core Mark benchmark (which legitimately
+	// allocates its outputs) would flag it.
+	if bad := r.AllocatingFast(regexp.MustCompile(".")); len(bad) != 1 || bad[0] != "BenchmarkFilterWindow" {
+		t.Errorf("catch-all gate flagged %v, want [BenchmarkFilterWindow]", bad)
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	r := parseFixture(t)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back.Benchmarks) != len(r.Benchmarks) {
+		t.Errorf("round-trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(r.Benchmarks))
+	}
+	if back.GeneratedBy != "dlacep-benchjson" {
+		t.Errorf("generated_by = %q", back.GeneratedBy)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	r, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Errorf("expected no benchmarks, got %d", len(r.Benchmarks))
+	}
+}

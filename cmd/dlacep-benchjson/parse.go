@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Variant aggregates the repeated runs of one benchmark variant
+// (BenchmarkX/naive or BenchmarkX/fast). Repeated -count runs are collapsed
+// to the median, which is robust to the occasional slow run on shared
+// hardware; allocation stats are exact and identical across runs, so the
+// median is the value itself.
+type Variant struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// Benchmark is one naive/fast pair (either side may be absent for plain
+// benchmarks). Speedup is naive ns/op over fast ns/op — the number the
+// ≥2× fast-path criterion is checked against.
+type Benchmark struct {
+	Naive   *Variant `json:"naive,omitempty"`
+	Fast    *Variant `json:"fast,omitempty"`
+	Speedup float64  `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_nn.json document.
+type Report struct {
+	GeneratedBy string                `json:"generated_by"`
+	GoOS        string                `json:"go_os"`
+	GoArch      string                `json:"go_arch"`
+	Benchmarks  map[string]*Benchmark `json:"benchmarks"`
+}
+
+type sample struct {
+	ns, bytes, allocs float64
+}
+
+// Parse reads `go test -bench` output and aggregates it into a Report.
+// Unrecognized lines (test chatter, pass/fail summaries) are skipped.
+func Parse(r io.Reader) (*Report, error) {
+	samples := map[string]map[string][]sample{} // base -> variant -> runs
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-P  N  <v> ns/op  [<v> B/op  <v> allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 { // strip -GOMAXPROCS
+			name = name[:i]
+		}
+		base, variant := name, ""
+		if i := strings.LastIndex(name, "/"); i > 0 {
+			base, variant = name[:i], name[i+1:]
+		}
+		var s sample
+		var err error
+		if s.ns, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				s.bytes = v
+			case "allocs/op":
+				s.allocs = v
+			}
+		}
+		if samples[base] == nil {
+			samples[base] = map[string][]sample{}
+		}
+		samples[base][variant] = append(samples[base][variant], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		GeneratedBy: "dlacep-benchjson",
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		Benchmarks:  map[string]*Benchmark{},
+	}
+	for base, variants := range samples {
+		b := &Benchmark{}
+		for variant, runs := range variants {
+			v := aggregate(runs)
+			switch variant {
+			case "naive":
+				b.Naive = v
+			case "fast":
+				b.Fast = v
+			case "":
+				b.Fast = v // plain benchmark: record it as the measured path
+			default:
+				// sub-benchmark outside the naive/fast convention gets its
+				// own entry so nothing is silently dropped
+				report.Benchmarks[base+"/"+variant] = &Benchmark{Fast: v}
+			}
+		}
+		if b.Naive != nil && b.Fast != nil && b.Fast.NsPerOp > 0 {
+			b.Speedup = round2(b.Naive.NsPerOp / b.Fast.NsPerOp)
+		}
+		if b.Naive != nil || b.Fast != nil {
+			report.Benchmarks[base] = b
+		}
+	}
+	return report, nil
+}
+
+func aggregate(runs []sample) *Variant {
+	ns := make([]float64, len(runs))
+	for i, s := range runs {
+		ns[i] = s.ns
+	}
+	sort.Float64s(ns)
+	return &Variant{
+		NsPerOp:     median(ns),
+		BytesPerOp:  runs[0].bytes,
+		AllocsPerOp: runs[0].allocs,
+		Runs:        len(runs),
+	}
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func round2(x float64) float64 {
+	return float64(int(x*100+0.5)) / 100
+}
+
+// AllocatingFast lists benchmarks matching re whose fast variant reports a
+// nonzero allocation count — the condition the CI bench-smoke gate fails on.
+func (r *Report) AllocatingFast(re *regexp.Regexp) []string {
+	var bad []string
+	for name, b := range r.Benchmarks {
+		if re.MatchString(name) && b.Fast != nil && b.Fast.AllocsPerOp > 0 {
+			bad = append(bad, name)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// JSON renders the report with stable key order (encoding/json sorts map
+// keys), suitable for committing as a baseline.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

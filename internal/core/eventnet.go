@@ -125,6 +125,12 @@ type EventNetwork struct {
 	// filter precision for match recall. Calibrate tunes it automatically.
 	Threshold float64
 	schema    *event.Schema
+	// scratch is the inference arena backing Net.Infer's allocation-free
+	// fast path. It is owned by whichever goroutine runs this filter
+	// instance (networks are not goroutine-safe anyway) and is created
+	// lazily so every construction path — NewEventNetwork, Load, clones —
+	// gets one without extra wiring.
+	scratch *nn.Scratch
 }
 
 // NewEventNetwork builds an untrained event-network for the monitored
@@ -157,9 +163,14 @@ func (n *EventNetwork) Params() []*nn.Param {
 }
 
 // Marginals returns the combined Bi-CRF probability that each event
-// participates in a match.
+// participates in a match. It runs the network's inference fast path: the
+// BiLSTM forward draws every buffer from the filter's own scratch arena and
+// allocates nothing in steady state.
 func (n *EventNetwork) Marginals(window []event.Event) []float64 {
-	em := n.Net.Forward(n.Emb.EmbedWindow(window), false)
+	if n.scratch == nil {
+		n.scratch = nn.NewScratch()
+	}
+	em := n.Net.Infer(n.Emb.EmbedWindow(window), n.scratch)
 	m := n.CRF.Marginals(em)
 	out := make([]float64, len(window))
 	for i := range m {
@@ -171,9 +182,13 @@ func (n *EventNetwork) Marginals(window []event.Event) []float64 {
 // CloneFilter returns an inference copy for concurrent marking: the BiLSTM
 // body is cloned (forward passes carry scratch state), while the embedder,
 // CRF chains, threshold, and schema are shared — all read-only at inference.
+// The clone's inference arena is reset to nil so each marking worker lazily
+// creates — and then exclusively owns — its own; sharing the original's
+// would race.
 func (n *EventNetwork) CloneFilter() EventFilter {
 	c := *n
 	c.Net = n.Net.Clone()
+	c.scratch = nil
 	return &c
 }
 

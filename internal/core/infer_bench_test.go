@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// benchEventNetwork builds a paper-default event-network (3×BiLSTM-75 body)
+// with a fitted embedder and returns it with one marking window.
+func benchEventNetwork(b *testing.B) (*EventNetwork, []event.Event) {
+	b.Helper()
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 8")
+	cfg := Config{MarkSize: 16, StepSize: 8, Hidden: 75, Layers: 3, Seed: 1}
+	n, err := NewEventNetwork(volSchema, []*pattern.Pattern{p}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := dataset.Synthetic(160, 5, 17)
+	n.Emb.Fit(st)
+	return n, st.Events[:cfg.MarkSize]
+}
+
+// naiveMark replicates the pre-fast-path Mark: the training-oriented forward
+// feeding the Bi-CRF decode. It passes train=true because the original
+// Forward built the BPTT caches unconditionally — eval mode skipping them is
+// itself one of this change's fixes — and the filter body has no Dropout, so
+// the flag does not alter the numbers. This is the baseline the ≥2× speedup
+// criterion in BENCH_nn.json is measured against.
+func naiveMark(n *EventNetwork, window []event.Event) []bool {
+	em := n.Net.Forward(n.Emb.EmbedWindow(window), true)
+	m := n.CRF.Marginals(em)
+	marks := make([]bool, len(window))
+	for i := range m {
+		marks[i] = m[i][1] >= n.Threshold && !window[i].IsBlank()
+	}
+	return marks
+}
+
+// BenchmarkFilterWindow measures the cost of marking one window with the
+// event-network filter — the per-window latency that decides whether the
+// deep filter is cheap enough to shield the CEP engine (Figs. 10–12 exist
+// only if it is). naive vs fast seeds the repo's perf baseline.
+func BenchmarkFilterWindow(b *testing.B) {
+	n, window := benchEventNetwork(b)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			naiveMark(n, window)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		n.Mark(window) // warm the filter's arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Mark(window)
+		}
+	})
+}

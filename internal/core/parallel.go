@@ -19,9 +19,13 @@ import (
 //
 //   - window marking fans out over a bounded worker pool where each worker
 //     owns a filter clone (BiLSTM forward passes carry scratch state, so
-//     workers cannot share one network); marks are written back into
-//     window-indexed slots, keeping the downstream dedup/relay scan in
-//     window order and therefore deterministic;
+//     workers cannot share one network). Each clone also owns its own
+//     nn.Scratch inference arena — CloneFilter resets it, first use creates
+//     it — so with P workers there are exactly P arenas, each confined to
+//     one goroutine, and steady-state marking allocates nothing per window.
+//     Marks are written back into window-indexed slots, keeping the
+//     downstream dedup/relay scan in window order and therefore
+//     deterministic;
 //   - relayed batches fan out one goroutine per engine; every engine still
 //     sees events in strictly increasing ID order, and the per-batch merge
 //     dedups under the pipeline's Keys set in engine index order, then

@@ -145,6 +145,11 @@ func (p *Processor) Result() *Result { return p.res }
 // markWindow runs the filter over one marking window and queues the marked
 // events in ID order. A filter violating the one-mark-per-event contract is
 // reported as an error (user-pluggable filters make this reachable).
+//
+// The Processor is single-goroutine by contract, so the filter — and the
+// nn.Scratch inference arena a network filter owns — sees one window at a
+// time; in steady state the deep filters' forward pass is allocation-free
+// here, exactly as in the parallel worker loops (parallel.go).
 func (p *Processor) markWindow(window []event.Event) error {
 	sw := metrics.StartStopwatch()
 	marks := p.pl.Filter.Mark(window)

@@ -30,6 +30,10 @@ type WindowNetwork struct {
 	// 0 corresponds to probability 0.5. Calibrate tunes it.
 	Threshold float64
 	schema    *event.Schema
+	// scratch backs Net.Infer's allocation-free fast path; lazily created,
+	// owned by the goroutine running this filter instance (see
+	// EventNetwork.scratch).
+	scratch *nn.Scratch
 }
 
 // NewWindowNetwork builds an untrained window-network.
@@ -54,9 +58,13 @@ func NewWindowNetwork(schema *event.Schema, pats []*pattern.Pattern, cfg Config)
 // Params returns the learnable parameters.
 func (n *WindowNetwork) Params() []*nn.Param { return n.Net.Params() }
 
-// Logit returns the raw applicability score of a window.
+// Logit returns the raw applicability score of a window, computed through
+// the network's allocation-free inference fast path.
 func (n *WindowNetwork) Logit(window []event.Event) float64 {
-	out := n.Net.Forward(n.Emb.EmbedWindow(window), false)
+	if n.scratch == nil {
+		n.scratch = nn.NewScratch()
+	}
+	out := n.Net.Infer(n.Emb.EmbedWindow(window), n.scratch)
 	return out[0][0]
 }
 
@@ -66,10 +74,12 @@ func (n *WindowNetwork) Applicable(window []event.Event) bool {
 }
 
 // CloneWindowFilter returns an inference copy for concurrent classification:
-// the network body is cloned, the embedder and threshold are shared.
+// the network body is cloned, the embedder and threshold are shared, and the
+// clone's inference arena is reset so each worker owns its own.
 func (n *WindowNetwork) CloneWindowFilter() WindowFilter {
 	c := *n
 	c.Net = n.Net.Clone()
+	c.scratch = nil
 	return &c
 }
 

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkLSTMInfer compares the pre-fast-path forward against the
+// inference fast path (scratch arena, fused Wx·X kernel) at paper-default
+// width (hidden 75). The naive variant passes train=true because the
+// original Forward built the BPTT caches unconditionally (eval mode skipping
+// them is part of this change) and no Dropout is present, so the flag does
+// not alter the numbers. The naive/fast pair seeds BENCH_nn.json via
+// cmd/dlacep-benchjson.
+func BenchmarkLSTMInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := &Network{Layers: []Layer{NewLSTM(32, 75, false, rng)}}
+	x := randSeq(rng, 64, 32)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x, true)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		s := NewScratch()
+		net.Infer(x, s) // warm the arena so the loop measures steady state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Infer(x, s)
+		}
+	})
+}
+
+// BenchmarkStackedBiLSTMInfer measures the full filter body (3×BiLSTM-75,
+// the paper's default architecture) on one marking window. As above, the
+// naive variant runs the cache-building forward the pre-fast-path code
+// always executed.
+func BenchmarkStackedBiLSTMInfer(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewStackedBiLSTM(16, 75, 3, rng)
+	net.Layers = append(net.Layers, NewLinear(net.OutDim(), 2, rng))
+	x := randSeq(rng, 32, 16)
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x, true)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		s := NewScratch()
+		net.Infer(x, s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Infer(x, s)
+		}
+	})
+}

@@ -37,7 +37,10 @@ func (b *BiLSTM) Forward(x [][]float64, train bool) [][]float64 {
 }
 
 // Backward splits the upstream gradient between the two directions and sums
-// their input gradients.
+// their input gradients. The per-direction gradients are row[:H]/row[H:]
+// views into dY, not copies — safe under the layer aliasing contract
+// (layer.go): Backward implementations treat dY as read-only, so handing
+// each LSTM a window into the caller's buffer cannot corrupt it.
 func (b *BiLSTM) Backward(dY [][]float64) [][]float64 {
 	H := b.Fwd.hidden
 	df := make([][]float64, len(dY))

@@ -42,9 +42,14 @@ func NewConv1D(in, out, kernel, dilation int, rng *rand.Rand) *Conv1D {
 }
 
 // Forward computes the padded convolution; output has the input's length.
+// The input is cached for Backward only when train is true.
 func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
 	mustDims("conv1d", x, c.in)
-	c.x = x
+	if train {
+		c.x = x
+	} else {
+		c.x = nil
+	}
 	T := len(x)
 	half := c.kernel / 2
 	y := make([][]float64, T)
@@ -123,22 +128,33 @@ type ReLU struct {
 // NewReLU builds a rectifier over feature size dim.
 func NewReLU(dim int) *ReLU { return &ReLU{dim: dim} }
 
-// Forward rectifies.
+// Forward rectifies; the Backward mask is built only when train is true.
 func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
 	mustDims("relu", x, r.dim)
 	y := make([][]float64, len(x))
-	r.mask = make([][]bool, len(x))
+	if train {
+		r.mask = make([][]bool, len(x))
+	} else {
+		r.mask = nil
+	}
 	for t, row := range x {
 		yr := make([]float64, len(row))
-		mr := make([]bool, len(row))
+		var mr []bool
+		if train {
+			mr = make([]bool, len(row))
+		}
 		for i, v := range row {
 			if v > 0 {
 				yr[i] = v
-				mr[i] = true
+				if train {
+					mr[i] = true
+				}
 			}
 		}
 		y[t] = yr
-		r.mask[t] = mr
+		if train {
+			r.mask[t] = mr
+		}
 	}
 	return y
 }

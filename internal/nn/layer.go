@@ -1,9 +1,19 @@
 package nn
 
 // Layer is one differentiable sequence-to-sequence block. Forward caches
-// whatever Backward needs; Backward consumes the upstream gradient dY
-// (same shape as Forward's output) and returns the gradient with respect to
-// the input, accumulating parameter gradients into Params().
+// whatever Backward needs when train is true (with train=false the BPTT
+// caches are skipped, and Backward is only valid after a train=true
+// Forward); Backward consumes the upstream gradient dY (same shape as
+// Forward's output) and returns the gradient with respect to the input,
+// accumulating parameter gradients into Params().
+//
+// Aliasing contract: layers treat their inputs as read-only. Forward (and
+// FastLayer.Infer) never writes x in place, and Backward never writes dY in
+// place. In exchange, outputs are allowed to alias inputs: Dropout's off
+// path returns x itself, BiLSTM.Backward hands each direction row[:H] /
+// row[H:] views of dY, and the inference fast path chains arena-backed
+// buffers from layer to layer. TestLayerAliasingContract enforces the
+// read-only half of the contract for every layer in this package.
 type Layer interface {
 	Forward(x [][]float64, train bool) [][]float64
 	Backward(dY [][]float64) [][]float64

@@ -23,10 +23,15 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
-// Forward computes the per-step affine map.
+// Forward computes the per-step affine map. The input is cached for
+// Backward only when train is true.
 func (l *Linear) Forward(x [][]float64, train bool) [][]float64 {
 	mustDims("linear", x, l.in)
-	l.x = x
+	if train {
+		l.x = x
+	} else {
+		l.x = nil
+	}
 	y := make([][]float64, len(x))
 	for t, xt := range x {
 		yt := make([]float64, l.out)

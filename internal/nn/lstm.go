@@ -59,14 +59,22 @@ func (l *LSTM) order(T int) []int {
 }
 
 // Forward runs the recurrence and returns the hidden sequence (T × H).
+// With train=false the BPTT caches (input, gate, cell, and tanh-cell
+// sequences) are neither built nor retained; Backward is only valid after a
+// Forward with train=true.
 func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
 	mustDims("lstm", x, l.in)
 	T, H := len(x), l.hidden
-	l.x = x
-	l.gates = make([][]float64, T)
-	l.cells = make([][]float64, T)
-	l.tanhC = make([][]float64, T)
-	l.hs = make([][]float64, T)
+	if train {
+		l.x = x
+		l.gates = make([][]float64, T)
+		l.cells = make([][]float64, T)
+		l.tanhC = make([][]float64, T)
+	} else {
+		l.x, l.gates, l.cells, l.tanhC = nil, nil, nil, nil
+	}
+	hs := make([][]float64, T)
+	l.hs = hs
 
 	hPrev := make([]float64, H)
 	cPrev := make([]float64, H)
@@ -86,8 +94,11 @@ func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
 			z[r] = s
 		}
 		c := make([]float64, H)
-		tc := make([]float64, H)
 		h := make([]float64, H)
+		var tc []float64
+		if train {
+			tc = make([]float64, H)
+		}
 		for j := 0; j < H; j++ {
 			i := sigmoid(z[j])
 			f := sigmoid(z[H+j])
@@ -95,16 +106,21 @@ func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
 			o := sigmoid(z[3*H+j])
 			z[j], z[H+j], z[2*H+j], z[3*H+j] = i, f, g, o
 			c[j] = f*cPrev[j] + i*g
-			tc[j] = math.Tanh(c[j])
-			h[j] = o * tc[j]
+			tcj := math.Tanh(c[j])
+			if train {
+				tc[j] = tcj
+			}
+			h[j] = o * tcj
 		}
-		l.gates[t] = z
-		l.cells[t] = c
-		l.tanhC[t] = tc
-		l.hs[t] = h
+		if train {
+			l.gates[t] = z
+			l.cells[t] = c
+			l.tanhC[t] = tc
+		}
+		hs[t] = h
 		hPrev, cPrev = h, c
 	}
-	return l.hs
+	return hs
 }
 
 // Backward propagates dY (T × H) through time, accumulating parameter

@@ -12,11 +12,17 @@ type MeanPool struct {
 // NewMeanPool builds a pooling layer over feature size dim.
 func NewMeanPool(dim int) *MeanPool { return &MeanPool{dim: dim} }
 
-// Forward averages the sequence.
+// Forward averages the sequence. An empty window (T=0) yields the zero
+// vector: without the guard 1/0 = +Inf and 0·Inf = NaN would silently
+// poison the window embedding and every downstream score — and empty
+// windows are reachable from the pipeline's tail handling.
 func (m *MeanPool) Forward(x [][]float64, train bool) [][]float64 {
 	mustDims("meanpool", x, m.dim)
 	m.T = len(x)
 	out := make([]float64, m.dim)
+	if m.T == 0 {
+		return [][]float64{out}
+	}
 	for _, row := range x {
 		for i, v := range row {
 			out[i] += v
@@ -29,8 +35,12 @@ func (m *MeanPool) Forward(x [][]float64, train bool) [][]float64 {
 	return [][]float64{out}
 }
 
-// Backward spreads the gradient uniformly over the timesteps.
+// Backward spreads the gradient uniformly over the timesteps. The T=0 guard
+// mirrors Forward: no timesteps, no gradient (and no 1/0).
 func (m *MeanPool) Backward(dY [][]float64) [][]float64 {
+	if m.T == 0 {
+		return nil
+	}
 	inv := 1.0 / float64(m.T)
 	dX := make([][]float64, m.T)
 	for t := range dX {
@@ -69,7 +79,11 @@ func NewDropout(dim int, p float64, rng func() float64) *Dropout {
 	return &Dropout{P: p, dim: dim, rng: rng}
 }
 
-// Forward applies the mask when train is true.
+// Forward applies the mask when train is true. In the off path the input is
+// returned as-is — the output aliases x. That is safe under the package's
+// layer aliasing contract (layer.go): no layer writes its input in place, so
+// a downstream layer can never corrupt the upstream layer's BPTT cache
+// through this alias. TestLayerAliasingContract enforces the contract.
 func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
 	d.off = !train || d.P <= 0
 	if d.off {

@@ -52,7 +52,10 @@ type Server struct {
 	// factory holds the current filter constructor. Trained networks cache
 	// forward activations and are not goroutine-safe, so each connection
 	// gets its own instance; the constructor typically reloads a saved
-	// model or wraps shared immutable state.
+	// model or wraps shared immutable state. Because network filters own
+	// their nn.Scratch inference arena, per-connection instances also mean
+	// per-connection arenas: every connection goroutine marks windows
+	// through its own allocation-free fast path, with no sharing.
 	factory atomic.Pointer[filterFactory]
 	// Log receives per-connection diagnostics; defaults to log.Printf.
 	Log func(format string, args ...any)
