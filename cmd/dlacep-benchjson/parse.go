@@ -22,6 +22,9 @@ type Variant struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Runs        int     `json:"runs"`
+	// Extra holds custom b.ReportMetric units (events/sec, p50_ns, ...),
+	// each collapsed to its median across runs.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Benchmark is one naive/fast pair (either side may be absent for plain
@@ -43,6 +46,7 @@ type Report struct {
 
 type sample struct {
 	ns, bytes, allocs float64
+	extra             map[string]float64
 }
 
 // Parse reads `go test -bench` output and aggregates it into a Report.
@@ -78,11 +82,16 @@ func Parse(r io.Reader) (*Report, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
 				s.bytes = v
 			case "allocs/op":
 				s.allocs = v
+			default: // custom b.ReportMetric unit
+				if s.extra == nil {
+					s.extra = map[string]float64{}
+				}
+				s.extra[unit] = v
 			}
 		}
 		if samples[base] == nil {
@@ -133,12 +142,26 @@ func aggregate(runs []sample) *Variant {
 		ns[i] = s.ns
 	}
 	sort.Float64s(ns)
-	return &Variant{
+	v := &Variant{
 		NsPerOp:     median(ns),
 		BytesPerOp:  runs[0].bytes,
 		AllocsPerOp: runs[0].allocs,
 		Runs:        len(runs),
 	}
+	for unit := range runs[0].extra {
+		vals := make([]float64, 0, len(runs))
+		for _, s := range runs {
+			if x, ok := s.extra[unit]; ok {
+				vals = append(vals, x)
+			}
+		}
+		sort.Float64s(vals)
+		if v.Extra == nil {
+			v.Extra = map[string]float64{}
+		}
+		v.Extra[unit] = median(vals)
+	}
+	return v
 }
 
 func median(sorted []float64) float64 {

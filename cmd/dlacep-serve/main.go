@@ -42,11 +42,13 @@ func fatal(err error) {
 
 // serveOpts collects the server-mode flags.
 type serveOpts struct {
-	modelPath string
-	listen    string
-	parallel  int
-	admin     string
-	pprofOn   bool
+	modelPath  string
+	listen     string
+	parallel   int
+	shards     int
+	shardBatch int
+	admin      string
+	pprofOn    bool
 
 	registry        string
 	family          string
@@ -64,6 +66,8 @@ func main() {
 	connect := flag.String("connect", "", "server address to stream to (client mode)")
 	dataPath := flag.String("data", "", "stream CSV to send (client mode)")
 	flag.IntVar(&o.parallel, "parallel", 0, "per-connection pipeline worker bound (server mode); 0 or 1 sequential")
+	flag.IntVar(&o.shards, "shards", 0, "key-sharded serving: marking workers per connection, events hash-partitioned by type; 0 or 1 sequential")
+	flag.IntVar(&o.shardBatch, "shard-batch", 1, "windows batched per filter call in -shards mode (K)")
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP address for /metrics and /healthz, e.g. 127.0.0.1:7879 (server mode)")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "also expose /debug/pprof/ on the admin address")
 	flag.StringVar(&o.registry, "registry", "", "model registry directory; serves the family's active version with hot swapping")
@@ -103,6 +107,8 @@ func runServer(o serveOpts) {
 	if err != nil {
 		fatal(err)
 	}
+	srv.Shards = o.shards
+	srv.ShardBatch = o.shardBatch
 	if o.admin != "" {
 		alis, err := net.Listen("tcp", o.admin)
 		if err != nil {

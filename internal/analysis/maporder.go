@@ -16,7 +16,7 @@ import (
 var MapOrder = &Analyzer{
 	Name:      "maporder",
 	Doc:       "range over map feeding an escaping slice (nondeterministic order)",
-	AppliesTo: inScope("internal/core", "internal/cep", "internal/zstream", "internal/lazy"),
+	AppliesTo: inScope("internal/core", "internal/cep", "internal/zstream", "internal/lazy", "internal/shard"),
 	Run:       runMapOrder,
 }
 

@@ -1,0 +1,37 @@
+// Shard-dispatch fixture: the partitioner must be a pure function of the
+// ticker, never derived from map iteration — a dispatch loop that drains a
+// map of per-ticker queues into an escaping batch emits events in a
+// different order every run, which breaks the merge stage's ID-order
+// invariant.
+package shard
+
+import "sort"
+
+type batch struct {
+	evs []uint64
+}
+
+func badDispatch(byTicker map[string][]uint64, b *batch) {
+	for _, q := range byTicker {
+		b.evs = append(b.evs, q...) // want `append to b\.evs inside range over map`
+	}
+}
+
+func badRelayFanout(pending map[uint64]bool) []uint64 {
+	var relay []uint64
+	for id := range pending {
+		relay = append(relay, id) // want "append to relay inside range over map"
+	}
+	return relay
+}
+
+// goodSortedDispatch re-sorts before anything escapes: the sanctioned
+// collect-then-sort idiom, not reported.
+func goodSortedDispatch(byTicker map[string][]uint64) []string {
+	var tickers []string
+	for tk := range byTicker {
+		tickers = append(tickers, tk)
+	}
+	sort.Strings(tickers)
+	return tickers
+}

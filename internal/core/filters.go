@@ -13,6 +13,19 @@ type EventFilter interface {
 	Mark(window []event.Event) []bool
 }
 
+// BatchMarker is the optional K-window capability of an EventFilter: mark K
+// windows in one call so a network filter can amortize weight streaming over
+// the whole batch (nn.Network.InferBatch). MarkBatch must be decision-
+// identical to calling Mark on each window in order. The returned mark rows
+// may live in buffers owned by the filter and are valid only until its next
+// MarkBatch call — callers consume them before marking again. The sharded
+// serving pipeline (internal/shard) probes for this interface and falls back
+// to per-window Mark when it is absent.
+type BatchMarker interface {
+	EventFilter
+	MarkBatch(windows [][]event.Event) [][]bool
+}
+
 // WindowFilter classifies whole windows as applicable (containing at least
 // one full match) or not — the coarse-grained variant of Section 4.3.
 type WindowFilter interface {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+func markBatchNet(t *testing.T) *EventNetwork {
+	t.Helper()
+	pats := []*pattern.Pattern{
+		pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8"),
+	}
+	net, err := NewEventNetwork(volSchema, pats, smallCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Threshold = 0.45
+	return net
+}
+
+func markBatchWindows(sizes []int, seed int64) [][]event.Event {
+	st := dataset.Synthetic(64, 4, seed)
+	windows := make([][]event.Event, len(sizes))
+	off := 0
+	for i, sz := range sizes {
+		w := make([]event.Event, sz)
+		copy(w, st.Events[off:off+sz])
+		if sz > 2 {
+			// Blank padding inside a window must stay unmarked.
+			w[sz-1] = event.Blank(w[sz-1].ID, w[sz-1].Ts)
+		}
+		off += sz
+		windows[i] = w
+	}
+	return windows
+}
+
+// TestMarkBatchMatchesMark is the BatchMarker contract check for the real
+// event network: MarkBatch over a ragged batch must reproduce per-window
+// Mark decisions exactly — same booleans, element for element — because the
+// batched GEMM performs the identical FP ops in the identical order.
+func TestMarkBatchMatchesMark(t *testing.T) {
+	for _, sizes := range [][]int{
+		{16},              // K=1
+		{16, 16, 16, 16},  // uniform K=4 (step-major batched recurrence)
+		{16, 9, 16, 3, 1}, // ragged (per-window fallback)
+		{0, 16},           // empty window in the batch
+	} {
+		net := markBatchNet(t)
+		windows := markBatchWindows(sizes, 7)
+		got := net.MarkBatch(windows)
+		if len(got) != len(windows) {
+			t.Fatalf("sizes %v: MarkBatch returned %d rows for %d windows", sizes, len(got), len(windows))
+		}
+		// Fresh network for the reference: Mark and MarkBatch share scratch,
+		// and the clone carries identical parameters.
+		ref, _ := net.CloneFilter().(*EventNetwork)
+		if ref == nil {
+			t.Fatal("CloneFilter did not return an *EventNetwork")
+		}
+		for wi, w := range windows {
+			if len(w) == 0 {
+				// Mark has no empty-window form; MarkBatch must just
+				// produce an empty row without consulting the CRF.
+				if len(got[wi]) != 0 {
+					t.Fatalf("sizes %v window %d: empty window got %d marks", sizes, wi, len(got[wi]))
+				}
+				continue
+			}
+			want := ref.Mark(w)
+			if len(got[wi]) != len(want) {
+				t.Fatalf("sizes %v window %d: %d marks for %d events", sizes, wi, len(got[wi]), len(want))
+			}
+			for i := range want {
+				if got[wi][i] != want[i] {
+					t.Fatalf("sizes %v window %d event %d: MarkBatch=%v Mark=%v",
+						sizes, wi, i, got[wi][i], want[i])
+				}
+			}
+		}
+		// Rows are reused across calls: a second call must still be correct.
+		last := windows[len(windows)-1]
+		again := net.MarkBatch([][]event.Event{last})
+		want := ref.Mark(last)
+		for i := range want {
+			if again[0][i] != want[i] {
+				t.Fatalf("second MarkBatch call diverged at event %d", i)
+			}
+		}
+	}
+}
+
+// TestEventNetworkCloneIsolation is the issue's shard spin-up audit: clones
+// must not share any mutable inference state — scratch arena, batch marking
+// buffers, or (via nn.Network.Clone) per-layer RNG — with the original.
+// Parameters ARE shared (hot-swap contract), so a swap propagates.
+func TestEventNetworkCloneIsolation(t *testing.T) {
+	net := markBatchNet(t)
+	windows := markBatchWindows([]int{16, 16}, 3)
+	net.MarkBatch(windows) // materialize scratch + batch buffers
+	if net.scratch == nil || net.batch == nil {
+		t.Fatal("original did not materialize its buffers")
+	}
+	clone, _ := net.CloneFilter().(*EventNetwork)
+	if clone == nil {
+		t.Fatal("CloneFilter did not return an *EventNetwork")
+	}
+	if clone.scratch != nil || clone.batch != nil {
+		t.Fatal("clone shares (or pre-populated) scratch/batch state")
+	}
+	clone.MarkBatch(windows)
+	if clone.scratch == net.scratch || clone.batch == net.batch {
+		t.Fatal("clone materialized the original's buffers")
+	}
+}

@@ -176,9 +176,21 @@ func (e *Embedder) SetState(s State) {
 // Embed returns the vector for one event.
 func (e *Embedder) Embed(ev *event.Event) []float64 {
 	v := make([]float64, e.Dim())
+	e.EmbedInto(ev, v)
+	return v
+}
+
+// EmbedInto writes the event's vector into v, which must have length Dim().
+// It produces exactly the values Embed returns (prior contents of v are
+// cleared first), letting steady-state marking loops reuse one flat buffer
+// per batch instead of allocating a vector per event.
+func (e *Embedder) EmbedInto(ev *event.Event, v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
 	if ev.IsBlank() {
 		v[e.nTypes] = 1 // blank flag; type one-hot all zero
-		return v
+		return
 	}
 	if idx, ok := e.typeIdx[ev.Type]; ok {
 		v[idx] = 1
@@ -192,7 +204,6 @@ func (e *Embedder) Embed(ev *event.Event) []float64 {
 			v[e.nTypes+1+2*j+1] = (math.Log(val) - e.logMean[j]) / e.logStd[j]
 		}
 	}
-	return v
 }
 
 // EmbedWindow vectorizes a window sample into the network's input sequence.

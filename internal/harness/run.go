@@ -10,6 +10,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/label"
 	"dlacep/internal/pattern"
+	"dlacep/internal/shard"
 )
 
 // FilterKind selects the pipeline's filter.
@@ -215,6 +216,8 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 			}
 			if opts.MaxWindow > 0 {
 				acep, err = pl.RunWindows(testWs)
+			} else if sc.Shards > 1 {
+				acep, err = runSharded(pl, evalStream, sc)
 			} else {
 				acep, err = pl.Run(evalStream)
 			}
@@ -235,6 +238,21 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// runSharded streams the evaluation split through the key-sharded pipeline
+// (Scale.Shards workers, Scale.ShardBatch-window marking batches).
+func runSharded(pl *core.Pipeline, st *event.Stream, sc Scale) (*core.Result, error) {
+	p, err := shard.New(pl, shard.Options{Shards: sc.Shards, Batch: sc.ShardBatch})
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.Events {
+		if err := p.Push(st.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	return p.Close()
 }
 
 // calibWindows bounds the calibration set so threshold tuning stays cheap.

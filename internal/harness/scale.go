@@ -45,6 +45,17 @@ type Scale struct {
 	// are identical at every level, only throughput changes.
 	Parallelism int
 
+	// Shards, when > 1, runs the DLACEP measurement pass through the
+	// key-sharded serving pipeline (internal/shard) instead of the batch
+	// Run path: events hash-partitioned by type onto Shards marking
+	// workers, CEP over the merged ID-ordered relay stream. ShardBatch is
+	// K, the windows batched per filter call (0 = 1). The network filter
+	// is composition-sensitive, so sharded match sets can differ slightly
+	// from sequential ones (each shard marks its own sub-stream's
+	// windows); the ECEP baseline is unaffected.
+	Shards     int
+	ShardBatch int
+
 	// Stock generator shape.
 	Tickers int
 	ZipfS   float64

@@ -55,10 +55,14 @@ func (l *Linear) CloneLayer() Layer {
 // CloneLayer returns a fresh pooling layer (no parameters).
 func (m *MeanPool) CloneLayer() Layer { return &MeanPool{dim: m.dim} }
 
-// CloneLayer returns a fresh dropout layer sharing P and the sampler. The
-// sampler is only consulted when train is true, which inference clones never
-// pass.
-func (d *Dropout) CloneLayer() Layer { return &Dropout{P: d.P, dim: d.dim, rng: d.rng} }
+// CloneLayer returns a fresh dropout layer sharing P but NOT the sampler:
+// the parent's rng is a stateful closure, and two goroutines drawing from it
+// concurrently would race — exactly the cross-clone state sharing Clone
+// exists to prevent. Inference clones never consult the sampler (dropout is
+// identity at eval), so the clone carries none; a training forward on a
+// clone now fails fast on the nil sampler instead of silently corrupting the
+// parent's RNG stream, enforcing the inference-only contract above.
+func (d *Dropout) CloneLayer() Layer { return &Dropout{P: d.P, dim: d.dim} }
 
 // CloneLayer returns an inference copy sharing W and B.
 func (c *Conv1D) CloneLayer() Layer {

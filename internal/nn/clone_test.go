@@ -100,3 +100,35 @@ func TestCloneSharesParams(t *testing.T) {
 		t.Fatal("weight update on original not visible through clone")
 	}
 }
+
+// TestDropoutCloneOwnsNoRNG pins the shard spin-up invariant: a cloned
+// Dropout must not share the parent's stateful sampler closure (two shards
+// drawing from one rng would race and corrupt the stream). Inference on the
+// clone stays the identity; a training forward fails fast on the nil
+// sampler instead of silently draining the parent's RNG.
+func TestDropoutCloneOwnsNoRNG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDropout(3, 0.5, rng.Float64)
+	c, ok := d.CloneLayer().(*Dropout)
+	if !ok {
+		t.Fatal("CloneLayer did not return a *Dropout")
+	}
+	if c.rng != nil {
+		t.Fatal("clone shares the parent's rng sampler")
+	}
+	if c.P != d.P || c.OutDim() != d.OutDim() {
+		t.Fatal("clone lost configuration")
+	}
+	x := randInput(rng, 4, 3)
+	if !reflect.DeepEqual(c.Forward(x, false), x) {
+		t.Fatal("inference clone is not the identity")
+	}
+	before := rng.Float64()
+	_ = before
+	defer func() {
+		if recover() == nil {
+			t.Fatal("training forward on an rng-less clone did not fail fast")
+		}
+	}()
+	c.Forward(x, true)
+}

@@ -79,6 +79,15 @@ func (l *LSTM) inferInto(x [][]float64, s *Scratch, hs [][]float64) {
 	// blocked pass. The sequential part below only adds Wh·h_{t-1}.
 	z := s.matrixUninit(T, 4*H) // seqMulBias overwrites every element
 	seqMulBias(z, l.Wx.Data, 4*H, l.in, l.B.Data, x)
+	l.recurInto(z, s, hs)
+}
+
+// recurInto runs the sequential half of the recurrence: z already holds
+// b + Wx·x_t per step, and each pass adds Wh·h_{t-1}, applies the gates, and
+// writes h_t into hs[t]. Split from inferInto so the K-window batch path
+// (inferbatch.go) can reuse it on slices of a fused multi-window projection.
+func (l *LSTM) recurInto(z [][]float64, s *Scratch, hs [][]float64) {
+	T, H := len(z), l.hidden
 	hPrev := s.floats(H)
 	cPrev := s.floats(H)
 	cCur := s.floats(H)

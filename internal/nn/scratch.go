@@ -21,6 +21,8 @@ type Scratch struct {
 	fOff int
 	rows [][]float64
 	rOff int
+	mats [][][]float64
+	mOff int
 }
 
 // NewScratch returns an empty arena; the first inference pass sizes it.
@@ -31,6 +33,7 @@ func NewScratch() *Scratch { return &Scratch{} }
 func (s *Scratch) reset() {
 	s.fOff = 0
 	s.rOff = 0
+	s.mOff = 0
 }
 
 // floats bump-allocates a zeroed length-n slice. When the backing array is
@@ -85,6 +88,26 @@ func (s *Scratch) rowHeaders(n int) [][]float64 {
 	}
 	out := s.rows[s.rOff : s.rOff+n : s.rOff+n]
 	s.rOff += n
+	for i := range out {
+		out[i] = nil
+	}
+	return out
+}
+
+// matHeaders bump-allocates n matrix headers (the [][][]float64 spine of a
+// window batch); the headers are nil until the caller points them at
+// matrices. Backs the K-window batch path (inferbatch.go).
+func (s *Scratch) matHeaders(n int) [][][]float64 {
+	if s.mOff+n > len(s.mats) {
+		c := 2 * len(s.mats)
+		if c < s.mOff+n {
+			c = s.mOff + n
+		}
+		s.mats = make([][][]float64, c)
+		s.mOff = 0
+	}
+	out := s.mats[s.mOff : s.mOff+n : s.mOff+n]
+	s.mOff += n
 	for i := range out {
 		out[i] = nil
 	}

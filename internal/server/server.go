@@ -31,6 +31,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
+	"dlacep/internal/shard"
 )
 
 // filterFactory is one immutable generation of the per-connection filter
@@ -69,6 +70,16 @@ type Server struct {
 	// and retraining buffers. It is called from connection goroutines
 	// concurrently and must be goroutine-safe and fast. Set before Serve.
 	OnEvent func(ev event.Event)
+	// Shards, when > 1, serves each connection through the key-sharded
+	// pipeline (internal/shard) instead of the sequential Processor: events
+	// are hash-partitioned by type onto shard-per-core marking workers and
+	// the CEP engines run over the merged, globally ID-ordered relay stream.
+	// Matches stream to the client as the merge stage emits them. The filter
+	// must be cloneable (every shard owns a clone). Set before Serve.
+	Shards int
+	// ShardBatch is K, the windows batched per filter call in shard mode
+	// (shard.Options.Batch); 0 means 1.
+	ShardBatch int
 
 	mu     sync.Mutex
 	closed bool
@@ -190,6 +201,9 @@ type wireOut struct {
 }
 
 func (s *Server) handle(conn net.Conn) error {
+	if s.Shards > 1 {
+		return s.handleSharded(conn)
+	}
 	s.Obs.Counter("server.connections.total").Inc()
 	activeG := s.Obs.Gauge("server.connections.active")
 	activeG.Add(1)
@@ -278,6 +292,111 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := w.Flush(); err != nil {
 				return err
 			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return finish()
+}
+
+// handleSharded runs one connection through the key-sharded pipeline.
+// Matches arrive on the merge goroutine (shard.Options.OnMatch) while this
+// goroutine keeps parsing, so client writes synchronize on a mutex — the
+// only lock in shard mode, and off the marking hot path entirely.
+func (s *Server) handleSharded(conn net.Conn) error {
+	s.Obs.Counter("server.connections.total").Inc()
+	activeG := s.Obs.Gauge("server.connections.active")
+	activeG.Add(1)
+	defer activeG.Add(-1)
+	eventsC := s.Obs.Counter("server.events.total")
+	filter, err := s.factory.Load().fn()
+	if err != nil {
+		return err
+	}
+	pl, err := core.NewPipeline(s.schema, s.pats, s.cfg, filter)
+	if err != nil {
+		return err
+	}
+	pl.Obs = s.Obs
+
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+	write := func(msg wireOut) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := enc.Encode(msg); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	sp, err := shard.New(pl, shard.Options{
+		Shards: s.Shards,
+		Batch:  s.ShardBatch,
+		OnMatch: func(m *cep.Match) {
+			msg := &matchMsg{IDs: m.IDs()}
+			if len(m.Binding) > 0 {
+				msg.Binding = make(map[string]uint64, len(m.Binding))
+				for alias, e := range m.Binding {
+					msg.Binding[alias] = e.ID
+				}
+			}
+			_ = write(wireOut{Match: msg})
+		},
+	})
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			_, _ = sp.Close() // reader error path: join the shard goroutines
+		}
+	}()
+
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var nextID uint64
+	finish := func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		res, err := sp.Close()
+		if err != nil {
+			return write(wireOut{Error: err.Error()})
+		}
+		return write(wireOut{Summary: &summaryMsg{
+			Events:      res.EventsTotal,
+			Relayed:     res.EventsRelayed,
+			Matches:     len(res.Matches),
+			FilterRatio: res.FilterRatio(),
+			ThroughputS: res.Throughput(),
+		}})
+	}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if line == "FLUSH" {
+			if err := finish(); err != nil {
+				return err
+			}
+			continue
+		}
+		ev, err := s.parseEvent(line, nextID)
+		if err != nil {
+			return write(wireOut{Error: err.Error()})
+		}
+		nextID++
+		eventsC.Inc()
+		if s.OnEvent != nil {
+			s.OnEvent(ev)
+		}
+		if err := sp.Push(ev); err != nil {
+			return write(wireOut{Error: err.Error()})
 		}
 	}
 	if err := r.Err(); err != nil {

@@ -525,3 +525,67 @@ func TestSwapFilter(t *testing.T) {
 		t.Errorf("OnEvent tap saw %d events, want 4", got)
 	}
 }
+
+// TestServerShardedMatchesSequential runs the same stream through a sharded
+// server (Shards=2, K=2) and a sequential pipeline; the key-sharded merge
+// relays in global ID order, so with a window-composition-independent filter
+// the match sets must agree exactly.
+func TestServerShardedMatchesSequential(t *testing.T) {
+	schema := dataset.VolSchema()
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WITHIN 6")
+	pats := []*pattern.Pattern{p}
+	cfg := core.Config{MarkSize: 12, StepSize: 6, Hidden: 4, Layers: 1}
+	_, addr := startServer(t, pats, schema, cfg, func() (core.EventFilter, error) {
+		return core.KeepAllFilter{}, nil
+	}, func(s *Server) {
+		s.Shards = 2
+		s.ShardBatch = 2
+	})
+	st := dataset.Synthetic(300, 4, 5)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := range st.Events {
+		if err := c.Send(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var nMatches int
+	var summary *summaryMsg
+	for summary == nil {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Err != "" {
+			t.Fatal(msg.Err)
+		}
+		if msg.MatchIDs() != nil {
+			nMatches++
+		}
+		summary = msg.Summary
+	}
+	pl, err := core.NewPipeline(schema, pats, cfg, core.KeepAllFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nMatches != len(res.Keys) {
+		t.Errorf("sharded server streamed %d matches, sequential pipeline found %d", nMatches, len(res.Keys))
+	}
+	if summary.Events != st.Len() || summary.Matches != nMatches {
+		t.Errorf("summary = %+v, want events=%d matches=%d", summary, st.Len(), nMatches)
+	}
+	if summary.Relayed != st.Len() {
+		t.Errorf("KeepAll relayed %d of %d events", summary.Relayed, st.Len())
+	}
+}

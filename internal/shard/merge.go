@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"math"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
+)
+
+// merger is the single consumer of every shard's output ring. It owns the
+// CEP engines: pattern matching runs on the globally merged relayed stream,
+// not per shard, because a SEQ pattern can span tickers — and therefore
+// shards — so shard-local engines would silently lose cross-shard matches.
+//
+// Determinism: each shard's relays arrive ID-ascending, and an event is
+// emitted only once every shard's watermark has passed its ID — so the
+// k-way merge below produces the same globally ID-sorted sequence no matter
+// how goroutines interleave, and the engines (deterministic functions of
+// their input sequence) produce the same match set. Only the grouping of
+// that sequence into Process batches varies run to run, which affects
+// nothing the pipeline reports.
+//
+// The merge loop never blocks on any single ring — a blocking pop on one
+// shard while another shard's ring is full could deadlock through dispatcher
+// backpressure. Instead it drains every ring with TryPop and parks on a
+// shared one-token wake-up channel that workers signal after every push.
+type merger struct {
+	es      *core.EngineSet
+	outs    []*Ring[relayBatch]
+	frees   []*Ring[[]event.Event]
+	notify  <-chan struct{}
+	onMatch func(*cep.Match)
+
+	queues [][]relayBatch // per-shard FIFO of undelivered batches
+	qoff   []int          // consumed prefix of queues[s][0].evs
+	wms    []uint64       // per-shard relay watermark
+	done   []bool         // shard's ring closed and fully drained
+	emit   []event.Event  // current cycle's globally merged slice
+
+	res       *core.Result
+	reg       *obs.Registry
+	outDepthG []*obs.Gauge
+}
+
+func newMerger(es *core.EngineSet, outs []*Ring[relayBatch], frees []*Ring[[]event.Event],
+	notify <-chan struct{}, onMatch func(*cep.Match), reg *obs.Registry) *merger {
+	m := &merger{
+		es:      es,
+		outs:    outs,
+		frees:   frees,
+		notify:  notify,
+		onMatch: onMatch,
+		queues:  make([][]relayBatch, len(outs)),
+		qoff:    make([]int, len(outs)),
+		wms:     make([]uint64, len(outs)),
+		done:    make([]bool, len(outs)),
+		res:     &core.Result{Keys: map[string]bool{}},
+		reg:     reg,
+	}
+	m.outDepthG = make([]*obs.Gauge, len(outs))
+	for i := range outs {
+		m.outDepthG[i] = reg.Gauge(shardMetric(i, "ring.out.depth"))
+	}
+	return m
+}
+
+func (m *merger) run() {
+	for {
+		progress := m.drain()
+		m.emitReady()
+		if m.finished() {
+			break
+		}
+		if !progress {
+			// Parking is safe without a ring scan race: a worker signals
+			// after each push, and the one-token channel means a push that
+			// found the token already present is ordered before our next
+			// receive — the post-wake drain sees it.
+			<-m.notify
+		}
+	}
+	sw := metrics.StartStopwatch()
+	m.collect(m.es.Flush())
+	m.res.CEPTime += sw.Elapsed()
+	m.res.CEPStats = m.es.Stats()
+}
+
+// drain empties every output ring into the per-shard queues, advancing
+// watermarks and recording closed shards. Reports whether anything new
+// arrived.
+func (m *merger) drain() bool {
+	progress := false
+	for s, r := range m.outs {
+		if m.done[s] {
+			continue
+		}
+		closed := r.Closed() // before the pops: close-then-empty is terminal
+		for {
+			b, ok := r.TryPop()
+			if !ok {
+				break
+			}
+			progress = true
+			if b.wm > m.wms[s] {
+				m.wms[s] = b.wm
+			}
+			if len(b.evs) > 0 {
+				m.queues[s] = append(m.queues[s], b)
+			} else {
+				m.recycle(s, b.evs)
+			}
+		}
+		m.outDepthG[s].Set(float64(r.Len()))
+		if closed && r.Len() == 0 {
+			m.done[s] = true
+			progress = true
+		}
+	}
+	return progress
+}
+
+// emitReady k-way merges every queued event whose ID lies below the minimum
+// shard watermark into one globally ID-ascending batch and feeds it to the
+// engines. Within a shard the queue is already ascending, so each step only
+// compares the S queue heads.
+func (m *merger) emitReady() {
+	minWM := uint64(math.MaxUint64)
+	for _, wm := range m.wms {
+		if wm < minWM {
+			minWM = wm
+		}
+	}
+	for {
+		best := -1
+		var bestID uint64
+		for s := range m.queues {
+			if len(m.queues[s]) == 0 {
+				continue
+			}
+			id := m.queues[s][0].evs[m.qoff[s]].ID
+			if id < minWM && (best < 0 || id < bestID) {
+				best, bestID = s, id
+			}
+		}
+		if best < 0 {
+			break
+		}
+		q := &m.queues[best]
+		m.emit = append(m.emit, (*q)[0].evs[m.qoff[best]])
+		m.qoff[best]++
+		if m.qoff[best] == len((*q)[0].evs) {
+			m.recycle(best, (*q)[0].evs)
+			copy(*q, (*q)[1:])
+			*q = (*q)[:len(*q)-1]
+			m.qoff[best] = 0
+		}
+	}
+	if len(m.emit) == 0 {
+		return
+	}
+	sw := metrics.StartStopwatch()
+	sp := obs.Start(m.reg, "pipeline.shard.merge_ns")
+	ms := m.es.Process(m.emit)
+	sp.End()
+	m.res.CEPTime += sw.Elapsed()
+	m.collect(ms)
+	m.emit = m.emit[:0]
+}
+
+// finished reports end of work: every shard closed and drained, every queue
+// empty.
+func (m *merger) finished() bool {
+	for s := range m.done {
+		if !m.done[s] || len(m.queues[s]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// recycle hands a consumed batch slice back to its shard's free-list ring so
+// the steady-state loop reuses instead of reallocating; if the free ring is
+// full (or the slice useless) the slice just falls to the GC.
+func (m *merger) recycle(s int, evs []event.Event) {
+	if cap(evs) == 0 {
+		return
+	}
+	for i := range evs {
+		evs[i] = event.Event{} // drop payload references before reuse
+	}
+	m.frees[s].TryPush(evs[:0])
+}
+
+func (m *merger) collect(ms []*cep.Match) {
+	for _, match := range ms {
+		m.res.Keys[match.Key()] = true
+		m.res.Matches = append(m.res.Matches, match)
+		if m.onMatch != nil {
+			m.onMatch(match)
+		}
+	}
+}

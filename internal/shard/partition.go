@@ -1,0 +1,26 @@
+package shard
+
+// Partition maps a ticker (event type) to a shard index in [0, shards).
+//
+// The partitioning invariant the whole pipeline rests on: Partition is a
+// pure function of the ticker bytes and the shard count — no map iteration,
+// no per-process seed, no mutable state — so the same ticker lands on the
+// same shard on every run, every host, and every call. That gives each
+// shard a deterministic sub-stream (the differential suite depends on it)
+// and each ticker's events a single owner, which is what makes lock-free
+// per-shard marking state sound.
+//
+// FNV-1a is used for its good avalanche on short ASCII keys; with Zipf-
+// distributed tickers the hot keys spread across shards as well as any
+// stateless hash can (a hot single ticker is inherently serial — see
+// DESIGN.md §11).
+func Partition(ticker string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(ticker); i++ {
+		h = (h ^ uint32(ticker[i])) * 16777619
+	}
+	return int(h % uint32(shards))
+}

@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPartitionPure asserts the partitioning invariant: the shard of a
+// ticker is a pure function of its bytes and the shard count — stable
+// across calls, across fresh string allocations, and within range. A golden
+// table pins the exact FNV-1a placement so an accidental hash or iteration-
+// order change fails loudly rather than silently reshuffling every key.
+func TestPartitionPure(t *testing.T) {
+	tickers := []string{"S0", "S1", "S17", "A", "B", "GOOG", "", "S0"}
+	for _, tk := range tickers {
+		for _, shards := range []int{1, 2, 3, 8, 64} {
+			first := Partition(tk, shards)
+			if first < 0 || first >= shards {
+				t.Fatalf("Partition(%q,%d) = %d out of range", tk, shards, first)
+			}
+			for i := 0; i < 100; i++ {
+				// Rebuild the string so interning or pointer identity can't
+				// mask a hash that isn't content-based.
+				rebuilt := string(append([]byte(nil), tk...))
+				if got := Partition(rebuilt, shards); got != first {
+					t.Fatalf("Partition(%q,%d) unstable: %d then %d", tk, shards, first, got)
+				}
+			}
+		}
+	}
+	golden := map[string]int{"S0": 6, "S1": 1, "A": 4, "B": 5, "GOOG": 1, "": 5}
+	for tk, want := range golden {
+		if got := Partition(tk, 8); got != want {
+			t.Fatalf("Partition(%q,8) = %d, want %d (hash function changed?)", tk, got, want)
+		}
+	}
+}
+
+// TestPartitionSpreads sanity-checks that distinct tickers do not all pile
+// onto one shard.
+func TestPartitionSpreads(t *testing.T) {
+	const shards = 8
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		seen[Partition(fmt.Sprintf("S%d", i), shards)] = true
+	}
+	if len(seen) < shards/2 {
+		t.Fatalf("64 tickers landed on only %d of %d shards", len(seen), shards)
+	}
+}

@@ -1,0 +1,191 @@
+// Package shard is the key-sharded serving pipeline: events are hash-
+// partitioned by ticker onto shard-per-core workers, each owning a cloned
+// filter, an nn.Scratch arena, and K-window batched marking, with a single
+// merge stage running the CEP engines over the globally ID-ordered relayed
+// stream. Stages connect through bounded single-producer/single-consumer
+// rings — no cross-shard locking on the hot path. DESIGN.md §11 documents
+// the partitioning invariant and ownership rules; the differential suite in
+// shard_test.go proves the whole pipeline decision-identical to the
+// sequential core.Processor.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a bounded single-producer/single-consumer queue. Exactly one
+// goroutine may call Push/TryPush/Close and exactly one may call Pop/TryPop;
+// under that contract the hot path is two atomic loads and one atomic store
+// per operation, with cached peer indices so an uncontended streak touches
+// only one shared cache line.
+//
+// Backpressure never drops: Push blocks (parks on a condvar, no spinning —
+// essential on single-core hosts) while the ring is full. Close is
+// producer-side and drains cleanly: Pop keeps returning queued items and
+// reports !ok only once the ring is both closed and empty.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head is the consumer cursor (next slot to pop), tail the producer
+	// cursor (next slot to fill). Each is written by exactly one side;
+	// cachedHead/cachedTail are that side's last snapshot of the peer, so
+	// the shared counters are re-read only when the snapshot says full/empty.
+	head       atomic.Uint64
+	tail       atomic.Uint64
+	cachedHead uint64 // producer-owned snapshot of head
+	cachedTail uint64 // consumer-owned snapshot of tail
+	closed     atomic.Bool
+
+	// Parking (slow path). waiters counts goroutines between "decided to
+	// sleep" and "woke": the fast path wakes the peer only when it is
+	// nonzero, so an uncontended Push/Pop never touches the mutex. The
+	// Dekker-style ordering that makes this safe: a parking side increments
+	// waiters (sequentially consistent) and then re-checks the cursor before
+	// sleeping; the waking side publishes its cursor first and then loads
+	// waiters. Whichever wrote first is seen by the other, so either the
+	// parker observes the new cursor and skips the sleep, or the waker
+	// observes waiters != 0 and broadcasts (under the mutex, which the
+	// parker holds from re-check to Wait, closing the remaining window).
+	mu      sync.Mutex
+	cond    sync.Cond
+	waiters atomic.Int32
+}
+
+// NewRing builds a ring with capacity 2^bits (bits in [1, 20]).
+func NewRing[T any](bits int) *Ring[T] {
+	if bits < 1 || bits > 20 {
+		bits = 8
+	}
+	r := &Ring[T]{buf: make([]T, 1<<bits), mask: 1<<bits - 1}
+	r.cond.L = &r.mu
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items. It is exact from either endpoint
+// goroutine and a safe approximation from observers (depth gauges).
+func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// TryPush appends v if the ring has space, reporting whether it did. It
+// returns false on a closed ring.
+func (r *Ring[T]) TryPush(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	tail := r.tail.Load()
+	if tail-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	r.wake()
+	return true
+}
+
+// Push appends v, blocking while the ring is full. It returns false (and
+// discards v) only if the ring is closed.
+func (r *Ring[T]) Push(v T) bool {
+	for {
+		if r.TryPush(v) {
+			return true
+		}
+		if r.closed.Load() {
+			return false
+		}
+		// Full: park until the consumer frees a slot. The re-check inside
+		// park sees any head advance that raced with the waiters increment.
+		tail := r.tail.Load()
+		r.park(func() bool {
+			return !r.closed.Load() && tail-r.head.Load() >= uint64(len(r.buf))
+		})
+	}
+}
+
+// TryPop removes the next item if one is queued. ok is false when the ring
+// is momentarily empty or closed-and-drained; use Pop to distinguish.
+func (r *Ring[T]) TryPop() (v T, ok bool) {
+	head := r.head.Load()
+	if head == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head == r.cachedTail {
+			return v, false
+		}
+	}
+	idx := head & r.mask
+	v = r.buf[idx]
+	var zero T
+	r.buf[idx] = zero // release references; items may hold event slices
+	r.head.Store(head + 1)
+	r.wake()
+	return v, true
+}
+
+// Pop removes the next item, blocking while the ring is empty. ok is false
+// only once the ring is closed AND fully drained, so close-while-draining
+// loses nothing.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	for {
+		if v, ok = r.TryPop(); ok {
+			return v, true
+		}
+		// Empty. Order matters: load closed before re-checking tail — Close
+		// happens after the producer's final Push, so "closed and still
+		// empty" is terminal.
+		if r.closed.Load() {
+			if v, ok = r.TryPop(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		head := r.head.Load()
+		r.park(func() bool {
+			return !r.closed.Load() && r.tail.Load() == head
+		})
+	}
+}
+
+// Closed reports whether Close has been called. A closed ring may still
+// hold poppable items; consumers pair Closed (read first) with a full drain
+// to detect end of stream.
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }
+
+// Close marks the ring closed and wakes both sides: the producer's end of
+// stream. Queued items stay poppable; Push/TryPush fail from now on.
+func (r *Ring[T]) Close() {
+	r.closed.Store(true)
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// park sleeps while blocked() holds. blocked is re-evaluated under the mutex
+// after the waiters increment, which (with wake's publish-then-check order)
+// rules out lost wakeups.
+func (r *Ring[T]) park(blocked func() bool) {
+	r.mu.Lock()
+	r.waiters.Add(1)
+	for blocked() {
+		r.cond.Wait()
+	}
+	r.waiters.Add(-1)
+	r.mu.Unlock()
+}
+
+// wake broadcasts if — and only if — a peer is parked. The caller has
+// already published its cursor advance, so a parker that raced past the
+// waiters check re-reads the cursor and skips the sleep.
+func (r *Ring[T]) wake() {
+	if r.waiters.Load() == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingWraparound pushes and pops across the index wrap several times at
+// exact capacity, checking FIFO order and Len the whole way.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](3) // capacity 8
+	if r.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", r.Cap())
+	}
+	next := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < r.Cap(); i++ {
+			if !r.TryPush(next + i) {
+				t.Fatalf("round %d: TryPush %d failed on non-full ring", round, i)
+			}
+		}
+		if r.TryPush(-1) {
+			t.Fatal("TryPush succeeded on a full ring")
+		}
+		if r.Len() != r.Cap() {
+			t.Fatalf("Len() = %d at capacity, want %d", r.Len(), r.Cap())
+		}
+		for i := 0; i < r.Cap(); i++ {
+			v, ok := r.TryPop()
+			if !ok || v != next+i {
+				t.Fatalf("round %d: TryPop = %d,%v, want %d,true", round, v, ok, next+i)
+			}
+		}
+		if _, ok := r.TryPop(); ok {
+			t.Fatal("TryPop succeeded on an empty ring")
+		}
+		next += r.Cap()
+	}
+}
+
+// TestRingBackpressureBlocks proves a full ring blocks the producer instead
+// of dropping: the blocked Push completes exactly when the consumer frees a
+// slot, and every value survives in order.
+func TestRingBackpressureBlocks(t *testing.T) {
+	r := NewRing[int](1) // capacity 2
+	r.TryPush(0)
+	r.TryPush(1)
+	pushed := make(chan struct{})
+	go func() {
+		r.Push(2) // must block: ring is full
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("Push returned while the ring was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = %d,%v, want 0,true", v, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Push still blocked after the consumer freed a slot")
+	}
+	for want := 1; want <= 2; want++ {
+		if v, ok := r.Pop(); !ok || v != want {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+// TestRingCloseWhileDraining closes a ring that still holds items: every
+// queued item must remain poppable, further pushes must fail, and only the
+// empty+closed ring reports end of stream.
+func TestRingCloseWhileDraining(t *testing.T) {
+	r := NewRing[int](2)
+	for i := 0; i < 3; i++ {
+		r.TryPush(i)
+	}
+	r.Close()
+	if r.TryPush(99) {
+		t.Fatal("TryPush succeeded after Close")
+	}
+	if r.Push(99) {
+		t.Fatal("Push succeeded after Close")
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop after Close = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop reported an item on a closed, drained ring")
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop reported an item on a closed, drained ring")
+	}
+}
+
+// TestRingCloseUnblocksBothSides parks a producer on a full ring and a
+// consumer on an empty one; Close must wake both.
+func TestRingCloseUnblocksBothSides(t *testing.T) {
+	full := NewRing[int](1)
+	full.TryPush(0)
+	full.TryPush(1)
+	empty := NewRing[int](1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if full.Push(2) {
+			t.Error("Push returned true on a ring closed while blocked")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, ok := empty.Pop(); ok {
+			t.Error("Pop returned a value from a ring closed while empty")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let both park
+	full.Close()
+	empty.Close()
+	wg.Wait()
+}
+
+// TestRingHammer is the -race stress: one producer, one consumer, 1e6 items
+// through a small ring, so every wraparound, backpressure stall, and parking
+// path runs under the race detector. Values must arrive intact and in order.
+func TestRingHammer(t *testing.T) {
+	const n = 1_000_000
+	r := NewRing[uint64](6) // capacity 64: forces heavy contention
+	done := make(chan error, 1)
+	go func() {
+		for i := uint64(0); i < n; i++ {
+			v, ok := r.Pop()
+			if !ok {
+				done <- fmt.Errorf("consumer: ring closed at item %d", i)
+				return
+			}
+			if v != i {
+				done <- fmt.Errorf("consumer: got %d, want %d", v, i)
+				return
+			}
+		}
+		if _, ok := r.Pop(); ok {
+			done <- fmt.Errorf("consumer: item after the last push")
+			return
+		}
+		done <- nil
+	}()
+	for i := uint64(0); i < n; i++ {
+		if !r.Push(i) {
+			t.Fatal("producer: ring closed mid-stream")
+		}
+	}
+	r.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

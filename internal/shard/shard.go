@@ -1,0 +1,499 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/core"
+	"dlacep/internal/event"
+	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
+)
+
+// Options configures a sharded pipeline.
+type Options struct {
+	// Shards is the number of marking workers; events are routed to
+	// Partition(ev.Type, Shards). 0 or 1 runs one shard (still through the
+	// ring machinery, so shards=1 is the apples-to-apples baseline the
+	// benchmarks compare against).
+	Shards int
+	// Batch is K, the number of full marking windows a shard accumulates
+	// before running the filter: with a core.BatchMarker filter the whole
+	// batch goes through nn.Network.InferBatch in one call. Latency-bounded:
+	// a shard whose input ring runs dry marks whatever is staged instead of
+	// waiting for K. 0 means 1 (no batching).
+	Batch int
+	// RingBits sizes every ring at 2^RingBits items; 0 means 8 (256).
+	RingBits int
+	// OnMatch, when set, observes every match as the merge stage emits it.
+	// It is called from the merge goroutine; the caller synchronizes.
+	OnMatch func(*cep.Match)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
+	}
+	if o.RingBits < 1 {
+		o.RingBits = 8
+	}
+	return o
+}
+
+// inMsg is one input-ring element: an event, or (tick > 0) a watermark
+// control message promising that no future event with ID < tick will arrive.
+type inMsg struct {
+	ev   event.Event
+	tick uint64
+}
+
+// relayBatch is one output-ring element: a shard's newly relayed events in
+// ascending ID order, plus the shard's relay watermark — its promise that no
+// future relay from this shard will carry an ID below wm. The merge stage
+// may emit any queued event whose ID is below the minimum watermark across
+// shards, which is what makes the merged stream globally ID-ordered and the
+// match set deterministic regardless of scheduling.
+type relayBatch struct {
+	evs []event.Event
+	wm  uint64
+}
+
+// Pipeline is the sharded serving pipeline. One goroutine (the caller's)
+// dispatches events; Shards worker goroutines assemble per-shard marking
+// windows and run the filter; one merge goroutine k-way-merges the relayed
+// sub-streams by ID and feeds the CEP engines. All stages connect through
+// SPSC rings, so the hot path takes no locks.
+//
+// Push must be called from a single goroutine with strictly increasing event
+// IDs (the same contract as core.Processor). Close flushes everything and
+// returns the aggregate result.
+type Pipeline struct {
+	opts    Options
+	markSz  int
+	workers []*worker
+	merge   *merger
+	joined  chan struct{} // closed when all workers have exited
+	mJoined chan struct{} // closed when the merge goroutine has exited
+
+	lastID    uint64
+	sinceTick int
+	closed    bool
+	wall      metrics.Stopwatch
+}
+
+// New builds and starts a sharded pipeline over pl's configuration, filter,
+// patterns, and observability registry. With Shards > 1 the filter must be
+// cloneable (core.CloneableFilter returning non-nil clones): shard 0 runs
+// pl.Filter itself, every other shard runs its own clone — and therefore its
+// own nn.Scratch arena and batch buffers, confined to that shard's
+// goroutine.
+func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
+	opts = opts.withDefaults()
+	es, err := pl.NewEngineSet()
+	if err != nil {
+		return nil, err
+	}
+	filters := []core.EventFilter{pl.Filter}
+	for len(filters) < opts.Shards {
+		cf, ok := pl.Filter.(core.CloneableFilter)
+		if !ok {
+			return nil, fmt.Errorf("shard: %d shards need a cloneable filter, %T is not", opts.Shards, pl.Filter)
+		}
+		c := cf.CloneFilter()
+		if c == nil {
+			return nil, fmt.Errorf("shard: filter %T does not support cloning (CloneFilter returned nil)", pl.Filter)
+		}
+		filters = append(filters, c)
+	}
+	notify := make(chan struct{}, 1)
+	p := &Pipeline{
+		opts:    opts,
+		markSz:  pl.Cfg.MarkSize,
+		joined:  make(chan struct{}),
+		mJoined: make(chan struct{}),
+		wall:    metrics.StartStopwatch(),
+	}
+	outs := make([]*Ring[relayBatch], opts.Shards)
+	frees := make([]*Ring[[]event.Event], opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		w := newWorker(i, pl.Cfg, filters[i], opts, pl.Obs, notify)
+		p.workers = append(p.workers, w)
+		outs[i] = w.out
+		frees[i] = w.free
+	}
+	p.merge = newMerger(es, outs, frees, notify, opts.OnMatch, pl.Obs)
+	running := make(chan struct{}, opts.Shards)
+	for _, w := range p.workers {
+		w := w
+		//dlacep:ignore rawgoroutine joined by Close: worker exit is signaled on p.joined, which Close receives before aggregating
+		go func() {
+			w.run()
+			running <- struct{}{}
+		}()
+	}
+	//dlacep:ignore rawgoroutine joined by Close: counts worker exits then closes p.joined
+	go func() {
+		for i := 0; i < opts.Shards; i++ {
+			<-running
+		}
+		close(p.joined)
+	}()
+	//dlacep:ignore rawgoroutine joined by Close via p.mJoined
+	go func() {
+		p.merge.run()
+		close(p.mJoined)
+	}()
+	return p, nil
+}
+
+// Push routes the event to its ticker's shard, blocking if that shard's ring
+// is full (backpressure, never drops). Every markSize events it also fans a
+// watermark tick to the other shards so a shard that owns only rare tickers
+// still advances the merge frontier instead of damming it.
+func (p *Pipeline) Push(ev event.Event) error {
+	if p.closed {
+		return fmt.Errorf("shard: Push after Close")
+	}
+	s := Partition(ev.Type, p.opts.Shards)
+	if !p.workers[s].in.Push(inMsg{ev: ev}) {
+		return fmt.Errorf("shard: pipeline closed")
+	}
+	p.lastID = ev.ID
+	p.sinceTick++
+	if p.sinceTick >= p.markSz {
+		p.sinceTick = 0
+		for i, w := range p.workers {
+			if i != s {
+				w.in.Push(inMsg{tick: ev.ID + 1})
+			}
+		}
+	}
+	return nil
+}
+
+// Close ends the stream: workers mark their trailing partial windows and
+// drain, the merge stage emits everything and flushes the engines, and the
+// aggregated result — decision-identical to a sequential core.Processor run
+// over the same stream for window-composition-independent filters — is
+// returned. Close blocks until all goroutines have exited.
+func (p *Pipeline) Close() (*core.Result, error) {
+	if p.closed {
+		return nil, fmt.Errorf("shard: double Close")
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		w.in.Close()
+	}
+	<-p.joined
+	<-p.mJoined
+	res := p.merge.res
+	for _, w := range p.workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+		res.EventsTotal += w.total
+		res.EventsRelayed += w.relayedN
+		res.FilterTime += w.filterTime
+	}
+	res.WallTime = p.wall.Elapsed()
+	return res, nil
+}
+
+// worker is one shard: it owns its filter (and through it an nn.Scratch
+// arena and MarkBatch buffers), its window buffer, and its relay state.
+// Nothing here is shared with any other shard — the input ring is written
+// only by the dispatcher, the output and free-list rings only connect to the
+// merge goroutine.
+type worker struct {
+	id     int
+	cfg    core.Config
+	filter core.EventFilter
+	bm     core.BatchMarker // non-nil when filter supports K-window marking
+	batchK int
+	in     *Ring[inMsg]
+	out    *Ring[relayBatch]
+	free   *Ring[[]event.Event]
+	notify chan<- struct{}
+
+	buf     []event.Event
+	pending []event.Event
+	relayed map[uint64]bool
+
+	winFlat []event.Event   // staging arena: K windows of MarkSize events
+	wins    [][]event.Event // views into winFlat, re-sliced per batch
+	upTos   []uint64        // relay bound per staged window
+	staged  int
+
+	lastID   uint64
+	lastTick uint64
+	wm       uint64
+
+	total      int
+	relayedN   int
+	filterTime time.Duration
+	err        error
+
+	inC, relC, dropC *obs.Counter
+	inDepthG         *obs.Gauge
+	markH            *obs.Histogram
+}
+
+func newWorker(id int, cfg core.Config, f core.EventFilter, opts Options, reg *obs.Registry, notify chan<- struct{}) *worker {
+	w := &worker{
+		id:      id,
+		cfg:     cfg,
+		filter:  f,
+		batchK:  opts.Batch,
+		in:      NewRing[inMsg](opts.RingBits),
+		out:     NewRing[relayBatch](opts.RingBits),
+		free:    NewRing[[]event.Event](opts.RingBits),
+		notify:  notify,
+		buf:     make([]event.Event, 0, cfg.MarkSize),
+		relayed: map[uint64]bool{},
+		winFlat: make([]event.Event, opts.Batch*cfg.MarkSize),
+		wins:    make([][]event.Event, opts.Batch),
+		upTos:   make([]uint64, opts.Batch),
+	}
+	w.bm, _ = f.(core.BatchMarker)
+	w.inC = reg.Counter(shardMetric(id, "events.in"))
+	w.relC = reg.Counter(shardMetric(id, "events.relayed"))
+	w.dropC = reg.Counter(shardMetric(id, "events.dropped"))
+	w.inDepthG = reg.Gauge(shardMetric(id, "ring.in.depth"))
+	w.markH = reg.Histogram(shardMetric(id, "mark_ns"))
+	return w
+}
+
+// shardMetric names one shard's metric: "pipeline.shard.<id>.<name>".
+func shardMetric(id int, name string) string {
+	return fmt.Sprintf("pipeline.shard.%d.%s", id, name)
+}
+
+// run is the shard loop: drain the input ring, staging a window every
+// markSize events; mark when K windows are staged or the ring runs dry;
+// park when it stays dry. On a closed-and-drained ring, flush the trailing
+// partial window and hand the merge stage a terminal watermark.
+func (w *worker) run() {
+	for {
+		msg, ok := w.in.TryPop()
+		if !ok {
+			if w.staged > 0 {
+				w.flushBatch()
+			}
+			w.inDepthG.Set(0)
+			msg, ok = w.in.Pop() // parks until input or close
+			if !ok {
+				break
+			}
+		}
+		if msg.tick > 0 {
+			w.onTick(msg.tick)
+			continue
+		}
+		w.onEvent(msg.ev)
+	}
+	w.finish()
+}
+
+func (w *worker) onEvent(ev event.Event) {
+	if w.err != nil {
+		return // poisoned: drain without processing so the dispatcher never blocks
+	}
+	if !ev.IsBlank() {
+		w.total++
+		w.inC.Inc()
+	}
+	w.lastID = ev.ID
+	w.buf = append(w.buf, ev)
+	if len(w.buf) < w.cfg.MarkSize {
+		return
+	}
+	// Stage a copy of the full window; the live buffer advances by StepSize
+	// underneath it. upTo is the relay bound this window unlocks: the next
+	// window's first ID, or one past the stream so far when the buffer
+	// empties (StepSize == MarkSize) — exactly core.Processor's rule.
+	lo := w.staged * w.cfg.MarkSize
+	win := w.winFlat[lo : lo+w.cfg.MarkSize : lo+w.cfg.MarkSize]
+	copy(win, w.buf)
+	w.wins[w.staged] = win
+	if w.cfg.StepSize < w.cfg.MarkSize {
+		w.upTos[w.staged] = w.buf[w.cfg.StepSize].ID
+	} else {
+		w.upTos[w.staged] = ev.ID + 1
+	}
+	w.staged++
+	keep := len(w.buf) - w.cfg.StepSize
+	copy(w.buf, w.buf[w.cfg.StepSize:])
+	w.buf = w.buf[:keep]
+	if w.staged == w.batchK {
+		w.flushBatch()
+	}
+}
+
+func (w *worker) onTick(tick uint64) {
+	if tick > w.lastTick {
+		w.lastTick = tick
+	}
+	// A tick only helps an idle shard: with nothing buffered or pending,
+	// this shard can promise it will never relay below the tick, letting the
+	// merge frontier pass it by.
+	if w.staged == 0 && len(w.buf) == 0 && len(w.pending) == 0 && w.lastTick > w.wm {
+		w.pushBatch(nil, w.lastTick)
+	}
+}
+
+// flushBatch marks the staged windows — one filter call for the whole batch
+// when the filter is a BatchMarker — and applies each window's decisions in
+// stream order: queue marks, count definitive drops, relay below the
+// window's bound. The relayed events of all staged windows leave as one
+// ID-ascending relayBatch.
+func (w *worker) flushBatch() {
+	wins := w.wins[:w.staged]
+	sw := metrics.StartStopwatch()
+	var marks [][]bool
+	if w.bm != nil {
+		marks = w.bm.MarkBatch(wins)
+	} else {
+		marks = make([][]bool, len(wins))
+		for i, win := range wins {
+			marks[i] = w.filter.Mark(win)
+		}
+	}
+	d := sw.Elapsed()
+	w.filterTime += d
+	w.markH.Observe(d)
+	if len(marks) != len(wins) {
+		w.fail(fmt.Errorf("shard %d: filter returned %d mark rows for %d windows", w.id, len(marks), len(wins)))
+		return
+	}
+	evs, _ := w.free.TryPop() // reuse a slice the merge stage handed back
+	evs = evs[:0]
+	var wm uint64
+	for i, win := range wins {
+		var ok bool
+		if evs, wm, ok = w.applyWindow(win, marks[i], w.cfg.StepSize, w.upTos[i], evs); !ok {
+			return
+		}
+	}
+	w.staged = 0
+	w.inDepthG.Set(float64(w.in.Len()))
+	w.pushBatch(evs, wm)
+}
+
+// applyWindow mirrors core.Processor exactly for one marked window: dedup
+// marks into the ID-sorted pending queue, count events leaving the buffer
+// that no window marked as dropped, then relay (and forget) everything below
+// upTo. leave is how many leading events leave the buffer (StepSize for full
+// windows, the whole window at flush).
+func (w *worker) applyWindow(win []event.Event, marks []bool, leave int, upTo uint64, evs []event.Event) ([]event.Event, uint64, bool) {
+	if len(marks) != len(win) {
+		w.fail(fmt.Errorf("shard %d: filter returned %d marks for %d events", w.id, len(marks), len(win)))
+		return evs, 0, false
+	}
+	for i, m := range marks {
+		if !m || win[i].IsBlank() || w.relayed[win[i].ID] {
+			continue
+		}
+		w.relayed[win[i].ID] = true
+		w.pending = append(w.pending, win[i])
+		for j := len(w.pending) - 1; j > 0 && w.pending[j-1].ID > w.pending[j].ID; j-- {
+			w.pending[j-1], w.pending[j] = w.pending[j], w.pending[j-1]
+		}
+	}
+	if leave > len(win) {
+		leave = len(win)
+	}
+	for _, old := range win[:leave] {
+		if !old.IsBlank() && !w.relayed[old.ID] {
+			w.dropC.Inc()
+		}
+	}
+	i := 0
+	for i < len(w.pending) && w.pending[i].ID < upTo {
+		i++
+	}
+	if i > 0 {
+		for _, ev := range w.pending[:i] {
+			delete(w.relayed, ev.ID) // no future window can re-mark below upTo
+		}
+		evs = append(evs, w.pending[:i]...)
+		w.relayedN += i
+		w.relC.Add(int64(i))
+		keep := copy(w.pending, w.pending[i:])
+		w.pending = w.pending[:keep]
+	}
+	return evs, upTo, true
+}
+
+// finish runs end-of-stream: mark whatever the batch staged plus the
+// trailing partial window, relay everything, and close the output ring
+// behind a terminal watermark so the merge stage can finish this shard.
+func (w *worker) finish() {
+	if w.err == nil {
+		if w.staged > 0 {
+			w.flushBatch()
+		}
+		if w.err == nil && len(w.buf) > 0 {
+			win := w.buf
+			sw := metrics.StartStopwatch()
+			var marks []bool
+			if w.bm != nil {
+				marks = w.bm.MarkBatch([][]event.Event{win})[0]
+			} else {
+				marks = w.filter.Mark(win)
+			}
+			d := sw.Elapsed()
+			w.filterTime += d
+			w.markH.Observe(d)
+			evs, _ := w.free.TryPop()
+			evs = evs[:0]
+			if evs, _, ok := w.applyWindow(win, marks, len(win), math.MaxUint64, evs); ok {
+				w.buf = w.buf[:0]
+				w.pushBatch(evs, math.MaxUint64)
+			}
+		}
+		// Whatever is still pending (possible only on the error path) is
+		// gone; the terminal watermark below tells the merge stage this
+		// shard will never relay again.
+	}
+	w.pushBatch(nil, math.MaxUint64)
+	w.out.Close()
+	w.signal()
+}
+
+// fail poisons the worker: it keeps draining its ring (so the dispatcher
+// never blocks on a dead shard) but marks nothing further; Close reports
+// the error.
+func (w *worker) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// pushBatch hands a relay batch to the merge stage. Pushing can block on a
+// full output ring; the merge stage only ever drains, so this cannot
+// deadlock. Empty batches are sent only to advance the watermark.
+func (w *worker) pushBatch(evs []event.Event, wm uint64) {
+	if wm < w.wm {
+		wm = w.wm
+	}
+	if len(evs) == 0 && wm == w.wm {
+		return
+	}
+	w.wm = wm
+	w.out.Push(relayBatch{evs: evs, wm: wm})
+	w.signal()
+}
+
+// signal nudges the merge goroutine; a full buffer means a wake-up is
+// already in flight.
+func (w *worker) signal() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/obs"
+	"dlacep/internal/pattern"
+)
+
+// The differential contract under test: for window-composition-independent
+// filters (each event's mark is a pure function of the event alone), the
+// sharded pipeline at ANY shard count and batch size makes exactly the
+// decisions of the sequential core.Processor on the same stream — same
+// relayed set, same dropped set, same match-key set. Per-ticker sharding
+// re-cuts the marking windows per sub-stream, so composition-sensitive
+// filters (the BiLSTM event network) only keep this guarantee at shards=1,
+// which TestShardOneEventNetworkIdentical pins.
+
+var shardSchema = event.NewSchema("vol")
+
+var shardPats = []string{
+	"PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8",
+	"PATTERN SEQ(B b, KC(C c), D d) WITHIN 8",
+	"PATTERN CONJ(A a, D d) WITHIN 8",
+}
+
+// hashFilter mirrors core's fuzz filter: marks are a pure function of event
+// ID and salt, so sharding cannot change any decision.
+type hashFilter struct{ salt uint64 }
+
+func (h hashFilter) Mark(w []event.Event) []bool {
+	marks := make([]bool, len(w))
+	for i := range w {
+		marks[i] = !w[i].IsBlank() && (w[i].ID*2654435761+h.salt)%3 != 0
+	}
+	return marks
+}
+
+func (h hashFilter) CloneFilter() core.EventFilter { return h }
+
+func shardCfg() core.Config {
+	return core.Config{MarkSize: 16, StepSize: 8, Hidden: 4, Layers: 1, Seed: 1}
+}
+
+func newCorePipeline(t testing.TB, filter core.EventFilter, reg *obs.Registry) *core.Pipeline {
+	t.Helper()
+	pats := make([]*pattern.Pattern, len(shardPats))
+	for i, src := range shardPats {
+		pats[i] = pattern.MustParse(src)
+	}
+	pl, err := core.NewPipeline(shardSchema, pats, shardCfg(), filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Obs = reg
+	return pl
+}
+
+// runSharded pushes the stream through a sharded pipeline and closes it.
+func runSharded(t testing.TB, filter core.EventFilter, reg *obs.Registry, st *event.Stream, shards, batch int) *core.Result {
+	t.Helper()
+	p, err := New(newCorePipeline(t, filter, reg), Options{Shards: shards, Batch: batch, RingBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Events {
+		if err := p.Push(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runSequential runs the incremental core.Processor reference.
+func runSequential(t testing.TB, filter core.EventFilter, reg *obs.Registry, st *event.Stream) *core.Result {
+	t.Helper()
+	proc, err := newCorePipeline(t, filter, reg).NewProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Events {
+		if _, err := proc.Push(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := proc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return proc.Result()
+}
+
+func requireDecisionIdentical(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Keys, want.Keys) {
+		t.Fatalf("%s: match keys differ: %d sharded vs %d sequential", label, len(got.Keys), len(want.Keys))
+	}
+	if got.EventsTotal != want.EventsTotal || got.EventsRelayed != want.EventsRelayed {
+		t.Fatalf("%s: counts differ: total %d/%d relayed %d/%d", label,
+			got.EventsTotal, want.EventsTotal, got.EventsRelayed, want.EventsRelayed)
+	}
+}
+
+// TestShardDifferentialTable is the deterministic differential suite of the
+// issue's acceptance criteria: shards ∈ {1,2,8} × K ∈ {1,4}, three filters,
+// two stream shapes, all decision-identical to the sequential Processor.
+func TestShardDifferentialTable(t *testing.T) {
+	streams := map[string]*event.Stream{
+		"synthetic": dataset.Synthetic(400, 4, 11),
+		"stock": dataset.Stock(dataset.StockConfig{
+			Events: 400, Tickers: 12, ZipfS: 1.2, Sigma: 0.2, Seed: 7}),
+		"tiny":  dataset.Synthetic(9, 4, 3),  // shorter than one window
+		"exact": dataset.Synthetic(16, 4, 5), // exactly one window
+	}
+	filters := map[string]core.EventFilter{
+		"hash":    hashFilter{salt: 17},
+		"keepall": core.KeepAllFilter{},
+	}
+	for sname, st := range streams {
+		for fname, filter := range filters {
+			want := runSequential(t, filter, nil, st)
+			for _, shards := range []int{1, 2, 8} {
+				for _, batch := range []int{1, 4} {
+					label := fmt.Sprintf("%s/%s/shards=%d/K=%d", sname, fname, shards, batch)
+					got := runSharded(t, filter, nil, st, shards, batch)
+					requireDecisionIdentical(t, label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardOneEventNetworkIdentical pins the strongest single-shard claim:
+// with the real BiLSTM+BiCRF event network (composition-sensitive, marked
+// through MarkBatch and the batched GEMM path at K=4), shards=1 sees exactly
+// the Processor's windows, so even this filter must be decision-identical.
+func TestShardOneEventNetworkIdentical(t *testing.T) {
+	pats := make([]*pattern.Pattern, len(shardPats))
+	for i, src := range shardPats {
+		pats[i] = pattern.MustParse(src)
+	}
+	newNet := func() core.EventFilter {
+		net, err := core.NewEventNetwork(shardSchema, pats, shardCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Threshold = 0.45 // off the 0.5 knife-edge of an untrained net
+		return net
+	}
+	st := dataset.Stock(dataset.StockConfig{Events: 300, Tickers: 6, ZipfS: 1.1, Sigma: 0.3, Seed: 9})
+	want := runSequential(t, newNet(), nil, st)
+	for _, batch := range []int{1, 4} {
+		got := runSharded(t, newNet(), nil, st, 1, batch)
+		requireDecisionIdentical(t, fmt.Sprintf("eventnet/K=%d", batch), got, want)
+	}
+}
+
+// TestShardCounterAccounting extends PR 3's counter-equivalence to shards:
+// per-shard events.in/relayed/dropped counters must sum exactly to the
+// totals the sequential path reports for the same seeded stream, and the
+// in-counter must equal relayed+dropped (no event unaccounted).
+func TestShardCounterAccounting(t *testing.T) {
+	st := dataset.Stock(dataset.StockConfig{Events: 500, Tickers: 10, ZipfS: 1.3, Sigma: 0.25, Seed: 21})
+	filter := hashFilter{salt: 5}
+
+	seqReg := obs.NewRegistry()
+	runSequential(t, filter, seqReg, st)
+
+	const shards = 4
+	shReg := obs.NewRegistry()
+	res := runSharded(t, filter, shReg, st, shards, 4)
+
+	var in, relayed, dropped int64
+	for s := 0; s < shards; s++ {
+		in += shReg.Counter(shardMetric(s, "events.in")).Value()
+		relayed += shReg.Counter(shardMetric(s, "events.relayed")).Value()
+		dropped += shReg.Counter(shardMetric(s, "events.dropped")).Value()
+	}
+	wantIn := seqReg.Counter("pipeline.events.in").Value()
+	wantRel := seqReg.Counter("pipeline.events.relayed").Value()
+	wantDrop := seqReg.Counter("pipeline.events.dropped").Value()
+	if in != wantIn || relayed != wantRel || dropped != wantDrop {
+		t.Fatalf("shard counter sums in/relayed/dropped = %d/%d/%d, sequential = %d/%d/%d",
+			in, relayed, dropped, wantIn, wantRel, wantDrop)
+	}
+	if in != relayed+dropped {
+		t.Fatalf("accounting leak: in=%d != relayed+dropped=%d", in, relayed+dropped)
+	}
+	if res.EventsTotal != int(in) || res.EventsRelayed != int(relayed) {
+		t.Fatalf("Result totals %d/%d disagree with counters %d/%d",
+			res.EventsTotal, res.EventsRelayed, in, relayed)
+	}
+}
+
+// TestShardObsSurface checks the serving metrics the issue requires exist
+// after a run: per-shard mark histograms and ring depth gauges, and the
+// cross-shard merge span.
+func TestShardObsSurface(t *testing.T) {
+	st := dataset.Synthetic(300, 4, 2)
+	reg := obs.NewRegistry()
+	runSharded(t, hashFilter{salt: 1}, reg, st, 2, 2)
+	for s := 0; s < 2; s++ {
+		if reg.Histogram(shardMetric(s, "mark_ns")).Count() == 0 {
+			t.Errorf("shard %d marked no windows according to its histogram", s)
+		}
+	}
+	if reg.Histogram("pipeline.shard.merge_ns").Count() == 0 {
+		t.Error("merge span recorded nothing")
+	}
+}
+
+// TestShardNonCloneableFilterRejected: multi-shard needs filter clones.
+func TestShardNonCloneableFilterRejected(t *testing.T) {
+	type bare struct{ core.EventFilter }
+	pl := newCorePipeline(t, bare{hashFilter{}}, nil)
+	if _, err := New(pl, Options{Shards: 2}); err == nil {
+		t.Fatal("New accepted 2 shards with a non-cloneable filter")
+	}
+	p, err := New(pl, Options{Shards: 1})
+	if err != nil {
+		t.Fatalf("shards=1 must not require cloning: %v", err)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardFilterErrorSurfaces: a filter violating the one-mark-per-event
+// contract must poison its shard without deadlocking the dispatcher, and
+// Close must report the error.
+func TestShardFilterErrorSurfaces(t *testing.T) {
+	pl := newCorePipeline(t, badFilter{}, nil)
+	p, err := New(pl, Options{Shards: 2, RingBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.Synthetic(400, 4, 1)
+	for i := range st.Events {
+		if err := p.Push(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Close(); err == nil {
+		t.Fatal("Close returned nil error for a mark-length-violating filter")
+	}
+}
+
+type badFilter struct{}
+
+func (badFilter) Mark(w []event.Event) []bool   { return make([]bool, len(w)+1) }
+func (badFilter) CloneFilter() core.EventFilter { return badFilter{} }
+
+// FuzzShardEquivalence mirrors FuzzProcessorEquivalence for the sharded
+// pipeline: fuzzed stream shape, shard count, batch size, and filter salt —
+// every combination must be decision-identical to the sequential Processor.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(2), uint8(1), uint64(3))
+	f.Add(int64(7), uint16(16), uint8(8), uint8(4), uint64(0))
+	f.Add(int64(42), uint16(1), uint8(1), uint8(2), uint64(9))
+	f.Add(int64(-5), uint16(333), uint8(3), uint8(7), uint64(17))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, sh, batch uint8, salt uint64) {
+		length := int(n)%400 + 1
+		shards := int(sh)%8 + 1
+		K := int(batch)%4 + 1
+		st := dataset.Synthetic(length, 4, seed)
+		filter := hashFilter{salt: salt}
+		want := runSequential(t, filter, nil, st)
+		got := runSharded(t, filter, nil, st, shards, K)
+		requireDecisionIdentical(t, fmt.Sprintf("shards=%d K=%d", shards, K), got, want)
+	})
+}
