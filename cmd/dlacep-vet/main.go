@@ -104,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(jsonFindings(diags, root)); err != nil {
 			fmt.Fprintf(stderr, "dlacep-vet: %v\n", err)
 			return 2
 		}
@@ -118,6 +118,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable shape of one diagnostic.
+// Paths are module-relative with forward slashes, so the encoded output is
+// byte-identical across checkouts and operating systems; the slice order is
+// the analysis.Run order (file, line, column, analyzer).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonFindings converts diagnostics for -json output. The result is never
+// nil, so a clean run encodes as [] rather than null.
+func jsonFindings(diags []analysis.Diagnostic, root string) []jsonFinding {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := filepath.ToSlash(d.Pos.Filename)
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
 }
 
 // packageFilter turns ./-style patterns into a predicate over

@@ -60,6 +60,44 @@ func boom() { panic("no") }
 	}
 }
 
+// TestJSONGoldenOutput pins the -json byte format against a committed
+// golden file: the fixture module under testdata/golden seeds one finding
+// per contract analyzer (hotalloc, aliasguard, spscowner) plus one from the
+// legacy determinism suite (globalrand), and the encoded output — module-
+// relative slash paths, sorted by file/line/col/analyzer — must be
+// byte-identical across checkouts and operating systems.
+func TestJSONGoldenOutput(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-C", filepath.Join("testdata", "golden"), "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (findings)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-json output diverged from testdata/golden.json\ngot:\n%s\nwant:\n%s", out.String(), golden)
+	}
+	for _, analyzer := range []string{"hotalloc", "aliasguard", "spscowner", "globalrand"} {
+		if !strings.Contains(out.String(), `"analyzer": "`+analyzer+`"`) {
+			t.Errorf("golden output missing a %s finding:\n%s", analyzer, out.String())
+		}
+	}
+
+	// A clean run must encode as an empty array, never null: downstream
+	// tooling (the CI artifact consumer) indexes the result unconditionally.
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-C", filepath.Join("testdata", "golden"), "-json", "-only", "maporder", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("clean -json run: exit %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if out.String() != "[]\n" {
+		t.Errorf("clean -json run = %q, want %q", out.String(), "[]\n")
+	}
+}
+
 func TestRunFlagHandling(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {

@@ -1,0 +1,3 @@
+module dlacep
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package core exercises a legacy determinism analyzer so the golden
+// file covers the pre-existing suite alongside the contract analyzers.
+package core
+
+import "math/rand"
+
+// Jitter uses the process-global RNG, which the determinism contract
+// forbids.
+func Jitter(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,29 @@
+// Package nn is the golden-fixture mirror of the real module's layer
+// surface: just enough for aliasguard and hotalloc to bite, so the JSON
+// golden file exercises both contract analyzers.
+package nn
+
+// Layer is the aliasing-contract interface; Forward must treat x as
+// immutable.
+type Layer interface {
+	Forward(x []float64) []float64
+}
+
+// Scale violates the contract: Forward writes through its input slice.
+type Scale struct{ K float64 }
+
+func (s *Scale) Forward(x []float64) []float64 {
+	for i := range x {
+		x[i] *= s.K
+	}
+	return x
+}
+
+// Apply is a hot-path root that allocates a fresh output slice per call.
+//
+//dlacep:hotpath
+func Apply(l Layer, x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, l.Forward(x))
+	return out
+}

@@ -1,0 +1,15 @@
+// Package shard mirrors the ownership-annotation surface for the JSON
+// golden file.
+package shard
+
+type worker struct {
+	//dlacep:owned
+	staged []int
+}
+
+func (w *worker) push(v int) { w.staged = append(w.staged, v) }
+
+// Drain violates confinement: a plain function touching owned state.
+func Drain(w *worker) int {
+	return len(w.staged)
+}

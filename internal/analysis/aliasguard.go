@@ -1,0 +1,376 @@
+package analysis
+
+// aliasguard enforces the layer aliasing contract documented in
+// internal/nn/layer.go: Forward/Infer/InferBatch implementations must
+// treat their input as immutable. They may return the input unchanged or
+// retain a reference (training caches do), but must never write through
+// it — callers chain layer outputs into layer inputs, and an in-place
+// mutation would silently corrupt the previous layer's output buffer (or,
+// on the fast path, a Scratch arena row another layer still reads).
+//
+// The check is interprocedural. Intra-procedurally it taints the method's
+// parameters and every local that aliases parameter memory (direct copy,
+// element load from a nested slice, re-slice, range over a tainted slice)
+// and flags: assignments through a tainted destination (x[i] = v, *p = v),
+// copy with a tainted destination, and append to a tainted slice (append
+// may write into the caller's backing array when capacity allows). Across
+// calls it computes a module-wide fixpoint of write summaries — which
+// parameter indices each function writes through, directly or via its
+// callees — and flags call sites that pass a tainted value in a written
+// position. Interface calls use the CHA callee set, so passing the input
+// to any possibly-dispatched implementation that writes it is caught.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// aliasGuardMethods are the layer entry points bound by the contract.
+var aliasGuardMethods = map[string]bool{"Forward": true, "Infer": true, "InferBatch": true}
+
+var AliasGuard = &Analyzer{
+	Name: "aliasguard",
+	Doc:  "Layer Forward/Infer implementations must not write through their input",
+	RunModule: func(p *ModulePass) {
+		layer := lookupLayerInterface(p.Module)
+		if layer == nil {
+			return // no nn.Layer in this tree; nothing to enforce
+		}
+		g := p.Graph()
+		summaries := writeSummaries(g)
+
+		for _, n := range g.Nodes() { // deterministic order
+			sig := n.Fn.Type().(*types.Signature)
+			recv := sig.Recv()
+			if recv == nil || !aliasGuardMethods[n.Fn.Name()] {
+				continue
+			}
+			if !implementsLayer(recv.Type(), layer) {
+				continue
+			}
+			checkAliasBody(p, g, n, summaries)
+		}
+	},
+}
+
+// lookupLayerInterface resolves the module's nn.Layer contract interface.
+func lookupLayerInterface(m *Module) *types.Interface {
+	for _, pkg := range m.Pkgs {
+		if pkg.Rel != "internal/nn" {
+			continue
+		}
+		if tn, ok := pkg.Types.Scope().Lookup("Layer").(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// implementsLayer reports whether the receiver type (or its pointer)
+// implements the Layer interface.
+func implementsLayer(recv types.Type, layer *types.Interface) bool {
+	if types.Implements(recv, layer) {
+		return true
+	}
+	if _, ok := recv.(*types.Pointer); !ok {
+		return types.Implements(types.NewPointer(recv), layer)
+	}
+	return false
+}
+
+// paramWrites records which parameter indices a function writes through.
+// Index recvWrite stands for the method receiver.
+type paramWrites map[int]bool
+
+const recvWrite = -1
+
+// writeSummaries computes, for every module function, the set of parameter
+// indices it writes through — directly or transitively via callees — as a
+// fixpoint over the call graph. Interface call sites union all CHA callees.
+func writeSummaries(g *CallGraph) map[*CGNode]paramWrites {
+	sums := map[*CGNode]paramWrites{}
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		sums[n] = paramWrites{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if summarizeWrites(g, n, sums) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// summarizeWrites recomputes one function's write summary; reports growth.
+func summarizeWrites(g *CallGraph, n *CGNode, sums map[*CGNode]paramWrites) bool {
+	sig := n.Fn.Type().(*types.Signature)
+	paramIdx := map[*types.Var]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIdx[sig.Params().At(i)] = i
+	}
+	taint := newTaintTracker(n.Pkg.Info)
+	for v, i := range paramIdx {
+		if refLike(v.Type()) {
+			taint.seed(v, i)
+		}
+	}
+	if recv := sig.Recv(); recv != nil && refLike(recv.Type()) {
+		taint.seed(recv, recvWrite)
+	}
+	taint.propagate(n.Decl.Body)
+
+	grew := false
+	mark := func(i int) {
+		if !sums[n][i] {
+			sums[n][i] = true
+			grew = true
+		}
+	}
+	forEachAliasWrite(g, n, taint, sums, func(_ token.Pos, src int, _ string) {
+		mark(src)
+	})
+	return grew
+}
+
+// checkAliasBody reports every write through parameter memory in one
+// contract method.
+func checkAliasBody(p *ModulePass, g *CallGraph, n *CGNode, sums map[*CGNode]paramWrites) {
+	sig := n.Fn.Type().(*types.Signature)
+	taint := newTaintTracker(n.Pkg.Info)
+	names := map[int]string{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		// The contract covers the data inputs — slices/matrices flowing
+		// between layers. Pointer-to-struct parameters (the *Scratch arena)
+		// are working state the callee is entitled to mutate.
+		v := sig.Params().At(i)
+		if sliceLike(v.Type()) {
+			taint.seed(v, i)
+			names[i] = v.Name()
+		}
+	}
+	taint.propagate(n.Decl.Body)
+	forEachAliasWrite(g, n, taint, sums, func(pos token.Pos, src int, how string) {
+		p.Reportf(pos, "%s writes through input parameter %q (%s); the layer contract requires inputs to be treated as immutable",
+			n.FuncName(), names[src], how)
+	})
+}
+
+// forEachAliasWrite invokes found for every construct in n's body that
+// writes through tainted (parameter-aliasing) memory: index/star
+// assignment, copy destination, append destination, and call sites whose
+// callee summary writes the corresponding parameter.
+func forEachAliasWrite(g *CallGraph, n *CGNode, taint *taintTracker, sums map[*CGNode]paramWrites, found func(pos token.Pos, srcParam int, how string)) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				switch dst := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if src, ok := taint.of(dst.X); ok {
+						found(lhs.Pos(), src, "element assignment")
+					}
+				case *ast.StarExpr:
+					if src, ok := taint.of(dst.X); ok {
+						found(lhs.Pos(), src, "pointer store")
+					}
+				case *ast.SelectorExpr:
+					// field write through a tainted pointer/struct alias
+					if src, ok := taint.of(dst.X); ok {
+						found(lhs.Pos(), src, "field assignment")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(node.X).(*ast.IndexExpr); ok {
+				if src, ok := taint.of(ix.X); ok {
+					found(node.Pos(), src, "element update")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "copy":
+						if len(node.Args) > 0 {
+							if src, ok := taint.of(node.Args[0]); ok {
+								found(node.Args[0].Pos(), src, "copy destination")
+							}
+						}
+					case "append":
+						if len(node.Args) > 0 {
+							if src, ok := taint.of(node.Args[0]); ok {
+								found(node.Args[0].Pos(), src, "append may write into the caller's backing array")
+							}
+						}
+					case "clear":
+						if len(node.Args) > 0 {
+							if src, ok := taint.of(node.Args[0]); ok {
+								found(node.Args[0].Pos(), src, "clear")
+							}
+						}
+					}
+					return true
+				}
+			}
+			// Interprocedural: passing a tainted value in a position the
+			// callee (any CHA callee, for interface calls) writes through.
+			targets, _ := g.ResolveCall(n.Pkg, node)
+			if len(targets) == 0 {
+				return true
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if src, ok := taint.of(sel.X); ok {
+					for _, tgt := range targets {
+						if sums[tgt.To][recvWrite] {
+							found(node.Pos(), src, "calls "+tgt.To.FuncName()+" which mutates its receiver")
+							break
+						}
+					}
+				}
+			}
+			for i, arg := range node.Args {
+				src, ok := taint.of(arg)
+				if !ok {
+					continue
+				}
+				for _, tgt := range targets {
+					if sums[tgt.To][i] {
+						found(arg.Pos(), src, "passed to "+tgt.To.FuncName()+" which writes through this parameter")
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintTracker is a flow-insensitive intra-procedural alias tracker: it
+// maps local variables to the parameter index whose memory they may alias.
+type taintTracker struct {
+	info *types.Info
+	vars map[*types.Var]int
+}
+
+func newTaintTracker(info *types.Info) *taintTracker {
+	return &taintTracker{info: info, vars: map[*types.Var]int{}}
+}
+
+func (t *taintTracker) seed(v *types.Var, param int) { t.vars[v] = param }
+
+// of resolves an expression to the parameter it aliases, unwrapping
+// element loads, re-slices, and parens.
+func (t *taintTracker) of(e ast.Expr) (int, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := t.info.Uses[e].(*types.Var); ok {
+			if i, ok := t.vars[v]; ok {
+				return i, true
+			}
+		}
+	case *ast.IndexExpr:
+		return t.of(e.X)
+	case *ast.SliceExpr:
+		return t.of(e.X)
+	case *ast.StarExpr:
+		return t.of(e.X)
+	}
+	return 0, false
+}
+
+// propagate spreads taint through simple aliasing assignments and range
+// statements until a fixpoint (two passes suffice for the tracked forms,
+// but iterate to be safe on chained aliases declared out of order).
+func (t *taintTracker) propagate(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true
+				}
+				for i, lhs := range node.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var v *types.Var
+					if node.Tok == token.DEFINE {
+						v, _ = t.info.Defs[id].(*types.Var)
+					} else {
+						v, _ = t.info.Uses[id].(*types.Var)
+					}
+					if v == nil {
+						continue
+					}
+					if src, ok := t.of(node.Rhs[i]); ok && refLike(v.Type()) {
+						if _, seen := t.vars[v]; !seen {
+							t.vars[v] = src
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value == nil {
+					return true
+				}
+				id, ok := ast.Unparen(node.Value).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, _ := t.info.Defs[id].(*types.Var)
+				if v == nil {
+					v, _ = t.info.Uses[id].(*types.Var)
+				}
+				if v == nil || !refLike(v.Type()) {
+					return true
+				}
+				if src, ok := t.of(node.X); ok {
+					if _, seen := t.vars[v]; !seen {
+						t.vars[v] = src
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sliceLike reports whether t is a slice or map at any nesting level
+// reachable without a pointer indirection — the tensor shapes the layer
+// contract protects ([]float64, [][]float64, [][][]float64, maps).
+func sliceLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// refLike reports whether values of type t can alias caller memory:
+// slices, maps, pointers, and composites containing them. Scalars and
+// strings are value-copied, so writes to them cannot leak out.
+func refLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	case *types.Array:
+		return false // arrays are copied by value
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refLike(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

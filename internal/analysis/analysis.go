@@ -37,6 +37,12 @@ type Analyzer struct {
 	AppliesTo func(rel string) bool
 
 	Run func(*Pass)
+
+	// RunModule, when set, runs once over the whole module instead of
+	// per-package. Interprocedural analyzers (hotalloc, aliasguard,
+	// spscowner) use it to share the call graph and annotation table.
+	// An analyzer defines Run or RunModule, not both.
+	RunModule func(*ModulePass)
 }
 
 // Pass carries one type-checked package to an Analyzer.
@@ -65,6 +71,45 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModulePass carries the whole loaded module to a module-level Analyzer,
+// plus the shared interprocedural state (call graph, annotation table)
+// built at most once per Run invocation.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Fset     *token.FileSet
+
+	shared *moduleShared
+	diags  *[]Diagnostic
+}
+
+// moduleShared is the state shared by all module analyzers of one Run.
+type moduleShared struct {
+	m     *Module
+	graph *CallGraph
+	ann   *annotations
+}
+
+// Graph returns the module call graph, building it on first use.
+func (p *ModulePass) Graph() *CallGraph {
+	if p.shared.graph == nil {
+		p.shared.graph = BuildCallGraph(p.shared.m)
+	}
+	return p.shared.graph
+}
+
+// Annotations returns the parsed module annotation table.
+func (p *ModulePass) Annotations() *annotations { return p.shared.ann }
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one reported finding, positioned in the loaded FileSet.
 type Diagnostic struct {
 	Pos      token.Position
@@ -81,8 +126,7 @@ const IgnoreDirective = "//dlacep:ignore"
 
 // suppression is one parsed //dlacep:ignore directive.
 type suppression struct {
-	file     string
-	line     int
+	pos      token.Position // directive position (pos.Filename/pos.Line locate it)
 	analyzer string
 	reason   string
 }
@@ -112,7 +156,7 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, 
 				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "ignore",
 					Message: fmt.Sprintf("ignore directive for %q is missing a reason", name)})
 			default:
-				sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzer: name, reason: reason})
+				sups = append(sups, suppression{pos: pos, analyzer: name, reason: reason})
 			}
 		}
 	}
@@ -122,11 +166,15 @@ func parseSuppressions(fset *token.FileSet, f *ast.File, known map[string]bool, 
 // Run applies analyzers to every package of m and returns the surviving
 // findings sorted by position. A finding is dropped when a well-formed
 // //dlacep:ignore directive for its analyzer sits on the same line or the
-// line directly above.
+// line directly above. A suppression for a *selected* analyzer that
+// silences nothing is itself reported (stale-suppression check), so
+// audited exemptions cannot outlive the diagnostics they were written for.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{}
+	selected := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		selected[a.Name] = true
 	}
 	// Directive validation is always performed against the full registry,
 	// so running a subset (dlacep-vet -only=...) does not misreport
@@ -137,11 +185,15 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 
 	var raw, kept []Diagnostic
 	var sups []suppression
+	shared := &moduleShared{m: m, ann: collectAnnotations(m, &kept)}
 	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
 			sups = append(sups, parseSuppressions(m.Fset, f, known, &kept)...)
 		}
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Rel) {
 				continue
 			}
@@ -157,20 +209,40 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Module: m, Fset: m.Fset, shared: shared, diags: &raw})
+	}
 
+	used := make([]bool, len(sups))
 	suppressed := func(d Diagnostic) bool {
-		for _, s := range sups {
-			if s.analyzer == d.Analyzer && s.file == d.Pos.Filename &&
-				(s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
-				return true
+		hit := false
+		for i, s := range sups {
+			if s.analyzer == d.Analyzer && s.pos.Filename == d.Pos.Filename &&
+				(s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1) {
+				used[i] = true
+				hit = true
 			}
 		}
-		return false
+		return hit
 	}
 	for _, d := range raw {
 		if !suppressed(d) {
 			kept = append(kept, d)
 		}
+	}
+	// Stale-suppression check: a directive for an analyzer that ran in this
+	// invocation but matched no raw diagnostic is dead weight — the code it
+	// excused has changed. Unselected analyzers are skipped so partial runs
+	// (dlacep-vet -only=...) do not misreport live suppressions.
+	for i, s := range sups {
+		if used[i] || !selected[s.analyzer] {
+			continue
+		}
+		kept = append(kept, Diagnostic{Pos: s.pos, Analyzer: "ignore",
+			Message: fmt.Sprintf("stale suppression: no %s diagnostic fires on this line or the line below; delete the directive", s.analyzer)})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

@@ -15,6 +15,9 @@ func TestGlobalRandFixture(t *testing.T)   { runFixture(t, GlobalRand, "globalra
 func TestMapOrderFixture(t *testing.T)     { runFixture(t, MapOrder, "maporder") }
 func TestRawGoroutineFixture(t *testing.T) { runFixture(t, RawGoroutine, "rawgoroutine") }
 func TestLibPanicFixture(t *testing.T)     { runFixture(t, LibPanic, "libpanic") }
+func TestHotAllocFixture(t *testing.T)     { runFixture(t, HotAlloc, "hotalloc") }
+func TestAliasGuardFixture(t *testing.T)   { runFixture(t, AliasGuard, "aliasguard") }
+func TestSPSCOwnerFixture(t *testing.T)    { runFixture(t, SPSCOwner, "spscowner") }
 
 // writeTree materializes a miniature module in a temp dir.
 func writeTree(t *testing.T, files map[string]string) string {
@@ -159,15 +162,19 @@ func TestRealModuleClean(t *testing.T) {
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunModule == nil) {
 			t.Errorf("analyzer %+v incompletely defined", a)
+		}
+		if a.Run != nil && a.RunModule != nil {
+			t.Errorf("analyzer %q defines both Run and RunModule", a.Name)
 		}
 		if names[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"floatcmp", "globalrand", "maporder", "rawgoroutine", "libpanic"} {
+	for _, want := range []string{"floatcmp", "globalrand", "maporder", "rawgoroutine", "libpanic",
+		"hotalloc", "aliasguard", "spscowner"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from registry", want)
 		}

@@ -1,0 +1,214 @@
+package analysis
+
+// Contract annotations. Beyond the line-level //dlacep:ignore suppressions,
+// the interprocedural analyzers are driven by three directive comments:
+//
+//	//dlacep:hotpath
+//	    On a function declaration: this function is a hot-path root. It and
+//	    everything it statically reaches (call-graph closure, interface
+//	    calls resolved by method-set analysis) must not allocate; hotalloc
+//	    enforces the contract.
+//
+//	//dlacep:coldpath <reason>
+//	    An audited exemption from the hot-path closure. On a function
+//	    declaration it exempts the whole function: hotalloc neither checks
+//	    its body nor traverses its callees. On a statement line (the line
+//	    itself or the line above) it prunes the call edges originating on
+//	    that line and skips that line's checks. The reason is mandatory —
+//	    cold paths are the audited boundary of the no-allocation proof.
+//
+//	//dlacep:owned
+//	    On a struct field: the field is single-goroutine state, owned by
+//	    whichever goroutine runs the type's methods. spscowner rejects
+//	    accesses from other types' methods, from plain functions (except
+//	    construction-local access to a not-yet-published instance), and
+//	    from go statement bodies.
+//
+// Malformed directives (a coldpath without a reason, unknown directive
+// arguments) are reported through the same "ignore" pseudo-analyzer as
+// malformed suppressions, so annotations cannot rot silently.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	HotPathDirective  = "//dlacep:hotpath"
+	ColdPathDirective = "//dlacep:coldpath"
+	OwnedDirective    = "//dlacep:owned"
+)
+
+// directiveLines returns the set of source lines (per file) carrying a
+// given directive prefix, mapping position to the trailing argument text.
+type directiveSite struct {
+	file string
+	line int
+}
+
+// annotations is the parsed module-wide annotation table, built once per
+// Run and shared by the interprocedural analyzers.
+type annotations struct {
+	// hotRoots are *types.Func (canonicalized via Origin) of declarations
+	// annotated //dlacep:hotpath.
+	hotRoots map[*types.Func]bool
+	// coldFuncs are declarations annotated //dlacep:coldpath <reason>.
+	coldFuncs map[*types.Func]bool
+	// coldLines are statement-level coldpath sites: checks and call edges
+	// on the annotated line (or the line below the directive) are pruned.
+	coldLines map[directiveSite]bool
+	// owned are struct fields annotated //dlacep:owned, mapped to the
+	// named type that declares them.
+	owned map[*types.Var]*types.Named
+}
+
+// hasDirective reports whether any comment in g is exactly the directive
+// (optionally followed by arguments), returning the argument text.
+func directiveArgs(c *ast.Comment, directive string) (string, bool) {
+	if c.Text == directive {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(c.Text, directive+" "); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+func groupHasDirective(g *ast.CommentGroup, directive string) (string, bool) {
+	if g == nil {
+		return "", false
+	}
+	for _, c := range g.List {
+		if args, ok := directiveArgs(c, directive); ok {
+			return args, true
+		}
+	}
+	return "", false
+}
+
+// collectAnnotations scans the module for contract annotations. Malformed
+// directives are appended to diags under the "ignore" pseudo-analyzer.
+func collectAnnotations(m *Module, diags *[]Diagnostic) *annotations {
+	a := &annotations{
+		hotRoots:  map[*types.Func]bool{},
+		coldFuncs: map[*types.Func]bool{},
+		coldLines: map[directiveSite]bool{},
+		owned:     map[*types.Var]*types.Named{},
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			a.collectFile(m.Fset, pkg, f, diags)
+		}
+	}
+	return a
+}
+
+func (a *annotations) collectFile(fset *token.FileSet, pkg *Package, f *ast.File, diags *[]Diagnostic) {
+	// Function-level directives live in the declaration's doc comment.
+	declDocs := map[*ast.CommentGroup]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Doc != nil {
+				declDocs[n.Doc] = true
+			}
+			fn, _ := pkg.Info.Defs[n.Name].(*types.Func)
+			if fn == nil {
+				return true
+			}
+			fn = origin(fn)
+			if _, ok := groupHasDirective(n.Doc, HotPathDirective); ok {
+				a.hotRoots[fn] = true
+			}
+			if reason, ok := groupHasDirective(n.Doc, ColdPathDirective); ok {
+				if reason == "" {
+					*diags = append(*diags, Diagnostic{Pos: fset.Position(n.Pos()), Analyzer: "ignore",
+						Message: "coldpath directive is missing a reason: want //dlacep:coldpath <reason>"})
+				} else {
+					a.coldFuncs[fn] = true
+				}
+			}
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				_, inDoc := groupHasDirective(field.Doc, OwnedDirective)
+				_, inLine := groupHasDirective(field.Comment, OwnedDirective)
+				if !inDoc && !inLine {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						a.owned[v] = owningNamed(pkg, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Statement-level coldpath directives: anywhere outside a declaration
+	// doc comment. They cover their own line and the line below, mirroring
+	// //dlacep:ignore placement.
+	for _, cg := range f.Comments {
+		isDoc := declDocs[cg]
+		for _, c := range cg.List {
+			reason, ok := directiveArgs(c, ColdPathDirective)
+			if !ok {
+				continue
+			}
+			if isDoc {
+				continue // function-level: handled (and validated) above
+			}
+			pos := fset.Position(c.Pos())
+			if reason == "" {
+				*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "ignore",
+					Message: "coldpath directive is missing a reason: want //dlacep:coldpath <reason>"})
+				continue
+			}
+			a.coldLines[directiveSite{pos.Filename, pos.Line}] = true
+			a.coldLines[directiveSite{pos.Filename, pos.Line + 1}] = true
+		}
+	}
+}
+
+// coldAt reports whether a statement-level coldpath directive covers pos.
+func (a *annotations) coldAt(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return a.coldLines[directiveSite{p.Filename, p.Line}]
+}
+
+// owningNamed resolves the named struct type declaring field v, so owned
+// fields can be matched against method receivers.
+func owningNamed(pkg *Package, v *types.Var) *types.Named {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// origin canonicalizes a function object: methods of generic types and
+// generic functions map to their generic declaration, so instantiated
+// calls (Ring[inMsg].Push) resolve to the declared body.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}

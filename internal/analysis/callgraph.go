@@ -1,0 +1,401 @@
+package analysis
+
+// Static call graph over the loaded module, shared by the interprocedural
+// analyzers (hotalloc, aliasguard, spscowner). Nodes are declared functions
+// and methods; edges come from three resolutions:
+//
+//   - direct calls: plain function calls and method calls on concrete
+//     receivers resolve to the single declared callee;
+//   - interface dispatch: a call through an interface method fans out to
+//     the matching method of every module type whose method set implements
+//     the interface (class-hierarchy analysis). This is what lets hotalloc
+//     follow core.EventFilter.Mark or nn.FastLayer.Infer into the concrete
+//     filter and layer implementations. Such edges carry Iface=true so
+//     analyzers needing must-alias precision (spscowner) can restrict
+//     themselves to direct edges;
+//   - closures: calls inside a function literal are attributed to the
+//     enclosing declared function, so reachability flows through worker
+//     bodies spawned as literals.
+//
+// Calls through plain function values (parameters, fields of func type)
+// are not resolvable statically; they are recorded as dynamic call sites
+// so analyzers can flag them in checked regions instead of silently
+// missing them. External (out-of-module) callees have no body and are not
+// traversed. Everything is canonicalized through types.Func.Origin, so
+// instantiations of generic methods (shard.Ring[inMsg].Push) share the
+// generic declaration's node.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CGEdge is one resolved call from a node.
+type CGEdge struct {
+	To    *CGNode
+	Pos   token.Pos // first call site resolving to To
+	Iface bool      // resolved by interface dispatch (CHA), not a direct call
+	// Go marks a call that executes on a spawned goroutine rather than the
+	// caller's: the call of a go statement, or any call inside a go
+	// statement's function-literal body. Ownership-transfer analyses
+	// (spscowner rule c) cut these edges — the spawning function never runs
+	// that code itself — while allocation analyses still traverse them.
+	Go bool
+}
+
+// CGNode is one declared function or method of the module.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Edges are the resolved static callees, deduplicated per target and
+	// sorted by call-site position for determinism.
+	Edges []CGEdge
+
+	// DynamicCalls are call sites through func-typed values that static
+	// analysis cannot resolve.
+	DynamicCalls []token.Pos
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	m     *Module
+	nodes map[*types.Func]*CGNode
+
+	// implCache memoizes CHA interface-implementer lookups.
+	implCache map[*types.Interface][]types.Type
+}
+
+// Node returns the graph node for fn (canonicalized), or nil when fn is
+// not declared in the module.
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[origin(fn)]
+}
+
+// Nodes returns every node sorted by declaration position (deterministic).
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// BuildCallGraph constructs the call graph for the loaded module.
+func BuildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{m: m, nodes: map[*types.Func]*CGNode{}, implCache: map[*types.Interface][]types.Type{}}
+	// Pass 1: nodes for every declared function/method.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[origin(fn)] = &CGNode{Fn: origin(fn), Decl: fd, Pkg: pkg}
+				}
+			}
+		}
+	}
+	// Pass 2: edges.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := g.nodes[origin(fn)]
+				// Calls that run on a spawned goroutine, not in fn itself: the
+				// go statement's own call, and every call lexically inside a
+				// go statement's function-literal body. (Arguments of a go
+				// call are still evaluated by fn, so they stay unmarked.)
+				goCalls := map[*ast.CallExpr]bool{}
+				type span struct{ lo, hi token.Pos }
+				var goBodies []span
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if gs, ok := n.(*ast.GoStmt); ok {
+						goCalls[gs.Call] = true
+						if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+							goBodies = append(goBodies, span{lit.Body.Pos(), lit.Body.End()})
+						}
+					}
+					return true
+				})
+				onGoroutine := func(call *ast.CallExpr) bool {
+					if goCalls[call] {
+						return true
+					}
+					for _, s := range goBodies {
+						if call.Pos() >= s.lo && call.Pos() < s.hi {
+							return true
+						}
+					}
+					return false
+				}
+				seen := map[*CGNode]int{} // target -> index in node.Edges
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					targets, dynamic := g.ResolveCall(pkg, call)
+					if dynamic {
+						node.DynamicCalls = append(node.DynamicCalls, call.Pos())
+					}
+					spawned := onGoroutine(call)
+					for _, tgt := range targets {
+						tgt.Go = spawned
+						if i, ok := seen[tgt.To]; ok {
+							// keep the earliest call site; widen to direct (and
+							// to same-goroutine) if any other call site is
+							if !tgt.Iface {
+								node.Edges[i].Iface = false
+							}
+							if !tgt.Go {
+								node.Edges[i].Go = false
+							}
+							continue
+						}
+						seen[tgt.To] = len(node.Edges)
+						node.Edges = append(node.Edges, tgt)
+					}
+					return true
+				})
+				sort.Slice(node.Edges, func(i, j int) bool { return node.Edges[i].Pos < node.Edges[j].Pos })
+				sort.Slice(node.DynamicCalls, func(i, j int) bool {
+					return node.DynamicCalls[i] < node.DynamicCalls[j]
+				})
+			}
+		}
+	}
+	return g
+}
+
+// ResolveCall statically resolves one call expression to module callees.
+// dynamic reports a call through a func-typed value that cannot be
+// resolved. Builtins, conversions, and external callees yield no targets.
+func (g *CallGraph) ResolveCall(pkg *Package, call *ast.CallExpr) (targets []CGEdge, dynamic bool) {
+	lookup := func(fn *types.Func, iface bool) {
+		if fn == nil {
+			return
+		}
+		if n := g.nodes[origin(fn)]; n != nil {
+			targets = append(targets, CGEdge{To: n, Pos: call.Pos(), Iface: iface})
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func: // direct call
+			lookup(obj, false)
+		case *types.Builtin, *types.TypeName, nil:
+			// builtins and conversions: no edge
+		default:
+			// func-typed variable
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				dynamic = true
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn := sel.Obj().(*types.Func)
+				if iface := interfaceOf(sel.Recv()); iface != nil {
+					for _, impl := range g.implementers(iface) {
+						// fn.Pkg() scopes unexported method names correctly.
+						obj, _, _ := types.LookupFieldOrMethod(impl, true, fn.Pkg(), fn.Name())
+						if m, ok := obj.(*types.Func); ok {
+							lookup(m, true)
+						}
+					}
+				} else {
+					lookup(fn, false)
+				}
+			case types.FieldVal:
+				dynamic = true // calling a func-typed field
+			}
+			return targets, dynamic
+		}
+		// Qualified identifier (pkg.Fn) or func-typed package var.
+		switch obj := pkg.Info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			lookup(obj, false)
+		case *types.Var:
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				dynamic = true
+			}
+		}
+	case *ast.FuncLit:
+		// immediately-invoked literal: body already attributed to caller
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StarExpr, *ast.InterfaceType:
+		// conversion to a composite type: no edge
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// generic instantiation: resolve the instantiated function
+		var base ast.Expr
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			base = ix.X
+		} else {
+			base = fun.(*ast.IndexListExpr).X
+		}
+		switch b := ast.Unparen(base).(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[b].(*types.Func); ok {
+				lookup(fn, false)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pkg.Info.Uses[b.Sel].(*types.Func); ok {
+				lookup(fn, false)
+			}
+		}
+	default:
+		// call of an arbitrary expression (e.g. a returned func)
+		if t := pkg.Info.TypeOf(call.Fun); t != nil {
+			if _, ok := t.Underlying().(*types.Signature); ok {
+				dynamic = true
+			}
+		}
+	}
+	return targets, dynamic
+}
+
+// implementers enumerates the named module types whose method set (value
+// or pointer) implements iface, in deterministic package/name order.
+func (g *CallGraph) implementers(iface *types.Interface) []types.Type {
+	if got, ok := g.implCache[iface]; ok {
+		return got
+	}
+	var out []types.Type
+	for _, pkg := range g.m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if types.Implements(named, iface) {
+				out = append(out, named)
+			} else if ptr := types.NewPointer(named); types.Implements(ptr, iface) {
+				out = append(out, ptr)
+			}
+		}
+	}
+	g.implCache[iface] = out
+	return out
+}
+
+// interfaceOf returns the interface type of t, unwrapping pointers, or nil.
+func interfaceOf(t types.Type) *types.Interface {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return iface
+	}
+	return nil
+}
+
+// Reach computes the call-graph closure from the given roots. skip prunes
+// traversal: a node for which skip returns true is neither visited nor
+// descended into. cut, when non-nil, drops individual edges (used for
+// statement-level //dlacep:coldpath pruning and for direct-edges-only
+// traversals). The result maps each reached node to its BFS parent (roots
+// map to nil), giving analyzers a deterministic witness path.
+func (g *CallGraph) Reach(roots []*CGNode, skip func(*CGNode) bool, cut func(*CGNode, CGEdge) bool) map[*CGNode]*CGNode {
+	parent := map[*CGNode]*CGNode{}
+	var queue []*CGNode
+	sorted := append([]*CGNode(nil), roots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Decl.Pos() < sorted[j].Decl.Pos() })
+	for _, r := range sorted {
+		if r == nil || (skip != nil && skip(r)) {
+			continue
+		}
+		if _, ok := parent[r]; !ok {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			if skip != nil && skip(e.To) {
+				continue
+			}
+			if cut != nil && cut(n, e) {
+				continue
+			}
+			if _, ok := parent[e.To]; ok {
+				continue
+			}
+			parent[e.To] = n
+			queue = append(queue, e.To)
+		}
+	}
+	return parent
+}
+
+// witness renders the shortest recorded call chain from a root to n, for
+// diagnostic messages: "a -> b -> c".
+func witness(parent map[*CGNode]*CGNode, n *CGNode) string {
+	var names []string
+	for at := n; at != nil; at = parent[at] {
+		names = append(names, at.FuncName())
+	}
+	// reverse into root-first order
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	s := ""
+	for i, name := range names {
+		if i > 0 {
+			s += " -> "
+		}
+		s += name
+	}
+	return s
+}
+
+// FuncName renders a node's name as pkg-qualified shorthand ("nn.(*LSTM).Infer").
+func (n *CGNode) FuncName() string {
+	fn := n.Fn
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				return shortPkg(fn) + "(*" + named.Obj().Name() + ")." + name
+			}
+		} else if named, ok := t.(*types.Named); ok {
+			return shortPkg(fn) + named.Obj().Name() + "." + name
+		}
+	}
+	return shortPkg(fn) + name
+}
+
+func shortPkg(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name() + "."
+}

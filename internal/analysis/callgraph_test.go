@@ -1,0 +1,199 @@
+package analysis
+
+import "testing"
+
+// buildGraph loads a miniature tree and returns its call graph plus a
+// node lookup by package-qualified shorthand name.
+func buildGraph(t *testing.T, files map[string]string) (*CallGraph, map[string]*CGNode) {
+	t.Helper()
+	root := writeTree(t, files)
+	m, err := LoadTree(root, "dlacep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(m)
+	byName := map[string]*CGNode{}
+	for _, n := range g.Nodes() {
+		byName[n.FuncName()] = n
+	}
+	return g, byName
+}
+
+func edgeTo(n *CGNode, target *CGNode) (CGEdge, bool) {
+	for _, e := range n.Edges {
+		if e.To == target {
+			return e, true
+		}
+	}
+	return CGEdge{}, false
+}
+
+func TestCallGraphDirectAndCycle(t *testing.T) {
+	g, byName := buildGraph(t, map[string]string{
+		"internal/core/a.go": `package core
+
+func ping(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int {
+	return ping(n)
+}
+
+func entry() int { return ping(3) }
+`,
+	})
+	ping, pong, entry := byName["core.ping"], byName["core.pong"], byName["core.entry"]
+	if ping == nil || pong == nil || entry == nil {
+		t.Fatalf("missing nodes: %v", byName)
+	}
+	if e, ok := edgeTo(ping, pong); !ok || e.Iface {
+		t.Errorf("ping->pong edge: ok=%v iface=%v, want direct edge", ok, e.Iface)
+	}
+	if _, ok := edgeTo(pong, ping); !ok {
+		t.Error("pong->ping back edge missing (cycle)")
+	}
+	// Reachability through the cycle must terminate and cover both nodes.
+	reached := g.Reach([]*CGNode{entry}, nil, nil)
+	if _, ok := reached[ping]; !ok {
+		t.Error("ping not reached from entry")
+	}
+	if _, ok := reached[pong]; !ok {
+		t.Error("pong not reached from entry through the cycle")
+	}
+	if reached[entry] != nil {
+		t.Error("root must map to nil parent")
+	}
+	if w := witness(reached, pong); w != "core.entry -> core.ping -> core.pong" {
+		t.Errorf("witness = %q", w)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g, byName := buildGraph(t, map[string]string{
+		"internal/core/a.go": `package core
+
+type marker interface{ mark(x []int) }
+
+type fast struct{}
+
+func (fast) mark(x []int) {}
+
+type slow struct{ n int }
+
+func (s *slow) mark(x []int) { s.n++ }
+
+func drive(m marker, x []int) { m.mark(x) }
+`,
+	})
+	drive := byName["core.drive"]
+	fastMark := byName["core.fast.mark"]
+	slowMark := byName["core.(*slow).mark"]
+	if drive == nil || fastMark == nil || slowMark == nil {
+		t.Fatalf("missing nodes: %v", byName)
+	}
+	for _, impl := range []*CGNode{fastMark, slowMark} {
+		e, ok := edgeTo(drive, impl)
+		if !ok {
+			t.Errorf("drive lacks CHA edge to %s", impl.FuncName())
+			continue
+		}
+		if !e.Iface {
+			t.Errorf("drive->%s edge not marked as interface dispatch", impl.FuncName())
+		}
+	}
+	// Direct-edge-only traversal must NOT cross interface edges.
+	direct := g.Reach([]*CGNode{drive}, nil, func(_ *CGNode, e CGEdge) bool { return e.Iface })
+	if _, ok := direct[fastMark]; ok {
+		t.Error("direct-only traversal crossed an interface edge")
+	}
+	full := g.Reach([]*CGNode{drive}, nil, nil)
+	if _, ok := full[slowMark]; !ok {
+		t.Error("full traversal missed the CHA callee")
+	}
+}
+
+func TestCallGraphGenericCanonicalization(t *testing.T) {
+	g, byName := buildGraph(t, map[string]string{
+		"internal/shard/a.go": `package shard
+
+type Ring[T any] struct{ buf []T }
+
+func (r *Ring[T]) Push(v T) { r.buf = append(r.buf, v) }
+
+func useInt(r *Ring[int]) { r.Push(1) }
+
+func useStr(r *Ring[string]) { r.Push("a") }
+`,
+	})
+	push := byName["shard.(*Ring).Push"]
+	if push == nil {
+		t.Fatalf("generic Push node missing: %v", byName)
+	}
+	for _, caller := range []string{"shard.useInt", "shard.useStr"} {
+		n := byName[caller]
+		if n == nil {
+			t.Fatalf("missing node %s", caller)
+		}
+		if _, ok := edgeTo(n, push); !ok {
+			t.Errorf("%s does not resolve Ring[...].Push to the generic declaration", caller)
+		}
+	}
+	if got := len(g.Nodes()); got != 3 {
+		t.Errorf("instantiations created extra nodes: %d, want 3", got)
+	}
+}
+
+func TestCallGraphClosureAttributionAndDynamic(t *testing.T) {
+	_, byName := buildGraph(t, map[string]string{
+		"internal/core/a.go": `package core
+
+func helper() {}
+
+func outer(cb func()) {
+	f := func() { helper() }
+	f()
+	cb()
+}
+`,
+	})
+	outer, helper := byName["core.outer"], byName["core.helper"]
+	if outer == nil || helper == nil {
+		t.Fatalf("missing nodes: %v", byName)
+	}
+	if _, ok := edgeTo(outer, helper); !ok {
+		t.Error("call inside function literal not attributed to enclosing declaration")
+	}
+	// f() and cb() are both unresolvable func-value calls.
+	if len(outer.DynamicCalls) != 2 {
+		t.Errorf("got %d dynamic call sites, want 2", len(outer.DynamicCalls))
+	}
+}
+
+func TestCallGraphNodeLookupCanonicalizes(t *testing.T) {
+	g, byName := buildGraph(t, map[string]string{
+		"internal/shard/a.go": `package shard
+
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v }
+
+var Probe = (&Box[int]{}).Get
+`,
+	})
+	get := byName["shard.(*Box).Get"]
+	if get == nil {
+		t.Fatal("generic Get node missing")
+	}
+	// Node() must accept an instantiated method object.
+	inst := g.Node(get.Fn)
+	if inst != get {
+		t.Error("Node(origin) does not round-trip")
+	}
+	if origin(get.Fn) != get.Fn.Origin() && get.Fn.Origin() != nil {
+		t.Error("origin helper disagrees with types.Func.Origin")
+	}
+}

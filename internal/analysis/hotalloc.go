@@ -1,0 +1,352 @@
+package analysis
+
+// hotalloc statically proves the inference fast path's zero-allocation
+// envelope. Functions annotated //dlacep:hotpath are roots; the analyzer
+// takes their call-graph closure (interface calls resolved by CHA, so
+// core.EventFilter.Mark and nn.FastLayer.Infer fan out to every concrete
+// implementation in the module) and flags allocation-capable constructs in
+// every reached body:
+//
+//   - make, new, slice/map composite literals, &composite taking the
+//     address of a literal (escapes in all the patterns we care about);
+//   - append whose destination is a slice freshly created in the function
+//     (per-call growth). Appends into receiver/param/call-result-backed
+//     destinations are exempt: the codebase's amortized grow-to-high-water
+//     buffers (worker staging slices, Scratch arenas) reuse capacity and
+//     settle at zero allocations per operation;
+//   - defer (allocates in loops, forbidden on the hot path regardless);
+//   - function literals (closure captures may force heap allocation);
+//   - fmt.* calls and string concatenation;
+//   - interface boxing at call sites and assignments: converting a
+//     non-pointer, non-interface value to an interface type allocates
+//     unless the escape analyzer gets lucky — the contract forbids it;
+//   - calls through func-typed values: unresolvable statically, so they
+//     are flagged rather than silently trusted.
+//
+// Exemptions: //dlacep:coldpath <reason> on a function declaration removes
+// the function (and its callees, unless reached another way) from the
+// closure; on a statement line it prunes the call edges originating there
+// and skips that line's checks. The obs and metrics packages are the
+// sanctioned always-on telemetry layer — recording is lock-free and
+// allocation-free by design and covered by their own benchmarks — so the
+// closure does not descend into them. External (out-of-module) callees
+// have no body to check and are trusted, except the fmt package which is
+// allocation-by-construction.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotallocSanctioned are module packages the hot-path closure does not
+// descend into: the telemetry layer, benchmarked allocation-free on its
+// own and gated by CI.
+var hotallocSanctioned = map[string]bool{
+	"internal/obs":     true,
+	"internal/metrics": true,
+}
+
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "hot-path closure rooted at //dlacep:hotpath functions must not allocate",
+	RunModule: func(p *ModulePass) {
+		g := p.Graph()
+		ann := p.Annotations()
+
+		var roots []*CGNode
+		for fn := range ann.hotRoots {
+			if n := g.Node(fn); n != nil {
+				roots = append(roots, n)
+			}
+		}
+		skip := func(n *CGNode) bool {
+			return ann.coldFuncs[n.Fn] || hotallocSanctioned[n.Pkg.Rel]
+		}
+		cut := func(_ *CGNode, e CGEdge) bool {
+			return ann.coldAt(p.Fset, e.Pos)
+		}
+		reached := g.Reach(roots, skip, cut)
+
+		for _, n := range g.Nodes() { // deterministic order
+			if _, ok := reached[n]; !ok {
+				continue
+			}
+			checkHotBody(p, n, reached)
+		}
+	},
+}
+
+// checkHotBody flags allocation-capable constructs in one reached function.
+func checkHotBody(p *ModulePass, n *CGNode, reached map[*CGNode]*CGNode) {
+	ann := p.Annotations()
+	info := n.Pkg.Info
+	via := ""
+	if parent := reached[n]; parent != nil {
+		via = " (hot path: " + witness(reached, n) + ")"
+	}
+	report := func(pos token.Pos, msg string) {
+		if ann.coldAt(p.Fset, pos) {
+			return
+		}
+		p.Reportf(pos, "%s%s", msg, via)
+	}
+	inits := localInits(n.Decl)
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.DeferStmt:
+			report(node.Pos(), "defer on the hot path allocates a defer record")
+		case *ast.FuncLit:
+			report(node.Pos(), "function literal on the hot path may heap-allocate its captures")
+		case *ast.GoStmt:
+			// rawgoroutine owns goroutine policy; spawning also allocates
+			report(node.Pos(), "go statement on the hot path allocates a goroutine")
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringType(info.TypeOf(node)) {
+				report(node.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isStringType(info.TypeOf(node.Lhs[0])) {
+				report(node.Pos(), "string concatenation allocates")
+			}
+			checkBoxingAssign(p, n, node, report)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					report(node.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(node).Underlying().(type) {
+			case *types.Slice:
+				report(node.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(node.Pos(), "map literal allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, n, node, inits, report)
+		}
+		return true
+	})
+
+	for _, pos := range n.DynamicCalls {
+		report(pos, "call through a function value cannot be proven allocation-free")
+	}
+}
+
+// checkHotCall handles builtin allocators, fmt, and argument boxing.
+func checkHotCall(p *ModulePass, n *CGNode, call *ast.CallExpr, inits map[*ast.Ident]ast.Expr, report func(token.Pos, string)) {
+	info := n.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+				return
+			case "new":
+				report(call.Pos(), "new allocates")
+				return
+			case "append":
+				if len(call.Args) > 0 && freshLocalSlice(info, call.Args[0], inits) {
+					report(call.Pos(), "append to a slice created in this function allocates per call; reuse a grow-to-high-water buffer")
+				}
+				return
+			}
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkgName, ok := selectorPkg(info, sel); ok && pkgName == "fmt" {
+			report(call.Pos(), "fmt call allocates (formatting state and boxed arguments)")
+			return
+		}
+	}
+	checkBoxingCall(p, n, call, report)
+}
+
+// checkBoxingCall flags non-pointer concrete arguments passed to
+// interface-typed parameters.
+func checkBoxingCall(p *ModulePass, n *CGNode, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := n.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() { // conversion or builtin, not a call
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin
+	}
+	if call.Ellipsis != token.NoPos {
+		return // forwarding a slice; no per-element boxing
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		if boxes(info.TypeOf(arg), pt, info, arg) {
+			report(arg.Pos(), "argument is boxed into an interface parameter (allocates); pass a pointer or restructure the call")
+		}
+	}
+}
+
+// checkBoxingAssign flags assignments that box a concrete non-pointer
+// value into an interface-typed destination.
+func checkBoxingAssign(p *ModulePass, n *CGNode, as *ast.AssignStmt, report func(token.Pos, string)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call assignment: no conversion at this site
+	}
+	info := n.Pkg.Info
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		var dst types.Type
+		if as.Tok == token.DEFINE {
+			continue // declared type is the value's own type; no conversion
+		}
+		dst = info.TypeOf(lhs)
+		if boxes(info.TypeOf(as.Rhs[i]), dst, info, as.Rhs[i]) {
+			report(as.Rhs[i].Pos(), "value is boxed into an interface on assignment (allocates)")
+		}
+	}
+}
+
+// boxes reports whether storing a value of type src into a destination of
+// type dst converts a non-pointer concrete value to an interface.
+func boxes(src, dst types.Type, info *types.Info, expr ast.Expr) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false // already a word-sized reference; no box
+	}
+	if src == types.Typ[types.UntypedNil] {
+		return false
+	}
+	if tv, ok := info.Types[expr]; ok && tv.IsNil() {
+		return false
+	}
+	return true
+}
+
+// localInits maps each variable declared inside fn to its initializer
+// expression (nil when declared without one).
+func localInits(fn *ast.FuncDecl) map[*ast.Ident]ast.Expr {
+	inits := map[*ast.Ident]ast.Expr{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					inits[id] = n.Rhs[i]
+				} else {
+					inits[id] = n.Rhs[0] // multi-value: treat as call-derived
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					inits[name] = n.Values[i]
+				} else {
+					inits[name] = nil
+				}
+			}
+		}
+		return true
+	})
+	// re-key by object via position-independent identity: the caller
+	// resolves uses to defs, so key on the defining ident
+	return inits
+}
+
+// freshLocalSlice reports whether expr names a local slice whose backing
+// array was created inside the function (nil, literal, make, or copy of
+// another fresh local) — appending to it grows per call. Destinations
+// rooted in the receiver, a parameter, a field, an index expression, or a
+// call result are exempt: those follow the amortized reuse discipline.
+func freshLocalSlice(info *types.Info, expr ast.Expr, inits map[*ast.Ident]ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false // field, index, etc. — state-backed
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	// Find the defining ident within this function's init table.
+	for def, init := range inits {
+		if info.Defs[def] != obj {
+			continue
+		}
+		if init == nil {
+			return true // var s []T — fresh nil slice
+		}
+		switch init := ast.Unparen(init).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(init.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[fid].(*types.Builtin); ok {
+					if b.Name() == "make" {
+						return true
+					}
+					if b.Name() == "append" && len(init.Args) > 0 {
+						return freshLocalSlice(info, init.Args[0], inits)
+					}
+				}
+			}
+			return false // call result: callee owns the backing array
+		case *ast.Ident:
+			if init.Name == "nil" {
+				return true
+			}
+			return freshLocalSlice(info, init, inits)
+		default:
+			return false // selector, index, slice expr: state-derived
+		}
+	}
+	// Defined outside the function body (parameter, receiver, package var).
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// selectorPkg resolves sel's qualifier to a package name when sel is a
+// qualified identifier (pkg.Fn), not a field/method selection.
+func selectorPkg(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name(), true
+	}
+	return "", false
+}

@@ -2,7 +2,7 @@ package analysis
 
 // All returns the full dlacep-vet analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatCmp, GlobalRand, LibPanic, MapOrder, RawGoroutine}
+	return []*Analyzer{AliasGuard, FloatCmp, GlobalRand, HotAlloc, LibPanic, MapOrder, RawGoroutine, SPSCOwner}
 }
 
 // ByName resolves a comma-separated analyzer selection against the

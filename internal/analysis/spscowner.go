@@ -1,0 +1,314 @@
+package analysis
+
+// spscowner enforces single-goroutine ownership of shard state. A struct
+// field annotated //dlacep:owned belongs to exactly one goroutine — the
+// one running its declaring type's methods (the shard worker loop owns the
+// worker's filter/scratch/staging state; the ring producer owns cachedHead,
+// the consumer owns cachedTail). The analyzer rejects three escape routes:
+//
+//  a. access from outside the owning method set — a function or another
+//     type's method reading or writing the field. Exemption: construction,
+//     where the instance was built from a composite literal in the same
+//     function and has not yet been handed to a goroutine;
+//  b. access lexically inside a `go` statement's function literal, even
+//     within an owning method — the literal runs on a different goroutine
+//     than the method body;
+//  c. a `go` statement whose spawned call transitively reaches an
+//     owned-field access through *direct* call edges. This is the
+//     ownership handoff point: spawning the owner loop itself is the one
+//     sanctioned pattern, and it must carry an audited //dlacep:ignore so
+//     every handoff is visible in review. Interface-dispatch edges are
+//     excluded from this traversal — CHA over-approximates callees, and
+//     rule (c) exists to mark definite handoffs, not possibilities — and
+//     so are spawned-goroutine edges (CGEdge.Go): code behind a nested go
+//     statement runs on that inner goroutine, whose handoff is audited at
+//     its own spawn site.
+//
+// Generic types are handled by canonicalizing fields and methods to their
+// Origin, so Ring[inMsg].cachedHead and Ring[outMsg].cachedHead are the
+// same owned field.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var SPSCOwner = &Analyzer{
+	Name: "spscowner",
+	Doc:  "//dlacep:owned fields are confined to their owning method set and goroutine",
+	RunModule: func(p *ModulePass) {
+		ann := p.Annotations()
+		if len(ann.owned) == 0 {
+			return
+		}
+		g := p.Graph()
+
+		// accessors: functions whose bodies touch an owned field, for the
+		// rule (c) reachability pass.
+		accessors := map[*CGNode][]*types.Var{}
+
+		for _, pkg := range p.Module.Pkgs {
+			for _, f := range pkg.Files {
+				checkOwnedFile(p, pkg, f, g, accessors)
+			}
+		}
+
+		// Rule (c): go statements that reach owned state via direct edges.
+		for _, pkg := range p.Module.Pkgs {
+			for _, f := range pkg.Files {
+				checkGoHandoffs(p, pkg, f, g, accessors)
+			}
+		}
+	},
+}
+
+// ownedField resolves a selector expression to an annotated field, or nil.
+// Fields of generic instantiations are canonicalized to their origin var.
+func ownedField(ann *annotations, pkg *Package, sel *ast.SelectorExpr) (*types.Var, *types.Named) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	v = v.Origin()
+	owner, ok := ann.owned[v]
+	if !ok {
+		return nil, nil
+	}
+	return v, owner
+}
+
+// checkOwnedFile applies rules (a) and (b) to every owned-field selector
+// in one file, and records accessor functions for rule (c).
+func checkOwnedFile(p *ModulePass, pkg *Package, f *ast.File, g *CallGraph, accessors map[*CGNode][]*types.Var) {
+	ann := p.Annotations()
+	walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field, owner := ownedField(ann, pkg, sel)
+		if field == nil {
+			return true
+		}
+
+		decl := enclosingDecl(stack)
+		if decl != nil {
+			if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+				if node := g.Node(fn); node != nil {
+					accessors[node] = append(accessors[node], field)
+				}
+			}
+		}
+
+		// Rule (b): lexically inside a go statement's function literal.
+		if goLit := enclosingGoLit(stack); goLit != nil {
+			p.Reportf(sel.Sel.Pos(), "owned field %s.%s accessed inside a go statement body; it belongs to the goroutine running %s's methods",
+				owner.Obj().Name(), field.Name(), owner.Obj().Name())
+			return true
+		}
+
+		// Rule (a): outside the owning method set.
+		if decl == nil || !methodOf(pkg, decl, owner) {
+			if constructionLocal(pkg, decl, sel.X, owner) {
+				return true
+			}
+			where := "a plain function"
+			if decl != nil {
+				where = describeDecl(pkg, decl)
+			}
+			p.Reportf(sel.Sel.Pos(), "owned field %s.%s accessed from %s; only %s's own methods may touch it",
+				owner.Obj().Name(), field.Name(), where, owner.Obj().Name())
+		}
+		return true
+	})
+}
+
+// checkGoHandoffs applies rule (c): a go statement whose spawned callee
+// transitively reaches an owned-field access via direct call edges is an
+// ownership handoff and must be explicitly audited.
+func checkGoHandoffs(p *ModulePass, pkg *Package, f *ast.File, g *CallGraph, accessors map[*CGNode][]*types.Var) {
+	// Cut interface edges (CHA over-approximates) and spawned-goroutine
+	// edges: code behind a nested go statement runs on that inner goroutine,
+	// whose handoff is audited at its own spawn site.
+	directOnly := func(_ *CGNode, e CGEdge) bool { return e.Iface || e.Go }
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var roots []*CGNode
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			// go func(){...}(): direct accesses inside are rule (b);
+			// here we chase the literal's outgoing calls.
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				targets, _ := g.ResolveCall(pkg, call)
+				for _, tgt := range targets {
+					if !tgt.Iface {
+						roots = append(roots, tgt.To)
+					}
+				}
+				return true
+			})
+		} else {
+			targets, _ := g.ResolveCall(pkg, gs.Call)
+			for _, tgt := range targets {
+				if !tgt.Iface {
+					roots = append(roots, tgt.To)
+				}
+			}
+		}
+		if len(roots) == 0 {
+			return true
+		}
+		reached := g.Reach(roots, nil, directOnly)
+		for _, node := range g.Nodes() { // deterministic
+			if _, ok := reached[node]; !ok {
+				continue
+			}
+			if len(accessors[node]) == 0 {
+				continue
+			}
+			field := accessors[node][0]
+			p.Reportf(gs.Pos(), "go statement hands off owned state: %s reaches %s which accesses owned field %s; annotate the sanctioned owner-spawn with an audited ignore",
+				roots[0].FuncName(), node.FuncName(), field.Name())
+			return true // one report per go statement
+		}
+		return true
+	})
+}
+
+// enclosingDecl returns the innermost FuncDecl on the stack.
+func enclosingDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// enclosingGoLit returns the function literal of a go statement that
+// lexically encloses the current node, if any.
+func enclosingGoLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 2; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			continue
+		}
+		if gs, ok := stack[i-2].(*ast.GoStmt); ok && gs.Call == call {
+			return lit
+		}
+	}
+	return nil
+}
+
+// methodOf reports whether decl is a method of the named type owner
+// (generic owners match any instantiation's method via Origin).
+func methodOf(pkg *Package, decl *ast.FuncDecl, owner *types.Named) bool {
+	if decl == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Origin() == owner.Origin()
+}
+
+// constructionLocal exempts rule (a) during construction: the selector
+// base resolves to a local variable initialized from a composite literal
+// (&T{...} or T{...}) of the owning type inside the same function — the
+// instance is not yet published to its goroutine.
+func constructionLocal(pkg *Package, decl *ast.FuncDecl, base ast.Expr, owner *types.Named) bool {
+	if decl == nil {
+		return false
+	}
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	fresh := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pkg.Info.Defs[lid] != v || i >= len(as.Rhs) {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				rhs = ast.Unparen(ue.X)
+			}
+			if cl, ok := rhs.(*ast.CompositeLit); ok {
+				if named := namedOf(pkg.Info.TypeOf(cl)); named != nil && named.Origin() == owner.Origin() {
+					fresh = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// namedOf unwraps t to a named type, dereferencing one pointer level.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// describeDecl renders the enclosing declaration for diagnostics.
+func describeDecl(pkg *Package, decl *ast.FuncDecl) string {
+	if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return "method of " + named.Obj().Name()
+			}
+		}
+	}
+	return "function " + decl.Name.Name
+}

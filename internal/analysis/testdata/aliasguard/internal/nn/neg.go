@@ -1,0 +1,45 @@
+// Clean aliasguard fixtures: the contract allows reading the input,
+// retaining a reference to it (training caches), returning it unchanged
+// (identity layers), and passing it to read-only helpers.
+package nn
+
+// sum only reads its parameter.
+func sum(rows [][]float64) float64 {
+	t := 0.0
+	for _, r := range rows {
+		for _, v := range r {
+			t += v
+		}
+	}
+	return t
+}
+
+// Linear allocates its output and caches the input without writing it.
+type Linear struct {
+	w     []float64
+	cache [][]float64
+	gain  float64
+}
+
+func (l *Linear) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		l.cache = x // retaining a reference is allowed
+	}
+	l.gain = sum(x) // read-only helper call is allowed
+	out := make([][]float64, len(x))
+	for t := range x {
+		out[t] = make([]float64, len(x[t]))
+		copy(out[t], x[t]) // tainted source, fresh destination: allowed
+		for j := range out[t] {
+			out[t][j] *= l.w[j%len(l.w)]
+		}
+	}
+	return out
+}
+
+// Identity returns its input unchanged (the Dropout off-path contract).
+type Identity struct{}
+
+func (Identity) Forward(x [][]float64, train bool) [][]float64 {
+	return x
+}

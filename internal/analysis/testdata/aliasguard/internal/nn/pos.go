@@ -1,0 +1,68 @@
+// Positive aliasguard fixtures: Forward/Infer implementations that write
+// through their input, directly, through derived aliases, and through
+// interprocedural call edges (direct and interface-dispatched).
+package nn
+
+// Layer is the contract interface; aliasguard binds Forward/Infer
+// methods of every type implementing it.
+type Layer interface {
+	Forward(x [][]float64, train bool) [][]float64
+}
+
+// Vec gives the receiver-mutation case a named slice type.
+type Vec []float64
+
+// Scale mutates its receiver in place.
+func (v Vec) Scale(f float64) {
+	for i := range v {
+		v[i] *= f
+	}
+}
+
+// scaleRows writes through its first parameter: the direct
+// interprocedural sink.
+func scaleRows(rows [][]float64, f float64) {
+	for _, r := range rows {
+		for j := range r {
+			r[j] *= f
+		}
+	}
+}
+
+type mutator interface{ apply(rows [][]float64) }
+
+type inPlaceMut struct{}
+
+func (inPlaceMut) apply(rows [][]float64) { rows[0][0] = 0 }
+
+// InPlace violates the contract intra-procedurally.
+type InPlace struct {
+	bias []float64
+}
+
+func (l *InPlace) Forward(x [][]float64, train bool) [][]float64 {
+	x[0][0] = l.bias[0] // want "element assignment"
+	row := x[1]
+	copy(row, l.bias) // want "copy destination"
+	for _, r := range x {
+		r[0]++ // want "element update"
+	}
+	_ = append(x[0], 1) // want "append may write into the caller's backing array"
+	return x
+}
+
+// Calls violates the contract only through callees.
+type Calls struct{}
+
+func (l *Calls) Forward(x [][]float64, train bool) [][]float64 {
+	scaleRows(x, 2) // want "passed to nn.scaleRows which writes through this parameter"
+	var m mutator = inPlaceMut{}
+	m.apply(x[1:]) // want "passed to nn.inPlaceMut.apply which writes through this parameter"
+	return x
+}
+
+// Infer methods are bound by the same contract, whatever their signature.
+func (l *Calls) Infer(x Vec) Vec {
+	x.Scale(0.5) // want "calls nn.Vec.Scale which mutates its receiver"
+	return x
+}

@@ -1,0 +1,59 @@
+// Clean hotalloc fixtures: the patterns the analyzer must accept —
+// arena reuse, field-backed amortized growth, audited coldpath and
+// ignore exemptions, and calls into the sanctioned telemetry layer.
+package nn
+
+import (
+	"fmt"
+
+	"dlacep/internal/obs"
+)
+
+// Scratch is a miniature bump arena in the style of the real nn.Scratch.
+type Scratch struct {
+	buf  []float64
+	next int
+}
+
+//dlacep:hotpath
+func (s *Scratch) Take(n int) []float64 {
+	if s.next+n > len(s.buf) {
+		s.grow(n)
+	}
+	out := s.buf[s.next : s.next+n]
+	s.next += n
+	obs.Observe(float64(n)) // sanctioned telemetry package: not traversed
+	return out
+}
+
+// grow is the arena's growth slope: it runs O(log n) times over a
+// process lifetime and settles at zero allocations per operation.
+//
+//dlacep:coldpath arena growth amortizes to zero per-op allocations
+func (s *Scratch) grow(n int) {
+	next := make([]float64, 2*(len(s.buf)+n))
+	copy(next, s.buf)
+	s.buf = next
+}
+
+//dlacep:hotpath
+func (s *Scratch) Reset() {
+	s.next = 0
+	if len(s.buf) == 0 {
+		//dlacep:coldpath first-use initialization, once per arena lifetime
+		s.buf = append([]float64{}, 0)
+	}
+}
+
+//dlacep:hotpath
+func (s *Scratch) Debug() string {
+	//dlacep:ignore hotalloc debug-only formatting, exercised in tests not serving
+	return fmt.Sprintf("next=%d", s.next)
+}
+
+// retired is no longer annotated as a hot root, so the suppression below
+// silences nothing and the stale-suppression check must reject it.
+func retired() []float64 {
+	//dlacep:ignore hotalloc retired from the hot path in a refactor // want "stale suppression"
+	return make([]float64, 4)
+}

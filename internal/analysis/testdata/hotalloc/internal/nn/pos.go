@@ -1,0 +1,82 @@
+// Positive hotalloc fixtures: every construct the analyzer must reject
+// inside the hot-path closure, including bodies reached only through
+// interface dispatch (Dense.Infer via FastLayer) and multi-hop direct
+// edges (describe -> record).
+package nn
+
+import "fmt"
+
+// FastLayer mirrors the real module's fast-path interface; the hot root
+// calls through it, so implementations join the closure by CHA dispatch.
+type FastLayer interface {
+	Infer(x []float64) []float64
+}
+
+// Dense is reached only through the interface call in Network.Infer —
+// the interprocedural dispatch case.
+type Dense struct {
+	out []float64
+}
+
+func (d *Dense) Infer(x []float64) []float64 {
+	d.out = append(d.out, 0)       // field-backed growth: amortized, exempt
+	tmp := make([]float64, len(x)) // want "make allocates"
+	copy(tmp, x)
+	return tmp
+}
+
+type sink interface{ put(v any) }
+
+type nopSink struct{}
+
+func (nopSink) put(v any) { _ = v }
+
+type Network struct {
+	layers []FastLayer
+	name   string
+	tmp    []float64
+}
+
+//dlacep:hotpath
+func (n *Network) Infer(x []float64) []float64 {
+	defer release(n) // want "defer on the hot path"
+	for _, l := range n.layers {
+		x = l.Infer(x)
+	}
+	return describe(n.name, x)
+}
+
+func release(n *Network) { n.tmp = n.tmp[:0] }
+
+// describe is one direct interprocedural hop from the hot root.
+func describe(name string, x []float64) []float64 {
+	msg := name + "!"         // want "string concatenation allocates"
+	fmt.Println(msg)          // want "fmt call allocates"
+	record(nopSink{}, len(x)) // want "boxed into an interface parameter"
+	return x
+}
+
+// record is two interprocedural hops from the root.
+func record(s sink, v int) {
+	s.put(v) // want "boxed into an interface parameter"
+}
+
+//dlacep:hotpath
+func (n *Network) Reset(done func()) {
+	cl := func() { n.name = "" } // want "function literal on the hot path"
+	_ = cl
+	done()                 // want "call through a function value"
+	go release(n)          // want "go statement on the hot path"
+	buf := []float64{1, 2} // want "slice literal allocates"
+	var acc []float64
+	acc = append(acc, buf...) // want "append to a slice created in this function"
+	n.tmp = acc
+	d := new(Dense) // want "new allocates"
+	n.layers = append(n.layers, d)
+	var boxed any
+	boxed = n.name // want "boxed into an interface on assignment"
+	_ = boxed
+}
+
+//dlacep:coldpath
+func badDirective() {} // want "coldpath directive is missing a reason"

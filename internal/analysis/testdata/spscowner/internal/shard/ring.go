@@ -1,0 +1,61 @@
+// spscowner fixtures: a miniature generic SPSC ring. cachedHead/cachedTail
+// are single-goroutine index caches; only Ring's own methods may touch
+// them. Accesses through Ring[int] instantiations must canonicalize to
+// the generic declaration.
+package shard
+
+import "sync/atomic"
+
+type Ring[T any] struct {
+	buf  []T
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	//dlacep:owned
+	cachedHead uint64
+	//dlacep:owned
+	cachedTail uint64
+}
+
+// NewRing constructs a ring; construction-local access to owned fields is
+// exempt — the instance is not yet published to any goroutine.
+func NewRing[T any](n int) *Ring[T] {
+	r := &Ring[T]{buf: make([]T, n)}
+	r.cachedHead = 0
+	r.cachedTail = 0
+	return r
+}
+
+// Push and Pop are the owning method set: unrestricted access.
+func (r *Ring[T]) Push(v T) bool {
+	h := r.head.Load()
+	if h-r.cachedTail >= uint64(len(r.buf)) {
+		r.cachedTail = r.tail.Load()
+		if h-r.cachedTail >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[h%uint64(len(r.buf))] = v
+	r.head.Store(h + 1)
+	return true
+}
+
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	t := r.tail.Load()
+	if t == r.cachedHead {
+		r.cachedHead = r.head.Load()
+		if t == r.cachedHead {
+			return zero, false
+		}
+	}
+	v := r.buf[t%uint64(len(r.buf))]
+	r.tail.Store(t + 1)
+	return v, true
+}
+
+// peek violates rule (a) through a generic instantiation: Ring[int]'s
+// cachedHead must canonicalize to the generic field.
+func peek(r *Ring[int]) uint64 {
+	return r.cachedHead // want "owned field Ring.cachedHead accessed from function peek"
+}

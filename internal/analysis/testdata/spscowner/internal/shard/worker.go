@@ -1,0 +1,71 @@
+// spscowner fixtures: worker-owned staging state. run/flush are the
+// owning loop; the supervisor, goroutine literals, and unaudited
+// owner-spawns are violations.
+package shard
+
+type worker struct {
+	//dlacep:owned
+	pending []int
+	in      *Ring[int]
+}
+
+// run is the owner loop: it reaches the owned field through flush, so a
+// go statement spawning it is an ownership handoff (rule c).
+func (w *worker) run() {
+	for {
+		v, ok := w.in.Pop()
+		if !ok {
+			return
+		}
+		w.stage(v)
+		w.flush()
+	}
+}
+
+func (w *worker) stage(v int) {
+	w.pending = append(w.pending, v)
+}
+
+func (w *worker) flush() {
+	w.pending = w.pending[:0]
+}
+
+// New spawns the owner loop; the handoff is sanctioned and audited.
+func New(n int) *worker {
+	w := &worker{in: NewRing[int](n)}
+	//dlacep:ignore spscowner worker loop goroutine is the single owner of pending
+	go w.run()
+	return w
+}
+
+type supervisor struct {
+	workers []*worker
+}
+
+// steal violates rule (a): another type's method touching owned state.
+func (s *supervisor) steal(w *worker) []int {
+	return w.pending // want "owned field worker.pending accessed from method of supervisor"
+}
+
+// drain violates rule (a) from a plain function (not construction-local:
+// the worker came in from outside).
+func drain(w *worker) {
+	w.pending = nil // want "owned field worker.pending accessed from function drain"
+}
+
+// Spy violates rule (b): the go statement body runs on a different
+// goroutine than the owning method, even though Spy is an owner method.
+func (w *worker) Spy() {
+	go func() {
+		w.pending = nil // want "owned field worker.pending accessed inside a go statement body"
+	}()
+}
+
+// Restart violates rule (c): an unaudited ownership handoff. The spawned
+// run reaches flush and stage, which access the owned field — only
+// through interprocedural call-graph edges.
+func (s *supervisor) Restart() {
+	for _, w := range s.workers {
+		go w.run() // want "go statement hands off owned state"
+	}
+}

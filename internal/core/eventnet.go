@@ -147,6 +147,7 @@ type markBatchBufs struct {
 	marks [][]bool
 }
 
+//dlacep:coldpath grow-only buffer sizing; allocates only while the batch high-water mark rises
 func (b *markBatchBufs) size(nWindows, nEvents, dim int) {
 	if need := nEvents * dim; cap(b.flat) < need {
 		b.flat = make([]float64, need)
@@ -200,10 +201,14 @@ func (n *EventNetwork) Params() []*nn.Param {
 // allocates nothing in steady state.
 func (n *EventNetwork) Marginals(window []event.Event) []float64 {
 	if n.scratch == nil {
+		//dlacep:coldpath one-time lazy arena construction
 		n.scratch = nn.NewScratch()
 	}
+	//dlacep:coldpath per-window embedding allocates; tracked separately from the network fast-path contract
 	em := n.Net.Infer(n.Emb.EmbedWindow(window), n.scratch)
+	//dlacep:coldpath CRF decoding allocates per window; tracked separately from the network fast-path contract
 	m := n.CRF.Marginals(em)
+	//dlacep:ignore hotalloc per-window marginal row escapes to the caller
 	out := make([]float64, len(window))
 	for i := range m {
 		out[i] = m[i][1]
@@ -226,8 +231,11 @@ func (n *EventNetwork) CloneFilter() EventFilter {
 }
 
 // Mark keeps the events whose participation marginal clears Threshold.
+//
+//dlacep:hotpath
 func (n *EventNetwork) Mark(window []event.Event) []bool {
 	probs := n.Marginals(window)
+	//dlacep:ignore hotalloc the Mark contract returns a fresh per-window row to the caller
 	marks := make([]bool, len(window))
 	for i, p := range probs {
 		marks[i] = p >= n.Threshold && !window[i].IsBlank()
@@ -243,11 +251,15 @@ func (n *EventNetwork) Mark(window []event.Event) []bool {
 // same expression — which the shard differential suite relies on. The
 // returned rows live in buffers owned by the filter and are valid only until
 // the next MarkBatch call.
+//
+//dlacep:hotpath
 func (n *EventNetwork) MarkBatch(windows [][]event.Event) [][]bool {
 	if n.scratch == nil {
+		//dlacep:coldpath one-time lazy arena construction
 		n.scratch = nn.NewScratch()
 	}
 	if n.batch == nil {
+		//dlacep:coldpath one-time lazy batch-buffer construction
 		n.batch = &markBatchBufs{}
 	}
 	b := n.batch
@@ -277,6 +289,7 @@ func (n *EventNetwork) MarkBatch(windows [][]event.Event) [][]bool {
 			marks[wi] = b.mflat[off:off:off]
 			continue
 		}
+		//dlacep:coldpath CRF decoding allocates per window; tracked separately from the network fast-path contract
 		m := n.CRF.Marginals(ems[wi])
 		mw := b.mflat[off : off+len(w) : off+len(w)]
 		for i := range m {

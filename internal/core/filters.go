@@ -41,7 +41,9 @@ type WindowToEvent struct {
 
 // Mark relays all or nothing.
 func (w WindowToEvent) Mark(window []event.Event) []bool {
+	//dlacep:ignore hotalloc the Mark contract returns a fresh per-window row to the caller
 	marks := make([]bool, len(window))
+	//dlacep:coldpath window-level filters predate the allocation-free contract; their forward allocates per window
 	if w.F.Applicable(window) {
 		for i := range marks {
 			marks[i] = true
@@ -71,6 +73,8 @@ type OracleFilter struct {
 func (o OracleFilter) CloneFilter() EventFilter { return o }
 
 // Mark returns the ground-truth event labels.
+//
+//dlacep:coldpath ablation-only oracle; ground-truth labeling runs exact CEP and allocates freely
 func (o OracleFilter) Mark(window []event.Event) []bool {
 	labels, err := o.L.EventLabels(window)
 	if err != nil {
@@ -125,6 +129,7 @@ func (t TypeFilter) CloneFilter() EventFilter { return t }
 
 // Mark keeps pattern-relevant types.
 func (t TypeFilter) Mark(window []event.Event) []bool {
+	//dlacep:ignore hotalloc the Mark contract returns a fresh per-window row to the caller
 	marks := make([]bool, len(window))
 	for i := range window {
 		marks[i] = !window[i].IsBlank() && t.types[window[i].Type]
@@ -141,6 +146,7 @@ func (f KeepAllFilter) CloneFilter() EventFilter { return f }
 
 // Mark keeps every non-blank event.
 func (KeepAllFilter) Mark(window []event.Event) []bool {
+	//dlacep:ignore hotalloc the Mark contract returns a fresh per-window row to the caller
 	marks := make([]bool, len(window))
 	for i := range window {
 		marks[i] = !window[i].IsBlank()

@@ -150,6 +150,8 @@ func (p *Processor) Result() *Result { return p.res }
 // nn.Scratch inference arena a network filter owns — sees one window at a
 // time; in steady state the deep filters' forward pass is allocation-free
 // here, exactly as in the parallel worker loops (parallel.go).
+//
+//dlacep:hotpath
 func (p *Processor) markWindow(window []event.Event) error {
 	sw := metrics.StartStopwatch()
 	marks := p.pl.Filter.Mark(window)
@@ -157,6 +159,7 @@ func (p *Processor) markWindow(window []event.Event) error {
 	p.res.FilterTime += elapsed
 	p.pl.Obs.Histogram(metricFilterWindow).Observe(elapsed)
 	if len(marks) != len(window) {
+		//dlacep:coldpath filter-contract violation is terminal, not hot
 		return fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(window))
 	}
 	for i, m := range marks {

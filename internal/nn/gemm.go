@@ -35,6 +35,8 @@ const (
 // rows); its prior contents are overwritten. w is rows×cols in row-major
 // order and every x[t] must have length cols (callers validate via
 // mustDims).
+//
+//dlacep:hotpath
 func seqMulBias(y [][]float64, w []float64, rows, cols int, bias []float64, x [][]float64) {
 	T := len(x)
 	for rb := 0; rb < rows; rb += gemmBlockR {

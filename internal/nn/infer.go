@@ -37,8 +37,11 @@ type FastLayer interface {
 // a layer predating the fast path — falls back to the naive Forward, so
 // Infer is always safe to call. The returned rows are owned by s and are
 // overwritten by the next Infer on the same arena.
+//
+//dlacep:hotpath
 func (n *Network) Infer(x [][]float64, s *Scratch) [][]float64 {
 	if s == nil {
+		//dlacep:coldpath nil-scratch callers opted out of the fast path; the naive Forward allocates by design
 		return n.Forward(x, false)
 	}
 	s.reset()
@@ -53,6 +56,7 @@ func (n *Network) infer(x [][]float64, s *Scratch) [][]float64 {
 		if f, ok := l.(FastLayer); ok {
 			x = f.Infer(x, s)
 		} else {
+			//dlacep:coldpath layers predating the fast path fall back to the allocating naive Forward
 			x = l.Forward(x, false)
 		}
 	}
@@ -60,6 +64,8 @@ func (n *Network) infer(x [][]float64, s *Scratch) [][]float64 {
 }
 
 // Infer runs the recurrence with the fused input projection.
+//
+//dlacep:hotpath
 func (l *LSTM) Infer(x [][]float64, s *Scratch) [][]float64 {
 	hs := s.matrixUninit(len(x), l.hidden) // inferInto writes every element
 	l.inferInto(x, s, hs)
@@ -195,6 +201,8 @@ func (l *LSTM) recurInto(z [][]float64, s *Scratch, hs [][]float64) {
 
 // Infer runs both directions directly into the halves of the concatenated
 // output rows, skipping Forward's per-step copy into a third buffer.
+//
+//dlacep:hotpath
 func (b *BiLSTM) Infer(x [][]float64, s *Scratch) [][]float64 {
 	T, H := len(x), b.Fwd.hidden
 	out := s.matrixUninit(T, 2*H) // both halves fully written below
@@ -210,6 +218,8 @@ func (b *BiLSTM) Infer(x [][]float64, s *Scratch) [][]float64 {
 }
 
 // Infer computes the per-step affine map through the blocked kernel.
+//
+//dlacep:hotpath
 func (l *Linear) Infer(x [][]float64, s *Scratch) [][]float64 {
 	mustDims("linear", x, l.in)
 	y := s.matrixUninit(len(x), l.out) // seqMulBias overwrites every element
@@ -219,6 +229,8 @@ func (l *Linear) Infer(x [][]float64, s *Scratch) [][]float64 {
 
 // Infer averages the sequence into an arena-backed 1×D row. An empty window
 // yields the zero vector (same guard as Forward).
+//
+//dlacep:hotpath
 func (m *MeanPool) Infer(x [][]float64, s *Scratch) [][]float64 {
 	mustDims("meanpool", x, m.dim)
 	out := s.matrix(1, m.dim)
@@ -240,9 +252,13 @@ func (m *MeanPool) Infer(x [][]float64, s *Scratch) [][]float64 {
 
 // Infer is the identity: dropout is only active during training. The output
 // aliases x, which the layer aliasing contract (layer.go) makes safe.
+//
+//dlacep:hotpath
 func (d *Dropout) Infer(x [][]float64, s *Scratch) [][]float64 { return x }
 
 // Infer computes the padded convolution into arena rows.
+//
+//dlacep:hotpath
 func (c *Conv1D) Infer(x [][]float64, s *Scratch) [][]float64 {
 	mustDims("conv1d", x, c.in)
 	T := len(x)
@@ -271,6 +287,8 @@ func (c *Conv1D) Infer(x [][]float64, s *Scratch) [][]float64 {
 }
 
 // Infer rectifies into arena rows without building the training mask.
+//
+//dlacep:hotpath
 func (r *ReLU) Infer(x [][]float64, s *Scratch) [][]float64 {
 	mustDims("relu", x, r.dim)
 	y := s.matrix(len(x), r.dim)
@@ -286,6 +304,8 @@ func (r *ReLU) Infer(x [][]float64, s *Scratch) [][]float64 {
 }
 
 // Infer computes body(x) + skip(x) with the body sharing the window arena.
+//
+//dlacep:hotpath
 func (r *Residual) Infer(x [][]float64, s *Scratch) [][]float64 {
 	y := r.Body.infer(x, s)
 	var skip [][]float64

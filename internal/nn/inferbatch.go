@@ -38,13 +38,17 @@ type BatchFastLayer interface {
 // back to the naive Forward per window, so InferBatch is always safe to call.
 // Returned matrices are owned by s and are overwritten by the next
 // Infer/InferBatch on the same arena.
+//
+//dlacep:hotpath
 func (n *Network) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 	if len(xs) == 0 {
 		return nil
 	}
 	if s == nil {
+		//dlacep:coldpath nil-scratch callers opted out of the fast path; the fallback allocates by design
 		out := make([][][]float64, len(xs))
 		for w, x := range xs {
+			//dlacep:coldpath nil-scratch fallback marks window-by-window through the naive Forward
 			out[w] = n.Forward(x, false)
 		}
 		return out
@@ -64,6 +68,7 @@ func (n *Network) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 			}
 		} else {
 			for w, x := range cur {
+				//dlacep:coldpath layers predating the fast path fall back to the allocating naive Forward
 				next[w] = l.Forward(x, false)
 			}
 		}
@@ -73,6 +78,8 @@ func (n *Network) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 }
 
 // InferBatch runs the batched recurrence into per-window arena matrices.
+//
+//dlacep:hotpath
 func (l *LSTM) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 	hss := s.matHeaders(len(xs))
 	for w, x := range xs {
@@ -84,6 +91,8 @@ func (l *LSTM) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 
 // InferBatch runs both directions of every window into the halves of its
 // concatenated output rows, then hands each direction the whole batch.
+//
+//dlacep:hotpath
 func (b *BiLSTM) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 	H := b.Fwd.hidden
 	outs := s.matHeaders(len(xs))
@@ -107,6 +116,8 @@ func (b *BiLSTM) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 
 // InferBatch computes the affine map for all windows in one fused kernel
 // call; the per-window outputs are views into one contiguous result matrix.
+//
+//dlacep:hotpath
 func (l *Linear) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 	total := 0
 	for _, x := range xs {
@@ -130,6 +141,8 @@ func (l *Linear) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 {
 }
 
 // InferBatch is the identity: dropout is only active during training.
+//
+//dlacep:hotpath
 func (d *Dropout) InferBatch(xs [][][]float64, s *Scratch) [][][]float64 { return xs }
 
 // inferBatchInto runs the K-window recurrence writing window w's h_t into

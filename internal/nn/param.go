@@ -119,6 +119,7 @@ func sigmoid(x float64) float64 {
 	return z / (1 + z)
 }
 
+//dlacep:coldpath dimension-contract guard; allocates only on the panicking branch
 func mustDims(name string, x [][]float64, want int) {
 	for t, row := range x {
 		if len(row) != want {

@@ -46,6 +46,7 @@ func (s *Scratch) floats(n int) []float64 {
 		if c < s.fOff+n {
 			c = s.fOff + n
 		}
+		//dlacep:ignore hotalloc arena growth: geometric, stops at the steady-state high-water mark
 		s.flat = make([]float64, c)
 		s.fOff = 0
 	}
@@ -67,6 +68,7 @@ func (s *Scratch) floatsUninit(n int) []float64 {
 		if c < s.fOff+n {
 			c = s.fOff + n
 		}
+		//dlacep:ignore hotalloc arena growth: geometric, stops at the steady-state high-water mark
 		s.flat = make([]float64, c)
 		s.fOff = 0
 	}
@@ -83,6 +85,7 @@ func (s *Scratch) rowHeaders(n int) [][]float64 {
 		if c < s.rOff+n {
 			c = s.rOff + n
 		}
+		//dlacep:ignore hotalloc arena growth: geometric, stops at the steady-state high-water mark
 		s.rows = make([][]float64, c)
 		s.rOff = 0
 	}
@@ -103,6 +106,7 @@ func (s *Scratch) matHeaders(n int) [][][]float64 {
 		if c < s.mOff+n {
 			c = s.mOff + n
 		}
+		//dlacep:ignore hotalloc arena growth: geometric, stops at the steady-state high-water mark
 		s.mats = make([][][]float64, c)
 		s.mOff = 0
 	}

@@ -150,7 +150,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = true
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go func() {
+		go func() { //dlacep:ignore spscowner sanctioned owner spawn: each connection goroutine builds its own shard pipeline and is the sole dispatcher (ring producer) for it
 			defer s.wg.Done()
 			defer func() {
 				s.mu.Lock()

@@ -34,11 +34,16 @@ type merger struct {
 	notify  <-chan struct{}
 	onMatch func(*cep.Match)
 
+	//dlacep:owned
 	queues [][]relayBatch // per-shard FIFO of undelivered batches
-	qoff   []int          // consumed prefix of queues[s][0].evs
-	wms    []uint64       // per-shard relay watermark
-	done   []bool         // shard's ring closed and fully drained
-	emit   []event.Event  // current cycle's globally merged slice
+	//dlacep:owned
+	qoff []int // consumed prefix of queues[s][0].evs
+	//dlacep:owned
+	wms []uint64 // per-shard relay watermark
+	//dlacep:owned
+	done []bool // shard's ring closed and fully drained
+	//dlacep:owned
+	emit []event.Event // current cycle's globally merged slice
 
 	res       *core.Result
 	reg       *obs.Registry
@@ -67,6 +72,7 @@ func newMerger(es *core.EngineSet, outs []*Ring[relayBatch], frees []*Ring[[]eve
 	return m
 }
 
+//dlacep:hotpath
 func (m *merger) run() {
 	for {
 		progress := m.drain()
@@ -83,8 +89,10 @@ func (m *merger) run() {
 		}
 	}
 	sw := metrics.StartStopwatch()
+	//dlacep:coldpath end-of-stream engine drain runs once per pipeline
 	m.collect(m.es.Flush())
 	m.res.CEPTime += sw.Elapsed()
+	//dlacep:coldpath end-of-stream stats aggregation runs once per pipeline
 	m.res.CEPStats = m.es.Stats()
 }
 
@@ -163,6 +171,7 @@ func (m *merger) emitReady() {
 	}
 	sw := metrics.StartStopwatch()
 	sp := obs.Start(m.reg, "pipeline.shard.merge_ns")
+	//dlacep:coldpath CEP engine matching allocates per match; downstream of the filter by design
 	ms := m.es.Process(m.emit)
 	sp.End()
 	m.res.CEPTime += sw.Elapsed()
@@ -196,9 +205,11 @@ func (m *merger) recycle(s int, evs []event.Event) {
 
 func (m *merger) collect(ms []*cep.Match) {
 	for _, match := range ms {
+		//dlacep:coldpath per-match key rendering; matches are orders of magnitude rarer than events
 		m.res.Keys[match.Key()] = true
 		m.res.Matches = append(m.res.Matches, match)
 		if m.onMatch != nil {
+			//dlacep:coldpath user-supplied match observer; runs once per match, not per event
 			m.onMatch(match)
 		}
 	}

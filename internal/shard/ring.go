@@ -32,9 +32,11 @@ type Ring[T any] struct {
 	// cursor (next slot to fill). Each is written by exactly one side;
 	// cachedHead/cachedTail are that side's last snapshot of the peer, so
 	// the shared counters are re-read only when the snapshot says full/empty.
-	head       atomic.Uint64
-	tail       atomic.Uint64
+	head atomic.Uint64
+	tail atomic.Uint64
+	//dlacep:owned
 	cachedHead uint64 // producer-owned snapshot of head
+	//dlacep:owned
 	cachedTail uint64 // consumer-owned snapshot of tail
 	closed     atomic.Bool
 
@@ -72,6 +74,8 @@ func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
 
 // TryPush appends v if the ring has space, reporting whether it did. It
 // returns false on a closed ring.
+//
+//dlacep:hotpath
 func (r *Ring[T]) TryPush(v T) bool {
 	if r.closed.Load() {
 		return false
@@ -91,6 +95,8 @@ func (r *Ring[T]) TryPush(v T) bool {
 
 // Push appends v, blocking while the ring is full. It returns false (and
 // discards v) only if the ring is closed.
+//
+//dlacep:hotpath
 func (r *Ring[T]) Push(v T) bool {
 	for {
 		if r.TryPush(v) {
@@ -102,6 +108,7 @@ func (r *Ring[T]) Push(v T) bool {
 		// Full: park until the consumer frees a slot. The re-check inside
 		// park sees any head advance that raced with the waiters increment.
 		tail := r.tail.Load()
+		//dlacep:coldpath parking slow path: the closure allocates only when the ring is full
 		r.park(func() bool {
 			return !r.closed.Load() && tail-r.head.Load() >= uint64(len(r.buf))
 		})
@@ -110,6 +117,8 @@ func (r *Ring[T]) Push(v T) bool {
 
 // TryPop removes the next item if one is queued. ok is false when the ring
 // is momentarily empty or closed-and-drained; use Pop to distinguish.
+//
+//dlacep:hotpath
 func (r *Ring[T]) TryPop() (v T, ok bool) {
 	head := r.head.Load()
 	if head == r.cachedTail {
@@ -130,6 +139,8 @@ func (r *Ring[T]) TryPop() (v T, ok bool) {
 // Pop removes the next item, blocking while the ring is empty. ok is false
 // only once the ring is closed AND fully drained, so close-while-draining
 // loses nothing.
+//
+//dlacep:hotpath
 func (r *Ring[T]) Pop() (v T, ok bool) {
 	for {
 		if v, ok = r.TryPop(); ok {
@@ -145,6 +156,7 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 			return v, false
 		}
 		head := r.head.Load()
+		//dlacep:coldpath parking slow path: the closure allocates only when the ring is empty
 		r.park(func() bool {
 			return !r.closed.Load() && r.tail.Load() == head
 		})

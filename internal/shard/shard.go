@@ -131,7 +131,7 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 	for _, w := range p.workers {
 		w := w
 		//dlacep:ignore rawgoroutine joined by Close: worker exit is signaled on p.joined, which Close receives before aggregating
-		go func() {
+		go func() { //dlacep:ignore spscowner sanctioned owner spawn: the worker goroutine is the sole owner of its staging and relay state
 			w.run()
 			running <- struct{}{}
 		}()
@@ -144,7 +144,7 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 		close(p.joined)
 	}()
 	//dlacep:ignore rawgoroutine joined by Close via p.mJoined
-	go func() {
+	go func() { //dlacep:ignore spscowner sanctioned owner spawn: the merge goroutine is the sole owner of the k-way merge queues
 		p.merge.run()
 		close(p.mJoined)
 	}()
@@ -220,18 +220,30 @@ type worker struct {
 	free   *Ring[[]event.Event]
 	notify chan<- struct{}
 
-	buf     []event.Event
+	//dlacep:owned
+	buf []event.Event
+	//dlacep:owned
 	pending []event.Event
+	//dlacep:owned
 	relayed map[uint64]bool
 
-	winFlat []event.Event   // staging arena: K windows of MarkSize events
-	wins    [][]event.Event // views into winFlat, re-sliced per batch
-	upTos   []uint64        // relay bound per staged window
-	staged  int
+	//dlacep:owned
+	winFlat []event.Event // staging arena: K windows of MarkSize events
+	//dlacep:owned
+	wins [][]event.Event // views into winFlat, re-sliced per batch
+	//dlacep:owned
+	upTos []uint64 // relay bound per staged window
+	//dlacep:owned
+	staged int
+	//dlacep:owned
+	markRows [][]bool // reused mark-row spine for the per-window Mark fallback
 
-	lastID   uint64
+	//dlacep:owned
+	lastID uint64
+	//dlacep:owned
 	lastTick uint64
-	wm       uint64
+	//dlacep:owned
+	wm uint64
 
 	total      int
 	relayedN   int
@@ -245,19 +257,20 @@ type worker struct {
 
 func newWorker(id int, cfg core.Config, f core.EventFilter, opts Options, reg *obs.Registry, notify chan<- struct{}) *worker {
 	w := &worker{
-		id:      id,
-		cfg:     cfg,
-		filter:  f,
-		batchK:  opts.Batch,
-		in:      NewRing[inMsg](opts.RingBits),
-		out:     NewRing[relayBatch](opts.RingBits),
-		free:    NewRing[[]event.Event](opts.RingBits),
-		notify:  notify,
-		buf:     make([]event.Event, 0, cfg.MarkSize),
-		relayed: map[uint64]bool{},
-		winFlat: make([]event.Event, opts.Batch*cfg.MarkSize),
-		wins:    make([][]event.Event, opts.Batch),
-		upTos:   make([]uint64, opts.Batch),
+		id:       id,
+		cfg:      cfg,
+		filter:   f,
+		batchK:   opts.Batch,
+		in:       NewRing[inMsg](opts.RingBits),
+		out:      NewRing[relayBatch](opts.RingBits),
+		free:     NewRing[[]event.Event](opts.RingBits),
+		notify:   notify,
+		buf:      make([]event.Event, 0, cfg.MarkSize),
+		relayed:  map[uint64]bool{},
+		winFlat:  make([]event.Event, opts.Batch*cfg.MarkSize),
+		wins:     make([][]event.Event, opts.Batch),
+		upTos:    make([]uint64, opts.Batch),
+		markRows: make([][]bool, opts.Batch),
 	}
 	w.bm, _ = f.(core.BatchMarker)
 	w.inC = reg.Counter(shardMetric(id, "events.in"))
@@ -277,6 +290,8 @@ func shardMetric(id int, name string) string {
 // markSize events; mark when K windows are staged or the ring runs dry;
 // park when it stays dry. On a closed-and-drained ring, flush the trailing
 // partial window and hand the merge stage a terminal watermark.
+//
+//dlacep:hotpath
 func (w *worker) run() {
 	for {
 		msg, ok := w.in.TryPop()
@@ -358,7 +373,9 @@ func (w *worker) flushBatch() {
 	if w.bm != nil {
 		marks = w.bm.MarkBatch(wins)
 	} else {
-		marks = make([][]bool, len(wins))
+		// Reuse the worker-owned spine: the rows themselves come from the
+		// filter, but the [][]bool header no longer allocates per batch.
+		marks = w.markRows[:len(wins)]
 		for i, win := range wins {
 			marks[i] = w.filter.Mark(win)
 		}
@@ -367,6 +384,7 @@ func (w *worker) flushBatch() {
 	w.filterTime += d
 	w.markH.Observe(d)
 	if len(marks) != len(wins) {
+		//dlacep:coldpath filter-contract violation poisons the shard; terminal, not hot
 		w.fail(fmt.Errorf("shard %d: filter returned %d mark rows for %d windows", w.id, len(marks), len(wins)))
 		return
 	}
@@ -391,6 +409,7 @@ func (w *worker) flushBatch() {
 // windows, the whole window at flush).
 func (w *worker) applyWindow(win []event.Event, marks []bool, leave int, upTo uint64, evs []event.Event) ([]event.Event, uint64, bool) {
 	if len(marks) != len(win) {
+		//dlacep:coldpath filter-contract violation poisons the shard; terminal, not hot
 		w.fail(fmt.Errorf("shard %d: filter returned %d marks for %d events", w.id, len(marks), len(win)))
 		return evs, 0, false
 	}
@@ -442,7 +461,10 @@ func (w *worker) finish() {
 			sw := metrics.StartStopwatch()
 			var marks []bool
 			if w.bm != nil {
-				marks = w.bm.MarkBatch([][]event.Event{win})[0]
+				// Reuse the staging spine for the single-window batch: flushBatch
+				// has already drained it (staged == 0), and the stream is over.
+				w.wins[0] = win
+				marks = w.bm.MarkBatch(w.wins[:1])[0]
 			} else {
 				marks = w.filter.Mark(win)
 			}
