@@ -19,6 +19,7 @@ import (
 
 	"dlacep/internal/harness"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 	shards := flag.Int("shards", 0, "run DLACEP measurement passes through the key-sharded pipeline with this many marking workers; 0 or 1 sequential")
 	shardBatch := flag.Int("shard-batch", 1, "windows batched per filter call in -shards mode (K)")
 	metricsOut := flag.String("metrics-out", "", "write the cumulative JSON telemetry snapshot to this file after all figures")
+	traceOut := flag.String("trace-out", "", "write sampled per-window pipeline traces (JSON Lines) to this file after all figures; analyze with dlacep-inspect -trace")
+	traceEvery := flag.Int("trace-every", 64, "with -trace-out: sample one window trace per this many events")
+	traceRing := flag.Int("trace-ring", trace.DefaultRing, "with -trace-out: retain at most this many completed traces")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -48,6 +52,9 @@ func main() {
 	sc.ShardBatch = *shardBatch
 	if *metricsOut != "" {
 		sc.Obs = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		sc.Trace = trace.New(*traceEvery, *traceRing)
 	}
 
 	figs := []string{*fig}
@@ -83,5 +90,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if sc.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlacep-bench:", err)
+			os.Exit(1)
+		}
+		snap := sc.Trace.Snapshot()
+		if err := snap.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dlacep-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dlacep-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d window traces written to %s (1 per %d events; analyze with dlacep-inspect -trace)\n",
+			len(snap.Traces), *traceOut, sc.Trace.Stride())
 	}
 }

@@ -16,11 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dlacep/internal/acep"
 	"dlacep/internal/cep"
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/obs/trace"
 	"dlacep/internal/pattern"
 	"dlacep/internal/zstream"
 )
@@ -35,13 +37,18 @@ func main() {
 	dataPath := flag.String("data", "", "optional sample stream CSV for statistics")
 	sample := flag.Int("sample", 2000, "Monte-Carlo samples per condition selectivity")
 	modelPath := flag.String("model", "", "saved model to inspect instead of a pattern")
+	tracePath := flag.String("trace", "", "trace file(s) from -trace-out (comma-separated JSONL) to aggregate into a per-stage latency breakdown")
 	flag.Parse()
+	if *tracePath != "" {
+		inspectTraces(*tracePath)
+		return
+	}
 	if *modelPath != "" {
 		inspectModel(*modelPath)
 		return
 	}
 	if *patSrc == "" {
-		fmt.Fprintln(os.Stderr, "usage: dlacep-inspect -pattern 'PATTERN ...' [-data stream.csv]\n   or: dlacep-inspect -model model.json")
+		fmt.Fprintln(os.Stderr, "usage: dlacep-inspect -pattern 'PATTERN ...' [-data stream.csv]\n   or: dlacep-inspect -model model.json\n   or: dlacep-inspect -trace traces.jsonl")
 		os.Exit(2)
 	}
 	p, err := pattern.Parse(*patSrc)
@@ -132,6 +139,32 @@ func main() {
 	} else {
 		fmt.Printf("ZStream plan: n/a (%v)\n", err)
 	}
+}
+
+// inspectTraces aggregates one or more -trace-out files into the
+// per-stage critical-path breakdown: p50/p99 per stage, each stage's share
+// of summed end-to-end window latency, ring-wait share (the sharded
+// pipeline's handoff cost), and the dominant-stage diagnosis line.
+func inspectTraces(paths string) {
+	var trs []trace.WindowTrace
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		trs = append(trs, recs...)
+	}
+	fmt.Printf("trace records: %d\n", len(trs))
+	trace.Aggregate(trs).Format(os.Stdout)
 }
 
 // inspectModel prints a saved model's identity, integrity, and parameter

@@ -15,7 +15,9 @@ import (
 
 	"dlacep/internal/core"
 	"dlacep/internal/event"
+	"dlacep/internal/metrics"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 func fatal(err error) {
@@ -30,6 +32,8 @@ func main() {
 	printMatches := flag.Int("print", 5, "print up to this many matches")
 	parallel := flag.Int("parallel", 0, "pipeline worker bound: 0 or 1 sequential, N>1 marks windows and runs pattern engines concurrently")
 	metricsOut := flag.String("metrics-out", "", "write a JSON telemetry snapshot (stage timings, relay/drop counters) to this file")
+	traceOut := flag.String("trace-out", "", "write sampled per-window pipeline traces (JSON Lines) to this file; analyze with dlacep-inspect -trace (sequential mode only: -parallel > 1 uses the untraced batch path)")
+	traceEvery := flag.Int("trace-every", 64, "with -trace-out: sample one window trace per this many events")
 	flag.Parse()
 	if *dataPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: dlacep-run -model model.json -data stream.csv [-compare]")
@@ -78,6 +82,12 @@ func main() {
 		reg = obs.NewRegistry()
 		pl.Obs = reg
 	}
+	if *traceOut != "" {
+		pl.Trace = trace.New(*traceEvery, trace.DefaultRing)
+	}
+	if *compare {
+		pl.TrackKeys = true
+	}
 	res, err := pl.Run(st)
 	if err != nil {
 		fatal(err)
@@ -101,7 +111,21 @@ func main() {
 		}
 		cmp := core.Compare(res, ecep)
 		fmt.Printf("exact CEP: %d matches, %.0f events/s\n", len(ecep.Matches), ecep.Throughput())
-		fmt.Printf("recall %.4f  F1 %.4f  throughput gain %.2fx\n", cmp.Recall, cmp.F1, cmp.Gain)
+		fmt.Printf("recall %.4f  F1 %.4f  dropped matches %d  throughput gain %.2fx\n",
+			cmp.Recall, cmp.F1, cmp.Counts.FN, cmp.Gain)
+		reg.Gauge("quality.recall").Set(cmp.Recall)
+		reg.Gauge("quality.f1").Set(cmp.F1)
+		reg.Gauge("quality.dropped_matches").Set(float64(cmp.Counts.FN))
+		for i, want := range ecep.KeysByPattern {
+			var got map[string]bool
+			if i < len(res.KeysByPattern) {
+				got = res.KeysByPattern[i]
+			}
+			c := metrics.MatchSets(got, want)
+			fmt.Printf("  pattern %d: recall %.4f  dropped %d (of %d exact matches)\n", i, c.Recall(), c.FN, len(want))
+			reg.Gauge(fmt.Sprintf("quality.pattern.%d.recall", i)).Set(c.Recall())
+			reg.Gauge(fmt.Sprintf("quality.pattern.%d.dropped_matches", i)).Set(float64(c.FN))
+		}
 	}
 	if reg != nil {
 		raw, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
@@ -112,5 +136,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
+	if pl.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		snap := pl.Trace.Snapshot()
+		if err := snap.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d window traces written to %s (1 per %d events; analyze with dlacep-inspect -trace)\n",
+			len(snap.Traces), *traceOut, pl.Trace.Stride())
 	}
 }

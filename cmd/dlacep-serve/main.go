@@ -32,6 +32,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/lifecycle"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 	"dlacep/internal/server"
 )
 
@@ -49,6 +50,8 @@ type serveOpts struct {
 	shardBatch int
 	admin      string
 	pprofOn    bool
+	traceEvery int
+	traceRing  int
 
 	registry        string
 	family          string
@@ -70,6 +73,8 @@ func main() {
 	flag.IntVar(&o.shardBatch, "shard-batch", 1, "windows batched per filter call in -shards mode (K)")
 	flag.StringVar(&o.admin, "admin", "", "admin HTTP address for /metrics and /healthz, e.g. 127.0.0.1:7879 (server mode)")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "also expose /debug/pprof/ on the admin address")
+	flag.IntVar(&o.traceEvery, "trace-every", 0, "sample one per-window pipeline trace per this many events, served on the admin /traces endpoint (0 off; server mode)")
+	flag.IntVar(&o.traceRing, "trace-ring", trace.DefaultRing, "completed traces retained for /traces")
 	flag.StringVar(&o.registry, "registry", "", "model registry directory; serves the family's active version with hot swapping")
 	flag.StringVar(&o.family, "family", "default", "model family within -registry")
 	flag.Float64Var(&o.swapEpsilon, "swap-epsilon", 0.02, "promotion slack: candidate F1 may lag live F1 by this much")
@@ -109,12 +114,15 @@ func runServer(o serveOpts) {
 	}
 	srv.Shards = o.shards
 	srv.ShardBatch = o.shardBatch
+	if o.traceEvery > 0 {
+		srv.Trace = trace.New(o.traceEvery, o.traceRing)
+	}
 	if o.admin != "" {
 		alis, err := net.Listen("tcp", o.admin)
 		if err != nil {
 			fatal(err)
 		}
-		endpoints := "/metrics, /healthz"
+		endpoints := "/metrics, /traces, /healthz"
 		var extra []server.AdminRoute
 		if ctl != nil {
 			extra = ctl.AdminRoutes()

@@ -1,0 +1,78 @@
+// Trace-path hotalloc fixtures, mirroring the real internal/obs/trace:
+// unlike its parent internal/obs, the trace subpackage is NOT in the
+// sanctioned-leaf set (the map is exact-match), so the analyzer descends
+// into record/recycle paths reached from hot roots. The free-list idiom
+// must pass — counter test, annotated underflow allocation, field-backed
+// recycle append — and an allocating unsampled-path call must be flagged.
+package trace
+
+type Rec struct {
+	Seq    uint64
+	MarkNS int64
+}
+
+type Tracer struct {
+	n    uint64
+	seq  uint64
+	free []*Rec
+}
+
+// Sample is the sanctioned shape: the unsampled path is a counter test,
+// and the sampled path recycles through the free list with the one
+// underflow allocation audited as coldpath.
+//
+//dlacep:hotpath
+func (t *Tracer) Sample() *Rec {
+	t.n++
+	if t.n%64 != 0 {
+		return nil
+	}
+	return t.acquire()
+}
+
+func (t *Tracer) acquire() *Rec {
+	if n := len(t.free); n > 0 {
+		r := t.free[n-1]
+		t.free = t.free[:n-1]
+		return r
+	}
+	//dlacep:coldpath free-list underflow; bounded by the in-flight high-water mark
+	return new(Rec)
+}
+
+// Recycle returns a record to the free list: field-backed append is
+// amortized growth, exempt by the same rule as every owned-spine append.
+//
+//dlacep:hotpath
+func (t *Tracer) Recycle(r *Rec) {
+	t.free = append(t.free, r)
+}
+
+// BadSample allocates a fresh record before the sampling decision — the
+// unsampled hot path pays the allocation on every event, which is exactly
+// the regression the analyzer must reject.
+//
+//dlacep:hotpath
+func (t *Tracer) BadSample() *Rec {
+	r := new(Rec) // want "new allocates"
+	t.n++
+	if t.n%64 != 0 {
+		return nil
+	}
+	t.seq++
+	r.Seq = t.seq
+	return r
+}
+
+// BadShip collects records into a fresh local slice on the hot path —
+// the batch hand-off must reuse an owned spine (or be an audited
+// sampled-path coldpath), not allocate per call.
+//
+//dlacep:hotpath
+func (t *Tracer) BadShip(rs ...*Rec) []*Rec {
+	out := make([]*Rec, 0, len(rs)) // want "make allocates"
+	for _, r := range rs {
+		out = append(out, r) // want "append to a slice created in this function"
+	}
+	return out
+}

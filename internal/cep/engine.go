@@ -154,6 +154,11 @@ func (en *Engine) toMatch(inst *instance) *Match {
 // Stats returns the accumulated cost counters.
 func (en *Engine) Stats() Stats { return en.sh.stats }
 
+// InstanceCount returns the instances created so far (the C_ECEP measure)
+// without copying the full Stats struct — cheap enough for the tracing
+// layer to read before and after every relay batch.
+func (en *Engine) InstanceCount() int64 { return en.sh.stats.Instances }
+
 // Publish exports the engine's current cost counters as gauges; see
 // Stats.Publish. Call it from the goroutine that owns the engine (the
 // registry is concurrency-safe, the engine is not).

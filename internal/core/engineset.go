@@ -31,10 +31,14 @@ func (pl *Pipeline) NewEngineSet() (*EngineSet, error) {
 		}
 		engines[i] = en
 	}
-	return &EngineSet{
+	s := &EngineSet{
 		es:   newEngineSet(engines, pl.Cfg.Workers(), pl.Obs),
 		seen: map[string]bool{},
-	}, nil
+	}
+	if pl.TrackKeys {
+		s.es.trackKeys()
+	}
+	return s, nil
 }
 
 // Process feeds one ID-ordered relayed batch to every engine and returns the
@@ -51,4 +55,16 @@ func (s *EngineSet) Flush() []*cep.Match {
 // Stats returns the per-engine cost counters in pattern order.
 func (s *EngineSet) Stats() []cep.Stats {
 	return s.es.Stats()
+}
+
+// KeysByPattern returns the per-pattern pre-dedup match-key sets (nil
+// unless the owning Pipeline had TrackKeys set when the set was built).
+func (s *EngineSet) KeysByPattern() []map[string]bool {
+	return s.es.patKeys
+}
+
+// InstanceCount sums the engines' created-instance counters (the paper's
+// C_ECEP measure). Call from the owning goroutine between batches.
+func (s *EngineSet) InstanceCount() int64 {
+	return s.es.instanceCount()
 }

@@ -158,6 +158,12 @@ type engineSet struct {
 	par     bool
 	reg     *obs.Registry
 	prefix  []string // "cep.pattern.N", resolved once; nil when reg is nil
+	// patKeys, when trackKeys enabled it, accumulates each engine's own
+	// match keys before the cross-engine dedup in mergeMatches (which
+	// erases a later pattern's repeat of an earlier pattern's key). Slot i
+	// is written only by the goroutine running engine i, so parallel batch
+	// fan-out stays race-free.
+	patKeys []map[string]bool
 }
 
 func newEngineSet(engines []*cep.Engine, workers int, reg *obs.Registry) *engineSet {
@@ -171,17 +177,43 @@ func newEngineSet(engines []*cep.Engine, workers int, reg *obs.Registry) *engine
 	return es
 }
 
+// trackKeys switches on per-pattern match-key collection (see patKeys).
+// Call before the first batch.
+func (es *engineSet) trackKeys() {
+	es.patKeys = make([]map[string]bool, len(es.engines))
+	for i := range es.patKeys {
+		es.patKeys[i] = map[string]bool{}
+	}
+}
+
+// instanceCount sums the engines' created-instance counters (C_ECEP).
+// Single-goroutine like Stats: call between batches, not during one.
+func (es *engineSet) instanceCount() int64 {
+	var n int64
+	for _, en := range es.engines {
+		n += en.InstanceCount()
+	}
+	return n
+}
+
 // runOne feeds fn's output for engine i, timed and published when the set
 // is observed. Called from whichever goroutine owns engine i.
 func (es *engineSet) runOne(i int, fn func(*cep.Engine) []*cep.Match) []*cep.Match {
 	en := es.engines[i]
+	var out []*cep.Match
 	if es.reg == nil {
-		return fn(en)
+		out = fn(en)
+	} else {
+		sp := obs.Start(es.reg, es.prefix[i]+".batch_ns")
+		out = fn(en)
+		sp.End()
+		en.Publish(es.reg, es.prefix[i])
 	}
-	sp := obs.Start(es.reg, es.prefix[i]+".batch_ns")
-	out := fn(en)
-	sp.End()
-	en.Publish(es.reg, es.prefix[i])
+	if es.patKeys != nil {
+		for _, m := range out {
+			es.patKeys[i][m.Key()] = true
+		}
+	}
 	return out
 }
 

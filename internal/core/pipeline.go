@@ -9,6 +9,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 	"dlacep/internal/pattern"
 )
 
@@ -17,6 +18,13 @@ import (
 type Result struct {
 	Matches []*cep.Match
 	Keys    map[string]bool
+	// KeysByPattern holds each pattern's own match-key set, collected
+	// before the global Keys dedup (which suppresses a later engine's
+	// repeat of an earlier engine's key, so per-pattern sets cannot be
+	// reconstructed from Matches). Populated only when the pipeline ran
+	// with TrackKeys — it is what per-pattern recall accounting diffs
+	// against the exact baseline. Always populated by RunECEP*.
+	KeysByPattern []map[string]bool
 
 	EventsTotal   int
 	EventsRelayed int
@@ -68,6 +76,22 @@ const (
 	metricEventsRelay  = "pipeline.events.relayed"   // counter: events relayed to the engines
 	metricEventsDrop   = "pipeline.events.dropped"   // counter: events definitively filtered out
 	metricPendingDepth = "pipeline.pending.depth"    // gauge: marked events awaiting safe relay
+
+	// Filter-decision counters: the per-window relay/drop verdict (a window
+	// counts as relayed when the filter marked at least one of its non-blank
+	// events). These are the live decision rates the degradation controller
+	// (ROADMAP item 2) will consume next to quality.recall; by construction
+	// relayed+dropped equals the number of marked windows.
+	metricWindowsRelay = "filter.windows.relayed" // counter: windows with >=1 mark
+	metricWindowsDrop  = "filter.windows.dropped" // counter: windows fully unmarked
+)
+
+// Exported window-verdict counter names: the sharded pipeline
+// (internal/shard) makes the same per-window relay/drop decision and must
+// publish under identical names so totals aggregate across paths.
+const (
+	MetricWindowsRelayed = metricWindowsRelay
+	MetricWindowsDropped = metricWindowsDrop
 )
 
 // Pipeline wires the assembler, one event filter, and per-pattern CEP
@@ -79,9 +103,20 @@ type Pipeline struct {
 	// metrics above, per-worker mark timings, and per-pattern cep.* spans
 	// and instance gauges. Set it between NewPipeline and the first run;
 	// nil (the default) keeps the hot path uninstrumented at zero cost.
-	Obs    *obs.Registry
-	pats   []*pattern.Pattern
-	schema *event.Schema
+	Obs *obs.Registry
+	// Trace, when non-nil, samples per-window critical-path traces
+	// (internal/obs/trace): 1-of-stride windows get a WindowTrace with
+	// ingest/mark/relay/CEP stamps, published into the tracer's bounded
+	// ring. Covers the incremental Processor path (and the sharded
+	// pipeline, which reads the same field); the batch run() path is
+	// untraced. Nil keeps the hot path at one pointer compare per event.
+	Trace *trace.Tracer
+	// TrackKeys enables per-pattern match-key collection into
+	// Result.KeysByPattern (a map insert per pre-dedup match). The harness
+	// turns it on for differential runs to compute per-pattern recall.
+	TrackKeys bool
+	pats      []*pattern.Pattern
+	schema    *event.Schema
 }
 
 // NewPipeline assembles a DLACEP pipeline. Filter is typically a trained
@@ -167,12 +202,17 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 		engines[i] = en
 	}
 	es := newEngineSet(engines, workers, pl.Obs)
+	if pl.TrackKeys {
+		es.trackKeys()
+	}
 	res := &Result{Keys: map[string]bool{}, EventsTotal: totalEvents}
 	// Handles resolved once; on a nil registry they are nil and every
 	// update below is a pointer-compare no-op.
 	pl.Obs.Counter(metricEventsIn).Add(int64(totalEvents))
 	relayedC := pl.Obs.Counter(metricEventsRelay)
 	pendingG := pl.Obs.Gauge(metricPendingDepth)
+	winRelC := pl.Obs.Counter(metricWindowsRelay)
+	winDropC := pl.Obs.Counter(metricWindowsDrop)
 
 	// Marking phase: every window's marks are independent of the relay, so
 	// they are computed up front — concurrently when Parallelism allows —
@@ -213,6 +253,13 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 	}
 
 	for wi, w := range windows {
+		if len(w) > 0 {
+			if anyMarked(marks[wi], w) {
+				winRelC.Inc()
+			} else {
+				winDropC.Inc()
+			}
+		}
 		for i, m := range marks[wi] {
 			if !m || w[i].IsBlank() || relayed[w[i].ID] {
 				continue
@@ -240,6 +287,7 @@ func (pl *Pipeline) run(windows [][]event.Event, totalEvents int) (*Result, erro
 	sw = metrics.StartStopwatch()
 	res.Matches = append(res.Matches, es.Flush(res.Keys)...)
 	res.CEPStats = es.Stats()
+	res.KeysByPattern = es.patKeys
 	res.CEPTime += sw.Elapsed()
 	pl.Obs.Counter(metricEventsDrop).Add(int64(totalEvents - res.EventsRelayed))
 	res.WallTime = wall.Elapsed()
@@ -307,11 +355,16 @@ func RunECEPObserved(schema *event.Schema, pats []*pattern.Pattern, st *event.St
 			runOne(i, p)
 		}
 	}
+	res.KeysByPattern = make([]map[string]bool, len(pats))
 	for i, r := range runs {
 		if r.err != nil {
 			return nil, r.err
 		}
+		// Per-pattern key sets are taken pre-dedup: the global Keys dedup
+		// below erases cross-pattern repeats that per-pattern recall needs.
+		res.KeysByPattern[i] = map[string]bool{}
 		for _, m := range r.matches {
+			res.KeysByPattern[i][m.Key()] = true
 			if k := m.Key(); !res.Keys[k] {
 				res.Keys[k] = true
 				res.Matches = append(res.Matches, m)
@@ -335,6 +388,19 @@ type Comparison struct {
 	F1      float64
 	Gain    float64
 	Jaccard float64
+}
+
+// anyMarked reports the window's relay/drop verdict: true when the filter
+// marked at least one non-blank event. A short marks slice (filter
+// contract violation) is caught by the callers' length checks; here extra
+// events simply read as unmarked.
+func anyMarked(marks []bool, window []event.Event) bool {
+	for i, m := range marks {
+		if m && i < len(window) && !window[i].IsBlank() {
+			return true
+		}
+	}
+	return false
 }
 
 // Compare computes the standard evaluation bundle.

@@ -7,6 +7,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 // Processor is the incremental form of the pipeline: events are pushed one
@@ -33,6 +34,17 @@ type Processor struct {
 	relayedC *obs.Counter
 	droppedC *obs.Counter
 	pendingG *obs.Gauge
+	winRelC  *obs.Counter
+	winDropC *obs.Counter
+
+	// tracer samples per-window critical-path traces (nil = untraced).
+	// curTr is the in-flight sample: acquired when its event is pushed,
+	// stamped through mark/relay/CEP, published when the window that
+	// absorbed the event completes. At most one window is in flight at a
+	// time here (unlike the sharded worker's K-batch), so one slot suffices;
+	// a second sample landing before the first publishes is abandoned.
+	tracer *trace.Tracer
+	curTr  *trace.WindowTrace
 }
 
 // NewProcessor creates an incremental processor for the pipeline.
@@ -46,6 +58,9 @@ func (pl *Pipeline) NewProcessor() (*Processor, error) {
 		relayedC: pl.Obs.Counter(metricEventsRelay),
 		droppedC: pl.Obs.Counter(metricEventsDrop),
 		pendingG: pl.Obs.Gauge(metricPendingDepth),
+		winRelC:  pl.Obs.Counter(metricWindowsRelay),
+		winDropC: pl.Obs.Counter(metricWindowsDrop),
+		tracer:   pl.Trace,
 	}
 	engines := make([]*cep.Engine, len(pl.pats))
 	for i, pat := range pl.pats {
@@ -56,6 +71,9 @@ func (pl *Pipeline) NewProcessor() (*Processor, error) {
 		engines[i] = en
 	}
 	p.es = newEngineSet(engines, pl.Cfg.Workers(), pl.Obs)
+	if pl.TrackKeys {
+		p.es.trackKeys()
+	}
 	return p, nil
 }
 
@@ -67,6 +85,13 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	if !ev.IsBlank() {
 		p.res.EventsTotal++
 		p.inC.Inc()
+	}
+	if tr := p.tracer.Sample(); tr != nil {
+		if p.curTr == nil {
+			p.curTr = tr
+		} else {
+			p.tracer.Abandon(tr)
+		}
 	}
 	p.buf = append(p.buf, ev)
 	if len(p.buf) < p.pl.Cfg.MarkSize {
@@ -80,10 +105,13 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	// unmarked is definitively dropped. (Marked ones still carry their
 	// relayed entry: deletion happens only below the relay watermark,
 	// which trails the buffer head.)
-	if p.droppedC != nil {
+	if p.droppedC != nil || p.curTr != nil {
 		for _, old := range p.buf[:p.pl.Cfg.StepSize] {
 			if !old.IsBlank() && !p.relayed[old.ID] {
 				p.droppedC.Inc()
+				if p.curTr != nil {
+					p.curTr.Dropped++
+				}
 			}
 		}
 	}
@@ -99,7 +127,14 @@ func (p *Processor) Push(ev event.Event) ([]*cep.Match, error) {
 	} else {
 		upTo = ev.ID + 1
 	}
-	return p.relayBelow(nil, upTo), nil
+	out := p.relayBelow(nil, upTo)
+	// A sample whose window just completed has all its stamps; publish and
+	// recycle. (MarkEnd set means markWindow saw it in a full window.)
+	if p.curTr != nil && p.curTr.MarkEndNS != 0 {
+		p.tracer.Publish(p.curTr)
+		p.curTr = nil
+	}
+	return out, nil
 }
 
 // Flush marks the trailing partial window, drains everything, and closes
@@ -116,16 +151,34 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 		}
 	}
 	// End of stream: whatever the trailing buffer left unmarked is dropped.
-	if p.droppedC != nil {
+	if p.droppedC != nil || p.curTr != nil {
 		for _, old := range p.buf {
 			if !old.IsBlank() && !p.relayed[old.ID] {
 				p.droppedC.Inc()
+				if p.curTr != nil {
+					p.curTr.Dropped++
+				}
 			}
 		}
 	}
 	p.buf = nil
+	// A sample still in flight belongs to the trailing partial window; it
+	// rides the final drain below. One that never saw a window (possible
+	// only if its event arrived after the last full window and the buffer
+	// is empty, i.e. never) is abandoned rather than published half-blank.
+	tr := p.curTr
+	p.curTr = nil
+	if tr != nil && tr.MarkEndNS == 0 {
+		p.tracer.Abandon(tr)
+		tr = nil
+	}
 	// relay everything left
 	sw := metrics.StartStopwatch()
+	var inst0 int64
+	if tr != nil {
+		tr.CEPStartNS = p.tracer.Now()
+		inst0 = p.es.instanceCount()
+	}
 	if len(p.pending) > 0 {
 		p.res.EventsRelayed += len(p.pending)
 		p.relayedC.Add(int64(len(p.pending)))
@@ -134,7 +187,14 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 	p.pending = nil
 	p.pendingG.Set(0)
 	out = p.collect(out, p.es.Flush(p.seen))
+	if tr != nil {
+		tr.CEPEndNS = p.tracer.Now()
+		tr.Matches += len(out)
+		tr.CEPInstances += p.es.instanceCount() - inst0
+		p.tracer.Publish(tr)
+	}
 	p.res.CEPStats = p.es.Stats()
+	p.res.KeysByPattern = p.es.patKeys
 	p.res.CEPTime += sw.Elapsed()
 	return out, nil
 }
@@ -153,20 +213,37 @@ func (p *Processor) Result() *Result { return p.res }
 //
 //dlacep:hotpath
 func (p *Processor) markWindow(window []event.Event) error {
+	tr := p.curTr
+	if tr != nil {
+		tr.WindowID = window[0].ID
+		tr.Events = len(window)
+		tr.MarkStartNS = p.tracer.Now()
+	}
 	sw := metrics.StartStopwatch()
 	marks := p.pl.Filter.Mark(window)
 	elapsed := sw.Elapsed()
+	if tr != nil {
+		tr.MarkEndNS = p.tracer.Now()
+	}
 	p.res.FilterTime += elapsed
 	p.pl.Obs.Histogram(metricFilterWindow).Observe(elapsed)
 	if len(marks) != len(window) {
 		//dlacep:coldpath filter-contract violation is terminal, not hot
 		return fmt.Errorf("core: filter returned %d marks for %d events", len(marks), len(window))
 	}
+	if anyMarked(marks, window) {
+		p.winRelC.Inc()
+	} else {
+		p.winDropC.Inc()
+	}
 	for i, m := range marks {
 		if !m || window[i].IsBlank() || p.relayed[window[i].ID] {
 			continue
 		}
 		p.relayed[window[i].ID] = true
+		if tr != nil {
+			tr.Relayed++
+		}
 		p.pending = append(p.pending, window[i])
 		for j := len(p.pending) - 1; j > 0 && p.pending[j-1].ID > p.pending[j].ID; j-- {
 			p.pending[j-1], p.pending[j] = p.pending[j], p.pending[j-1]
@@ -192,9 +269,27 @@ func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
 	for _, ev := range batch {
 		delete(p.relayed, ev.ID) // no future window can re-mark below upTo
 	}
+	// A trace whose window was just marked rides the relay batch its window
+	// triggered: stamp the CEP interval and attribute the batch's matches
+	// and instance growth (C_ECEP) to it.
+	tr := p.curTr
+	if tr != nil && tr.MarkEndNS == 0 {
+		tr = nil
+	}
+	var inst0 int64
+	if tr != nil {
+		tr.CEPStartNS = p.tracer.Now()
+		inst0 = p.es.instanceCount()
+	}
 	sp := obs.Start(p.pl.Obs, metricCEPBatch)
-	out = p.collect(out, p.es.Process(batch, p.seen))
+	ms := p.es.Process(batch, p.seen)
 	sp.End()
+	if tr != nil {
+		tr.CEPEndNS = p.tracer.Now()
+		tr.Matches += len(ms)
+		tr.CEPInstances += p.es.instanceCount() - inst0
+	}
+	out = p.collect(out, ms)
 	p.res.CEPTime += sw.Elapsed()
 	p.pendingG.Set(float64(len(p.pending)))
 	return out

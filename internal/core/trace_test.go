@@ -1,0 +1,173 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
+	"dlacep/internal/pattern"
+)
+
+// dropAllFilter marks nothing: every window is dropped, so no match can
+// exist — the definitive-match side of the verdict-counter cross-check.
+type dropAllFilter struct{}
+
+func (dropAllFilter) Mark(w []event.Event) []bool { return make([]bool, len(w)) }
+
+// TestProcessorTraceStamps runs the incremental Processor with tracing on
+// and checks the published traces' shape: the sequential stamps present
+// and monotonic, the sharded-only stamps absent.
+func TestProcessorTraceStamps(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	st := dataset.Synthetic(600, 4, 33)
+	pl := pipelineFor(t, p, KeepAllFilter{}, smallCfg(5))
+	pl.Trace = trace.New(4, 1024)
+	if _, err := pl.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	snap := pl.Trace.Snapshot()
+	if snap.Published == 0 {
+		t.Fatal("no traces published")
+	}
+	for _, tr := range snap.Traces {
+		if tr.IngestNS <= 0 || tr.MarkStartNS <= 0 || tr.MarkEndNS <= 0 {
+			t.Fatalf("trace %d missing sequential stamps: %+v", tr.Seq, tr)
+		}
+		if tr.PartitionNS != 0 || tr.EnqueueNS != 0 || tr.DequeueNS != 0 || tr.FlushNS != 0 || tr.MergeNS != 0 {
+			t.Fatalf("trace %d carries sharded stamps on the sequential path: %+v", tr.Seq, tr)
+		}
+		if tr.MarkStartNS < tr.IngestNS || tr.MarkEndNS < tr.MarkStartNS {
+			t.Fatalf("trace %d stamps not monotonic: %+v", tr.Seq, tr)
+		}
+		if tr.CEPStartNS != 0 && (tr.CEPStartNS < tr.MarkEndNS || tr.CEPEndNS < tr.CEPStartNS) {
+			t.Fatalf("trace %d CEP stamps not monotonic: %+v", tr.Seq, tr)
+		}
+		if tr.Events <= 0 {
+			t.Fatalf("trace %d has no window length: %+v", tr.Seq, tr)
+		}
+		if tr.Shard != 0 {
+			t.Fatalf("trace %d on shard %d, sequential path is shard 0", tr.Seq, tr.Shard)
+		}
+	}
+	b := trace.Aggregate(snap.Traces)
+	if b.Windows == 0 || b.Coverage != 1.0 {
+		t.Fatalf("aggregate windows=%d coverage=%v, want >0 windows at coverage 1.0", b.Windows, b.Coverage)
+	}
+}
+
+// TestProcessorTraceDeterministicSampling: two identical runs sample the
+// same windows (same WindowID sequence); only timestamps differ.
+func TestProcessorTraceDeterministicSampling(t *testing.T) {
+	run := func() []uint64 {
+		p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+		st := dataset.Synthetic(500, 4, 7)
+		pl := pipelineFor(t, p, KeepAllFilter{}, smallCfg(5))
+		pl.Trace = trace.New(8, 1024)
+		if _, err := pl.Run(st); err != nil {
+			t.Fatal(err)
+		}
+		snap := pl.Trace.Snapshot()
+		ids := make([]uint64, len(snap.Traces))
+		for i, tr := range snap.Traces {
+			ids[i] = tr.WindowID
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no traces sampled")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sampled window IDs differ across identical runs:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestTrackKeysUnion: the per-pattern pre-dedup key sets must union to
+// exactly the deduped global key set, on both the DLACEP pipeline and the
+// exact baseline.
+func TestTrackKeysUnion(t *testing.T) {
+	pats := []*pattern.Pattern{
+		pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < c.vol WITHIN 8"),
+		pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 8"),
+		pattern.MustParse("PATTERN CONJ(A a, D d) WITHIN 8"),
+	}
+	st := dataset.Synthetic(800, 4, 11)
+	pl, err := NewPipeline(volSchema, pats, smallCfg(8), KeepAllFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.TrackKeys = true
+	res, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnion := func(label string, r *Result) {
+		t.Helper()
+		if len(r.KeysByPattern) != len(pats) {
+			t.Fatalf("%s: KeysByPattern has %d sets, want %d", label, len(r.KeysByPattern), len(pats))
+		}
+		union := map[string]bool{}
+		for _, ks := range r.KeysByPattern {
+			for k := range ks {
+				union[k] = true
+			}
+		}
+		if !reflect.DeepEqual(union, r.Keys) {
+			t.Fatalf("%s: union of per-pattern keys (%d) != global keys (%d)", label, len(union), len(r.Keys))
+		}
+	}
+	if len(res.Keys) == 0 {
+		t.Fatal("run produced no matches; union check is vacuous")
+	}
+	checkUnion("pipeline", res)
+
+	ecep, err := RunECEP(volSchema, pats, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnion("ecep", ecep)
+}
+
+// TestWindowVerdictCounters cross-checks the filter.windows.{relayed,
+// dropped} counters against definitive match outcomes: a keep-all filter
+// relays every window and drops none; a mark-nothing filter drops every
+// window, relays none — and therefore cannot have produced a match.
+func TestWindowVerdictCounters(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 5")
+	st := dataset.Synthetic(400, 4, 5)
+
+	reg := obs.NewRegistry()
+	pl := pipelineFor(t, p, KeepAllFilter{}, smallCfg(5))
+	pl.Obs = reg
+	res, err := pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := reg.Counter(MetricWindowsRelayed).Value()
+	drop := reg.Counter(MetricWindowsDropped).Value()
+	if rel == 0 || drop != 0 {
+		t.Fatalf("keep-all verdicts relayed=%d dropped=%d, want all relayed", rel, drop)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("keep-all run found no matches; cross-check is vacuous")
+	}
+
+	reg = obs.NewRegistry()
+	pl = pipelineFor(t, p, dropAllFilter{}, smallCfg(5))
+	pl.Obs = reg
+	res, err = pl.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel = reg.Counter(MetricWindowsRelayed).Value()
+	drop = reg.Counter(MetricWindowsDropped).Value()
+	if rel != 0 || drop == 0 {
+		t.Fatalf("drop-all verdicts relayed=%d dropped=%d, want all dropped", rel, drop)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("drop-all run produced %d matches with zero relayed windows", len(res.Matches))
+	}
+}

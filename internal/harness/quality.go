@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"fmt"
+
+	"dlacep/internal/metrics"
+	"dlacep/internal/obs"
+)
+
+// publishQuality exports a differential run's quality accounting into the
+// registry, next to the filter.windows.{relayed,dropped} verdict counters
+// the pipelines publish themselves:
+//
+//	quality.recall                      overall match recall vs exact CEP
+//	quality.f1                          overall F1 vs exact CEP
+//	quality.dropped_matches             matches exact CEP found that DLACEP lost
+//	quality.pattern.<i>.recall          the same, per pattern (pre-dedup keys)
+//	quality.pattern.<i>.dropped_matches
+//
+// Per-pattern sets are compared pre-dedup (Result.KeysByPattern): the
+// global Keys dedup suppresses a later pattern's repeat of an earlier
+// pattern's key, which would turn a shared dropped match invisible for
+// every pattern but the first. Consistency invariant (asserted by the CI
+// trace-smoke step): quality.dropped_matches == 0 iff quality.recall == 1.
+func publishQuality(reg *obs.Registry, r *CaseResult) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("quality.recall").Set(r.Cmp.Recall)
+	reg.Gauge("quality.f1").Set(r.Cmp.F1)
+	reg.Gauge("quality.dropped_matches").Set(float64(r.Cmp.Counts.FN))
+	if r.ACEP == nil || r.ECEP == nil {
+		return
+	}
+	for i, want := range r.ECEP.KeysByPattern {
+		var got map[string]bool
+		if i < len(r.ACEP.KeysByPattern) {
+			got = r.ACEP.KeysByPattern[i]
+		}
+		c := metrics.MatchSets(got, want)
+		reg.Gauge(fmt.Sprintf("quality.pattern.%d.recall", i)).Set(c.Recall())
+		reg.Gauge(fmt.Sprintf("quality.pattern.%d.dropped_matches", i)).Set(float64(c.FN))
+	}
+}

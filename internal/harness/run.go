@@ -209,10 +209,15 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 			runtime.GC()
 			// Only the measurement pass is observed: the warm-up pass would
 			// otherwise double every counter and skew the latency histograms
-			// with cold-allocator samples.
+			// with cold-allocator samples. Tracing and key tracking follow
+			// the same rule.
 			pl.Obs = nil
+			pl.Trace = nil
+			pl.TrackKeys = false
 			if pass == 1 {
 				pl.Obs = sc.Obs
+				pl.Trace = sc.Trace
+				pl.TrackKeys = sc.Obs != nil
 			}
 			if opts.MaxWindow > 0 {
 				acep, err = pl.RunWindows(testWs)
@@ -235,6 +240,7 @@ func RunCase(sc Scale, pats []*pattern.Pattern, st *event.Stream, kinds []Filter
 			res.Quality, res.QName = res.Cmp.Recall, "recall"
 		}
 		res.FNPct = res.Cmp.Counts.FNPct()
+		publishQuality(sc.Obs, &res)
 		out = append(out, res)
 	}
 	return out, nil
@@ -283,7 +289,10 @@ func sortWindowsByID(ws [][]event.Event) {
 // perWindowECEP evaluates each window exactly and unions the matches — the
 // baseline for time-based (pre-partitioned) evaluation.
 func perWindowECEP(schema *event.Schema, pats []*pattern.Pattern, ws [][]event.Event) (*core.Result, error) {
-	res := &core.Result{Keys: map[string]bool{}}
+	res := &core.Result{Keys: map[string]bool{}, KeysByPattern: make([]map[string]bool, len(pats))}
+	for i := range res.KeysByPattern {
+		res.KeysByPattern[i] = map[string]bool{}
+	}
 	for _, w := range ws {
 		sub := realEvents(schema, [][]event.Event{w})
 		res.EventsTotal += sub.Len()
@@ -295,6 +304,11 @@ func perWindowECEP(schema *event.Schema, pats []*pattern.Pattern, ws [][]event.E
 		res.CEPTime += one.CEPTime
 		for k := range one.Keys {
 			res.Keys[k] = true
+		}
+		for i, ks := range one.KeysByPattern {
+			for k := range ks {
+				res.KeysByPattern[i][k] = true
+			}
 		}
 		res.Matches = append(res.Matches, one.Matches...)
 	}

@@ -14,6 +14,7 @@ package harness
 import (
 	"dlacep/internal/dataset"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 // Scale bundles every size knob of the experiment suite.
@@ -74,7 +75,14 @@ type Scale struct {
 	// Obs, when non-nil, collects stage telemetry from every measurement
 	// pass (warm-up passes stay unobserved so they cannot pollute the
 	// histograms). Run attaches its snapshot to every produced Report.
+	// A non-nil Obs also enables per-pattern match-key tracking, so the
+	// differential comparison publishes quality.* gauges (recall, F1,
+	// dropped matches — overall and per pattern) into the registry.
 	Obs *obs.Registry
+
+	// Trace, when non-nil, samples per-window critical-path traces from
+	// every measurement pass (warm-up passes stay untraced, like Obs).
+	Trace *trace.Tracer
 }
 
 // Quick is the default scale: the whole suite runs in minutes.

@@ -5,13 +5,20 @@ import (
 	"net/http"
 )
 
-// Handler serves the registry as a JSON snapshot (the /metrics endpoint).
-// Safe to scrape concurrently with active recording; a nil registry serves
-// an empty snapshot.
+// Handler serves the registry as a JSON snapshot (the /metrics endpoint),
+// or in Prometheus text exposition format when the request carries
+// ?format=prom. Safe to scrape concurrently with active recording; a nil
+// registry serves an empty snapshot.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			// Write errors mean the scraper hung up mid-response.
+			_ = WriteProm(w, r.Snapshot())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type for the text exposition format
+// served by /metrics?format=prom.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promPrefix namespaces every exported metric, per Prometheus convention.
+const promPrefix = "dlacep_"
+
+// WriteProm renders a snapshot in the Prometheus/OpenMetrics text
+// exposition format (stdlib-only encoder):
+//
+//   - metric names are the registry's dotted names with every character
+//     outside [a-zA-Z0-9_] replaced by '_' and a "dlacep_" prefix
+//     (pipeline.events.in -> dlacep_pipeline_events_in);
+//   - counters and gauges map directly; histograms become native
+//     Prometheus histograms with cumulative le buckets drawn from the
+//     fixed 1-2-5 ladder, in nanoseconds to match the *_ns name suffixes;
+//   - series have no Prometheus equivalent and are exported as a gauge of
+//     their most recent value under a "_last" suffix;
+//   - families are emitted in sorted name order, so output is
+//     byte-deterministic for deterministic values (pinned by
+//     TestWritePromFormat).
+func WriteProm(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	ew := &errWriter{w: w}
+
+	for _, name := range sortedKeys(s.Counters) {
+		p := promName(name)
+		fmt.Fprintf(ew, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p := promName(name)
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", p, p, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p := promName(name)
+		fmt.Fprintf(ew, "# TYPE %s histogram\n", p)
+		var cum uint64
+		for _, b := range h.Buckets {
+			if b.LeNS < 0 {
+				continue // overflow bucket folds into +Inf below
+			}
+			cum += b.N
+			fmt.Fprintf(ew, "%s_bucket{le=\"%d\"} %d\n", p, b.LeNS, cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count)
+		fmt.Fprintf(ew, "%s_sum %d\n", p, h.SumNS)
+		fmt.Fprintf(ew, "%s_count %d\n", p, h.Count)
+	}
+	for _, name := range sortedKeys(s.Series) {
+		vs := s.Series[name]
+		if len(vs) == 0 {
+			continue
+		}
+		p := promName(name) + "_last"
+		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %s\n", p, p, promFloat(vs[len(vs)-1]))
+	}
+	return ew.err
+}
+
+// promName sanitizes a dotted registry name into a Prometheus metric name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(promPrefix) + len(name))
+	sb.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float in the shortest round-trip form Prometheus
+// accepts (snapshot values are already NaN/Inf-free).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns m's keys sorted (deterministic exposition order).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// errWriter latches the first write error so the encoder can stream
+// through fmt without per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePromFormat pins the text exposition byte-for-byte: name
+// sanitization and prefixing, sorted family order (counters, gauges,
+// histograms, series), cumulative le buckets in nanoseconds with the
+// overflow folded into +Inf, and series as _last gauges.
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events.in").Add(42)
+	r.Counter("filter.windows.relayed").Add(7)
+	r.Gauge("quality.recall").Set(0.75)
+	h := r.Histogram("mark.ns")
+	h.Observe(1500 * time.Nanosecond) // le=2000 bucket
+	h.Observe(1800 * time.Nanosecond) // le=2000 bucket
+	h.Observe(700 * time.Microsecond) // le=1000000 bucket
+	h.Observe(20 * time.Second)       // past the 10s ladder top: overflow
+	r.Series("bench.ns").Append(1)
+	r.Series("bench.ns").Append(3.5)
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, r.Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := `# TYPE dlacep_filter_windows_relayed counter
+dlacep_filter_windows_relayed 7
+# TYPE dlacep_pipeline_events_in counter
+dlacep_pipeline_events_in 42
+# TYPE dlacep_quality_recall gauge
+dlacep_quality_recall 0.75
+# TYPE dlacep_mark_ns histogram
+dlacep_mark_ns_bucket{le="2000"} 2
+dlacep_mark_ns_bucket{le="1000000"} 3
+dlacep_mark_ns_bucket{le="+Inf"} 4
+dlacep_mark_ns_sum 20000703300
+dlacep_mark_ns_count 4
+# TYPE dlacep_bench_ns_last gauge
+dlacep_bench_ns_last 3.5
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromNil: a nil snapshot writes nothing and reports no error.
+func TestWritePromNil(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, nil); err != nil {
+		t.Fatalf("WriteProm(nil): %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil snapshot wrote %q", sb.String())
+	}
+}
+
+// TestHandlerPromFormat: /metrics?format=prom serves the exposition with
+// the Prometheus content type; the default path still serves JSON.
+func TestHandlerPromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events.in").Add(3)
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prom", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content type = %q, want %q", ct, PromContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "dlacep_pipeline_events_in 3\n") {
+		t.Fatalf("prom body missing counter:\n%s", body)
+	}
+	if strings.Contains(body, "{\n") || strings.HasPrefix(body, "{") {
+		t.Fatalf("prom body looks like JSON:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.HasPrefix(rec.Body.String(), "{") {
+		t.Fatalf("default body not JSON:\n%s", rec.Body.String())
+	}
+}

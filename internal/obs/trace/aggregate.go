@@ -1,0 +1,226 @@
+// Critical-path aggregation over WindowTrace files: the analysis behind
+// `dlacep-inspect -trace`. Each trace's end-to-end latency (first stamp to
+// last stamp) is tiled exactly by the deltas between consecutive present
+// stamps, and each delta is attributed to the named stage that ends at the
+// later stamp — so the per-stage totals sum to 100% of observed window
+// latency by construction, and a "dominant stage" is a meaningful claim.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stage indices, in canonical pipeline order. Each stage is the interval
+// ending at the correspondingly named stamp (see stampsOf).
+const (
+	StagePartition = iota // Ingest -> Partition: shard routing
+	StageDispatch         // Partition -> Enqueue: dispatcher bookkeeping
+	StageRingWait         // Enqueue -> Dequeue: input-ring residency + producer blocking
+	StageStageWait        // Dequeue -> MarkStart: window assembly + K-batch staging
+	StageMark             // MarkStart -> MarkEnd: DL filter inference
+	StageRelay            // MarkEnd -> Flush: relay/drop verdicts + output-ring push
+	StageMergeWait        // Flush -> Merge: output-ring residency until merge drains
+	StageCEPWait          // Merge -> CEPStart: watermark hold before engines run
+	StageCEP              // CEPStart -> CEPEnd: NFA detection
+	numStages
+)
+
+// StageNames maps stage index to its display name.
+var StageNames = [numStages]string{
+	"partition", "dispatch", "ring_wait", "stage_wait", "mark",
+	"relay", "merge_wait", "cep_wait", "cep",
+}
+
+// stampsOf returns the trace's stamps in canonical order; index i > 0
+// delimits stage i-1.
+func stampsOf(tr *WindowTrace) [numStages + 1]int64 {
+	return [numStages + 1]int64{
+		tr.IngestNS, tr.PartitionNS, tr.EnqueueNS, tr.DequeueNS,
+		tr.MarkStartNS, tr.MarkEndNS, tr.FlushNS, tr.MergeNS,
+		tr.CEPStartNS, tr.CEPEndNS,
+	}
+}
+
+// StageStat summarizes one stage across all traces that visited it.
+type StageStat struct {
+	Stage    string  `json:"stage"`
+	Count    int     `json:"count"`  // traces with this stage present
+	P50NS    int64   `json:"p50_ns"` // exact order statistics (offline data)
+	P99NS    int64   `json:"p99_ns"`
+	TotalNS  int64   `json:"total_ns"`
+	Share    float64 `json:"share"`    // TotalNS / sum of end-to-end latency
+	Dominant int     `json:"dominant"` // traces where this stage was the largest
+}
+
+// Breakdown is the aggregated critical-path view of a trace set.
+type Breakdown struct {
+	Windows    int         `json:"windows"`
+	TotalP50NS int64       `json:"total_p50_ns"` // end-to-end (first->last stamp)
+	TotalP99NS int64       `json:"total_p99_ns"`
+	TotalNS    int64       `json:"total_ns"`
+	Stages     []StageStat `json:"stages"` // canonical order, absent stages omitted
+	// Coverage is the fraction of summed end-to-end latency attributed to
+	// named stages — 1.0 whenever stamps are monotonic, because the stage
+	// deltas tile the end-to-end interval exactly.
+	Coverage float64 `json:"coverage"`
+	// RingWaitShare is ring_wait + merge_wait as a fraction of total:
+	// the cross-shard handoff cost the sharded pipeline adds over the
+	// sequential Processor.
+	RingWaitShare float64 `json:"ring_wait_share"`
+
+	dom [numStages]int // per-stage dominant-window tally (surfaced via StageStat)
+}
+
+// Aggregate computes the per-stage breakdown of a trace set. Traces with
+// fewer than two present stamps carry no interval information and are
+// skipped.
+func Aggregate(trs []WindowTrace) *Breakdown {
+	b := &Breakdown{}
+	durs := make([][]int64, numStages)
+	var totals []int64
+	var ringWait int64
+	for i := range trs {
+		st := stampsOf(&trs[i])
+		prev := int64(0)
+		first := int64(0)
+		var total int64
+		var maxStage int
+		var maxDur int64 = -1
+		seen := false
+		for s := 1; s <= numStages; s++ {
+			if st[s] == 0 {
+				continue
+			}
+			if !seen && st[0] != 0 {
+				prev, first, seen = st[0], st[0], true
+			} else if !seen {
+				prev, first, seen = st[s], st[s], true
+				continue
+			}
+			d := st[s] - prev
+			if d < 0 {
+				d = 0 // clock misuse; clamp so shares stay in [0,1]
+			}
+			durs[s-1] = append(durs[s-1], d)
+			if s-1 == StageRingWait || s-1 == StageMergeWait {
+				ringWait += d
+			}
+			if d > maxDur {
+				maxDur, maxStage = d, s-1
+			}
+			total += d
+			prev = st[s]
+		}
+		if !seen || prev == first {
+			continue
+		}
+		b.Windows++
+		totals = append(totals, total)
+		b.TotalNS += total
+		if maxDur >= 0 {
+			b.dom[maxStage]++
+		}
+	}
+	if b.Windows == 0 {
+		return b
+	}
+	b.TotalP50NS = quantile(totals, 0.50)
+	b.TotalP99NS = quantile(totals, 0.99)
+	var attributed int64
+	for s := 0; s < numStages; s++ {
+		if len(durs[s]) == 0 {
+			continue
+		}
+		var sum int64
+		for _, d := range durs[s] {
+			sum += d
+		}
+		attributed += sum
+		stat := StageStat{
+			Stage:   StageNames[s],
+			Count:   len(durs[s]),
+			P50NS:   quantile(durs[s], 0.50),
+			P99NS:   quantile(durs[s], 0.99),
+			TotalNS: sum,
+		}
+		if b.TotalNS > 0 {
+			stat.Share = float64(sum) / float64(b.TotalNS)
+		}
+		stat.Dominant = b.dom[s]
+		b.Stages = append(b.Stages, stat)
+	}
+	if b.TotalNS > 0 {
+		b.Coverage = float64(attributed) / float64(b.TotalNS)
+		b.RingWaitShare = float64(ringWait) / float64(b.TotalNS)
+	}
+	return b
+}
+
+// Format renders the breakdown as the human-readable table printed by
+// `dlacep-inspect -trace`, including the dominant-stage diagnosis line.
+func (b *Breakdown) Format(w io.Writer) {
+	if b.Windows == 0 {
+		fmt.Fprintln(w, "no complete traces (need >= 2 timestamps per record)")
+		return
+	}
+	fmt.Fprintf(w, "windows traced: %d   end-to-end p50 %s  p99 %s   coverage %.1f%%\n",
+		b.Windows, fmtNS(b.TotalP50NS), fmtNS(b.TotalP99NS), b.Coverage*100)
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %8s %9s\n", "stage", "count", "p50", "p99", "share", "dominant")
+	var top *StageStat
+	for i := range b.Stages {
+		s := &b.Stages[i]
+		fmt.Fprintf(w, "%-10s %8d %12s %12s %7.1f%% %9d\n",
+			s.Stage, s.Count, fmtNS(s.P50NS), fmtNS(s.P99NS), s.Share*100, s.Dominant)
+		if top == nil || s.TotalNS > top.TotalNS {
+			top = s
+		}
+	}
+	fmt.Fprintf(w, "ring-wait share (ring_wait + merge_wait): %.1f%%\n", b.RingWaitShare*100)
+	if top != nil {
+		fmt.Fprintf(w, "diagnosis: dominant stage is %q with %.1f%% of end-to-end window latency (largest stage in %d/%d windows)\n",
+			top.Stage, top.Share*100, top.Dominant, b.Windows)
+	}
+}
+
+// String renders Format into a string (convenience for tests and logs).
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	b.Format(&sb)
+	return sb.String()
+}
+
+// quantile returns the exact q-quantile (nearest-rank, q in [0,1]) of vs.
+// vs is copied before sorting; callers keep their order.
+func quantile(vs []int64, q float64) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := make([]int64, len(vs))
+	copy(s, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// fmtNS renders nanoseconds with an adaptive unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the tracer as a JSON snapshot (the /traces admin
+// endpoint): sampling config, lifetime publish/abandon counters, and the
+// retained trace ring oldest-first. Safe to scrape concurrently with
+// active recording; a nil tracer serves an empty snapshot.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.Snapshot()); err != nil {
+			// The connection is gone mid-write; nothing useful to do.
+			return
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package trace is the per-window tracing layer of the DLACEP stack: where
+// internal/obs aggregates (histograms answer "how slow are windows on
+// average"), a WindowTrace records one sampled window's full critical path
+// through the pipeline — ingest, partition, ring wait, filter mark, batch
+// flush, merge wait, CEP detect, relay/drop verdict — so a latency
+// regression can be attributed to a named stage instead of inferred from
+// aggregate deltas. It exists because the sharded serving pipeline's
+// BENCH_pipeline regression (0.88x at shards=4 on a single core) was
+// invisible to stage histograms: they said marking got cheaper per call
+// while end-to-end got slower, and could not say where the time went.
+//
+// Three design rules, inherited from internal/obs:
+//
+//   - Nil is free. Every method on a nil *Tracer (and on a nil *WindowTrace)
+//     is an inert no-op; an untraced pipeline pays one pointer comparison.
+//
+//   - Sampling is deterministic. Whether an event is sampled is a pure
+//     function of its position in the stream (1-of-stride, counter-based) —
+//     never of the clock or a random source — so two seeded runs trace the
+//     same windows and the dlacep-vet determinism contract holds. Only the
+//     recorded timestamps vary run to run; they are outputs of a run, never
+//     inputs to match extraction.
+//
+//   - The unsampled hot path is allocation-free, statically (hotalloc walks
+//     this package — unlike internal/obs it is NOT a sanctioned leaf) and
+//     dynamically (BenchmarkTraceUnsampled gates 0 allocs/op in CI).
+//     Sampled records come from a free list and return to it after
+//     publication, so steady-state tracing allocates only while the
+//     in-flight high-water mark is still growing.
+//
+// This package is part of the obs clock layer: like internal/obs and
+// internal/metrics it may read the wall clock (all stamps are monotonic
+// nanoseconds since the tracer's start); deterministic packages call into
+// it rather than reading time.Now themselves.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WindowTrace is one sampled window's trip through the pipeline. All *NS
+// stamps are monotonic nanoseconds since the Tracer's creation; a zero
+// stamp means the window never visited that stage (the sequential
+// Processor has no partition/ring/merge stages, for example). Present
+// stamps are monotonically non-decreasing in declaration order — the
+// invariant the CI trace-smoke step asserts — because every stage records
+// strictly after the stage that hands work to it.
+type WindowTrace struct {
+	// Seq is the sample's 1-based acquisition number.
+	Seq uint64 `json:"seq"`
+	// WindowID is the first event ID of the traced marking window.
+	WindowID uint64 `json:"window_id"`
+	// Shard is the marking shard the window was assembled on (0 for the
+	// sequential Processor).
+	Shard int `json:"shard"`
+	// Events is the window length (including blank padding).
+	Events int `json:"events"`
+	// Relayed counts this window's marks newly accepted into the pending
+	// queue; Dropped counts events definitively dropped when the window's
+	// prefix left the buffer — the filter's relay/drop verdict.
+	Relayed int `json:"relayed"`
+	Dropped int `json:"dropped"`
+	// Matches and CEPInstances attribute engine work to the window: full
+	// matches emitted by, and NFA instances created during, the CEP batch
+	// that consumed this window's relays (per-window C_ECEP attribution).
+	Matches      int   `json:"matches"`
+	CEPInstances int64 `json:"cep_instances"`
+
+	IngestNS    int64 `json:"ingest_ns"`     // sampled event entered Push
+	PartitionNS int64 `json:"partition_ns"`  // shard routing decided
+	EnqueueNS   int64 `json:"enqueue_ns"`    // about to enter the input ring
+	DequeueNS   int64 `json:"dequeue_ns"`    // worker popped the event
+	MarkStartNS int64 `json:"mark_start_ns"` // filter began marking the batch
+	MarkEndNS   int64 `json:"mark_end_ns"`   // filter returned marks
+	FlushNS     int64 `json:"flush_ns"`      // relay verdicts applied, batch leaving
+	MergeNS     int64 `json:"merge_ns"`      // merge stage received the batch
+	CEPStartNS  int64 `json:"cep_start_ns"`  // engines began the relay batch
+	CEPEndNS    int64 `json:"cep_end_ns"`    // engines finished the relay batch
+}
+
+// DefaultRing is the bounded trace ring's default capacity.
+const DefaultRing = 512
+
+// Tracer samples 1-of-stride events, recycles completed records through a
+// free list, and retains the most recent completed traces in a bounded
+// ring for the /traces endpoint and -trace-out files. Sample may be called
+// from one dispatcher goroutine per pipeline; Publish/Abandon from any
+// goroutine; Snapshot concurrently with everything.
+type Tracer struct {
+	stride uint64
+	n      atomic.Uint64
+	seq    atomic.Uint64
+	base   time.Time
+	epoch  int64 // wall-clock UnixNano at base, for snapshot headers
+
+	mu        sync.Mutex
+	ring      []WindowTrace
+	next      int
+	published uint64
+	abandoned uint64
+	free      []*WindowTrace
+}
+
+// New builds a tracer sampling one window per stride events, retaining the
+// last ring completed traces (DefaultRing when ring < 1). stride < 1 means
+// 1 (trace everything).
+func New(stride, ring int) *Tracer {
+	if stride < 1 {
+		stride = 1
+	}
+	if ring < 1 {
+		ring = DefaultRing
+	}
+	now := time.Now()
+	return &Tracer{
+		stride: uint64(stride),
+		base:   now,
+		epoch:  now.UnixNano(),
+		ring:   make([]WindowTrace, 0, ring),
+	}
+}
+
+// Stride returns the sampling stride (0 on a nil tracer).
+func (t *Tracer) Stride() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.stride)
+}
+
+// Now returns monotonic nanoseconds since the tracer's creation — the
+// clock every stamp in a WindowTrace is recorded against. 0 on nil.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.base))
+}
+
+// Sample decides whether the current event starts a trace: every stride-th
+// call returns a fresh record with IngestNS stamped, every other call
+// returns nil. The unsampled path is one atomic increment and a modulo —
+// no clock read, no allocation.
+//
+//dlacep:hotpath
+func (t *Tracer) Sample() *WindowTrace {
+	if t == nil {
+		return nil
+	}
+	if t.n.Add(1)%t.stride != 0 {
+		return nil
+	}
+	return t.acquire()
+}
+
+// acquire pops a recycled record (or allocates the free list's first
+// growth) and resets it with a fresh sequence number and ingest stamp.
+func (t *Tracer) acquire() *WindowTrace {
+	t.mu.Lock()
+	var tr *WindowTrace
+	if n := len(t.free); n > 0 {
+		tr = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		//dlacep:coldpath free-list underflow allocates one record; bounded by the in-flight sampled-trace high-water mark
+		tr = new(WindowTrace)
+	}
+	t.mu.Unlock()
+	*tr = WindowTrace{Seq: t.seq.Add(1), IngestNS: t.Now()}
+	return tr
+}
+
+// Publish completes a trace: the record is copied into the bounded ring
+// (evicting the oldest entry when full) and the pointer returns to the
+// free list for reuse. No-op when either receiver or trace is nil. The
+// caller must not touch tr afterwards.
+func (t *Tracer) Publish(tr *WindowTrace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, *tr)
+	} else {
+		t.ring[t.next] = *tr
+		t.next++
+		if t.next == len(t.ring) {
+			t.next = 0
+		}
+	}
+	t.published++
+	t.free = append(t.free, tr)
+	t.mu.Unlock()
+}
+
+// Abandon recycles a sampled record without publishing it — the path for
+// a sample that lost the race for a window slot (a second sampled event
+// landing in a window already carrying a trace).
+func (t *Tracer) Abandon(tr *WindowTrace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	t.abandoned++
+	t.free = append(t.free, tr)
+	t.mu.Unlock()
+}
+
+// Snapshot is the point-in-time, JSON-serializable view of a tracer: its
+// configuration, lifetime counters, and the retained traces oldest-first.
+type Snapshot struct {
+	Stride     int           `json:"stride"`
+	BaseUnixNS int64         `json:"base_unix_ns"`
+	Published  uint64        `json:"published"`
+	Abandoned  uint64        `json:"abandoned"`
+	Traces     []WindowTrace `json:"traces"`
+}
+
+// Snapshot copies the tracer's current state; safe concurrently with
+// recording. A nil tracer yields an empty (but non-nil) snapshot so the
+// /traces endpoint can serve it unconditionally.
+func (t *Tracer) Snapshot() *Snapshot {
+	if t == nil {
+		return &Snapshot{Traces: []WindowTrace{}}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]WindowTrace, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...) // oldest segment after the wrap point
+	out = append(out, t.ring[:t.next]...)
+	return &Snapshot{
+		Stride:     int(t.stride),
+		BaseUnixNS: t.epoch,
+		Published:  t.published,
+		Abandoned:  t.abandoned,
+		Traces:     out,
+	}
+}
+
+// WriteJSONL writes the snapshot's traces as JSON Lines (one WindowTrace
+// object per line), the -trace-out file format consumed by
+// dlacep-inspect -trace and the CI trace-smoke jq assertions.
+func (s *Snapshot) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range s.Traces {
+		if err := enc.Encode(&s.Traces[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines trace file back into records, skipping
+// blank lines.
+func ReadJSONL(r io.Reader) ([]WindowTrace, error) {
+	dec := json.NewDecoder(r)
+	var out []WindowTrace
+	for {
+		var tr WindowTrace
+		if err := dec.Decode(&tr); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSampleDeterminism pins the sampling rule: which calls sample is a
+// pure function of the call index and the stride — two tracers over the
+// same stream sample exactly the same positions, run after run.
+func TestSampleDeterminism(t *testing.T) {
+	for _, stride := range []int{1, 2, 8, 64} {
+		a, b := New(stride, 16), New(stride, 16)
+		var hitsA, hitsB []int
+		for i := 0; i < 300; i++ {
+			ta, tb := a.Sample(), b.Sample()
+			if (ta == nil) != (tb == nil) {
+				t.Fatalf("stride %d: tracers disagree at call %d", stride, i)
+			}
+			if ta != nil {
+				hitsA = append(hitsA, i)
+				a.Abandon(ta)
+			}
+			if tb != nil {
+				hitsB = append(hitsB, i)
+				b.Abandon(tb)
+			}
+		}
+		if !reflect.DeepEqual(hitsA, hitsB) {
+			t.Fatalf("stride %d: sampled positions differ: %v vs %v", stride, hitsA, hitsB)
+		}
+		want := 300 / stride
+		if len(hitsA) != want {
+			t.Fatalf("stride %d: sampled %d of 300 calls, want %d", stride, len(hitsA), want)
+		}
+		// The rule itself: call k (1-based) samples iff k % stride == 0.
+		for _, idx := range hitsA {
+			if (idx+1)%stride != 0 {
+				t.Fatalf("stride %d: call %d sampled, not a stride multiple", stride, idx+1)
+			}
+		}
+	}
+}
+
+// TestNilTracer pins the nil-is-free contract for every method.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample() != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	if tr.Now() != 0 || tr.Stride() != 0 {
+		t.Fatal("nil tracer reported nonzero now/stride")
+	}
+	tr.Publish(nil)
+	tr.Abandon(nil)
+	s := tr.Snapshot()
+	if s == nil || len(s.Traces) != 0 {
+		t.Fatalf("nil tracer snapshot = %+v, want empty", s)
+	}
+}
+
+// TestFreeListRecycles pins the recycling contract: once published, a
+// record pointer is reissued by a later Sample instead of allocating.
+func TestFreeListRecycles(t *testing.T) {
+	tr := New(1, 8)
+	first := tr.Sample()
+	if first == nil {
+		t.Fatal("stride-1 Sample returned nil")
+	}
+	first.MarkEndNS = 42
+	tr.Publish(first)
+	second := tr.Sample()
+	if second != first {
+		t.Fatalf("free list not recycled: got %p, want %p", second, first)
+	}
+	if second.MarkEndNS != 0 || second.Seq != 2 {
+		t.Fatalf("recycled record not reset: %+v", second)
+	}
+}
+
+// TestRingBound pins the bounded-ring semantics: the snapshot holds only
+// the most recent `ring` traces, oldest first, while lifetime counters
+// keep the full totals.
+func TestRingBound(t *testing.T) {
+	tr := New(1, 4)
+	for i := 0; i < 10; i++ {
+		s := tr.Sample()
+		s.WindowID = uint64(100 + i)
+		tr.Publish(s)
+	}
+	snap := tr.Snapshot()
+	if snap.Published != 10 {
+		t.Fatalf("published = %d, want 10", snap.Published)
+	}
+	if len(snap.Traces) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(snap.Traces))
+	}
+	for i, w := range []uint64{106, 107, 108, 109} {
+		if snap.Traces[i].WindowID != w {
+			t.Fatalf("ring[%d].WindowID = %d, want %d (oldest-first order)", i, snap.Traces[i].WindowID, w)
+		}
+	}
+}
+
+// TestJSONLRoundTrip writes a snapshot as JSONL, reads it back, and
+// checks both the records and the aggregate are stable across the trip —
+// the write → dlacep-inspect -trace → stable-aggregate contract.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(1, 16)
+	for i := 0; i < 5; i++ {
+		s := tr.Sample()
+		base := int64(1000 * (i + 1))
+		s.WindowID = uint64(i)
+		s.Events = 32
+		s.Relayed = i
+		s.PartitionNS = base + 10
+		s.EnqueueNS = base + 12
+		s.DequeueNS = base + 100
+		s.MarkStartNS = base + 150
+		s.MarkEndNS = base + 900
+		s.FlushNS = base + 950
+		s.MergeNS = base + 1100
+		s.CEPStartNS = base + 1150
+		s.CEPEndNS = base + 1400
+		s.IngestNS = base
+		tr.Publish(s)
+	}
+	snap := tr.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap.Traces) {
+		t.Fatalf("round trip changed records:\n got %+v\nwant %+v", got, snap.Traces)
+	}
+	before, after := Aggregate(snap.Traces), Aggregate(got)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("aggregate not stable across round trip:\n%v\nvs\n%v", before, after)
+	}
+}
+
+// TestAggregateStages pins the critical-path arithmetic on a hand-built
+// trace: stage deltas, full coverage, ring-wait share, dominant stage.
+func TestAggregateStages(t *testing.T) {
+	trs := []WindowTrace{{
+		IngestNS:    100,
+		PartitionNS: 110, // partition: 10
+		EnqueueNS:   115, // dispatch: 5
+		DequeueNS:   215, // ring_wait: 100
+		MarkStartNS: 265, // stage_wait: 50
+		MarkEndNS:   665, // mark: 400
+		FlushNS:     685, // relay: 20
+		MergeNS:     885, // merge_wait: 200
+		CEPStartNS:  895, // cep_wait: 10
+		CEPEndNS:    995, // cep: 100
+	}}
+	b := Aggregate(trs)
+	if b.Windows != 1 {
+		t.Fatalf("windows = %d, want 1", b.Windows)
+	}
+	if b.TotalNS != 895 || b.TotalP50NS != 895 {
+		t.Fatalf("total = %d p50 = %d, want 895", b.TotalNS, b.TotalP50NS)
+	}
+	if b.Coverage != 1.0 {
+		t.Fatalf("coverage = %v, want 1.0 (stamps tile the interval)", b.Coverage)
+	}
+	wantDur := map[string]int64{
+		"partition": 10, "dispatch": 5, "ring_wait": 100, "stage_wait": 50,
+		"mark": 400, "relay": 20, "merge_wait": 200, "cep_wait": 10, "cep": 100,
+	}
+	if len(b.Stages) != len(wantDur) {
+		t.Fatalf("got %d stages, want %d", len(b.Stages), len(wantDur))
+	}
+	for _, s := range b.Stages {
+		if s.P50NS != wantDur[s.Stage] {
+			t.Fatalf("stage %s p50 = %d, want %d", s.Stage, s.P50NS, wantDur[s.Stage])
+		}
+		wantDom := 0
+		if s.Stage == "mark" {
+			wantDom = 1
+		}
+		if s.Dominant != wantDom {
+			t.Fatalf("stage %s dominant = %d, want %d", s.Stage, s.Dominant, wantDom)
+		}
+	}
+	if want := float64(300) / 895; b.RingWaitShare != want {
+		t.Fatalf("ring-wait share = %v, want %v", b.RingWaitShare, want)
+	}
+}
+
+// TestAggregateSkipsAbsentStages: a sequential-Processor trace (no
+// partition/ring/merge stamps) still gets full coverage over the stages
+// it did visit.
+func TestAggregateSkipsAbsentStages(t *testing.T) {
+	trs := []WindowTrace{{
+		IngestNS:    100,
+		MarkStartNS: 200, // stage_wait: 100 (delta from previous present stamp)
+		MarkEndNS:   500, // mark: 300
+		CEPStartNS:  520, // cep_wait: 20
+		CEPEndNS:    620, // cep: 100
+	}}
+	b := Aggregate(trs)
+	if b.Windows != 1 || b.TotalNS != 520 {
+		t.Fatalf("windows=%d total=%d, want 1/520", b.Windows, b.TotalNS)
+	}
+	if b.Coverage != 1.0 {
+		t.Fatalf("coverage = %v, want 1.0", b.Coverage)
+	}
+	for _, s := range b.Stages {
+		switch s.Stage {
+		case "partition", "dispatch", "ring_wait", "merge_wait", "relay":
+			t.Fatalf("absent stage %q reported", s.Stage)
+		}
+	}
+}
+
+// TestConcurrentScrape is the -race hammer: snapshots (the /traces
+// scrape) run against concurrent sampling, publishing, and abandonment.
+func TestConcurrentScrape(t *testing.T) {
+	tr := New(2, 64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if s := tr.Sample(); s != nil {
+					if i%3 == 0 {
+						tr.Abandon(s)
+					} else {
+						s.MarkEndNS = tr.Now()
+						tr.Publish(s)
+					}
+				}
+			}
+		}()
+	}
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := tr.Snapshot()
+				if len(snap.Traces) > 64 {
+					t.Errorf("snapshot exceeded ring bound: %d", len(snap.Traces))
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraped
+	snap := tr.Snapshot()
+	if snap.Published+snap.Abandoned != 4*5000/2 {
+		t.Fatalf("published+abandoned = %d, want %d", snap.Published+snap.Abandoned, 4*5000/2)
+	}
+}
+
+// TestUnsampledZeroAllocs gates the unsampled hot path dynamically: no
+// allocations per unsampled Sample call.
+func TestUnsampledZeroAllocs(t *testing.T) {
+	tr := New(1<<30, 16)
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr.Sample() != nil {
+			t.Fatal("unexpected sample")
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled Sample allocates %v per op, want 0", n)
+	}
+}
+
+// TestSteadyStateSampledZeroAllocs: once the free list has warmed (one
+// record in flight at a time), even the sampled path stops allocating.
+func TestSteadyStateSampledZeroAllocs(t *testing.T) {
+	tr := New(1, 16)
+	tr.Publish(tr.Sample()) // warm the free list
+	if n := testing.AllocsPerRun(1000, func() {
+		s := tr.Sample()
+		if s == nil {
+			t.Fatal("stride-1 Sample returned nil")
+		}
+		tr.Publish(s)
+	}); n != 0 {
+		t.Fatalf("steady-state sampled path allocates %v per op, want 0", n)
+	}
+}
+
+// BenchmarkTraceUnsampled is the CI alloc gate for the unsampled path.
+func BenchmarkTraceUnsampled(b *testing.B) {
+	tr := New(1<<30, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := tr.Sample(); s != nil {
+			tr.Abandon(s)
+		}
+	}
+}

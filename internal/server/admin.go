@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 // Health is the /healthz payload: engine liveness plus the headline event
@@ -49,17 +50,20 @@ type AdminRoute struct {
 
 // AdminHandler returns the introspection mux served on the admin listener
 // (separate from the TCP event port): GET /metrics is the registry snapshot
-// (see obs.Handler), GET /healthz the liveness payload, and — only when
-// enablePprof is set — the standard net/http/pprof endpoints under
-// /debug/pprof/. Pprof is opt-in because profile endpoints are a DoS and
-// information-leak surface on anything reachable beyond localhost. Extra
-// routes are mounted verbatim.
+// (see obs.Handler; append ?format=prom for the Prometheus text format),
+// GET /traces the tracer's retained per-window traces (see trace.Handler;
+// empty when tracing is off), GET /healthz the liveness payload, and —
+// only when enablePprof is set — the standard net/http/pprof endpoints
+// under /debug/pprof/. Pprof is opt-in because profile endpoints are a DoS
+// and information-leak surface on anything reachable beyond localhost.
+// Extra routes are mounted verbatim.
 func (s *Server) AdminHandler(enablePprof bool, extra ...AdminRoute) http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range extra {
 		mux.Handle(r.Pattern, r.Handler)
 	}
 	mux.Handle("/metrics", obs.Handler(s.Obs))
+	mux.Handle("/traces", trace.Handler(s.Trace))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

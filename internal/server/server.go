@@ -30,6 +30,7 @@ import (
 	"dlacep/internal/core"
 	"dlacep/internal/event"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 	"dlacep/internal/pattern"
 	"dlacep/internal/shard"
 )
@@ -80,6 +81,11 @@ type Server struct {
 	// ShardBatch is K, the windows batched per filter call in shard mode
 	// (shard.Options.Batch); 0 means 1.
 	ShardBatch int
+	// Trace, when non-nil, is shared by every connection's pipeline: each
+	// connection samples per-window critical-path traces into its bounded
+	// ring (deterministic 1-of-stride sampling across the interleaved
+	// connections). Expose it via AdminHandler's /traces. Set before Serve.
+	Trace *trace.Tracer
 
 	mu     sync.Mutex
 	closed bool
@@ -219,6 +225,7 @@ func (s *Server) handle(conn net.Conn) error {
 		return err
 	}
 	pl.Obs = s.Obs
+	pl.Trace = s.Trace
 	proc, err := pl.NewProcessor()
 	if err != nil {
 		return err
@@ -319,6 +326,7 @@ func (s *Server) handleSharded(conn net.Conn) error {
 		return err
 	}
 	pl.Obs = s.Obs
+	pl.Trace = s.Trace
 
 	w := bufio.NewWriter(conn)
 	enc := json.NewEncoder(w)

@@ -1,12 +1,14 @@
 package shard
 
 import (
+	"os"
 	"testing"
 
 	"dlacep/internal/core"
 	"dlacep/internal/dataset"
 	"dlacep/internal/event"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 	"dlacep/internal/pattern"
 )
 
@@ -67,6 +69,22 @@ func BenchmarkPipelineSharded(b *testing.B) {
 	b.Run("fast", func(b *testing.B) {
 		reg := obs.NewRegistry()
 		pl := benchPipeline(b, reg)
+		// DLACEP_TRACE_OUT=<path> captures per-window traces of this exact
+		// workload for dlacep-inspect -trace — how the committed
+		// BENCH_pipeline.json regression diagnosis in DESIGN.md §12 was made.
+		if out := os.Getenv("DLACEP_TRACE_OUT"); out != "" {
+			pl.Trace = trace.New(16, 8192)
+			b.Cleanup(func() {
+				f, err := os.Create(out)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer f.Close()
+				if err := pl.Trace.Snapshot().WriteJSONL(f); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p, err := New(pl, Options{Shards: 4, Batch: 4})
@@ -124,7 +142,10 @@ func (d *dropAllBatchMarker) CloneFilter() core.EventFilter {
 // BenchmarkShardLoop measures (and, via the CI -fail-on-allocs gate,
 // enforces) the steady-state per-event cost of the shard machinery: one
 // Push through partitioning, the input ring, window staging, batched
-// marking, and watermark merge must not allocate.
+// marking, and watermark merge must not allocate. A tracer with an
+// unreachably large stride is attached so the gate also covers the
+// unsampled tracing fast path end-to-end — a tracing-enabled pipeline
+// must stay allocation-free between samples.
 func BenchmarkShardLoop(b *testing.B) {
 	b.Run("fast", func(b *testing.B) {
 		cfg := core.Config{MarkSize: 32, StepSize: 16, Hidden: 4, Layers: 1, Seed: 1}
@@ -133,6 +154,7 @@ func BenchmarkShardLoop(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		pl.Trace = trace.New(1<<62, 16)
 		p, err := New(pl, Options{Shards: 2, Batch: 4})
 		if err != nil {
 			b.Fatal(err)

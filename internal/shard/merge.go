@@ -8,6 +8,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 // merger is the single consumer of every shard's output ring. It owns the
@@ -45,19 +46,28 @@ type merger struct {
 	//dlacep:owned
 	emit []event.Event // current cycle's globally merged slice
 
+	// trs accumulates traces received from relay batches until the next
+	// engine run stamps their CEP interval and publishes them; a trace's
+	// window may relay into an engine batch later than the one its own
+	// batch triggered (watermark holds), so traces wait here with it.
+	tracer *trace.Tracer
+	//dlacep:owned
+	trs []*trace.WindowTrace
+
 	res       *core.Result
 	reg       *obs.Registry
 	outDepthG []*obs.Gauge
 }
 
 func newMerger(es *core.EngineSet, outs []*Ring[relayBatch], frees []*Ring[[]event.Event],
-	notify <-chan struct{}, onMatch func(*cep.Match), reg *obs.Registry) *merger {
+	notify <-chan struct{}, onMatch func(*cep.Match), reg *obs.Registry, tracer *trace.Tracer) *merger {
 	m := &merger{
 		es:      es,
 		outs:    outs,
 		frees:   frees,
 		notify:  notify,
 		onMatch: onMatch,
+		tracer:  tracer,
 		queues:  make([][]relayBatch, len(outs)),
 		qoff:    make([]int, len(outs)),
 		wms:     make([]uint64, len(outs)),
@@ -89,11 +99,22 @@ func (m *merger) run() {
 		}
 	}
 	sw := metrics.StartStopwatch()
+	var c0, inst0 int64
+	if len(m.trs) > 0 {
+		// Traces can still wait here: their windows relayed nothing, or
+		// their relays sat above the final pre-close watermark. The engine
+		// flush is the CEP work that ends their critical path.
+		c0 = m.tracer.Now()
+		inst0 = m.es.InstanceCount()
+	}
 	//dlacep:coldpath end-of-stream engine drain runs once per pipeline
-	m.collect(m.es.Flush())
+	ms := m.es.Flush()
+	m.publishTraces(c0, inst0, len(ms))
+	m.collect(ms)
 	m.res.CEPTime += sw.Elapsed()
 	//dlacep:coldpath end-of-stream stats aggregation runs once per pipeline
 	m.res.CEPStats = m.es.Stats()
+	m.res.KeysByPattern = m.es.KeysByPattern()
 }
 
 // drain empties every output ring into the per-shard queues, advancing
@@ -114,6 +135,13 @@ func (m *merger) drain() bool {
 			progress = true
 			if b.wm > m.wms[s] {
 				m.wms[s] = b.wm
+			}
+			if len(b.trs) > 0 {
+				now := m.tracer.Now()
+				for _, tr := range b.trs {
+					tr.MergeNS = now
+				}
+				m.trs = append(m.trs, b.trs...)
 			}
 			if len(b.evs) > 0 {
 				m.queues[s] = append(m.queues[s], b)
@@ -169,14 +197,41 @@ func (m *merger) emitReady() {
 	if len(m.emit) == 0 {
 		return
 	}
+	var c0, inst0 int64
+	if len(m.trs) > 0 {
+		c0 = m.tracer.Now()
+		inst0 = m.es.InstanceCount()
+	}
 	sw := metrics.StartStopwatch()
 	sp := obs.Start(m.reg, "pipeline.shard.merge_ns")
 	//dlacep:coldpath CEP engine matching allocates per match; downstream of the filter by design
 	ms := m.es.Process(m.emit)
 	sp.End()
 	m.res.CEPTime += sw.Elapsed()
+	m.publishTraces(c0, inst0, len(ms))
 	m.collect(ms)
 	m.emit = m.emit[:0]
+}
+
+// publishTraces completes every waiting trace against the engine run that
+// just consumed the merged batch: all waiting windows share its CEP
+// interval and are attributed its matches and instance growth (their
+// relays are inside the batch). No-op when nothing waits.
+//
+//dlacep:coldpath sampled-path trace completion; runs only when traced windows are waiting, bounded by the sampling stride
+func (m *merger) publishTraces(c0, inst0 int64, matches int) {
+	if len(m.trs) == 0 {
+		return
+	}
+	c1 := m.tracer.Now()
+	di := m.es.InstanceCount() - inst0
+	for _, tr := range m.trs {
+		tr.CEPStartNS, tr.CEPEndNS = c0, c1
+		tr.Matches += matches
+		tr.CEPInstances += di
+		m.tracer.Publish(tr)
+	}
+	m.trs = m.trs[:0]
 }
 
 // finished reports end of work: every shard closed and drained, every queue

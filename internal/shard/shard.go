@@ -10,6 +10,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/metrics"
 	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
 )
 
 // Options configures a sharded pipeline.
@@ -47,9 +48,13 @@ func (o Options) withDefaults() Options {
 
 // inMsg is one input-ring element: an event, or (tick > 0) a watermark
 // control message promising that no future event with ID < tick will arrive.
+// tr rides along when the dispatcher sampled this event for tracing: the
+// record crosses the ring with the event it describes, and the ring's
+// release/acquire indices order the dispatcher's stamps before the worker's.
 type inMsg struct {
 	ev   event.Event
 	tick uint64
+	tr   *trace.WindowTrace
 }
 
 // relayBatch is one output-ring element: a shard's newly relayed events in
@@ -61,6 +66,9 @@ type inMsg struct {
 type relayBatch struct {
 	evs []event.Event
 	wm  uint64
+	// trs carries the traces of this batch's sampled windows downstream:
+	// the merge stage stamps merge/CEP intervals and publishes them.
+	trs []*trace.WindowTrace
 }
 
 // Pipeline is the sharded serving pipeline. One goroutine (the caller's)
@@ -75,6 +83,7 @@ type relayBatch struct {
 type Pipeline struct {
 	opts    Options
 	markSz  int
+	tracer  *trace.Tracer // nil = untraced; from core.Pipeline.Trace
 	workers []*worker
 	merge   *merger
 	joined  chan struct{} // closed when all workers have exited
@@ -114,6 +123,7 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 	p := &Pipeline{
 		opts:    opts,
 		markSz:  pl.Cfg.MarkSize,
+		tracer:  pl.Trace,
 		joined:  make(chan struct{}),
 		mJoined: make(chan struct{}),
 		wall:    metrics.StartStopwatch(),
@@ -121,12 +131,12 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 	outs := make([]*Ring[relayBatch], opts.Shards)
 	frees := make([]*Ring[[]event.Event], opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
-		w := newWorker(i, pl.Cfg, filters[i], opts, pl.Obs, notify)
+		w := newWorker(i, pl.Cfg, filters[i], opts, pl.Obs, pl.Trace, notify)
 		p.workers = append(p.workers, w)
 		outs[i] = w.out
 		frees[i] = w.free
 	}
-	p.merge = newMerger(es, outs, frees, notify, opts.OnMatch, pl.Obs)
+	p.merge = newMerger(es, outs, frees, notify, opts.OnMatch, pl.Obs, pl.Trace)
 	running := make(chan struct{}, opts.Shards)
 	for _, w := range p.workers {
 		w := w
@@ -155,12 +165,30 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 // is full (backpressure, never drops). Every markSize events it also fans a
 // watermark tick to the other shards so a shard that owns only rare tickers
 // still advances the merge frontier instead of damming it.
+//
+// When the pipeline carries a tracer, Push is also the sampling point:
+// 1-of-stride events acquire a WindowTrace here, get their partition and
+// ring-enqueue stamps, and ride their inMsg to the owning shard. The
+// unsampled path costs one atomic increment.
+//
+//dlacep:hotpath
 func (p *Pipeline) Push(ev event.Event) error {
 	if p.closed {
+		//dlacep:coldpath push-after-close is a terminal caller error, not hot
 		return fmt.Errorf("shard: Push after Close")
 	}
 	s := Partition(ev.Type, p.opts.Shards)
-	if !p.workers[s].in.Push(inMsg{ev: ev}) {
+	tr := p.tracer.Sample()
+	if tr != nil {
+		tr.Shard = s
+		tr.PartitionNS = p.tracer.Now()
+		// Stamped before the ring push: the consumer can pop (and stamp
+		// DequeueNS) before Push even returns, and enqueue must not read
+		// later than dequeue.
+		tr.EnqueueNS = p.tracer.Now()
+	}
+	if !p.workers[s].in.Push(inMsg{ev: ev, tr: tr}) {
+		//dlacep:coldpath closed-pipeline error path is terminal, not hot
 		return fmt.Errorf("shard: pipeline closed")
 	}
 	p.lastID = ev.ID
@@ -245,17 +273,30 @@ type worker struct {
 	//dlacep:owned
 	wm uint64
 
+	// Tracing state. curTr is a sampled event's record awaiting its window
+	// (a second sample arriving first is abandoned); winTrs[i] is the trace
+	// attached to staged window i; trN counts attached traces so the
+	// untraced flush path skips every clock read on one integer test.
+	tracer *trace.Tracer
+	//dlacep:owned
+	curTr *trace.WindowTrace
+	//dlacep:owned
+	winTrs []*trace.WindowTrace
+	//dlacep:owned
+	trN int
+
 	total      int
 	relayedN   int
 	filterTime time.Duration
 	err        error
 
-	inC, relC, dropC *obs.Counter
-	inDepthG         *obs.Gauge
-	markH            *obs.Histogram
+	inC, relC, dropC  *obs.Counter
+	winRelC, winDropC *obs.Counter
+	inDepthG          *obs.Gauge
+	markH             *obs.Histogram
 }
 
-func newWorker(id int, cfg core.Config, f core.EventFilter, opts Options, reg *obs.Registry, notify chan<- struct{}) *worker {
+func newWorker(id int, cfg core.Config, f core.EventFilter, opts Options, reg *obs.Registry, tracer *trace.Tracer, notify chan<- struct{}) *worker {
 	w := &worker{
 		id:       id,
 		cfg:      cfg,
@@ -271,11 +312,18 @@ func newWorker(id int, cfg core.Config, f core.EventFilter, opts Options, reg *o
 		wins:     make([][]event.Event, opts.Batch),
 		upTos:    make([]uint64, opts.Batch),
 		markRows: make([][]bool, opts.Batch),
+		tracer:   tracer,
+		winTrs:   make([]*trace.WindowTrace, opts.Batch),
 	}
 	w.bm, _ = f.(core.BatchMarker)
 	w.inC = reg.Counter(shardMetric(id, "events.in"))
 	w.relC = reg.Counter(shardMetric(id, "events.relayed"))
 	w.dropC = reg.Counter(shardMetric(id, "events.dropped"))
+	// Window-verdict counters are global (not per-shard): every marking
+	// path publishes the same filter.windows.* names, so totals aggregate
+	// across shards exactly like the sequential Processor's.
+	w.winRelC = reg.Counter(core.MetricWindowsRelayed)
+	w.winDropC = reg.Counter(core.MetricWindowsDropped)
 	w.inDepthG = reg.Gauge(shardMetric(id, "ring.in.depth"))
 	w.markH = reg.Histogram(shardMetric(id, "mark_ns"))
 	return w
@@ -309,14 +357,24 @@ func (w *worker) run() {
 			w.onTick(msg.tick)
 			continue
 		}
-		w.onEvent(msg.ev)
+		w.onEvent(msg)
 	}
 	w.finish()
 }
 
-func (w *worker) onEvent(ev event.Event) {
+func (w *worker) onEvent(msg inMsg) {
+	ev := msg.ev
 	if w.err != nil {
+		w.tracer.Abandon(msg.tr)
 		return // poisoned: drain without processing so the dispatcher never blocks
+	}
+	if msg.tr != nil {
+		msg.tr.DequeueNS = w.tracer.Now()
+		if w.curTr == nil {
+			w.curTr = msg.tr
+		} else {
+			w.tracer.Abandon(msg.tr)
+		}
 	}
 	if !ev.IsBlank() {
 		w.total++
@@ -340,6 +398,15 @@ func (w *worker) onEvent(ev event.Event) {
 	} else {
 		w.upTos[w.staged] = ev.ID + 1
 	}
+	// An in-flight sample belongs to this window (its event is in the
+	// buffer the window was cut from): pin it to the staging slot.
+	if w.curTr != nil {
+		w.curTr.WindowID = win[0].ID
+		w.curTr.Events = len(win)
+		w.winTrs[w.staged] = w.curTr
+		w.trN++
+		w.curTr = nil
+	}
 	w.staged++
 	keep := len(w.buf) - w.cfg.StepSize
 	copy(w.buf, w.buf[w.cfg.StepSize:])
@@ -357,7 +424,7 @@ func (w *worker) onTick(tick uint64) {
 	// this shard can promise it will never relay below the tick, letting the
 	// merge frontier pass it by.
 	if w.staged == 0 && len(w.buf) == 0 && len(w.pending) == 0 && w.lastTick > w.wm {
-		w.pushBatch(nil, w.lastTick)
+		w.pushBatch(nil, w.lastTick, nil)
 	}
 }
 
@@ -368,6 +435,13 @@ func (w *worker) onTick(tick uint64) {
 // ID-ascending relayBatch.
 func (w *worker) flushBatch() {
 	wins := w.wins[:w.staged]
+	// Mark stamps are per-batch, shared by every traced window in it: the
+	// filter really does run them as one call. The trN guard keeps the
+	// untraced flush free of clock reads.
+	var t0 int64
+	if w.trN > 0 {
+		t0 = w.tracer.Now()
+	}
 	sw := metrics.StartStopwatch()
 	var marks [][]bool
 	if w.bm != nil {
@@ -383,6 +457,14 @@ func (w *worker) flushBatch() {
 	d := sw.Elapsed()
 	w.filterTime += d
 	w.markH.Observe(d)
+	if w.trN > 0 {
+		t1 := w.tracer.Now()
+		for i := range wins {
+			if tr := w.winTrs[i]; tr != nil {
+				tr.MarkStartNS, tr.MarkEndNS = t0, t1
+			}
+		}
+	}
 	if len(marks) != len(wins) {
 		//dlacep:coldpath filter-contract violation poisons the shard; terminal, not hot
 		w.fail(fmt.Errorf("shard %d: filter returned %d mark rows for %d windows", w.id, len(marks), len(wins)))
@@ -393,13 +475,37 @@ func (w *worker) flushBatch() {
 	var wm uint64
 	for i, win := range wins {
 		var ok bool
-		if evs, wm, ok = w.applyWindow(win, marks[i], w.cfg.StepSize, w.upTos[i], evs); !ok {
+		if evs, wm, ok = w.applyWindow(win, marks[i], w.cfg.StepSize, w.upTos[i], evs, w.winTrs[i]); !ok {
 			return
 		}
 	}
+	trs := w.takeTraces(len(wins))
 	w.staged = 0
 	w.inDepthG.Set(float64(w.in.Len()))
-	w.pushBatch(evs, wm)
+	w.pushBatch(evs, wm, trs)
+}
+
+// takeTraces detaches the staged windows' traces (nil when none), stamping
+// their flush time. Runs only on the sampled path — at most one traced
+// batch per stride events — so its one slice allocation per call is off
+// the unsampled hot path by construction.
+//
+//dlacep:coldpath sampled-path trace hand-off; bounded by the sampling stride, never runs for untraced batches
+func (w *worker) takeTraces(n int) []*trace.WindowTrace {
+	if w.trN == 0 {
+		return nil
+	}
+	now := w.tracer.Now()
+	trs := make([]*trace.WindowTrace, 0, w.trN)
+	for i := 0; i < n; i++ {
+		if tr := w.winTrs[i]; tr != nil {
+			tr.FlushNS = now
+			trs = append(trs, tr)
+			w.winTrs[i] = nil
+		}
+	}
+	w.trN = 0
+	return trs
 }
 
 // applyWindow mirrors core.Processor exactly for one marked window: dedup
@@ -407,21 +513,34 @@ func (w *worker) flushBatch() {
 // that no window marked as dropped, then relay (and forget) everything below
 // upTo. leave is how many leading events leave the buffer (StepSize for full
 // windows, the whole window at flush).
-func (w *worker) applyWindow(win []event.Event, marks []bool, leave int, upTo uint64, evs []event.Event) ([]event.Event, uint64, bool) {
+func (w *worker) applyWindow(win []event.Event, marks []bool, leave int, upTo uint64, evs []event.Event, tr *trace.WindowTrace) ([]event.Event, uint64, bool) {
 	if len(marks) != len(win) {
 		//dlacep:coldpath filter-contract violation poisons the shard; terminal, not hot
 		w.fail(fmt.Errorf("shard %d: filter returned %d marks for %d events", w.id, len(marks), len(win)))
 		return evs, 0, false
 	}
+	anyMark := false
 	for i, m := range marks {
-		if !m || win[i].IsBlank() || w.relayed[win[i].ID] {
+		if !m || win[i].IsBlank() {
+			continue
+		}
+		anyMark = true
+		if w.relayed[win[i].ID] {
 			continue
 		}
 		w.relayed[win[i].ID] = true
+		if tr != nil {
+			tr.Relayed++
+		}
 		w.pending = append(w.pending, win[i])
 		for j := len(w.pending) - 1; j > 0 && w.pending[j-1].ID > w.pending[j].ID; j-- {
 			w.pending[j-1], w.pending[j] = w.pending[j], w.pending[j-1]
 		}
+	}
+	if anyMark {
+		w.winRelC.Inc()
+	} else {
+		w.winDropC.Inc()
 	}
 	if leave > len(win) {
 		leave = len(win)
@@ -429,6 +548,9 @@ func (w *worker) applyWindow(win []event.Event, marks []bool, leave int, upTo ui
 	for _, old := range win[:leave] {
 		if !old.IsBlank() && !w.relayed[old.ID] {
 			w.dropC.Inc()
+			if tr != nil {
+				tr.Dropped++
+			}
 		}
 	}
 	i := 0
@@ -458,6 +580,19 @@ func (w *worker) finish() {
 		}
 		if w.err == nil && len(w.buf) > 0 {
 			win := w.buf
+			// A sample still waiting for its window belongs to this trailing
+			// partial one.
+			if w.curTr != nil {
+				w.curTr.WindowID = win[0].ID
+				w.curTr.Events = len(win)
+				w.winTrs[0] = w.curTr
+				w.trN++
+				w.curTr = nil
+			}
+			var t0 int64
+			if w.trN > 0 {
+				t0 = w.tracer.Now()
+			}
 			sw := metrics.StartStopwatch()
 			var marks []bool
 			if w.bm != nil {
@@ -471,18 +606,28 @@ func (w *worker) finish() {
 			d := sw.Elapsed()
 			w.filterTime += d
 			w.markH.Observe(d)
+			if w.trN > 0 {
+				t1 := w.tracer.Now()
+				if tr := w.winTrs[0]; tr != nil {
+					tr.MarkStartNS, tr.MarkEndNS = t0, t1
+				}
+			}
 			evs, _ := w.free.TryPop()
 			evs = evs[:0]
-			if evs, _, ok := w.applyWindow(win, marks, len(win), math.MaxUint64, evs); ok {
+			if evs, _, ok := w.applyWindow(win, marks, len(win), math.MaxUint64, evs, w.winTrs[0]); ok {
 				w.buf = w.buf[:0]
-				w.pushBatch(evs, math.MaxUint64)
+				w.pushBatch(evs, math.MaxUint64, w.takeTraces(1))
 			}
 		}
 		// Whatever is still pending (possible only on the error path) is
 		// gone; the terminal watermark below tells the merge stage this
 		// shard will never relay again.
 	}
-	w.pushBatch(nil, math.MaxUint64)
+	// A sample that never saw a window (poisoned shard, or attached after
+	// the last flush of an empty buffer) is recycled, not published.
+	w.tracer.Abandon(w.curTr)
+	w.curTr = nil
+	w.pushBatch(nil, math.MaxUint64, nil)
 	w.out.Close()
 	w.signal()
 }
@@ -498,16 +643,18 @@ func (w *worker) fail(err error) {
 
 // pushBatch hands a relay batch to the merge stage. Pushing can block on a
 // full output ring; the merge stage only ever drains, so this cannot
-// deadlock. Empty batches are sent only to advance the watermark.
-func (w *worker) pushBatch(evs []event.Event, wm uint64) {
+// deadlock. Empty batches are sent only to advance the watermark — or to
+// ship traces of windows that relayed nothing, which must still reach the
+// merge stage to be published.
+func (w *worker) pushBatch(evs []event.Event, wm uint64, trs []*trace.WindowTrace) {
 	if wm < w.wm {
 		wm = w.wm
 	}
-	if len(evs) == 0 && wm == w.wm {
+	if len(evs) == 0 && wm == w.wm && len(trs) == 0 {
 		return
 	}
 	w.wm = wm
-	w.out.Push(relayBatch{evs: evs, wm: wm})
+	w.out.Push(relayBatch{evs: evs, wm: wm, trs: trs})
 	w.signal()
 }
 

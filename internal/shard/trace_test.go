@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"dlacep/internal/core"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/obs"
+	"dlacep/internal/obs/trace"
+)
+
+// runShardedTraced is runSharded with a tracer attached to the pipeline.
+func runShardedTraced(t testing.TB, filter core.EventFilter, reg *obs.Registry,
+	tracer *trace.Tracer, st *event.Stream, shards, batch int) *core.Result {
+	t.Helper()
+	pl := newCorePipeline(t, filter, reg)
+	pl.Trace = tracer
+	p, err := New(pl, Options{Shards: shards, Batch: batch, RingBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Events {
+		if err := p.Push(st.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardTraceFullPath pins the sharded trace shape: every published
+// trace carries all ten stage stamps, monotonic in pipeline order, and the
+// aggregate attributes 100% of end-to-end latency to named stages (the
+// ≥90% acceptance bar holds by construction).
+func TestShardTraceFullPath(t *testing.T) {
+	const shards = 4
+	st := dataset.Stock(dataset.StockConfig{Events: 600, Tickers: 10, ZipfS: 1.2, Sigma: 0.25, Seed: 3})
+	tracer := trace.New(4, 4096)
+	runShardedTraced(t, hashFilter{salt: 9}, nil, tracer, st, shards, 2)
+
+	snap := tracer.Snapshot()
+	if snap.Published == 0 {
+		t.Fatal("no traces published")
+	}
+	for _, tr := range snap.Traces {
+		stamps := []struct {
+			name string
+			ns   int64
+		}{
+			{"ingest", tr.IngestNS}, {"partition", tr.PartitionNS},
+			{"enqueue", tr.EnqueueNS}, {"dequeue", tr.DequeueNS},
+			{"mark_start", tr.MarkStartNS}, {"mark_end", tr.MarkEndNS},
+			{"flush", tr.FlushNS}, {"merge", tr.MergeNS},
+			{"cep_start", tr.CEPStartNS}, {"cep_end", tr.CEPEndNS},
+		}
+		for i, s := range stamps {
+			if s.ns <= 0 {
+				t.Fatalf("trace %d missing stamp %s: %+v", tr.Seq, s.name, tr)
+			}
+			if i > 0 && s.ns < stamps[i-1].ns {
+				t.Fatalf("trace %d stamp %s before %s: %+v", tr.Seq, s.name, stamps[i-1].name, tr)
+			}
+		}
+		if tr.Shard < 0 || tr.Shard >= shards {
+			t.Fatalf("trace %d on shard %d of %d", tr.Seq, tr.Shard, shards)
+		}
+		if tr.Events <= 0 {
+			t.Fatalf("trace %d has no window length", tr.Seq)
+		}
+	}
+	b := trace.Aggregate(snap.Traces)
+	if b.Windows != len(snap.Traces) {
+		t.Fatalf("aggregate used %d of %d traces", b.Windows, len(snap.Traces))
+	}
+	if b.Coverage < 0.9 {
+		t.Fatalf("coverage %.3f, acceptance requires >= 0.9", b.Coverage)
+	}
+	if len(b.Stages) != 9 {
+		t.Fatalf("got %d stages, full sharded path has 9: %v", len(b.Stages), b.Stages)
+	}
+	if b.RingWaitShare <= 0 || b.RingWaitShare > 1 {
+		t.Fatalf("ring-wait share %v outside (0,1]", b.RingWaitShare)
+	}
+}
+
+// TestShardTraceDeterministicSampling: the set of traced (shard, window)
+// pairs is a pure function of the stream and stride — identical across
+// runs even though merge interleaving (and so publish order) is not.
+func TestShardTraceDeterministicSampling(t *testing.T) {
+	st := dataset.Synthetic(700, 4, 21)
+	run := func() []string {
+		tracer := trace.New(8, 4096)
+		runShardedTraced(t, hashFilter{salt: 2}, nil, tracer, st, 4, 2)
+		snap := tracer.Snapshot()
+		keys := make([]string, len(snap.Traces))
+		for i, tr := range snap.Traces {
+			keys[i] = fmt.Sprintf("s%d/w%d", tr.Shard, tr.WindowID)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no traces sampled")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("traced windows differ across identical runs:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestShardWindowVerdictCounters: at shards=1 the single worker sees
+// exactly the Processor's window sequence, so the global window-verdict
+// counters must agree with the sequential path's on the same stream.
+func TestShardWindowVerdictCounters(t *testing.T) {
+	st := dataset.Synthetic(500, 4, 13)
+	filter := hashFilter{salt: 4}
+
+	seqReg := obs.NewRegistry()
+	runSequential(t, filter, seqReg, st)
+	shReg := obs.NewRegistry()
+	runSharded(t, filter, shReg, st, 1, 2)
+
+	wantRel := seqReg.Counter(core.MetricWindowsRelayed).Value()
+	wantDrop := seqReg.Counter(core.MetricWindowsDropped).Value()
+	gotRel := shReg.Counter(core.MetricWindowsRelayed).Value()
+	gotDrop := shReg.Counter(core.MetricWindowsDropped).Value()
+	if wantRel == 0 && wantDrop == 0 {
+		t.Fatal("sequential run recorded no window verdicts; counters not wired")
+	}
+	if gotRel != wantRel || gotDrop != wantDrop {
+		t.Fatalf("shards=1 verdicts relayed/dropped = %d/%d, sequential = %d/%d",
+			gotRel, gotDrop, wantRel, wantDrop)
+	}
+
+	// At shards>1 the windows are re-cut per sub-stream, so counts differ
+	// from sequential — but every marked window still gets exactly one
+	// verdict, so the counters must cover all windows the workers staged.
+	multiReg := obs.NewRegistry()
+	runSharded(t, filter, multiReg, st, 4, 2)
+	rel := multiReg.Counter(core.MetricWindowsRelayed).Value()
+	drop := multiReg.Counter(core.MetricWindowsDropped).Value()
+	if rel == 0 {
+		t.Fatalf("shards=4 relayed %d windows; hash filter must relay some", rel)
+	}
+	if rel < 0 || drop < 0 {
+		t.Fatalf("negative verdict counters %d/%d", rel, drop)
+	}
+}
