@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"dlacep/internal/acep"
@@ -165,6 +166,34 @@ func inspectTraces(paths string) {
 	}
 	fmt.Printf("trace records: %d\n", len(trs))
 	trace.Aggregate(trs).Format(os.Stdout)
+
+	// Traces recorded under an adaptive controller carry the ladder level
+	// their window was served at; when any do, break the aggregate down per
+	// level so a degraded interval's latency profile is separable from the
+	// healthy one's.
+	byLevel := trace.AggregateByLevel(trs)
+	stamped := false
+	for lv := range byLevel {
+		if lv >= 0 {
+			stamped = true
+		}
+	}
+	if !stamped {
+		return
+	}
+	levels := make([]int, 0, len(byLevel))
+	for lv := range byLevel {
+		levels = append(levels, lv)
+	}
+	sort.Ints(levels)
+	for _, lv := range levels {
+		name := core.Level(lv).String()
+		if lv < 0 {
+			name = "unstamped (no controller)"
+		}
+		fmt.Printf("\n-- controller level %s: %d window(s) --\n", name, byLevel[lv].Windows)
+		byLevel[lv].Format(os.Stdout)
+	}
 }
 
 // inspectModel prints a saved model's identity, integrity, and parameter

@@ -27,13 +27,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
+	"dlacep/internal/adapt"
 	"dlacep/internal/core"
 	"dlacep/internal/event"
 	"dlacep/internal/lifecycle"
 	"dlacep/internal/obs"
 	"dlacep/internal/obs/trace"
 	"dlacep/internal/server"
+	"dlacep/internal/shed"
 )
 
 func fatal(err error) {
@@ -52,6 +55,8 @@ type serveOpts struct {
 	pprofOn    bool
 	traceEvery int
 	traceRing  int
+	adaptOn    bool
+	sloP99     time.Duration
 
 	registry        string
 	family          string
@@ -75,6 +80,8 @@ func main() {
 	flag.BoolVar(&o.pprofOn, "pprof", false, "also expose /debug/pprof/ on the admin address")
 	flag.IntVar(&o.traceEvery, "trace-every", 0, "sample one per-window pipeline trace per this many events, served on the admin /traces endpoint (0 off; server mode)")
 	flag.IntVar(&o.traceRing, "trace-ring", trace.DefaultRing, "completed traces retained for /traces")
+	flag.BoolVar(&o.adaptOn, "adapt", false, "run the adaptive degradation controller: connections are served through a mode-switchable processor moved along exact -> filtered -> shedding to hold -slo-p99 (server mode, sequential only)")
+	flag.DurationVar(&o.sloP99, "slo-p99", 0, "with -adapt: per-window p99 service-time SLO the controller defends, e.g. 2ms")
 	flag.StringVar(&o.registry, "registry", "", "model registry directory; serves the family's active version with hot swapping")
 	flag.StringVar(&o.family, "family", "default", "model family within -registry")
 	flag.Float64Var(&o.swapEpsilon, "swap-epsilon", 0.02, "promotion slack: candidate F1 may lag live F1 by this much")
@@ -117,6 +124,35 @@ func runServer(o serveOpts) {
 	if o.traceEvery > 0 {
 		srv.Trace = trace.New(o.traceEvery, o.traceRing)
 	}
+	var actl *adapt.Controller
+	if o.adaptOn {
+		if o.shards > 1 {
+			fatal(fmt.Errorf("-adapt serves through the sequential adaptive processor; drop -shards"))
+		}
+		if o.sloP99 <= 0 {
+			fatal(fmt.Errorf("-adapt needs -slo-p99, e.g. -slo-p99=2ms"))
+		}
+		if srv.Obs == nil {
+			// The controller's sensors and its published ladder state live
+			// in the registry even when no -admin listener exports them.
+			srv.Obs = obs.NewRegistry()
+		}
+		patterns := srv.Health().Patterns
+		board := core.NewLevelBoard(patterns)
+		actl, err = adapt.New(adapt.Config{SLO: o.sloP99}, board, srv.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		srv.Board = board
+		srv.NewGates = func() []core.Gate {
+			gates := make([]core.Gate, patterns)
+			for i := range gates {
+				gates[i] = shed.NewRandom(0, int64(i)+1)
+			}
+			return gates
+		}
+		fmt.Printf("adaptive controller on: %d pattern(s), p99 SLO %v\n", patterns, o.sloP99)
+	}
 	if o.admin != "" {
 		alis, err := net.Listen("tcp", o.admin)
 		if err != nil {
@@ -127,6 +163,10 @@ func runServer(o serveOpts) {
 		if ctl != nil {
 			extra = ctl.AdminRoutes()
 			endpoints += ", /models, /swap, /rollback"
+		}
+		if actl != nil {
+			extra = append(extra, actl.AdminRoutes()...)
+			endpoints += ", /controller"
 		}
 		if o.pprofOn {
 			endpoints += ", /debug/pprof/"
@@ -141,6 +181,10 @@ func runServer(o serveOpts) {
 	if ctl != nil {
 		ctl.Start()
 		defer ctl.Stop()
+	}
+	if actl != nil {
+		actl.Start()
+		defer actl.Stop()
 	}
 	lis, err := net.Listen("tcp", o.listen)
 	if err != nil {

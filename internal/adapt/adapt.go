@@ -1,0 +1,410 @@
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/obs"
+	"dlacep/internal/server"
+)
+
+// Config tunes the degradation controller. SLO is the only required field;
+// everything else has a serviceable default.
+type Config struct {
+	// SLO is the p99 target for per-window service time (adapt.window_ns).
+	// Recent p99 above it degrades; required.
+	SLO time.Duration
+	// UpgradeFraction places the upgrade threshold at this fraction of the
+	// SLO; the gap between them is the hysteresis band. Default 0.5.
+	UpgradeFraction float64
+	// Dwell is the minimum time between actuations on one pattern, in
+	// either direction. Default 2s.
+	Dwell time.Duration
+	// Interval is the control-tick period of the background loop.
+	// Default 250ms.
+	Interval time.Duration
+	// RecentIntervals is how many rolled histogram intervals (plus the open
+	// one) the recent p99 spans; with the default Interval that is a ~2s
+	// sliding sensor window. Default 8.
+	RecentIntervals int
+	// ShedStep is the shed-ratio increment per degrade tick once a pattern
+	// sits at LevelShed. Default 0.1.
+	ShedStep float64
+	// MaxShedRatio caps the controller-tuned drop ratio so shedding never
+	// silences a pattern entirely. Default 0.9.
+	MaxShedRatio float64
+	// PendingHigh is the pipeline.pending.depth watermark above which the
+	// controller degrades regardless of latency. 0 disables.
+	PendingHigh float64
+	// BacklogGauge optionally names a gauge measuring upstream queueing
+	// (e.g. the harness's ramp backlog); BacklogHigh is its watermark.
+	// Empty/0 disables.
+	BacklogGauge string
+	BacklogHigh  float64
+	// InstanceHigh is a per-tick watermark on new C_ECEP instances per
+	// pattern — the partial-match explosion sensor. 0 disables.
+	InstanceHigh float64
+	// FilterRecall is the assumed recall of the DL filter path, used by the
+	// deficit model when no measured quality.pattern.N.recall gauge is
+	// live. Default 0.95.
+	FilterRecall float64
+	// MatchEvents[i] is the number of participant events a pattern-i match
+	// needs to survive shedding; the deficit model scales the shed rung's
+	// recall by (1-ratio)^MatchEvents[i]. Default 2 for every pattern.
+	MatchEvents []int
+	// InitialLevel is where every pattern starts. The zero value —
+	// LevelExact — is deliberate: controller-managed serving begins fully
+	// exact and degrades only when the sensors demand it.
+	InitialLevel core.Level
+}
+
+func (c *Config) defaults(patterns int) error {
+	if c.SLO <= 0 {
+		return fmt.Errorf("adapt: Config.SLO must be positive, got %v", c.SLO)
+	}
+	if c.UpgradeFraction <= 0 || c.UpgradeFraction >= 1 {
+		c.UpgradeFraction = 0.5
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 2 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.RecentIntervals <= 0 {
+		c.RecentIntervals = 8
+	}
+	if c.ShedStep <= 0 {
+		c.ShedStep = 0.1
+	}
+	if c.MaxShedRatio <= 0 || c.MaxShedRatio > 1 {
+		c.MaxShedRatio = 0.9
+	}
+	if c.FilterRecall <= 0 || c.FilterRecall > 1 {
+		c.FilterRecall = 0.95
+	}
+	if len(c.MatchEvents) == 0 {
+		c.MatchEvents = make([]int, patterns)
+		for i := range c.MatchEvents {
+			c.MatchEvents[i] = 2
+		}
+	}
+	if len(c.MatchEvents) != patterns {
+		return fmt.Errorf("adapt: %d MatchEvents for %d patterns", len(c.MatchEvents), patterns)
+	}
+	return nil
+}
+
+func (c *Config) tuning() tuning {
+	return tuning{
+		sloNS:        c.SLO.Nanoseconds(),
+		upgradeNS:    int64(float64(c.SLO.Nanoseconds()) * c.UpgradeFraction),
+		dwellNS:      c.Dwell.Nanoseconds(),
+		shedStep:     c.ShedStep,
+		maxShed:      c.MaxShedRatio,
+		pendingHigh:  c.PendingHigh,
+		backlogHigh:  c.BacklogHigh,
+		instanceHigh: c.InstanceHigh,
+	}
+}
+
+// Controller runs the degradation control loop over one pipeline's level
+// board. Sensors come from the pipeline's obs.Registry; actuations go to
+// the board (and from there, via the AdaptiveProcessor, to the shed
+// gates). Tick is safe to drive manually — the harness's virtual-time ramp
+// does — or from the background loop started by Start.
+type Controller struct {
+	cfg Config
+	tn  tuning
+
+	board *core.LevelBoard
+	reg   *obs.Registry
+
+	// Sensor handles, resolved once.
+	winH     *obs.Histogram
+	pendingG *obs.Gauge
+	backlogG *obs.Gauge // nil when unconfigured
+	instG    []*obs.Gauge
+	qualityG []*obs.Gauge
+
+	// Actuation telemetry, republished every tick.
+	levelG  []*obs.Gauge // adapt.pattern.N.level
+	ratioG  []*obs.Gauge // adapt.pattern.N.shed_ratio
+	recallG []*obs.Gauge // adapt.pattern.N.recall_est
+	defG    []*obs.Gauge // adapt.pattern.N.deficit
+	transG  []*obs.Gauge // adapt.pattern.N.transitions
+	maxG    *obs.Gauge   // adapt.level.max
+	ticksC  *obs.Counter // adapt.ticks
+
+	mu       sync.Mutex
+	states   []patternState
+	lastInst []float64 // previous tick's instance-gauge readings
+	lastP99  int64
+	lastN    uint64
+
+	started bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a controller for board, sensing and publishing through reg.
+// Every pattern starts at cfg.InitialLevel with a zero shed ratio; the
+// board is synced to that immediately so a processor constructed next sees
+// the controller's view.
+func New(cfg Config, board *core.LevelBoard, reg *obs.Registry) (*Controller, error) {
+	if board == nil {
+		return nil, fmt.Errorf("adapt: nil level board")
+	}
+	n := board.Patterns()
+	if err := cfg.defaults(n); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:      cfg,
+		tn:       cfg.tuning(),
+		board:    board,
+		reg:      reg,
+		winH:     reg.Histogram(core.MetricAdaptWindow),
+		pendingG: reg.Gauge("pipeline.pending.depth"),
+		instG:    make([]*obs.Gauge, n),
+		qualityG: make([]*obs.Gauge, n),
+		levelG:   make([]*obs.Gauge, n),
+		ratioG:   make([]*obs.Gauge, n),
+		recallG:  make([]*obs.Gauge, n),
+		defG:     make([]*obs.Gauge, n),
+		transG:   make([]*obs.Gauge, n),
+		maxG:     reg.Gauge("adapt.level.max"),
+		ticksC:   reg.Counter("adapt.ticks"),
+		states:   make([]patternState, n),
+		lastInst: make([]float64, n),
+	}
+	if cfg.BacklogGauge != "" {
+		c.backlogG = reg.Gauge(cfg.BacklogGauge)
+	}
+	for i := 0; i < n; i++ {
+		c.instG[i] = reg.Gauge(fmt.Sprintf("cep.pattern.%d.instances", i))
+		c.qualityG[i] = reg.Gauge(fmt.Sprintf("quality.pattern.%d.recall", i))
+		c.levelG[i] = reg.Gauge(fmt.Sprintf("adapt.pattern.%d.level", i))
+		c.ratioG[i] = reg.Gauge(fmt.Sprintf("adapt.pattern.%d.shed_ratio", i))
+		c.recallG[i] = reg.Gauge(fmt.Sprintf("adapt.pattern.%d.recall_est", i))
+		c.defG[i] = reg.Gauge(fmt.Sprintf("adapt.pattern.%d.deficit", i))
+		c.transG[i] = reg.Gauge(fmt.Sprintf("adapt.pattern.%d.transitions", i))
+	}
+	for i := range c.states {
+		c.states[i].level = cfg.InitialLevel
+	}
+	c.mu.Lock()
+	c.syncLocked()
+	c.publishLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Tick runs one control cycle at the given time: read sensors, step every
+// pattern's FSM, sync the board, and republish telemetry. The histogram's
+// open interval is rolled after reading, so each tick sees a sliding
+// window of the last RecentIntervals tick periods.
+func (c *Controller) Tick(now time.Time) {
+	p99 := c.winH.RecentQuantile(0.99, c.cfg.RecentIntervals)
+	samples := c.winH.RecentCount(c.cfg.RecentIntervals)
+	c.winH.Roll()
+	pending := c.pendingG.Value()
+	var backlog float64
+	if c.backlogG != nil {
+		backlog = c.backlogG.Value()
+	}
+	nowNS := now.UnixNano()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastP99, c.lastN = p99.Nanoseconds(), samples
+	for i := range c.states {
+		inst := c.instG[i].Value()
+		sig := signals{
+			p99NS:     p99.Nanoseconds(),
+			samples:   samples,
+			pending:   pending,
+			backlog:   backlog,
+			instances: inst - c.lastInst[i],
+		}
+		c.lastInst[i] = inst
+		c.states[i].step(nowNS, sig, c.tn)
+	}
+	c.syncLocked()
+	c.publishLocked()
+	c.ticksC.Inc()
+}
+
+// syncLocked mirrors the FSM states onto the level board — the actuation.
+func (c *Controller) syncLocked() {
+	for i := range c.states {
+		c.board.SetLevel(i, c.states[i].level)
+		c.board.SetShedRatio(i, c.states[i].ratio)
+	}
+}
+
+// recallEstLocked prices pattern i's current rung: exact is lossless, the
+// filtered rung costs the DL filter's recall (measured when a live
+// quality gauge exists, assumed otherwise), and the shed rung additionally
+// needs all MatchEvents[i] participants of a match to survive independent
+// Bernoulli keeps — (1-ratio)^MatchEvents[i].
+func (c *Controller) recallEstLocked(i int) float64 {
+	st := c.states[i]
+	if st.level == core.LevelExact {
+		return 1
+	}
+	recall := c.cfg.FilterRecall
+	if q := c.qualityG[i].Value(); q > 0 && q <= 1 {
+		recall = q
+	}
+	if st.level >= core.LevelShed {
+		recall *= math.Pow(1-st.ratio, float64(c.cfg.MatchEvents[i]))
+	}
+	return recall
+}
+
+// publishLocked exports the controller's view through the registry.
+func (c *Controller) publishLocked() {
+	maxLv := core.LevelExact
+	for i := range c.states {
+		st := c.states[i]
+		if st.level > maxLv {
+			maxLv = st.level
+		}
+		est := c.recallEstLocked(i)
+		c.levelG[i].Set(float64(st.level))
+		c.ratioG[i].Set(st.ratio)
+		c.recallG[i].Set(est)
+		c.defG[i].Set(1 - est)
+		c.transG[i].Set(float64(st.transitions))
+	}
+	c.maxG.Set(float64(maxLv))
+}
+
+// Start launches the background control loop. Idempotent until Stop.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	c.stop = make(chan struct{})
+	c.wg.Add(1)
+	go c.loop(c.stop) //dlacep:ignore rawgoroutine joined by Stop via wg.Wait
+}
+
+// Stop halts the background loop and waits for it to exit.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	stop := c.stop
+	c.mu.Unlock()
+	close(stop)
+	c.wg.Wait()
+}
+
+func (c *Controller) loop(stop chan struct{}) {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			c.Tick(now)
+		}
+	}
+}
+
+// PatternStatus is one pattern's row in the /controller payload.
+type PatternStatus struct {
+	Pattern     int     `json:"pattern"`
+	Level       int     `json:"level"`
+	LevelName   string  `json:"level_name"`
+	ShedRatio   float64 `json:"shed_ratio"`
+	RecallEst   float64 `json:"recall_est"`
+	Deficit     float64 `json:"deficit"`
+	Transitions uint64  `json:"transitions"`
+}
+
+// Status is the /controller admin payload: the SLO contract, the latest
+// latency sensor reading, and every pattern's ladder position with its
+// recall price.
+type Status struct {
+	SLONS         int64           `json:"slo_ns"`
+	UpgradeNS     int64           `json:"upgrade_ns"`
+	DwellNS       int64           `json:"dwell_ns"`
+	RecentP99NS   int64           `json:"recent_p99_ns"`
+	RecentSamples uint64          `json:"recent_samples"`
+	MaxLevel      int             `json:"max_level"`
+	Patterns      []PatternStatus `json:"patterns"`
+}
+
+// Status snapshots the controller's current view.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		SLONS:         c.tn.sloNS,
+		UpgradeNS:     c.tn.upgradeNS,
+		DwellNS:       c.tn.dwellNS,
+		RecentP99NS:   c.lastP99,
+		RecentSamples: c.lastN,
+		Patterns:      make([]PatternStatus, len(c.states)),
+	}
+	maxLv := core.LevelExact
+	for i := range c.states {
+		st := c.states[i]
+		if st.level > maxLv {
+			maxLv = st.level
+		}
+		est := c.recallEstLocked(i)
+		s.Patterns[i] = PatternStatus{
+			Pattern:     i,
+			Level:       int(st.level),
+			LevelName:   st.level.String(),
+			ShedRatio:   st.ratio,
+			RecallEst:   est,
+			Deficit:     1 - est,
+			Transitions: st.transitions,
+		}
+	}
+	s.MaxLevel = int(maxLv)
+	return s
+}
+
+// Handler serves the Status as JSON (GET/HEAD).
+func (c *Controller) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Status())
+	})
+}
+
+// AdminRoutes exposes the controller on a server's admin listener:
+//
+//	GET /controller    SLO contract, recent p99, per-pattern ladder state
+//
+// Mount via server.AdminHandler(pprof, ctl.AdminRoutes()...).
+func (c *Controller) AdminRoutes() []server.AdminRoute {
+	return []server.AdminRoute{
+		{Pattern: "/controller", Handler: c.Handler()},
+	}
+}

@@ -1,0 +1,357 @@
+package adapt
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dlacep/internal/core"
+	"dlacep/internal/obs"
+)
+
+// ctlFixture is a controller wired to a fake-signal registry: tests write
+// sensor values directly and drive Tick with manual timestamps.
+type ctlFixture struct {
+	ctl   *Controller
+	board *core.LevelBoard
+	reg   *obs.Registry
+	now   time.Time
+}
+
+func newFixture(t *testing.T, cfg Config, patterns int) *ctlFixture {
+	t.Helper()
+	board := core.NewLevelBoard(patterns)
+	reg := obs.NewRegistry()
+	ctl, err := New(cfg, board, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ctlFixture{ctl: ctl, board: board, reg: reg, now: time.Unix(100, 0)}
+}
+
+// tick advances past the dwell and runs one control cycle with the given
+// per-window latency observed often enough to register in the p99.
+func (f *ctlFixture) tick(cfg Config, lat time.Duration) {
+	if lat > 0 {
+		h := f.reg.Histogram(core.MetricAdaptWindow)
+		for i := 0; i < 100; i++ {
+			h.Observe(lat)
+		}
+	}
+	f.now = f.now.Add(cfg.Dwell + time.Millisecond)
+	f.ctl.Tick(f.now)
+}
+
+func TestNewValidates(t *testing.T) {
+	board := core.NewLevelBoard(2)
+	reg := obs.NewRegistry()
+	if _, err := New(Config{}, board, reg); err == nil {
+		t.Error("missing SLO accepted")
+	}
+	if _, err := New(Config{SLO: time.Millisecond}, nil, reg); err == nil {
+		t.Error("nil board accepted")
+	}
+	if _, err := New(Config{SLO: time.Millisecond, MatchEvents: []int{2}}, board, reg); err == nil {
+		t.Error("MatchEvents length mismatch accepted")
+	}
+}
+
+func TestNewSyncsBoardToInitialLevel(t *testing.T) {
+	f := newFixture(t, Config{SLO: time.Millisecond}, 3)
+	// The board's own default is LevelFiltered; the controller must have
+	// overwritten it with its InitialLevel (LevelExact).
+	for i := 0; i < 3; i++ {
+		if f.board.Level(i) != core.LevelExact {
+			t.Errorf("pattern %d starts at %v, want exact", i, f.board.Level(i))
+		}
+	}
+	if got := f.reg.Gauge("adapt.level.max").Value(); got != 0 {
+		t.Errorf("adapt.level.max = %v at start", got)
+	}
+	_ = f.ctl // fixture constructed is the assertion
+}
+
+// TestControllerDegradesAndRecovers walks the full loop: sustained
+// over-SLO latency marches every pattern down the ladder; sustained calm
+// brings them all the way back to exact.
+func TestControllerDegradesAndRecovers(t *testing.T) {
+	cfg := Config{SLO: time.Millisecond, Dwell: 10 * time.Millisecond, RecentIntervals: 2}
+	f := newFixture(t, cfg, 2)
+
+	for i := 0; i < 4; i++ {
+		f.tick(cfg, 5*time.Millisecond) // 5× the SLO
+	}
+	if f.board.MaxLevel() != core.LevelShed {
+		t.Fatalf("after 4 hot ticks max level = %v, want shed", f.board.MaxLevel())
+	}
+	for i := 0; i < 2; i++ {
+		if f.board.Level(i) != core.LevelShed {
+			t.Errorf("pattern %d = %v, want shed", i, f.board.Level(i))
+		}
+		if r := f.board.ShedRatio(i); math.Abs(r-0.3) > 1e-9 {
+			t.Errorf("pattern %d ratio = %v, want 0.3 (entry step + two staircase ticks)", i, r)
+		}
+	}
+	if got := f.reg.Gauge("adapt.level.max").Value(); got != 2 {
+		t.Errorf("adapt.level.max = %v, want 2", got)
+	}
+	if f.reg.Counter("adapt.ticks").Value() != 4 {
+		t.Errorf("adapt.ticks = %d, want 4", f.reg.Counter("adapt.ticks").Value())
+	}
+
+	// The recent window spans the open interval plus two closed ones, so
+	// the hot samples shadow the first two cool ticks; eight ticks cover
+	// the shadow plus the five-step climb back to exact.
+	for i := 0; i < 8; i++ {
+		f.tick(cfg, 50*time.Microsecond) // far below the upgrade threshold
+	}
+	for i := 0; i < 2; i++ {
+		if f.board.Level(i) != core.LevelExact {
+			t.Errorf("after recovery pattern %d = %v, want exact", i, f.board.Level(i))
+		}
+		if r := f.board.ShedRatio(i); r != 0 {
+			t.Errorf("after recovery pattern %d ratio = %v", i, r)
+		}
+	}
+}
+
+// TestControllerHoldsInsideBand: latency between the upgrade threshold and
+// the SLO must not move the ladder in either direction.
+func TestControllerHoldsInsideBand(t *testing.T) {
+	cfg := Config{SLO: time.Millisecond, Dwell: 10 * time.Millisecond, RecentIntervals: 2, InitialLevel: core.LevelFiltered}
+	f := newFixture(t, cfg, 1)
+	for i := 0; i < 5; i++ {
+		f.tick(cfg, 700*time.Microsecond) // in (0.5ms, 1ms): the band
+	}
+	if f.board.Level(0) != core.LevelFiltered {
+		t.Errorf("band latency moved level to %v", f.board.Level(0))
+	}
+	if f.reg.Gauge("adapt.pattern.0.transitions").Value() != 0 {
+		t.Error("band latency counted transitions")
+	}
+}
+
+// TestControllerPerPatternIndependence gives only pattern 1 an instance
+// explosion; pattern 0 must stay exact while pattern 1 degrades.
+func TestControllerPerPatternIndependence(t *testing.T) {
+	cfg := Config{
+		SLO: time.Millisecond, Dwell: 10 * time.Millisecond,
+		RecentIntervals: 2, InstanceHigh: 100,
+	}
+	f := newFixture(t, cfg, 2)
+	inst := f.reg.Gauge("cep.pattern.1.instances")
+	for i := 0; i < 3; i++ {
+		inst.Add(5000) // per-tick delta of 5000 ≫ InstanceHigh
+		f.tick(cfg, 100*time.Microsecond)
+	}
+	if f.board.Level(0) != core.LevelExact {
+		t.Errorf("quiet pattern dragged to %v", f.board.Level(0))
+	}
+	if f.board.Level(1) == core.LevelExact {
+		t.Error("exploding pattern never degraded")
+	}
+}
+
+// TestControllerDwellSuppression: rapid ticks inside the dwell window
+// actuate at most once.
+func TestControllerDwellSuppression(t *testing.T) {
+	cfg := Config{SLO: time.Millisecond, Dwell: time.Hour, RecentIntervals: 2}
+	f := newFixture(t, cfg, 1)
+	h := f.reg.Histogram(core.MetricAdaptWindow)
+	now := time.Unix(100000, 0) // comfortably past the hour dwell from t=0
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 100; j++ {
+			h.Observe(5 * time.Millisecond)
+		}
+		now = now.Add(time.Second) // well inside the hour dwell
+		f.ctl.Tick(now)
+	}
+	// The first tick moves exact→filtered (lastChangeNS starts at zero, so
+	// the first actuation is immediate); every later tick is dwell-gated.
+	if f.board.Level(0) != core.LevelFiltered {
+		t.Errorf("dwell-gated level = %v, want filtered", f.board.Level(0))
+	}
+}
+
+func TestRecallDeficitModel(t *testing.T) {
+	cfg := Config{SLO: time.Millisecond, FilterRecall: 0.9, MatchEvents: []int{3}}
+	f := newFixture(t, cfg, 1)
+
+	read := func() (est, def float64) {
+		return f.reg.Gauge("adapt.pattern.0.recall_est").Value(),
+			f.reg.Gauge("adapt.pattern.0.deficit").Value()
+	}
+	if est, def := read(); est != 1 || def != 0 {
+		t.Errorf("exact rung est=%v def=%v, want 1,0", est, def)
+	}
+
+	// Filtered rung, no live quality gauge: assumed FilterRecall.
+	f.ctl.mu.Lock()
+	f.ctl.states[0] = patternState{level: core.LevelFiltered}
+	f.ctl.syncLocked()
+	f.ctl.publishLocked()
+	f.ctl.mu.Unlock()
+	if est, _ := read(); math.Abs(est-0.9) > 1e-9 {
+		t.Errorf("filtered rung est = %v, want assumed 0.9", est)
+	}
+
+	// A live measured recall overrides the assumption.
+	f.reg.Gauge("quality.pattern.0.recall").Set(0.97)
+	f.ctl.mu.Lock()
+	f.ctl.publishLocked()
+	f.ctl.mu.Unlock()
+	if est, _ := read(); math.Abs(est-0.97) > 1e-9 {
+		t.Errorf("filtered rung with live gauge est = %v, want 0.97", est)
+	}
+
+	// Shed rung: measured recall × (1-ratio)^MatchEvents.
+	f.ctl.mu.Lock()
+	f.ctl.states[0] = patternState{level: core.LevelShed, ratio: 0.5}
+	f.ctl.syncLocked()
+	f.ctl.publishLocked()
+	f.ctl.mu.Unlock()
+	want := 0.97 * math.Pow(0.5, 3)
+	est, def := read()
+	if math.Abs(est-want) > 1e-9 {
+		t.Errorf("shed rung est = %v, want %v", est, want)
+	}
+	if math.Abs(def-(1-want)) > 1e-9 {
+		t.Errorf("shed rung deficit = %v, want %v", def, 1-want)
+	}
+}
+
+func TestStatusAndAdminEndpoint(t *testing.T) {
+	cfg := Config{SLO: time.Millisecond, Dwell: 10 * time.Millisecond, RecentIntervals: 2}
+	f := newFixture(t, cfg, 2)
+	for i := 0; i < 3; i++ {
+		f.tick(cfg, 5*time.Millisecond)
+	}
+
+	s := f.ctl.Status()
+	if s.SLONS != time.Millisecond.Nanoseconds() || s.UpgradeNS != s.SLONS/2 {
+		t.Errorf("status thresholds slo=%d upgrade=%d", s.SLONS, s.UpgradeNS)
+	}
+	if s.MaxLevel != 2 || len(s.Patterns) != 2 {
+		t.Errorf("status max=%d patterns=%d", s.MaxLevel, len(s.Patterns))
+	}
+	if s.RecentSamples == 0 || s.RecentP99NS == 0 {
+		t.Error("status recent sensor reading is empty")
+	}
+	if s.Patterns[1].LevelName != "shed" || s.Patterns[1].Transitions != 2 {
+		t.Errorf("pattern row %+v", s.Patterns[1])
+	}
+
+	routes := f.ctl.AdminRoutes()
+	if len(routes) != 1 || routes[0].Pattern != "/controller" {
+		t.Fatalf("admin routes %+v", routes)
+	}
+	rec := httptest.NewRecorder()
+	routes[0].Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/controller", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /controller: %d", rec.Code)
+	}
+	var got Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxLevel != s.MaxLevel || len(got.Patterns) != 2 {
+		t.Errorf("endpoint payload %+v", got)
+	}
+	rec = httptest.NewRecorder()
+	routes[0].Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/controller", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /controller: %d", rec.Code)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	f := newFixture(t, Config{SLO: time.Millisecond, Interval: time.Millisecond}, 1)
+	f.ctl.Start()
+	f.ctl.Start() // second Start is a no-op, not a second loop
+	time.Sleep(5 * time.Millisecond)
+	f.ctl.Stop()
+	f.ctl.Stop() // second Stop is a no-op, not a double close
+	ticks := f.reg.Counter("adapt.ticks").Value()
+	if ticks == 0 {
+		t.Error("background loop never ticked")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if got := f.reg.Counter("adapt.ticks").Value(); got != ticks {
+		t.Errorf("loop ticked after Stop: %d -> %d", ticks, got)
+	}
+}
+
+// TestControllerConcurrent is the -race hammer: the background loop ticks
+// at full speed while workers observe latencies, mutate sensor gauges,
+// snapshot Status, scrape the admin endpoint, and read the board.
+func TestControllerConcurrent(t *testing.T) {
+	cfg := Config{
+		SLO: 100 * time.Microsecond, Dwell: time.Millisecond,
+		Interval: 100 * time.Microsecond, RecentIntervals: 2,
+		PendingHigh: 100, InstanceHigh: 50,
+	}
+	f := newFixture(t, cfg, 3)
+	f.ctl.Start()
+
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := f.reg.Histogram(core.MetricAdaptWindow)
+			pend := f.reg.Gauge("pipeline.pending.depth")
+			inst := f.reg.Gauge("cep.pattern.1.instances")
+			srv := httptest.NewServer(f.ctl.Handler())
+			defer srv.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Alternate hot and cool signals so levels actually move
+				// while the scrapers read.
+				if i%2 == 0 {
+					h.Observe(time.Millisecond)
+					pend.Set(500)
+					inst.Add(200)
+				} else {
+					h.Observe(10 * time.Microsecond)
+					pend.Set(1)
+				}
+				switch i % 3 {
+				case 0:
+					_ = f.ctl.Status()
+				case 1:
+					resp, err := srv.Client().Get(srv.URL)
+					if err == nil {
+						resp.Body.Close()
+					}
+				case 2:
+					_ = f.board.Levels()
+					_ = f.board.ShedRatios()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	f.ctl.Stop()
+
+	s := f.ctl.Status()
+	for _, p := range s.Patterns {
+		if p.RecallEst < 0 || p.RecallEst > 1 {
+			t.Errorf("pattern %d recall estimate %v out of [0,1]", p.Pattern, p.RecallEst)
+		}
+		if p.ShedRatio < 0 || p.ShedRatio > 0.9+1e-9 {
+			t.Errorf("pattern %d ratio %v out of range", p.Pattern, p.ShedRatio)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package adapt is the degradation controller of the DLACEP stack: the
+// first closed feedback loop in the system, consuming internal/obs as its
+// sensors and a core.LevelBoard (plus the patterns' shed gates) as its
+// actuators. A control loop samples the recent per-window service-time p99
+// (obs.Histogram.RecentQuantile over adapt.window_ns), the pending-buffer
+// depth, an optional backlog gauge, and the per-pattern C_ECEP instance
+// gauges, and moves each monitored pattern independently along the
+// three-level accuracy/cost ladder of core.Level — exact ECEP →
+// DL-filtered → filtered + shedding with a controller-tuned drop ratio.
+//
+// Two mechanisms prevent flapping: a hysteresis band (degrade above the
+// SLO, upgrade only below UpgradeFraction·SLO — never between), and a
+// minimum dwell time after any actuation. An explicit recall-deficit model
+// prices every rung (Section 3.1's accuracy objective, made operational):
+// the estimate is published per pattern through /metrics and the
+// /controller admin endpoint, so the recall being spent under overload is
+// always visible, not just the latency being saved.
+package adapt
+
+import "dlacep/internal/core"
+
+// tuning is the per-pattern control law's constants, derived from Config
+// once at construction.
+type tuning struct {
+	sloNS        int64   // degrade when recent p99 exceeds this
+	upgradeNS    int64   // upgrade only when recent p99 is below this
+	dwellNS      int64   // minimum time between actuations on one pattern
+	shedStep     float64 // shed-ratio increment per degrade tick at LevelShed
+	maxShed      float64 // shed-ratio ceiling
+	pendingHigh  float64 // pending-depth watermark; 0 disables
+	backlogHigh  float64 // backlog watermark; 0 disables
+	instanceHigh float64 // per-tick C_ECEP instance-delta watermark; 0 disables
+}
+
+// signals is one tick's sensor reading for one pattern. The latency and
+// queue signals are pipeline-wide (one filter, one pending queue); the
+// instance delta is the pattern's own.
+type signals struct {
+	p99NS     int64  // recent-window p99 of adapt.window_ns
+	samples   uint64 // observations behind p99NS; 0 = no recent signal
+	pending   float64
+	backlog   float64
+	instances float64 // C_ECEP instances created since the last tick
+}
+
+// overloaded reports whether any sensor demands degradation.
+func (sig signals) overloaded(tn tuning) bool {
+	if sig.samples > 0 && sig.p99NS > tn.sloNS {
+		return true
+	}
+	if tn.pendingHigh > 0 && sig.pending > tn.pendingHigh {
+		return true
+	}
+	if tn.backlogHigh > 0 && sig.backlog > tn.backlogHigh {
+		return true
+	}
+	if tn.instanceHigh > 0 && sig.instances > tn.instanceHigh {
+		return true
+	}
+	return false
+}
+
+// calm reports whether every sensor is comfortably below its band — the
+// only condition under which the controller spends cost to buy recall
+// back. The latency band is [upgradeNS, sloNS]: inside it the controller
+// holds, which is the hysteresis that prevents flapping. Watermark sensors
+// must clear half their trigger level.
+func (sig signals) calm(tn tuning) bool {
+	if sig.samples == 0 || sig.p99NS >= tn.upgradeNS {
+		return false
+	}
+	if tn.pendingHigh > 0 && sig.pending > tn.pendingHigh/2 {
+		return false
+	}
+	if tn.backlogHigh > 0 && sig.backlog > tn.backlogHigh/2 {
+		return false
+	}
+	if tn.instanceHigh > 0 && sig.instances > tn.instanceHigh/2 {
+		return false
+	}
+	return true
+}
+
+// patternState is one pattern's position on the ladder, stepped once per
+// control tick. Pure state — the Controller owns synchronization and
+// mirrors actuations onto the LevelBoard.
+type patternState struct {
+	level        core.Level
+	ratio        float64 // shed ratio, meaningful at core.LevelShed
+	lastChangeNS int64   // tick time of the last actuation
+	transitions  uint64  // level changes (the flap counter)
+}
+
+// step advances one pattern's ladder position for one tick and reports
+// whether anything was actuated. Degradation walks exact → filtered →
+// shed → shed-ratio staircase up to maxShed; upgrades walk the exact
+// reverse. The dwell gate suppresses any actuation — in either direction —
+// within dwellNS of the previous one.
+func (st *patternState) step(nowNS int64, sig signals, tn tuning) bool {
+	if nowNS-st.lastChangeNS < tn.dwellNS {
+		return false
+	}
+	switch {
+	case sig.overloaded(tn):
+		switch {
+		case st.level < core.LevelShed:
+			st.level++
+			if st.level == core.LevelShed && st.ratio == 0 {
+				st.ratio = tn.shedStep
+			}
+			st.transitions++
+		case st.ratio < tn.maxShed:
+			st.ratio += tn.shedStep
+			if st.ratio > tn.maxShed {
+				st.ratio = tn.maxShed
+			}
+		default:
+			return false // already at the ladder's bottom
+		}
+	case sig.calm(tn):
+		switch {
+		// The epsilon absorbs accumulated float error from the +=/-=
+		// staircase, so the last step leaves shed instead of parking on a
+		// residual ~1e-17 ratio.
+		case st.level == core.LevelShed && st.ratio > tn.shedStep+1e-9:
+			st.ratio -= tn.shedStep
+		case st.level > core.LevelExact:
+			st.ratio = 0
+			st.level--
+			st.transitions++
+		default:
+			return false // already fully exact
+		}
+	default:
+		return false // inside the hysteresis band: hold
+	}
+	st.lastChangeNS = nowNS
+	return true
+}

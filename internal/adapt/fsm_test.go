@@ -1,0 +1,261 @@
+package adapt
+
+import (
+	"testing"
+
+	"dlacep/internal/core"
+)
+
+func testTuning() tuning {
+	return tuning{
+		sloNS:        1000,
+		upgradeNS:    500,
+		dwellNS:      100,
+		shedStep:     0.1,
+		maxShed:      0.9,
+		pendingHigh:  50,
+		backlogHigh:  200,
+		instanceHigh: 1000,
+	}
+}
+
+func TestStepTransitions(t *testing.T) {
+	tn := testTuning()
+	for _, tc := range []struct {
+		name      string
+		start     patternState
+		nowNS     int64
+		sig       signals
+		wantLevel core.Level
+		wantRatio float64
+		wantMove  bool
+	}{
+		{
+			name:      "p99 over SLO degrades exact to filtered",
+			start:     patternState{level: core.LevelExact},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: true,
+		},
+		{
+			name:      "p99 over SLO degrades filtered to shed with first ratio step",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelShed, wantRatio: 0.1, wantMove: true,
+		},
+		{
+			name:      "at shed, overload staircases the ratio",
+			start:     patternState{level: core.LevelShed, ratio: 0.3},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelShed, wantRatio: 0.4, wantMove: true,
+		},
+		{
+			name:      "ratio staircase clamps at maxShed",
+			start:     patternState{level: core.LevelShed, ratio: 0.85},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelShed, wantRatio: 0.9, wantMove: true,
+		},
+		{
+			name:      "at the ladder bottom and max ratio, overload is a no-op",
+			start:     patternState{level: core.LevelShed, ratio: 0.9},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelShed, wantRatio: 0.9, wantMove: false,
+		},
+		{
+			name:      "inside the hysteresis band the controller holds",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 700, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "exactly at the SLO holds (degrade is strictly above)",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1000, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "exactly at the upgrade threshold holds (upgrade is strictly below)",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 500, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "calm upgrades filtered back to exact",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10},
+			wantLevel: core.LevelExact, wantMove: true,
+		},
+		{
+			name:      "calm at shed unwinds the ratio first",
+			start:     patternState{level: core.LevelShed, ratio: 0.3},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10},
+			wantLevel: core.LevelShed, wantRatio: 0.2, wantMove: true,
+		},
+		{
+			name:      "calm at the last ratio step leaves shed entirely",
+			start:     patternState{level: core.LevelShed, ratio: 0.1},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10},
+			wantLevel: core.LevelFiltered, wantRatio: 0, wantMove: true,
+		},
+		{
+			name:      "calm at exact is a no-op",
+			start:     patternState{level: core.LevelExact},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10},
+			wantLevel: core.LevelExact, wantMove: false,
+		},
+		{
+			name:      "no recent samples suppresses latency-driven upgrade",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 0, samples: 0},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "no samples but pending over watermark still degrades",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{samples: 0, pending: 80},
+			wantLevel: core.LevelShed, wantRatio: 0.1, wantMove: true,
+		},
+		{
+			name:      "backlog over watermark degrades despite good latency",
+			start:     patternState{level: core.LevelExact},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10, backlog: 500},
+			wantLevel: core.LevelFiltered, wantMove: true,
+		},
+		{
+			name:      "instance explosion degrades despite good latency",
+			start:     patternState{level: core.LevelExact},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10, instances: 5000},
+			wantLevel: core.LevelFiltered, wantMove: true,
+		},
+		{
+			name:      "pending above half its watermark blocks upgrade",
+			start:     patternState{level: core.LevelFiltered},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10, pending: 30},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "dwell suppresses degradation",
+			start:     patternState{level: core.LevelExact, lastChangeNS: 950},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelExact, wantMove: false,
+		},
+		{
+			name:      "dwell suppresses upgrade too",
+			start:     patternState{level: core.LevelFiltered, lastChangeNS: 950},
+			nowNS:     1000,
+			sig:       signals{p99NS: 100, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: false,
+		},
+		{
+			name:      "dwell expiry releases the change",
+			start:     patternState{level: core.LevelExact, lastChangeNS: 900},
+			nowNS:     1000,
+			sig:       signals{p99NS: 1500, samples: 10},
+			wantLevel: core.LevelFiltered, wantMove: true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.start
+			moved := st.step(tc.nowNS, tc.sig, tn)
+			if moved != tc.wantMove {
+				t.Errorf("step moved=%v, want %v", moved, tc.wantMove)
+			}
+			if st.level != tc.wantLevel {
+				t.Errorf("level = %v, want %v", st.level, tc.wantLevel)
+			}
+			if diff := st.ratio - tc.wantRatio; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("ratio = %v, want %v", st.ratio, tc.wantRatio)
+			}
+			if tc.wantMove && st.lastChangeNS != tc.nowNS {
+				t.Errorf("lastChangeNS = %d, want %d", st.lastChangeNS, tc.nowNS)
+			}
+			if !tc.wantMove && st.lastChangeNS != tc.start.lastChangeNS {
+				t.Errorf("no-op tick moved lastChangeNS to %d", st.lastChangeNS)
+			}
+		})
+	}
+}
+
+// TestStepFullLadderRoundTrip drives one pattern through a sustained
+// overload to the ladder's bottom and back: the downgrade staircase and
+// the upgrade staircase must visit the same rungs in reverse.
+func TestStepFullLadderRoundTrip(t *testing.T) {
+	tn := testTuning()
+	tn.maxShed = 0.3
+	st := patternState{level: core.LevelExact}
+	now := int64(0)
+	hot := signals{p99NS: 2000, samples: 10}
+	cool := signals{p99NS: 100, samples: 10}
+
+	var down []string
+	for i := 0; i < 10; i++ {
+		now += tn.dwellNS
+		if st.step(now, hot, tn) {
+			down = append(down, stateName(st))
+		}
+	}
+	wantDown := []string{"filtered", "shed@0.10", "shed@0.20", "shed@0.30"}
+	if !equalStrings(down, wantDown) {
+		t.Fatalf("downgrade path %v, want %v", down, wantDown)
+	}
+	if st.transitions != 2 {
+		t.Errorf("transitions after descent = %d, want 2 (ratio steps are not level changes)", st.transitions)
+	}
+
+	var up []string
+	for i := 0; i < 10; i++ {
+		now += tn.dwellNS
+		if st.step(now, cool, tn) {
+			up = append(up, stateName(st))
+		}
+	}
+	wantUp := []string{"shed@0.20", "shed@0.10", "filtered", "exact"}
+	if !equalStrings(up, wantUp) {
+		t.Fatalf("upgrade path %v, want %v", up, wantUp)
+	}
+	if st.transitions != 4 {
+		t.Errorf("transitions after round trip = %d, want 4", st.transitions)
+	}
+}
+
+func stateName(st patternState) string {
+	if st.level == core.LevelShed {
+		// two decimals is enough for the 0.1-step staircase
+		return "shed@" + formatRatio(st.ratio)
+	}
+	return st.level.String()
+}
+
+func formatRatio(r float64) string {
+	cents := int(r*100 + 0.5)
+	return string([]byte{'0', '.', byte('0' + cents/10), byte('0' + cents%10)})
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -115,8 +115,17 @@ type Pipeline struct {
 	// Result.KeysByPattern (a map insert per pre-dedup match). The harness
 	// turns it on for differential runs to compute per-pattern recall.
 	TrackKeys bool
-	pats      []*pattern.Pattern
-	schema    *event.Schema
+	// OnRelay, when non-nil, observes every relay batch (the ID-ordered
+	// events leaving the pending queue) just before the CEP engines consume
+	// it, on the Processor path. The adaptive differential tests use it to
+	// capture the exact relay stream a static configuration produces.
+	OnRelay func(batch []event.Event)
+	// Board, when non-nil, is the degradation-level board an adapt
+	// controller drives. NewAdaptiveProcessor consumes it, and the sharded
+	// pipeline reads its maximum level to stamp window traces.
+	Board  *LevelBoard
+	pats   []*pattern.Pattern
+	schema *event.Schema
 }
 
 // NewPipeline assembles a DLACEP pipeline. Filter is typically a trained

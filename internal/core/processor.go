@@ -180,6 +180,9 @@ func (p *Processor) Flush() ([]*cep.Match, error) {
 		inst0 = p.es.instanceCount()
 	}
 	if len(p.pending) > 0 {
+		if p.pl.OnRelay != nil {
+			p.pl.OnRelay(p.pending)
+		}
 		p.res.EventsRelayed += len(p.pending)
 		p.relayedC.Add(int64(len(p.pending)))
 		out = p.collect(out, p.es.Process(p.pending, p.seen))
@@ -263,6 +266,9 @@ func (p *Processor) relayBelow(out []*cep.Match, upTo uint64) []*cep.Match {
 	}
 	batch := p.pending[:i]
 	p.pending = p.pending[i:]
+	if p.pl.OnRelay != nil {
+		p.pl.OnRelay(batch)
+	}
 	sw := metrics.StartStopwatch()
 	p.res.EventsRelayed += len(batch)
 	p.relayedC.Add(int64(len(batch)))

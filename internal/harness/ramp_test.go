@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dlacep/internal/obs"
+)
+
+// TestLoadRampSmoke runs the full adaptive load-ramp scenario at smoke
+// scale and checks the acceptance shape: the controller degrades to the
+// shedding rung under overload, the baseline's virtual queue diverges
+// past the controlled run's, and the recall spent is accounted for.
+func TestLoadRampSmoke(t *testing.T) {
+	sc := Smoke()
+	sc.Obs = obs.NewRegistry()
+	rep, err := LoadRamp(sc, RampOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.CapacityEPS <= 0 || rep.SLONS <= 0 {
+		t.Fatalf("calibration empty: capacity=%v slo=%v", rep.CapacityEPS, rep.SLONS)
+	}
+	if len(rep.Controlled.Points) != 8 || len(rep.Baseline.Points) != 8 {
+		t.Fatalf("point counts %d/%d, want 8", len(rep.Controlled.Points), len(rep.Baseline.Points))
+	}
+	if rep.Controlled.MaxLevel < 2 {
+		t.Errorf("controller peaked at level %d, want >= 2 (shedding)", rep.Controlled.MaxLevel)
+	}
+	if rep.Baseline.MaxLevel != 0 {
+		t.Errorf("pinned baseline reports max level %d", rep.Baseline.MaxLevel)
+	}
+	if rep.Controlled.FinalRecentP99NS > rep.SLONS {
+		t.Errorf("controlled final p99 %dns exceeds SLO %dns", rep.Controlled.FinalRecentP99NS, rep.SLONS)
+	}
+	if rep.Baseline.FinalLagNS <= rep.Controlled.FinalLagNS {
+		t.Errorf("baseline lag %dns did not diverge past controlled %dns",
+			rep.Baseline.FinalLagNS, rep.Controlled.FinalLagNS)
+	}
+	if rep.Baseline.FinalLagNS <= 0 {
+		t.Error("baseline virtual queue never lagged under 2.5x overload")
+	}
+	if r := rep.Controlled.Recall; r < 0 || r > 1 {
+		t.Errorf("controlled recall %v out of [0,1]", r)
+	}
+
+	// The recall spent must be visible through the shared registry.
+	snap := sc.Obs.Snapshot()
+	if q, ok := snap.Gauges["quality.recall"]; !ok || q < 0 || q > 1 {
+		t.Errorf("quality.recall gauge = %v (present=%v)", q, ok)
+	}
+	if _, ok := snap.Gauges["adapt.pattern.0.recall_est"]; !ok {
+		t.Error("controller never published its recall estimate")
+	}
+	if snap.Gauges["adapt.ticks"] == 0 && snap.Counters["adapt.ticks"] == 0 {
+		t.Error("controller never ticked")
+	}
+
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("ramp report does not marshal: %v", err)
+	}
+	out := rep.Rows()
+	if len(out.Rows) == 0 {
+		t.Error("text report is empty")
+	}
+}

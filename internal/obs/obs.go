@@ -96,10 +96,53 @@ var defaultBounds = []time.Duration{
 	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
 }
 
+// histIntervals is the ring capacity of a Histogram's rolling-window view:
+// the number of closed intervals retained for RecentQuantile. At the
+// controller's default 250ms roll cadence this spans the last 8 seconds.
+const histIntervals = 32
+
+// histInterval is one closed interval of the rolling view: the same bucket
+// counts / count / sum / min / max as the lifetime histogram, but covering
+// only the observations between two Roll calls.
+type histInterval struct {
+	counts []uint64
+	count  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+func (iv *histInterval) reset() {
+	for i := range iv.counts {
+		iv.counts[i] = 0
+	}
+	iv.count, iv.sum, iv.min, iv.max = 0, 0, 0, 0
+}
+
+// observe mirrors Histogram.Observe for one interval; bucket is the index
+// already computed by the caller.
+func (iv *histInterval) observe(bucket int, d time.Duration) {
+	iv.counts[bucket]++
+	iv.count++
+	iv.sum += d
+	if iv.count == 1 || d < iv.min {
+		iv.min = d
+	}
+	if d > iv.max {
+		iv.max = d
+	}
+}
+
 // Histogram accumulates durations into fixed buckets. counts[i] holds the
 // observations d with bounds[i-1] < d <= bounds[i]; the final slot is the
 // overflow bucket. Exact min/max are tracked so quantile estimates can be
 // clamped to the observed range.
+//
+// Alongside the lifetime totals, every histogram keeps a rolling-window
+// view: observations also land in an open interval, which Roll closes into
+// a ring of the last histIntervals intervals. RecentQuantile answers over
+// the open interval plus the most recent closed ones, so a controller can
+// react to current load where the lifetime quantile has long converged.
 type Histogram struct {
 	mu     sync.Mutex
 	bounds []time.Duration
@@ -108,10 +151,17 @@ type Histogram struct {
 	sum    time.Duration
 	min    time.Duration
 	max    time.Duration
+
+	open     histInterval                // current (not yet rolled) interval
+	ring     [histIntervals]histInterval // closed intervals, oldest overwritten
+	ringN    int                         // closed intervals currently held
+	ringNext int                         // ring slot the next Roll writes
 }
 
 func newHistogram() *Histogram {
-	return &Histogram{bounds: defaultBounds, counts: make([]uint64, len(defaultBounds)+1)}
+	h := &Histogram{bounds: defaultBounds, counts: make([]uint64, len(defaultBounds)+1)}
+	h.open.counts = make([]uint64, len(defaultBounds)+1)
+	return h
 }
 
 // Observe records one duration. No-op on a nil handle.
@@ -133,7 +183,93 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > h.max {
 		h.max = d
 	}
+	h.open.observe(i, d)
 	h.mu.Unlock()
+}
+
+// Roll closes the current open interval into the ring and starts a fresh
+// one. The caller owns the cadence: the adapt controller rolls once per
+// control tick, so "recent" means "the last N ticks". No-op on nil.
+func (h *Histogram) Roll() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	slot := &h.ring[h.ringNext]
+	if slot.counts == nil {
+		slot.counts = make([]uint64, len(h.bounds)+1)
+	}
+	copy(slot.counts, h.open.counts)
+	slot.count, slot.sum, slot.min, slot.max = h.open.count, h.open.sum, h.open.min, h.open.max
+	h.ringNext = (h.ringNext + 1) % histIntervals
+	if h.ringN < histIntervals {
+		h.ringN++
+	}
+	h.open.reset()
+	h.mu.Unlock()
+}
+
+// RecentQuantile estimates the q-quantile over the open interval plus the
+// n most recently closed intervals (clamped to what the ring holds). It
+// returns 0 when nothing was observed in that window, making "no recent
+// signal" distinguishable from a genuine zero-latency reading only by
+// RecentCount. Nil-safe.
+func (h *Histogram) RecentQuantile(q float64, n int) time.Duration {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	merged := h.mergeRecentLocked(n)
+	return quantileOver(h.bounds, merged.counts, merged.count, merged.min, merged.max, q)
+}
+
+// RecentCount returns the number of observations in the open interval plus
+// the n most recently closed intervals. Nil-safe.
+func (h *Histogram) RecentCount(n int) uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c := h.open.count
+	if n > h.ringN {
+		n = h.ringN
+	}
+	for k := 0; k < n; k++ {
+		c += h.ring[(h.ringNext-1-k+2*histIntervals)%histIntervals].count
+	}
+	return c
+}
+
+// mergeRecentLocked folds the open interval and the n most recent closed
+// intervals into one scratch interval. Caller holds h.mu.
+func (h *Histogram) mergeRecentLocked(n int) histInterval {
+	m := histInterval{counts: make([]uint64, len(h.bounds)+1)}
+	add := func(iv *histInterval) {
+		if iv.count == 0 {
+			return
+		}
+		for i, c := range iv.counts {
+			m.counts[i] += c
+		}
+		if m.count == 0 || iv.min < m.min {
+			m.min = iv.min
+		}
+		if iv.max > m.max {
+			m.max = iv.max
+		}
+		m.count += iv.count
+		m.sum += iv.sum
+	}
+	add(&h.open)
+	if n > h.ringN {
+		n = h.ringN
+	}
+	for k := 0; k < n; k++ {
+		add(&h.ring[(h.ringNext-1-k+2*histIntervals)%histIntervals])
+	}
+	return m
 }
 
 // Count returns the number of observations (0 on a nil handle).
@@ -159,18 +295,24 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 }
 
 func (h *Histogram) quantileLocked(q float64) time.Duration {
-	if h.count == 0 {
+	return quantileOver(h.bounds, h.counts, h.count, h.min, h.max, q)
+}
+
+// quantileOver estimates the q-quantile of one bucketed distribution: the
+// lifetime histogram and the rolling-window view both delegate here.
+func quantileOver(bounds []time.Duration, counts []uint64, count uint64, min, max time.Duration, q float64) time.Duration {
+	if count == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return min
 	}
 	if q >= 1 {
-		return h.max
+		return max
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
@@ -183,14 +325,14 @@ func (h *Histogram) quantileLocked(q float64) time.Duration {
 		// bucket's bounds by the rank's position within it.
 		lo := time.Duration(0)
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.max // overflow bucket has no upper bound; clamp at max
-		if i < len(h.bounds) && h.bounds[i] < hi {
-			hi = h.bounds[i]
+		hi := max // overflow bucket has no upper bound; clamp at max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
 		}
-		if lo < h.min {
-			lo = h.min
+		if lo < min {
+			lo = min
 		}
 		if hi < lo {
 			hi = lo
@@ -199,7 +341,7 @@ func (h *Histogram) quantileLocked(q float64) time.Duration {
 		est := lo + time.Duration(frac*float64(hi-lo))
 		return est
 	}
-	return h.max
+	return max
 }
 
 // seriesCap bounds the memory of one Series; older samples are discarded

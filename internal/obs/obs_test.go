@@ -81,6 +81,93 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramRecentQuantiles mirrors TestHistogramQuantiles for the
+// rolling-window view: each case's intervals are observed with a Roll
+// between them, and the estimate is taken over the last n intervals.
+func TestHistogramRecentQuantiles(t *testing.T) {
+	ms := func(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+	cases := []struct {
+		name      string
+		intervals [][]time.Duration // each closed by a Roll; last stays open
+		q         float64
+		n         int
+		lo, hi    time.Duration // acceptance interval for the estimate
+	}{
+		{"empty", nil, 0.5, 4, 0, 0},
+		{"open interval only", [][]time.Duration{{ms(3)}}, 0.5, 4, ms(2), ms(5)},
+		{"spans open and closed", [][]time.Duration{{ms(1)}, {ms(100)}}, 0.99, 4, ms(50), ms(100)},
+		{"uniform across intervals p50", [][]time.Duration{uniformMS(1, 50), uniformMS(51, 100)}, 0.5, 4, ms(20), ms(80)},
+		{"uniform across intervals p90", [][]time.Duration{uniformMS(1, 50), uniformMS(51, 100)}, 0.9, 4, ms(50), ms(100)},
+		{"window excludes old interval", [][]time.Duration{uniformMS(90, 100), {ms(1)}}, 0.9, 0, ms(0.5), ms(2)},
+		{"n=1 sees one closed interval", [][]time.Duration{uniformMS(90, 100), uniformMS(1, 10), nil}, 0.9, 1, ms(5), ms(20)},
+		{"overflow bucket clamps at max", [][]time.Duration{{15 * time.Second}}, 0.99, 4, 15 * time.Second, 15 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHistogram()
+			for i, iv := range tc.intervals {
+				if i > 0 {
+					h.Roll()
+				}
+				for _, d := range iv {
+					h.Observe(d)
+				}
+			}
+			got := h.RecentQuantile(tc.q, tc.n)
+			if got < tc.lo || got > tc.hi {
+				t.Errorf("RecentQuantile(%v, %d) = %v, want in [%v, %v]", tc.q, tc.n, got, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+// TestHistogramRollingWindow checks the ring mechanics: rolled-off
+// intervals stop influencing the recent view, the lifetime view never
+// forgets, and RecentCount tracks the same window as RecentQuantile.
+func TestHistogramRollingWindow(t *testing.T) {
+	h := newHistogram()
+	// One slow interval, then many fast ones pushing it out of the window.
+	h.Observe(5 * time.Second)
+	for i := 0; i < 6; i++ {
+		h.Roll()
+		h.Observe(10 * time.Microsecond)
+	}
+	if got := h.RecentQuantile(0.99, 4); got > time.Millisecond {
+		t.Errorf("recent p99 = %v still sees the rolled-off 5s outlier", got)
+	}
+	if got := h.Quantile(0.99); got < time.Second {
+		t.Errorf("lifetime p99 = %v forgot the 5s outlier", got)
+	}
+	if got := h.RecentCount(4); got != 5 { // open + 4 closed, 1 obs each
+		t.Errorf("RecentCount(4) = %d, want 5", got)
+	}
+	if got := h.RecentCount(histIntervals); got != 7 {
+		t.Errorf("RecentCount(all) = %d, want 7", got)
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("lifetime Count = %d, want 7", got)
+	}
+	// Rolling more times than the ring holds must not panic or grow.
+	for i := 0; i < 3*histIntervals; i++ {
+		h.Roll()
+	}
+	if got := h.RecentCount(histIntervals); got != 0 {
+		t.Errorf("RecentCount after draining rolls = %d, want 0", got)
+	}
+	if got := h.RecentQuantile(0.5, histIntervals); got != 0 {
+		t.Errorf("RecentQuantile over empty window = %v, want 0", got)
+	}
+	if got := h.Count(); got != 7 {
+		t.Errorf("lifetime Count after rolls = %d, want 7", got)
+	}
+
+	var nilH *Histogram
+	nilH.Roll()
+	if nilH.RecentQuantile(0.5, 1) != 0 || nilH.RecentCount(1) != 0 {
+		t.Error("nil histogram rolling view not inert")
+	}
+}
+
 func uniformMS(lo, hi int) []time.Duration {
 	var out []time.Duration
 	for i := lo; i <= hi; i++ {

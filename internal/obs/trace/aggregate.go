@@ -159,6 +159,26 @@ func Aggregate(trs []WindowTrace) *Breakdown {
 	return b
 }
 
+// AggregateByLevel splits the trace set by controller degradation level
+// (see WindowTrace.StampLevel) and aggregates each group separately, so
+// post-hoc analysis can attribute latency per degradation mode. Traces
+// without a level stamp are grouped under key -1.
+func AggregateByLevel(trs []WindowTrace) map[int]*Breakdown {
+	groups := map[int][]WindowTrace{}
+	for i := range trs {
+		lv, ok := trs[i].ControllerLevel()
+		if !ok {
+			lv = -1
+		}
+		groups[lv] = append(groups[lv], trs[i])
+	}
+	out := make(map[int]*Breakdown, len(groups))
+	for lv, g := range groups {
+		out[lv] = Aggregate(g)
+	}
+	return out
+}
+
 // Format renders the breakdown as the human-readable table printed by
 // `dlacep-inspect -trace`, including the dominant-stage diagnosis line.
 func (b *Breakdown) Format(w io.Writer) {

@@ -70,6 +70,11 @@ type WindowTrace struct {
 	// that consumed this window's relays (per-window C_ECEP attribution).
 	Matches      int   `json:"matches"`
 	CEPInstances int64 `json:"cep_instances"`
+	// Level is the adapt controller's degradation level when the window was
+	// marked, stored as ladder level + 1 so that 0 (and the field's JSON
+	// absence in old trace files) means "unstamped". Use StampLevel /
+	// ControllerLevel rather than touching the offset encoding directly.
+	Level int `json:"level,omitempty"`
 
 	IngestNS    int64 `json:"ingest_ns"`     // sampled event entered Push
 	PartitionNS int64 `json:"partition_ns"`  // shard routing decided
@@ -81,6 +86,25 @@ type WindowTrace struct {
 	MergeNS     int64 `json:"merge_ns"`      // merge stage received the batch
 	CEPStartNS  int64 `json:"cep_start_ns"`  // engines began the relay batch
 	CEPEndNS    int64 `json:"cep_end_ns"`    // engines finished the relay batch
+}
+
+// StampLevel records the controller's degradation level (0 = exact,
+// 1 = filtered, 2 = filtered+shedding) on the trace. Nil-safe.
+func (tr *WindowTrace) StampLevel(level int) {
+	if tr == nil || level < 0 {
+		return
+	}
+	tr.Level = level + 1
+}
+
+// ControllerLevel returns the stamped degradation level and whether the
+// trace carries one (records from pipelines without an adapt controller,
+// and pre-controller trace files, do not).
+func (tr *WindowTrace) ControllerLevel() (int, bool) {
+	if tr == nil || tr.Level == 0 {
+		return 0, false
+	}
+	return tr.Level - 1, true
 }
 
 // DefaultRing is the bounded trace ring's default capacity.

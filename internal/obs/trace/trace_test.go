@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -217,6 +218,66 @@ func TestAggregateSkipsAbsentStages(t *testing.T) {
 		case "partition", "dispatch", "ring_wait", "merge_wait", "relay":
 			t.Fatalf("absent stage %q reported", s.Stage)
 		}
+	}
+}
+
+// TestLevelStampAndAggregateByLevel: the controller-level stamp round-trips
+// through the offset encoding, and AggregateByLevel groups stamped traces
+// per degradation mode with unstamped records under -1.
+func TestLevelStampAndAggregateByLevel(t *testing.T) {
+	mk := func(level int, markNS int64) WindowTrace {
+		tr := WindowTrace{IngestNS: 100, MarkStartNS: 200, MarkEndNS: 200 + markNS}
+		if level >= 0 {
+			tr.StampLevel(level)
+		}
+		return tr
+	}
+	for _, tc := range []struct {
+		stamp, want int
+		ok          bool
+	}{{0, 0, true}, {2, 2, true}, {-1, 0, false}} {
+		tr := mk(tc.stamp, 10)
+		lv, ok := tr.ControllerLevel()
+		if ok != tc.ok || lv != tc.want {
+			t.Fatalf("stamp %d round-trip = (%d, %v), want (%d, %v)", tc.stamp, lv, ok, tc.want, tc.ok)
+		}
+	}
+	var nilTr *WindowTrace
+	nilTr.StampLevel(1)
+	if _, ok := nilTr.ControllerLevel(); ok {
+		t.Fatal("nil trace reports a controller level")
+	}
+
+	trs := []WindowTrace{mk(0, 400), mk(0, 600), mk(2, 50), mk(-1, 1000)}
+	byLevel := AggregateByLevel(trs)
+	if len(byLevel) != 3 {
+		t.Fatalf("got %d level groups, want 3: %v", len(byLevel), byLevel)
+	}
+	if b := byLevel[0]; b == nil || b.Windows != 2 {
+		t.Fatalf("level 0 group = %+v, want 2 windows", b)
+	}
+	if b := byLevel[2]; b == nil || b.Windows != 1 {
+		t.Fatalf("level 2 group = %+v, want 1 window", b)
+	}
+	if b := byLevel[-1]; b == nil || b.Windows != 1 {
+		t.Fatalf("unstamped group = %+v, want 1 window", b)
+	}
+	// The level stamp must survive the JSONL round trip and stay absent
+	// (omitempty) for unstamped records.
+	var sb strings.Builder
+	snap := &Snapshot{Traces: trs}
+	if err := snap.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), `"level"`); got != 3 {
+		t.Fatalf("JSONL carries %d level fields, want 3 (omitempty on unstamped)", got)
+	}
+	back, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv, ok := back[2].ControllerLevel(); !ok || lv != 2 {
+		t.Fatalf("JSONL round-trip level = (%d, %v), want (2, true)", lv, ok)
 	}
 }
 

@@ -18,6 +18,18 @@ type Health struct {
 	ActiveConns  int    `json:"active_connections"`
 	TotalConns   int64  `json:"total_connections"`
 	EventsTotal  int64  `json:"events_total"`
+	// Degradation reports the adaptive controller's posture when the server
+	// runs with a level board (-adapt). A degraded server is still healthy —
+	// degradation is the mechanism keeping it inside its SLO — so this never
+	// moves Status off "ok"; probes that care read it explicitly.
+	Degradation *Degradation `json:"degradation,omitempty"`
+}
+
+// Degradation summarizes the level board for /healthz.
+type Degradation struct {
+	MaxLevel   int       `json:"max_level"` // 0 exact, 1 filtered, 2 shedding
+	Levels     []int     `json:"levels"`
+	ShedRatios []float64 `json:"shed_ratios"`
 }
 
 // Health reports the server's current liveness snapshot.
@@ -36,6 +48,16 @@ func (s *Server) Health() Health {
 	}
 	if closed {
 		h.Status = "closing"
+	}
+	if s.Board != nil {
+		d := &Degradation{
+			MaxLevel:   int(s.Board.MaxLevel()),
+			ShedRatios: s.Board.ShedRatios(),
+		}
+		for _, l := range s.Board.Levels() {
+			d.Levels = append(d.Levels, int(l))
+		}
+		h.Degradation = d
 	}
 	return h
 }

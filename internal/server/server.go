@@ -86,6 +86,19 @@ type Server struct {
 	// ring (deterministic 1-of-stride sampling across the interleaved
 	// connections). Expose it via AdminHandler's /traces. Set before Serve.
 	Trace *trace.Tracer
+	// Board, when non-nil, serves every sequential connection through a
+	// mode-switchable core.AdaptiveProcessor instead of the static
+	// Processor: an adapt.Controller moving the board's per-pattern levels
+	// retunes live connections without draining them. Health then reports
+	// the degradation posture. Ignored in shard mode (the sharded path is
+	// the filtered rung by construction; it stamps traces with the board's
+	// level but does not switch modes). Set before Serve.
+	Board *core.LevelBoard
+	// NewGates, when non-nil alongside Board, constructs the per-pattern
+	// shed gates for one connection (each connection's processor owns its
+	// gates, like its filter). Without it, patterns degraded to the
+	// shedding rung behave as filtered. Set before Serve.
+	NewGates func() []core.Gate
 
 	mu     sync.Mutex
 	closed bool
@@ -226,7 +239,21 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	pl.Obs = s.Obs
 	pl.Trace = s.Trace
-	proc, err := pl.NewProcessor()
+	var proc interface {
+		Push(ev event.Event) ([]*cep.Match, error)
+		Flush() ([]*cep.Match, error)
+		Result() *core.Result
+	}
+	if s.Board != nil {
+		var gates []core.Gate
+		if s.NewGates != nil {
+			gates = s.NewGates()
+		}
+		pl.Board = s.Board
+		proc, err = pl.NewAdaptiveProcessor(s.Board, gates)
+	} else {
+		proc, err = pl.NewProcessor()
+	}
 	if err != nil {
 		return err
 	}

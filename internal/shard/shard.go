@@ -83,7 +83,8 @@ type relayBatch struct {
 type Pipeline struct {
 	opts    Options
 	markSz  int
-	tracer  *trace.Tracer // nil = untraced; from core.Pipeline.Trace
+	tracer  *trace.Tracer    // nil = untraced; from core.Pipeline.Trace
+	board   *core.LevelBoard // nil = no controller; from core.Pipeline.Board
 	workers []*worker
 	merge   *merger
 	joined  chan struct{} // closed when all workers have exited
@@ -124,6 +125,7 @@ func New(pl *core.Pipeline, opts Options) (*Pipeline, error) {
 		opts:    opts,
 		markSz:  pl.Cfg.MarkSize,
 		tracer:  pl.Trace,
+		board:   pl.Board,
 		joined:  make(chan struct{}),
 		mJoined: make(chan struct{}),
 		wall:    metrics.StartStopwatch(),
@@ -181,6 +183,12 @@ func (p *Pipeline) Push(ev event.Event) error {
 	tr := p.tracer.Sample()
 	if tr != nil {
 		tr.Shard = s
+		// The sharded path always serves the filtered rung itself, but a
+		// controller's board still decides the fleet-wide posture; stamp
+		// its coarsest level so traces group by degradation state.
+		if p.board != nil {
+			tr.StampLevel(int(p.board.MaxLevel()))
+		}
 		tr.PartitionNS = p.tracer.Now()
 		// Stamped before the ring push: the consumer can pop (and stamp
 		// DequeueNS) before Push even returns, and enqueue must not read

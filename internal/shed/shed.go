@@ -15,8 +15,11 @@ package shed
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
@@ -30,27 +33,73 @@ type Shedder interface {
 	Keep(e *event.Event) bool
 }
 
-// RandomShedder keeps events with probability 1-Ratio.
+// RandomShedder keeps events with probability 1-ratio. It is safe for
+// concurrent use: Keep serializes its rand.Rand under a mutex, and SetRatio
+// retunes the drop ratio atomically, so the adapt controller can adjust a
+// live shedder while the serving path keeps deciding events. The decision
+// sequence for a given seed depends only on the order of Keep calls (every
+// call draws exactly one variate), which is what makes a retuned shedder
+// differentially comparable to a fresh one at the same ratio.
 type RandomShedder struct {
-	Ratio float64
+	ratio atomic.Uint64 // float64 bits
+	mu    sync.Mutex
 	rng   *rand.Rand
 }
 
 // NewRandom builds a uniform shedder dropping the given event fraction.
 func NewRandom(ratio float64, seed int64) *RandomShedder {
-	return &RandomShedder{Ratio: ratio, rng: rand.New(rand.NewSource(seed))}
+	s := &RandomShedder{rng: rand.New(rand.NewSource(seed))}
+	s.SetRatio(ratio)
+	return s
+}
+
+// Ratio returns the current target drop fraction.
+func (s *RandomShedder) Ratio() float64 { return math.Float64frombits(s.ratio.Load()) }
+
+// SetRatio retunes the target drop fraction, clamped to [0, 1]. Safe to
+// call concurrently with Keep.
+func (s *RandomShedder) SetRatio(ratio float64) {
+	s.ratio.Store(math.Float64bits(clamp01(ratio)))
 }
 
 // Keep decides one event.
-func (s *RandomShedder) Keep(*event.Event) bool { return s.rng.Float64() >= s.Ratio }
+func (s *RandomShedder) Keep(*event.Event) bool {
+	s.mu.Lock()
+	v := s.rng.Float64()
+	s.mu.Unlock()
+	return v >= s.Ratio()
+}
 
-// UtilityShedder drops whole low-utility types first, with a probabilistic
-// drop on the boundary type so the target overall ratio is met.
-type UtilityShedder struct {
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0 || math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// shedPlan is one immutable type-drop assignment of a UtilityShedder;
+// SetRatio swaps in a freshly computed plan atomically.
+type shedPlan struct {
 	dropAll  map[string]bool
 	boundary string
 	boundP   float64 // drop probability for the boundary type
-	rng      *rand.Rand
+}
+
+// UtilityShedder drops whole low-utility types first, with a probabilistic
+// drop on the boundary type so the target overall ratio is met. Like
+// RandomShedder it is safe for concurrent use: the type-drop plan is an
+// immutable value behind an atomic pointer (rebuilt by SetRatio from the
+// retained utility/rate tables) and the boundary-type rand.Rand draws are
+// serialized under a mutex.
+type UtilityShedder struct {
+	util map[string]float64
+	rate map[string]float64
+	plan atomic.Pointer[shedPlan]
+	mu   sync.Mutex
+	rng  *rand.Rand
 }
 
 // TypeUtility estimates, from sample windows, the probability that an event
@@ -90,42 +139,71 @@ func NewUtility(ratio float64, util, rate map[string]float64, seed int64) (*Util
 	if ratio < 0 || ratio >= 1 {
 		return nil, fmt.Errorf("shed: ratio %v out of [0,1)", ratio)
 	}
-	types := make([]string, 0, len(util))
-	for t := range util {
+	s := &UtilityShedder{
+		util: copyMap(util),
+		rate: copyMap(rate),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	s.SetRatio(ratio)
+	return s, nil
+}
+
+func copyMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// SetRatio retunes the target drop fraction, rebuilding the type-drop plan
+// from the utility/rate tables captured at construction. Values outside
+// [0, 1) are clamped into it. Safe to call concurrently with Keep.
+func (s *UtilityShedder) SetRatio(ratio float64) {
+	ratio = clamp01(ratio)
+	if ratio >= 1 {
+		ratio = math.Nextafter(1, 0) // a utility shedder never drops everything deterministically
+	}
+	types := make([]string, 0, len(s.util))
+	for t := range s.util {
 		types = append(types, t)
 	}
 	sort.Slice(types, func(i, j int) bool {
-		if util[types[i]] != util[types[j]] {
-			return util[types[i]] < util[types[j]]
+		if s.util[types[i]] != s.util[types[j]] {
+			return s.util[types[i]] < s.util[types[j]]
 		}
 		return types[i] < types[j]
 	})
-	s := &UtilityShedder{dropAll: map[string]bool{}, rng: rand.New(rand.NewSource(seed))}
+	p := &shedPlan{dropAll: map[string]bool{}}
 	remaining := ratio
 	for _, t := range types {
 		if remaining <= 0 {
 			break
 		}
-		r := rate[t]
+		r := s.rate[t]
 		if r <= remaining {
-			s.dropAll[t] = true
+			p.dropAll[t] = true
 			remaining -= r
 		} else {
-			s.boundary = t
-			s.boundP = remaining / r
+			p.boundary = t
+			p.boundP = remaining / r
 			remaining = 0
 		}
 	}
-	return s, nil
+	s.plan.Store(p)
 }
 
 // Keep decides one event.
 func (s *UtilityShedder) Keep(e *event.Event) bool {
-	if s.dropAll[e.Type] {
+	p := s.plan.Load()
+	if p.dropAll[e.Type] {
 		return false
 	}
-	if e.Type == s.boundary {
-		return s.rng.Float64() >= s.boundP
+	if e.Type == p.boundary {
+		s.mu.Lock()
+		v := s.rng.Float64()
+		s.mu.Unlock()
+		return v >= p.boundP
 	}
 	return true
 }

@@ -2,6 +2,7 @@ package shed
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"dlacep/internal/dataset"
@@ -115,6 +116,112 @@ func TestSheddingNeverAddsMatches(t *testing.T) {
 				t.Fatalf("ratio %v: shedding invented match %s", ratio, k)
 			}
 		}
+	}
+}
+
+// TestSetRatioRetunes drives one live shedder through three target ratios
+// and checks each realized drop fraction, the scenario the adapt controller
+// creates when it walks the shed-ratio staircase.
+func TestSetRatioRetunes(t *testing.T) {
+	st := dataset.Synthetic(10000, 5, 2)
+	s := NewRandom(0, 11)
+	for _, ratio := range []float64{0, 0.3, 0.7} {
+		s.SetRatio(ratio)
+		if got := s.Ratio(); got != ratio {
+			t.Fatalf("Ratio() = %v after SetRatio(%v)", got, ratio)
+		}
+		kept := 0
+		for i := range st.Events {
+			if s.Keep(&st.Events[i]) {
+				kept++
+			}
+		}
+		got := 1 - float64(kept)/float64(st.Len())
+		if math.Abs(got-ratio) > 0.02 {
+			t.Errorf("SetRatio(%v): realized drop ratio %v", ratio, got)
+		}
+	}
+	s.SetRatio(-0.5)
+	if got := s.Ratio(); got != 0 {
+		t.Errorf("SetRatio(-0.5) clamped to %v, want 0", got)
+	}
+	s.SetRatio(1.5)
+	if got := s.Ratio(); got != 1 {
+		t.Errorf("SetRatio(1.5) clamped to %v, want 1", got)
+	}
+}
+
+// TestUtilitySetRatioRetunes checks the utility shedder rebuilds its
+// type-drop plan on SetRatio: at ratio 0 everything is kept, and raising
+// the ratio back reinstates the low-utility drops.
+func TestUtilitySetRatioRetunes(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	st := dataset.Synthetic(6000, 5, 3)
+	lab, err := label.New(st.Schema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, rate, err := TypeUtility(lab, dataset.Windows(st, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewUtility(0.5, util, rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRatio(0)
+	for i := range st.Events {
+		if !s.Keep(&st.Events[i]) {
+			t.Fatal("ratio 0 shed an event")
+		}
+	}
+	s.SetRatio(0.5)
+	kept := 0
+	for i := range st.Events {
+		if s.Keep(&st.Events[i]) {
+			kept++
+		}
+	}
+	got := 1 - float64(kept)/float64(st.Len())
+	if math.Abs(got-0.5) > 0.05 {
+		t.Errorf("retuned utility shedder realized drop ratio %v, want ~0.5", got)
+	}
+}
+
+// TestSheddersConcurrent hammers Keep and SetRatio from many goroutines.
+// Under -race this is the goroutine-safety proof for the controller's
+// live-retune path.
+func TestSheddersConcurrent(t *testing.T) {
+	st := dataset.Synthetic(2000, 5, 4)
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WITHIN 6")
+	lab, err := label.New(st.Schema, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, rate, err := TypeUtility(lab, dataset.Windows(st, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := NewUtility(0.2, util, rate, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Shedder{NewRandom(0.2, 5), us} {
+		tuner, _ := s.(interface{ SetRatio(float64) })
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range st.Events {
+					if w == 0 && i%10 == 0 {
+						tuner.SetRatio(float64(i%100) / 100)
+					}
+					s.Keep(&st.Events[i])
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
 }
 
