@@ -5,6 +5,7 @@ import (
 
 	"dlacep/internal/event"
 	"dlacep/internal/pattern"
+	pcompile "dlacep/internal/pattern/compile"
 )
 
 // compiled holds the per-pattern static tables built once by New.
@@ -31,11 +32,20 @@ type compiled struct {
 	// negConds maps each NEG node to the conditions that constrain its
 	// component (conditions referencing at least one of its aliases).
 	negConds map[*pattern.Node][]posCond
+
+	// condObs lists every scoped condition with its shared evaluation
+	// counter, in compile.PatternConds order, for live selectivity export.
+	condObs []pcompile.CondObs
 }
 
-// posCond is a compiled positive condition.
+// posCond is a compiled positive condition: the original condition (kept for
+// alias introspection and plan display) plus its compiled predicate. posCond
+// is copied into several index slots; pred and the Obs behind it are shared
+// across the copies, so a condition is counted once per evaluation no matter
+// which slot triggered it.
 type posCond struct {
 	cond  pattern.Condition
+	pred  pcompile.Pred
 	slots []int
 }
 
@@ -52,7 +62,13 @@ type negSpec struct {
 	prims            []*pattern.Node
 }
 
-func compile(p *pattern.Pattern, schema *event.Schema) (*compiled, error) {
+// compile builds the static tables. Every WHERE condition is typechecked
+// against the schema and lowered to a closure chain here, at submission —
+// a bad attribute name is an error from New, not a panic at the first
+// matching event. interpret switches evaluation to the tree-walking
+// interpreter (the reference arm of the differential suite); typechecking
+// happens either way so both arms reject the same patterns.
+func compile(p *pattern.Pattern, schema *event.Schema, interpret bool) (*compiled, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -127,6 +143,21 @@ func compile(p *pattern.Pattern, schema *event.Schema) (*compiled, error) {
 		}
 	})
 
+	env := pcompile.EnvOf(p, schema)
+	lower := func(cond pattern.Condition) (pcompile.Pred, error) {
+		res, err := pcompile.Analyze(cond, env)
+		if err != nil {
+			return nil, fmt.Errorf("cep: %w", err)
+		}
+		pred := res.Pred
+		if interpret {
+			pred = pcompile.Interpreted(cond)
+		}
+		o := &pcompile.Obs{}
+		c.condObs = append(c.condObs, pcompile.CondObs{Cond: cond, Obs: o})
+		return pcompile.Instrumented(pred, o), nil
+	}
+
 	c.condsBySlot = make([][]posCond, len(c.prims))
 	negCondsByNode := map[*pattern.Node][]posCond{}
 	for _, sc := range all {
@@ -152,16 +183,20 @@ func compile(p *pattern.Pattern, schema *event.Schema) (*compiled, error) {
 		switch {
 		case negRef && kcRef:
 			return nil, fmt.Errorf("cep: condition %v mixes negated and Kleene aliases", sc.cond)
-		case negRef:
-			pc := posCond{cond: sc.cond, slots: c.slotsOf(aliases)}
-			negCondsByNode[negNode] = append(negCondsByNode[negNode], pc)
 		case kcRef && plainRef:
 			return nil, fmt.Errorf("cep: condition %v mixes Kleene-internal and outer aliases; scope it to the Kleene child", sc.cond)
-		default:
-			pc := posCond{cond: sc.cond, slots: c.slotsOf(aliases)}
-			for _, s := range pc.slots {
-				c.condsBySlot[s] = append(c.condsBySlot[s], pc)
-			}
+		}
+		pred, err := lower(sc.cond)
+		if err != nil {
+			return nil, err
+		}
+		pc := posCond{cond: sc.cond, pred: pred, slots: c.slotsOf(aliases)}
+		if negRef {
+			negCondsByNode[negNode] = append(negCondsByNode[negNode], pc)
+			continue
+		}
+		for _, s := range pc.slots {
+			c.condsBySlot[s] = append(c.condsBySlot[s], pc)
 		}
 	}
 

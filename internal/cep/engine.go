@@ -9,6 +9,7 @@ import (
 	"dlacep/internal/event"
 	"dlacep/internal/obs"
 	"dlacep/internal/pattern"
+	pcompile "dlacep/internal/pattern/compile"
 )
 
 // Match is one full pattern match: the participating events in stream order
@@ -60,9 +61,30 @@ type Engine struct {
 	root evaluator
 }
 
-// New compiles a pattern into an engine bound to the stream schema.
-func New(p *pattern.Pattern, schema *event.Schema) (*Engine, error) {
-	c, err := compile(p, schema)
+// Option configures engine construction.
+type Option func(*engineOpts)
+
+type engineOpts struct {
+	interpret bool
+}
+
+// WithInterpreter evaluates WHERE conditions with the tree-walking
+// interpreter instead of compiled predicates. Decisions are identical by
+// the compiler's contract; this is the reference arm of the differential
+// suite and an escape hatch should a compilation bug ever need ruling out.
+func WithInterpreter() Option {
+	return func(o *engineOpts) { o.interpret = true }
+}
+
+// New compiles a pattern into an engine bound to the stream schema. WHERE
+// conditions are typechecked and compiled to closure chains here; an
+// unknown alias or attribute is an error at submission, not a panic later.
+func New(p *pattern.Pattern, schema *event.Schema, opts ...Option) (*Engine, error) {
+	var eo engineOpts
+	for _, o := range opts {
+		o(&eo)
+	}
+	c, err := compile(p, schema, eo.interpret)
 	if err != nil {
 		return nil, err
 	}
@@ -166,11 +188,32 @@ func (en *Engine) Publish(reg *obs.Registry, prefix string) {
 	en.sh.stats.Publish(reg, prefix)
 }
 
+// CondSelectivities returns the measured hit rate of every WHERE condition
+// evaluated at least once, keyed by the condition's string form — the same
+// key zstream.Statistics.Sel uses, so the result merges directly into a
+// planner's statistics (see zstream.Statistics.MergeLive).
+func (en *Engine) CondSelectivities() map[string]float64 {
+	out := map[string]float64{}
+	for _, co := range en.sh.c.condObs {
+		if co.Obs.Evals() > 0 {
+			out[co.Cond.String()] = co.Obs.Selectivity(0)
+		}
+	}
+	return out
+}
+
+// PublishSelectivities exports per-condition evaluation counts and hit
+// rates as gauges; see compile.PublishSelectivities for the naming scheme.
+// Call from the goroutine that owns the engine.
+func (en *Engine) PublishSelectivities(reg *obs.Registry, prefix string) {
+	pcompile.PublishSelectivities(reg, prefix, en.sh.c.condObs)
+}
+
 // Run evaluates the whole stream and returns the deduplicated match set
 // (by Key) plus engine statistics. It is the ECEP reference evaluation used
 // by the labeler, the harness, and tests.
-func Run(p *pattern.Pattern, st *event.Stream) ([]*Match, Stats, error) {
-	en, err := New(p, st.Schema)
+func Run(p *pattern.Pattern, st *event.Stream, opts ...Option) ([]*Match, Stats, error) {
+	en, err := New(p, st.Schema, opts...)
 	if err != nil {
 		return nil, Stats{}, err
 	}

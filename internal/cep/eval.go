@@ -67,7 +67,7 @@ func (sh *shared) tryMerge(a, b *instance, ordered bool) *instance {
 			if !out.bound(pc.slots) || a.bound(pc.slots) || b.bound(pc.slots) {
 				continue
 			}
-			if !pc.cond.Eval(sh.c.schema, out.lookup(sh.c.slotOf)) {
+			if !pc.pred(sh.c.schema, out.lookup(sh.c.slotOf)) {
 				return nil
 			}
 		}
@@ -143,7 +143,7 @@ func (p *primEval) process(e *event.Event) []*instance {
 	in := newPrimInstance(e, p.slot, p.nSlots)
 	// Single-alias conditions (absolute ranges) are checked immediately.
 	for _, pc := range p.sh.c.condsBySlot[p.slot] {
-		if len(pc.slots) == 1 && !pc.cond.Eval(p.sh.c.schema, in.lookup(p.sh.c.slotOf)) {
+		if len(pc.slots) == 1 && !pc.pred(p.sh.c.schema, in.lookup(p.sh.c.slotOf)) {
 			return nil
 		}
 	}

@@ -187,7 +187,7 @@ func (ns *negSearch) condsOK(alias string) bool {
 		if !mentions || !allBound {
 			continue
 		}
-		if !pc.cond.Eval(ns.sh.c.schema, ns.lookup) {
+		if !pc.pred(ns.sh.c.schema, ns.lookup) {
 			return false
 		}
 	}

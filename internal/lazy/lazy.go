@@ -16,6 +16,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
 	"dlacep/internal/pattern"
+	"dlacep/internal/pattern/compile"
 )
 
 // Stats counts the lazy engine's work; Instances is the number of partial
@@ -46,8 +47,10 @@ type chain struct {
 	prims   []*pattern.Node // original order
 	order   []int           // evaluation order: chain step -> original position
 	stepOf  []int           // original position -> chain step
-	// condsAt[k] holds conditions checkable once steps 0..k are bound.
+	// condsAt[k] holds conditions checkable once steps 0..k are bound;
+	// predsAt[k] holds their compiled predicates, index-aligned.
 	condsAt [][]pattern.Condition
+	predsAt [][]compile.Pred
 	// partials[k] holds bindings of steps 0..k.
 	partials [][]*partial
 }
@@ -62,9 +65,42 @@ type partial struct {
 	maxTs int64
 }
 
+// Option configures engine construction.
+type Option func(*engineOpts)
+
+type engineOpts struct {
+	interpret bool
+	sel       map[string]float64
+}
+
+// WithInterpreter evaluates conditions with the tree-walking interpreter
+// instead of compiled predicates — the reference arm of the differential
+// suite. Typechecking still happens, so both arms reject the same patterns.
+func WithInterpreter() Option {
+	return func(o *engineOpts) { o.interpret = true }
+}
+
+// WithSelectivities refines the evaluation order with measured per-condition
+// hit rates keyed by condition string (cep.Engine.CondSelectivities or
+// compile.SelectivitiesFromRegistry). A step's effective frequency becomes
+// its type frequency times the product of selectivities of the conditions
+// local to its alias: a frequent type behind a highly selective local filter
+// seeds few partials, so it can safely evaluate early. Conditions without a
+// measurement count as selectivity 1 (no effect).
+func WithSelectivities(sel map[string]float64) Option {
+	return func(o *engineOpts) { o.sel = sel }
+}
+
 // New compiles the pattern. Frequencies drive the evaluation order and are
 // taken from freq (events per type, e.g. a historical sample's TypeCounts).
-func New(p *pattern.Pattern, schema *event.Schema, freq map[string]int) (*Engine, error) {
+// Conditions are typechecked against the schema and compiled to closure
+// chains at submission; an unknown attribute is an error here, not a panic
+// mid-stream.
+func New(p *pattern.Pattern, schema *event.Schema, freq map[string]int, opts ...Option) (*Engine, error) {
+	var eo engineOpts
+	for _, o := range opts {
+		o(&eo)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,8 +117,9 @@ func New(p *pattern.Pattern, schema *event.Schema, freq map[string]int) (*Engine
 		buffers:  map[string][]*event.Event{},
 		bufTypes: map[string]bool{},
 	}
+	env := compile.EnvOf(p, schema)
 	for _, sub := range subs {
-		ch, err := buildChain(p, sub, freq)
+		ch, err := buildChain(p, sub, freq, env, eo)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +133,7 @@ func New(p *pattern.Pattern, schema *event.Schema, freq map[string]int) (*Engine
 	return en, nil
 }
 
-func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int) (*chain, error) {
+func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int, env compile.Env, eo engineOpts) (*chain, error) {
 	if sub.Kind != pattern.KindSeq && sub.Kind != pattern.KindConj {
 		return nil, fmt.Errorf("lazy: unsupported operator %v (want SEQ or CONJ of primitives)", sub.Kind)
 	}
@@ -108,19 +145,41 @@ func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int) (*ch
 		ch.prims = append(ch.prims, c)
 	}
 	n := len(ch.prims)
+	conds := append(append([]pattern.Condition(nil), p.Where...), sub.Where...)
 	ch.order = make([]int, n)
 	for i := range ch.order {
 		ch.order[i] = i
 	}
-	primFreq := func(pos int) int {
+	// Effective per-position frequency: type frequency scaled by the measured
+	// selectivity of conditions local to the position's alias. Without
+	// measurements every factor is 1 and the order is the classical
+	// frequency order.
+	weight := func(pos int) float64 {
 		f := 0
 		for _, t := range ch.prims[pos].Types {
 			f += freq[t]
 		}
-		return f
+		w := float64(f)
+		alias := ch.prims[pos].Alias
+		for _, c := range conds {
+			local := true
+			for _, a := range c.Aliases() {
+				if a != alias {
+					local = false
+					break
+				}
+			}
+			if !local {
+				continue
+			}
+			if s, ok := eo.sel[c.String()]; ok {
+				w *= s
+			}
+		}
+		return w
 	}
 	sort.SliceStable(ch.order, func(a, b int) bool {
-		return primFreq(ch.order[a]) < primFreq(ch.order[b])
+		return weight(ch.order[a]) < weight(ch.order[b])
 	})
 	ch.stepOf = make([]int, n)
 	for step, pos := range ch.order {
@@ -133,7 +192,6 @@ func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int) (*ch
 	for i, pr := range ch.prims {
 		idxOf[pr.Alias] = i
 	}
-	conds := append(append([]pattern.Condition(nil), p.Where...), sub.Where...)
 	ch.condsAt = make([][]pattern.Condition, n)
 	for _, c := range conds {
 		depth, ok := 0, true
@@ -150,6 +208,19 @@ func buildChain(p *pattern.Pattern, sub *pattern.Node, freq map[string]int) (*ch
 		if ok {
 			ch.condsAt[depth] = append(ch.condsAt[depth], c)
 		}
+	}
+	ch.predsAt = make([][]compile.Pred, n)
+	for depth, cs := range ch.condsAt {
+		preds, err := compile.Conds(cs, env)
+		if err != nil {
+			return nil, fmt.Errorf("lazy: %w", err)
+		}
+		if eo.interpret {
+			for i, c := range cs {
+				preds[i] = compile.Interpreted(c)
+			}
+		}
+		ch.predsAt[depth] = preds
 	}
 	ch.partials = make([][]*partial, n)
 	return ch, nil
@@ -278,8 +349,8 @@ func (en *Engine) bindStep(ch *chain, prev *partial, step int, e *event.Event) *
 		}
 		return nil, false
 	}
-	for _, c := range ch.condsAt[step] {
-		if !c.Eval(en.schema, look) {
+	for _, pr := range ch.predsAt[step] {
+		if !pr(en.schema, look) {
 			return nil
 		}
 	}
@@ -349,8 +420,8 @@ func (en *Engine) EvaluationOrder() [][]int {
 // Run evaluates the whole stream, deduplicating matches by key. Frequencies
 // are measured from the stream itself, as a deployed system would do from
 // recent history.
-func Run(p *pattern.Pattern, st *event.Stream) ([]*cep.Match, Stats, error) {
-	en, err := New(p, st.Schema, st.TypeCounts())
+func Run(p *pattern.Pattern, st *event.Stream, opts ...Option) ([]*cep.Match, Stats, error) {
+	en, err := New(p, st.Schema, st.TypeCounts(), opts...)
 	if err != nil {
 		return nil, Stats{}, err
 	}

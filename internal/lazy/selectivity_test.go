@@ -1,0 +1,41 @@
+package lazy
+
+import (
+	"reflect"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// TestSelectivityRefinesEvaluationOrder: a frequent type behind a highly
+// selective local condition seeds fewer partials than a rare unfiltered
+// type, so measured selectivities can flip the classical frequency order.
+func TestSelectivityRefinesEvaluationOrder(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < -100 AND a.vol < b.vol WITHIN 10")
+	schema := event.NewSchema("vol")
+	freq := map[string]int{"A": 100, "B": 10}
+
+	base, err := New(p, schema, freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.EvaluationOrder(); !reflect.DeepEqual(got, [][]int{{1, 0}}) {
+		t.Fatalf("frequency order = %v, want [[1 0]] (rare B first)", got)
+	}
+
+	// a.vol < -100 measured to pass 5% of the time: effective frequency of
+	// A becomes 100*0.05 = 5 < 10, so A evaluates first. The non-local
+	// condition (a.vol < b.vol) must not contribute to either weight.
+	sel := map[string]float64{
+		p.Where[0].String(): 0.05,
+		p.Where[1].String(): 0.01,
+	}
+	tuned, err := New(p, schema, freq, WithSelectivities(sel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tuned.EvaluationOrder(); !reflect.DeepEqual(got, [][]int{{0, 1}}) {
+		t.Errorf("selectivity-informed order = %v, want [[0 1]] (filtered A first)", got)
+	}
+}

@@ -1,0 +1,75 @@
+package compile
+
+import (
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+var benchSink int
+
+// BenchmarkPredicate compares tree-walking interpretation (naive) against
+// compiled closure chains (fast) on a representative WHERE mix: two ratio
+// bounds, an absolute bound, an attribute comparison, and an arithmetic
+// ExprCond. CI gates the fast variant at zero allocations and a minimum
+// naive/fast speedup (see .github/workflows/ci.yml).
+func BenchmarkPredicate(b *testing.B) {
+	s := event.NewSchema("vol", "price")
+	p, err := pattern.ParseWithSchema(
+		"PATTERN SEQ(A a, B b, C c) WHERE 0.55 * a.vol < b.vol AND b.vol < 1.45 * a.vol "+
+			"AND c.price > 10 AND a.price <= c.price AND abs(a.vol - c.vol) + b.price < 100 WITHIN 20", s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conds := p.Where
+	preds, err := Conds(conds, EnvOf(p, s))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A few distinct bindings so branch outcomes vary; lookups are prebuilt
+	// so both variants measure pure evaluation.
+	mk := func(av, ap, bv, bp, cv, cp float64) pattern.Lookup {
+		events := map[string]*event.Event{
+			"a": {Type: "A", Attrs: []float64{av, ap}},
+			"b": {Type: "B", Attrs: []float64{bv, bp}},
+			"c": {Type: "C", Attrs: []float64{cv, cp}},
+		}
+		return func(alias string) (*event.Event, bool) {
+			e, ok := events[alias]
+			return e, ok
+		}
+	}
+	looks := []pattern.Lookup{
+		mk(10, 5, 12, 3, 11, 20),  // all pass
+		mk(10, 5, 2, 3, 11, 20),   // ratio lower bound fails
+		mk(10, 50, 12, 3, 11, 20), // price comparison fails
+		mk(1, 1, 1, 1, 1, 1),      // absolute bound fails
+	}
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			look := looks[i&3]
+			for _, c := range conds {
+				if c.Eval(s, look) {
+					n++
+				}
+			}
+		}
+		benchSink = n
+	})
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			look := looks[i&3]
+			for _, pr := range preds {
+				if pr(s, look) {
+					n++
+				}
+			}
+		}
+		benchSink = n
+	})
+}

@@ -1,0 +1,429 @@
+// Package compile lowers pattern WHERE conditions into flat closure chains.
+//
+// The tree-walking interpreter (Condition.Eval) resolves every attribute
+// through a schema map lookup and dispatches through the Condition and Expr
+// interfaces on each evaluation. Engines evaluate conditions once per
+// partial-match extension — the hottest loop in the system — so this package
+// compiles each condition once, at pattern submission time, into a closure
+// of the form
+//
+//	func(*event.Schema, pattern.Lookup) bool
+//
+// with attribute indices pre-resolved, operators specialized, and no
+// interface dispatch or per-event allocation on the evaluation path.
+//
+// Compilation also moves error detection forward: unknown aliases and
+// attributes are rejected here, at submission, with a descriptive error —
+// not by a panic at the first event that reaches the condition. Constant
+// folding and interval range analysis prove some conditions constant (e.g.
+// abs(x) < c with c <= 0 is false on every binding); engines can drop or
+// short-circuit those without ever touching events.
+//
+// Decision compatibility is a hard contract: a compiled predicate returns
+// exactly what the interpreter returns on every binding, NaN and ±Inf
+// included (see the differential fuzz suite). The WHERE NaN rule is
+// pattern.CompareFloats: a comparison with a NaN operand is false for every
+// operator.
+package compile
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// Pred is a compiled predicate. The schema argument exists for signature
+// parity with Condition.Eval (and is what Interpreted wraps); compiled
+// predicates resolve attribute indices against Env.Schema at compile time
+// and must only be invoked on events of that schema. Every alias the
+// originating condition references must be bound in the lookup.
+type Pred func(s *event.Schema, look pattern.Lookup) bool
+
+// Env is the static context conditions are compiled against.
+type Env struct {
+	// Schema of the stream the pattern will run on. Required.
+	Schema *event.Schema
+	// Aliases declared by the pattern's operator tree. A reference to an
+	// alias outside this set is a compile error. Nil disables the check
+	// (for compiling free-standing conditions in tests).
+	Aliases map[string]bool
+}
+
+// EnvOf builds the compilation environment for a pattern: every primitive
+// alias (negated primitives included) against the stream schema.
+func EnvOf(p *pattern.Pattern, s *event.Schema) Env {
+	aliases := make(map[string]bool)
+	for _, pr := range p.Prims() {
+		aliases[pr.Alias] = true
+	}
+	return Env{Schema: s, Aliases: aliases}
+}
+
+// Result couples a compiled predicate with what static analysis proved
+// about it. Const, when non-nil, is the predicate's decision on every
+// binding; the Pred still works and returns that same value.
+type Result struct {
+	Pred  Pred
+	Const *bool
+}
+
+// Analyze typechecks and compiles one condition. All five built-in
+// condition types compile to specialized closures; unknown Condition
+// implementations fall back to the interpreter (correct, just slower).
+func Analyze(c pattern.Condition, env Env) (Result, error) {
+	if err := checkCond(c, env); err != nil {
+		return Result{}, err
+	}
+	switch c := c.(type) {
+	case pattern.RatioRange:
+		return compileRatio(c, env)
+	case pattern.AbsRange:
+		return compileAbs(c, env)
+	case pattern.Cmp:
+		return compileCmp(c, env)
+	case pattern.Fn:
+		return compileFn(c, env)
+	case pattern.ExprCond:
+		return compileExprCond(c, env)
+	default:
+		return Result{Pred: Interpreted(c)}, nil
+	}
+}
+
+// Cond is Analyze without the analysis result, for callers that only want
+// the predicate.
+func Cond(c pattern.Condition, env Env) (Pred, error) {
+	r, err := Analyze(c, env)
+	return r.Pred, err
+}
+
+// Conds compiles a condition list in order.
+func Conds(cs []pattern.Condition, env Env) ([]Pred, error) {
+	preds := make([]Pred, len(cs))
+	for i, c := range cs {
+		p, err := Cond(c, env)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = p
+	}
+	return preds, nil
+}
+
+// Check typechecks every condition of p — global WHERE and subtree-scoped —
+// against the schema, without building predicates. Engines call this (via
+// their constructors) so a bad pattern is rejected at submission even on
+// code paths that keep the interpreter.
+func Check(p *pattern.Pattern, s *event.Schema) error {
+	env := EnvOf(p, s)
+	var err error
+	for _, c := range p.Where {
+		if err = checkCond(c, env); err != nil {
+			return err
+		}
+	}
+	p.Root.Walk(func(n *pattern.Node) {
+		for _, c := range n.Where {
+			if err == nil {
+				err = checkCond(c, env)
+			}
+		}
+	})
+	return err
+}
+
+// Interpreted wraps a condition's tree-walking Eval in the Pred signature:
+// the reference semantics compiled predicates are differential-tested
+// against, and the fallback for condition types the compiler does not know.
+func Interpreted(c pattern.Condition) Pred {
+	return func(s *event.Schema, look pattern.Lookup) bool { return c.Eval(s, look) }
+}
+
+// Obs accumulates evaluation counts for one condition, feeding live
+// selectivity estimates back into plan ordering. Counters are plain
+// (non-atomic): an Obs is owned by the single goroutine driving its
+// engine, the same ownership contract as Engine.Publish.
+type Obs struct {
+	evals uint64
+	hits  uint64
+}
+
+// Evals returns how often the predicate was evaluated.
+func (o *Obs) Evals() uint64 { return o.evals }
+
+// Hits returns how often it returned true.
+func (o *Obs) Hits() uint64 { return o.hits }
+
+// Selectivity returns hits/evals, or def before the first evaluation.
+func (o *Obs) Selectivity(def float64) float64 {
+	if o.evals == 0 {
+		return def
+	}
+	return float64(o.hits) / float64(o.evals)
+}
+
+// Instrumented wraps p so every evaluation is counted in o.
+func Instrumented(p Pred, o *Obs) Pred {
+	return func(s *event.Schema, look pattern.Lookup) bool {
+		o.evals++
+		ok := p(s, look)
+		if ok {
+			o.hits++
+		}
+		return ok
+	}
+}
+
+// checkCond validates one condition's references against the environment.
+func checkCond(c pattern.Condition, env Env) error {
+	if env.Schema == nil {
+		return fmt.Errorf("compile: condition %v: no schema to compile against", c)
+	}
+	for _, ref := range condRefs(c) {
+		if env.Aliases != nil && !env.Aliases[ref.Alias] {
+			return fmt.Errorf("compile: condition %v: unknown alias %q", c, ref.Alias)
+		}
+		if _, ok := env.Schema.Index(ref.Attr); !ok {
+			return fmt.Errorf("compile: condition %v: unknown attribute %q (schema has: %s)",
+				c, ref.Attr, strings.Join(env.Schema.Names(), ", "))
+		}
+	}
+	return nil
+}
+
+// condRefs lists every attribute reference of a condition. Unknown
+// implementations yield nil (nothing to check; Analyze falls back to the
+// interpreter for them anyway).
+func condRefs(c pattern.Condition) []pattern.Ref {
+	switch c := c.(type) {
+	case pattern.RatioRange:
+		return []pattern.Ref{c.X, c.Y}
+	case pattern.AbsRange:
+		return []pattern.Ref{c.Y}
+	case pattern.Cmp:
+		return []pattern.Ref{c.X, c.Y}
+	case pattern.Fn:
+		return []pattern.Ref{c.X, c.Y}
+	case pattern.ExprCond:
+		return append(exprRefs(c.L), exprRefs(c.R)...)
+	default:
+		return nil
+	}
+}
+
+func exprRefs(e pattern.Expr) []pattern.Ref {
+	switch e := e.(type) {
+	case pattern.AttrExpr:
+		return []pattern.Ref{e.Ref}
+	case pattern.BinExpr:
+		return append(exprRefs(e.L), exprRefs(e.R)...)
+	case pattern.FuncExpr:
+		return exprRefs(e.Arg)
+	default:
+		return nil
+	}
+}
+
+// attrReader builds the leaf closure: one bound-alias check plus a direct
+// slice index — no schema map lookup on the evaluation path.
+func attrReader(env Env, ref pattern.Ref) func(pattern.Lookup) float64 {
+	alias := ref.Alias
+	idx := env.Schema.MustIndex(ref.Attr) // checkCond validated the name
+	return func(look pattern.Lookup) float64 {
+		e, ok := look(alias)
+		if !ok {
+			//dlacep:ignore libpanic invariant: engines bind every referenced alias before evaluating, matching the interpreter's mustBound
+			panic("compile: predicate evaluated with unbound alias " + alias)
+		}
+		return e.Attrs[idx]
+	}
+}
+
+func constResult(v bool) Result {
+	return Result{
+		Pred:  func(*event.Schema, pattern.Lookup) bool { return v },
+		Const: &v,
+	}
+}
+
+// compileRatio specializes Lo·x < y < Hi·x on which bounds are finite. The
+// bound checks are written as positive conjuncts, exactly equivalent to the
+// interpreter's !(lo*x < y) form: a NaN anywhere fails the comparison.
+func compileRatio(c pattern.RatioRange, env Env) (Result, error) {
+	loInf, hiInf := math.IsInf(c.Lo, -1), math.IsInf(c.Hi, 1)
+	if loInf && hiInf {
+		return constResult(true), nil
+	}
+	x := attrReader(env, c.X)
+	y := attrReader(env, c.Y)
+	lo, hi := c.Lo, c.Hi
+	switch {
+	case hiInf:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			return lo*x(look) < y(look)
+		}}, nil
+	case loInf:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			return y(look) < hi*x(look)
+		}}, nil
+	default:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			xv, yv := x(look), y(look)
+			return lo*xv < yv && yv < hi*xv
+		}}, nil
+	}
+}
+
+// compileAbs specializes Lo < y < Hi. A finite empty interval (Hi <= Lo)
+// is constant false.
+func compileAbs(c pattern.AbsRange, env Env) (Result, error) {
+	loInf, hiInf := math.IsInf(c.Lo, -1), math.IsInf(c.Hi, 1)
+	if loInf && hiInf {
+		return constResult(true), nil
+	}
+	if !loInf && !hiInf && c.Hi <= c.Lo {
+		return constResult(false), nil
+	}
+	y := attrReader(env, c.Y)
+	lo, hi := c.Lo, c.Hi
+	switch {
+	case hiInf:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			return lo < y(look)
+		}}, nil
+	case loInf:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			return y(look) < hi
+		}}, nil
+	default:
+		return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+			yv := y(look)
+			return lo < yv && yv < hi
+		}}, nil
+	}
+}
+
+// compileCmp specializes the operator. Comparing a reference with itself is
+// constant false for the irreflexive operators (<, >, !=) — equal values
+// fail them and a NaN value fails everything; the reflexive ones (<=, >=,
+// ==) are NOT constant true, because NaN fails those too.
+func compileCmp(c pattern.Cmp, env Env) (Result, error) {
+	if c.X == c.Y && (c.Op == "<" || c.Op == ">" || c.Op == "!=") {
+		return constResult(false), nil
+	}
+	x := attrReader(env, c.X)
+	y := attrReader(env, c.Y)
+	pred, err := comparePred(c.Op, x, y)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Pred: pred}, nil
+}
+
+func compileFn(c pattern.Fn, env Env) (Result, error) {
+	if c.Pred == nil {
+		return Result{}, fmt.Errorf("compile: condition %v: nil Fn predicate", c)
+	}
+	x := attrReader(env, c.X)
+	y := attrReader(env, c.Y)
+	fn := c.Pred
+	return Result{Pred: func(_ *event.Schema, look pattern.Lookup) bool {
+		return fn(x(look), y(look))
+	}}, nil
+}
+
+// compileExprCond folds constants, runs interval range analysis, and — when
+// the decision is not provable — lowers both sides to value closures joined
+// by an operator-specialized comparison.
+func compileExprCond(c pattern.ExprCond, env Env) (Result, error) {
+	l, r := foldExpr(c.L), foldExpr(c.R)
+	if decided, val := provableDecision(c.Op, rangeOf(l), rangeOf(r)); decided {
+		return constResult(val), nil
+	}
+	lv, err := compileExpr(l, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("compile: condition %v: %w", c, err)
+	}
+	rv, err := compileExpr(r, env)
+	if err != nil {
+		return Result{}, fmt.Errorf("compile: condition %v: %w", c, err)
+	}
+	pred, err := comparePred(c.Op, lv, rv)
+	if err != nil {
+		return Result{}, fmt.Errorf("compile: condition %v: %w", c, err)
+	}
+	return Result{Pred: pred}, nil
+}
+
+// compileExpr lowers an arithmetic expression to a value closure.
+func compileExpr(e pattern.Expr, env Env) (func(pattern.Lookup) float64, error) {
+	switch e := e.(type) {
+	case pattern.ConstExpr:
+		v := float64(e)
+		return func(pattern.Lookup) float64 { return v }, nil
+	case pattern.AttrExpr:
+		return attrReader(env, e.Ref), nil
+	case pattern.BinExpr:
+		l, err := compileExpr(e.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.R, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case '+':
+			return func(look pattern.Lookup) float64 { return l(look) + r(look) }, nil
+		case '-':
+			return func(look pattern.Lookup) float64 { return l(look) - r(look) }, nil
+		case '*':
+			return func(look pattern.Lookup) float64 { return l(look) * r(look) }, nil
+		case '/':
+			return func(look pattern.Lookup) float64 { return l(look) / r(look) }, nil
+		default:
+			return nil, fmt.Errorf("unknown arithmetic operator %q", e.Op)
+		}
+	case pattern.FuncExpr:
+		fn, ok := pattern.BuiltinFunc(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q", e.Name)
+		}
+		arg, err := compileExpr(e.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(look pattern.Lookup) float64 { return fn(arg(look)) }, nil
+	default:
+		return nil, fmt.Errorf("unsupported expression type %T", e)
+	}
+}
+
+// comparePred joins two value closures with an operator-specialized
+// comparison under the pattern.CompareFloats NaN rule. Five of the six
+// operators are naturally NaN-false in Go; only != needs an explicit guard
+// (raw IEEE makes NaN != x true).
+func comparePred(op string, l, r func(pattern.Lookup) float64) (Pred, error) {
+	switch op {
+	case "<":
+		return func(_ *event.Schema, look pattern.Lookup) bool { return l(look) < r(look) }, nil
+	case "<=":
+		return func(_ *event.Schema, look pattern.Lookup) bool { return l(look) <= r(look) }, nil
+	case ">":
+		return func(_ *event.Schema, look pattern.Lookup) bool { return l(look) > r(look) }, nil
+	case ">=":
+		return func(_ *event.Schema, look pattern.Lookup) bool { return l(look) >= r(look) }, nil
+	case "==":
+		return func(_ *event.Schema, look pattern.Lookup) bool { return l(look) == r(look) }, nil
+	case "!=":
+		return func(_ *event.Schema, look pattern.Lookup) bool {
+			lv, rv := l(look), r(look)
+			return lv != rv && !math.IsNaN(lv) && !math.IsNaN(rv)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown comparison operator %q", op)
+	}
+}

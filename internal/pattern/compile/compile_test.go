@@ -1,0 +1,279 @@
+package compile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+func testEnv() (Env, *event.Schema) {
+	s := event.NewSchema("vol", "price")
+	return Env{Schema: s, Aliases: map[string]bool{"a": true, "b": true, "c": true}}, s
+}
+
+func bindingOf(m map[string][]float64) pattern.Lookup {
+	events := map[string]*event.Event{}
+	for alias, attrs := range m {
+		events[alias] = &event.Event{Type: "T", Attrs: attrs}
+	}
+	return func(alias string) (*event.Event, bool) {
+		e, ok := events[alias]
+		return e, ok
+	}
+}
+
+// parseWhere extracts the conditions of a WHERE clause through the real
+// parser, so tests exercise exactly what submission produces.
+func parseWhere(t *testing.T, where string) []pattern.Condition {
+	t.Helper()
+	p, err := pattern.Parse("PATTERN SEQ(A a, B b, C c) WHERE " + where + " WITHIN 10")
+	if err != nil {
+		t.Fatalf("parse %q: %v", where, err)
+	}
+	return p.Where
+}
+
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	env, s := testEnv()
+	nan, inf := math.NaN(), math.Inf(1)
+	clauses := []string{
+		"0.55 * a.vol < b.vol",
+		"0.55 * a.vol < b.vol AND b.vol < 1.45 * a.vol",
+		"a.vol < b.vol",
+		"a.vol > 5",
+		"a.vol < -5",
+		"1 < a.vol < 5",
+		"a.vol <= b.vol",
+		"a.vol >= b.vol",
+		"a.vol == b.vol",
+		"a.vol != b.vol",
+		"a.vol - 5 > b.vol",
+		"abs(a.vol - b.vol) < 0.5",
+		"a.vol / b.vol != 1",
+		"a.vol + b.price < 2 * c.vol",
+		"exp(a.vol) > 1.5",
+		"log(abs(b.vol)) <= c.price",
+		"sqrt(a.vol) < 2",
+		"-2 * a.vol < b.vol",
+		"10 < 2 * a.vol",
+		"a.price * b.price >= c.price",
+	}
+	values := []float64{0, 0.5, -0.5, 1, -1, 2, -3, 10, inf, -inf, nan, 1e308}
+	for _, clause := range clauses {
+		for _, cond := range parseWhere(t, clause) {
+			res, err := Analyze(cond, env)
+			if err != nil {
+				t.Errorf("%s: Analyze: %v", clause, err)
+				continue
+			}
+			interp := Interpreted(cond)
+			for i := 0; i < 400; i++ {
+				// Deterministic pseudo-random grid over the value pool.
+				pick := func(k int) float64 { return values[(i*7+k*13)%len(values)] }
+				look := bindingOf(map[string][]float64{
+					"a": {pick(0), pick(1)},
+					"b": {pick(2), pick(3)},
+					"c": {pick(4), pick(5)},
+				})
+				want := interp(s, look)
+				got := res.Pred(s, look)
+				if got != want {
+					t.Fatalf("%s [%v]: compiled=%v interpreted=%v on binding %d",
+						clause, cond, got, want, i)
+				}
+				if res.Const != nil && want != *res.Const {
+					t.Fatalf("%s [%v]: Const=%v but interpreter says %v on binding %d",
+						clause, cond, *res.Const, want, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeProvesConstants(t *testing.T) {
+	env, _ := testEnv()
+	falseCases := []string{
+		"abs(a.vol) < 0",         // abs range [0,inf) never below 0
+		"abs(a.vol - b.vol) < 0", // the ISSUE's motivating shape
+		"abs(a.vol) <= -1",
+		"exp(a.vol) < 0",           // exp range [0,inf)
+		"sqrt(abs(a.vol)) < -0.5",  // sqrt range [0,inf)
+		"a.vol - a.vol + 100 < 99", // stays non-const: a.vol-a.vol can be NaN
+	}
+	for _, clause := range falseCases[:5] {
+		for _, cond := range parseWhere(t, clause) {
+			res, err := Analyze(cond, env)
+			if err != nil {
+				t.Fatalf("%s: %v", clause, err)
+			}
+			if res.Const == nil || *res.Const {
+				t.Errorf("%s: want provably false, got Const=%v", clause, res.Const)
+			}
+		}
+	}
+	// Interval analysis must not "prove" through possible NaN: Inf - Inf.
+	for _, cond := range parseWhere(t, falseCases[5]) {
+		res, err := Analyze(cond, env)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if res.Const != nil {
+			t.Errorf("a.vol - a.vol + 100 < 99 wrongly proved constant %v", *res.Const)
+		}
+	}
+	// Direct construction (the parser rejects attribute-free comparisons).
+	directTrue := pattern.ExprCond{L: pattern.ConstExpr(1), Op: "<", R: pattern.ConstExpr(2)}
+	if res, err := Analyze(directTrue, env); err != nil || res.Const == nil || !*res.Const {
+		t.Errorf("1 < 2: want provably true, got Const=%v err=%v", res.Const, err)
+	}
+	nanCond := pattern.ExprCond{L: pattern.ConstExpr(math.NaN()), Op: "!=", R: pattern.ConstExpr(1)}
+	if res, err := Analyze(nanCond, env); err != nil || res.Const == nil || *res.Const {
+		t.Errorf("NaN != 1: want provably false under the NaN rule, got Const=%v err=%v", res.Const, err)
+	}
+	// Unbounded RatioRange and empty AbsRange.
+	a, b := pattern.Ref{Alias: "a", Attr: "vol"}, pattern.Ref{Alias: "b", Attr: "vol"}
+	trueRatio := pattern.RatioRange{Lo: math.Inf(-1), X: a, Y: b, Hi: math.Inf(1)}
+	if res, _ := Analyze(trueRatio, env); res.Const == nil || !*res.Const {
+		t.Error("unbounded RatioRange: want provably true")
+	}
+	emptyAbs := pattern.AbsRange{Lo: 5, Y: a, Hi: 2}
+	if res, _ := Analyze(emptyAbs, env); res.Const == nil || *res.Const {
+		t.Error("AbsRange(5, y, 2): want provably false")
+	}
+	// Irreflexive self-comparison is constant false (NaN fails != too);
+	// reflexive ones are NOT constant true because NaN fails them.
+	for _, op := range []string{"<", ">", "!="} {
+		if res, _ := Analyze(pattern.Cmp{X: a, Op: op, Y: a}, env); res.Const == nil || *res.Const {
+			t.Errorf("a.vol %s a.vol: want provably false", op)
+		}
+	}
+	for _, op := range []string{"<=", ">=", "=="} {
+		if res, _ := Analyze(pattern.Cmp{X: a, Op: op, Y: a}, env); res.Const != nil {
+			t.Errorf("a.vol %s a.vol: must stay non-constant (NaN makes it false)", op)
+		}
+	}
+}
+
+func TestAnalyzeTypecheckErrors(t *testing.T) {
+	env, _ := testEnv()
+	a := pattern.Ref{Alias: "a", Attr: "vol"}
+	cases := []struct {
+		cond   pattern.Condition
+		errSub string
+	}{
+		{pattern.Cmp{X: pattern.Ref{Alias: "z", Attr: "vol"}, Op: "<", Y: a}, `unknown alias "z"`},
+		{pattern.Cmp{X: pattern.Ref{Alias: "a", Attr: "size"}, Op: "<", Y: a}, `unknown attribute "size"`},
+		{pattern.AbsRange{Lo: 0, Y: pattern.Ref{Alias: "a", Attr: "qty"}, Hi: 1}, `unknown attribute "qty"`},
+		{pattern.ExprCond{
+			L:  pattern.FuncExpr{Name: "abs", Arg: pattern.AttrExpr{Ref: pattern.Ref{Alias: "w", Attr: "vol"}}},
+			Op: "<", R: pattern.ConstExpr(1),
+		}, `unknown alias "w"`},
+	}
+	for _, tc := range cases {
+		if _, err := Analyze(tc.cond, env); err == nil || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%v: error %v, want substring %q", tc.cond, err, tc.errSub)
+		}
+	}
+	if _, err := Analyze(pattern.Cmp{X: a, Op: "<", Y: a}, Env{}); err == nil {
+		t.Error("nil schema must be rejected")
+	}
+	// Nil Aliases disables the alias check but keeps the attribute check.
+	free := Env{Schema: env.Schema}
+	if _, err := Analyze(pattern.Cmp{X: pattern.Ref{Alias: "z", Attr: "vol"}, Op: "<", Y: a}, free); err != nil {
+		t.Errorf("nil Aliases should skip alias check: %v", err)
+	}
+}
+
+func TestCheckWalksScopedConditions(t *testing.T) {
+	s := event.NewSchema("vol")
+	p, err := pattern.Parse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol WITHIN 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p, s); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	bad, err := pattern.Parse("PATTERN SEQ(A a, B b) WHERE a.size < b.vol WITHIN 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(bad, s); err == nil || !strings.Contains(err.Error(), `unknown attribute "size"`) {
+		t.Errorf("Check(bad) = %v, want unknown attribute error", err)
+	}
+	// Subtree-scoped conditions are checked too.
+	kc := pattern.MustParse("PATTERN SEQ(A a, KC(B b)) WITHIN 10")
+	var kcNode *pattern.Node
+	kc.Root.Walk(func(n *pattern.Node) {
+		if n.Kind == pattern.KindKleene {
+			kcNode = n
+		}
+	})
+	kcNode.Where = []pattern.Condition{
+		pattern.AbsRange{Lo: 0, Y: pattern.Ref{Alias: "b", Attr: "missing"}, Hi: 1},
+	}
+	if err := Check(kc, s); err == nil || !strings.Contains(err.Error(), `unknown attribute "missing"`) {
+		t.Errorf("Check must walk scoped conditions, got %v", err)
+	}
+}
+
+func TestInstrumentedCountsAndSelectivity(t *testing.T) {
+	env, s := testEnv()
+	pred, err := Cond(parseWhere(t, "a.vol > 0")[0], env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Obs
+	inst := Instrumented(pred, &o)
+	if o.Selectivity(0.5) != 0.5 {
+		t.Errorf("default selectivity = %v, want 0.5", o.Selectivity(0.5))
+	}
+	for i := 0; i < 10; i++ {
+		v := float64(i) - 2.5 // 0..9 shifted: 3 non-positive, 7 positive
+		inst(s, bindingOf(map[string][]float64{"a": {v, 0}}))
+	}
+	if o.Evals() != 10 || o.Hits() != 7 {
+		t.Fatalf("evals=%d hits=%d, want 10/7", o.Evals(), o.Hits())
+	}
+	if got := o.Selectivity(0.5); got != 0.7 {
+		t.Errorf("selectivity = %v, want 0.7", got)
+	}
+}
+
+func TestCondsCompilesInOrder(t *testing.T) {
+	env, s := testEnv()
+	conds := parseWhere(t, "a.vol > 0 AND b.vol < 1 AND a.vol < b.vol")
+	preds, err := Conds(conds, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(conds) {
+		t.Fatalf("got %d preds for %d conds", len(preds), len(conds))
+	}
+	look := bindingOf(map[string][]float64{"a": {0.5, 0}, "b": {0.8, 0}})
+	for i, pr := range preds {
+		if pr(s, look) != conds[i].Eval(s, look) {
+			t.Errorf("pred %d disagrees with cond %v", i, conds[i])
+		}
+	}
+}
+
+// An unknown Condition implementation must fall back to the interpreter.
+type oddCond struct{}
+
+func (oddCond) Aliases() []string                       { return []string{"a"} }
+func (oddCond) Eval(*event.Schema, pattern.Lookup) bool { return true }
+func (oddCond) String() string                          { return "odd" }
+
+func TestUnknownConditionFallsBack(t *testing.T) {
+	env, s := testEnv()
+	res, err := Analyze(oddCond{}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pred(s, bindingOf(nil)) {
+		t.Error("fallback pred must delegate to Eval")
+	}
+}

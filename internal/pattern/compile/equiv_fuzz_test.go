@@ -1,0 +1,139 @@
+package compile
+
+import (
+	"math"
+	"testing"
+
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// fuzzVals is the adversarial value pool bindings draw from: zeros, signed
+// fractions, infinities, NaN, and magnitude extremes that overflow when
+// multiplied.
+var fuzzVals = []float64{
+	0, 0.5, -0.5, 1, -1, 2, -3, 10,
+	math.Inf(1), math.Inf(-1), math.NaN(), 1e308, -1e308, 1e-308,
+}
+
+var fuzzAliases = [3]string{"a", "b", "c"}
+var fuzzAttrs = [2]string{"vol", "price"}
+var fuzzOps = [6]string{"<", "<=", ">", ">=", "==", "!="}
+
+// byteReader drives deterministic structure generation from fuzz input.
+type byteReader struct {
+	data []byte
+	i    int
+}
+
+func (r *byteReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+func (r *byteReader) val() float64 { return fuzzVals[int(r.next())%len(fuzzVals)] }
+func (r *byteReader) ref() pattern.Ref {
+	return pattern.Ref{
+		Alias: fuzzAliases[int(r.next())%len(fuzzAliases)],
+		Attr:  fuzzAttrs[int(r.next())%len(fuzzAttrs)],
+	}
+}
+func (r *byteReader) op() string { return fuzzOps[int(r.next())%len(fuzzOps)] }
+
+func genExpr(r *byteReader, depth int) pattern.Expr {
+	if depth <= 0 {
+		if r.next()%2 == 0 {
+			return pattern.ConstExpr(r.val())
+		}
+		return pattern.AttrExpr{Ref: r.ref()}
+	}
+	switch r.next() % 5 {
+	case 0:
+		return pattern.ConstExpr(r.val())
+	case 1:
+		return pattern.AttrExpr{Ref: r.ref()}
+	case 2, 3:
+		ops := [4]byte{'+', '-', '*', '/'}
+		return pattern.BinExpr{
+			L:  genExpr(r, depth-1),
+			Op: ops[int(r.next())%len(ops)],
+			R:  genExpr(r, depth-1),
+		}
+	default:
+		fns := [5]string{"abs", "neg", "exp", "log", "sqrt"}
+		return pattern.FuncExpr{Name: fns[int(r.next())%len(fns)], Arg: genExpr(r, depth-1)}
+	}
+}
+
+var fuzzFnPreds = []struct {
+	pred func(x, y float64) bool
+	desc string
+}{
+	{func(x, y float64) bool { return x < y }, "fn:lt"},
+	{func(x, y float64) bool { return x+y > 0 }, "fn:sumpos"},
+	{func(x, y float64) bool { return true }, "fn:true"},
+}
+
+// genCond materializes one condition of any of the five built-in types.
+func genCond(r *byteReader) pattern.Condition {
+	switch r.next() % 5 {
+	case 0:
+		return pattern.RatioRange{Lo: r.val(), X: r.ref(), Y: r.ref(), Hi: r.val()}
+	case 1:
+		return pattern.AbsRange{Lo: r.val(), Y: r.ref(), Hi: r.val()}
+	case 2:
+		return pattern.Cmp{X: r.ref(), Op: r.op(), Y: r.ref()}
+	case 3:
+		f := fuzzFnPreds[int(r.next())%len(fuzzFnPreds)]
+		return pattern.Fn{X: r.ref(), Y: r.ref(), Pred: f.pred, Desc: f.desc}
+	default:
+		return pattern.ExprCond{L: genExpr(r, 3), Op: r.op(), R: genExpr(r, 3)}
+	}
+}
+
+// FuzzCompiledCondEquivalence is the compiler's core contract test: on a
+// randomly generated condition and random bindings (NaN and ±Inf included),
+// the compiled predicate must return exactly what the interpreter returns,
+// and any Const proof must match too.
+func FuzzCompiledCondEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{4, 5, 10, 10, 10, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 8, 9, 5, 1, 1})
+	f.Add([]byte{1, 10, 0, 0, 10})
+	f.Add([]byte{3, 2, 0, 0, 0, 0})
+	f.Add([]byte{4, 3, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	s := event.NewSchema("vol", "price")
+	env := Env{Schema: s, Aliases: map[string]bool{"a": true, "b": true, "c": true}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &byteReader{data: data}
+		cond := genCond(r)
+		res, err := Analyze(cond, env)
+		if err != nil {
+			t.Fatalf("generated condition %v failed to compile: %v", cond, err)
+		}
+		interp := Interpreted(cond)
+		// Remaining input bytes drive the bindings; always run a minimum so
+		// even short inputs exercise the zero-value binding.
+		for trial := 0; trial < 24; trial++ {
+			attrs := map[string][]float64{}
+			for _, alias := range fuzzAliases {
+				attrs[alias] = []float64{r.val(), r.val()}
+			}
+			look := bindingOf(attrs)
+			want := interp(s, look)
+			got := res.Pred(s, look)
+			if got != want {
+				t.Fatalf("condition %v: compiled=%v interpreted=%v on %v",
+					cond, got, want, attrs)
+			}
+			if res.Const != nil && want != *res.Const {
+				t.Fatalf("condition %v: Const=%v but interpreter says %v on %v",
+					cond, *res.Const, want, attrs)
+			}
+		}
+	})
+}

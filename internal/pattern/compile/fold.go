@@ -1,0 +1,249 @@
+package compile
+
+import (
+	"math"
+
+	"dlacep/internal/pattern"
+)
+
+// foldExpr rewrites constant sub-expressions bottom-up using the exact
+// float operations the interpreter would apply at evaluation time — no
+// algebraic rewrites (0*x is NOT 0 when x is NaN or ±Inf), so folding can
+// never change a decision.
+func foldExpr(e pattern.Expr) pattern.Expr {
+	switch e := e.(type) {
+	case pattern.BinExpr:
+		l, r := foldExpr(e.L), foldExpr(e.R)
+		if lc, lok := l.(pattern.ConstExpr); lok {
+			if rc, rok := r.(pattern.ConstExpr); rok {
+				lv, rv := float64(lc), float64(rc)
+				switch e.Op {
+				case '+':
+					return pattern.ConstExpr(lv + rv)
+				case '-':
+					return pattern.ConstExpr(lv - rv)
+				case '*':
+					return pattern.ConstExpr(lv * rv)
+				case '/':
+					return pattern.ConstExpr(lv / rv)
+				}
+			}
+		}
+		return pattern.BinExpr{L: l, Op: e.Op, R: r}
+	case pattern.FuncExpr:
+		arg := foldExpr(e.Arg)
+		if c, ok := arg.(pattern.ConstExpr); ok {
+			if fn, ok := pattern.BuiltinFunc(e.Name); ok {
+				return pattern.ConstExpr(fn(float64(c)))
+			}
+		}
+		return pattern.FuncExpr{Name: e.Name, Arg: arg}
+	default:
+		return e
+	}
+}
+
+// interval conservatively over-approximates the set of values an expression
+// can take: a numeric range [lo, hi] (lo > hi encodes "no non-NaN value")
+// plus a flag for whether NaN is possible. Soundness contract: the true
+// value set is always a subset of the interval; analysis may widen, never
+// narrow. provableDecision only concludes when the approximation is
+// decisive, so widening costs precision, not correctness.
+type interval struct {
+	lo, hi float64
+	nan    bool
+}
+
+func fullInterval() interval {
+	return interval{lo: math.Inf(-1), hi: math.Inf(1), nan: true}
+}
+
+// nanOnly is the interval of an expression that never produces a number.
+func nanOnly() interval {
+	return interval{lo: math.Inf(1), hi: math.Inf(-1), nan: true}
+}
+
+func pointInterval(v float64) interval {
+	if math.IsNaN(v) {
+		return nanOnly()
+	}
+	return interval{lo: v, hi: v}
+}
+
+// empty reports whether the numeric range holds no value.
+func (iv interval) empty() bool { return iv.lo > iv.hi }
+
+func (iv interval) containsZero() bool { return iv.lo <= 0 && iv.hi >= 0 }
+
+func (iv interval) unbounded() bool {
+	return math.IsInf(iv.lo, -1) || math.IsInf(iv.hi, 1)
+}
+
+// rangeOf computes the value interval of an expression. Attributes are
+// unconstrained (any float including NaN); everything else follows IEEE
+// semantics of the interpreter's operations.
+func rangeOf(e pattern.Expr) interval {
+	switch e := e.(type) {
+	case pattern.ConstExpr:
+		return pointInterval(float64(e))
+	case pattern.AttrExpr:
+		return fullInterval()
+	case pattern.BinExpr:
+		return binRange(e.Op, rangeOf(e.L), rangeOf(e.R))
+	case pattern.FuncExpr:
+		return funcRange(e.Name, rangeOf(e.Arg))
+	default:
+		return fullInterval()
+	}
+}
+
+func binRange(op byte, l, r interval) interval {
+	if l.empty() || r.empty() {
+		// One side never yields a number, so neither does the operation.
+		return nanOnly()
+	}
+	nan := l.nan || r.nan
+	switch op {
+	case '+':
+		// (+Inf) + (-Inf) is NaN; if opposite infinities can meet, give up.
+		if (math.IsInf(l.hi, 1) && math.IsInf(r.lo, -1)) ||
+			(math.IsInf(l.lo, -1) && math.IsInf(r.hi, 1)) {
+			return fullInterval()
+		}
+		return interval{lo: l.lo + r.lo, hi: l.hi + r.hi, nan: nan}
+	case '-':
+		return binRange('+', l, interval{lo: -r.hi, hi: -r.lo, nan: r.nan})
+	case '*':
+		// 0 * ±Inf is NaN; if a zero can meet an infinity, give up. Outside
+		// that case the product is monotone in each operand, so the extreme
+		// values are among the endpoint products.
+		if (l.containsZero() && r.unbounded()) || (r.containsZero() && l.unbounded()) {
+			return fullInterval()
+		}
+		return fromCandidates(nan, l.lo*r.lo, l.lo*r.hi, l.hi*r.lo, l.hi*r.hi)
+	case '/':
+		// x/0 is ±Inf (sign-dependent) and 0/0 is NaN; Inf/Inf is NaN.
+		if r.containsZero() || (l.unbounded() && r.unbounded()) {
+			return fullInterval()
+		}
+		return fromCandidates(nan, l.lo/r.lo, l.lo/r.hi, l.hi/r.lo, l.hi/r.hi)
+	default:
+		return fullInterval()
+	}
+}
+
+func fromCandidates(nan bool, vs ...float64) interval {
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return interval{lo: lo, hi: hi, nan: nan}
+}
+
+func funcRange(name string, a interval) interval {
+	if a.empty() {
+		return nanOnly()
+	}
+	switch name {
+	case "abs":
+		lo, hi := math.Abs(a.lo), math.Abs(a.hi)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if a.containsZero() {
+			lo = 0
+		}
+		return interval{lo: lo, hi: hi, nan: a.nan}
+	case "neg":
+		return interval{lo: -a.hi, hi: -a.lo, nan: a.nan}
+	case "exp":
+		// Monotone; Exp(-Inf) = 0, Exp(+Inf) = +Inf.
+		return interval{lo: math.Exp(a.lo), hi: math.Exp(a.hi), nan: a.nan}
+	case "sqrt":
+		if a.hi < 0 {
+			return nanOnly() // every value is negative -> every result NaN
+		}
+		lo := 0.0
+		if a.lo > 0 {
+			lo = math.Sqrt(a.lo)
+		}
+		return interval{lo: lo, hi: math.Sqrt(a.hi), nan: a.nan || a.lo < 0}
+	case "log":
+		if a.hi < 0 {
+			return nanOnly()
+		}
+		lo := math.Inf(-1) // Log(0) = -Inf
+		if a.lo > 0 {
+			lo = math.Log(a.lo)
+		}
+		return interval{lo: lo, hi: math.Log(a.hi), nan: a.nan || a.lo < 0}
+	default:
+		return fullInterval()
+	}
+}
+
+// provableDecision reports whether op over the two value intervals decides
+// the comparison on every possible binding, and if so what the decision is.
+// It reasons under the WHERE NaN rule (NaN operand => false, all six
+// operators): proving FALSE only needs the numeric ranges to be decisive
+// (a NaN would also yield false); proving TRUE additionally requires that
+// neither side can be NaN.
+func provableDecision(op string, a, b interval) (decided, value bool) {
+	if a.empty() || b.empty() {
+		return true, false // some side is always NaN
+	}
+	noNaN := !a.nan && !b.nan
+	switch op {
+	case "<":
+		if noNaN && a.hi < b.lo {
+			return true, true
+		}
+		if a.lo >= b.hi {
+			return true, false
+		}
+	case "<=":
+		if noNaN && a.hi <= b.lo {
+			return true, true
+		}
+		if a.lo > b.hi {
+			return true, false
+		}
+	case ">":
+		if noNaN && a.lo > b.hi {
+			return true, true
+		}
+		if a.hi <= b.lo {
+			return true, false
+		}
+	case ">=":
+		if noNaN && a.lo >= b.hi {
+			return true, true
+		}
+		if a.hi < b.lo {
+			return true, false
+		}
+	case "==":
+		if a.hi < b.lo || b.hi < a.lo {
+			return true, false // disjoint ranges never compare equal
+		}
+		if noNaN && isPoint(a) && isPoint(b) && a.lo == b.lo {
+			return true, true
+		}
+	case "!=":
+		if noNaN && (a.hi < b.lo || b.hi < a.lo) {
+			return true, true
+		}
+		if isPoint(a) && isPoint(b) && a.lo == b.lo {
+			// Both sides are the same single number or NaN; equal numbers
+			// and NaN operands both make != false.
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// isPoint reports a single-value numeric range; points arise only from
+// constant folding, never from accumulated arithmetic, so exact equality
+// is the right test.
+func isPoint(iv interval) bool { return iv.lo == iv.hi }

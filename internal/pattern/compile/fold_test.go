@@ -1,0 +1,134 @@
+package compile
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dlacep/internal/pattern"
+)
+
+func TestFoldExprConstants(t *testing.T) {
+	aRef := pattern.AttrExpr{Ref: pattern.Ref{Alias: "a", Attr: "vol"}}
+	cases := []struct {
+		in   pattern.Expr
+		want pattern.Expr
+	}{
+		{pattern.BinExpr{L: pattern.ConstExpr(2), Op: '*', R: pattern.ConstExpr(3)},
+			pattern.ConstExpr(6)},
+		{pattern.BinExpr{
+			L:  pattern.BinExpr{L: pattern.ConstExpr(1), Op: '+', R: pattern.ConstExpr(2)},
+			Op: '-', R: pattern.ConstExpr(0.5)},
+			pattern.ConstExpr(2.5)},
+		{pattern.FuncExpr{Name: "abs", Arg: pattern.ConstExpr(-2)},
+			pattern.ConstExpr(2)},
+		{pattern.FuncExpr{Name: "neg", Arg: pattern.BinExpr{L: pattern.ConstExpr(4), Op: '/', R: pattern.ConstExpr(2)}},
+			pattern.ConstExpr(-2)},
+		// Constants fold inside a non-constant tree.
+		{pattern.BinExpr{L: aRef, Op: '+', R: pattern.BinExpr{L: pattern.ConstExpr(2), Op: '*', R: pattern.ConstExpr(3)}},
+			pattern.BinExpr{L: aRef, Op: '+', R: pattern.ConstExpr(6)}},
+		// Non-constant trees are untouched; no algebraic rewrites (0*x is
+		// NOT folded to 0: x could be NaN or Inf).
+		{pattern.BinExpr{L: pattern.ConstExpr(0), Op: '*', R: aRef},
+			pattern.BinExpr{L: pattern.ConstExpr(0), Op: '*', R: aRef}},
+	}
+	for _, tc := range cases {
+		if got := foldExpr(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("foldExpr(%v) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+	// IEEE special values fold with exact runtime semantics.
+	if got := foldExpr(pattern.BinExpr{L: pattern.ConstExpr(1), Op: '/', R: pattern.ConstExpr(0)}); got != pattern.ConstExpr(math.Inf(1)) {
+		t.Errorf("1/0 folded to %v, want +Inf", got)
+	}
+	zz := foldExpr(pattern.BinExpr{L: pattern.ConstExpr(0), Op: '/', R: pattern.ConstExpr(0)})
+	if c, ok := zz.(pattern.ConstExpr); !ok || !math.IsNaN(float64(c)) {
+		t.Errorf("0/0 folded to %v, want NaN", zz)
+	}
+}
+
+func iv(lo, hi float64, nan bool) interval { return interval{lo: lo, hi: hi, nan: nan} }
+
+func TestRangeOf(t *testing.T) {
+	inf := math.Inf(1)
+	attr := pattern.AttrExpr{Ref: pattern.Ref{Alias: "a", Attr: "vol"}}
+	cases := []struct {
+		name string
+		e    pattern.Expr
+		want interval
+	}{
+		{"const", pattern.ConstExpr(3), iv(3, 3, false)},
+		{"nan const", pattern.ConstExpr(math.NaN()), iv(inf, -inf, true)},
+		{"attr", attr, iv(-inf, inf, true)},
+		{"abs attr", pattern.FuncExpr{Name: "abs", Arg: attr}, iv(0, inf, true)},
+		{"exp attr", pattern.FuncExpr{Name: "exp", Arg: attr}, iv(0, inf, true)},
+		{"sqrt attr", pattern.FuncExpr{Name: "sqrt", Arg: attr}, iv(0, inf, true)},
+		{"neg abs", pattern.FuncExpr{Name: "neg", Arg: pattern.FuncExpr{Name: "abs", Arg: attr}},
+			iv(-inf, 0, true)},
+		{"abs const range", pattern.FuncExpr{Name: "abs", Arg: pattern.ConstExpr(-4)}, iv(4, 4, false)},
+		{"sqrt negative const", pattern.FuncExpr{Name: "sqrt", Arg: pattern.ConstExpr(-1)}, iv(inf, -inf, true)},
+		{"scale", pattern.BinExpr{L: pattern.ConstExpr(2), Op: '*', R: pattern.FuncExpr{Name: "abs", Arg: attr}},
+			iv(0, inf, true)}, // scaling preserves the half-line: 2 can't meet an infinity at 0
+		{"shift abs", pattern.BinExpr{L: pattern.FuncExpr{Name: "abs", Arg: attr}, Op: '+', R: pattern.ConstExpr(1)},
+			iv(1, inf, true)},
+		{"sum of attrs", pattern.BinExpr{L: attr, Op: '+', R: attr}, iv(-inf, inf, true)},
+		{"const div", pattern.BinExpr{L: pattern.ConstExpr(1), Op: '/', R: pattern.ConstExpr(2)},
+			iv(0.5, 0.5, false)},
+		{"div by zero range", pattern.BinExpr{L: pattern.ConstExpr(1), Op: '/', R: attr},
+			iv(-inf, inf, true)},
+	}
+	for _, tc := range cases {
+		got := rangeOf(tc.e)
+		same := got.nan == tc.want.nan &&
+			(got.empty() && tc.want.empty() || got.lo == tc.want.lo && got.hi == tc.want.hi)
+		if !same {
+			t.Errorf("%s: rangeOf = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestProvableDecision(t *testing.T) {
+	inf := math.Inf(1)
+	abs := iv(0, inf, true)   // abs(attr)
+	negC := iv(-2, -2, false) // constant -2
+	pos := iv(3, 5, false)    // folded constant range
+	small := iv(0, 1, false)  // bounded no-NaN
+	point := iv(7, 7, false)
+	nanSide := iv(inf, -inf, true) // NaN-only expression
+
+	cases := []struct {
+		op      string
+		a, b    interval
+		decided bool
+		value   bool
+	}{
+		{"<", abs, negC, true, false}, // [0,inf) < -2 never
+		{"<=", abs, negC, true, false},
+		{">", negC, abs, true, false}, // -2 > [0,inf) never
+		{"<", small, pos, true, true}, // [0,1] < [3,5] always, no NaN
+		{"<", abs, pos, false, false}, // abs may be 10, or NaN
+		{">", pos, small, true, true},
+		{">=", pos, pos, false, false},  // overlapping ranges
+		{"==", small, pos, true, false}, // disjoint
+		{"!=", small, pos, true, true},  // disjoint, no NaN
+		{"==", point, point, true, true},
+		{"!=", point, point, true, false},
+		{"<", nanSide, pos, true, false}, // NaN side: false for all ops
+		{"!=", nanSide, pos, true, false},
+		{"==", abs, abs, false, false}, // same range != same value
+	}
+	for _, tc := range cases {
+		decided, value := provableDecision(tc.op, tc.a, tc.b)
+		if decided != tc.decided || (decided && value != tc.value) {
+			t.Errorf("provableDecision(%s, %+v, %+v) = (%v, %v), want (%v, %v)",
+				tc.op, tc.a, tc.b, decided, value, tc.decided, tc.value)
+		}
+	}
+	// A possibly-NaN side blocks TRUE conclusions but not FALSE ones.
+	if decided, _ := provableDecision("<", iv(0, 1, true), pos); decided {
+		t.Error("[0,1]+NaN < [3,5] must stay undecided: NaN bindings are false, numeric ones true")
+	}
+	if decided, value := provableDecision("<", iv(10, 20, true), pos); !decided || value {
+		t.Error("[10,20]+NaN < [3,5] must be decided false: numeric and NaN bindings both fail")
+	}
+}

@@ -1,0 +1,74 @@
+package compile
+
+import (
+	"fmt"
+
+	"dlacep/internal/obs"
+	"dlacep/internal/pattern"
+)
+
+// Live selectivity export. Engines count evaluations and hits per condition
+// (Obs); planners want those measurements back as selectivity estimates.
+// The registry carries only numbers, so condition identity travels out of
+// band: both producer and consumer derive a stable index from the pattern
+// itself via PatternConds, and gauge names carry just that index. This
+// avoids embedding condition strings (arbitrary operator characters) in
+// metric names, which the Prometheus exposition would reject.
+
+// CondObs pairs a condition with its evaluation counter.
+type CondObs struct {
+	Cond pattern.Condition
+	Obs  *Obs
+}
+
+// PatternConds returns the canonical ordering of a pattern's conditions:
+// the global WHERE clause first, then subtree-scoped clauses in pre-order
+// walk order. The ordering is a publish/consume contract — engines export
+// gauges indexed by position in this list, and planners resolve indices
+// back to conditions through the same list.
+func PatternConds(p *pattern.Pattern) []pattern.Condition {
+	conds := append([]pattern.Condition(nil), p.Where...)
+	p.Root.Walk(func(n *pattern.Node) {
+		conds = append(conds, n.Where...)
+	})
+	return conds
+}
+
+func selGaugeName(prefix string, i int, leaf string) string {
+	return fmt.Sprintf("%s.cond.%d.%s", prefix, i, leaf)
+}
+
+// PublishSelectivities exports, for each condition i of stats,
+// prefix.cond.<i>.evals and prefix.cond.<i>.selectivity. A condition that
+// has never been evaluated publishes evals=0 and selectivity=0; consumers
+// must treat a zero evals gauge as "no measurement", not "selectivity 0".
+// A nil registry is a no-op.
+func PublishSelectivities(reg *obs.Registry, prefix string, stats []CondObs) {
+	if reg == nil {
+		return
+	}
+	for i, co := range stats {
+		reg.Gauge(selGaugeName(prefix, i, "evals")).Set(float64(co.Obs.Evals()))
+		reg.Gauge(selGaugeName(prefix, i, "selectivity")).Set(co.Obs.Selectivity(0))
+	}
+}
+
+// SelectivitiesFromRegistry reads measured selectivities back for the given
+// canonical condition list (PatternConds of the same pattern the producer
+// published for). The result is keyed by Condition.String() — the key form
+// zstream.Statistics.Sel uses — and includes only conditions whose evals
+// gauge is positive, so unmeasured conditions keep the planner's default
+// instead of being mistaken for never-true. A nil registry yields nil.
+func SelectivitiesFromRegistry(reg *obs.Registry, prefix string, conds []pattern.Condition) map[string]float64 {
+	if reg == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for i, c := range conds {
+		if reg.Gauge(selGaugeName(prefix, i, "evals")).Value() <= 0 {
+			continue
+		}
+		out[c.String()] = reg.Gauge(selGaugeName(prefix, i, "selectivity")).Value()
+	}
+	return out
+}

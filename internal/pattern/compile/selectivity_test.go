@@ -1,0 +1,67 @@
+package compile
+
+import (
+	"testing"
+
+	"dlacep/internal/obs"
+	"dlacep/internal/pattern"
+)
+
+func TestPatternCondsCanonicalOrder(t *testing.T) {
+	p, err := pattern.Parse("PATTERN SEQ(A a, B b) WHERE a.vol < b.vol AND b.vol < 5 WITHIN 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a subtree-scoped condition; it must come after the global WHERE.
+	scoped := pattern.AbsRange{Lo: 0, Y: pattern.Ref{Alias: "a", Attr: "vol"}, Hi: 1}
+	p.Root.Children[0].With(scoped)
+	conds := PatternConds(p)
+	if len(conds) != 3 {
+		t.Fatalf("got %d conditions, want 3", len(conds))
+	}
+	if conds[0].String() != p.Where[0].String() || conds[1].String() != p.Where[1].String() {
+		t.Errorf("global WHERE not first: %v", conds)
+	}
+	if conds[2].String() != scoped.String() {
+		t.Errorf("scoped condition not last: %v", conds)
+	}
+}
+
+// TestPublishReadbackRoundTrip: measurements published through a registry
+// are recovered keyed by condition string, and unmeasured conditions are
+// absent rather than zero.
+func TestPublishReadbackRoundTrip(t *testing.T) {
+	env, s := testEnv()
+	conds := parseWhere(t, "a.vol > 0 AND a.vol < b.vol")
+	var stats []CondObs
+	var preds []Pred
+	for _, c := range conds {
+		pr, err := Cond(c, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := &Obs{}
+		stats = append(stats, CondObs{Cond: c, Obs: o})
+		preds = append(preds, Instrumented(pr, o))
+	}
+	// Evaluate only the first condition: 3 of 4 bindings pass.
+	for i := 0; i < 4; i++ {
+		preds[0](s, bindingOf(map[string][]float64{"a": {float64(i) - 0.5, 0}}))
+	}
+
+	reg := obs.NewRegistry()
+	PublishSelectivities(reg, "test.pat", stats)
+	got := SelectivitiesFromRegistry(reg, "test.pat", []pattern.Condition{conds[0], conds[1]})
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1 (unmeasured condition must be absent): %v", len(got), got)
+	}
+	if sel := got[conds[0].String()]; sel != 0.75 {
+		t.Errorf("selectivity = %v, want 0.75", sel)
+	}
+
+	// Nil registry: both directions are no-ops.
+	PublishSelectivities(nil, "x", stats)
+	if m := SelectivitiesFromRegistry(nil, "x", conds); m != nil {
+		t.Errorf("nil registry should yield nil, got %v", m)
+	}
+}

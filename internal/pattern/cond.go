@@ -135,26 +135,12 @@ type Cmp struct {
 
 func (c Cmp) Aliases() []string { return sortedUnique(c.X.Alias, c.Y.Alias) }
 
+// Eval compares the two attributes under the NaN rule of CompareFloats:
+// NaN operands make every operator false, != included.
 func (c Cmp) Eval(s *event.Schema, look Lookup) bool {
 	x := mustBound(look, c.X.Alias).Attr(s, c.X.Attr)
 	y := mustBound(look, c.Y.Alias).Attr(s, c.Y.Attr)
-	switch c.Op {
-	case "<":
-		return x < y
-	case "<=":
-		return x <= y
-	case ">":
-		return x > y
-	case ">=":
-		return x >= y
-	case "==":
-		return x == y
-	case "!=":
-		return x != y
-	default:
-		//dlacep:ignore libpanic unreachable: parse validates comparison operators
-		panic(fmt.Sprintf("pattern: unknown comparison operator %q", c.Op))
-	}
+	return CompareFloats(c.Op, x, y)
 }
 
 func (c Cmp) String() string { return fmt.Sprintf("%v %s %v", c.X, c.Op, c.Y) }

@@ -61,7 +61,9 @@ type BinExpr struct {
 	R  Expr
 }
 
-// EvalExpr applies the operator; division by zero yields ±Inf like Go.
+// EvalExpr applies the operator with raw IEEE semantics: x/0 yields ±Inf
+// and 0/0 yields NaN, exactly as in Go. NaN handling is the comparison's
+// job (CompareFloats), not the arithmetic's.
 func (b BinExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
 	l, ok := b.L.EvalExpr(s, look)
 	if !ok {
@@ -113,6 +115,15 @@ var exprFuncs = map[string]func(float64) float64{
 	"neg":  func(x float64) float64 { return -x },
 }
 
+// BuiltinFunc returns the implementation of a built-in unary function
+// (abs, log, exp, sqrt, neg). The predicate compiler resolves function
+// names through this accessor so its closures apply the identical
+// implementations the interpreter uses.
+func BuiltinFunc(name string) (func(float64) float64, bool) {
+	fn, ok := exprFuncs[name]
+	return fn, ok
+}
+
 // EvalExpr applies the function.
 func (f FuncExpr) EvalExpr(s *event.Schema, look Lookup) (float64, bool) {
 	fn, ok := exprFuncs[f.Name]
@@ -149,7 +160,9 @@ func (c ExprCond) Aliases() []string {
 	return sortedUnique(append(c.L.ExprAliases(), c.R.ExprAliases()...)...)
 }
 
-// Eval compares the two sides. All aliases must be bound.
+// Eval compares the two sides under the NaN rule of CompareFloats: if
+// either side evaluates to NaN the predicate is false regardless of the
+// operator. All aliases must be bound.
 func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
 	l, ok := c.L.EvalExpr(s, look)
 	if !ok {
@@ -161,7 +174,20 @@ func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
 		//dlacep:ignore libpanic invariant: engines bind every alias before evaluating conditions
 		panic("pattern: ExprCond evaluated with unbound alias")
 	}
-	switch c.Op {
+	return CompareFloats(c.Op, l, r)
+}
+
+// CompareFloats applies one of the six comparison operators under the
+// WHERE-clause NaN rule: a comparison with a NaN operand is false for
+// every operator, including !=. (Raw IEEE semantics would make NaN != x
+// true, so a 0/0 in one sub-expression could silently satisfy a
+// predicate.) This is the single comparison routine shared by the
+// interpreter and mirrored by the compiler's constant folding.
+func CompareFloats(op string, l, r float64) bool {
+	if math.IsNaN(l) || math.IsNaN(r) {
+		return false
+	}
+	switch op {
 	case "<":
 		return l < r
 	case "<=":
@@ -176,7 +202,7 @@ func (c ExprCond) Eval(s *event.Schema, look Lookup) bool {
 		return l != r
 	default:
 		//dlacep:ignore libpanic unreachable: parse validates comparison operators
-		panic(fmt.Sprintf("pattern: unknown comparison %q", c.Op))
+		panic(fmt.Sprintf("pattern: unknown comparison %q", op))
 	}
 }
 

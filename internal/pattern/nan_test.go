@@ -1,0 +1,73 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"dlacep/internal/event"
+)
+
+var allCmpOps = []string{"<", "<=", ">", ">=", "==", "!="}
+
+// A WHERE comparison with a NaN operand is false for every operator,
+// including != (raw IEEE would make NaN != x true, letting a 0/0 in one
+// sub-expression silently satisfy a predicate).
+func TestCompareFloatsNaNRule(t *testing.T) {
+	nan := math.NaN()
+	for _, op := range allCmpOps {
+		if CompareFloats(op, nan, 1) {
+			t.Errorf("CompareFloats(%q, NaN, 1) = true, want false", op)
+		}
+		if CompareFloats(op, 1, nan) {
+			t.Errorf("CompareFloats(%q, 1, NaN) = true, want false", op)
+		}
+		if CompareFloats(op, nan, nan) {
+			t.Errorf("CompareFloats(%q, NaN, NaN) = true, want false", op)
+		}
+	}
+	// Non-NaN semantics are untouched, ±Inf included.
+	if !CompareFloats("<", 1, math.Inf(1)) || !CompareFloats("!=", 1, 2) ||
+		!CompareFloats("==", math.Inf(-1), math.Inf(-1)) {
+		t.Error("CompareFloats mangles ordinary comparisons")
+	}
+}
+
+func TestExprCondNaNIsFalse(t *testing.T) {
+	s := event.NewSchema("vol")
+	// a.vol = b.vol = 0, so a.vol / b.vol is 0/0 = NaN.
+	look := lookupFrom(s, map[string][]float64{"a": {0}, "b": {0}})
+	ratio := BinExpr{L: AttrExpr{Ref: Ref{Alias: "a", Attr: "vol"}}, Op: '/',
+		R: AttrExpr{Ref: Ref{Alias: "b", Attr: "vol"}}}
+	for _, op := range allCmpOps {
+		if (ExprCond{L: ratio, Op: op, R: ConstExpr(1)}).Eval(s, look) {
+			t.Errorf("NaN %s 1 evaluated true", op)
+		}
+		if (ExprCond{L: ConstExpr(1), Op: op, R: ratio}).Eval(s, look) {
+			t.Errorf("1 %s NaN evaluated true", op)
+		}
+	}
+	// Parsed end-to-end: != would be the silently-wrong one under raw IEEE.
+	p := MustParse("PATTERN SEQ(A a, B b) WHERE a.vol / b.vol != 1 WITHIN 5")
+	if p.Where[0].Eval(s, look) {
+		t.Error("parsed 0/0 != 1 evaluated true, want false under the NaN rule")
+	}
+}
+
+func TestCmpNaNIsFalse(t *testing.T) {
+	s := event.NewSchema("vol")
+	look := lookupFrom(s, map[string][]float64{"a": {math.NaN()}, "b": {1}})
+	for _, op := range allCmpOps {
+		if (Cmp{X: Ref{Alias: "a", Attr: "vol"}, Op: op, Y: Ref{Alias: "b", Attr: "vol"}}).Eval(s, look) {
+			t.Errorf("Cmp NaN %s 1 evaluated true", op)
+		}
+	}
+	// RatioRange and AbsRange are NaN-false by construction (their bounds
+	// are written as !(lo < y) checks); pin that too.
+	if (RatioRange{Lo: 0.5, X: Ref{Alias: "a", Attr: "vol"}, Y: Ref{Alias: "b", Attr: "vol"},
+		Hi: math.Inf(1)}).Eval(s, look) {
+		t.Error("RatioRange with NaN x evaluated true")
+	}
+	if (AbsRange{Lo: -1, Y: Ref{Alias: "a", Attr: "vol"}, Hi: 1}).Eval(s, look) {
+		t.Error("AbsRange with NaN y evaluated true")
+	}
+}

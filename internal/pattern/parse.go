@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"dlacep/internal/event"
 )
 
 // Parse compiles a textual pattern specification, e.g.
@@ -20,10 +22,20 @@ import (
 // references and constants. WITHIN takes a count window size; append TIME
 // for a time-based window. Subtree-scoped conditions (per-iteration Kleene
 // predicates) are only expressible through the programmatic API.
-func Parse(src string) (*Pattern, error) {
+func Parse(src string) (*Pattern, error) { return ParseWithSchema(src, nil) }
+
+// ParseWithSchema is Parse with submission-time type checking: every
+// attribute reference in the WHERE clause is validated against the stream
+// schema, so an unknown attribute is rejected here — with its source
+// offset — instead of panicking at the first event that reaches the
+// condition. A nil schema skips the attribute check (plain Parse).
+func ParseWithSchema(src string, schema *event.Schema) (*Pattern, error) {
 	p := &parser{lex: newLexer(src)}
 	pat, err := p.parsePattern()
 	if err != nil {
+		return nil, fmt.Errorf("pattern: parsing %q: %w", src, err)
+	}
+	if err := p.checkRefs(pat, schema); err != nil {
 		return nil, fmt.Errorf("pattern: parsing %q: %w", src, err)
 	}
 	if err := pat.Validate(); err != nil {
@@ -87,7 +99,10 @@ func (l *lexer) tokenize() {
 			}
 			l.toks = append(l.toks, token{tokOp, s[i:j], i})
 			i = j
-		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+		// '-' before a digit is NOT part of the number: lexing "-5" as a
+		// negative literal here would swallow the binary minus in "a.vol-5"
+		// and "2-3". Negation is parseFactor's unary-minus production.
+		case c >= '0' && c <= '9':
 			j := i + 1
 			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
 				(s[j] == '-' || s[j] == '+') && (s[j-1] == 'e' || s[j-1] == 'E')) {
@@ -125,10 +140,47 @@ func (l *lexer) next() token {
 
 type parser struct {
 	lex *lexer
+	// refs records every attribute reference with its source offsets so
+	// alias and schema checks report positions after parsing completes.
+	refs []refUse
+}
+
+// refUse is one parsed alias.attr occurrence with token offsets.
+type refUse struct {
+	ref      Ref
+	aliasPos int
+	attrPos  int
 }
 
 func (p *parser) errf(t token, format string, args ...any) error {
-	return fmt.Errorf("at offset %d: %s", t.pos, fmt.Sprintf(format, args...))
+	return p.errfAt(t.pos, format, args...)
+}
+
+func (p *parser) errfAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// checkRefs validates recorded attribute references: aliases must be
+// declared by the operator tree, and (when a schema is given) attributes
+// must exist in it. Errors carry the offending token's offset.
+func (p *parser) checkRefs(pat *Pattern, schema *event.Schema) error {
+	declared := map[string]bool{}
+	for _, pr := range pat.Prims() {
+		declared[pr.Alias] = true
+	}
+	for _, ru := range p.refs {
+		if !declared[ru.ref.Alias] {
+			return p.errfAt(ru.aliasPos, "unknown alias %q in WHERE clause", ru.ref.Alias)
+		}
+		if schema == nil {
+			continue
+		}
+		if _, ok := schema.Index(ru.ref.Attr); !ok {
+			return p.errfAt(ru.attrPos, "unknown attribute %q (schema has: %s)",
+				ru.ref.Attr, strings.Join(schema.Names(), ", "))
+		}
+	}
+	return nil
 }
 
 func (p *parser) expectIdent(word string) error {
@@ -307,9 +359,18 @@ func (p *parser) parseFactor() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Negated literals stay literals so "a.vol < -5" reduces to the
+		// classical AbsRange shape, exactly as it did when the lexer ate
+		// the sign.
+		if c, ok := e.(ConstExpr); ok {
+			return ConstExpr(-float64(c)), nil
+		}
 		return FuncExpr{Name: "neg", Arg: e}, nil
 	case t.kind == tokIdent:
-		if _, isFn := exprFuncs[t.text]; isFn && p.lex.peek().text == "(" {
+		if p.lex.peek().text == "(" {
+			if _, isFn := exprFuncs[t.text]; !isFn {
+				return nil, p.errf(t, "unknown function %q (built-ins: abs, exp, log, neg, sqrt)", t.text)
+			}
 			p.lex.next()
 			arg, err := p.parseExpr()
 			if err != nil {
@@ -363,7 +424,9 @@ func (p *parser) parseRefTail(aliasTok token) (Ref, error) {
 	if at.kind != tokIdent {
 		return Ref{}, p.errf(at, "expected attribute name, got %q", at.text)
 	}
-	return Ref{Alias: aliasTok.text, Attr: at.text}, nil
+	ref := Ref{Alias: aliasTok.text, Attr: at.text}
+	p.refs = append(p.refs, refUse{ref: ref, aliasPos: aliasTok.pos, attrPos: at.pos})
+	return ref, nil
 }
 
 func (p *parser) parseWhere() ([]Condition, error) {
@@ -400,6 +463,11 @@ func (p *parser) parseChain() ([]Condition, error) {
 			return conds, nil
 		}
 		p.lex.next()
+		switch t.text {
+		case "<", "<=", ">", ">=", "==", "!=":
+		default:
+			return nil, p.errf(t, "unknown comparison operator %q", t.text)
+		}
 		right, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -408,68 +476,82 @@ func (p *parser) parseChain() ([]Condition, error) {
 		lt, lok := reduceTerm(left)
 		rt, rok := reduceTerm(right)
 		if lok && rok {
-			c, err = makeCondition(lt, t.text, rt)
-			if err != nil {
-				return nil, p.errf(t, "%v", err)
-			}
-		} else {
-			c = ExprCond{L: left, Op: t.text, R: right}
-			if len(c.Aliases()) == 0 {
+			c = makeCondition(lt, t.text, rt)
+		}
+		if c == nil {
+			ec := ExprCond{L: left, Op: t.text, R: right}
+			if len(ec.Aliases()) == 0 {
 				return nil, p.errf(t, "comparison references no event attributes")
 			}
+			c = ec
 		}
 		conds = append(conds, c)
 		left = right
 	}
 }
 
-func makeCondition(l term, op string, r term) (Condition, error) {
+// makeCondition reduces a comparison between two simple terms to a
+// classical condition when one exists with exactly the source semantics
+// (bit-for-bit float behavior), so the cost models see the shapes they
+// understand without the reduction ever changing decisions. It returns nil
+// when no exact classical form exists; the caller then keeps the general
+// ExprCond, which evaluates the expression as written. In particular:
+//
+//   - constant-vs-scaled shapes (c OP s·ref with s != 1) are not divided
+//     through: c/s rounds, flipping decisions near the boundary (and
+//     negative s would silently reverse the inequality);
+//   - <= and >= against constants have no classical form (AbsRange bounds
+//     are strict) and stay ExprCond instead of being lowered to strict
+//     bounds as the old parser did.
+func makeCondition(l term, op string, r term) Condition {
 	inf := math.Inf(1)
 	switch {
 	case l.isConst && r.isConst:
-		return nil, fmt.Errorf("comparison between two constants")
-	case l.isConst: // const OP scale·ref  ->  bound on ref
-		if r.val == 0 {
-			return nil, fmt.Errorf("zero scale factor")
+		return nil // rejected by the caller: no event attributes
+	case l.isConst: // c OP s·ref
+		if r.val != 1 {
+			return nil
 		}
-		v := l.val / r.val
 		switch op {
-		case "<", "<=":
-			return AbsRange{Lo: v, Y: r.ref, Hi: inf}, nil
-		case ">", ">=":
-			return AbsRange{Lo: -inf, Y: r.ref, Hi: v}, nil
+		case "<": // c < y
+			return AbsRange{Lo: l.val, Y: r.ref, Hi: inf}
+		case ">": // c > y  ==  y < c
+			return AbsRange{Lo: -inf, Y: r.ref, Hi: l.val}
 		}
-		return nil, fmt.Errorf("operator %q not supported with constants", op)
-	case r.isConst:
-		if l.val == 0 {
-			return nil, fmt.Errorf("zero scale factor")
+		return nil
+	case r.isConst: // s·ref OP c
+		if l.val != 1 {
+			return nil
 		}
-		v := r.val / l.val
 		switch op {
-		case "<", "<=":
-			return AbsRange{Lo: -inf, Y: l.ref, Hi: v}, nil
-		case ">", ">=":
-			return AbsRange{Lo: v, Y: l.ref, Hi: inf}, nil
+		case "<": // y < c
+			return AbsRange{Lo: -inf, Y: l.ref, Hi: r.val}
+		case ">": // y > c
+			return AbsRange{Lo: r.val, Y: l.ref, Hi: inf}
 		}
-		return nil, fmt.Errorf("operator %q not supported with constants", op)
-	default: // scale·ref OP scale·ref
+		return nil
+	default: // sl·u OP sr·v
+		sl, sr, u, v := l.val, r.val, l.ref, r.ref
 		switch op {
-		case "<", "<=": // l.val·X < r.val·Y  ->  (l.val/r.val)·X < Y
-			if r.val <= 0 {
-				return nil, fmt.Errorf("scale factors must be positive")
+		case "<":
+			if sr == 1 { // sl·u < v
+				return Ratio(sl, u, v, inf)
 			}
-			return Ratio(l.val/r.val, l.ref, r.ref, inf), nil
-		case ">", ">=":
-			if l.val <= 0 {
-				return nil, fmt.Errorf("scale factors must be positive")
+			if sl == 1 { // u < sr·v
+				return RatioRange{Lo: -inf, X: v, Y: u, Hi: sr}
 			}
-			return Ratio(r.val/l.val, r.ref, l.ref, inf), nil
-		case "==", "!=":
-			if l.val != 1 || r.val != 1 {
-				return nil, fmt.Errorf("scaled equality not supported")
+		case ">":
+			if sl == 1 { // u > sr·v  ==  sr·v < u
+				return Ratio(sr, v, u, inf)
 			}
-			return Cmp{X: l.ref, Op: op, Y: r.ref}, nil
+			if sr == 1 { // sl·u > v  ==  v < sl·u
+				return RatioRange{Lo: -inf, X: u, Y: v, Hi: sl}
+			}
+		case "<=", ">=", "==", "!=":
+			if sl == 1 && sr == 1 {
+				return Cmp{X: u, Op: op, Y: v}
+			}
 		}
-		return nil, fmt.Errorf("unknown operator %q", op)
+		return nil
 	}
 }

@@ -1,0 +1,183 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlacep/internal/event"
+)
+
+func wrapWhere(cond string) string {
+	return "PATTERN SEQ(A a, B b) WHERE " + cond + " WITHIN 10"
+}
+
+// The lexer used to eat '-' before a digit as a negative literal, so
+// "a.vol-5" tokenized as [a.vol, -5] and the binary minus vanished. These
+// spacing variants must all parse to the same decision.
+func TestBinaryMinusSpacingVariants(t *testing.T) {
+	s := event.NewSchema("vol")
+	look := lookupFrom(s, map[string][]float64{"a": {7}, "b": {1}})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{"a.vol-5 > b.vol", true}, // 7-5=2 > 1
+		{"a.vol - 5 > b.vol", true},
+		{"a.vol -5 > b.vol", true},
+		{"a.vol- 5 > b.vol", true},
+		{"a.vol-5 < b.vol", false},
+		{"b.vol < a.vol-5", true},
+		{"a.vol < 2-3", false}, // 7 < -1
+		{"b.vol > 2-3", true},  // 1 > -1
+		{"b.vol<-3+1", false},  // 1 < -2
+		{"b.vol<-3*-1", true},  // 1 < 3
+		{"a.vol - b.vol > 5", true},
+	}
+	for _, tc := range cases {
+		p, err := Parse(wrapWhere(tc.cond))
+		if err != nil {
+			t.Errorf("%s: %v", tc.cond, err)
+			continue
+		}
+		got := true
+		for _, c := range p.Where {
+			got = got && c.Eval(s, look)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestNegativeLiteralReduces(t *testing.T) {
+	a, b := Ref{Alias: "a", Attr: "vol"}, Ref{Alias: "b", Attr: "vol"}
+	p := MustParse(wrapWhere("a.vol < -5"))
+	want := AbsRange{Lo: math.Inf(-1), Y: a, Hi: -5}
+	if !reflect.DeepEqual(p.Where[0], want) {
+		t.Errorf("a.vol < -5 parsed as %#v, want %#v", p.Where[0], want)
+	}
+	// A negative ratio scale keeps multiply-compare semantics instead of
+	// the old divide-through (which silently reversed the inequality).
+	p2 := MustParse(wrapWhere("-2 * a.vol < b.vol"))
+	want2 := RatioRange{Lo: -2, X: a, Y: b, Hi: math.Inf(1)}
+	if !reflect.DeepEqual(p2.Where[0], want2) {
+		t.Errorf("-2 * a.vol < b.vol parsed as %#v, want %#v", p2.Where[0], want2)
+	}
+	s := event.NewSchema("vol")
+	look := lookupFrom(s, map[string][]float64{"a": {-3}, "b": {5}})
+	if p2.Where[0].Eval(s, look) { // -2*-3 = 6 < 5 is false
+		t.Error("-2 * -3 < 5 must be false")
+	}
+}
+
+func TestConditionReductionShapes(t *testing.T) {
+	inf := math.Inf(1)
+	a, b := Ref{Alias: "a", Attr: "vol"}, Ref{Alias: "b", Attr: "vol"}
+	cases := []struct {
+		cond string
+		want Condition
+	}{
+		{"a.vol > 5", AbsRange{Lo: 5, Y: a, Hi: inf}},
+		{"a.vol < 5", AbsRange{Lo: -inf, Y: a, Hi: 5}},
+		{"5 < a.vol", AbsRange{Lo: 5, Y: a, Hi: inf}},
+		{"5 > a.vol", AbsRange{Lo: -inf, Y: a, Hi: 5}},
+		{"a.vol < 1e-2", AbsRange{Lo: -inf, Y: a, Hi: 0.01}},
+		{"0.5 * a.vol < b.vol", RatioRange{Lo: 0.5, X: a, Y: b, Hi: inf}},
+		{"a.vol < 1.5 * b.vol", RatioRange{Lo: -inf, X: b, Y: a, Hi: 1.5}},
+		{"a.vol > 1.5 * b.vol", RatioRange{Lo: 1.5, X: b, Y: a, Hi: inf}},
+		{"1.5 * a.vol > b.vol", RatioRange{Lo: -inf, X: a, Y: b, Hi: 1.5}},
+		{"a.vol < b.vol", RatioRange{Lo: 1, X: a, Y: b, Hi: inf}},
+		{"a.vol == b.vol", Cmp{X: a, Op: "==", Y: b}},
+		{"a.vol != b.vol", Cmp{X: a, Op: "!=", Y: b}},
+		{"a.vol <= b.vol", Cmp{X: a, Op: "<=", Y: b}},
+		{"a.vol >= b.vol", Cmp{X: a, Op: ">=", Y: b}},
+	}
+	for _, tc := range cases {
+		p := MustParse(wrapWhere(tc.cond))
+		if !reflect.DeepEqual(p.Where[0], tc.want) {
+			t.Errorf("%s parsed as %#v, want %#v", tc.cond, p.Where[0], tc.want)
+		}
+	}
+}
+
+// Shapes with no exact classical form stay ExprCond: reductions must never
+// change float decisions, so dividing a constant through a scale (rounds)
+// or lowering <= to a strict bound (old behavior) are both out.
+func TestInexactShapesStayGeneral(t *testing.T) {
+	for _, cond := range []string{
+		"10 < 2 * a.vol",
+		"2 * a.vol < 10",
+		"a.vol <= 5",
+		"a.vol >= 5",
+		"a.vol == 5",
+		"0.5 * a.vol < 2 * b.vol",
+		"2 * a.vol == 2 * b.vol",
+		"2 * a.vol <= b.vol",
+	} {
+		p := MustParse(wrapWhere(cond))
+		if _, ok := p.Where[0].(ExprCond); !ok {
+			t.Errorf("%s parsed as %T, want ExprCond", cond, p.Where[0])
+		}
+	}
+	s := event.NewSchema("vol")
+	look := lookupFrom(s, map[string][]float64{"a": {5}, "b": {0}})
+	if MustParse(wrapWhere("10 < 2 * a.vol")).Where[0].Eval(s, look) {
+		t.Error("10 < 2*5 must be false (boundary is exclusive in the source)")
+	}
+	if !MustParse(wrapWhere("a.vol <= 5")).Where[0].Eval(s, look) {
+		t.Error("5 <= 5 must be true; the old parser lowered it to a strict bound")
+	}
+}
+
+func TestChainedComparisonsSplit(t *testing.T) {
+	p := MustParse(wrapWhere("1 < a.vol < 5"))
+	if len(p.Where) != 2 {
+		t.Fatalf("chain produced %d conditions, want 2", len(p.Where))
+	}
+	s := event.NewSchema("vol")
+	in := lookupFrom(s, map[string][]float64{"a": {3}})
+	out := lookupFrom(s, map[string][]float64{"a": {6}})
+	if !(p.Where[0].Eval(s, in) && p.Where[1].Eval(s, in)) {
+		t.Error("3 inside (1,5) must pass")
+	}
+	if p.Where[0].Eval(s, out) && p.Where[1].Eval(s, out) {
+		t.Error("6 inside (1,5) must fail")
+	}
+}
+
+func TestTypecheckRejectionsWithPositions(t *testing.T) {
+	schema := event.NewSchema("vol", "price")
+	cases := []struct {
+		src    string
+		at     string // substring whose index is the expected error offset
+		errSub string
+	}{
+		{"PATTERN SEQ(A a) WHERE z.vol < 2 WITHIN 5", "z.vol", `unknown alias "z"`},
+		{"PATTERN SEQ(A a, B b) WHERE a.vol < b.size WITHIN 5", "size", `unknown attribute "size"`},
+		{"PATTERN SEQ(A a) WHERE foo(a.vol) < 2 WITHIN 5", "foo(", `unknown function "foo"`},
+		{"PATTERN SEQ(A a, B b) WHERE abs(a.vol, b.vol) < 2 WITHIN 5", ", b.vol) <", `expected ")"`},
+	}
+	for _, tc := range cases {
+		_, err := ParseWithSchema(tc.src, schema)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.src)
+			continue
+		}
+		wantOff := fmt.Sprintf("at offset %d", strings.Index(tc.src, tc.at))
+		if !strings.Contains(err.Error(), wantOff) || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%s: error %q, want offset marker %q and substring %q",
+				tc.src, err.Error(), wantOff, tc.errSub)
+		}
+	}
+	// Without a schema, attribute names are unchecked (streams may differ),
+	// but alias and function checks still apply.
+	if _, err := Parse("PATTERN SEQ(A a, B b) WHERE a.vol < b.size WITHIN 5"); err != nil {
+		t.Errorf("schema-less Parse must accept unknown attributes: %v", err)
+	}
+	if _, err := Parse("PATTERN SEQ(A a) WHERE z.vol < 2 WITHIN 5"); err == nil {
+		t.Error("schema-less Parse must still reject unknown aliases")
+	}
+}

@@ -258,7 +258,9 @@ func TestParseErrors(t *testing.T) {
 		"PATTERN SEQ(A a, A b) WITHIN 5 trailing",
 		"PATTERN SEQ(A a, B a) WITHIN 5",
 		"PATTERN NEG(A a) WITHIN 5",
-		"PATTERN SEQ(A a) WHERE a.vol == 2 WITHIN 5",
+		"PATTERN SEQ(A a) WHERE a.vol = 2 WITHIN 5",      // '=' is not a comparison
+		"PATTERN SEQ(A a) WHERE z.vol < 2 WITHIN 5",      // unknown alias
+		"PATTERN SEQ(A a) WHERE foo(a.vol) < 2 WITHIN 5", // unknown function
 	}
 	for _, src := range srcs {
 		if _, err := Parse(src); err == nil {

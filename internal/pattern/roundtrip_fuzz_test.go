@@ -1,0 +1,204 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlacep/internal/event"
+)
+
+// FuzzParseStringRoundTrip pins the grammar's round-trip contract: for any
+// pattern p produced by Parse, Parse(p.String()) must succeed, reproduce the
+// same AST, render identically (idempotence), and make the same WHERE
+// decisions on every binding. The generator emits random-but-syntactic
+// sources covering the operator grammar (SEQ/CONJ/DISJ/KC/NEG), every
+// condition shape, tight-spacing variants of binary minus (the lexer
+// regression this suite guards), and chained comparisons.
+
+type rtGen struct {
+	data    []byte
+	i       int
+	aliases []string
+}
+
+func (g *rtGen) next() byte {
+	if g.i >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.i]
+	g.i++
+	return b
+}
+
+func (g *rtGen) pick(n int) int { return int(g.next()) % n }
+
+var rtTypes = []string{"A", "B", "C", "D"}
+var rtAttrs = []string{"vol", "price"}
+var rtConsts = []string{"0", "1", "2", "0.5", "1.5", "-3", "-0.25", "10"}
+var rtCmpOps = []string{"<", "<=", ">", ">=", "==", "!="}
+
+func (g *rtGen) prim() string {
+	alias := fmt.Sprintf("x%d", len(g.aliases))
+	g.aliases = append(g.aliases, alias)
+	ts := rtTypes[g.pick(len(rtTypes))]
+	if g.next()%4 == 0 {
+		ts += "|" + rtTypes[g.pick(len(rtTypes))]
+	}
+	return ts + " " + alias
+}
+
+func (g *rtGen) node(depth int, underSeq bool) string {
+	if depth <= 0 {
+		return g.prim()
+	}
+	switch g.pick(6) {
+	case 0:
+		return "KC(" + g.prim() + ")"
+	case 1:
+		if underSeq {
+			return "NEG(" + g.prim() + ")"
+		}
+		return g.prim()
+	case 2, 3:
+		kind, under := "SEQ", true
+		if g.next()%2 == 0 {
+			kind, under = "CONJ", false
+		}
+		n := 2 + g.pick(2)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = g.node(depth-1, under)
+		}
+		return kind + "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return g.prim()
+	}
+}
+
+func (g *rtGen) ref() string {
+	return g.aliases[g.pick(len(g.aliases))] + "." + rtAttrs[g.pick(len(rtAttrs))]
+}
+
+func (g *rtGen) konst() string { return rtConsts[g.pick(len(rtConsts))] }
+
+func (g *rtGen) cond() string {
+	switch g.pick(9) {
+	case 0:
+		return fmt.Sprintf("%s * %s < %s", g.konst(), g.ref(), g.ref())
+	case 1:
+		return fmt.Sprintf("%s < %s < %s", g.konst(), g.ref(), g.konst()) // chain: splits in two
+	case 2:
+		return fmt.Sprintf("%s %s %s", g.ref(), rtCmpOps[g.pick(len(rtCmpOps))], g.ref())
+	case 3:
+		return fmt.Sprintf("%s-%s < %s", g.ref(), g.konst(), g.ref()) // tight binary minus
+	case 4:
+		return fmt.Sprintf("%s<-%s", g.ref(), g.konst()) // tight '<' + unary minus
+	case 5:
+		return fmt.Sprintf("abs(%s - %s) < %s", g.ref(), g.ref(), g.konst())
+	case 6:
+		return fmt.Sprintf("%s + %s <= %s / 2", g.ref(), g.konst(), g.ref())
+	case 7:
+		return fmt.Sprintf("log(abs(%s)) != %s", g.ref(), g.ref())
+	default:
+		return fmt.Sprintf("neg(%s) >= sqrt(abs(%s)) * %s", g.ref(), g.ref(), g.konst())
+	}
+}
+
+func (g *rtGen) pattern() string {
+	var b strings.Builder
+	b.WriteString("PATTERN ")
+	root := 2 + g.pick(2)
+	switch g.pick(3) {
+	case 0:
+		parts := make([]string, root)
+		for i := range parts {
+			parts[i] = g.node(2, true)
+		}
+		b.WriteString("SEQ(" + strings.Join(parts, ", ") + ")")
+	case 1:
+		parts := make([]string, root)
+		for i := range parts {
+			parts[i] = g.node(2, false)
+		}
+		b.WriteString("CONJ(" + strings.Join(parts, ", ") + ")")
+	default:
+		parts := make([]string, root)
+		for i := range parts {
+			parts[i] = g.node(1, false)
+		}
+		b.WriteString("DISJ(" + strings.Join(parts, ", ") + ")")
+	}
+	if n := g.pick(4); n > 0 {
+		conds := make([]string, n)
+		for i := range conds {
+			conds[i] = g.cond()
+		}
+		b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	fmt.Fprintf(&b, " WITHIN %d", 1+g.pick(60))
+	if g.next()%4 == 0 {
+		b.WriteString(" TIME")
+	}
+	return b.String()
+}
+
+var rtVals = []float64{
+	0, 0.5, -0.5, 1, -1, 2, -3, 10,
+	math.Inf(1), math.Inf(-1), math.NaN(), 1e308, -1e308, 1e-308,
+}
+
+func FuzzParseStringRoundTrip(f *testing.F) {
+	f.Add([]byte("roundtrip"))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3})
+	f.Add([]byte{2, 0, 9, 1, 4, 4, 4, 4, 1, 7, 2, 8, 0, 0, 5, 5, 6, 1, 3, 9})
+	s := event.NewSchema("vol", "price")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &rtGen{data: data}
+		src := g.pattern()
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated source failed to parse: %v\nsource: %s", err, src)
+		}
+		s1 := p1.String()
+		p2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering is not parseable: %v\nrendered: %s\nsource: %s", err, s1, src)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("String is not idempotent:\nfirst:  %s\nsecond: %s", s1, s2)
+		}
+		if p1.Window != p2.Window {
+			t.Fatalf("window changed: %+v -> %+v", p1.Window, p2.Window)
+		}
+		if !reflect.DeepEqual(p1.Root, p2.Root) {
+			t.Fatalf("operator tree changed through round trip:\nsource:   %s\nrendered: %s", src, s1)
+		}
+		if !reflect.DeepEqual(p1.Where, p2.Where) {
+			t.Fatalf("conditions changed through round trip:\n%v\n->\n%v", p1.Where, p2.Where)
+		}
+		// Semantic layer: identical decisions on adversarial bindings (NaN
+		// and ±Inf included), independent of representation equality.
+		for trial := 0; trial < 16; trial++ {
+			events := map[string]*event.Event{}
+			for _, alias := range g.aliases {
+				events[alias] = &event.Event{Type: "T", Attrs: []float64{
+					rtVals[g.pick(len(rtVals))], rtVals[g.pick(len(rtVals))],
+				}}
+			}
+			look := func(a string) (*event.Event, bool) {
+				e, ok := events[a]
+				return e, ok
+			}
+			for i := range p1.Where {
+				if got, want := p2.Where[i].Eval(s, look), p1.Where[i].Eval(s, look); got != want {
+					t.Fatalf("condition %d decision changed: %v (was %v)\n%v vs %v",
+						i, got, want, p2.Where[i], p1.Where[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package queries_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/dataset"
+	"dlacep/internal/event"
+	"dlacep/internal/lazy"
+	"dlacep/internal/pattern"
+	"dlacep/internal/queries"
+	"dlacep/internal/zstream"
+)
+
+// keysEqual compares two match sets by key.
+func keysEqual(a, b []*cep.Match) bool {
+	ka, kb := cep.Keys(a), cep.Keys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for k := range ka {
+		if !kb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledEnginesMatchInterpreted is the engine-level arm of the
+// compiler's differential suite: over the fixed synthetic pattern table,
+// every engine must produce the identical match set and identical work
+// counters whether conditions run compiled or interpreted. The cep and
+// zstream/lazy match sets are also cross-checked against each other.
+func TestCompiledEnginesMatchInterpreted(t *testing.T) {
+	st := dataset.Synthetic(2000, 6, 7)
+	total := 0
+	for _, p := range queries.SyntheticSuite(40) {
+		cm, cs, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatalf("%s: cep compiled: %v", p.Name, err)
+		}
+		im, is, err := cep.Run(p, st, cep.WithInterpreter())
+		if err != nil {
+			t.Fatalf("%s: cep interpreted: %v", p.Name, err)
+		}
+		if !keysEqual(cm, im) || cs != is {
+			t.Errorf("%s: cep compiled (%d matches, %v) != interpreted (%d matches, %v)",
+				p.Name, len(cm), cs, len(im), is)
+		}
+		total += len(cm)
+
+		stats := zstream.EstimateStatistics(p, st, 200, 1)
+		zm, zs, err := zstream.Run(p, st, stats)
+		if err != nil {
+			t.Fatalf("%s: zstream compiled: %v", p.Name, err)
+		}
+		zi, zis, err := zstream.Run(p, st, stats, zstream.WithInterpreter())
+		if err != nil {
+			t.Fatalf("%s: zstream interpreted: %v", p.Name, err)
+		}
+		if !keysEqual(zm, zi) || zs != zis {
+			t.Errorf("%s: zstream compiled (%d matches) != interpreted (%d matches)",
+				p.Name, len(zm), len(zi))
+		}
+		if !keysEqual(cm, zm) {
+			t.Errorf("%s: zstream found %d matches, cep found %d", p.Name, len(zm), len(cm))
+		}
+
+		lm, ls, err := lazy.Run(p, st)
+		if err != nil {
+			t.Fatalf("%s: lazy compiled: %v", p.Name, err)
+		}
+		li, lis, err := lazy.Run(p, st, lazy.WithInterpreter())
+		if err != nil {
+			t.Fatalf("%s: lazy interpreted: %v", p.Name, err)
+		}
+		if !keysEqual(lm, li) || ls != lis {
+			t.Errorf("%s: lazy compiled (%d matches) != interpreted (%d matches)",
+				p.Name, len(lm), len(li))
+		}
+		if !keysEqual(cm, lm) {
+			t.Errorf("%s: lazy found %d matches, cep found %d", p.Name, len(lm), len(cm))
+		}
+	}
+	if total == 0 {
+		t.Fatal("differential suite is vacuous: no pattern produced any match")
+	}
+}
+
+// TestCompiledCepKleeneAndNegation covers the condition shapes only the NFA
+// engine evaluates: Kleene-scoped conditions and conditions constraining a
+// negated component.
+func TestCompiledCepKleeneAndNegation(t *testing.T) {
+	st := dataset.Synthetic(1500, 3, 11)
+	aRef := pattern.Ref{Alias: "a", Attr: "vol"}
+	bRef := pattern.Ref{Alias: "b", Attr: "vol"}
+	cRef := pattern.Ref{Alias: "c", Attr: "vol"}
+
+	kcChild := pattern.Prim("b", "B")
+	kcChild.With(pattern.AbsRange{Lo: -0.5, Y: bRef, Hi: math.Inf(1)})
+	kcPat := pattern.New("kc-scoped",
+		pattern.Seq(pattern.Prim("a", "A"), pattern.KC(kcChild), pattern.Prim("c", "C")),
+		pattern.Count(25),
+		pattern.Cmp{X: aRef, Op: "<", Y: cRef})
+
+	negPat := pattern.New("neg-constrained",
+		pattern.Seq(pattern.Prim("a", "A"), pattern.Neg(pattern.Prim("b", "B")), pattern.Prim("c", "C")),
+		pattern.Count(25),
+		pattern.Cmp{X: bRef, Op: ">", Y: aRef},
+		pattern.Ratio(0.5, aRef, cRef, 2.5))
+
+	total := 0
+	for _, p := range []*pattern.Pattern{kcPat, negPat} {
+		cm, cs, err := cep.Run(p, st)
+		if err != nil {
+			t.Fatalf("%s: compiled: %v", p.Name, err)
+		}
+		im, is, err := cep.Run(p, st, cep.WithInterpreter())
+		if err != nil {
+			t.Fatalf("%s: interpreted: %v", p.Name, err)
+		}
+		if !keysEqual(cm, im) || cs != is {
+			t.Errorf("%s: compiled (%d matches, %v) != interpreted (%d matches, %v)",
+				p.Name, len(cm), cs, len(im), is)
+		}
+		total += len(cm)
+	}
+	if total == 0 {
+		t.Fatal("Kleene/negation differential is vacuous: no matches")
+	}
+}
+
+// TestEnginesRejectBadConditionAtSubmission pins the compiler's forward
+// error detection through every engine constructor: a condition naming an
+// unknown attribute fails at New, not as a panic at the first event.
+func TestEnginesRejectBadConditionAtSubmission(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b) WHERE a.vol < b.size WITHIN 10")
+	schema := event.NewSchema("vol")
+	if _, err := cep.New(p, schema); err == nil || !strings.Contains(err.Error(), `unknown attribute "size"`) {
+		t.Errorf("cep.New = %v, want unknown attribute error", err)
+	}
+	if _, err := zstream.New(p, schema, zstream.Statistics{}); err == nil || !strings.Contains(err.Error(), `unknown attribute "size"`) {
+		t.Errorf("zstream.New = %v, want unknown attribute error", err)
+	}
+	if _, err := lazy.New(p, schema, map[string]int{}); err == nil || !strings.Contains(err.Error(), `unknown attribute "size"`) {
+		t.Errorf("lazy.New = %v, want unknown attribute error", err)
+	}
+}

@@ -264,6 +264,43 @@ func QB3Band(w int, lo, hi float64) *pattern.Pattern {
 			"AND %g * c.vol < d.vol < %g * c.vol WITHIN %d", lo, hi, lo, hi, lo, hi, w))
 }
 
+// QB4 is CONJ(A,B,C,D) over the synthetic types: a conjunction analogue of
+// the Table 2 sequences, mixing a ratio band, an absolute bound, and an
+// arithmetic expression condition so every compiled condition shape is
+// exercised by the cross-engine differential suite.
+func QB4(w int) *pattern.Pattern {
+	return pattern.MustParse(fmt.Sprintf(
+		"PATTERN CONJ(A a, B b, C c, D d) "+
+			"WHERE 0.5 * a.vol < d.vol < 1.6 * a.vol "+
+			"AND b.vol < 1 "+
+			"AND abs(c.vol - d.vol) < 1.2 WITHIN %d", w))
+}
+
+// QB5 is DISJ(SEQ(A,B,C), SEQ(D,E,F)): a disjunction analogue of the
+// Table 2 sequences with per-branch conditions.
+func QB5(w int) *pattern.Pattern {
+	return pattern.MustParse(fmt.Sprintf(
+		"PATTERN DISJ(SEQ(A a, B b, C c), SEQ(D d, E e, F f)) "+
+			"WHERE 0.7 * a.vol < c.vol < 1.4 * a.vol "+
+			"AND d.vol <= e.vol "+
+			"AND abs(f.vol) < 1.5 WITHIN %d", w))
+}
+
+// SyntheticSuite is the fixed pattern table of the cross-engine differential
+// tests: the Table 2 sequences (band widened so matches occur on small
+// streams, see QB1Band) plus the conjunction and disjunction analogues —
+// all within the SEQ/CONJ/DISJ-of-SEQ class that cep, zstream, and lazy all
+// support, runnable on dataset.Synthetic streams.
+func SyntheticSuite(w int) []*pattern.Pattern {
+	return []*pattern.Pattern{
+		QB1Band(w, 0.5, 1.6),
+		QB2Band(w, 0.5, 1.6),
+		QB3Band(w, 0.5, 1.6),
+		QB4(w),
+		QB5(w),
+	}
+}
+
 // ByLength returns the Table 2 pattern of the given sequence length
 // (4, 5, or 6), used by the Figure 13 sweep.
 func ByLength(length, w int) *pattern.Pattern { return ByLengthBand(length, w, 0.85, 1.15) }

@@ -6,6 +6,7 @@ import (
 	"dlacep/internal/cep"
 	"dlacep/internal/event"
 	"dlacep/internal/pattern"
+	"dlacep/internal/pattern/compile"
 )
 
 // Stats mirrors cep.Stats: Instances counts intermediate join results, the
@@ -30,12 +31,14 @@ type tree struct {
 	leaves []*rnode
 }
 
-// rnode is the runtime mirror of a PlanNode with its result store.
+// rnode is the runtime mirror of a PlanNode with its result store. preds
+// holds the compiled predicates of pn.conds, index-aligned.
 type rnode struct {
 	pn          *PlanNode
 	left, right *rnode
 	parent      *rnode
 	prim        *pattern.Node // leaves only
+	preds       []compile.Pred
 	store       []*res
 }
 
@@ -48,8 +51,29 @@ type res struct {
 	maxTs  int64
 }
 
-// New compiles the pattern into tree plans, one per disjunct.
-func New(p *pattern.Pattern, schema *event.Schema, stats Statistics) (*Engine, error) {
+// Option configures engine construction.
+type Option func(*engineOpts)
+
+type engineOpts struct {
+	interpret bool
+}
+
+// WithInterpreter evaluates plan conditions with the tree-walking
+// interpreter instead of compiled predicates — the reference arm of the
+// differential suite. Typechecking still happens, so both arms reject the
+// same patterns.
+func WithInterpreter() Option {
+	return func(o *engineOpts) { o.interpret = true }
+}
+
+// New compiles the pattern into tree plans, one per disjunct. Conditions are
+// typechecked against the schema and compiled to closure chains at
+// submission; an unknown attribute is an error here, not a panic mid-stream.
+func New(p *pattern.Pattern, schema *event.Schema, stats Statistics, opts ...Option) (*Engine, error) {
+	var eo engineOpts
+	for _, o := range opts {
+		o(&eo)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,13 +89,18 @@ func New(p *pattern.Pattern, schema *event.Schema, stats Statistics) (*Engine, e
 		subs = append(subs, p.Root)
 		subWhere = append(subWhere, p.Where)
 	}
+	env := compile.EnvOf(p, schema)
 	en := &Engine{schema: schema, window: p.Window}
 	for i, sub := range subs {
 		plan, err := planFor(sub, subWhere[i], p.Window, stats)
 		if err != nil {
 			return nil, err
 		}
-		en.trees = append(en.trees, buildTree(plan))
+		t, err := buildTree(plan, env, eo.interpret)
+		if err != nil {
+			return nil, err
+		}
+		en.trees = append(en.trees, t)
 	}
 	return en, nil
 }
@@ -98,22 +127,49 @@ func filterConds(conds []pattern.Condition, sub *pattern.Node) []pattern.Conditi
 	return out
 }
 
-func buildTree(plan *Plan) *tree {
+func buildTree(plan *Plan, env compile.Env, interpret bool) (*tree, error) {
+	lower := func(conds []pattern.Condition) ([]compile.Pred, error) {
+		if len(conds) == 0 {
+			return nil, nil
+		}
+		preds, err := compile.Conds(conds, env)
+		if err != nil {
+			return nil, fmt.Errorf("zstream: %w", err)
+		}
+		if interpret {
+			for i, c := range conds {
+				preds[i] = compile.Interpreted(c)
+			}
+		}
+		return preds, nil
+	}
 	t := &tree{plan: plan, leaves: make([]*rnode, len(plan.prims))}
-	var build func(pn *PlanNode, parent *rnode) *rnode
-	build = func(pn *PlanNode, parent *rnode) *rnode {
+	var build func(pn *PlanNode, parent *rnode) (*rnode, error)
+	build = func(pn *PlanNode, parent *rnode) (*rnode, error) {
 		rn := &rnode{pn: pn, parent: parent}
+		var err error
+		if rn.preds, err = lower(pn.conds); err != nil {
+			return nil, err
+		}
 		if pn.IsLeaf() {
 			rn.prim = plan.prims[pn.Lo]
 			t.leaves[pn.Lo] = rn
-			return rn
+			return rn, nil
 		}
-		rn.left = build(pn.Left, rn)
-		rn.right = build(pn.Right, rn)
-		return rn
+		if rn.left, err = build(pn.Left, rn); err != nil {
+			return nil, err
+		}
+		if rn.right, err = build(pn.Right, rn); err != nil {
+			return nil, err
+		}
+		return rn, nil
 	}
-	t.root = build(plan.Root, nil)
-	return t
+	root, err := build(plan.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
 }
 
 // Process feeds one event and returns completed matches.
@@ -136,7 +192,7 @@ func (en *Engine) Process(ev event.Event) []*cep.Match {
 				bind:   map[string]*event.Event{leaf.prim.Alias: e},
 				minID:  e.ID, maxID: e.ID, minTs: e.Ts, maxTs: e.Ts,
 			}
-			if !en.checkConds(leaf.pn.conds, r) {
+			if !en.checkConds(leaf.preds, r) {
 				continue
 			}
 			en.stats.Instances++
@@ -205,19 +261,19 @@ func (en *Engine) join(t *tree, parent *rnode, l, r *res) *res {
 		bind[k] = v
 	}
 	joined := &res{events: events, bind: bind, minID: minID, maxID: maxID, minTs: minTs, maxTs: maxTs}
-	if !en.checkConds(parent.pn.conds, joined) {
+	if !en.checkConds(parent.preds, joined) {
 		return nil
 	}
 	return joined
 }
 
-func (en *Engine) checkConds(conds []pattern.Condition, r *res) bool {
+func (en *Engine) checkConds(preds []compile.Pred, r *res) bool {
 	look := func(a string) (*event.Event, bool) {
 		e, ok := r.bind[a]
 		return e, ok
 	}
-	for _, c := range conds {
-		if !c.Eval(en.schema, look) {
+	for _, p := range preds {
+		if !p(en.schema, look) {
 			return false
 		}
 	}
@@ -261,8 +317,8 @@ func (en *Engine) Plans() []*Plan {
 }
 
 // Run evaluates the whole stream, deduplicating matches by key.
-func Run(p *pattern.Pattern, st *event.Stream, stats Statistics) ([]*cep.Match, Stats, error) {
-	en, err := New(p, st.Schema, stats)
+func Run(p *pattern.Pattern, st *event.Stream, stats Statistics, opts ...Option) ([]*cep.Match, Stats, error) {
+	en, err := New(p, st.Schema, stats, opts...)
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -1,0 +1,81 @@
+package zstream
+
+import (
+	"testing"
+
+	"dlacep/internal/cep"
+	"dlacep/internal/event"
+	"dlacep/internal/pattern"
+)
+
+// TestLiveSelectivityChangesPlan closes the feedback loop the planner is
+// built for: an engine measures per-condition hit rates while running, the
+// measurements merge into the planner's statistics, and the DP picks a
+// different join tree than it would under default selectivities.
+func TestLiveSelectivityChangesPlan(t *testing.T) {
+	p := pattern.MustParse("PATTERN SEQ(A a, B b, C c) WHERE a.vol < b.vol AND b.vol < c.vol WITHIN 30")
+	schema := event.NewSchema("vol")
+	// a.vol < b.vol holds for one A in ten (highly selective);
+	// b.vol < c.vol holds always.
+	var events []event.Event
+	for i := 0; i < 100; i++ {
+		av := 10.0
+		if i%10 == 0 {
+			av = 0
+		}
+		events = append(events,
+			event.Event{Type: "A", Attrs: []float64{av}},
+			event.Event{Type: "B", Attrs: []float64{5}},
+			event.Event{Type: "C", Attrs: []float64{100}})
+	}
+	st := event.NewStream(schema, events)
+
+	base := Statistics{Rate: map[string]float64{"A": 1.0 / 3, "B": 1.0 / 3, "C": 1.0 / 3}}
+	before, err := New(p, schema, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With both conditions at the default selectivity the DP is symmetric
+	// and keeps the first split: join (b c) first.
+	if got := before.Plans()[0].Root.String(); got != "(0 (1 2))" {
+		t.Fatalf("default plan = %s, want (0 (1 2))", got)
+	}
+
+	en, err := cep.New(p, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Events {
+		en.Process(st.Events[i])
+	}
+	live := en.CondSelectivities()
+	if sel, ok := live[p.Where[0].String()]; !ok || sel > 0.3 {
+		t.Fatalf("measured selectivity of %v = %v (ok=%v), want rare", p.Where[0], sel, ok)
+	}
+	if sel, ok := live[p.Where[1].String()]; !ok || sel != 1 {
+		t.Fatalf("measured selectivity of %v = %v (ok=%v), want 1", p.Where[1], sel, ok)
+	}
+
+	after, err := New(p, schema, base.MergeLive(live))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (a b) join is now known to produce ~no intermediates, so the
+	// planner joins it first.
+	if got := after.Plans()[0].Root.String(); got != "((0 1) 2)" {
+		t.Errorf("live-informed plan = %s, want ((0 1) 2)", got)
+	}
+}
+
+// TestMergeLiveDoesNotMutateReceiver pins value semantics: planners may hold
+// the base statistics across replans.
+func TestMergeLiveDoesNotMutateReceiver(t *testing.T) {
+	base := Statistics{Sel: map[string]float64{"x": 0.5}}
+	merged := base.MergeLive(map[string]float64{"x": 0.1, "y": 0.9})
+	if base.Sel["x"] != 0.5 || len(base.Sel) != 1 {
+		t.Errorf("receiver mutated: %v", base.Sel)
+	}
+	if merged.Sel["x"] != 0.1 || merged.Sel["y"] != 0.9 {
+		t.Errorf("merged = %v", merged.Sel)
+	}
+}

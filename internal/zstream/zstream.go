@@ -94,6 +94,23 @@ func EstimateStatistics(p *pattern.Pattern, st *event.Stream, sampleSize int, se
 	return stats
 }
 
+// MergeLive overlays measured selectivities (e.g. cep.Engine.
+// CondSelectivities or compile.SelectivitiesFromRegistry, both keyed by
+// condition string) onto s, returning a new Statistics. Live measurements
+// win over prior estimates: they reflect the bindings the engine actually
+// evaluated, not a Monte-Carlo draw over independent events. The receiver
+// is not modified.
+func (s Statistics) MergeLive(live map[string]float64) Statistics {
+	out := Statistics{Rate: s.Rate, Sel: map[string]float64{}}
+	for k, v := range s.Sel {
+		out.Sel[k] = v
+	}
+	for k, v := range live {
+		out.Sel[k] = v
+	}
+	return out
+}
+
 func (s Statistics) selectivity(c pattern.Condition) float64 {
 	if v, ok := s.Sel[c.String()]; ok {
 		return v
